@@ -1,0 +1,153 @@
+//! Direction-optimizing BFS (Beamer et al., the paper's reference [3]) —
+//! the classic *push OR pull* scheme the paper's §5.2 contrasts with
+//! iHTL's per-vertex-type mix: each BFS level is traversed entirely
+//! top-down (push from the frontier) or entirely bottom-up (pull: each
+//! unvisited vertex scans its in-neighbours for a frontier member),
+//! switching on frontier density.
+
+use ihtl_graph::{Graph, VertexId};
+
+/// Result of a BFS run.
+#[derive(Clone, Debug)]
+pub struct BfsRun {
+    /// BFS level per vertex (`u32::MAX` = unreachable).
+    pub level: Vec<u32>,
+    /// Traversal direction chosen per level (`true` = bottom-up/pull).
+    pub bottom_up_levels: Vec<bool>,
+}
+
+/// Fraction of vertices on the frontier beyond which a level switches to
+/// bottom-up (Beamer's heuristic, simplified to a single ratio).
+const BOTTOM_UP_THRESHOLD: f64 = 0.05;
+
+/// Runs direction-optimizing BFS from `source` over the directed graph
+/// (edges followed forward).
+pub fn bfs(g: &Graph, source: VertexId) -> BfsRun {
+    let n = g.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut level = vec![u32::MAX; n];
+    level[source as usize] = 0;
+    let mut frontier: Vec<VertexId> = vec![source];
+    let mut bottom_up_levels = Vec::new();
+    let mut depth = 0u32;
+
+    while !frontier.is_empty() {
+        let bottom_up = (frontier.len() as f64) > BOTTOM_UP_THRESHOLD * n as f64;
+        bottom_up_levels.push(bottom_up);
+        let mut next = Vec::new();
+        if bottom_up {
+            // Pull: every unvisited vertex checks its in-neighbours.
+            let on_frontier: Vec<bool> = {
+                let mut f = vec![false; n];
+                for &v in &frontier {
+                    f[v as usize] = true;
+                }
+                f
+            };
+            for v in 0..n as u32 {
+                if level[v as usize] != u32::MAX {
+                    continue;
+                }
+                if g.csc()
+                    .neighbours(v)
+                    .iter()
+                    .any(|&u| on_frontier[u as usize])
+                {
+                    level[v as usize] = depth + 1;
+                    next.push(v);
+                }
+            }
+        } else {
+            // Push: frontier members scatter to out-neighbours.
+            for &u in &frontier {
+                for &v in g.csr().neighbours(u) {
+                    if level[v as usize] == u32::MAX {
+                        level[v as usize] = depth + 1;
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        frontier = next;
+        depth += 1;
+    }
+    BfsRun { level, bottom_up_levels }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn oracle(g: &Graph, src: u32) -> Vec<u32> {
+        let n = g.n_vertices();
+        let mut level = vec![u32::MAX; n];
+        let mut q = std::collections::VecDeque::new();
+        level[src as usize] = 0;
+        q.push_back(src);
+        while let Some(v) = q.pop_front() {
+            for &u in g.csr().neighbours(v) {
+                if level[u as usize] == u32::MAX {
+                    level[u as usize] = level[v as usize] + 1;
+                    q.push_back(u);
+                }
+            }
+        }
+        level
+    }
+
+    #[test]
+    fn path_levels() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let run = bfs(&g, 0);
+        assert_eq!(run.level, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_marked() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let run = bfs(&g, 0);
+        assert_eq!(run.level[1], 1);
+        assert_eq!(run.level[2], u32::MAX);
+        assert_eq!(run.level[3], u32::MAX);
+    }
+
+    #[test]
+    fn matches_oracle_on_random_graph() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(9);
+        let n = 200usize;
+        let edges: Vec<(u32, u32)> = (0..1500)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        for src in [0u32, 7, 42] {
+            assert_eq!(bfs(&g, src).level, oracle(&g, src), "src {src}");
+        }
+    }
+
+    #[test]
+    fn dense_graph_switches_to_bottom_up() {
+        // A hub-star plus a clique core: the second level covers most of
+        // the graph, which must trigger the bottom-up direction.
+        let n = 200usize;
+        let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (0, v)).collect();
+        edges.extend((1..50u32).flat_map(|a| (50..100u32).map(move |b| (a, b))));
+        let g = Graph::from_edges(n, &edges);
+        let run = bfs(&g, 0);
+        assert!(
+            run.bottom_up_levels.iter().any(|&b| b),
+            "never switched bottom-up: {:?}",
+            run.bottom_up_levels
+        );
+        assert_eq!(bfs(&g, 0).level, oracle(&g, 0));
+    }
+
+    #[test]
+    fn sparse_frontier_stays_top_down() {
+        let g = Graph::from_edges(100, &(0..99u32).map(|v| (v, v + 1)).collect::<Vec<_>>());
+        let run = bfs(&g, 0);
+        assert!(run.bottom_up_levels.iter().all(|&b| !b));
+    }
+}

@@ -1,0 +1,115 @@
+//! Unweighted single-source shortest paths (Bellman–Ford over min-plus
+//! SpMV) — another §6 analytic ("Single Source Shortest Path").
+//!
+//! `dist_i[v] = min(dist_{i-1}[v], min_{u ∈ N⁻(v)} dist_{i-1}[u] + 1)`
+//!
+//! The inner `min` is a min-SpMV over `x[u] = dist[u] + 1`, so the kernel
+//! is shared with components and PageRank across all engines.
+
+use crate::engine::SpmvEngine;
+
+/// Result of an SSSP run.
+#[derive(Clone, Debug)]
+pub struct SsspRun {
+    /// Distance from the source per vertex (original order); `f64::INFINITY`
+    /// for unreachable vertices.
+    pub dist: Vec<f64>,
+    /// Relaxation rounds executed.
+    pub rounds: usize,
+}
+
+/// Runs Bellman–Ford from `source` (original vertex ID). Stops at the first
+/// round with no improvement or after `max_rounds`.
+pub fn sssp(engine: &mut dyn SpmvEngine, source: u32, max_rounds: usize) -> SsspRun {
+    let n = engine.n_vertices();
+    assert!((source as usize) < n, "source out of range");
+    let mut init = vec![f64::INFINITY; n];
+    init[source as usize] = 0.0;
+    let mut dist = engine.from_original_order(&init);
+    let mut bumped = vec![0.0f64; n];
+    let mut relaxed = vec![0.0f64; n];
+    let mut rounds = 0;
+    while rounds < max_rounds {
+        // x[u] = dist[u] + 1 (∞ stays ∞).
+        for (b, &d) in bumped.iter_mut().zip(&dist) {
+            *b = d + 1.0;
+        }
+        engine.spmv_min(&bumped, &mut relaxed);
+        let mut changed = false;
+        for (d, &r) in dist.iter_mut().zip(&relaxed) {
+            if r < *d {
+                *d = r;
+                changed = true;
+            }
+        }
+        rounds += 1;
+        if !changed {
+            break;
+        }
+    }
+    SsspRun { dist: engine.to_original_order(&dist), rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{build_engine, EngineKind};
+    use ihtl_core::IhtlConfig;
+    use ihtl_graph::graph::paper_example_graph;
+    use ihtl_graph::Graph;
+
+    fn cfg() -> IhtlConfig {
+        IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() }
+    }
+
+    #[test]
+    fn path_graph_distances() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut e = build_engine(EngineKind::PullGraphGrind, &g, &cfg());
+        let run = sssp(e.as_mut(), 0, 100);
+        assert_eq!(run.dist, vec![0.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn unreachable_stays_infinite() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut e = build_engine(EngineKind::PullGalois, &g, &cfg());
+        let run = sssp(e.as_mut(), 0, 100);
+        assert_eq!(run.dist[1], 1.0);
+        assert!(run.dist[2].is_infinite());
+        assert!(run.dist[3].is_infinite());
+    }
+
+    #[test]
+    fn engines_agree_on_paper_example() {
+        let g = paper_example_graph();
+        let mut reference: Option<Vec<f64>> = None;
+        for kind in EngineKind::all() {
+            let mut e = build_engine(kind, &g, &cfg());
+            let run = sssp(e.as_mut(), 5, 100);
+            match &reference {
+                None => reference = Some(run.dist),
+                Some(r) => assert_eq!(r, &run.dist, "{kind:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn respects_directionality() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let run = sssp(e.as_mut(), 2, 100);
+        // Nothing is reachable *from* vertex 2.
+        assert_eq!(run.dist[2], 0.0);
+        assert!(run.dist[0].is_infinite());
+        assert!(run.dist[1].is_infinite());
+    }
+
+    #[test]
+    fn terminates_early_on_fixpoint() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut e = build_engine(EngineKind::PullGraphGrind, &g, &cfg());
+        let run = sssp(e.as_mut(), 0, 1000);
+        assert!(run.rounds <= 4, "rounds {}", run.rounds);
+    }
+}

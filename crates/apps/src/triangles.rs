@@ -1,0 +1,178 @@
+//! Triangle counting — the third analytic the paper's §6 names as a target
+//! for structure-aware traversal, and the home of the oldest
+//! low-degree/high-degree split the paper cites (§5.1: "the history of
+//! using different traversals for different vertices returns to the AYZ
+//! algorithm for triangle counting").
+//!
+//! Two counters over the symmetrized graph:
+//!
+//! * [`count_triangles_edge_iterator`] — the textbook baseline: for every
+//!   edge, intersect the endpoints' (sorted) neighbourhoods. Hubs make this
+//!   quadratic-ish: a hub's adjacency is scanned once per incident edge.
+//! * [`count_triangles_forward`] — the AYZ/forward algorithm: orient every
+//!   edge from the lower-ranked to the higher-ranked endpoint under a
+//!   degree ordering, then intersect *out*-neighbourhoods only. Hubs sit
+//!   last in the ordering, so their huge neighbourhoods are never the
+//!   iteration side — the same "treat hubs differently" insight iHTL
+//!   applies to SpMV.
+
+use ihtl_graph::{Graph, VertexId};
+use rayon::prelude::*;
+
+/// Builds the sorted undirected adjacency (deduplicated union of in- and
+/// out-neighbours, self-loops dropped) that both counters consume.
+fn undirected_sorted_adjacency(g: &Graph) -> Vec<Vec<VertexId>> {
+    (0..g.n_vertices() as u32)
+        .map(|v| {
+            let mut ns: Vec<VertexId> = g
+                .csr()
+                .neighbours(v)
+                .iter()
+                .chain(g.csc().neighbours(v))
+                .copied()
+                .filter(|&u| u != v)
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+        .collect()
+}
+
+/// Number of common elements of two ascending-sorted slices.
+fn intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
+    let (mut i, mut j, mut count) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+/// Baseline edge-iterator triangle count: `Σ_(u,v)∈E |N(u) ∩ N(v)|` over
+/// the undirected edge set, divided by 3 (each triangle is found once per
+/// edge). Cost concentrates on hubs.
+pub fn count_triangles_edge_iterator(g: &Graph) -> u64 {
+    let adj = undirected_sorted_adjacency(g);
+    let total: u64 = adj
+        .par_iter()
+        .enumerate()
+        .map(|(u, ns)| {
+            let u = u as u32;
+            ns.iter()
+                .filter(|&&v| u < v) // each undirected edge once
+                .map(|&v| intersection_size(ns, &adj[v as usize]))
+                .sum::<u64>()
+        })
+        .sum();
+    total / 3
+}
+
+/// AYZ/forward triangle count: rank vertices by (degree, id), orient each
+/// edge toward the higher rank, and intersect out-neighbourhoods. Each
+/// triangle is counted exactly once, and no intersection ever iterates a
+/// hub's full neighbourhood from the hub's side.
+pub fn count_triangles_forward(g: &Graph) -> u64 {
+    let adj = undirected_sorted_adjacency(g);
+    let n = g.n_vertices();
+    // rank[v]: position in the ascending-degree order.
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (adj[v as usize].len(), v));
+    let mut rank = vec![0u32; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v as usize] = r as u32;
+    }
+    // Forward adjacency: only neighbours of higher rank, kept sorted by ID.
+    let fwd: Vec<Vec<VertexId>> = (0..n as u32)
+        .map(|v| {
+            adj[v as usize]
+                .iter()
+                .copied()
+                .filter(|&u| rank[u as usize] > rank[v as usize])
+                .collect()
+        })
+        .collect();
+    fwd.par_iter()
+        .map(|ns| {
+            ns.iter()
+                .map(|&v| intersection_size(ns, &fwd[v as usize]))
+                .sum::<u64>()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_graph() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(count_triangles_edge_iterator(&g), 1);
+        assert_eq!(count_triangles_forward(&g), 1);
+    }
+
+    #[test]
+    fn square_has_no_triangles() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(count_triangles_edge_iterator(&g), 0);
+        assert_eq!(count_triangles_forward(&g), 0);
+    }
+
+    #[test]
+    fn k4_has_four_triangles() {
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u < v {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(4, &edges);
+        assert_eq!(count_triangles_edge_iterator(&g), 4);
+        assert_eq!(count_triangles_forward(&g), 4);
+    }
+
+    #[test]
+    fn direction_and_duplicates_are_ignored() {
+        // Same triangle expressed with mixed directions and a reciprocal
+        // duplicate: still exactly one triangle.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 1), (0, 2)]);
+        assert_eq!(count_triangles_edge_iterator(&g), 1);
+        assert_eq!(count_triangles_forward(&g), 1);
+    }
+
+    #[test]
+    fn hub_fan_has_no_triangles() {
+        // A star: hub 0 with 10 leaves; no leaf-leaf edges.
+        let edges: Vec<(u32, u32)> = (1..11u32).map(|v| (v, 0)).collect();
+        let g = Graph::from_edges(11, &edges);
+        assert_eq!(count_triangles_edge_iterator(&g), 0);
+        assert_eq!(count_triangles_forward(&g), 0);
+    }
+
+    #[test]
+    fn counters_agree_on_random_graph() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand_pcg::Pcg64::seed_from_u64(7);
+        let n = 60usize;
+        let edges: Vec<(u32, u32)> = (0..500)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .filter(|&(a, b)| a != b)
+            .collect();
+        let g = Graph::from_edges(n, &edges);
+        assert_eq!(
+            count_triangles_edge_iterator(&g),
+            count_triangles_forward(&g)
+        );
+    }
+}

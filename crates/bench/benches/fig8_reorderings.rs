@@ -1,0 +1,73 @@
+//! Criterion counterpart of Figure 8: pull SpMV over graphs relabeled by
+//! each reordering algorithm vs the iHTL traversal, plus the preprocessing
+//! cost of each algorithm (benchmarked once each — GOrder's cost *is* the
+//! result).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_core::IhtlConfig;
+use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_gen::shuffle_vertex_ids;
+use ihtl_graph::Graph;
+use ihtl_reorder::{gorder, rabbit, simple, slashburn};
+
+fn bench_graph() -> Graph {
+    let n = 1usize << 15;
+    let mut edges = rmat_edges(15, 400_000, RmatParams::social(), 31);
+    shuffle_vertex_ids(n, &mut edges, 31);
+    Graph::from_edges(n, &edges)
+}
+
+fn pull_after_reordering(c: &mut Criterion) {
+    let g = bench_graph();
+    let cfg = IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() };
+    let orderings = vec![
+        ("initial", simple::identity(&g)),
+        ("SlashBurn", slashburn::slashburn(&g, 0.005)),
+        ("GOrder", gorder::gorder(&g, 5)),
+        ("Rabbit-Order", rabbit::rabbit_order(&g, 16)),
+    ];
+    let mut group = c.benchmark_group("fig8/pull_after");
+    group.sample_size(10);
+    let n = g.n_vertices();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    for (name, r) in &orderings {
+        let relabeled = g.relabel(&r.perm);
+        let mut engine = build_engine(EngineKind::PullGraphGrind, &relabeled, &cfg);
+        group.bench_function(BenchmarkId::new("pull", *name), |b| {
+            b.iter(|| engine.spmv_add(black_box(&x), black_box(&mut y)));
+        });
+    }
+    let mut ihtl = build_engine(EngineKind::Ihtl, &g, &cfg);
+    let xe = ihtl.from_original_order(&x);
+    group.bench_function(BenchmarkId::new("iHTL", "blocked"), |b| {
+        b.iter(|| ihtl.spmv_add(black_box(&xe), black_box(&mut y)));
+    });
+    group.finish();
+}
+
+fn preprocessing_cost(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("fig8/preprocessing");
+    group.sample_size(10);
+    group.bench_function("SlashBurn", |b| {
+        b.iter(|| black_box(slashburn::slashburn(&g, 0.005)))
+    });
+    group.bench_function("Rabbit-Order", |b| {
+        b.iter(|| black_box(rabbit::rabbit_order(&g, 16)))
+    });
+    group.bench_function("iHTL-build", |b| {
+        let cfg = IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() };
+        b.iter(|| black_box(ihtl_core::IhtlGraph::build(&g, &cfg)))
+    });
+    // GOrder is far slower; sample it with the minimum count criterion
+    // allows so the bench suite still terminates promptly.
+    group.bench_function("GOrder", |b| b.iter(|| black_box(gorder::gorder(&g, 5))));
+    group.finish();
+}
+
+criterion_group!(benches, pull_after_reordering, preprocessing_cost);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion counterpart of Table 6: iHTL SpMV with the hub-buffer budget
+//! swept over the scaled L1 / L2÷2 / L2 / 2·L2 sizes (plus a wider tail, as
+//! an extension) on a bench-sized web graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use ihtl_core::{IhtlConfig, IhtlGraph};
+use ihtl_gen::weblike::{web_edges, WebParams};
+use ihtl_graph::Graph;
+use ihtl_traversal::Add;
+
+fn buffer_sweep(c: &mut Criterion) {
+    let n = 100_000;
+    let g = Graph::from_edges(n, &web_edges(n, 1_200_000, &WebParams::concentrated(), 61));
+    let mut group = c.benchmark_group("table6/buffer_budget");
+    group.sample_size(10);
+    // The four paper budgets (scaled) plus an extended tail.
+    for (label, bytes) in [
+        ("L1=0.5KiB", 512usize),
+        ("L2half=2KiB", 2 << 10),
+        ("L2=4KiB", 4 << 10),
+        ("2xL2=8KiB", 8 << 10),
+        ("8xL2=32KiB", 32 << 10),
+        ("64xL2=256KiB", 256 << 10),
+    ] {
+        let cfg = IhtlConfig { cache_budget_bytes: bytes, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let mut bufs = ih.new_buffers();
+        let x = vec![1.0f64; n];
+        let mut y = vec![0.0f64; n];
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| {
+                ih.spmv::<Add>(black_box(&x), black_box(&mut y), &mut bufs);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, buffer_sweep);
+criterion_main!(benches);

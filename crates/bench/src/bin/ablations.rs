@@ -1,0 +1,163 @@
+//! Ablation tables for the design choices DESIGN.md §6 calls out, on two
+//! representative datasets (one social, one web):
+//!
+//! 1. flipped-block write protection: buffering (paper §3.4) vs atomics;
+//! 2. fringe separation (§3.1 zero block) on vs off;
+//! 3. block counting: exact §3.3 vs single-pass §6;
+//! 4. acceptance-threshold sweep around the paper's 50 %;
+//! 5. §6 composition: Rabbit-Order the graph first, then iHTL on top
+//!    ("locality of the sparse block may improve by applying Rabbit-Order").
+
+use std::time::Instant;
+
+use ihtl_apps::engine::{build_engine, build_ihtl_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_bench::{datasets, table};
+use ihtl_core::{BlockCountMode, IhtlConfig, IhtlGraph};
+use ihtl_graph::Graph;
+use ihtl_reorder::rabbit;
+use ihtl_traversal::Add;
+
+const ITERS: usize = 6;
+
+fn spmv_mean_seconds(ih: &IhtlGraph) -> f64 {
+    let n = ih.n_vertices();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut bufs = ih.new_buffers();
+    let mut total = 0.0;
+    for i in 0..ITERS {
+        let t = Instant::now();
+        ih.spmv::<Add>(&x, &mut y, &mut bufs);
+        if i > 0 {
+            total += t.elapsed().as_secs_f64();
+        }
+    }
+    total / (ITERS - 1) as f64
+}
+
+fn spmv_atomic_mean_seconds(ih: &IhtlGraph) -> f64 {
+    let n = ih.n_vertices();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    let mut total = 0.0;
+    for i in 0..ITERS {
+        let t = Instant::now();
+        ih.spmv_atomic_hubs::<Add>(&x, &mut y);
+        if i > 0 {
+            total += t.elapsed().as_secs_f64();
+        }
+    }
+    total / (ITERS - 1) as f64
+}
+
+fn run_dataset(key: &str, g: &Graph) -> String {
+    let base = IhtlConfig::default();
+    let mut out = format!("### {key}\n\n");
+
+    // 1 + 2 + 3: structural variants.
+    let mut rows = Vec::new();
+    {
+        let ih = IhtlGraph::build(g, &base);
+        rows.push(vec![
+            "buffered FB (paper)".to_string(),
+            ih.n_blocks().to_string(),
+            table::pct(ih.stats().fb_edge_fraction()),
+            table::ms(spmv_mean_seconds(&ih)),
+            format!("{:.2}", ih.stats().preprocessing_seconds),
+        ]);
+        rows.push(vec![
+            "atomic FB updates".to_string(),
+            ih.n_blocks().to_string(),
+            table::pct(ih.stats().fb_edge_fraction()),
+            table::ms(spmv_atomic_mean_seconds(&ih)),
+            "—".to_string(),
+        ]);
+    }
+    {
+        let cfg = IhtlConfig { separate_fringe: false, ..base.clone() };
+        let ih = IhtlGraph::build(g, &cfg);
+        rows.push(vec![
+            "no fringe separation".to_string(),
+            ih.n_blocks().to_string(),
+            table::pct(ih.stats().fb_edge_fraction()),
+            table::ms(spmv_mean_seconds(&ih)),
+            format!("{:.2}", ih.stats().preprocessing_seconds),
+        ]);
+    }
+    {
+        let cfg = IhtlConfig {
+            block_count: BlockCountMode::SinglePass { max_blocks: 16 },
+            ..base.clone()
+        };
+        let ih = IhtlGraph::build(g, &cfg);
+        rows.push(vec![
+            "single-pass blocks (§6)".to_string(),
+            ih.n_blocks().to_string(),
+            table::pct(ih.stats().fb_edge_fraction()),
+            table::ms(spmv_mean_seconds(&ih)),
+            format!("{:.2}", ih.stats().preprocessing_seconds),
+        ]);
+    }
+    out.push_str(&table::render(
+        &["variant", "#FB", "FB edges", "SpMV ms", "preproc s"],
+        &rows,
+    ));
+
+    // 4: acceptance-threshold sweep.
+    let mut rows = Vec::new();
+    for ratio in [0.0, 0.25, 0.5, 0.75, 1.01] {
+        let cfg = IhtlConfig {
+            acceptance_ratio: ratio,
+            max_blocks: Some(32),
+            ..base.clone()
+        };
+        let ih = IhtlGraph::build(g, &cfg);
+        rows.push(vec![
+            format!("{ratio:.2}"),
+            ih.n_blocks().to_string(),
+            table::pct(ih.stats().fb_edge_fraction()),
+            table::ms(spmv_mean_seconds(&ih)),
+        ]);
+    }
+    out.push_str("\nAcceptance-threshold sweep (paper rule: 0.50, max 32 blocks):\n\n");
+    out.push_str(&table::render(&["threshold", "#FB", "FB edges", "SpMV ms"], &rows));
+
+    // 5: Rabbit-Order composition.
+    let mut rows = Vec::new();
+    {
+        let mut plain_pull = build_engine(EngineKind::PullGraphGrind, g, &base);
+        let pr = pagerank(plain_pull.as_mut(), ITERS);
+        rows.push(vec!["pull".into(), table::ms(pr.mean_iter_seconds())]);
+        let mut ihtl = build_ihtl_engine(g, &base);
+        let pr = pagerank(&mut ihtl, ITERS);
+        rows.push(vec!["iHTL".into(), table::ms(pr.mean_iter_seconds())]);
+        let ro = rabbit::rabbit_order(g, 16);
+        let relabeled = g.relabel(&ro.perm);
+        let mut ro_pull = build_engine(EngineKind::PullGraphGrind, &relabeled, &base);
+        let pr = pagerank(ro_pull.as_mut(), ITERS);
+        rows.push(vec!["RO → pull".into(), table::ms(pr.mean_iter_seconds())]);
+        let mut ro_ihtl = build_ihtl_engine(&relabeled, &base);
+        let pr = pagerank(&mut ro_ihtl, ITERS);
+        rows.push(vec!["RO → iHTL (§6)".into(), table::ms(pr.mean_iter_seconds())]);
+    }
+    out.push_str(
+        "\nRabbit-Order composition (§6: reorder first so the sparse block\ninherits community locality, then build iHTL on top):\n\n",
+    );
+    out.push_str(&table::render(&["pipeline", "PageRank ms/iter"], &rows));
+    out.push('\n');
+    out
+}
+
+fn main() {
+    let keys = ["twtr_mpi", "uu"];
+    std::env::set_var("IHTL_ONLY", keys.join(","));
+    let suite = datasets::load_suite();
+    let mut out = String::from("## Ablations — design-choice sweeps\n\n");
+    for d in &suite {
+        out.push_str(&run_dataset(d.spec.key, &d.graph));
+    }
+    std::fs::create_dir_all("results").ok();
+    std::fs::write("results/ablations.md", &out).ok();
+    println!("{out}");
+}

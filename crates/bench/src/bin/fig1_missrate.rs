@@ -1,0 +1,5 @@
+//! Regenerates Figure 1 (LLC miss rate conditional on in-degree).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::fig1::run(&suite));
+}

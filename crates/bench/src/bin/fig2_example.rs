@@ -1,0 +1,4 @@
+//! Regenerates Figure 2 (the worked example: pull vs iHTL, cache of 2).
+fn main() {
+    println!("{}", ihtl_bench::experiments::fig2::run());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 7 (PageRank per-iteration time across traversals)
+//! and Table 2 (preprocessing cost in SpMV iterations).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::fig7::run(&suite));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 8 (iHTL vs relabeling algorithms).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::fig8::run(&suite));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 9 (asymmetricity degree distribution).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::fig9::run(&suite));
+}

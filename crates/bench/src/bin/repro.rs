@@ -1,0 +1,31 @@
+//! Runs the complete evaluation — every table and figure — and writes the
+//! reports to `results/`. `EXPERIMENTS.md` embeds these outputs.
+use std::fs;
+use std::time::Instant;
+
+fn main() {
+    let t0 = Instant::now();
+    fs::create_dir_all("results").expect("cannot create results/");
+    let suite = ihtl_bench::load_suite();
+
+    let write = |name: &str, content: &str| {
+        let path = format!("results/{name}.md");
+        fs::write(&path, content).expect("write failed");
+        println!("=== wrote {path} ({:.0}s elapsed) ===", t0.elapsed().as_secs_f64());
+    };
+
+    write("table1_datasets", &ihtl_bench::experiments::table1::run(&suite));
+    write("fig2_example", &ihtl_bench::experiments::fig2::run());
+    write("fig9_asymmetricity", &ihtl_bench::experiments::fig9::run(&suite));
+    write("table4_memory", &ihtl_bench::experiments::table4::run(&suite));
+    write("table5_breakdown", &ihtl_bench::experiments::table5::run(&suite));
+    let m = ihtl_bench::experiments::fig7::measure(&suite, &ihtl_core::IhtlConfig::default());
+    write("fig7_pagerank", &ihtl_bench::experiments::fig7::render_fig7(&m));
+    write("table2_preproc", &ihtl_bench::experiments::fig7::render_table2(&m));
+    write("table6_buffer", &ihtl_bench::experiments::table6::run(&suite));
+    write("table3_cache", &ihtl_bench::experiments::table3::run(&suite));
+    write("fig1_missrate", &ihtl_bench::experiments::fig1::run(&suite));
+    write("fig8_reorder", &ihtl_bench::experiments::fig8::run(&suite));
+
+    println!("total: {:.0}s", t0.elapsed().as_secs_f64());
+}

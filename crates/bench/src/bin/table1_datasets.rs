@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (dataset statistics).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::table1::run(&suite));
+}

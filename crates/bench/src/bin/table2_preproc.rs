@@ -1,0 +1,6 @@
+//! Regenerates Table 2 (iHTL preprocessing in per-framework iterations).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    let m = ihtl_bench::experiments::fig7::measure(&suite, &ihtl_core::IhtlConfig::default());
+    println!("{}", ihtl_bench::experiments::fig7::render_table2(&m));
+}

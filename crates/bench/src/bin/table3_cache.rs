@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (memory accesses and cache misses, simulated).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::table3::run(&suite));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4 (topology bytes: CSC vs iHTL).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::table4::run(&suite));
+}

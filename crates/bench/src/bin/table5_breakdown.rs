@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (iHTL graph statistics and execution breakdown).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::table5::run(&suite));
+}

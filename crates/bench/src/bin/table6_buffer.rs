@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (buffer-size sensitivity).
+fn main() {
+    let suite = ihtl_bench::load_suite();
+    println!("{}", ihtl_bench::experiments::table6::run(&suite));
+}

@@ -1,0 +1,53 @@
+//! Dataset loading for the harness: build each suite graph once, keep it
+//! in memory for every experiment in the process.
+
+use std::time::Instant;
+
+use ihtl_gen::{suite, DatasetSpec};
+use ihtl_graph::Graph;
+
+/// A built dataset.
+pub struct Loaded {
+    pub spec: DatasetSpec,
+    pub graph: Graph,
+    /// Seconds it took to generate + build the graph (not part of any
+    /// paper metric; printed for orientation).
+    pub build_seconds: f64,
+}
+
+/// Builds the full 10-dataset suite (DESIGN.md §3). Set
+/// `IHTL_SUITE=small` to substitute the 3-dataset miniature suite (used to
+/// smoke-test the harness quickly), and `IHTL_ONLY=key1,key2` to restrict
+/// to specific datasets.
+pub fn load_suite() -> Vec<Loaded> {
+    let specs = match std::env::var("IHTL_SUITE").as_deref() {
+        Ok("small") => ihtl_gen::suite_small(),
+        _ => suite(),
+    };
+    let only = std::env::var("IHTL_ONLY").ok();
+    specs
+        .into_iter()
+        .filter(|spec| only.as_deref().map_or(true, |keys| keys.split(',').any(|k| k == spec.key)))
+        .map(|spec| {
+            let t = Instant::now();
+            let graph = spec.build();
+            let build_seconds = t.elapsed().as_secs_f64();
+            eprintln!(
+                "[datasets] {:>9}: |V|={:>8} |E|={:>9} ({:.1}s)",
+                spec.key,
+                graph.n_vertices(),
+                graph.n_edges(),
+                build_seconds
+            );
+            Loaded { spec, graph, build_seconds }
+        })
+        .collect()
+}
+
+/// Builds one dataset of the full suite by key (for focused binaries).
+pub fn load_one(key: &str) -> Option<Loaded> {
+    let spec = suite().into_iter().find(|s| s.key == key)?;
+    let t = Instant::now();
+    let graph = spec.build();
+    Some(Loaded { spec, graph, build_seconds: t.elapsed().as_secs_f64() })
+}

@@ -1,0 +1,158 @@
+//! Figure 8 — pull traversal of SlashBurn/GOrder/Rabbit-Order relabeled
+//! graphs vs iHTL: per-iteration PageRank time (left) and preprocessing
+//! time (right). Mirrors the paper's availability gaps: GOrder is skipped
+//! on the four largest web graphs (its |E| < 2³¹ limit in the paper; its
+//! quadratic-in-hub-degree update cost here) and Rabbit-Order on ClueWeb09
+//! (out-of-memory in the paper).
+
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_core::IhtlConfig;
+use ihtl_graph::Graph;
+use ihtl_reorder::{gorder, rabbit, slashburn, Reordering};
+
+use crate::datasets::Loaded;
+use crate::experiments::PR_ITERS;
+use crate::table;
+
+/// SlashBurn hub fraction per round (the original paper's suggestion).
+const SB_K_RATIO: f64 = 0.005;
+/// GOrder window width (the original paper's default).
+const GO_WINDOW: usize = 5;
+/// Rabbit-Order aggregation levels.
+const RO_LEVELS: usize = 16;
+
+/// Datasets GOrder is skipped on, mirroring the paper's Figure 8 gaps.
+const GO_SKIP: [&str; 4] = ["uk_dls", "uu", "uk_dmn", "clwb9"];
+/// Safety valve on top of the key list: GOrder's sibling updates cost
+/// `Σ deg⁺²`; beyond this budget a run would take tens of minutes (the
+/// paper's own GOrder run on Twitter MPI took 5 697 s — GOrder being
+/// painfully slow on hub-heavy graphs is itself one of the paper's
+/// findings, which the estimate reproduces).
+const GO_MAX_COST: u64 = 6_000_000_000;
+/// Datasets Rabbit-Order is skipped on (paper: OOM on ClueWeb09).
+const RO_SKIP: [&str; 1] = ["clwb9"];
+
+struct Cell {
+    iter_seconds: f64,
+    preproc_seconds: f64,
+}
+
+/// Relabels `g` and times a GraphGrind-style pull PageRank over the result.
+fn pull_after(g: &Graph, r: &Reordering, cfg: &IhtlConfig) -> f64 {
+    r.validate();
+    let relabeled = g.relabel(&r.perm);
+    let mut engine = build_engine(EngineKind::PullGraphGrind, &relabeled, cfg);
+    pagerank(engine.as_mut(), PR_ITERS).mean_iter_seconds()
+}
+
+/// Runs the Figure 8 comparison.
+pub fn run(suite: &[Loaded]) -> String {
+    let cfg = IhtlConfig::default();
+    let mut rows = Vec::new();
+    let mut iter_ratios: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    let mut pre_ratios: Vec<Vec<f64>> = vec![Vec::new(); 3];
+    for d in suite {
+        let g = &d.graph;
+        let key = d.spec.key;
+
+        let sb = {
+            let r = slashburn::slashburn(g, SB_K_RATIO);
+            let iter = pull_after(g, &r, &cfg);
+            Some(Cell { iter_seconds: iter, preproc_seconds: r.seconds })
+        };
+        let go = if GO_SKIP.contains(&key)
+            || gorder::gorder_cost_estimate(g) > GO_MAX_COST
+        {
+            None
+        } else {
+            let r = gorder::gorder(g, GO_WINDOW);
+            let iter = pull_after(g, &r, &cfg);
+            Some(Cell { iter_seconds: iter, preproc_seconds: r.seconds })
+        };
+        let ro = if RO_SKIP.contains(&key) {
+            None
+        } else {
+            let r = rabbit::rabbit_order(g, RO_LEVELS);
+            let iter = pull_after(g, &r, &cfg);
+            Some(Cell { iter_seconds: iter, preproc_seconds: r.seconds })
+        };
+        let (ihtl_iter, ihtl_pre) = {
+            let t = std::time::Instant::now();
+            let mut engine = build_engine(EngineKind::Ihtl, g, &cfg);
+            let pre = t.elapsed().as_secs_f64();
+            (pagerank(engine.as_mut(), PR_ITERS).mean_iter_seconds(), pre)
+        };
+
+        for (i, cell) in [&sb, &go, &ro].into_iter().enumerate() {
+            if let Some(c) = cell {
+                iter_ratios[i].push(c.iter_seconds / ihtl_iter);
+                pre_ratios[i].push(c.preproc_seconds / ihtl_pre);
+            }
+        }
+        let fmt_iter = |c: &Option<Cell>| {
+            c.as_ref().map_or("—".to_string(), |c| table::ms(c.iter_seconds))
+        };
+        let fmt_pre = |c: &Option<Cell>| {
+            c.as_ref()
+                .map_or("—".to_string(), |c| format!("{:.2}", c.preproc_seconds))
+        };
+        eprintln!(
+            "[fig8] {:>9}: SB {} GO {} RO {} iHTL {} | pre SB {} GO {} RO {} iHTL {:.2}",
+            key,
+            fmt_iter(&sb),
+            fmt_iter(&go),
+            fmt_iter(&ro),
+            table::ms(ihtl_iter),
+            fmt_pre(&sb),
+            fmt_pre(&go),
+            fmt_pre(&ro),
+            ihtl_pre
+        );
+        rows.push(vec![
+            key.to_string(),
+            fmt_iter(&sb),
+            fmt_iter(&go),
+            fmt_iter(&ro),
+            table::ms(ihtl_iter),
+            fmt_pre(&sb),
+            fmt_pre(&go),
+            fmt_pre(&ro),
+            format!("{ihtl_pre:.2}"),
+        ]);
+    }
+    let mut summary = vec!["avg speedup / slowdown".to_string()];
+    for r in &iter_ratios {
+        summary.push(if r.is_empty() { "—".into() } else { table::speedup(table::geomean(r)) });
+    }
+    summary.push("1×".to_string());
+    for r in &pre_ratios {
+        summary.push(if r.is_empty() {
+            "—".into()
+        } else {
+            format!(">{:.0}×", table::geomean(r))
+        });
+    }
+    summary.push("1×".to_string());
+    rows.push(summary);
+
+    let mut out = String::from(
+        "## Figure 8 — pull after relabeling vs iHTL: iteration time (ms) | preprocessing (s)\n\n",
+    );
+    out.push_str(&table::render(
+        &[
+            "dataset",
+            "SB pull",
+            "GO pull",
+            "RO pull",
+            "iHTL",
+            "SB pre (s)",
+            "GO pre (s)",
+            "RO pre (s)",
+            "iHTL pre (s)",
+        ],
+        &rows,
+    ));
+    out.push_str("\n(—: skipped, mirroring the paper — GOrder's |E| limit; Rabbit-Order OOM on ClueWeb09.)\n");
+    out
+}

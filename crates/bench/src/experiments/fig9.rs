@@ -1,0 +1,49 @@
+//! Figure 9 — asymmetricity vs degree, social vs web (the paper profiles
+//! Twitter MPI and UK-Union): social in-hubs are near-symmetric (their
+//! in-neighbours link back), web in-hubs are not — which is why horizontal
+//! (out-hub) blocking cannot work on web graphs while iHTL's vertical
+//! (in-hub) blocking can (§5.4).
+
+use ihtl_graph::stats::{asymmetricity, degree_profile};
+
+use crate::datasets::Loaded;
+use crate::table;
+
+/// Datasets profiled (matching the paper's figure).
+pub const FIG9_DATASETS: [&str; 2] = ["twtr_mpi", "uu"];
+
+fn run_one(d: &Loaded) -> String {
+    let g = &d.graph;
+    let prof = degree_profile(g, |v| asymmetricity(g, v));
+    let rows: Vec<Vec<String>> = prof
+        .iter()
+        .map(|b| {
+            vec![
+                format!("{}..{}", b.lo, b.hi),
+                b.n_vertices.to_string(),
+                format!("{:.3}", b.mean),
+            ]
+        })
+        .collect();
+    let mut out = format!("### {} ({})\n\n", d.spec.key, d.spec.paper_name);
+    out.push_str(&table::render(
+        &["in-degree", "vertices", "mean asymmetricity"],
+        &rows,
+    ));
+    out
+}
+
+/// Full Figure 9 report.
+pub fn run(suite: &[Loaded]) -> String {
+    let mut out = String::from(
+        "## Figure 9 — asymmetricity degree distribution (0 = every in-neighbour\n\
+         links back; 1 = none does)\n\n",
+    );
+    for key in FIG9_DATASETS {
+        if let Some(d) = suite.iter().find(|d| d.spec.key == key) {
+            out.push_str(&run_one(d));
+            out.push('\n');
+        }
+    }
+    out
+}

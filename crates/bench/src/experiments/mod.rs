@@ -1,0 +1,17 @@
+//! One submodule per paper table/figure. Each entry point takes the loaded
+//! suite and returns a report string (markdown tables + commentary lines).
+
+pub mod fig1;
+pub mod fig2;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+/// Number of timed PageRank iterations per measurement (mean over all but
+/// the first, which warms caches and the page tables).
+pub const PR_ITERS: usize = 6;

@@ -1,0 +1,33 @@
+//! Table 4 — topology size: plain CSC vs the iHTL graph, and the overhead
+//! percentage (the paper reports 2–57 %, large only where multiple flipped
+//! blocks replicate the index array).
+
+use ihtl_core::{IhtlConfig, IhtlGraph};
+
+use crate::datasets::Loaded;
+use crate::table;
+
+/// Runs the byte accounting over the suite.
+pub fn run(suite: &[Loaded]) -> String {
+    let cfg = IhtlConfig::default();
+    let mut rows = Vec::new();
+    for d in suite {
+        let csc_bytes = d.graph.csc().topology_bytes();
+        let ih = IhtlGraph::build(&d.graph, &cfg);
+        let ihtl_bytes = ih.topology_bytes();
+        let overhead = (ihtl_bytes as f64 / csc_bytes as f64 - 1.0) * 100.0;
+        rows.push(vec![
+            d.spec.key.to_string(),
+            format!("{:.1}", csc_bytes as f64 / (1 << 20) as f64),
+            format!("{:.1}", ihtl_bytes as f64 / (1 << 20) as f64),
+            format!("{overhead:.0}%"),
+            ih.n_blocks().to_string(),
+        ]);
+    }
+    let mut out = String::from("## Table 4 — topology size (MiB): CSC vs iHTL graph\n\n");
+    out.push_str(&table::render(
+        &["dataset", "CSC (MiB)", "iHTL (MiB)", "overhead", "#FB"],
+        &rows,
+    ));
+    out
+}

@@ -1,0 +1,55 @@
+//! Table 6 — buffer-size sensitivity: PageRank iteration time with the
+//! hub-buffer budget set to the scaled equivalents of L1, L2/2, L2 and
+//! 2·L2 (the paper concludes L2 is the right home for hub data).
+
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_core::IhtlConfig;
+
+use crate::datasets::Loaded;
+use crate::experiments::PR_ITERS;
+use crate::table;
+
+/// Budgets swept, as (label, bytes): the scaled hierarchy has L1 = 4 KiB
+/// and L2 = 32 KiB (see `ihtl-cachesim`).
+pub const BUDGETS: [(&str, usize); 4] = [
+    ("L1", 4 << 10),
+    ("L2/2", 16 << 10),
+    ("L2", 32 << 10),
+    ("L2*2", 64 << 10),
+];
+
+/// Datasets swept (the seven rows of the paper's Table 6).
+pub const TABLE6_DATASETS: [&str; 7] =
+    ["twtr_mpi", "frndstr", "wb_cc", "uk_dls", "uu", "uk_dmn", "clwb9"];
+
+/// Runs the sweep.
+pub fn run(suite: &[Loaded]) -> String {
+    let mut rows = Vec::new();
+    for key in TABLE6_DATASETS {
+        let Some(d) = suite.iter().find(|d| d.spec.key == key) else {
+            continue;
+        };
+        let mut row = vec![key.to_string()];
+        for (label, bytes) in BUDGETS {
+            let cfg = IhtlConfig { cache_budget_bytes: bytes, ..IhtlConfig::default() };
+            let mut engine = build_engine(EngineKind::Ihtl, &d.graph, &cfg);
+            let run = pagerank(engine.as_mut(), PR_ITERS);
+            eprintln!(
+                "[table6] {:>9} {:>5}: {}",
+                key,
+                label,
+                table::ms(run.mean_iter_seconds())
+            );
+            row.push(table::ms(run.mean_iter_seconds()));
+        }
+        rows.push(row);
+    }
+    let mut headers: Vec<&str> = vec!["dataset"];
+    headers.extend(BUDGETS.iter().map(|(l, _)| *l));
+    let mut out = String::from(
+        "## Table 6 — PageRank iteration time (ms) vs hub-buffer budget\n\n",
+    );
+    out.push_str(&table::render(&headers, &rows));
+    out
+}

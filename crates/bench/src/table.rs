@@ -1,0 +1,123 @@
+//! Minimal aligned-table renderer for harness reports.
+
+/// Renders a right-aligned table (first column left-aligned) with a header
+/// row and a separator, markdown-flavoured so reports paste into
+/// EXPERIMENTS.md directly.
+pub fn render(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let n_cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), n_cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::from("|");
+        for (i, (c, w)) in cells.iter().zip(widths).enumerate() {
+            if i == 0 {
+                line.push_str(&format!(" {c:<w$} |"));
+            } else {
+                line.push_str(&format!(" {c:>w$} |"));
+            }
+        }
+        line.push('\n');
+        line
+    };
+    let header_cells: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('|');
+    for (i, w) in widths.iter().enumerate() {
+        if i == 0 {
+            out.push_str(&format!("{:-<1$}|", "", w + 2));
+        } else {
+            out.push_str(&format!("{:-<1$}:|", "", w + 1));
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Formats seconds as milliseconds with sensible precision.
+pub fn ms(seconds: f64) -> String {
+    let v = seconds * 1e3;
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats a ratio as `N.N×`.
+pub fn speedup(r: f64) -> String {
+    format!("{r:.1}×")
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(f: f64) -> String {
+    format!("{:.1}%", f * 100.0)
+}
+
+/// Formats a count in millions.
+pub fn millions(v: u64) -> String {
+    format!("{:.1}", v as f64 / 1e6)
+}
+
+/// Geometric mean of positive ratios; 0 on empty input.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let s = render(
+            &["name", "x"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "12345".into()],
+            ],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[2].starts_with("| a"));
+        // All lines same width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(ms(0.123), "123");
+        assert_eq!(ms(0.0123), "12.3");
+        assert_eq!(ms(0.000123), "0.123");
+        assert_eq!(speedup(2.349), "2.3×");
+        assert_eq!(pct(0.457), "45.7%");
+        assert_eq!(millions(2_500_000), "2.5");
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        render(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Three-level cache hierarchy with counters.
+
+use crate::lru::LruCache;
+
+/// Which level serviced an access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Level {
+    L1,
+    L2,
+    L3,
+    Memory,
+}
+
+/// Geometry of the simulated hierarchy.
+#[derive(Clone, Copy, Debug)]
+pub struct CacheConfig {
+    pub line_bytes: u64,
+    pub l1_bytes: u64,
+    pub l1_ways: usize,
+    pub l2_bytes: u64,
+    pub l2_ways: usize,
+    pub l3_bytes: u64,
+    pub l3_ways: usize,
+}
+
+impl Default for CacheConfig {
+    /// The paper's Xeon Gold 6130 (32 KB L1 / 1 MB L2 / 22 MB L3) scaled
+    /// ~1:32, consistent with the dataset scale-down: 4 KiB L1, 32 KiB L2
+    /// (equal to the default iHTL buffer budget, as in the paper where
+    /// buffers are sized to L2), 256 KiB L3.
+    fn default() -> Self {
+        Self {
+            line_bytes: 64,
+            l1_bytes: 4 << 10,
+            l1_ways: 8,
+            l2_bytes: 32 << 10,
+            l2_ways: 8,
+            l3_bytes: 256 << 10,
+            l3_ways: 16,
+        }
+    }
+}
+
+/// Per-level access statistics plus instruction-level load/store totals —
+/// the columns of the paper's Table 3.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Data loads + stores issued (Table 3 "Memory Accesses").
+    pub accesses: u64,
+    pub l1_misses: u64,
+    pub l2_misses: u64,
+    pub l3_misses: u64,
+}
+
+impl Counters {
+    /// Difference since `earlier` (all fields monotone).
+    pub fn since(&self, earlier: &Counters) -> Counters {
+        Counters {
+            accesses: self.accesses - earlier.accesses,
+            l1_misses: self.l1_misses - earlier.l1_misses,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            l3_misses: self.l3_misses - earlier.l3_misses,
+        }
+    }
+}
+
+/// An L1/L2/L3 hierarchy. Misses fill every level (inclusive fill — a
+/// simplification of the paper machine's NINE L3, adequate for relative
+/// comparisons).
+pub struct Hierarchy {
+    l1: LruCache,
+    l2: LruCache,
+    l3: LruCache,
+    counters: Counters,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy from a geometry description.
+    pub fn new(cfg: &CacheConfig) -> Self {
+        Self {
+            l1: LruCache::new(cfg.l1_bytes, cfg.line_bytes, cfg.l1_ways),
+            l2: LruCache::new(cfg.l2_bytes, cfg.line_bytes, cfg.l2_ways),
+            l3: LruCache::new(cfg.l3_bytes, cfg.line_bytes, cfg.l3_ways),
+            counters: Counters::default(),
+        }
+    }
+
+    /// One data access (load or store — the hierarchy treats them alike,
+    /// write-allocate). Returns the level that serviced it.
+    #[inline]
+    pub fn access(&mut self, addr: u64) -> Level {
+        self.counters.accesses += 1;
+        if self.l1.access(addr) {
+            return Level::L1;
+        }
+        self.counters.l1_misses += 1;
+        if self.l2.access(addr) {
+            return Level::L2;
+        }
+        self.counters.l2_misses += 1;
+        if self.l3.access(addr) {
+            return Level::L3;
+        }
+        self.counters.l3_misses += 1;
+        Level::Memory
+    }
+
+    /// Current counter snapshot.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Resets counters (cache contents stay — useful for warm-up phases).
+    pub fn reset_counters(&mut self) {
+        self.counters = Counters::default();
+    }
+
+    /// Flushes cache contents and counters.
+    pub fn clear(&mut self) {
+        self.l1.clear();
+        self.l2.clear();
+        self.l3.clear();
+        self.counters = Counters::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Hierarchy {
+        Hierarchy::new(&CacheConfig {
+            line_bytes: 64,
+            l1_bytes: 128,
+            l1_ways: 2,
+            l2_bytes: 256,
+            l2_ways: 2,
+            l3_bytes: 512,
+            l3_ways: 2,
+            ..CacheConfig::default()
+        })
+    }
+
+    #[test]
+    fn cold_miss_reaches_memory() {
+        let mut h = tiny();
+        assert_eq!(h.access(0), Level::Memory);
+        assert_eq!(h.access(0), Level::L1);
+        let c = h.counters();
+        assert_eq!(c.accesses, 2);
+        assert_eq!(c.l1_misses, 1);
+        assert_eq!(c.l2_misses, 1);
+        assert_eq!(c.l3_misses, 1);
+    }
+
+    #[test]
+    fn l1_eviction_falls_back_to_l2() {
+        let mut h = tiny();
+        // L1 holds 2 lines; touch 3 distinct lines mapping over 1 set
+        // (128 B, 2 ways, 64 B lines → 1 set).
+        h.access(0);
+        h.access(64);
+        h.access(128); // evicts line 0 from L1 (still in L2)
+        assert_eq!(h.access(0), Level::L2);
+    }
+
+    #[test]
+    fn counters_since() {
+        let mut h = tiny();
+        h.access(0);
+        let snap = h.counters();
+        h.access(0);
+        h.access(4096);
+        let d = h.counters().since(&snap);
+        assert_eq!(d.accesses, 2);
+        assert_eq!(d.l3_misses, 1);
+    }
+
+    #[test]
+    fn default_geometry_is_consistent() {
+        let cfg = CacheConfig::default();
+        let h = Hierarchy::new(&cfg);
+        // Construction would have panicked on inconsistent geometry.
+        assert_eq!(h.counters(), Counters::default());
+        assert!(cfg.l1_bytes < cfg.l2_bytes && cfg.l2_bytes < cfg.l3_bytes);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut h = tiny();
+        h.access(0);
+        h.clear();
+        assert_eq!(h.counters(), Counters::default());
+        assert_eq!(h.access(0), Level::Memory);
+    }
+}

@@ -1,0 +1,27 @@
+//! Software cache-hierarchy simulation.
+//!
+//! The paper measures its locality claims with PAPI hardware counters
+//! (Table 3) and an LLC miss-rate profile conditioned on vertex degree
+//! (Figure 1). No hardware counters are available in this environment, so
+//! this crate replays the *exact memory-access streams* of the traversals —
+//! vertex data, per-thread buffers, and streamed topology — through a
+//! set-associative LRU hierarchy and reports the same statistics:
+//!
+//! * [`lru`] — a single set-associative LRU cache;
+//! * [`hierarchy`] — a three-level hierarchy with per-level hit/miss
+//!   counters and load/store totals;
+//! * [`replay`] — access-stream replays of pull SpMV (Algorithm 1) and
+//!   iHTL SpMV (Algorithm 3) with per-destination-degree miss attribution.
+//!
+//! The default geometry is scaled ~1:32 together with the synthetic
+//! datasets (line 64 B; L1 4 KiB; L2 32 KiB — matching the default iHTL
+//! buffer budget, as in the paper where buffers are sized to L2; L3
+//! 256 KiB).
+
+pub mod hierarchy;
+pub mod lru;
+pub mod replay;
+
+pub use hierarchy::{CacheConfig, Counters, Hierarchy, Level};
+pub use lru::LruCache;
+pub use replay::{replay_ihtl, replay_pull, DegreeMissProfile, ReplayMode, ReplayReport};

@@ -1,0 +1,375 @@
+//! Access-stream replays of the traversals.
+//!
+//! Each replay walks the traversal in program order, issuing the data
+//! accesses a single worker would issue, and routes them through the
+//! [`Hierarchy`]. Accounting per access class (instruction-level loads and
+//! stores):
+//!
+//! **Pull SpMV** (Algorithm 1): per destination — 1 offset load and 1 result
+//! store; per edge — 1 neighbour-ID load and 1 source-data load (the random
+//! one).
+//!
+//! **iHTL SpMV** (Algorithm 3): buffer reset — 1 store per hub slot; per
+//! flipped-block row with edges — 1 offset load and 1 source-data load
+//! (sequential; re-fetched per block, which is exactly the §3.3 cost of
+//! extra blocks); per flipped-block edge — 1 neighbour-ID load plus a
+//! buffer read-modify-write (1 load + 1 store, the random-but-small
+//! access); merge — 1 buffer load + 1 result store per hub; then the
+//! sparse block is replayed like pull.
+//!
+//! LLC (here: L3) misses among the *random* accesses are attributed to the
+//! destination vertex being processed and bucketed by its original
+//! in-degree — reproducing Figure 1.
+
+use ihtl_core::IhtlGraph;
+use ihtl_graph::{Graph, VertexId};
+
+use crate::hierarchy::{CacheConfig, Counters, Hierarchy, Level};
+
+/// Which accesses the replay routes through the cache hierarchy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplayMode {
+    /// Every data access is simulated: vertex data, buffers, result writes,
+    /// and the streamed topology (offsets + neighbour IDs). The Table 3
+    /// model.
+    Full,
+    /// Only the *random* stream is simulated — source reads in pull, buffer
+    /// updates in push — matching the paper's Figure 2 worked-example model
+    /// ("cache contains data of source (S) vertices in pull direction, or
+    /// destination (D) vertices in push direction").
+    RandomOnly,
+}
+
+/// Disjoint address regions (byte addresses).
+const X_BASE: u64 = 0; // input vertex data, 8 B per vertex
+const Y_BASE: u64 = 1 << 40; // output vertex data
+const OFFS_BASE: u64 = 2 << 40; // CSR/CSC offsets, 8 B
+const TOPO_BASE: u64 = 3 << 40; // neighbour IDs, 4 B
+const BUF_BASE: u64 = 4 << 40; // iHTL per-thread hub buffer
+
+/// Aggregated LLC miss rate per power-of-two in-degree bucket (Figure 1).
+#[derive(Clone, Debug, Default)]
+pub struct DegreeMissProfile {
+    /// bucket index `b` covers degrees `[2^b, 2^(b+1))`.
+    buckets: Vec<BucketAgg>,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BucketAgg {
+    n_vertices: u64,
+    random_accesses: u64,
+    llc_misses: u64,
+}
+
+/// One reported row of the profile.
+#[derive(Clone, Copy, Debug)]
+pub struct ProfileRow {
+    /// Inclusive lower degree bound of the bucket (a power of two).
+    pub degree_lo: usize,
+    /// Exclusive upper bound.
+    pub degree_hi: usize,
+    pub n_vertices: u64,
+    pub random_accesses: u64,
+    pub llc_misses: u64,
+}
+
+impl ProfileRow {
+    /// Fraction of this bucket's random accesses that missed the LLC.
+    pub fn miss_rate(&self) -> f64 {
+        if self.random_accesses == 0 {
+            0.0
+        } else {
+            self.llc_misses as f64 / self.random_accesses as f64
+        }
+    }
+}
+
+impl DegreeMissProfile {
+    fn record(&mut self, degree: usize, accesses: u64, misses: u64) {
+        if degree == 0 {
+            return;
+        }
+        let b = (usize::BITS - 1 - degree.leading_zeros()) as usize;
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, BucketAgg::default());
+        }
+        let agg = &mut self.buckets[b];
+        agg.n_vertices += 1;
+        agg.random_accesses += accesses;
+        agg.llc_misses += misses;
+    }
+
+    /// Non-empty buckets, ascending by degree.
+    pub fn rows(&self) -> Vec<ProfileRow> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.n_vertices > 0)
+            .map(|(b, a)| ProfileRow {
+                degree_lo: 1 << b,
+                degree_hi: 1 << (b + 1),
+                n_vertices: a.n_vertices,
+                random_accesses: a.random_accesses,
+                llc_misses: a.llc_misses,
+            })
+            .collect()
+    }
+
+    /// Overall miss rate across all buckets.
+    pub fn overall_miss_rate(&self) -> f64 {
+        let (acc, miss) = self.buckets.iter().fold((0u64, 0u64), |(a, m), b| {
+            (a + b.random_accesses, m + b.llc_misses)
+        });
+        if acc == 0 {
+            0.0
+        } else {
+            miss as f64 / acc as f64
+        }
+    }
+}
+
+/// Outcome of one replay.
+#[derive(Clone, Debug)]
+pub struct ReplayReport {
+    /// Hierarchy counters over the whole traversal (Table 3 columns).
+    pub counters: Counters,
+    /// Per-degree LLC miss profile of the random accesses (Figure 1).
+    pub profile: DegreeMissProfile,
+}
+
+/// Replays one pull-SpMV iteration over `g` (Algorithm 1).
+pub fn replay_pull(g: &Graph, cfg: &CacheConfig, mode: ReplayMode) -> ReplayReport {
+    let full = mode == ReplayMode::Full;
+    let mut h = Hierarchy::new(cfg);
+    let mut profile = DegreeMissProfile::default();
+    let mut topo_ptr = TOPO_BASE;
+    for (v, ins) in g.csc().iter_rows() {
+        if full {
+            h.access(OFFS_BASE + 8 * v as u64);
+        }
+        let mut misses = 0u64;
+        for &u in ins {
+            if full {
+                h.access(topo_ptr);
+                topo_ptr += 4;
+            }
+            if h.access(X_BASE + 8 * u as u64) == Level::Memory {
+                misses += 1;
+            }
+        }
+        profile.record(ins.len(), ins.len() as u64, misses);
+        if full {
+            h.access(Y_BASE + 8 * v as u64);
+        }
+    }
+    ReplayReport { counters: h.counters(), profile }
+}
+
+/// Replays one iHTL SpMV iteration (Algorithm 3) over the blocked graph.
+/// `g` is the original graph, used to attribute hub misses to original
+/// in-degrees. Random buffer accesses during flipped blocks and random
+/// source reads during the sparse block feed the degree profile.
+pub fn replay_ihtl(
+    ih: &IhtlGraph,
+    g: &Graph,
+    cfg: &CacheConfig,
+    mode: ReplayMode,
+) -> ReplayReport {
+    let full = mode == ReplayMode::Full;
+    let mut h = Hierarchy::new(cfg);
+    let mut profile = DegreeMissProfile::default();
+    let n_hubs = ih.n_hubs();
+    let new_to_old = ih.new_to_old();
+
+    // Per-hub accumulation for the degree profile.
+    let mut hub_accesses = vec![0u64; n_hubs];
+    let mut hub_misses = vec![0u64; n_hubs];
+
+    // --- Buffer reset (sequential stores). ---
+    if full {
+        for slot in 0..n_hubs as u64 {
+            h.access(BUF_BASE + 8 * slot);
+        }
+    }
+
+    // --- Flipped blocks: push with buffered random writes. ---
+    let mut topo_ptr = TOPO_BASE;
+    for blk in ih.blocks() {
+        let base = blk.hub_start as u64;
+        for (u, hubs) in blk.edges.iter_rows() {
+            if full {
+                h.access(OFFS_BASE + 8 * u as u64);
+            }
+            if hubs.is_empty() {
+                continue;
+            }
+            if full {
+                // Sequential source-data read, once per row per block.
+                h.access(X_BASE + 8 * u as u64);
+            }
+            for &local in hubs {
+                if full {
+                    h.access(topo_ptr);
+                    topo_ptr += 4;
+                }
+                let hub_global = base + local as u64;
+                let addr = BUF_BASE + 8 * hub_global;
+                // Read-modify-write of the buffer slot.
+                let lvl = h.access(addr);
+                if full {
+                    h.access(addr);
+                }
+                hub_accesses[hub_global as usize] += 1;
+                if lvl == Level::Memory {
+                    hub_misses[hub_global as usize] += 1;
+                }
+            }
+        }
+    }
+    for hub in 0..n_hubs {
+        let old = new_to_old[hub] as VertexId;
+        profile.record(g.in_degree(old), hub_accesses[hub], hub_misses[hub]);
+    }
+
+    // --- Merge: one buffer load + one result store per hub. ---
+    if full {
+        for hub in 0..n_hubs as u64 {
+            h.access(BUF_BASE + 8 * hub);
+            h.access(Y_BASE + 8 * hub);
+        }
+    }
+
+    // --- Sparse block: pull over non-hub destinations. ---
+    let sparse = ih.sparse();
+    for (row, ins) in sparse.iter_rows() {
+        let dst_new = n_hubs as u64 + row as u64;
+        if full {
+            h.access(OFFS_BASE + 8 * dst_new);
+        }
+        let mut misses = 0u64;
+        for &u in ins {
+            if full {
+                h.access(topo_ptr);
+                topo_ptr += 4;
+            }
+            if h.access(X_BASE + 8 * u as u64) == Level::Memory {
+                misses += 1;
+            }
+        }
+        let old = new_to_old[dst_new as usize];
+        profile.record(g.in_degree(old), ins.len() as u64, misses);
+        if full {
+            h.access(Y_BASE + 8 * dst_new);
+        }
+    }
+
+    ReplayReport { counters: h.counters(), profile }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_core::IhtlConfig;
+    use ihtl_graph::graph::paper_example_graph;
+
+    /// "Effective cache size: 2" — one 8-byte vertex per line, 2 lines,
+    /// fully associative at every level (so L3 behaves as the 2-entry
+    /// cache of the worked example).
+    fn figure2_cfg() -> CacheConfig {
+        CacheConfig {
+            line_bytes: 8,
+            l1_bytes: 16,
+            l1_ways: 0,
+            l2_bytes: 16,
+            l2_ways: 0,
+            l3_bytes: 16,
+            l3_ways: 0,
+        }
+    }
+
+    #[test]
+    fn figure2_pull_hubs_have_no_reuse() {
+        // §2.3: pulling hub 3 (old ID 2) reads 5 sources, all misses; hub 7
+        // (old ID 6) reads 4 sources, all misses.
+        let g = paper_example_graph();
+        let rep = replay_pull(&g, &figure2_cfg(), ReplayMode::RandomOnly);
+        let rows = rep.profile.rows();
+        // The two hubs live in the degree-4..8 bucket: 9 accesses, 9 misses.
+        let hub_row = rows.last().unwrap();
+        assert_eq!(hub_row.degree_lo, 4);
+        assert_eq!(hub_row.n_vertices, 2);
+        assert_eq!(hub_row.random_accesses, 9);
+        assert_eq!(hub_row.llc_misses, 9);
+        assert_eq!(hub_row.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn figure2_ihtl_achieves_reuse_on_hubs() {
+        // §2.4: iHTL's push traversal of the flipped block achieves reuse —
+        // the 2-hub buffer stays resident, so of the 9 buffered updates at
+        // most 2 (compulsory) miss.
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let rep = replay_ihtl(&ih, &g, &figure2_cfg(), ReplayMode::RandomOnly);
+        let rows = rep.profile.rows();
+        let hub_row = rows.iter().find(|r| r.degree_lo == 4).unwrap();
+        assert_eq!(hub_row.random_accesses, 9);
+        assert!(
+            hub_row.llc_misses <= 2,
+            "hub misses {} — buffer not captured",
+            hub_row.llc_misses
+        );
+    }
+
+    #[test]
+    fn ihtl_has_more_accesses_than_pull() {
+        // Table 3: "iHTL incurs additional memory accesses".
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let pull = replay_pull(&g, &CacheConfig::default(), ReplayMode::Full);
+        let ihtl = replay_ihtl(&ih, &g, &CacheConfig::default(), ReplayMode::Full);
+        assert!(ihtl.counters.accesses > pull.counters.accesses);
+    }
+
+    #[test]
+    fn profile_records_every_destination_once() {
+        let g = paper_example_graph();
+        let rep = replay_pull(&g, &CacheConfig::default(), ReplayMode::Full);
+        let total: u64 = rep.profile.rows().iter().map(|r| r.n_vertices).sum();
+        let with_in = (0..8u32).filter(|&v| g.in_degree(v) > 0).count() as u64;
+        assert_eq!(total, with_in);
+        // Random accesses = |E|.
+        let acc: u64 = rep.profile.rows().iter().map(|r| r.random_accesses).sum();
+        assert_eq!(acc, g.n_edges() as u64);
+    }
+
+    #[test]
+    fn ihtl_profile_covers_all_edges_too() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let rep = replay_ihtl(&ih, &g, &CacheConfig::default(), ReplayMode::Full);
+        let acc: u64 = rep.profile.rows().iter().map(|r| r.random_accesses).sum();
+        assert_eq!(acc, g.n_edges() as u64);
+    }
+
+    #[test]
+    fn big_cache_eliminates_capacity_misses() {
+        let g = paper_example_graph();
+        let big = CacheConfig {
+            line_bytes: 8,
+            l1_bytes: 8 << 10,
+            l1_ways: 0,
+            l2_bytes: 16 << 10,
+            l2_ways: 0,
+            l3_bytes: 32 << 10,
+            l3_ways: 0,
+        };
+        let rep = replay_pull(&g, &big, ReplayMode::RandomOnly);
+        // 8 vertices, one line each: at most 8 compulsory misses.
+        assert!(rep.counters.l3_misses <= 8 + 8 /* y writes */);
+        assert!(rep.profile.overall_miss_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,459 @@
+//! iHTL graph construction (paper §3.2–3.3).
+//!
+//! Three steps, exactly as the paper lays them out:
+//!
+//! 1. **Relabeling array** — hubs first (selection order), then VWEH, then
+//!    FV, the latter two preserving original relative order ("iHTL tries to
+//!    have a minimal change on the initial neighbourhood of the vertices").
+//! 2. **Flipped blocks** — one pass over the out-edges of `hubs ∪ VWEH`,
+//!    keeping the edges whose destination is an in-hub.
+//! 3. **Sparse block** — one pass over the in-edges of `VWEH ∪ FV`,
+//!    relabeling sources.
+//!
+//! The number of blocks follows the structural rule of §3.3: block *i* is
+//! accepted while `|FV_i| > ratio · |FV_1|`, where `FV_i` is the set of
+//! distinct sources with an edge into block *i*'s hubs.
+
+use std::time::Instant;
+
+use ihtl_graph::builder::csr_from_pairs;
+use ihtl_graph::partition::edge_balanced_ranges;
+use ihtl_graph::stats::vertices_by_in_degree_desc;
+use ihtl_graph::{Csr, Graph, VertexId};
+
+use crate::config::{BlockCountMode, IhtlConfig};
+use crate::graph::{FlippedBlock, IhtlGraph};
+use crate::stats::BuildStats;
+
+impl IhtlGraph {
+    /// Builds the iHTL graph from `g` under `cfg`. This is the *entire*
+    /// preprocessing the paper prices in Table 2 (7–17 SpMV iterations'
+    /// worth of time, orders of magnitude cheaper than reordering
+    /// algorithms).
+    pub fn build(g: &Graph, cfg: &IhtlConfig) -> IhtlGraph {
+        let t0 = Instant::now();
+        let n = g.n_vertices();
+        let h = cfg.hubs_per_block();
+
+        // --- Hub candidates: vertices by descending in-degree (§3.2). ---
+        let candidates = vertices_by_in_degree_desc(g);
+
+        // --- Block acceptance (§3.3 exact rule or §6 single-pass). ---
+        let (n_blocks, block_feeders) = match cfg.block_count {
+            BlockCountMode::Exact => accept_blocks_exact(g, cfg, &candidates, h),
+            BlockCountMode::SinglePass { max_blocks } => {
+                accept_blocks_single_pass(g, cfg, &candidates, h, max_blocks)
+            }
+        };
+        // Degenerate graphs (no edges at all): no hubs, everything fringe.
+        let n_hubs = (n_blocks * h).min(n);
+
+        // --- Classification: hubs, VWEH, FV (§3.1). ---
+        let mut is_hub = vec![false; n];
+        for &v in &candidates[..n_hubs] {
+            is_hub[v as usize] = true;
+        }
+        // VWEH: sources of hub in-edges that are not hubs. One pass over
+        // in-edges of hubs via CSC (as in §3.2 step 1). Without fringe
+        // separation (ablation) every non-hub counts as VWEH and the
+        // flipped-block rows span all vertices.
+        let mut links_to_hub = vec![!cfg.separate_fringe; n];
+        if cfg.separate_fringe {
+            for &hub in &candidates[..n_hubs] {
+                for &src in g.csc().neighbours(hub) {
+                    links_to_hub[src as usize] = true;
+                }
+            }
+        }
+
+        // --- Relabeling array (§3.2 step 1, Figure 4). ---
+        // Hubs in selection (degree) order; VWEH then FV in original order.
+        let mut new_to_old: Vec<VertexId> = Vec::with_capacity(n);
+        new_to_old.extend_from_slice(&candidates[..n_hubs]);
+        for v in 0..n as u32 {
+            if !is_hub[v as usize] && links_to_hub[v as usize] {
+                new_to_old.push(v);
+            }
+        }
+        let n_vweh = new_to_old.len() - n_hubs;
+        for v in 0..n as u32 {
+            if !is_hub[v as usize] && !links_to_hub[v as usize] {
+                new_to_old.push(v);
+            }
+        }
+        debug_assert_eq!(new_to_old.len(), n);
+        let mut old_to_new = vec![0 as VertexId; n];
+        for (new, &old) in new_to_old.iter().enumerate() {
+            old_to_new[old as usize] = new as VertexId;
+        }
+
+        let n_active = n_hubs + n_vweh;
+
+        // --- Flipped blocks (§3.2 step 2). ---
+        // One pass over the out-edges of the active set, selecting edges
+        // with in-hub destinations and bucketing them per block. Targets
+        // are block-local hub indices.
+        let mut per_block: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); n_blocks];
+        let mut fb_edges = 0usize;
+        for u_new in 0..n_active as u32 {
+            let old = new_to_old[u_new as usize];
+            for &dst_old in g.csr().neighbours(old) {
+                let dst_new = old_to_new[dst_old as usize];
+                if (dst_new as usize) < n_hubs {
+                    let b = dst_new as usize / h;
+                    per_block[b].push((u_new, dst_new - (b * h) as u32));
+                    fb_edges += 1;
+                }
+            }
+        }
+        let blocks: Vec<FlippedBlock> = per_block
+            .into_iter()
+            .enumerate()
+            .map(|(b, pairs)| {
+                let hub_start = (b * h) as VertexId;
+                let hub_end = ((b + 1) * h).min(n_hubs) as VertexId;
+                let n_block_hubs = (hub_end - hub_start) as usize;
+                FlippedBlock {
+                    hub_start,
+                    hub_end,
+                    edges: csr_from_pairs(n_active, n_block_hubs, &pairs),
+                }
+            })
+            .collect();
+
+        // --- Sparse block (§3.2 step 3). ---
+        // One pass over the in-edges of VWEH ∪ FV, relabeling sources. Rows
+        // are indexed by `new_dst - n_hubs`.
+        let n_sparse_rows = n - n_hubs;
+        let mut offsets = Vec::with_capacity(n_sparse_rows + 1);
+        offsets.push(0u64);
+        let mut acc = 0u64;
+        for row in 0..n_sparse_rows {
+            let old = new_to_old[n_hubs + row];
+            acc += g.in_degree(old) as u64;
+            offsets.push(acc);
+        }
+        let mut targets = Vec::with_capacity(acc as usize);
+        for row in 0..n_sparse_rows {
+            let old = new_to_old[n_hubs + row];
+            for &src_old in g.csc().neighbours(old) {
+                targets.push(old_to_new[src_old as usize]);
+            }
+        }
+        let sparse = Csr::from_parts(offsets, targets, n);
+        let sparse_edges = sparse.n_edges();
+        debug_assert_eq!(fb_edges + sparse_edges, g.n_edges());
+
+        // Out-degrees in new order (PageRank divides by them every
+        // iteration; they must be relabel-invariant originals).
+        let out_degree_new: Vec<u32> = new_to_old
+            .iter()
+            .map(|&old| g.out_degree(old) as u32)
+            .collect();
+
+        let min_hub_degree = if n_hubs == 0 {
+            0
+        } else {
+            candidates[..n_hubs]
+                .iter()
+                .map(|&v| g.in_degree(v))
+                .min()
+                .unwrap()
+        };
+
+        let stats = BuildStats {
+            n_blocks,
+            hubs_per_block: h,
+            n_hubs,
+            n_vweh,
+            n_fv: n - n_active,
+            min_hub_degree,
+            fb_edges,
+            sparse_edges,
+            block_feeders,
+            preprocessing_seconds: t0.elapsed().as_secs_f64(),
+        };
+
+        let push_tasks = build_push_tasks(&blocks, cfg.resolved_parts());
+
+        IhtlGraph {
+            n,
+            n_hubs,
+            n_vweh,
+            new_to_old,
+            old_to_new,
+            blocks,
+            sparse,
+            out_degree_new,
+            push_tasks,
+            stats,
+        }
+    }
+}
+
+/// Flattens (block × edge-balanced source chunk) into one task list so the
+/// push phase can schedule across blocks ("different threads can process
+/// vertices of different flipped blocks", §3.4) without per-iteration
+/// allocation.
+pub(crate) fn build_push_tasks(
+    blocks: &[FlippedBlock],
+    parts: usize,
+) -> Vec<(u32, ihtl_graph::partition::VertexRange)> {
+    blocks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, blk)| {
+            edge_balanced_ranges(&blk.edges, parts)
+                .into_iter()
+                .map(move |r| (b as u32, r))
+        })
+        .collect()
+}
+
+/// The §3.3 acceptance rule: grow the block list one block at a time, each
+/// time marking + counting the distinct sources feeding the candidate
+/// block's hubs (two passes per block over those hubs' in-edges), until
+/// `|FV_i| ≤ ratio·|FV_1|`.
+fn accept_blocks_exact(
+    g: &Graph,
+    cfg: &IhtlConfig,
+    candidates: &[VertexId],
+    h: usize,
+) -> (usize, Vec<usize>) {
+    let n = g.n_vertices();
+    let max_blocks = cfg.max_blocks.unwrap_or(usize::MAX).max(1);
+    let mut feeder_mark = vec![u32::MAX; n]; // block id that last marked this source
+    let mut block_feeders: Vec<usize> = Vec::new();
+    let mut n_blocks = 0usize;
+    loop {
+        if n_blocks >= max_blocks {
+            break;
+        }
+        let start = n_blocks * h;
+        if start >= n {
+            break;
+        }
+        let end = (start + h).min(n);
+        // A block whose best hub has no in-edges is useless.
+        if g.in_degree(candidates[start]) == 0 {
+            break;
+        }
+        let mut feeders = 0usize;
+        for &hub in &candidates[start..end] {
+            for &src in g.csc().neighbours(hub) {
+                if feeder_mark[src as usize] != n_blocks as u32 {
+                    feeder_mark[src as usize] = n_blocks as u32;
+                    feeders += 1;
+                }
+            }
+        }
+        if n_blocks > 0 {
+            let threshold = cfg.acceptance_ratio * block_feeders[0] as f64;
+            if (feeders as f64) <= threshold {
+                break;
+            }
+        }
+        block_feeders.push(feeders);
+        n_blocks += 1;
+    }
+    (n_blocks, block_feeders)
+}
+
+/// The §6 lower-complexity variant: bound the block count up front, compute
+/// |FV_1| exactly, then estimate every other |FV_i| in ONE pass over the
+/// out-edges of the FV_1 members. Sources outside FV_1 are not counted
+/// (they are rare, because block 1 holds the highest-degree hubs), so the
+/// estimate can only underestimate — erring toward fewer blocks.
+fn accept_blocks_single_pass(
+    g: &Graph,
+    cfg: &IhtlConfig,
+    candidates: &[VertexId],
+    h: usize,
+    max_blocks: usize,
+) -> (usize, Vec<usize>) {
+    let n = g.n_vertices();
+    let max_blocks = max_blocks.min(cfg.max_blocks.unwrap_or(usize::MAX)).max(1);
+    if n == 0 || g.in_degree(candidates[0]) == 0 {
+        return (0, Vec::new());
+    }
+    // Which candidate block each vertex would be a hub of.
+    let candidate_span = (max_blocks * h).min(n);
+    let mut block_of = vec![u32::MAX; n];
+    for (rank, &v) in candidates[..candidate_span].iter().enumerate() {
+        if g.in_degree(v) > 0 {
+            block_of[v as usize] = (rank / h) as u32;
+        }
+    }
+    // FV_1: exact, one pass over block-1 hubs' in-edges.
+    let mut in_fv1 = vec![false; n];
+    for &hub in &candidates[..h.min(n)] {
+        for &src in g.csc().neighbours(hub) {
+            in_fv1[src as usize] = true;
+        }
+    }
+    // One pass over FV_1 members' out-edges estimates every |FV_i|.
+    let mut feeders = vec![0usize; max_blocks];
+    let mut touched: Vec<u32> = Vec::with_capacity(8);
+    for src in 0..n as u32 {
+        if !in_fv1[src as usize] {
+            continue;
+        }
+        touched.clear();
+        for &dst in g.csr().neighbours(src) {
+            let b = block_of[dst as usize];
+            if b != u32::MAX && !touched.contains(&b) {
+                touched.push(b);
+                feeders[b as usize] += 1;
+            }
+        }
+    }
+    // Accept while the 50% rule holds, contiguously from block 1.
+    let threshold = cfg.acceptance_ratio * feeders[0] as f64;
+    let mut n_blocks = 1;
+    while n_blocks < max_blocks
+        && n_blocks * h < n
+        && feeders[n_blocks] as f64 > threshold
+    {
+        n_blocks += 1;
+    }
+    feeders.truncate(n_blocks);
+    (n_blocks, feeders)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_graph::graph::paper_example_graph;
+
+    /// Paper worked example: cache budget of 2 vertices → H = 2.
+    fn paper_cfg() -> IhtlConfig {
+        IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() }
+    }
+
+    #[test]
+    fn paper_example_relabeling_matches_figure4() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        // Figure 4 (1-indexed): [3, 7, 2, 5, 6, 8, 1, 4].
+        assert_eq!(ih.new_to_old(), &[2, 6, 1, 4, 5, 7, 0, 3]);
+        assert_eq!(ih.n_blocks(), 1);
+        assert_eq!(ih.n_hubs(), 2);
+        assert_eq!(ih.n_vweh(), 4);
+        assert_eq!(ih.n_fringe(), 2);
+    }
+
+    #[test]
+    fn paper_example_block_acceptance_rejects_second_block() {
+        // |FV_1| = 6 ({1,2,4,5,6,7} 0-indexed feed hubs {2,6}); the next two
+        // candidates are fed by only 3 distinct sources — 3 > 0.5·6 fails.
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        assert_eq!(ih.stats().block_feeders, vec![6]);
+    }
+
+    #[test]
+    fn paper_example_edge_partition() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        // In-edges of hubs: 5 + 4 = 9; the rest (5) are sparse.
+        assert_eq!(ih.stats().fb_edges, 9);
+        assert_eq!(ih.stats().sparse_edges, 5);
+        assert_eq!(ih.n_edges(), g.n_edges());
+        assert_eq!(ih.stats().min_hub_degree, 4);
+    }
+
+    #[test]
+    fn flipped_block_rows_span_active_set_only() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        let b = &ih.blocks()[0];
+        assert_eq!(b.edges.n_rows(), ih.n_active());
+        assert_eq!(b.n_hubs(), 2);
+        // Every target is a block-local hub index.
+        for (_, hubs) in b.edges.iter_rows() {
+            for &t in hubs {
+                assert!((t as usize) < b.n_hubs());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_block_has_no_hub_destinations() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        assert_eq!(ih.sparse().n_rows(), ih.n_vertices() - ih.n_hubs());
+    }
+
+    #[test]
+    fn relabeling_is_a_permutation() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        let mut sorted = ih.new_to_old().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..8u32).collect::<Vec<_>>());
+        for old in 0..8u32 {
+            assert_eq!(ih.new_to_old()[ih.old_to_new()[old as usize] as usize], old);
+        }
+    }
+
+    #[test]
+    fn vweh_and_fv_preserve_original_order() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &paper_cfg());
+        let vweh = &ih.new_to_old()[2..6];
+        assert!(vweh.windows(2).all(|w| w[0] < w[1]), "VWEH order {vweh:?}");
+        let fv = &ih.new_to_old()[6..8];
+        assert!(fv.windows(2).all(|w| w[0] < w[1]), "FV order {fv:?}");
+    }
+
+    #[test]
+    fn max_blocks_caps_construction() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig {
+            cache_budget_bytes: 8, // H = 1
+            acceptance_ratio: 0.0, // accept everything
+            max_blocks: Some(2),
+            ..IhtlConfig::default()
+        };
+        let ih = IhtlGraph::build(&g, &cfg);
+        assert_eq!(ih.n_blocks(), 2);
+        assert_eq!(ih.n_hubs(), 2);
+    }
+
+    #[test]
+    fn multi_block_construction_partitions_edges() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig {
+            cache_budget_bytes: 8, // H = 1
+            acceptance_ratio: 0.4,
+            ..IhtlConfig::default()
+        };
+        let ih = IhtlGraph::build(&g, &cfg);
+        assert!(ih.n_blocks() >= 2, "blocks {}", ih.n_blocks());
+        let fb_sum: usize = ih.blocks().iter().map(|b| b.n_edges()).sum();
+        assert_eq!(fb_sum, ih.stats().fb_edges);
+        assert_eq!(fb_sum + ih.stats().sparse_edges, g.n_edges());
+    }
+
+    #[test]
+    fn empty_graph_degenerates_gracefully() {
+        let g = Graph::from_edges(5, &[]);
+        let ih = IhtlGraph::build(&g, &IhtlConfig::default());
+        assert_eq!(ih.n_blocks(), 0);
+        assert_eq!(ih.n_hubs(), 0);
+        assert_eq!(ih.n_fringe(), 5);
+        assert_eq!(ih.sparse().n_edges(), 0);
+    }
+
+    #[test]
+    fn whole_graph_as_hubs() {
+        // Budget large enough that H >= n: everything in one flipped block.
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 1 << 20, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        assert_eq!(ih.n_blocks(), 1);
+        assert_eq!(ih.n_hubs(), 8);
+        assert_eq!(ih.stats().fb_edges, g.n_edges());
+        assert_eq!(ih.stats().sparse_edges, 0);
+    }
+}

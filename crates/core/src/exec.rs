@@ -1,0 +1,438 @@
+//! SpMV execution over the iHTL graph (paper Algorithm 3).
+//!
+//! Three phases per iteration:
+//!
+//! 1. **Push over flipped blocks** — tasks are (block × source-chunk) pairs;
+//!    each rayon worker scatters into its *private* hub buffer, so "the
+//!    parallel for loop … does not require synchronization between threads"
+//!    (§3.4). Reads of source data are sequential; the random writes land in
+//!    a buffer sized to the cache budget.
+//! 2. **Buffer merge** — parallel over hubs, sequential over threads
+//!    (Algorithm 3 lines 5–7). Table 5 shows this costs < 2.5 % of time.
+//! 3. **Pull over the sparse block** — edge-balanced parallel ranges of
+//!    non-hub destinations (Algorithm 3 lines 8–10).
+
+use std::cell::UnsafeCell;
+use std::time::Instant;
+
+use rayon::prelude::*;
+
+use ihtl_graph::partition::{edge_balanced_ranges, vertex_balanced_ranges, VertexRange};
+use ihtl_traversal::Monoid;
+
+use crate::graph::IhtlGraph;
+
+/// Per-worker hub buffers, reused across iterations ("each thread buffers
+/// H · #FB vertex data", §3.4). One buffer per rayon worker plus one for
+/// the calling thread.
+pub struct ThreadBuffers {
+    bufs: Vec<UnsafeCell<Vec<f64>>>,
+}
+
+// SAFETY: each rayon worker accesses only the buffer at its own unique
+// thread index (plus slot 0 for the non-pool calling thread); tasks on one
+// worker run sequentially, so no slot is ever aliased concurrently.
+unsafe impl Sync for ThreadBuffers {}
+
+impl ThreadBuffers {
+    /// Allocates buffers of `n_hubs` slots for every possible worker.
+    pub fn new(n_hubs: usize) -> Self {
+        let n_threads = rayon::current_num_threads() + 1;
+        Self {
+            bufs: (0..n_threads)
+                .map(|_| UnsafeCell::new(vec![0.0f64; n_hubs]))
+                .collect(),
+        }
+    }
+
+    /// Number of per-thread buffers.
+    pub fn n_buffers(&self) -> usize {
+        self.bufs.len()
+    }
+
+    /// Buffer slots per thread.
+    pub fn width(&self) -> usize {
+        unsafe {
+            let buf: &Vec<f64> = &*self.bufs[0].get();
+            buf.len()
+        }
+    }
+
+    #[inline]
+    fn slot_index() -> usize {
+        // Workers get 1.., the non-pool calling thread gets 0.
+        rayon::current_thread_index().map_or(0, |i| i + 1)
+    }
+
+    /// The calling worker's private buffer.
+    ///
+    /// # Safety contract (internal)
+    /// Must only be called from code scheduled such that one thread maps to
+    /// one index — true under rayon.
+    #[inline]
+    fn my_buffer(&self) -> &mut Vec<f64> {
+        unsafe { &mut *self.bufs[Self::slot_index()].get() }
+    }
+
+    /// Reads slot `hub` of thread `t` (merge phase).
+    #[inline]
+    fn read(&self, t: usize, hub: usize) -> f64 {
+        unsafe {
+            let buf: &Vec<f64> = &*self.bufs[t].get();
+            buf[hub]
+        }
+    }
+
+    /// Resets every buffer to the monoid identity, in parallel.
+    fn reset<M: Monoid>(&mut self) {
+        self.bufs.par_iter_mut().for_each(|b| {
+            for v in b.get_mut().iter_mut() {
+                *v = M::identity();
+            }
+        });
+    }
+}
+
+/// Wall-clock breakdown of one iHTL SpMV iteration — the "Exec. Breakdown"
+/// columns of Table 5.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecBreakdown {
+    /// Push phase over flipped blocks, including buffer resets (the paper
+    /// counts reset among iHTL's extra sequential accesses, §4.3).
+    pub fb_seconds: f64,
+    /// Buffer merge (Algorithm 3 lines 5–7).
+    pub merge_seconds: f64,
+    /// Pull phase over the sparse block.
+    pub pull_seconds: f64,
+}
+
+impl ExecBreakdown {
+    /// Total iteration time.
+    pub fn total_seconds(&self) -> f64 {
+        self.fb_seconds + self.merge_seconds + self.pull_seconds
+    }
+
+    /// Fraction of time in flipped blocks ("FB Time", Table 5).
+    pub fn fb_time_fraction(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.fb_seconds / t
+        }
+    }
+
+    /// Fraction of time merging buffers ("Buffer Merging", Table 5).
+    pub fn merge_time_fraction(&self) -> f64 {
+        let t = self.total_seconds();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.merge_seconds / t
+        }
+    }
+}
+
+impl IhtlGraph {
+    /// Allocates reusable per-thread buffers sized for this graph.
+    pub fn new_buffers(&self) -> ThreadBuffers {
+        ThreadBuffers::new(self.n_hubs)
+    }
+
+    /// One SpMV iteration in iHTL order (Algorithm 3):
+    /// `y[v] = ⊕_{u ∈ N⁻(v)} x[u]`, with `x` and `y` indexed by NEW ids.
+    ///
+    /// Returns the per-phase wall-clock breakdown. The result is identical
+    /// (up to `Add` rounding) to a pull SpMV over the relabeled graph —
+    /// "every edge is traversed exactly once … even though iHTL mixes push
+    /// and pull" (§2.4).
+    pub fn spmv<M: Monoid>(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        bufs: &mut ThreadBuffers,
+    ) -> ExecBreakdown {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        assert!(bufs.width() >= self.n_hubs, "buffers sized for a different graph");
+        let parts = ihtl_traversal::pull::default_parts();
+        let mut breakdown = ExecBreakdown::default();
+
+        // --- Phase 1: buffered push over flipped blocks. ---
+        let t = Instant::now();
+        bufs.reset::<M>();
+        // Precomputed (block, source-chunk) tasks, edge-balanced within each
+        // block so skewed rows don't serialise.
+        self.push_tasks.par_iter().for_each(|&(b, range)| {
+            let blk = &self.blocks[b as usize];
+            let base = blk.hub_start as usize;
+            let buf = bufs.my_buffer();
+            for u in range.iter() {
+                let hubs = blk.edges.neighbours(u);
+                if hubs.is_empty() {
+                    continue;
+                }
+                let xu = x[u as usize];
+                for &local in hubs {
+                    let slot = base + local as usize;
+                    buf[slot] = M::combine(buf[slot], xu);
+                }
+            }
+        });
+        breakdown.fb_seconds = t.elapsed().as_secs_f64();
+
+        // --- Phase 2: merge thread buffers into hub results. ---
+        let t = Instant::now();
+        let n_bufs = bufs.n_buffers();
+        let hub_ranges = vertex_balanced_ranges(self.n_hubs, parts);
+        {
+            let (hub_y, _) = y.split_at_mut(self.n_hubs);
+            let slices = crate::exec::split_ranges(hub_y, &hub_ranges);
+            hub_ranges.par_iter().zip(slices).for_each(|(range, out)| {
+                for (i, slot) in out.iter_mut().enumerate() {
+                    let hub = range.start as usize + i;
+                    let mut acc = M::identity();
+                    for t in 0..n_bufs {
+                        acc = M::combine(acc, bufs.read(t, hub));
+                    }
+                    *slot = acc;
+                }
+            });
+        }
+        breakdown.merge_seconds = t.elapsed().as_secs_f64();
+
+        // --- Phase 3: pull over the sparse block. ---
+        let t = Instant::now();
+        let ranges = edge_balanced_ranges(&self.sparse, parts);
+        {
+            let (_, sparse_y) = y.split_at_mut(self.n_hubs);
+            let slices = crate::exec::split_ranges(sparse_y, &ranges);
+            ranges.par_iter().zip(slices).for_each(|(range, out)| {
+                for row in range.iter() {
+                    let mut acc = M::identity();
+                    for &u in self.sparse.neighbours(row) {
+                        acc = M::combine(acc, x[u as usize]);
+                    }
+                    out[(row - range.start) as usize] = acc;
+                }
+            });
+        }
+        breakdown.pull_seconds = t.elapsed().as_secs_f64();
+        breakdown
+    }
+}
+
+impl IhtlGraph {
+    /// Ablation of the paper's §3.4 buffering decision: Algorithm 3 with
+    /// the flipped-block updates applied *atomically* to the hub results
+    /// instead of into per-thread buffers ("To avoid race conditions, we
+    /// opt for a buffering technique … as it is more efficient in the
+    /// setting of iHTL"). The merge phase disappears; every hub update
+    /// pays a CAS.
+    pub fn spmv_atomic_hubs<M: Monoid>(&self, x: &[f64], y: &mut [f64]) -> ExecBreakdown {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let parts = ihtl_traversal::pull::default_parts();
+        let mut breakdown = ExecBreakdown::default();
+
+        // --- Phase 1: atomic push over flipped blocks. ---
+        let t = Instant::now();
+        {
+            let (hub_y, _) = y.split_at_mut(self.n_hubs);
+            hub_y.iter_mut().for_each(|v| *v = M::identity());
+            let slots = ihtl_traversal::monoid::as_atomic_slice(hub_y);
+            self.push_tasks.par_iter().for_each(|&(b, range)| {
+                let blk = &self.blocks[b as usize];
+                let base = blk.hub_start as usize;
+                for u in range.iter() {
+                    let hubs = blk.edges.neighbours(u);
+                    if hubs.is_empty() {
+                        continue;
+                    }
+                    let xu = x[u as usize];
+                    for &local in hubs {
+                        M::combine_atomic(&slots[base + local as usize], xu);
+                    }
+                }
+            });
+        }
+        breakdown.fb_seconds = t.elapsed().as_secs_f64();
+
+        // --- Phase 2: pull over the sparse block (unchanged). ---
+        let t = Instant::now();
+        let ranges = edge_balanced_ranges(&self.sparse, parts);
+        {
+            let (_, sparse_y) = y.split_at_mut(self.n_hubs);
+            let slices = split_ranges(sparse_y, &ranges);
+            ranges.par_iter().zip(slices).for_each(|(range, out)| {
+                for row in range.iter() {
+                    let mut acc = M::identity();
+                    for &u in self.sparse.neighbours(row) {
+                        acc = M::combine(acc, x[u as usize]);
+                    }
+                    out[(row - range.start) as usize] = acc;
+                }
+            });
+        }
+        breakdown.pull_seconds = t.elapsed().as_secs_f64();
+        breakdown
+    }
+}
+
+/// Splits `data` into disjoint mutable sub-slices per contiguous range.
+pub(crate) fn split_ranges<'a>(
+    mut data: &'a mut [f64],
+    ranges: &[VertexRange],
+) -> Vec<&'a mut [f64]> {
+    let mut out = Vec::with_capacity(ranges.len());
+    let mut consumed = 0u32;
+    for r in ranges {
+        debug_assert_eq!(r.start, consumed);
+        let (head, tail) = data.split_at_mut((r.end - r.start) as usize);
+        out.push(head);
+        data = tail;
+        consumed = r.end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::IhtlConfig;
+    use ihtl_graph::graph::paper_example_graph;
+    use ihtl_graph::Graph;
+    use ihtl_traversal::pull::spmv_pull_serial;
+    use ihtl_traversal::{Add, Min};
+
+    fn check_matches_pull<M: Monoid>(g: &Graph, cfg: &IhtlConfig, tol: f64) {
+        let ih = IhtlGraph::build(g, cfg);
+        let n = g.n_vertices();
+        let x_old: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+        let mut y_old = vec![0.0; n];
+        spmv_pull_serial::<M>(g, &x_old, &mut y_old);
+
+        let x_new = ih.to_new_order(&x_old);
+        let mut y_new = vec![f64::NAN; n];
+        let mut bufs = ih.new_buffers();
+        ih.spmv::<M>(&x_new, &mut y_new, &mut bufs);
+        let y_back = ih.to_old_order(&y_new);
+        for v in 0..n {
+            assert!(
+                (y_back[v] - y_old[v]).abs() <= tol
+                    || (y_back[v] == y_old[v]) // covers ±inf identities
+                    || (y_back[v].is_infinite() && y_old[v].is_infinite()),
+                "vertex {v}: ihtl {} vs pull {}",
+                y_back[v],
+                y_old[v]
+            );
+        }
+    }
+
+    #[test]
+    fn matches_pull_on_paper_example() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        check_matches_pull::<Add>(&g, &cfg, 1e-9);
+        check_matches_pull::<Min>(&g, &cfg, 0.0);
+    }
+
+    #[test]
+    fn matches_pull_with_single_hub_blocks() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig {
+            cache_budget_bytes: 8,
+            acceptance_ratio: 0.2,
+            ..IhtlConfig::default()
+        };
+        check_matches_pull::<Add>(&g, &cfg, 1e-9);
+    }
+
+    #[test]
+    fn matches_pull_when_everything_is_a_hub() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 1 << 20, ..IhtlConfig::default() };
+        check_matches_pull::<Add>(&g, &cfg, 1e-9);
+    }
+
+    #[test]
+    fn matches_pull_on_edgeless_graph() {
+        let g = Graph::from_edges(4, &[]);
+        check_matches_pull::<Add>(&g, &IhtlConfig::default(), 0.0);
+    }
+
+    #[test]
+    fn second_iteration_reuses_buffers_correctly() {
+        // Stale buffer contents from iteration 1 must not leak into 2.
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let x1 = ih.to_new_order(&(0..8).map(|i| i as f64).collect::<Vec<_>>());
+        let x2 = ih.to_new_order(&(0..8).map(|i| (i * i) as f64).collect::<Vec<_>>());
+        let mut bufs = ih.new_buffers();
+        let mut y = vec![0.0; 8];
+        ih.spmv::<Add>(&x1, &mut y, &mut bufs);
+        ih.spmv::<Add>(&x2, &mut y, &mut bufs);
+
+        let mut fresh = ih.new_buffers();
+        let mut y_fresh = vec![0.0; 8];
+        ih.spmv::<Add>(&x2, &mut y_fresh, &mut fresh);
+        assert_eq!(y, y_fresh);
+    }
+
+    #[test]
+    fn atomic_hub_variant_matches_buffered() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let x: Vec<f64> = (0..8).map(|i| (i * 3 + 1) as f64).collect();
+        let x_new = ih.to_new_order(&x);
+        let mut buffered = vec![0.0; 8];
+        let mut bufs = ih.new_buffers();
+        ih.spmv::<Add>(&x_new, &mut buffered, &mut bufs);
+        let mut atomic = vec![0.0; 8];
+        ih.spmv_atomic_hubs::<Add>(&x_new, &mut atomic);
+        for (a, b) in buffered.iter().zip(&atomic) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn no_fringe_separation_matches_reference() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig {
+            cache_budget_bytes: 16,
+            separate_fringe: false,
+            ..IhtlConfig::default()
+        };
+        let ih = IhtlGraph::build(&g, &cfg);
+        assert_eq!(ih.n_fringe(), 0);
+        assert_eq!(ih.n_active(), 8);
+        check_matches_pull::<Add>(&g, &cfg, 1e-9);
+    }
+
+    #[test]
+    fn single_pass_block_count_matches_pull() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig {
+            cache_budget_bytes: 16,
+            block_count: crate::config::BlockCountMode::SinglePass { max_blocks: 4 },
+            ..IhtlConfig::default()
+        };
+        check_matches_pull::<Add>(&g, &cfg, 1e-9);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let x = vec![1.0; 8];
+        let mut y = vec![0.0; 8];
+        let mut bufs = ih.new_buffers();
+        let bd = ih.spmv::<Add>(&x, &mut y, &mut bufs);
+        assert!(bd.fb_seconds >= 0.0 && bd.merge_seconds >= 0.0 && bd.pull_seconds >= 0.0);
+        let fracs = bd.fb_time_fraction() + bd.merge_time_fraction();
+        assert!((0.0..=1.0).contains(&fracs));
+    }
+}

@@ -1,0 +1,181 @@
+//! The iHTL graph structure (paper §3.1, Figure 3).
+//!
+//! After relabeling, the adjacency matrix decomposes into:
+//!
+//! * **flipped blocks** — the in-edges of in-hubs, stored row-major over the
+//!   *sources* (push direction), with block-local hub indices as targets;
+//! * a **sparse block** — the in-edges of non-hubs, stored column-major over
+//!   the *destinations* (pull direction);
+//! * a **zero block** — fringe vertices have no edges to hubs, so the rows
+//!   of the flipped blocks only span `hubs ∪ VWEH` (the ∅ region of
+//!   Figure 3).
+
+use ihtl_graph::partition::VertexRange;
+use ihtl_graph::{Csr, VertexId, NEIGHBOUR_BYTES};
+
+use crate::stats::BuildStats;
+
+/// Classification of a vertex in the iHTL ordering (paper §3.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VertexClass {
+    /// An in-hub: its incoming edges live in a flipped block.
+    Hub,
+    /// A vertex with at least one edge to an in-hub.
+    Vweh,
+    /// A fringe vertex: no edges to in-hubs.
+    Fringe,
+}
+
+/// One flipped block: the incoming edges of `H` consecutive hubs, stored in
+/// push direction.
+#[derive(Clone, Debug)]
+pub struct FlippedBlock {
+    /// New-ID range `[hub_start, hub_end)` of this block's hubs.
+    pub hub_start: VertexId,
+    pub hub_end: VertexId,
+    /// Row `u` (a new ID in `0..n_active`) lists *block-local* hub indices
+    /// (`new_dst - hub_start`) — u32 offsets into the per-thread buffer.
+    pub edges: Csr,
+}
+
+impl FlippedBlock {
+    /// Number of hubs in the block.
+    pub fn n_hubs(&self) -> usize {
+        (self.hub_end - self.hub_start) as usize
+    }
+
+    /// Number of edges in the block.
+    pub fn n_edges(&self) -> usize {
+        self.edges.n_edges()
+    }
+}
+
+/// The preprocessed iHTL graph (paper Figure 3): relabeling + flipped
+/// blocks + sparse block, ready for [`IhtlGraph::spmv`].
+#[derive(Clone, Debug)]
+pub struct IhtlGraph {
+    pub(crate) n: usize,
+    pub(crate) n_hubs: usize,
+    pub(crate) n_vweh: usize,
+    /// `new_to_old[new] = old` — the relabeling array of Figure 4.
+    pub(crate) new_to_old: Vec<VertexId>,
+    /// `old_to_new[old] = new`.
+    pub(crate) old_to_new: Vec<VertexId>,
+    pub(crate) blocks: Vec<FlippedBlock>,
+    /// CSC over new IDs, rows indexed by `new_dst - n_hubs` (destinations
+    /// `n_hubs..n`), targets are new source IDs.
+    pub(crate) sparse: Csr,
+    /// Original out-degree of each vertex, indexed by NEW id (PageRank needs
+    /// it and relabeling must not recompute it per iteration).
+    pub(crate) out_degree_new: Vec<u32>,
+    /// Precomputed (block, source-chunk) push tasks, edge-balanced within
+    /// each block, so iterations allocate nothing.
+    pub(crate) push_tasks: Vec<(u32, VertexRange)>,
+    pub(crate) stats: BuildStats,
+}
+
+impl IhtlGraph {
+    /// Number of vertices.
+    pub fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of edges (flipped + sparse).
+    pub fn n_edges(&self) -> usize {
+        self.stats.fb_edges + self.stats.sparse_edges
+    }
+
+    /// Number of flipped blocks (#FB).
+    pub fn n_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of in-hubs.
+    pub fn n_hubs(&self) -> usize {
+        self.n_hubs
+    }
+
+    /// Number of VWEH vertices.
+    pub fn n_vweh(&self) -> usize {
+        self.n_vweh
+    }
+
+    /// Number of fringe vertices.
+    pub fn n_fringe(&self) -> usize {
+        self.n - self.n_hubs - self.n_vweh
+    }
+
+    /// Number of *active* rows of the flipped blocks (`hubs ∪ VWEH`).
+    pub fn n_active(&self) -> usize {
+        self.n_hubs + self.n_vweh
+    }
+
+    /// The flipped blocks.
+    pub fn blocks(&self) -> &[FlippedBlock] {
+        &self.blocks
+    }
+
+    /// The sparse block (CSC rows indexed by `new_dst - n_hubs`).
+    pub fn sparse(&self) -> &Csr {
+        &self.sparse
+    }
+
+    /// Construction statistics (Table 5 left half).
+    pub fn stats(&self) -> &BuildStats {
+        &self.stats
+    }
+
+    /// The relabeling array: `new_to_old[new] = old` (Figure 4).
+    pub fn new_to_old(&self) -> &[VertexId] {
+        &self.new_to_old
+    }
+
+    /// Inverse relabeling: `old_to_new[old] = new`.
+    pub fn old_to_new(&self) -> &[VertexId] {
+        &self.old_to_new
+    }
+
+    /// Original out-degrees, indexed by new ID.
+    pub fn out_degree_new(&self) -> &[u32] {
+        &self.out_degree_new
+    }
+
+    /// Classification of a vertex by NEW id.
+    pub fn class_of_new(&self, new: VertexId) -> VertexClass {
+        let v = new as usize;
+        if v < self.n_hubs {
+            VertexClass::Hub
+        } else if v < self.n_hubs + self.n_vweh {
+            VertexClass::Vweh
+        } else {
+            VertexClass::Fringe
+        }
+    }
+
+    /// Permutes a vector from old-ID indexing to new-ID indexing.
+    pub fn to_new_order(&self, old: &[f64]) -> Vec<f64> {
+        assert_eq!(old.len(), self.n);
+        self.new_to_old.iter().map(|&o| old[o as usize]).collect()
+    }
+
+    /// Permutes a vector from new-ID indexing back to old-ID indexing.
+    pub fn to_old_order(&self, new: &[f64]) -> Vec<f64> {
+        assert_eq!(new.len(), self.n);
+        let mut out = vec![0.0; self.n];
+        for (v_new, &o) in self.new_to_old.iter().enumerate() {
+            out[o as usize] = new[v_new];
+        }
+        out
+    }
+
+    /// Topology bytes of the iHTL representation (Table 4): per-block CSR
+    /// index + targets, the sparse block, and the relabeling arrays. The
+    /// growth over plain CSC "results from replication of the index array
+    /// for each block" (§4.4).
+    pub fn topology_bytes(&self) -> u64 {
+        let blocks: u64 = self.blocks.iter().map(|b| b.edges.topology_bytes()).sum();
+        let sparse = self.sparse.topology_bytes();
+        let relabel = (2 * self.n * NEIGHBOUR_BYTES) as u64;
+        blocks + sparse + relabel
+    }
+}

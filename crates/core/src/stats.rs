@@ -1,0 +1,95 @@
+//! Construction statistics — the "Graph Statistics" columns of Table 5 plus
+//! the preprocessing time of Table 2 / Figure 8.
+
+/// Statistics recorded while building an [`crate::IhtlGraph`].
+#[derive(Clone, Debug)]
+pub struct BuildStats {
+    /// Number of flipped blocks (#FB, Table 5).
+    pub n_blocks: usize,
+    /// Hubs per block (H) implied by the cache budget.
+    pub hubs_per_block: usize,
+    /// Total in-hubs across blocks.
+    pub n_hubs: usize,
+    /// Vertices with edges to hubs (excluding hubs themselves).
+    pub n_vweh: usize,
+    /// Fringe vertices (no edges to hubs).
+    pub n_fv: usize,
+    /// Smallest in-degree among the selected hubs ("Min. Hub Degree").
+    pub min_hub_degree: usize,
+    /// Edges inside flipped blocks ("FB Edges").
+    pub fb_edges: usize,
+    /// Edges in the sparse block.
+    pub sparse_edges: usize,
+    /// Distinct feeders |FV_i| of each accepted block (|FV_1| first); the
+    /// acceptance rule compares these against `acceptance_ratio · |FV_1|`.
+    pub block_feeders: Vec<usize>,
+    /// Wall-clock preprocessing time in seconds (Table 2, Figure 8 right).
+    pub preprocessing_seconds: f64,
+}
+
+impl BuildStats {
+    /// Fraction of vertices classified VWEH (Table 5 "VWEH" column).
+    pub fn vweh_fraction(&self) -> f64 {
+        let n = self.n_hubs + self.n_vweh + self.n_fv;
+        if n == 0 {
+            0.0
+        } else {
+            self.n_vweh as f64 / n as f64
+        }
+    }
+
+    /// Fraction of all edges inside flipped blocks (Table 5 "FB Edges").
+    pub fn fb_edge_fraction(&self) -> f64 {
+        let m = self.fb_edges + self.sparse_edges;
+        if m == 0 {
+            0.0
+        } else {
+            self.fb_edges as f64 / m as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BuildStats {
+        BuildStats {
+            n_blocks: 2,
+            hubs_per_block: 4,
+            n_hubs: 8,
+            n_vweh: 42,
+            n_fv: 50,
+            min_hub_degree: 17,
+            fb_edges: 600,
+            sparse_edges: 400,
+            block_feeders: vec![40, 25],
+            preprocessing_seconds: 0.01,
+        }
+    }
+
+    #[test]
+    fn fractions() {
+        let s = sample();
+        assert!((s.vweh_fraction() - 0.42).abs() < 1e-12);
+        assert!((s.fb_edge_fraction() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_fractions_are_zero() {
+        let s = BuildStats {
+            n_blocks: 0,
+            hubs_per_block: 1,
+            n_hubs: 0,
+            n_vweh: 0,
+            n_fv: 0,
+            min_hub_degree: 0,
+            fb_edges: 0,
+            sparse_edges: 0,
+            block_feeders: vec![],
+            preprocessing_seconds: 0.0,
+        };
+        assert_eq!(s.vweh_fraction(), 0.0);
+        assert_eq!(s.fb_edge_fraction(), 0.0);
+    }
+}

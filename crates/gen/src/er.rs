@@ -1,0 +1,77 @@
+//! Erdős–Rényi `G(n, m)` generator.
+//!
+//! Uniform random graphs have no hubs, so iHTL should (and does) degenerate
+//! gracefully on them — they serve as the negative control in tests and
+//! ablations: with no skew, flipped blocks capture few edges and the
+//! structural acceptance rule keeps the block count at its minimum.
+
+use rand::Rng;
+
+use crate::rng_from_seed;
+
+/// Generates `m` distinct directed edges (no self-loops) over `n` vertices,
+/// uniformly at random. Panics if `m` exceeds the number of possible edges.
+pub fn er_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "need at least two vertices");
+    let possible = n as u128 * (n as u128 - 1);
+    assert!(
+        (m as u128) <= possible,
+        "requested more edges than the graph can hold"
+    );
+    assert!(
+        (m as u128) * 2 <= possible,
+        "rejection sampling needs m <= n(n-1)/2; use a denser generator"
+    );
+    let mut rng = rng_from_seed(seed);
+    let mut set = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let s = rng.gen_range(0..n as u32);
+        let d = rng.gen_range(0..n as u32);
+        if s != d && set.insert((s, d)) {
+            edges.push((s, d));
+        }
+    }
+    edges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_edge_count_unique() {
+        let edges = er_edges(100, 500, 11);
+        assert_eq!(edges.len(), 500);
+        let set: std::collections::HashSet<_> = edges.iter().collect();
+        assert_eq!(set.len(), 500);
+        for &(s, d) in &edges {
+            assert!(s < 100 && d < 100 && s != d);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(er_edges(50, 100, 3), er_edges(50, 100, 3));
+        assert_ne!(er_edges(50, 100, 3), er_edges(50, 100, 4));
+    }
+
+    #[test]
+    fn no_hubs() {
+        let n = 2000;
+        let edges = er_edges(n, 20_000, 5);
+        let mut indeg = vec![0usize; n];
+        for &(_, d) in &edges {
+            indeg[d as usize] += 1;
+        }
+        let max = *indeg.iter().max().unwrap();
+        // Poisson(10): max over 2000 draws stays small.
+        assert!(max < 40, "unexpected hub in ER graph: {max}");
+    }
+
+    #[test]
+    #[should_panic(expected = "more edges")]
+    fn rejects_impossible_density() {
+        er_edges(3, 10, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! The 10-dataset evaluation suite.
+//!
+//! One spec per row of the paper's Table 1, scaled ≈1:40–1:700 in vertex
+//! count so the whole evaluation runs on a laptop-class machine, with the
+//! structural knobs (skew, reciprocity, locality, density) matched per
+//! dataset class. The sizes are chosen so the paper's two governing ratios
+//! stay in regime against the scaled cache hierarchy (`ihtl-cachesim`,
+//! L2 = 32 KiB) and the default iHTL hub budget (H = 4096):
+//! vertex-data-bytes / L2 ≈ 100–600 (paper: 400), and H / |V| a fraction
+//! of a percent (paper: 0.008–0.32 %).
+//!
+//! | key        | paper dataset | class  | paper |V|, |E|   | here |V|, |E|    |
+//! |------------|---------------|--------|-------------------|-------------------|
+//! | `lv_jrnl`  | LiveJournal   | social | 7 M, 0.22 B       | ~0.4 M, ~3.6 M    |
+//! | `twtr10`   | Twitter 2010  | social | 21 M, 0.26 B      | ~0.4 M, ~4.2 M    |
+//! | `twtr_mpi` | Twitter MPI   | social | 41 M, 1.5 B       | ~0.8 M, ~6.0 M    |
+//! | `frndstr`  | Friendster    | social | 65 M, 1.8 B       | ~1.0 M, ~6.4 M    |
+//! | `sk`       | SK-Domain     | web    | 50 M, 2 B         | ~0.8 M, ~7.6 M    |
+//! | `wb_cc`    | Web-CC12      | web    | 89 M, 2 B         | ~1.0 M, ~7.6 M    |
+//! | `uk_dls`   | UK-Delis      | web    | 110 M, 4 B        | ~1.3 M, ~9.6 M    |
+//! | `uu`       | UK-Union      | web    | 133 M, 5.5 B      | ~1.5 M, ~11 M     |
+//! | `uk_dmn`   | UK-Domain     | web    | 105 M, 6.6 B      | ~1.4 M, ~12 M     |
+//! | `clwb9`    | ClueWeb09     | web    | 1.7 G, 7.9 B      | ~2.4 M, ~12.6 M   |
+//!
+//! Friendster uses preferential attachment (its paper profile is a huge
+//! graph with an unusually *flat* maximum degree of 4 K); the other social
+//! graphs use skewed R-MAT; ClueWeb09 uses the diffuse web profile (its
+//! paper profile has only 9 % VWEH and 13 % of edges in flipped blocks).
+
+use ihtl_graph::{EdgeList, Graph};
+
+use crate::ba::ba_edges;
+use crate::rmat::{rmat_edges, RmatParams};
+use crate::shuffle_vertex_ids;
+use crate::weblike::{web_edges, WebParams};
+
+/// Which structural family a dataset belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Skewed, reciprocal, shuffled IDs (poor initial locality).
+    Social,
+    /// Host-blocked, asymmetric in-hubs, contiguous IDs (good locality).
+    Web,
+}
+
+/// Generator recipe for one dataset.
+#[derive(Clone, Debug)]
+enum Recipe {
+    Rmat { scale: u32, params: RmatParams },
+    Ba { m: usize, reciprocity: f64 },
+    Web { params: WebParams },
+}
+
+/// A synthetic stand-in for one of the paper's datasets.
+#[derive(Clone, Debug)]
+pub struct DatasetSpec {
+    /// Short key used in harness output (matches the paper's abbreviations).
+    pub key: &'static str,
+    /// The paper dataset this stands in for.
+    pub paper_name: &'static str,
+    pub kind: DatasetKind,
+    pub n_vertices: usize,
+    pub target_edges: usize,
+    pub seed: u64,
+    recipe: Recipe,
+}
+
+impl DatasetSpec {
+    /// Generates the graph: edges from the recipe, social-graph ID shuffle,
+    /// zero-degree compaction (paper §4.1 removes zero-degree vertices).
+    pub fn build(&self) -> Graph {
+        let mut edges = match &self.recipe {
+            Recipe::Rmat { scale, params } => {
+                rmat_edges(*scale, self.target_edges, *params, self.seed)
+            }
+            Recipe::Ba { m, reciprocity } => {
+                ba_edges(self.n_vertices, *m, *reciprocity, self.seed)
+            }
+            Recipe::Web { params } => {
+                web_edges(self.n_vertices, self.target_edges, params, self.seed)
+            }
+        };
+        let universe = match &self.recipe {
+            Recipe::Rmat { scale, .. } => 1usize << scale,
+            _ => self.n_vertices,
+        };
+        if self.kind == DatasetKind::Social {
+            shuffle_vertex_ids(universe, &mut edges, self.seed ^ SHUFFLE_SEED_XOR);
+        }
+        let mut el = EdgeList::from_edges(universe, edges);
+        el.compact_zero_degree();
+        Graph::from_edge_list(&el)
+    }
+}
+
+/// Fixed XOR constant deriving the shuffle sub-seed from the dataset seed.
+const SHUFFLE_SEED_XOR: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// The full 10-dataset suite in the paper's Table 1 order.
+pub fn suite() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            key: "lv_jrnl",
+            paper_name: "LiveJournal",
+            kind: DatasetKind::Social,
+            n_vertices: 1 << 19,
+            target_edges: 3_600_000,
+            seed: 101,
+            recipe: Recipe::Rmat { scale: 19, params: RmatParams::mild() },
+        },
+        DatasetSpec {
+            key: "twtr10",
+            paper_name: "Twitter 2010",
+            kind: DatasetKind::Social,
+            n_vertices: 1 << 19,
+            target_edges: 4_200_000,
+            seed: 102,
+            recipe: Recipe::Rmat { scale: 19, params: RmatParams::social() },
+        },
+        DatasetSpec {
+            key: "twtr_mpi",
+            paper_name: "Twitter MPI",
+            kind: DatasetKind::Social,
+            n_vertices: 1 << 20,
+            target_edges: 6_000_000,
+            seed: 103,
+            recipe: Recipe::Rmat { scale: 20, params: RmatParams::social() },
+        },
+        DatasetSpec {
+            key: "frndstr",
+            paper_name: "Friendster",
+            kind: DatasetKind::Social,
+            n_vertices: 1 << 20,
+            target_edges: 6_400_000,
+            seed: 104,
+            recipe: Recipe::Rmat { scale: 20, params: RmatParams::flat() },
+        },
+        DatasetSpec {
+            key: "sk",
+            paper_name: "SK-Domain",
+            kind: DatasetKind::Web,
+            n_vertices: 800_000,
+            target_edges: 7_600_000,
+            seed: 105,
+            recipe: Recipe::Web {
+                params: WebParams { n_hosts: 8_000, ..WebParams::concentrated() },
+            },
+        },
+        DatasetSpec {
+            key: "wb_cc",
+            paper_name: "Web-CC12",
+            kind: DatasetKind::Web,
+            n_vertices: 1_050_000,
+            target_edges: 7_600_000,
+            seed: 106,
+            recipe: Recipe::Web {
+                params: WebParams { n_hosts: 12_000, intra_prob: 0.65, ..WebParams::concentrated() },
+            },
+        },
+        DatasetSpec {
+            key: "uk_dls",
+            paper_name: "UK-Delis",
+            kind: DatasetKind::Web,
+            n_vertices: 1_300_000,
+            target_edges: 9_600_000,
+            seed: 107,
+            recipe: Recipe::Web {
+                params: WebParams { n_hosts: 11_000, ..WebParams::concentrated() },
+            },
+        },
+        DatasetSpec {
+            key: "uu",
+            paper_name: "UK-Union",
+            kind: DatasetKind::Web,
+            n_vertices: 1_500_000,
+            target_edges: 11_000_000,
+            seed: 108,
+            recipe: Recipe::Web {
+                params: WebParams { n_hosts: 13_000, ..WebParams::concentrated() },
+            },
+        },
+        DatasetSpec {
+            key: "uk_dmn",
+            paper_name: "UK-Domain",
+            kind: DatasetKind::Web,
+            n_vertices: 1_400_000,
+            target_edges: 12_000_000,
+            seed: 109,
+            recipe: Recipe::Web {
+                params: WebParams { n_hosts: 12_000, intra_prob: 0.75, ..WebParams::concentrated() },
+            },
+        },
+        DatasetSpec {
+            key: "clwb9",
+            paper_name: "ClueWeb09",
+            kind: DatasetKind::Web,
+            n_vertices: 2_400_000,
+            target_edges: 12_600_000,
+            seed: 110,
+            recipe: Recipe::Web {
+                params: WebParams {
+                    n_hosts: 30_000,
+                    global_host_alpha: 0.4,
+                    global_page_window: 32,
+                    global_page_alpha: 1.0,
+                    intra_alpha: 0.6,
+                    intra_prob: 0.62,
+                    mean_out_degree: 6.0,
+                    connector_frac: 0.06,
+                    ..WebParams::diffuse()
+                },
+            },
+        },
+    ]
+}
+
+/// A miniature suite for integration tests: one social, one web, one
+/// uniform control, one preferential-attachment graph.
+pub fn suite_small() -> Vec<DatasetSpec> {
+    vec![
+        DatasetSpec {
+            key: "mini_social",
+            paper_name: "mini social (R-MAT)",
+            kind: DatasetKind::Social,
+            n_vertices: 1 << 12,
+            target_edges: 40_000,
+            seed: 201,
+            recipe: Recipe::Rmat { scale: 12, params: RmatParams::social() },
+        },
+        DatasetSpec {
+            key: "mini_web",
+            paper_name: "mini web (host blocks)",
+            kind: DatasetKind::Web,
+            n_vertices: 5_000,
+            target_edges: 60_000,
+            seed: 202,
+            recipe: Recipe::Web { params: WebParams::concentrated() },
+        },
+        DatasetSpec {
+            key: "mini_flat",
+            paper_name: "mini uniform control",
+            kind: DatasetKind::Web, // no shuffle; structure is uniform anyway
+            n_vertices: 4_000,
+            target_edges: 40_000,
+            seed: 203,
+            recipe: Recipe::Web {
+                params: WebParams {
+                    n_hosts: 400,
+                    host_size_alpha: 0.0,
+                    intra_prob: 0.3,
+                    intra_alpha: 0.0,
+                    global_host_alpha: 0.0,
+                    global_page_window: 10,
+                    global_page_alpha: 0.0,
+                    mean_out_degree: 10.0,
+                    out_degree_cap: 40,
+                    connector_frac: 0.0,
+                },
+            },
+        },
+        DatasetSpec {
+            key: "mini_ba",
+            paper_name: "mini preferential attachment",
+            kind: DatasetKind::Social,
+            n_vertices: 4_000,
+            target_edges: 30_000,
+            seed: 204,
+            recipe: Recipe::Ba { m: 5, reciprocity: 0.5 },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_graph::stats::{asymmetricity, degree_stats};
+
+    #[test]
+    fn small_suite_builds_with_expected_shape() {
+        for spec in suite_small() {
+            let g = spec.build();
+            let s = degree_stats(&g);
+            assert!(s.n_vertices > 0, "{}", spec.key);
+            assert!(
+                s.n_edges as f64 >= 0.8 * spec.target_edges as f64,
+                "{}: {} edges vs target {}",
+                spec.key,
+                s.n_edges,
+                spec.target_edges
+            );
+            // No zero-degree vertices survive compaction.
+            let isolated = (0..s.n_vertices)
+                .filter(|&v| g.in_degree(v as u32) == 0 && g.out_degree(v as u32) == 0)
+                .count();
+            assert_eq!(isolated, 0, "{}", spec.key);
+        }
+    }
+
+    #[test]
+    fn social_vs_web_hub_symmetry() {
+        let specs = suite_small();
+        let social = specs[0].build();
+        let web = specs[1].build();
+        let hub = |g: &Graph| {
+            (0..g.n_vertices() as u32)
+                .max_by_key(|&v| g.in_degree(v))
+                .unwrap()
+        };
+        let s_hub = hub(&social);
+        let w_hub = hub(&web);
+        let s_asym = asymmetricity(&social, s_hub).unwrap();
+        let w_asym = asymmetricity(&web, w_hub).unwrap();
+        // Fig. 9: social hubs near-symmetric, web hubs asymmetric.
+        assert!(s_asym < 0.6, "social hub asymmetricity {s_asym}");
+        assert!(w_asym > 0.8, "web hub asymmetricity {w_asym}");
+    }
+
+    #[test]
+    fn full_suite_specs_are_distinct() {
+        let specs = suite();
+        assert_eq!(specs.len(), 10);
+        let keys: std::collections::HashSet<_> = specs.iter().map(|s| s.key).collect();
+        assert_eq!(keys.len(), 10);
+        let seeds: std::collections::HashSet<_> = specs.iter().map(|s| s.seed).collect();
+        assert_eq!(seeds.len(), 10);
+    }
+}

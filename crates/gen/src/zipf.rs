@@ -1,0 +1,91 @@
+//! A small table-based Zipf sampler.
+//!
+//! Samples ranks `0..k` with probability proportional to `1/(rank+1)^alpha`.
+//! Uses a precomputed cumulative table and binary search — exact (no
+//! rejection), deterministic given the RNG stream, and fast enough for the
+//! few tens of millions of draws the suite needs.
+
+use rand::Rng;
+
+/// Zipf distribution over ranks `0..k` with exponent `alpha`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler. `k` must be ≥ 1 and `alpha` finite and ≥ 0
+    /// (`alpha = 0` degenerates to the uniform distribution).
+    pub fn new(k: usize, alpha: f64) -> Self {
+        assert!(k >= 1, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and non-negative");
+        let mut cumulative = Vec::with_capacity(k);
+        let mut total = 0.0f64;
+        for r in 0..k {
+            total += 1.0 / ((r + 1) as f64).powf(alpha);
+            cumulative.push(total);
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn k(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Draws one rank in `0..k`.
+    #[inline]
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        self.cumulative.partition_point(|&c| c < x).min(self.k() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng_from_seed;
+
+    #[test]
+    fn ranks_in_range() {
+        let z = Zipf::new(10, 1.0);
+        let mut rng = rng_from_seed(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 10);
+        }
+    }
+
+    #[test]
+    fn skew_orders_frequencies() {
+        let z = Zipf::new(100, 1.2);
+        let mut rng = rng_from_seed(2);
+        let mut counts = [0usize; 100];
+        for _ in 0..200_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Rank 0 should dominate rank 10 which dominates rank 90.
+        assert!(counts[0] > counts[10] * 5);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn alpha_zero_is_roughly_uniform() {
+        let z = Zipf::new(4, 0.0);
+        let mut rng = rng_from_seed(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 10_000.0).abs() < 1_000.0, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = rng_from_seed(4);
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

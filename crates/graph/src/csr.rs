@@ -1,0 +1,246 @@
+//! Compressed sparse row (and, by symmetry, column) storage.
+//!
+//! A [`Csr`] is a rectangular sparse binary matrix: `n_rows` adjacency lists
+//! over a column universe of `n_cols` vertices. Interpreted over out-edges it
+//! is the classic CSR; built over in-edges it serves as the CSC view. The
+//! paper's traversal conventions (§3.1): a *pull* traversal walks the CSC
+//! column-major (each destination reads its sources), a *push* traversal
+//! walks the CSR row-major (each source updates its destinations).
+
+use crate::{EdgeIndex, VertexId, NEIGHBOUR_BYTES, OFFSET_BYTES};
+
+/// Compressed sparse row storage with 8-byte offsets and 4-byte neighbour
+/// IDs (the layout whose size Table 4 of the paper accounts for).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Csr {
+    /// `n_rows + 1` monotonically non-decreasing offsets into `targets`.
+    offsets: Vec<EdgeIndex>,
+    /// Concatenated adjacency lists.
+    targets: Vec<VertexId>,
+    /// Size of the column universe; every target is `< n_cols`.
+    n_cols: usize,
+}
+
+impl Csr {
+    /// Builds a CSR from raw parts, validating the structural invariants.
+    ///
+    /// # Panics
+    /// Panics if `offsets` is empty, not monotone, does not end at
+    /// `targets.len()`, or if any target is out of range.
+    pub fn from_parts(offsets: Vec<EdgeIndex>, targets: Vec<VertexId>, n_cols: usize) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have at least one entry");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len() as EdgeIndex,
+            "last offset must equal the number of stored edges"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be monotonically non-decreasing"
+        );
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n_cols),
+            "every target must be < n_cols"
+        );
+        Self { offsets, targets, n_cols }
+    }
+
+    /// An empty matrix with `n_rows` rows and `n_cols` columns.
+    pub fn empty(n_rows: usize, n_cols: usize) -> Self {
+        Self { offsets: vec![0; n_rows + 1], targets: Vec::new(), n_cols }
+    }
+
+    /// Number of rows (adjacency lists).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Size of the column universe.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The raw offset array (`n_rows + 1` entries).
+    #[inline]
+    pub fn offsets(&self) -> &[EdgeIndex] {
+        &self.offsets
+    }
+
+    /// The concatenated adjacency lists.
+    #[inline]
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Degree (adjacency-list length) of row `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        (self.offsets[v + 1] - self.offsets[v]) as usize
+    }
+
+    /// The adjacency list of row `v`.
+    #[inline]
+    pub fn neighbours(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Iterates `(row, &[targets])` over all rows.
+    pub fn iter_rows(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        (0..self.n_rows()).map(move |v| (v as VertexId, self.neighbours(v as VertexId)))
+    }
+
+    /// Iterates every stored edge as `(row, col)`.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.iter_rows()
+            .flat_map(|(v, ns)| ns.iter().map(move |&u| (v, u)))
+    }
+
+    /// Byte size of the topology data in the paper's accounting
+    /// (8 B per offset entry, 4 B per neighbour ID). Used for Table 4.
+    pub fn topology_bytes(&self) -> u64 {
+        (self.offsets.len() * OFFSET_BYTES + self.targets.len() * NEIGHBOUR_BYTES) as u64
+    }
+
+    /// Transposes the matrix: row/column roles swap. An out-edge CSR becomes
+    /// the in-edge CSC and vice versa. Runs in `O(|V| + |E|)` with a counting
+    /// sort, preserving row order within each output list (stable).
+    pub fn transpose(&self) -> Csr {
+        let n_out_rows = self.n_cols;
+        let mut counts = vec![0 as EdgeIndex; n_out_rows + 1];
+        for &t in &self.targets {
+            counts[t as usize + 1] += 1;
+        }
+        for i in 0..n_out_rows {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut cursor = counts;
+        let mut targets = vec![0 as VertexId; self.targets.len()];
+        for (src, ns) in self.iter_rows() {
+            for &dst in ns {
+                let slot = cursor[dst as usize];
+                targets[slot as usize] = src;
+                cursor[dst as usize] += 1;
+            }
+        }
+        Csr { offsets, targets, n_cols: self.n_rows() }
+    }
+
+    /// Sorts each adjacency list in place (useful for canonical comparisons
+    /// and binary search membership tests).
+    pub fn sort_rows(&mut self) {
+        for v in 0..self.n_rows() {
+            let (s, e) = (self.offsets[v] as usize, self.offsets[v + 1] as usize);
+            self.targets[s..e].sort_unstable();
+        }
+    }
+
+    /// Whether the edge `(row, col)` is stored. Requires `sort_rows` to have
+    /// been called for `O(log d)` behaviour; falls back to linear scan
+    /// correctness either way.
+    pub fn has_edge(&self, row: VertexId, col: VertexId) -> bool {
+        let ns = self.neighbours(row);
+        if ns.len() > 16 && ns.windows(2).all(|w| w[0] <= w[1]) {
+            ns.binary_search(&col).is_ok()
+        } else {
+            ns.contains(&col)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // 0 -> 1,2 ; 1 -> 2 ; 2 -> (none) ; 3 -> 0
+        Csr::from_parts(vec![0, 2, 3, 3, 4], vec![1, 2, 2, 0], 4)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let c = sample();
+        assert_eq!(c.n_rows(), 4);
+        assert_eq!(c.n_cols(), 4);
+        assert_eq!(c.n_edges(), 4);
+        assert_eq!(c.degree(0), 2);
+        assert_eq!(c.degree(2), 0);
+        assert_eq!(c.neighbours(0), &[1, 2]);
+        assert_eq!(c.neighbours(3), &[0]);
+    }
+
+    #[test]
+    fn edge_iteration_order() {
+        let c = sample();
+        let edges: Vec<_> = c.iter_edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (3, 0)]);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let c = sample();
+        let t = c.transpose();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_edges(), 4);
+        // In-edges of 2 are from 0 and 1.
+        assert_eq!(t.neighbours(2), &[0, 1]);
+        assert_eq!(t.neighbours(0), &[3]);
+        let back = t.transpose();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn topology_bytes_accounting() {
+        let c = sample();
+        // 5 offsets * 8 + 4 targets * 4 = 40 + 16.
+        assert_eq!(c.topology_bytes(), 56);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let c = Csr::empty(3, 5);
+        assert_eq!(c.n_rows(), 3);
+        assert_eq!(c.n_cols(), 5);
+        assert_eq!(c.n_edges(), 0);
+        assert_eq!(c.degree(2), 0);
+        assert_eq!(c.transpose().n_rows(), 5);
+    }
+
+    #[test]
+    fn has_edge_small_and_sorted() {
+        let mut c = sample();
+        assert!(c.has_edge(0, 1));
+        assert!(!c.has_edge(0, 3));
+        c.sort_rows();
+        assert!(c.has_edge(3, 0));
+        assert!(!c.has_edge(2, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "last offset")]
+    fn from_parts_rejects_bad_last_offset() {
+        Csr::from_parts(vec![0, 1], vec![0, 1], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotonically")]
+    fn from_parts_rejects_nonmonotone() {
+        Csr::from_parts(vec![0, 2, 1, 3], vec![0, 0, 0], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_cols")]
+    fn from_parts_rejects_out_of_range_target() {
+        Csr::from_parts(vec![0, 1], vec![5], 2);
+    }
+}

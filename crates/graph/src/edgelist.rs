@@ -1,0 +1,163 @@
+//! Mutable edge-list construction form.
+
+use crate::VertexId;
+
+/// A directed edge list used while constructing or transforming graphs.
+///
+/// Edges are `(source, destination)` pairs. The list is the common currency
+/// between the synthetic generators (`ihtl-gen`) and the compressed
+/// representations ([`crate::Csr`] / [`crate::Graph`]).
+#[derive(Clone, Debug, Default)]
+pub struct EdgeList {
+    /// Number of vertices in the universe; all endpoints are `< n_vertices`.
+    n_vertices: usize,
+    edges: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeList {
+    /// An empty list over `n_vertices` vertices.
+    pub fn new(n_vertices: usize) -> Self {
+        assert!(n_vertices <= u32::MAX as usize, "vertex universe must fit u32");
+        Self { n_vertices, edges: Vec::new() }
+    }
+
+    /// Builds from a vector of edges, validating endpoints.
+    pub fn from_edges(n_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
+        assert!(n_vertices <= u32::MAX as usize, "vertex universe must fit u32");
+        for &(s, d) in &edges {
+            assert!((s as usize) < n_vertices && (d as usize) < n_vertices, "edge endpoint out of range");
+        }
+        Self { n_vertices, edges }
+    }
+
+    /// Number of vertices in the universe.
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of edges (including duplicates before [`Self::dedup`]).
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Appends one edge.
+    pub fn push(&mut self, src: VertexId, dst: VertexId) {
+        debug_assert!((src as usize) < self.n_vertices && (dst as usize) < self.n_vertices);
+        self.edges.push((src, dst));
+    }
+
+    /// Reserves capacity for `additional` more edges.
+    pub fn reserve(&mut self, additional: usize) {
+        self.edges.reserve(additional);
+    }
+
+    /// The raw edge slice.
+    pub fn edges(&self) -> &[(VertexId, VertexId)] {
+        &self.edges
+    }
+
+    /// Consumes the list and returns the raw edges.
+    pub fn into_edges(self) -> Vec<(VertexId, VertexId)> {
+        self.edges
+    }
+
+    /// Sorts edges by `(src, dst)` and removes exact duplicates. Real-world
+    /// graph files commonly contain duplicate edges; the paper's binary graph
+    /// representations are duplicate-free adjacency structures.
+    pub fn sort_dedup(&mut self) {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+    }
+
+    /// Removes self-loops `(v, v)`.
+    pub fn remove_self_loops(&mut self) {
+        self.edges.retain(|&(s, d)| s != d);
+    }
+
+    /// Drops zero-degree vertices (vertices with neither in- nor out-edges)
+    /// by compacting IDs, returning the mapping `old_id -> new_id` (with
+    /// `u32::MAX` marking removed vertices). The paper removes zero-degree
+    /// vertices "because of their destructive effect" (§4.1, Table 1).
+    pub fn compact_zero_degree(&mut self) -> Vec<VertexId> {
+        let mut used = vec![false; self.n_vertices];
+        for &(s, d) in &self.edges {
+            used[s as usize] = true;
+            used[d as usize] = true;
+        }
+        let mut map = vec![u32::MAX; self.n_vertices];
+        let mut next = 0u32;
+        for (v, &u) in used.iter().enumerate() {
+            if u {
+                map[v] = next;
+                next += 1;
+            }
+        }
+        for e in &mut self.edges {
+            e.0 = map[e.0 as usize];
+            e.1 = map[e.1 as usize];
+        }
+        self.n_vertices = next as usize;
+        map
+    }
+
+    /// Reverses every edge in place (graph transpose at the edge-list level).
+    pub fn reverse(&mut self) {
+        for e in &mut self.edges {
+            std::mem::swap(&mut e.0, &mut e.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut el = EdgeList::new(4);
+        el.push(0, 1);
+        el.push(1, 2);
+        assert_eq!(el.n_edges(), 2);
+        assert_eq!(el.n_vertices(), 4);
+    }
+
+    #[test]
+    fn sort_dedup_removes_duplicates() {
+        let mut el = EdgeList::from_edges(3, vec![(2, 1), (0, 1), (2, 1), (0, 1), (1, 0)]);
+        el.sort_dedup();
+        assert_eq!(el.edges(), &[(0, 1), (1, 0), (2, 1)]);
+    }
+
+    #[test]
+    fn self_loop_removal() {
+        let mut el = EdgeList::from_edges(3, vec![(0, 0), (0, 1), (2, 2)]);
+        el.remove_self_loops();
+        assert_eq!(el.edges(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn compact_drops_isolated_vertices() {
+        // Vertex 1 and 3 unused out of 5.
+        let mut el = EdgeList::from_edges(5, vec![(0, 2), (4, 0)]);
+        let map = el.compact_zero_degree();
+        assert_eq!(el.n_vertices(), 3);
+        assert_eq!(map[0], 0);
+        assert_eq!(map[1], u32::MAX);
+        assert_eq!(map[2], 1);
+        assert_eq!(map[4], 2);
+        assert_eq!(el.edges(), &[(0, 1), (2, 0)]);
+    }
+
+    #[test]
+    fn reverse_swaps_endpoints() {
+        let mut el = EdgeList::from_edges(3, vec![(0, 1), (2, 0)]);
+        el.reverse();
+        assert_eq!(el.edges(), &[(1, 0), (0, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_edges_validates() {
+        EdgeList::from_edges(2, vec![(0, 3)]);
+    }
+}

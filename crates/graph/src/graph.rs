@@ -1,0 +1,198 @@
+//! The directed graph type holding both traversal views.
+
+use crate::builder::csr_from_pairs;
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// A directed graph with both the out-edge (CSR) and in-edge (CSC) views,
+/// as used throughout the paper ("Graphs are represented in Compressed
+/// Sparse Rows and Columns", §2.1).
+///
+/// * `csr().neighbours(v)` = out-neighbours `N⁺(v)` — walked by **push**.
+/// * `csc().neighbours(v)` = in-neighbours `N⁻(v)` — walked by **pull**.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    csr: Csr,
+    csc: Csr,
+}
+
+impl Graph {
+    /// Builds both views from an edge list. Cost: two counting sorts.
+    pub fn from_edge_list(el: &EdgeList) -> Self {
+        let n = el.n_vertices();
+        let csr = csr_from_pairs(n, n, el.edges());
+        let csc = csr.transpose();
+        Self { csr, csc }
+    }
+
+    /// Builds from raw `(src, dst)` pairs over `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let csr = csr_from_pairs(n, n, edges);
+        let csc = csr.transpose();
+        Self { csr, csc }
+    }
+
+    /// Builds from pre-computed views. `csr` and `csc` must be transposes of
+    /// one another; this is checked in debug builds only (it is `O(|E|)`).
+    pub fn from_views(csr: Csr, csc: Csr) -> Self {
+        assert_eq!(csr.n_rows(), csc.n_rows(), "views must agree on |V|");
+        assert_eq!(csr.n_edges(), csc.n_edges(), "views must agree on |E|");
+        debug_assert_eq!(csr.transpose(), csc, "csc must be the transpose of csr");
+        Self { csr, csc }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n_vertices(&self) -> usize {
+        self.csr.n_rows()
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.csr.n_edges()
+    }
+
+    /// The out-edge view (push traversal).
+    #[inline]
+    pub fn csr(&self) -> &Csr {
+        &self.csr
+    }
+
+    /// The in-edge view (pull traversal).
+    #[inline]
+    pub fn csc(&self) -> &Csr {
+        &self.csc
+    }
+
+    /// Out-degree `|N⁺(v)|`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.csr.degree(v)
+    }
+
+    /// In-degree `|N⁻(v)|`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.csc.degree(v)
+    }
+
+    /// Applies a vertex relabeling: `perm[old] = new`. Both endpoints of
+    /// every edge are renamed; adjacency content is otherwise identical.
+    /// Used to materialise the graphs produced by the reordering baselines
+    /// (SlashBurn / GOrder / Rabbit-Order, §4.5).
+    pub fn relabel(&self, perm: &[VertexId]) -> Graph {
+        let n = self.n_vertices();
+        assert_eq!(perm.len(), n, "permutation length must equal |V|");
+        let mut edges = Vec::with_capacity(self.n_edges());
+        for (src, ns) in self.csr.iter_rows() {
+            let s = perm[src as usize];
+            for &dst in ns {
+                edges.push((s, perm[dst as usize]));
+            }
+        }
+        Graph::from_edges(n, &edges)
+    }
+
+    /// The transpose graph (every edge reversed).
+    pub fn reverse(&self) -> Graph {
+        Graph { csr: self.csc.clone(), csc: self.csr.clone() }
+    }
+}
+
+/// The worked example graph of the paper's Figure 2(a) / Figure 5,
+/// reconstructed exactly from the constraints the paper states (0-indexed;
+/// paper vertex *k* is `k-1` here):
+///
+/// * in-neighbours of hub 3 are {2,5,6,7,8} (§2.3 pull timeline);
+/// * hub 7 has in-degree 4 with sources among {2,3,5,6};
+/// * VWEH = {2,5,6,8} and FV = {1,4} (Figure 4);
+/// * row out-degrees match Figure 6: deg⁺ = [1,2,1,1,2,4,2,1];
+/// * the pull timeline's initial cache state `[1,7]` requires N⁻(2) read
+///   order `7, 1` and vertex 1 having in-neighbour 4.
+pub fn paper_example_graph() -> Graph {
+    let edges: Vec<(VertexId, VertexId)> = vec![
+        (0, 1),                         // 1→2
+        (1, 2), (1, 6),                 // 2→3, 2→7
+        (2, 6),                         // 3→7
+        (3, 0),                         // 4→1
+        (4, 2), (4, 6),                 // 5→3, 5→7
+        (5, 2), (5, 6), (5, 3), (5, 4), // 6→3, 6→7, 6→4, 6→5
+        (6, 2), (6, 1),                 // 7→3, 7→2
+        (7, 2),                         // 8→3
+    ];
+    Graph::from_edges(8, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_matches_figure() {
+        let g = paper_example_graph();
+        assert_eq!(g.n_vertices(), 8);
+        assert_eq!(g.n_edges(), 14);
+        // Paper's in-hubs are vertices 3 and 7 (0-indexed 2 and 6).
+        assert_eq!(g.in_degree(2), 5);
+        assert_eq!(g.in_degree(6), 4);
+        // §2.3: pull of hub 3 reads the data of vertices 2,5,6,7,8.
+        let mut srcs: Vec<u32> = g.csc().neighbours(2).to_vec();
+        srcs.sort_unstable();
+        assert_eq!(srcs, vec![1, 4, 5, 6, 7]);
+        // Figure 6 row out-degrees.
+        let degs: Vec<usize> = (0..8).map(|v| g.out_degree(v)).collect();
+        assert_eq!(degs, vec![1, 2, 1, 1, 2, 4, 2, 1]);
+        // FV = {1,4} (0-indexed 0 and 3): no out-edges to either hub.
+        for fv in [0u32, 3u32] {
+            assert!(!g.csr().neighbours(fv).contains(&2));
+            assert!(!g.csr().neighbours(fv).contains(&6));
+        }
+    }
+
+    #[test]
+    fn views_are_transposes() {
+        let g = paper_example_graph();
+        assert_eq!(&g.csr().transpose(), g.csc());
+        // Transposing back canonicalises adjacency order (counting sort is
+        // stable over ascending source IDs), so compare sorted.
+        let mut back = g.csc().transpose();
+        back.sort_rows();
+        let mut csr = g.csr().clone();
+        csr.sort_rows();
+        assert_eq!(back, csr);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = paper_example_graph();
+        let n = g.n_vertices() as u32;
+        let perm: Vec<u32> = (0..n).map(|v| n - 1 - v).collect();
+        let h = g.relabel(&perm);
+        assert_eq!(h.n_edges(), g.n_edges());
+        for v in 0..n {
+            assert_eq!(h.in_degree(perm[v as usize]), g.in_degree(v));
+            assert_eq!(h.out_degree(perm[v as usize]), g.out_degree(v));
+        }
+        assert!(h.csr().has_edge(perm[0], perm[1]));
+    }
+
+    #[test]
+    fn reverse_swaps_views() {
+        let g = paper_example_graph();
+        let r = g.reverse();
+        assert_eq!(r.csr(), g.csc());
+        assert_eq!(r.in_degree(0), g.out_degree(0));
+    }
+
+    #[test]
+    fn from_edge_list_equals_from_edges() {
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        let el = EdgeList::from_edges(3, edges.clone());
+        let a = Graph::from_edge_list(&el);
+        let b = Graph::from_edges(3, &edges);
+        assert_eq!(a.csr(), b.csr());
+        assert_eq!(a.csc(), b.csc());
+    }
+}

@@ -1,0 +1,108 @@
+//! Compact binary graph format.
+//!
+//! The paper amortises iHTL preprocessing by storing the transformed graph
+//! "in its binary format (similar to the special file formats that each
+//! framework uses) on disk" (§4.2). This module provides that capability for
+//! plain graphs; the `ihtl-core` crate reuses it for its blocked structure.
+//!
+//! Layout (little-endian): magic `IHTLGRPH`, version u32, n_vertices u64,
+//! n_edges u64, then the CSR offsets (u64 each) and targets (u32 each).
+//! The CSC is rebuilt on load (cheaper than storing both).
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::{EdgeIndex, VertexId};
+
+const MAGIC: &[u8; 8] = b"IHTLGRPH";
+const VERSION: u32 = 1;
+
+/// Writes `g` to `path` in the binary format.
+pub fn save_graph(g: &Graph, path: &Path) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(g.n_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.n_edges() as u64).to_le_bytes())?;
+    for &o in g.csr().offsets() {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &t in g.csr().targets() {
+        w.write_all(&t.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads a graph previously written by [`save_graph`].
+pub fn load_graph(path: &Path) -> io::Result<Graph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let version = read_u32(&mut r)?;
+    if version != VERSION {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unsupported version {version}"),
+        ));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let m = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as EdgeIndex);
+    }
+    let mut targets = Vec::with_capacity(m);
+    for _ in 0..m {
+        targets.push(read_u32(&mut r)? as VertexId);
+    }
+    let csr = Csr::from_parts(offsets, targets, n);
+    let csc = csr.transpose();
+    Ok(Graph::from_views(csr, csc))
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_graph;
+
+    #[test]
+    fn roundtrip() {
+        let g = paper_example_graph();
+        let dir = std::env::temp_dir().join("ihtl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("paper_example.bin");
+        save_graph(&g, &path).unwrap();
+        let h = load_graph(&path).unwrap();
+        assert_eq!(h.csr(), g.csr());
+        assert_eq!(h.csc(), g.csc());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let dir = std::env::temp_dir().join("ihtl_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("garbage.bin");
+        std::fs::write(&path, b"not a graph").unwrap();
+        assert!(load_graph(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

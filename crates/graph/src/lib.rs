@@ -1,0 +1,49 @@
+//! Graph substrate for the iHTL reproduction.
+//!
+//! This crate provides the representations and utilities every other crate in
+//! the workspace builds on:
+//!
+//! * [`Csr`] — compressed sparse rows/columns with 8-byte offsets and 4-byte
+//!   neighbour IDs, matching the layout the paper accounts for in its
+//!   topology-size analysis (§4.4, Table 4);
+//! * [`Graph`] — a directed graph holding both the out-edge ([`Graph::csr`])
+//!   and in-edge ([`Graph::csc`]) views;
+//! * [`EdgeList`] — the mutable construction form, with dedup/sort helpers;
+//! * [`stats`] — degree distributions, hub statistics and the *asymmetricity*
+//!   measure of the paper's Figure 9;
+//! * [`partition`] — edge-balanced range partitioning used by the parallel
+//!   traversals (the paper's GraphGrind-style partitioning, §4.1);
+//! * [`io`] — a compact binary format so preprocessing can be amortised
+//!   across runs (§4.2).
+//!
+//! Vertex IDs are `u32` and edge indices are `u64`, exactly as in the paper's
+//! experimental setup ("|V|+1 index values of 8 bytes … and |E| neighbour IDs
+//! of 4 bytes each as |V| < 2^32").
+
+pub mod builder;
+pub mod csr;
+pub mod edgelist;
+pub mod graph;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use csr::Csr;
+pub use edgelist::EdgeList;
+pub use graph::Graph;
+
+/// Vertex identifier. The paper stores neighbour IDs in 4 bytes.
+pub type VertexId = u32;
+
+/// Edge index / offset type. The paper stores CSR/CSC offsets in 8 bytes.
+pub type EdgeIndex = u64;
+
+/// Number of bytes of one CSR/CSC offset entry (paper §4.1).
+pub const OFFSET_BYTES: usize = 8;
+
+/// Number of bytes of one stored neighbour ID (paper §4.1).
+pub const NEIGHBOUR_BYTES: usize = 4;
+
+/// Number of bytes of one vertex-data element in the evaluation (paper §4.1:
+/// "The vertex data size is 8 bytes").
+pub const VERTEX_DATA_BYTES: usize = 8;

@@ -1,0 +1,149 @@
+//! Edge-balanced range partitioning.
+//!
+//! The paper's implementation "applies work-stealing for parallel processing
+//! of graph partitions created by vertex and edge partitioning" (§4.1,
+//! GraphGrind-style). The equivalent here: split the vertex range `0..n`
+//! into contiguous chunks whose *edge* counts are as equal as possible, then
+//! hand the chunks to rayon (whose scheduler provides the work stealing).
+
+use crate::csr::Csr;
+use crate::VertexId;
+
+/// A contiguous vertex range `[start, end)` owning the edges of the rows it
+/// spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VertexRange {
+    pub start: VertexId,
+    pub end: VertexId,
+}
+
+impl VertexRange {
+    /// Number of vertices in the range.
+    pub fn len(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+
+    /// Whether the range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Iterate the vertex IDs of the range.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> {
+        self.start..self.end
+    }
+}
+
+/// Splits the rows of `csr` into at most `n_parts` contiguous ranges with
+/// approximately equal edge counts (each part gets ≈ `|E|/n_parts` edges,
+/// off by at most one row's degree). Empty trailing parts are dropped, so
+/// fewer than `n_parts` ranges may be returned for tiny graphs.
+pub fn edge_balanced_ranges(csr: &Csr, n_parts: usize) -> Vec<VertexRange> {
+    assert!(n_parts > 0, "need at least one part");
+    let n = csr.n_rows();
+    let m = csr.n_edges() as u64;
+    let offsets = csr.offsets();
+    let mut ranges = Vec::with_capacity(n_parts);
+    let mut start = 0usize;
+    for p in 1..=n_parts {
+        if start >= n {
+            break;
+        }
+        // Target cumulative edge count after part p.
+        let target = m * p as u64 / n_parts as u64;
+        // First row index whose offset reaches the target.
+        let end = if p == n_parts {
+            n
+        } else {
+            let mut e = offsets[start..=n].partition_point(|&o| o < target) + start;
+            e = e.clamp(start + 1, n);
+            e
+        };
+        ranges.push(VertexRange { start: start as VertexId, end: end as VertexId });
+        start = end;
+    }
+    ranges
+}
+
+/// Splits `0..n` into `n_parts` vertex-balanced ranges (plain chunking),
+/// used where edge balance is irrelevant (e.g. buffer merging over hubs).
+pub fn vertex_balanced_ranges(n: usize, n_parts: usize) -> Vec<VertexRange> {
+    assert!(n_parts > 0, "need at least one part");
+    let chunk = n.div_ceil(n_parts).max(1);
+    (0..n)
+        .step_by(chunk)
+        .map(|s| VertexRange {
+            start: s as VertexId,
+            end: (s + chunk).min(n) as VertexId,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::csr_from_pairs;
+
+    fn skewed_csr() -> Csr {
+        // Row 0 has 90 edges, rows 1..10 have 1 each.
+        let mut edges = Vec::new();
+        for i in 0..90u32 {
+            edges.push((0u32, i % 10));
+        }
+        for r in 1..10u32 {
+            edges.push((r, 0));
+        }
+        csr_from_pairs(10, 10, &edges)
+    }
+
+    #[test]
+    fn ranges_cover_all_rows_exactly_once() {
+        let c = skewed_csr();
+        for parts in [1, 2, 3, 7, 100] {
+            let rs = edge_balanced_ranges(&c, parts);
+            let mut next = 0u32;
+            for r in &rs {
+                assert_eq!(r.start, next);
+                assert!(r.end > r.start);
+                next = r.end;
+            }
+            assert_eq!(next as usize, c.n_rows());
+        }
+    }
+
+    #[test]
+    fn heavy_row_isolated() {
+        let c = skewed_csr();
+        let rs = edge_balanced_ranges(&c, 4);
+        // The 90-edge row dominates: the first range should contain only row 0.
+        assert_eq!(rs[0], VertexRange { start: 0, end: 1 });
+    }
+
+    #[test]
+    fn balanced_on_uniform_graph() {
+        let edges: Vec<(u32, u32)> = (0..100u32).map(|v| (v, (v + 1) % 100)).collect();
+        let c = csr_from_pairs(100, 100, &edges);
+        let rs = edge_balanced_ranges(&c, 4);
+        assert_eq!(rs.len(), 4);
+        for r in &rs {
+            assert_eq!(r.len(), 25);
+        }
+    }
+
+    #[test]
+    fn vertex_ranges_cover() {
+        let rs = vertex_balanced_ranges(10, 3);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        assert_eq!(total, 10);
+        assert_eq!(rs[0].start, 0);
+        assert_eq!(rs.last().unwrap().end, 10);
+    }
+
+    #[test]
+    fn empty_graph_single_part() {
+        let c = Csr::empty(0, 0);
+        let rs = edge_balanced_ranges(&c, 4);
+        assert!(rs.is_empty());
+        assert!(vertex_balanced_ranges(0, 2).is_empty());
+    }
+}

@@ -1,0 +1,198 @@
+//! Structural statistics: degree distributions, hub measures, and the
+//! *asymmetricity* metric of the paper's Figure 9.
+
+use rayon::prelude::*;
+
+use crate::graph::Graph;
+use crate::VertexId;
+
+/// Summary degree statistics of a graph (the columns of the paper's
+/// Table 1).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub n_vertices: usize,
+    pub n_edges: usize,
+    pub max_in_degree: usize,
+    pub max_out_degree: usize,
+    pub mean_degree: f64,
+}
+
+/// Computes [`DegreeStats`] for `g`.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.n_vertices();
+    let max_in = (0..n).map(|v| g.in_degree(v as VertexId)).max().unwrap_or(0);
+    let max_out = (0..n).map(|v| g.out_degree(v as VertexId)).max().unwrap_or(0);
+    DegreeStats {
+        n_vertices: n,
+        n_edges: g.n_edges(),
+        max_in_degree: max_in,
+        max_out_degree: max_out,
+        mean_degree: if n == 0 { 0.0 } else { g.n_edges() as f64 / n as f64 },
+    }
+}
+
+/// Vertices sorted by in-degree, descending; ties broken by ascending
+/// original ID so hub selection is deterministic. This is the ordering iHTL
+/// uses to pick in-hubs ("in-hubs are selected as a number of vertices with
+/// the highest degree", §3.2).
+pub fn vertices_by_in_degree_desc(g: &Graph) -> Vec<VertexId> {
+    let mut order: Vec<VertexId> = (0..g.n_vertices() as u32).collect();
+    order.par_sort_by(|&a, &b| {
+        g.in_degree(b)
+            .cmp(&g.in_degree(a))
+            .then_with(|| a.cmp(&b))
+    });
+    order
+}
+
+/// Asymmetricity of vertex `v` (paper §5.4, Figure 9):
+///
+/// `|{(u,v) ∈ E | (v,u) ∉ E}| / |{(u,v) ∈ E}|`
+///
+/// i.e. the fraction of in-neighbours that are *not* also out-neighbours.
+/// Returns `None` for vertices with no in-edges. Requires sorted adjacency
+/// for efficiency, so it takes a scratch-sorted copy of the out-list.
+pub fn asymmetricity(g: &Graph, v: VertexId) -> Option<f64> {
+    let ins = g.csc().neighbours(v);
+    if ins.is_empty() {
+        return None;
+    }
+    let mut outs: Vec<VertexId> = g.csr().neighbours(v).to_vec();
+    outs.sort_unstable();
+    let non_reciprocal = ins
+        .iter()
+        .filter(|u| outs.binary_search(u).is_err())
+        .count();
+    Some(non_reciprocal as f64 / ins.len() as f64)
+}
+
+/// One bucket of a degree-conditioned profile: vertices whose in-degree
+/// falls in `[lo, hi)`, with the mean of some per-vertex metric over them.
+#[derive(Clone, Copy, Debug)]
+pub struct DegreeBucket {
+    pub lo: usize,
+    pub hi: usize,
+    pub n_vertices: usize,
+    pub mean: f64,
+}
+
+/// Buckets vertices by in-degree into power-of-two bins `[2^k, 2^(k+1))`
+/// and averages `metric(v)` within each non-empty bucket, skipping vertices
+/// where the metric is undefined. This is the x-axis treatment of the
+/// paper's Figures 1 and 9 (log-scale degree on x).
+pub fn degree_profile<F>(g: &Graph, metric: F) -> Vec<DegreeBucket>
+where
+    F: Fn(VertexId) -> Option<f64>,
+{
+    let max_deg = (0..g.n_vertices())
+        .map(|v| g.in_degree(v as VertexId))
+        .max()
+        .unwrap_or(0);
+    let n_buckets = (usize::BITS - max_deg.leading_zeros()) as usize + 1;
+    let mut sums = vec![0.0f64; n_buckets];
+    let mut counts = vec![0usize; n_buckets];
+    for v in 0..g.n_vertices() as u32 {
+        let d = g.in_degree(v);
+        if d == 0 {
+            continue;
+        }
+        if let Some(m) = metric(v) {
+            let b = (usize::BITS - 1 - d.leading_zeros()) as usize;
+            sums[b] += m;
+            counts[b] += 1;
+        }
+    }
+    (0..n_buckets)
+        .filter(|&b| counts[b] > 0)
+        .map(|b| DegreeBucket {
+            lo: 1 << b,
+            hi: 1 << (b + 1),
+            n_vertices: counts[b],
+            mean: sums[b] / counts[b] as f64,
+        })
+        .collect()
+}
+
+/// Fraction of all edges whose destination lies in the `k` highest
+/// in-degree vertices. Quantifies the paper's premise that "a very small
+/// fraction of vertices … are connected to a disproportionately large
+/// fraction of edges" (§1).
+pub fn edge_fraction_to_top_k(g: &Graph, k: usize) -> f64 {
+    if g.n_edges() == 0 {
+        return 0.0;
+    }
+    let order = vertices_by_in_degree_desc(g);
+    let covered: usize = order
+        .iter()
+        .take(k)
+        .map(|&v| g.in_degree(v))
+        .sum();
+    covered as f64 / g.n_edges() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_graph;
+
+    #[test]
+    fn stats_of_paper_example() {
+        let g = paper_example_graph();
+        let s = degree_stats(&g);
+        assert_eq!(s.n_vertices, 8);
+        assert_eq!(s.n_edges, 14);
+        assert_eq!(s.max_in_degree, 5);
+        assert_eq!(s.max_out_degree, 4);
+        assert!((s.mean_degree - 14.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn in_degree_order_puts_hubs_first() {
+        let g = paper_example_graph();
+        let order = vertices_by_in_degree_desc(&g);
+        // Hubs: vertex 2 (deg 5) then 6 (deg 4).
+        assert_eq!(order[0], 2);
+        assert_eq!(order[1], 6);
+    }
+
+    #[test]
+    fn in_degree_order_breaks_ties_by_id() {
+        // Two vertices with equal in-degree.
+        let g = Graph::from_edges(4, &[(0, 2), (1, 3)]);
+        let order = vertices_by_in_degree_desc(&g);
+        assert_eq!(&order[..2], &[2, 3]);
+    }
+
+    #[test]
+    fn asymmetricity_extremes() {
+        // 0<->1 reciprocal, 2->1 one-way.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (2, 1)]);
+        assert_eq!(asymmetricity(&g, 0), Some(0.0)); // only in-neighbour 1 is reciprocated
+        assert_eq!(asymmetricity(&g, 1), Some(0.5)); // in {0,2}, out {0}
+        assert_eq!(asymmetricity(&g, 2), None); // no in-edges
+    }
+
+    #[test]
+    fn degree_profile_buckets() {
+        let g = paper_example_graph();
+        let prof = degree_profile(&g, |_| Some(1.0));
+        // Every bucket mean is 1.0 and the counts sum to #vertices with in-deg > 0.
+        let with_in = (0..8).filter(|&v| g.in_degree(v) > 0).count();
+        assert_eq!(prof.iter().map(|b| b.n_vertices).sum::<usize>(), with_in);
+        assert!(prof.iter().all(|b| (b.mean - 1.0).abs() < 1e-12));
+        // Buckets are powers of two and disjoint.
+        for w in prof.windows(2) {
+            assert!(w[0].hi <= w[1].lo);
+        }
+    }
+
+    #[test]
+    fn top_k_edge_coverage() {
+        let g = paper_example_graph();
+        // Top-2 in-degree vertices (2 and 6) cover 9 of 14 edges.
+        let f = edge_fraction_to_top_k(&g, 2);
+        assert!((f - 9.0 / 14.0).abs() < 1e-12);
+        assert_eq!(edge_fraction_to_top_k(&g, 0), 0.0);
+        assert!((edge_fraction_to_top_k(&g, 8) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,80 @@
+//! Locality-optimizing relabeling baselines (paper §4.5, Figures 1 and 8).
+//!
+//! The paper compares iHTL against three published reordering algorithms;
+//! this crate reimplements each one's core algorithm:
+//!
+//! * [`slashburn`] — SlashBurn (Lim, Kang, Faloutsos 2014): iterative hub
+//!   removal and giant-component recursion;
+//! * [`gorder`] — GOrder (Wei et al. 2016): sliding-window greedy
+//!   maximisation of neighbour/sibling affinity (sequential and expensive,
+//!   exactly as the paper reports — >2000× iHTL's preprocessing time);
+//! * [`rabbit`] — Rabbit-Order (Arai et al. 2016): modularity-driven
+//!   hierarchical community aggregation with dendrogram DFS numbering;
+//! * [`simple`] — identity, random and degree-sort orderings as controls.
+//!
+//! All of them produce a [`Reordering`]: a permutation `perm[old] = new`
+//! plus the preprocessing wall-clock the paper prices in Figure 8 (right).
+
+pub mod gorder;
+pub mod rabbit;
+pub mod simple;
+pub mod slashburn;
+
+use ihtl_graph::VertexId;
+
+/// A vertex relabeling together with the time it took to compute.
+#[derive(Clone, Debug)]
+pub struct Reordering {
+    /// Algorithm label for reports.
+    pub name: &'static str,
+    /// `perm[old] = new`.
+    pub perm: Vec<VertexId>,
+    /// Preprocessing wall-clock seconds.
+    pub seconds: f64,
+}
+
+impl Reordering {
+    /// Panics unless `perm` is a bijection on `0..n`.
+    pub fn validate(&self) {
+        let n = self.perm.len();
+        let mut seen = vec![false; n];
+        for &p in &self.perm {
+            assert!((p as usize) < n, "target {p} out of range");
+            assert!(!seen[p as usize], "duplicate target {p}");
+            seen[p as usize] = true;
+        }
+    }
+
+    /// The inverse mapping `inv[new] = old`.
+    pub fn inverse(&self) -> Vec<VertexId> {
+        let mut inv = vec![0 as VertexId; self.perm.len()];
+        for (old, &new) in self.perm.iter().enumerate() {
+            inv[new as usize] = old as VertexId;
+        }
+        inv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_permutation() {
+        let r = Reordering { name: "t", perm: vec![2, 0, 1], seconds: 0.0 };
+        r.validate();
+        assert_eq!(r.inverse(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn validate_rejects_duplicates() {
+        Reordering { name: "t", perm: vec![0, 0, 1], seconds: 0.0 }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn validate_rejects_out_of_range() {
+        Reordering { name: "t", perm: vec![0, 3], seconds: 0.0 }.validate();
+    }
+}

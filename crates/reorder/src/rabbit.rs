@@ -1,0 +1,198 @@
+//! Rabbit-Order (Arai, Shiokawa, Yamamuro, Onizuka, Iwamura — IPDPS 2016).
+//!
+//! Community-driven numbering: hierarchical modularity-based aggregation
+//! builds a dendrogram (each vertex merges into the neighbour community
+//! with the best modularity gain, then the contracted graph repeats), and a
+//! DFS over the dendrogram assigns consecutive new IDs within communities —
+//! "just-in-time parallel reordering" in the original; a faithful sequential
+//! aggregation is sufficient here since the paper only consumes the
+//! ordering and its (relative) preprocessing cost.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ihtl_graph::{Graph, VertexId};
+
+use crate::Reordering;
+
+/// One dendrogram node: either a leaf (original vertex) or a merge.
+enum Node {
+    Leaf(VertexId),
+    Merge(Vec<usize>),
+}
+
+/// Runs Rabbit-Order-style aggregation with at most `max_levels` rounds of
+/// contraction.
+pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
+    let t = Instant::now();
+    let n = g.n_vertices();
+    // Undirected weighted multigraph as adjacency maps community → weight.
+    // Start: every vertex its own community with its dendrogram leaf.
+    let mut nodes: Vec<Node> = (0..n as u32).map(Node::Leaf).collect();
+    // adj[c] maps neighbour community -> edge weight.
+    let mut adj: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+    for (u, outs) in g.csr().iter_rows() {
+        for &v in outs {
+            if u == v {
+                continue;
+            }
+            *adj[u as usize].entry(v).or_insert(0) += 1;
+            *adj[v as usize].entry(u).or_insert(0) += 1;
+        }
+    }
+    let two_m = (2 * g.n_edges()).max(1) as f64;
+    let mut weight: Vec<u64> = adj
+        .iter()
+        .map(|a| a.values().sum::<u64>())
+        .collect();
+    // node_of[c] = dendrogram node index of live community c.
+    let mut node_of: Vec<usize> = (0..n).collect();
+    let mut live: Vec<u32> = (0..n as u32).collect();
+
+    for _level in 0..max_levels {
+        // Merge pass: ascending degree (the original merges small-degree
+        // vertices first to keep communities balanced).
+        let mut order = live.clone();
+        order.sort_unstable_by(|&a, &b| {
+            weight[a as usize]
+                .cmp(&weight[b as usize])
+                .then_with(|| a.cmp(&b))
+        });
+        let mut merged_any = false;
+        let mut alive: Vec<bool> = vec![false; n];
+        for &c in &live {
+            alive[c as usize] = true;
+        }
+        for &c in &order {
+            if !alive[c as usize] {
+                continue;
+            }
+            // Best neighbour by modularity gain ΔQ ∝ w(c,u)/2m − k_c·k_u/(2m)².
+            // Ties break toward the smaller community ID so the result does
+            // not depend on HashMap iteration order.
+            let mut best: Option<(u32, f64)> = None;
+            for (&u, &w) in &adj[c as usize] {
+                if u == c || !alive[u as usize] {
+                    continue;
+                }
+                let dq = w as f64 / two_m
+                    - (weight[c as usize] as f64 * weight[u as usize] as f64) / (two_m * two_m);
+                if dq > 0.0
+                    && best.map_or(true, |(bu, b)| dq > b || (dq == b && u < bu))
+                {
+                    best = Some((u, dq));
+                }
+            }
+            let Some((target, _)) = best else { continue };
+            // Merge c into target.
+            merged_any = true;
+            alive[c as usize] = false;
+            let c_adj = std::mem::take(&mut adj[c as usize]);
+            for (u, w) in c_adj {
+                if u == target || u == c {
+                    continue;
+                }
+                *adj[target as usize].entry(u).or_insert(0) += w;
+                let a = &mut adj[u as usize];
+                a.remove(&c);
+                *a.entry(target).or_insert(0) += w;
+            }
+            adj[target as usize].remove(&c);
+            weight[target as usize] += weight[c as usize];
+            // Dendrogram: target's node becomes Merge([target_node, c_node])
+            // (or extends an existing merge).
+            let c_node = node_of[c as usize];
+            let t_node = node_of[target as usize];
+            match &mut nodes[t_node] {
+                Node::Merge(children) => children.push(c_node),
+                Node::Leaf(_) => {
+                    let idx = nodes.len();
+                    nodes.push(Node::Merge(vec![t_node, c_node]));
+                    node_of[target as usize] = idx;
+                }
+            }
+        }
+        live.retain(|&c| alive[c as usize]);
+        if !merged_any || live.len() <= 1 {
+            break;
+        }
+    }
+
+    // DFS over the dendrogram, assigning consecutive IDs. Top-level
+    // communities in ascending original representative order keeps the
+    // result deterministic.
+    let mut order: Vec<VertexId> = Vec::with_capacity(n);
+    let mut stack: Vec<usize> = live
+        .iter()
+        .rev()
+        .map(|&c| node_of[c as usize])
+        .collect();
+    while let Some(idx) = stack.pop() {
+        match &nodes[idx] {
+            Node::Leaf(v) => order.push(*v),
+            Node::Merge(children) => stack.extend(children.iter().rev()),
+        }
+    }
+    debug_assert_eq!(order.len(), n);
+    let mut perm = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    Reordering { name: "Rabbit-Order", perm, seconds: t.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_graph::graph::paper_example_graph;
+
+    #[test]
+    fn valid_permutation_on_paper_example() {
+        let g = paper_example_graph();
+        let r = rabbit_order(&g, 8);
+        r.validate();
+    }
+
+    #[test]
+    fn communities_get_consecutive_ids() {
+        // Two triangles joined by one weak edge: each triangle is a
+        // community, so its three vertices must receive consecutive IDs.
+        let edges = vec![
+            (0u32, 1u32), (1, 2), (2, 0),
+            (3, 4), (4, 5), (5, 3),
+            (2, 3),
+        ];
+        let g = Graph::from_edges(6, &edges);
+        let r = rabbit_order(&g, 8);
+        r.validate();
+        let mut a: Vec<u32> = (0..3).map(|v| r.perm[v]).collect();
+        let mut b: Vec<u32> = (3..6).map(|v| r.perm[v]).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        let contiguous = |xs: &[u32]| xs.windows(2).all(|w| w[1] == w[0] + 1);
+        assert!(contiguous(&a), "triangle A scattered: {a:?}");
+        assert!(contiguous(&b), "triangle B scattered: {b:?}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = paper_example_graph();
+        assert_eq!(rabbit_order(&g, 8).perm, rabbit_order(&g, 8).perm);
+    }
+
+    #[test]
+    fn edgeless_graph_is_identity_like() {
+        let g = Graph::from_edges(4, &[]);
+        let r = rabbit_order(&g, 4);
+        r.validate();
+    }
+
+    #[test]
+    fn max_levels_zero_keeps_singletons() {
+        let g = paper_example_graph();
+        let r = rabbit_order(&g, 0);
+        r.validate();
+        // No merges → identity ordering.
+        assert!(r.perm.iter().enumerate().all(|(i, &p)| i as u32 == p));
+    }
+}

@@ -1,0 +1,81 @@
+//! Control orderings: identity, random, degree sort.
+
+use std::time::Instant;
+
+use ihtl_graph::stats::vertices_by_in_degree_desc;
+use ihtl_graph::{Graph, VertexId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::Reordering;
+
+/// The identity ordering (the "initial" curves of Figures 1 and 8).
+pub fn identity(g: &Graph) -> Reordering {
+    Reordering {
+        name: "identity",
+        perm: (0..g.n_vertices() as u32).collect(),
+        seconds: 0.0,
+    }
+}
+
+/// A seeded uniformly random ordering — the locality-destroying control.
+pub fn random(g: &Graph, seed: u64) -> Reordering {
+    let t = Instant::now();
+    let mut order: Vec<VertexId> = (0..g.n_vertices() as u32).collect();
+    let mut rng = rand_pcg::Pcg64::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    // `order[new] = old`; invert into perm[old] = new.
+    let mut perm = vec![0 as VertexId; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    Reordering { name: "random", perm, seconds: t.elapsed().as_secs_f64() }
+}
+
+/// Sort by descending in-degree — the degree-sort baseline several blocking
+/// schemes apply throughout (the paper notes this "destroys locality
+/// expressed in the initial assignment of vertex labels", §5.4).
+pub fn degree_sort(g: &Graph) -> Reordering {
+    let t = Instant::now();
+    let order = vertices_by_in_degree_desc(g);
+    let mut perm = vec![0 as VertexId; order.len()];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    Reordering { name: "degree-sort", perm, seconds: t.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_graph::graph::paper_example_graph;
+
+    #[test]
+    fn identity_is_identity() {
+        let g = paper_example_graph();
+        let r = identity(&g);
+        r.validate();
+        assert!(r.perm.iter().enumerate().all(|(i, &p)| i as u32 == p));
+    }
+
+    #[test]
+    fn random_is_valid_and_seeded() {
+        let g = paper_example_graph();
+        let a = random(&g, 7);
+        let b = random(&g, 7);
+        let c = random(&g, 8);
+        a.validate();
+        assert_eq!(a.perm, b.perm);
+        assert_ne!(a.perm, c.perm);
+    }
+
+    #[test]
+    fn degree_sort_puts_hubs_first() {
+        let g = paper_example_graph();
+        let r = degree_sort(&g);
+        r.validate();
+        // The top in-degree vertex (2) maps to new ID 0.
+        assert_eq!(r.perm[2], 0);
+        assert_eq!(r.perm[6], 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! SlashBurn (Lim, Kang, Faloutsos — TKDE 2014).
+//!
+//! Each round: *slash* the `k` highest-degree vertices (hubs) out of the
+//! graph and place them at the next free positions at the **front** of the
+//! ordering; the removal shatters the remainder into connected components;
+//! every non-giant component's vertices (*spokes*) are placed at the
+//! **back**; recursion continues on the giant connected component (GCC)
+//! until it has at most `k` vertices. The result clusters hub-adjacent
+//! structure at low IDs — the "caveman community" ordering the paper uses
+//! as its first baseline.
+
+use std::time::Instant;
+
+use ihtl_graph::{Graph, VertexId};
+
+use crate::Reordering;
+
+/// Union-find over vertex IDs with union by size.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+}
+
+/// Runs SlashBurn with hub fraction `k_ratio` (the original paper suggests
+/// 0.5 % of |V| per round). Degrees are taken over the undirected view.
+pub fn slashburn(g: &Graph, k_ratio: f64) -> Reordering {
+    let t = Instant::now();
+    let n = g.n_vertices();
+    let k = ((n as f64 * k_ratio).ceil() as usize).max(1);
+
+    let mut alive = vec![true; n];
+    let mut front: Vec<VertexId> = Vec::with_capacity(n);
+    let mut back: Vec<VertexId> = Vec::with_capacity(n);
+    // Degree within the alive subgraph (undirected).
+    let mut degree: Vec<u64> = (0..n as u32)
+        .map(|v| (g.in_degree(v) + g.out_degree(v)) as u64)
+        .collect();
+    let mut n_alive = n;
+
+    while n_alive > k {
+        // --- Slash: remove the k highest-degree alive vertices. ---
+        let mut order: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+        order.sort_unstable_by(|&a, &b| {
+            degree[b as usize]
+                .cmp(&degree[a as usize])
+                .then_with(|| a.cmp(&b))
+        });
+        let removed = k.min(order.len());
+        for &hub in order.iter().take(removed) {
+            alive[hub as usize] = false;
+            front.push(hub);
+        }
+        n_alive -= removed;
+
+        // Update alive degrees after hub removal.
+        for &hub in order.iter().take(removed) {
+            for &u in g.csr().neighbours(hub) {
+                degree[u as usize] = degree[u as usize].saturating_sub(1);
+            }
+            for &u in g.csc().neighbours(hub) {
+                degree[u as usize] = degree[u as usize].saturating_sub(1);
+            }
+        }
+
+        // --- Burn: components of the remainder. ---
+        let mut uf = UnionFind::new(n);
+        for (u, outs) in g.csr().iter_rows() {
+            if !alive[u as usize] {
+                continue;
+            }
+            for &v in outs {
+                if alive[v as usize] {
+                    uf.union(u, v);
+                }
+            }
+        }
+        // Component sizes among alive vertices.
+        let mut comp_size: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        for v in 0..n as u32 {
+            if alive[v as usize] {
+                *comp_size.entry(uf.find(v)).or_insert(0) += 1;
+            }
+        }
+        let gcc_root = match comp_size.iter().max_by_key(|&(&r, &s)| (s, std::cmp::Reverse(r))) {
+            Some((&r, _)) => r,
+            None => break,
+        };
+
+        // Spokes: every non-GCC alive vertex goes to the back, grouped by
+        // component (larger components first), vertices in original order.
+        let mut spokes: Vec<(u32, u32)> = Vec::new(); // (component root, vertex)
+        for v in 0..n as u32 {
+            if alive[v as usize] && uf.find(v) != gcc_root {
+                spokes.push((uf.find(v), v));
+            }
+        }
+        spokes.sort_unstable_by(|a, b| {
+            comp_size[&b.0]
+                .cmp(&comp_size[&a.0])
+                .then_with(|| a.0.cmp(&b.0))
+                .then_with(|| a.1.cmp(&b.1))
+        });
+        for &(_, v) in &spokes {
+            alive[v as usize] = false;
+            back.push(v);
+            // Degrees of GCC vertices never reference spokes again (they
+            // are in different components), so no degree updates needed.
+        }
+        n_alive -= spokes.len();
+    }
+
+    // Remaining GCC kernel: append by degree, descending.
+    let mut rest: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
+    rest.sort_unstable_by(|&a, &b| {
+        degree[b as usize]
+            .cmp(&degree[a as usize])
+            .then_with(|| a.cmp(&b))
+    });
+    front.extend(rest);
+
+    // Final layout: front ++ reverse(back).
+    let mut order = front;
+    order.extend(back.into_iter().rev());
+    debug_assert_eq!(order.len(), n);
+    let mut perm = vec![0 as VertexId; n];
+    for (new, &old) in order.iter().enumerate() {
+        perm[old as usize] = new as VertexId;
+    }
+    Reordering { name: "SlashBurn", perm, seconds: t.elapsed().as_secs_f64() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ihtl_graph::graph::paper_example_graph;
+
+    #[test]
+    fn produces_valid_permutation() {
+        let g = paper_example_graph();
+        let r = slashburn(&g, 0.15);
+        r.validate();
+    }
+
+    #[test]
+    fn hubs_get_lowest_ids() {
+        // Star graph: vertex 0 is the hub of 20 leaves.
+        let edges: Vec<(u32, u32)> = (1..21u32).map(|v| (v, 0)).collect();
+        let g = Graph::from_edges(21, &edges);
+        let r = slashburn(&g, 0.05); // k = 2 hubs per round
+        r.validate();
+        assert_eq!(r.perm[0], 0, "hub must be slashed first");
+    }
+
+    #[test]
+    fn spokes_go_to_the_back() {
+        // Hub 0 links to everything; removing it leaves the cycle
+        // {1,2,3,4} as the GCC and {5}, {6} as spokes.
+        let mut edges: Vec<(u32, u32)> = (1..7u32).flat_map(|v| [(0, v), (v, 0)]).collect();
+        edges.extend([(1u32, 2u32), (2, 3), (3, 4), (4, 1)]);
+        let g = Graph::from_edges(7, &edges);
+        let r = slashburn(&g, 0.1); // k = 1
+        r.validate();
+        assert_eq!(r.perm[0], 0, "hub 0 slashed first");
+        // The spokes land in the final two positions.
+        let mut spoke_pos = [r.perm[5], r.perm[6]];
+        spoke_pos.sort_unstable();
+        assert_eq!(spoke_pos, [5, 6]);
+        // GCC members fill the middle.
+        for v in 1..5 {
+            assert!((1..5).contains(&r.perm[v as usize]), "perm[{v}] = {}", r.perm[v as usize]);
+        }
+    }
+
+    #[test]
+    fn works_on_edgeless_graph() {
+        let g = Graph::from_edges(5, &[]);
+        let r = slashburn(&g, 0.3);
+        r.validate();
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = paper_example_graph();
+        assert_eq!(slashburn(&g, 0.15).perm, slashburn(&g, 0.15).perm);
+    }
+}

@@ -1,0 +1,277 @@
+//! Pull-direction SpMV kernels (Algorithm 1 of the paper).
+//!
+//! In pull direction every destination vertex owns its output slot, so no
+//! write protection is needed; reads of source data are random. Three
+//! parallelisation strategies mirror the paper's pull baselines.
+
+use rayon::prelude::*;
+
+use ihtl_graph::partition::{edge_balanced_ranges, VertexRange};
+use ihtl_graph::{Csr, Graph, VertexId};
+
+use crate::monoid::Monoid;
+use crate::split_by_ranges;
+
+/// Sequential reference pull SpMV — the ground truth every other kernel
+/// (including iHTL) is tested against.
+pub fn spmv_pull_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), g.n_vertices());
+    assert_eq!(y.len(), g.n_vertices());
+    for (v, ins) in g.csc().iter_rows() {
+        let mut acc = M::identity();
+        for &u in ins {
+            acc = M::combine(acc, x[u as usize]);
+        }
+        y[v as usize] = acc;
+    }
+}
+
+/// GraphGrind-style pull: the destination range is split into
+/// `parts` contiguous, edge-balanced partitions processed in parallel
+/// (work stealing comes from rayon's scheduler).
+pub fn spmv_pull<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
+    spmv_pull_with_parts::<M>(g, x, y, default_parts());
+}
+
+/// [`spmv_pull`] with an explicit partition count.
+pub fn spmv_pull_with_parts<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], parts: usize) {
+    assert_eq!(x.len(), g.n_vertices());
+    assert_eq!(y.len(), g.n_vertices());
+    let ranges = edge_balanced_ranges(g.csc(), parts);
+    let slices = split_by_ranges(y, &ranges);
+    ranges
+        .par_iter()
+        .zip(slices)
+        .for_each(|(range, out)| pull_range::<M>(g.csc(), x, *range, out));
+}
+
+/// Galois-style pull: vertices processed in small fixed-size chunks that the
+/// scheduler distributes dynamically — good load balance without a
+/// preprocessing pass, at the cost of finer task granularity.
+pub fn spmv_pull_chunked<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], chunk: usize) {
+    assert_eq!(x.len(), g.n_vertices());
+    assert_eq!(y.len(), g.n_vertices());
+    assert!(chunk > 0);
+    let csc = g.csc();
+    y.par_chunks_mut(chunk).enumerate().for_each(|(i, out)| {
+        let start = (i * chunk) as VertexId;
+        let range = VertexRange { start, end: start + out.len() as VertexId };
+        pull_range::<M>(csc, x, range, out);
+    });
+}
+
+fn pull_range<M: Monoid>(csc: &Csr, x: &[f64], range: VertexRange, out: &mut [f64]) {
+    for v in range.iter() {
+        let mut acc = M::identity();
+        for &u in csc.neighbours(v) {
+            acc = M::combine(acc, x[u as usize]);
+        }
+        out[(v - range.start) as usize] = acc;
+    }
+}
+
+/// Cagra/GraphIt-style *horizontally blocked* CSC: sources are split into
+/// contiguous segments sized to cache, and the in-edges are regrouped by
+/// source segment. During traversal each segment's random reads stay within
+/// a cache-sized window of `x` (paper §5.4: "horizontal blocking of the
+/// adjacency matrix in pull traversal that limits the range of random memory
+/// accesses"). Each segment stores only its *non-empty* destinations (the
+/// compacted vertex arrays of the Cagra layout), so traversal cost is
+/// proportional to edges, not `segments × |V|`.
+pub struct SegmentedCsc {
+    segments: Vec<Segment>,
+    /// Number of source vertices per segment.
+    segment_width: usize,
+    n_vertices: usize,
+}
+
+struct Segment {
+    /// Rows are compacted destination indices (`0..dsts.len()`).
+    csr: Csr,
+    /// `dsts[row]` = the real destination vertex of compacted row `row`,
+    /// strictly ascending.
+    dsts: Vec<VertexId>,
+}
+
+impl SegmentedCsc {
+    /// Builds the blocked structure; `segment_width` is the number of source
+    /// vertices per segment (the paper sizes segments so their vertex data
+    /// fits in on-chip cache).
+    pub fn new(g: &Graph, segment_width: usize) -> Self {
+        assert!(segment_width > 0);
+        let n = g.n_vertices();
+        let n_segments = n.div_ceil(segment_width).max(1);
+        // Bucket edges per source segment, keyed by destination.
+        let mut per_segment: Vec<Vec<(VertexId, VertexId)>> =
+            vec![Vec::new(); n_segments];
+        for (dst, srcs) in g.csc().iter_rows() {
+            for &src in srcs {
+                per_segment[src as usize / segment_width].push((dst, src));
+            }
+        }
+        let segments = per_segment
+            .into_iter()
+            .map(|mut pairs| {
+                // Compact destinations: stable sort by dst keeps each
+                // destination's source order deterministic.
+                pairs.sort_by_key(|&(dst, _)| dst);
+                let mut dsts: Vec<VertexId> = Vec::new();
+                let mut compact: Vec<(VertexId, VertexId)> = Vec::with_capacity(pairs.len());
+                for (dst, src) in pairs {
+                    if dsts.last() != Some(&dst) {
+                        dsts.push(dst);
+                    }
+                    compact.push((dsts.len() as VertexId - 1, src));
+                }
+                let csr = ihtl_graph::builder::csr_from_pairs(dsts.len(), n, &compact);
+                Segment { csr, dsts }
+            })
+            .collect();
+        Self { segments, segment_width, n_vertices: n }
+    }
+
+    /// Number of segments.
+    pub fn n_segments(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Source vertices per segment.
+    pub fn segment_width(&self) -> usize {
+        self.segment_width
+    }
+
+    /// Total edges across segments (must equal the graph's edge count).
+    pub fn n_edges(&self) -> usize {
+        self.segments.iter().map(|s| s.csr.n_edges()).sum()
+    }
+
+    /// Topology bytes of the blocked representation (per-segment offset and
+    /// destination arrays are the replication overhead Cagra pays, §5.4).
+    pub fn topology_bytes(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|s| s.csr.topology_bytes() + (s.dsts.len() * ihtl_graph::NEIGHBOUR_BYTES) as u64)
+            .sum()
+    }
+}
+
+/// GraphIt/Cagra-style pull over a [`SegmentedCsc`]: segments are processed
+/// one after another (keeping the source window cache-resident), with each
+/// segment's non-empty destinations processed in parallel.
+pub fn spmv_pull_segmented<M: Monoid>(
+    seg: &SegmentedCsc,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(x.len(), seg.n_vertices);
+    assert_eq!(y.len(), seg.n_vertices);
+    y.par_iter_mut().for_each(|v| *v = M::identity());
+    // Within a segment every compacted row owns a distinct destination, so
+    // the scattered writes are race-free; the atomic view only provides the
+    // unsynchronised shared mutability (plain relaxed load/store, no CAS).
+    let slots = crate::monoid::as_atomic_slice(y);
+    for seg in &seg.segments {
+        let ranges = edge_balanced_ranges(&seg.csr, default_parts());
+        ranges.par_iter().for_each(|range| {
+            for row in range.iter() {
+                let ins = seg.csr.neighbours(row);
+                if ins.is_empty() {
+                    continue;
+                }
+                let slot = &slots[seg.dsts[row as usize] as usize];
+                let mut acc = f64::from_bits(
+                    slot.load(std::sync::atomic::Ordering::Relaxed),
+                );
+                for &u in ins {
+                    acc = M::combine(acc, x[u as usize]);
+                }
+                slot.store(acc.to_bits(), std::sync::atomic::Ordering::Relaxed);
+            }
+        });
+    }
+}
+
+/// Default partition count: a small multiple of the worker count so rayon's
+/// stealing can balance skewed partitions (the paper uses work stealing over
+/// partitioned graphs, §4.1).
+pub fn default_parts() -> usize {
+    rayon::current_num_threads() * 8
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{Add, Min};
+    use ihtl_graph::graph::paper_example_graph;
+
+    fn x_for(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i * i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn serial_matches_hand_computation() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut y = vec![0.0; 8];
+        spmv_pull_serial::<Add>(&g, &x, &mut y);
+        // Hub 2's in-neighbours are {1,4,5,6,7}.
+        let expect: f64 = [1, 4, 5, 6, 7].iter().map(|&u: &usize| x[u]).sum();
+        assert_eq!(y[2], expect);
+        // Vertex 7 has no in-edges in the example graph: identity result.
+        assert_eq!(g.in_degree(7), 0);
+        assert_eq!(y[7], 0.0);
+    }
+
+    #[test]
+    fn all_parallel_variants_match_serial() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_pull_serial::<Add>(&g, &x, &mut reference);
+
+        let mut y = vec![-1.0; 8];
+        spmv_pull::<Add>(&g, &x, &mut y);
+        assert_eq!(y, reference);
+
+        let mut y = vec![-1.0; 8];
+        spmv_pull_with_parts::<Add>(&g, &x, &mut y, 3);
+        assert_eq!(y, reference);
+
+        let mut y = vec![-1.0; 8];
+        spmv_pull_chunked::<Add>(&g, &x, &mut y, 3);
+        assert_eq!(y, reference);
+
+        for width in [1, 2, 3, 8, 100] {
+            let seg = SegmentedCsc::new(&g, width);
+            assert_eq!(seg.n_edges(), g.n_edges());
+            let mut y = vec![-1.0; 8];
+            spmv_pull_segmented::<Add>(&seg, &x, &mut y);
+            assert_eq!(y, reference, "segment width {width}");
+        }
+    }
+
+    #[test]
+    fn min_monoid_variants_match() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_pull_serial::<Min>(&g, &x, &mut reference);
+        let mut y = vec![0.0; 8];
+        spmv_pull::<Min>(&g, &x, &mut y);
+        assert_eq!(y, reference);
+        // A vertex with no in-edges must hold the identity (+inf).
+        let no_in = (0..8u32).find(|&v| g.in_degree(v) == 0);
+        if let Some(v) = no_in {
+            assert_eq!(reference[v as usize], f64::INFINITY);
+        }
+    }
+
+    #[test]
+    fn segmented_topology_overhead_grows_with_segments() {
+        let g = paper_example_graph();
+        let one = SegmentedCsc::new(&g, 8);
+        let four = SegmentedCsc::new(&g, 2);
+        assert!(four.n_segments() > one.n_segments());
+        assert!(four.topology_bytes() > one.topology_bytes());
+    }
+}

@@ -1,0 +1,274 @@
+//! Push-direction SpMV kernels (Algorithm 2 of the paper).
+//!
+//! In push direction each source scatters its value to its out-neighbours,
+//! so reads are sequential but writes are random and must be protected. The
+//! paper lists the three protection schemes (§1): atomic instructions,
+//! buffering, and partitioning edges by destination — all three are
+//! implemented here.
+
+use rayon::prelude::*;
+
+use ihtl_graph::builder::csr_from_pairs;
+use ihtl_graph::partition::{edge_balanced_ranges, vertex_balanced_ranges};
+use ihtl_graph::{Csr, Graph, VertexId};
+
+use crate::monoid::{as_atomic_slice, Monoid};
+use crate::split_by_ranges;
+
+/// Sequential reference push SpMV. Equivalent to pull up to the order of
+/// combination (bitwise identical for `Min`/`Max`; up to rounding for
+/// `Add`).
+pub fn spmv_push_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), g.n_vertices());
+    assert_eq!(y.len(), g.n_vertices());
+    y.iter_mut().for_each(|v| *v = M::identity());
+    for (u, outs) in g.csr().iter_rows() {
+        let xu = x[u as usize];
+        for &v in outs {
+            y[v as usize] = M::combine(y[v as usize], xu);
+        }
+    }
+}
+
+/// GraphIt-style atomic push: sources processed in parallel, destinations
+/// updated with CAS loops. The contention and fence cost of those loops is a
+/// large part of why "pull traversal is faster than push" (§1).
+pub fn spmv_push_atomic<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), g.n_vertices());
+    assert_eq!(y.len(), g.n_vertices());
+    y.par_iter_mut().for_each(|v| *v = M::identity());
+    let slots = as_atomic_slice(y);
+    let csr = g.csr();
+    let ranges = edge_balanced_ranges(csr, crate::pull::default_parts());
+    ranges.par_iter().for_each(|range| {
+        for u in range.iter() {
+            let xu = x[u as usize];
+            for &v in csr.neighbours(u) {
+                M::combine_atomic(&slots[v as usize], xu);
+            }
+        }
+    });
+}
+
+/// X-Stream-style buffered push (the paper's reference [29], and the
+/// mechanism iHTL adopts *for hubs only*): every worker scatters into a
+/// private full-width buffer; buffers are merged afterwards. The full-width
+/// buffers are exactly what makes this expensive — iHTL's insight is to
+/// shrink them to the hub set.
+pub fn spmv_push_buffered<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
+    let n = g.n_vertices();
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    let csr = g.csr();
+    let ranges = edge_balanced_ranges(csr, crate::pull::default_parts());
+    let buffers: Vec<Vec<f64>> = ranges
+        .par_iter()
+        .map(|range| {
+            let mut buf = vec![M::identity(); n];
+            for u in range.iter() {
+                let xu = x[u as usize];
+                for &v in csr.neighbours(u) {
+                    buf[v as usize] = M::combine(buf[v as usize], xu);
+                }
+            }
+            buf
+        })
+        .collect();
+    // Merge: parallel over destination ranges, sequential over buffers.
+    let merge_ranges = vertex_balanced_ranges(n, crate::pull::default_parts());
+    let slices = split_by_ranges(y, &merge_ranges);
+    merge_ranges.par_iter().zip(slices).for_each(|(range, out)| {
+        for (i, slot) in out.iter_mut().enumerate() {
+            let v = range.start as usize + i;
+            let mut acc = M::identity();
+            for buf in &buffers {
+                acc = M::combine(acc, buf[v]);
+            }
+            *slot = acc;
+        }
+    });
+}
+
+/// GraphGrind-style vertically partitioned CSR: out-edges are regrouped by
+/// *destination* range so that workers own disjoint destination partitions
+/// and push without synchronisation (§1 protection scheme (3); §5.4
+/// "GraphGrind and Graptor apply vertical blocking in their push
+/// traversals").
+pub struct DstPartitionedCsr {
+    /// One CSR per destination partition; partition `p` holds exactly the
+    /// edges whose destination falls in `bounds[p]..bounds[p+1]`.
+    partitions: Vec<Csr>,
+    /// Destination-range boundaries, `n_parts + 1` entries.
+    bounds: Vec<VertexId>,
+    n_vertices: usize,
+}
+
+impl DstPartitionedCsr {
+    /// Builds `n_parts` edge-balanced destination partitions.
+    pub fn new(g: &Graph, n_parts: usize) -> Self {
+        let n = g.n_vertices();
+        // Balance on the in-edge (CSC) view so partitions receive roughly
+        // equal edge counts.
+        let ranges = edge_balanced_ranges(g.csc(), n_parts);
+        let mut bounds: Vec<VertexId> = ranges.iter().map(|r| r.start).collect();
+        bounds.push(n as VertexId);
+        let mut per_part: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); ranges.len()];
+        for (u, outs) in g.csr().iter_rows() {
+            for &v in outs {
+                let p = bounds.partition_point(|&b| b <= v) - 1;
+                per_part[p].push((u, v));
+            }
+        }
+        let partitions = per_part
+            .into_iter()
+            .map(|pairs| csr_from_pairs(n, n, &pairs))
+            .collect();
+        Self { partitions, bounds, n_vertices: n }
+    }
+
+    /// Number of destination partitions.
+    pub fn n_parts(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Total edges across partitions.
+    pub fn n_edges(&self) -> usize {
+        self.partitions.iter().map(|p| p.n_edges()).sum()
+    }
+
+    /// Topology bytes (replicated offset arrays, like every blocking
+    /// scheme).
+    pub fn topology_bytes(&self) -> u64 {
+        self.partitions.iter().map(|p| p.topology_bytes()).sum()
+    }
+}
+
+/// GraphGrind-style push over destination partitions: each partition is
+/// processed by one task that scans *all* sources but only touches its own
+/// destination range — race-free without atomics or buffers, at the price
+/// of re-reading source data once per partition.
+pub fn spmv_push_partitioned<M: Monoid>(
+    part: &DstPartitionedCsr,
+    x: &[f64],
+    y: &mut [f64],
+) {
+    let n = part.n_vertices;
+    assert_eq!(x.len(), n);
+    assert_eq!(y.len(), n);
+    y.par_iter_mut().for_each(|v| *v = M::identity());
+    // Give each partition its own disjoint destination slice.
+    let ranges: Vec<ihtl_graph::partition::VertexRange> = part
+        .bounds
+        .windows(2)
+        .map(|w| ihtl_graph::partition::VertexRange { start: w[0], end: w[1] })
+        .collect();
+    let slices = split_by_ranges(y, &ranges);
+    part.partitions
+        .par_iter()
+        .zip(ranges.par_iter())
+        .zip(slices)
+        .for_each(|((csr, range), out)| {
+            for (u, outs) in csr.iter_rows() {
+                if outs.is_empty() {
+                    continue;
+                }
+                let xu = x[u as usize];
+                for &v in outs {
+                    let slot = (v - range.start) as usize;
+                    out[slot] = M::combine(out[slot], xu);
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::monoid::{Add, Min};
+    use crate::pull::spmv_pull_serial;
+    use ihtl_graph::graph::paper_example_graph;
+
+    fn x_for(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (2 * i + 1) as f64).collect()
+    }
+
+    #[test]
+    fn serial_push_equals_serial_pull() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut pull = vec![0.0; 8];
+        let mut push = vec![0.0; 8];
+        spmv_pull_serial::<Add>(&g, &x, &mut pull);
+        spmv_push_serial::<Add>(&g, &x, &mut push);
+        for (a, b) in pull.iter().zip(&push) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn atomic_push_matches_serial() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_push_serial::<Add>(&g, &x, &mut reference);
+        let mut y = vec![0.0; 8];
+        spmv_push_atomic::<Add>(&g, &x, &mut y);
+        for (a, b) in reference.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn buffered_push_matches_serial() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_push_serial::<Add>(&g, &x, &mut reference);
+        let mut y = vec![0.0; 8];
+        spmv_push_buffered::<Add>(&g, &x, &mut y);
+        for (a, b) in reference.iter().zip(&y) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn partitioned_push_matches_serial_all_part_counts() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_push_serial::<Add>(&g, &x, &mut reference);
+        for parts in [1, 2, 3, 8] {
+            let p = DstPartitionedCsr::new(&g, parts);
+            assert_eq!(p.n_edges(), g.n_edges(), "parts {parts}");
+            let mut y = vec![0.0; 8];
+            spmv_push_partitioned::<Add>(&p, &x, &mut y);
+            for (a, b) in reference.iter().zip(&y) {
+                assert!((a - b).abs() < 1e-9, "parts {parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn min_monoid_push_variants() {
+        let g = paper_example_graph();
+        let x = x_for(8);
+        let mut reference = vec![0.0; 8];
+        spmv_pull_serial::<Min>(&g, &x, &mut reference);
+        let mut y = vec![0.0; 8];
+        spmv_push_atomic::<Min>(&g, &x, &mut y);
+        assert_eq!(y, reference); // min is exact, no rounding slack needed
+        let p = DstPartitionedCsr::new(&g, 2);
+        let mut y = vec![0.0; 8];
+        spmv_push_partitioned::<Min>(&p, &x, &mut y);
+        assert_eq!(y, reference);
+    }
+
+    #[test]
+    fn partition_bounds_cover_universe() {
+        let g = paper_example_graph();
+        let p = DstPartitionedCsr::new(&g, 3);
+        assert_eq!(p.bounds[0], 0);
+        assert_eq!(*p.bounds.last().unwrap(), 8);
+        assert!(p.bounds.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,40 @@
+//! Umbrella crate for the iHTL reproduction: re-exports every component so
+//! downstream users can depend on one crate.
+//!
+//! * [`graph`] — CSR/CSC substrate and IO;
+//! * [`gen`] — seeded synthetic graph generators and the evaluation suite;
+//! * [`traversal`] — the push/pull SpMV baselines;
+//! * [`core`] — the iHTL engine (the paper's contribution);
+//! * [`cachesim`] — the simulated cache hierarchy and traversal replays;
+//! * [`reorder`] — SlashBurn / GOrder / Rabbit-Order baselines;
+//! * [`apps`] — PageRank, components, SSSP over any engine.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the experiment index.
+
+pub use ihtl_apps as apps;
+pub use ihtl_cachesim as cachesim;
+pub use ihtl_core as core;
+pub use ihtl_gen as gen;
+pub use ihtl_graph as graph;
+pub use ihtl_reorder as reorder;
+pub use ihtl_traversal as traversal;
+
+/// Convenience prelude with the most common entry points.
+pub mod prelude {
+    pub use ihtl_apps::engine::{build_engine, build_ihtl_engine, EngineKind, SpmvEngine};
+    pub use ihtl_apps::pagerank::pagerank;
+    pub use ihtl_core::{BlockCountMode, IhtlConfig, IhtlGraph};
+    pub use ihtl_graph::{EdgeList, Graph};
+    pub use ihtl_traversal::{Add, Max, Min, Monoid};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_is_usable() {
+        use crate::prelude::*;
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 1)]);
+        let ih = IhtlGraph::build(&g, &IhtlConfig::default());
+        assert_eq!(ih.n_edges(), 3);
+    }
+}

@@ -1,0 +1,129 @@
+//! Semantic validation of the analytics layer against brute-force oracles
+//! on small random graphs: PageRank's fixpoint equation, BFS distances for
+//! SSSP, and union-find components.
+
+mod common;
+
+use common::arb_graph;
+use ihtl_apps::components::{count_components, propagate_components, symmetrize};
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::{pagerank, DAMPING};
+use ihtl_apps::sssp::sssp;
+use ihtl_core::IhtlConfig;
+use proptest::prelude::*;
+
+fn cfg() -> IhtlConfig {
+    IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() }
+}
+
+/// Brute-force BFS distances (the oracle for unweighted SSSP).
+fn bfs_oracle(g: &ihtl_graph::Graph, src: u32) -> Vec<f64> {
+    let n = g.n_vertices();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0.0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        for &u in g.csr().neighbours(v) {
+            if dist[u as usize].is_infinite() {
+                dist[u as usize] = dist[v as usize] + 1.0;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Brute-force union-find components (the oracle for label propagation).
+fn component_oracle(g: &ihtl_graph::Graph) -> Vec<u32> {
+    let n = g.n_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    fn find(parent: &mut [u32], v: u32) -> u32 {
+        let mut r = v;
+        while parent[r as usize] != r {
+            r = parent[r as usize];
+        }
+        let mut c = v;
+        while parent[c as usize] != r {
+            let nx = parent[c as usize];
+            parent[c as usize] = r;
+            c = nx;
+        }
+        r
+    }
+    for (u, outs) in g.csr().iter_rows() {
+        for &v in outs {
+            let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+            // Union toward the smaller root so labels are component minima.
+            if ru != rv {
+                let (lo, hi) = if ru < rv { (ru, rv) } else { (rv, ru) };
+                parent[hi as usize] = lo;
+            }
+        }
+    }
+    (0..n as u32).map(|v| find(&mut parent, v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// PageRank satisfies its own fixpoint equation after convergence:
+    /// PR[v] ≈ (1-d)/n + d·Σ PR[u]/deg⁺(u).
+    #[test]
+    fn pagerank_fixpoint(g in arb_graph(30, 150)) {
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let run = pagerank(e.as_mut(), 120);
+        let n = g.n_vertices();
+        for v in 0..n as u32 {
+            let sum: f64 = g
+                .csc()
+                .neighbours(v)
+                .iter()
+                .map(|&u| {
+                    let d = g.out_degree(u);
+                    if d > 0 { run.ranks[u as usize] / d as f64 } else { 0.0 }
+                })
+                .sum();
+            let expect = (1.0 - DAMPING) / n as f64 + DAMPING * sum;
+            prop_assert!(
+                (run.ranks[v as usize] - expect).abs() < 1e-8,
+                "vertex {v}: {} vs {}",
+                run.ranks[v as usize],
+                expect
+            );
+        }
+    }
+
+    /// SSSP equals BFS distances on unweighted graphs, through iHTL.
+    #[test]
+    fn sssp_equals_bfs(g in arb_graph(40, 200), src_raw in 0u32..40) {
+        let src = src_raw % g.n_vertices() as u32;
+        let oracle = bfs_oracle(&g, src);
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let run = sssp(e.as_mut(), src, 200);
+        prop_assert_eq!(run.dist, oracle);
+    }
+
+    /// Label propagation finds exactly the union-find components of the
+    /// symmetrized graph.
+    #[test]
+    fn components_equal_union_find(g in arb_graph(40, 120)) {
+        let sym = symmetrize(&g);
+        let oracle = component_oracle(&sym);
+        let mut e = build_engine(EngineKind::Ihtl, &sym, &cfg());
+        let run = propagate_components(e.as_mut(), 500);
+        prop_assert_eq!(&run.labels, &oracle);
+        let distinct: std::collections::HashSet<_> = oracle.iter().collect();
+        prop_assert_eq!(count_components(&run.labels), distinct.len());
+    }
+
+    /// Rank mass: total PageRank stays within (0, 1] (dangling vertices
+    /// leak mass but never create it).
+    #[test]
+    fn pagerank_mass_conserved(g in arb_graph(30, 150)) {
+        let mut e = build_engine(EngineKind::PullGraphGrind, &g, &cfg());
+        let run = pagerank(e.as_mut(), 40);
+        let total: f64 = run.ranks.iter().sum();
+        prop_assert!(total > 0.0 && total <= 1.0 + 1e-9, "mass {total}");
+    }
+}

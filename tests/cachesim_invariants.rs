@@ -1,0 +1,110 @@
+//! Property-based invariants of the cache simulator: LRU stack inclusion,
+//! hierarchy counter consistency, and replay conservation laws.
+
+mod common;
+
+use common::arb_graph;
+use ihtl_cachesim::{
+    replay_ihtl, replay_pull, CacheConfig, Hierarchy, LruCache, ReplayMode,
+};
+use ihtl_core::{IhtlConfig, IhtlGraph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LRU inclusion property: for fully-associative LRU caches with the
+    /// same line size, a larger cache hits whenever a smaller one does.
+    #[test]
+    fn lru_inclusion(addrs in proptest::collection::vec(0u64..4096, 1..400)) {
+        let mut small = LruCache::new(8 * 16, 16, 0);
+        let mut big = LruCache::new(16 * 16, 16, 0);
+        for &a in &addrs {
+            let hit_small = small.access(a);
+            let hit_big = big.access(a);
+            prop_assert!(!hit_small || hit_big, "small hit but big missed at {a}");
+        }
+    }
+
+    /// Working sets within capacity never miss after the first sweep.
+    #[test]
+    fn resident_set_hits(lines in 1usize..16) {
+        let mut c = LruCache::new(16 * 64, 64, 0);
+        let addrs: Vec<u64> = (0..lines as u64).map(|i| i * 64).collect();
+        for &a in &addrs {
+            c.access(a);
+        }
+        for &a in &addrs {
+            prop_assert!(c.access(a));
+        }
+    }
+
+    /// Hierarchy counters are consistent: misses never exceed accesses and
+    /// deeper levels never miss more than shallower ones.
+    #[test]
+    fn hierarchy_counter_sanity(addrs in proptest::collection::vec(0u64..100_000, 1..500)) {
+        let mut h = Hierarchy::new(&CacheConfig::default());
+        for &a in &addrs {
+            h.access(a * 8);
+        }
+        let c = h.counters();
+        prop_assert_eq!(c.accesses, addrs.len() as u64);
+        prop_assert!(c.l1_misses <= c.accesses);
+        prop_assert!(c.l2_misses <= c.l1_misses);
+        prop_assert!(c.l3_misses <= c.l2_misses);
+    }
+
+    /// Replay conservation: the pull replay issues exactly one random read
+    /// per edge, and both replays attribute every edge to some bucket.
+    #[test]
+    fn replay_conservation(g in arb_graph(50, 250)) {
+        let cfg = CacheConfig {
+            line_bytes: 8,
+            l1_bytes: 64,
+            l1_ways: 0,
+            l2_bytes: 128,
+            l2_ways: 0,
+            l3_bytes: 256,
+            l3_ways: 0,
+        };
+        let pull = replay_pull(&g, &cfg, ReplayMode::Full);
+        let pull_random: u64 = pull.profile.rows().iter().map(|r| r.random_accesses).sum();
+        prop_assert_eq!(pull_random, g.n_edges() as u64);
+
+        let ih = IhtlGraph::build(&g, &IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() });
+        let ihtl = replay_ihtl(&ih, &g, &cfg, ReplayMode::Full);
+        let ihtl_random: u64 = ihtl.profile.rows().iter().map(|r| r.random_accesses).sum();
+        prop_assert_eq!(ihtl_random, g.n_edges() as u64);
+
+        // Table 3 shape: iHTL never issues fewer total accesses than pull.
+        prop_assert!(ihtl.counters.accesses >= pull.counters.accesses);
+    }
+
+    /// A hierarchy with an enormous L3 reduces the pull replay's L3 misses
+    /// to compulsory line fills only.
+    #[test]
+    fn big_llc_only_compulsory_misses(g in arb_graph(40, 200)) {
+        let cfg = CacheConfig {
+            line_bytes: 64,
+            l1_bytes: 128,
+            l1_ways: 0,
+            l2_bytes: 256,
+            l2_ways: 0,
+            l3_bytes: 1 << 22,
+            l3_ways: 0,
+        };
+        let rep = replay_pull(&g, &cfg, ReplayMode::Full);
+        // Distinct lines touched is at most accesses; every L3 miss is the
+        // first touch of a line, so misses ≤ distinct addresses / per line.
+        let n = g.n_vertices() as u64;
+        let m = g.n_edges() as u64;
+        // x-lines + y-lines + offset-lines + topo-lines upper bound.
+        let bound = n.div_ceil(8) * 2 + (n + 1).div_ceil(8) + m.div_ceil(16) + 4;
+        prop_assert!(
+            rep.counters.l3_misses <= bound,
+            "l3 misses {} > compulsory bound {}",
+            rep.counters.l3_misses,
+            bound
+        );
+    }
+}

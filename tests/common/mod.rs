@@ -1,0 +1,53 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use ihtl_graph::Graph;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary directed graph with up to `max_n` vertices and
+/// `max_m` edges (duplicates and self-loops allowed before dedup — the
+/// builders must tolerate anything).
+pub fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |mut edges| {
+                edges.sort_unstable();
+                edges.dedup();
+                edges.retain(|&(s, d)| s != d);
+                Graph::from_edges(n, &edges)
+            })
+    })
+}
+
+/// Strategy: a skewed graph where low-numbered vertices are hubs (every
+/// vertex points at a vertex sampled mod `hubs`), guaranteeing iHTL builds
+/// non-trivial flipped blocks.
+pub fn arb_hubby_graph() -> impl Strategy<Value = Graph> {
+    (10usize..80, 2usize..6).prop_flat_map(|(n, hubs)| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), n..n * 4).prop_map(
+            move |raw| {
+                let mut edges: Vec<(u32, u32)> = raw
+                    .into_iter()
+                    .map(|(s, d)| (s, d % hubs as u32))
+                    .collect();
+                // Some non-hub edges too.
+                let extra: Vec<(u32, u32)> =
+                    (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+                edges.extend(extra);
+                edges.retain(|&(s, d)| s != d);
+                edges.sort_unstable();
+                edges.dedup();
+                Graph::from_edges(n, &edges)
+            },
+        )
+    })
+}
+
+/// Asserts two f64 slices are equal within `tol`, treating equal infinities
+/// as equal.
+pub fn assert_close(a: &[f64], b: &[f64], tol: f64, label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        let ok = (x - y).abs() <= tol || x == y || (x.is_infinite() && y.is_infinite());
+        assert!(ok, "{label}: index {i}: {x} vs {y}");
+    }
+}

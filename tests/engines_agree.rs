@@ -1,0 +1,90 @@
+//! Cross-engine agreement: every traversal strategy — the five framework
+//! baselines and iHTL — must compute identical analytics on arbitrary
+//! graphs. This is the reproduction's equivalent of the paper running the
+//! same PageRank inside GraphGrind, GraphIt and Galois.
+
+mod common;
+
+use common::{arb_graph, arb_hubby_graph, assert_close};
+use ihtl_apps::components::{propagate_components, symmetrize};
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_apps::sssp::sssp;
+use ihtl_core::IhtlConfig;
+use proptest::prelude::*;
+
+fn cfg() -> IhtlConfig {
+    IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn spmv_add_agrees(g in arb_graph(50, 250)) {
+        let n = g.n_vertices();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64 + 0.5).collect();
+        let mut reference: Option<Vec<f64>> = None;
+        for kind in EngineKind::all() {
+            let mut e = build_engine(kind, &g, &cfg());
+            let xe = e.from_original_order(&x);
+            let mut y = vec![0.0; n];
+            e.spmv_add(&xe, &mut y);
+            let yo = e.to_original_order(&y);
+            match &reference {
+                None => reference = Some(yo),
+                Some(r) => assert_close(r, &yo, 1e-9, e.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn pagerank_agrees(g in arb_hubby_graph()) {
+        let mut reference: Option<Vec<f64>> = None;
+        for kind in EngineKind::all() {
+            let mut e = build_engine(kind, &g, &cfg());
+            let run = pagerank(e.as_mut(), 8);
+            match &reference {
+                None => reference = Some(run.ranks),
+                Some(r) => assert_close(r, &run.ranks, 1e-10, e.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn sssp_agrees(g in arb_graph(40, 200), src_raw in 0u32..40) {
+        let n = g.n_vertices() as u32;
+        let src = src_raw % n;
+        let mut reference: Option<Vec<f64>> = None;
+        for kind in EngineKind::all() {
+            let mut e = build_engine(kind, &g, &cfg());
+            let run = sssp(e.as_mut(), src, 100);
+            match &reference {
+                None => reference = Some(run.dist),
+                Some(r) => prop_assert_eq!(r, &run.dist, "{}", e.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn components_agree_and_are_correct(g in arb_graph(40, 120)) {
+        let sym = symmetrize(&g);
+        let mut reference: Option<Vec<u32>> = None;
+        for kind in [EngineKind::PullGraphGrind, EngineKind::PushGraphIt, EngineKind::Ihtl] {
+            let mut e = build_engine(kind, &sym, &cfg());
+            let run = propagate_components(e.as_mut(), 200);
+            // Labels are component minima: every vertex's label is ≤ its
+            // own ID and shared with all neighbours.
+            for v in 0..sym.n_vertices() as u32 {
+                prop_assert!(run.labels[v as usize] <= v);
+                for &u in sym.csr().neighbours(v) {
+                    prop_assert_eq!(run.labels[v as usize], run.labels[u as usize]);
+                }
+            }
+            match &reference {
+                None => reference = Some(run.labels),
+                Some(r) => prop_assert_eq!(r, &run.labels, "{:?}", kind),
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based invariants of the reordering baselines: every algorithm
+//! must produce a valid permutation, and relabeling must preserve graph
+//! structure (degree multisets, edge count, SpMV results up to relabeling).
+
+mod common;
+
+use common::{arb_graph, assert_close};
+use ihtl_reorder::{gorder, rabbit, simple, slashburn, Reordering};
+use ihtl_traversal::pull::spmv_pull_serial;
+use ihtl_traversal::Add;
+use proptest::prelude::*;
+
+fn all_orderings(g: &ihtl_graph::Graph) -> Vec<Reordering> {
+    vec![
+        simple::identity(g),
+        simple::random(g, 5),
+        simple::degree_sort(g),
+        slashburn::slashburn(g, 0.1),
+        gorder::gorder(g, 4),
+        rabbit::rabbit_order(g, 8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn orderings_are_permutations(g in arb_graph(40, 160)) {
+        for r in all_orderings(&g) {
+            r.validate();
+            // inverse ∘ perm = identity
+            let inv = r.inverse();
+            for old in 0..g.n_vertices() as u32 {
+                prop_assert_eq!(inv[r.perm[old as usize] as usize], old, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn relabeling_preserves_structure(g in arb_graph(40, 160)) {
+        for r in all_orderings(&g) {
+            let h = g.relabel(&r.perm);
+            prop_assert_eq!(h.n_edges(), g.n_edges(), "{}", r.name);
+            // Degree preservation per vertex through the permutation.
+            for old in 0..g.n_vertices() as u32 {
+                let new = r.perm[old as usize];
+                prop_assert_eq!(h.in_degree(new), g.in_degree(old), "{}", r.name);
+                prop_assert_eq!(h.out_degree(new), g.out_degree(old), "{}", r.name);
+            }
+        }
+    }
+
+    /// SpMV commutes with relabeling: running on the relabeled graph with a
+    /// permuted input gives the permuted output.
+    #[test]
+    fn spmv_commutes_with_relabeling(g in arb_graph(40, 160)) {
+        let n = g.n_vertices();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 11) % 17) as f64 + 1.0).collect();
+        let mut y = vec![0.0; n];
+        spmv_pull_serial::<Add>(&g, &x, &mut y);
+        for r in [slashburn::slashburn(&g, 0.1), rabbit::rabbit_order(&g, 8)] {
+            let h = g.relabel(&r.perm);
+            let mut xp = vec![0.0; n];
+            for old in 0..n {
+                xp[r.perm[old] as usize] = x[old];
+            }
+            let mut yp = vec![0.0; n];
+            spmv_pull_serial::<Add>(&h, &xp, &mut yp);
+            let back: Vec<f64> = (0..n).map(|old| yp[r.perm[old] as usize]).collect();
+            assert_close(&back, &y, 1e-9, r.name);
+        }
+    }
+
+    /// SlashBurn puts its per-round hubs at the very front: new ID 0 is a
+    /// maximum-total-degree vertex.
+    #[test]
+    fn slashburn_fronts_a_hub(g in arb_graph(40, 160)) {
+        if g.n_edges() == 0 {
+            return Ok(());
+        }
+        let r = slashburn::slashburn(&g, 0.03); // k = 1-2
+        let inv = r.inverse();
+        let first = inv[0];
+        let deg = |v: u32| g.in_degree(v) + g.out_degree(v);
+        let max_deg = (0..g.n_vertices() as u32).map(deg).max().unwrap();
+        prop_assert_eq!(deg(first), max_deg);
+    }
+}

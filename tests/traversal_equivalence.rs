@@ -1,0 +1,113 @@
+//! Property-based equivalence of every traversal kernel against the serial
+//! pull reference, over arbitrary graphs, monoids and blocking parameters —
+//! the exhaustive version of the paper's implicit contract that push, pull
+//! and iHTL "traverse every edge exactly once".
+
+mod common;
+
+use common::{arb_graph, assert_close};
+use ihtl_graph::Graph;
+use ihtl_traversal::pull::{
+    spmv_pull_chunked, spmv_pull_segmented, spmv_pull_serial, spmv_pull_with_parts,
+    SegmentedCsc,
+};
+use ihtl_traversal::push::{
+    spmv_push_atomic, spmv_push_buffered, spmv_push_partitioned, spmv_push_serial,
+    DstPartitionedCsr,
+};
+use ihtl_traversal::{Add, Max, Min, Monoid};
+use proptest::prelude::*;
+
+fn reference<M: Monoid>(g: &Graph, x: &[f64]) -> Vec<f64> {
+    let mut y = vec![0.0; g.n_vertices()];
+    spmv_pull_serial::<M>(g, x, &mut y);
+    y
+}
+
+fn input(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64).wrapping_mul(2654435761).wrapping_add(salt) % 1013) as f64 * 0.5)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pull_variants_match_reference(
+        g in arb_graph(60, 300),
+        parts in 1usize..9,
+        chunk in 1usize..17,
+        salt in 0u64..100,
+    ) {
+        let x = input(g.n_vertices(), salt);
+        let expect = reference::<Add>(&g, &x);
+        let mut y = vec![0.0; g.n_vertices()];
+        spmv_pull_with_parts::<Add>(&g, &x, &mut y, parts);
+        assert_close(&y, &expect, 1e-9, "pull parts");
+        spmv_pull_chunked::<Add>(&g, &x, &mut y, chunk);
+        assert_close(&y, &expect, 1e-9, "pull chunked");
+    }
+
+    #[test]
+    fn segmented_pull_matches_reference(
+        g in arb_graph(60, 300),
+        width in 1usize..40,
+        salt in 0u64..100,
+    ) {
+        let x = input(g.n_vertices(), salt);
+        let expect = reference::<Add>(&g, &x);
+        let seg = SegmentedCsc::new(&g, width);
+        prop_assert_eq!(seg.n_edges(), g.n_edges());
+        let mut y = vec![0.0; g.n_vertices()];
+        spmv_pull_segmented::<Add>(&seg, &x, &mut y);
+        assert_close(&y, &expect, 1e-9, "segmented");
+        // Min must be exact.
+        let expect_min = reference::<Min>(&g, &x);
+        spmv_pull_segmented::<Min>(&seg, &x, &mut y);
+        prop_assert_eq!(&y, &expect_min);
+    }
+
+    #[test]
+    fn push_variants_match_reference(
+        g in arb_graph(60, 300),
+        parts in 1usize..9,
+        salt in 0u64..100,
+    ) {
+        let x = input(g.n_vertices(), salt);
+        let expect = reference::<Add>(&g, &x);
+        let mut y = vec![0.0; g.n_vertices()];
+        spmv_push_serial::<Add>(&g, &x, &mut y);
+        assert_close(&y, &expect, 1e-9, "push serial");
+        spmv_push_atomic::<Add>(&g, &x, &mut y);
+        assert_close(&y, &expect, 1e-9, "push atomic");
+        spmv_push_buffered::<Add>(&g, &x, &mut y);
+        assert_close(&y, &expect, 1e-9, "push buffered");
+        let p = DstPartitionedCsr::new(&g, parts);
+        prop_assert_eq!(p.n_edges(), g.n_edges());
+        spmv_push_partitioned::<Add>(&p, &x, &mut y);
+        assert_close(&y, &expect, 1e-9, "push partitioned");
+    }
+
+    #[test]
+    fn max_monoid_agrees_across_directions(g in arb_graph(40, 160), salt in 0u64..50) {
+        let x = input(g.n_vertices(), salt);
+        let expect = reference::<Max>(&g, &x);
+        let mut y = vec![0.0; g.n_vertices()];
+        spmv_push_atomic::<Max>(&g, &x, &mut y);
+        prop_assert_eq!(&y, &expect);
+        let seg = SegmentedCsc::new(&g, 7);
+        spmv_pull_segmented::<Max>(&seg, &x, &mut y);
+        prop_assert_eq!(&y, &expect);
+    }
+
+    /// Blocked structures account for exactly the graph's edges in their
+    /// topology bytes (4 bytes per stored neighbour, at least).
+    #[test]
+    fn blocked_topology_accounting(g in arb_graph(50, 200), parts in 1usize..6) {
+        let seg = SegmentedCsc::new(&g, 8);
+        prop_assert!(seg.topology_bytes() >= (g.n_edges() * 4) as u64);
+        let p = DstPartitionedCsr::new(&g, parts);
+        prop_assert!(p.topology_bytes() >= (g.n_edges() * 4) as u64);
+    }
+}
