@@ -48,11 +48,7 @@ pub fn bfs(g: &Graph, source: VertexId) -> BfsRun {
                 if level[v as usize] != u32::MAX {
                     continue;
                 }
-                if g.csc()
-                    .neighbours(v)
-                    .iter()
-                    .any(|&u| on_frontier[u as usize])
-                {
+                if g.csc().neighbours(v).iter().any(|&u| on_frontier[u as usize]) {
                     level[v as usize] = depth + 1;
                     next.push(v);
                 }
@@ -113,12 +109,10 @@ mod tests {
 
     #[test]
     fn matches_oracle_on_random_graph() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand_pcg::Pcg64::seed_from_u64(9);
+        let mut rng = ihtl_gen::Pcg64::seed_from_u64(9);
         let n = 200usize;
         let edges: Vec<(u32, u32)> = (0..1500)
-            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
             .filter(|&(a, b)| a != b)
             .collect();
         let g = Graph::from_edges(n, &edges);

@@ -60,11 +60,7 @@ pub fn propagate_components(engine: &mut dyn SpmvEngine, max_rounds: usize) -> C
             break;
         }
     }
-    let labels = engine
-        .to_original_order(&labels)
-        .into_iter()
-        .map(|l| l as u32)
-        .collect();
+    let labels = engine.to_original_order(&labels).into_iter().map(|l| l as u32).collect();
     ComponentsRun { labels, rounds }
 }
 

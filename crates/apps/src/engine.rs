@@ -8,12 +8,8 @@
 
 use ihtl_core::{IhtlConfig, IhtlGraph, ThreadBuffers};
 use ihtl_graph::Graph;
-use ihtl_traversal::pull::{
-    spmv_pull, spmv_pull_chunked, spmv_pull_segmented, SegmentedCsc,
-};
-use ihtl_traversal::push::{
-    spmv_push_atomic, spmv_push_partitioned, DstPartitionedCsr,
-};
+use ihtl_traversal::pull::{spmv_pull, spmv_pull_chunked, spmv_pull_segmented, SegmentedCsc};
+use ihtl_traversal::push::{spmv_push_atomic, spmv_push_partitioned, DstPartitionedCsr};
 use ihtl_traversal::{Add, Min};
 
 /// The traversal strategies of the paper's evaluation (Figure 7 columns),
@@ -99,9 +95,8 @@ pub fn build_engine<'g>(
     g: &'g Graph,
     ihtl_cfg: &IhtlConfig,
 ) -> Box<dyn SpmvEngine + 'g> {
-    let out_degrees: Vec<u32> = (0..g.n_vertices() as u32)
-        .map(|v| g.out_degree(v) as u32)
-        .collect();
+    let out_degrees: Vec<u32> =
+        (0..g.n_vertices() as u32).map(|v| g.out_degree(v) as u32).collect();
     match kind {
         EngineKind::PullGraphGrind => Box::new(PullGraphGrind { g, out_degrees }),
         EngineKind::PullGraphIt => {

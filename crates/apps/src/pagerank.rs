@@ -7,8 +7,6 @@
 
 use std::time::Instant;
 
-use rayon::prelude::*;
-
 use crate::engine::SpmvEngine;
 
 /// Damping factor used throughout the paper's evaluation.
@@ -28,11 +26,8 @@ impl PageRankRun {
     /// Mean per-iteration time, skipping the first (warm-up) iteration when
     /// more than one was run — matching the paper's per-iteration metric.
     pub fn mean_iter_seconds(&self) -> f64 {
-        let timed: &[f64] = if self.iter_seconds.len() > 1 {
-            &self.iter_seconds[1..]
-        } else {
-            &self.iter_seconds
-        };
+        let timed: &[f64] =
+            if self.iter_seconds.len() > 1 { &self.iter_seconds[1..] } else { &self.iter_seconds };
         timed.iter().sum::<f64>() / timed.len().max(1) as f64
     }
 }
@@ -55,17 +50,20 @@ pub fn pagerank(engine: &mut dyn SpmvEngine, iters: usize) -> PageRankRun {
         // paper's formula divides by |N⁺| which only appears for vertices
         // that have out-edges).
         let degs = engine.out_degrees();
-        contrib
-            .par_iter_mut()
-            .zip(pr.par_iter())
-            .zip(degs.par_iter())
-            .for_each(|((c, &p), &d)| {
-                *c = if d > 0 { p / d as f64 } else { 0.0 };
+        {
+            let pr = &pr[..];
+            ihtl_parallel::par_for_each_mut(&mut contrib, 4096, |i, c| {
+                let d = degs[i];
+                *c = if d > 0 { pr[i] / d as f64 } else { 0.0 };
             });
+        }
         engine.spmv_add(&contrib, &mut sums);
-        pr.par_iter_mut().zip(sums.par_iter()).for_each(|(p, &s)| {
-            *p = base + DAMPING * s;
-        });
+        {
+            let sums = &sums[..];
+            ihtl_parallel::par_for_each_mut(&mut pr, 4096, |i, p| {
+                *p = base + DAMPING * sums[i];
+            });
+        }
         iter_seconds.push(t.elapsed().as_secs_f64());
     }
 
@@ -106,10 +104,7 @@ mod tests {
                 None => reference = Some(run.ranks),
                 Some(r) => {
                     for (v, (a, b)) in r.iter().zip(&run.ranks).enumerate() {
-                        assert!(
-                            (a - b).abs() < 1e-12,
-                            "{kind:?} vertex {v}: {a} vs {b}"
-                        );
+                        assert!((a - b).abs() < 1e-12, "{kind:?} vertex {v}: {a} vs {b}");
                     }
                 }
             }

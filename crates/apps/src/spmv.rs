@@ -20,11 +20,7 @@ pub struct SpmvRun {
 /// Values are renormalised each iteration to keep them finite on graphs
 /// whose spectral radius exceeds 1 (any graph with a vertex of in-degree
 /// > 1 would otherwise overflow in a few hundred iterations).
-pub fn spmv_iterations(
-    engine: &mut dyn SpmvEngine,
-    x0: &[f64],
-    iters: usize,
-) -> SpmvRun {
+pub fn spmv_iterations(engine: &mut dyn SpmvEngine, x0: &[f64], iters: usize) -> SpmvRun {
     let n = engine.n_vertices();
     assert_eq!(x0.len(), n);
     let mut x = engine.from_original_order(x0);

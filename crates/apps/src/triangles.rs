@@ -17,7 +17,6 @@
 //!   applies to SpMV.
 
 use ihtl_graph::{Graph, VertexId};
-use rayon::prelude::*;
 
 /// Builds the sorted undirected adjacency (deduplicated union of in- and
 /// out-neighbours, self-loops dropped) that both counters consume.
@@ -61,17 +60,24 @@ fn intersection_size(a: &[VertexId], b: &[VertexId]) -> u64 {
 /// edge). Cost concentrates on hubs.
 pub fn count_triangles_edge_iterator(g: &Graph) -> u64 {
     let adj = undirected_sorted_adjacency(g);
-    let total: u64 = adj
-        .par_iter()
-        .enumerate()
-        .map(|(u, ns)| {
-            let u = u as u32;
-            ns.iter()
-                .filter(|&&v| u < v) // each undirected edge once
-                .map(|&v| intersection_size(ns, &adj[v as usize]))
-                .sum::<u64>()
-        })
-        .sum();
+    let total = ihtl_parallel::par_map_reduce(
+        0..adj.len(),
+        64,
+        || 0u64,
+        |r| {
+            r.map(|u| {
+                let ns = &adj[u];
+                let u = u as u32;
+                ns.iter()
+                    .filter(|&&v| u < v) // each undirected edge once
+                    .map(|&v| intersection_size(ns, &adj[v as usize]))
+                    .sum::<u64>()
+            })
+            .sum()
+        },
+        |a, b| a + b,
+        |a, b| a + b,
+    );
     total / 3
 }
 
@@ -99,13 +105,20 @@ pub fn count_triangles_forward(g: &Graph) -> u64 {
                 .collect()
         })
         .collect();
-    fwd.par_iter()
-        .map(|ns| {
-            ns.iter()
-                .map(|&v| intersection_size(ns, &fwd[v as usize]))
-                .sum::<u64>()
-        })
-        .sum()
+    ihtl_parallel::par_map_reduce(
+        0..fwd.len(),
+        64,
+        || 0u64,
+        |r| {
+            r.map(|u| {
+                let ns = &fwd[u];
+                ns.iter().map(|&v| intersection_size(ns, &fwd[v as usize])).sum::<u64>()
+            })
+            .sum()
+        },
+        |a, b| a + b,
+        |a, b| a + b,
+    )
 }
 
 #[cfg(test)]
@@ -161,18 +174,13 @@ mod tests {
 
     #[test]
     fn counters_agree_on_random_graph() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand_pcg::Pcg64::seed_from_u64(7);
+        let mut rng = ihtl_gen::Pcg64::seed_from_u64(7);
         let n = 60usize;
         let edges: Vec<(u32, u32)> = (0..500)
-            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32))
             .filter(|&(a, b)| a != b)
             .collect();
         let g = Graph::from_edges(n, &edges);
-        assert_eq!(
-            count_triangles_edge_iterator(&g),
-            count_triangles_forward(&g)
-        );
+        assert_eq!(count_triangles_edge_iterator(&g), count_triangles_forward(&g));
     }
 }

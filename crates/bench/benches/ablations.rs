@@ -7,9 +7,9 @@
 //!   preprocessing variant;
 //! * **acceptance threshold** — the 50 % rule of §3.3, swept.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ihtl_bench::harness::Harness;
 use ihtl_core::{BlockCountMode, IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_gen::shuffle_vertex_ids;
@@ -27,14 +27,14 @@ fn cfg() -> IhtlConfig {
     IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() }
 }
 
-fn buffered_vs_atomic(c: &mut Criterion) {
+fn buffered_vs_atomic(h: &mut Harness) {
     let g = bench_graph();
     let ih = IhtlGraph::build(&g, &cfg());
     let n = g.n_vertices();
     let x = vec![1.0f64; n];
     let mut y = vec![0.0f64; n];
     let mut bufs = ih.new_buffers();
-    let mut group = c.benchmark_group("ablation/fb_protection");
+    let mut group = h.group("ablation/fb_protection");
     group.sample_size(10);
     group.bench_function("buffered (paper)", |b| {
         b.iter(|| ih.spmv::<Add>(black_box(&x), black_box(&mut y), &mut bufs))
@@ -45,12 +45,12 @@ fn buffered_vs_atomic(c: &mut Criterion) {
     group.finish();
 }
 
-fn fringe_separation(c: &mut Criterion) {
+fn fringe_separation(h: &mut Harness) {
     let g = bench_graph();
     let n = g.n_vertices();
     let x = vec![1.0f64; n];
     let mut y = vec![0.0f64; n];
-    let mut group = c.benchmark_group("ablation/fringe_separation");
+    let mut group = h.group("ablation/fringe_separation");
     group.sample_size(10);
     for (label, separate) in [("separated (paper)", true), ("no zero block", false)] {
         let ih = IhtlGraph::build(&g, &IhtlConfig { separate_fringe: separate, ..cfg() });
@@ -62,13 +62,11 @@ fn fringe_separation(c: &mut Criterion) {
     group.finish();
 }
 
-fn block_count_modes(c: &mut Criterion) {
+fn block_count_modes(h: &mut Harness) {
     let g = bench_graph();
-    let mut group = c.benchmark_group("ablation/preprocessing_mode");
+    let mut group = h.group("ablation/preprocessing_mode");
     group.sample_size(10);
-    group.bench_function("exact (§3.3)", |b| {
-        b.iter(|| black_box(IhtlGraph::build(&g, &cfg())))
-    });
+    group.bench_function("exact (§3.3)", |b| b.iter(|| black_box(IhtlGraph::build(&g, &cfg()))));
     group.bench_function("single-pass (§6)", |b| {
         let c = IhtlConfig { block_count: BlockCountMode::SinglePass { max_blocks: 16 }, ..cfg() };
         b.iter(|| black_box(IhtlGraph::build(&g, &c)))
@@ -76,29 +74,27 @@ fn block_count_modes(c: &mut Criterion) {
     group.finish();
 }
 
-fn acceptance_threshold(c: &mut Criterion) {
+fn acceptance_threshold(h: &mut Harness) {
     let g = bench_graph();
     let n = g.n_vertices();
     let x = vec![1.0f64; n];
     let mut y = vec![0.0f64; n];
-    let mut group = c.benchmark_group("ablation/acceptance_threshold");
+    let mut group = h.group("ablation/acceptance_threshold");
     group.sample_size(10);
     for ratio in [0.25f64, 0.5, 0.75] {
         let ih = IhtlGraph::build(&g, &IhtlConfig { acceptance_ratio: ratio, ..cfg() });
         let mut bufs = ih.new_buffers();
-        group.bench_function(
-            BenchmarkId::from_parameter(format!("{ratio}:{}FB", ih.n_blocks())),
-            |b| b.iter(|| ih.spmv::<Add>(black_box(&x), black_box(&mut y), &mut bufs)),
-        );
+        group.bench_function(format!("{ratio}:{}FB", ih.n_blocks()), |b| {
+            b.iter(|| ih.spmv::<Add>(black_box(&x), black_box(&mut y), &mut bufs))
+        });
     }
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    buffered_vs_atomic,
-    fringe_separation,
-    block_count_modes,
-    acceptance_threshold
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    buffered_vs_atomic(&mut h);
+    fringe_separation(&mut h);
+    block_count_modes(&mut h);
+    acceptance_threshold(&mut h);
+}

@@ -1,16 +1,16 @@
-//! Criterion counterpart of Figure 7: one SpMV iteration per traversal
+//! Timing counterpart of Figure 7: one SpMV iteration per traversal
 //! strategy, on a bench-sized social graph and a bench-sized web graph.
 //! (The full-scale table comes from `--bin fig7_pagerank`; this bench gives
-//! statistically robust per-kernel numbers on smaller inputs.)
+//! per-kernel numbers on smaller inputs.)
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_bench::harness::Harness;
 use ihtl_core::IhtlConfig;
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
-use ihtl_gen::weblike::{web_edges, WebParams};
 use ihtl_gen::shuffle_vertex_ids;
+use ihtl_gen::weblike::{web_edges, WebParams};
 use ihtl_graph::Graph;
 
 fn bench_graphs() -> Vec<(&'static str, Graph)> {
@@ -20,17 +20,16 @@ fn bench_graphs() -> Vec<(&'static str, Graph)> {
     let social = Graph::from_edges(n_social, &social_edges);
 
     let n_web = 80_000;
-    let web = Graph::from_edges(
-        n_web,
-        &web_edges(n_web, 1_000_000, &WebParams::concentrated(), 22),
-    );
+    let web =
+        Graph::from_edges(n_web, &web_edges(n_web, 1_000_000, &WebParams::concentrated(), 22));
     vec![("social", social), ("web", web)]
 }
 
-fn spmv_per_engine(c: &mut Criterion) {
+fn main() {
     // Budget scaled to the bench graphs (|V| ≈ 2^16): H = 512.
     let cfg = IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() };
-    let mut group = c.benchmark_group("fig7/spmv");
+    let mut h = Harness::from_args();
+    let mut group = h.group("fig7/spmv");
     group.sample_size(10);
     for (name, g) in bench_graphs() {
         let n = g.n_vertices();
@@ -39,7 +38,7 @@ fn spmv_per_engine(c: &mut Criterion) {
         for kind in EngineKind::all() {
             let mut engine = build_engine(kind, &g, &cfg);
             let xe = engine.from_original_order(&x);
-            group.bench_function(BenchmarkId::new(kind.label(), name), |b| {
+            group.bench_function(format!("{}/{}", kind.label(), name), |b| {
                 b.iter(|| {
                     engine.spmv_add(black_box(&xe), black_box(&mut y));
                 });
@@ -48,6 +47,3 @@ fn spmv_per_engine(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, spmv_per_engine);
-criterion_main!(benches);

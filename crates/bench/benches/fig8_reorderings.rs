@@ -1,12 +1,12 @@
-//! Criterion counterpart of Figure 8: pull SpMV over graphs relabeled by
+//! Timing counterpart of Figure 8: pull SpMV over graphs relabeled by
 //! each reordering algorithm vs the iHTL traversal, plus the preprocessing
 //! cost of each algorithm (benchmarked once each — GOrder's cost *is* the
 //! result).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_bench::harness::Harness;
 use ihtl_core::IhtlConfig;
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_gen::shuffle_vertex_ids;
@@ -20,7 +20,7 @@ fn bench_graph() -> Graph {
     Graph::from_edges(n, &edges)
 }
 
-fn pull_after_reordering(c: &mut Criterion) {
+fn pull_after_reordering(h: &mut Harness) {
     let g = bench_graph();
     let cfg = IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() };
     let orderings = vec![
@@ -29,7 +29,7 @@ fn pull_after_reordering(c: &mut Criterion) {
         ("GOrder", gorder::gorder(&g, 5)),
         ("Rabbit-Order", rabbit::rabbit_order(&g, 16)),
     ];
-    let mut group = c.benchmark_group("fig8/pull_after");
+    let mut group = h.group("fig8/pull_after");
     group.sample_size(10);
     let n = g.n_vertices();
     let x = vec![1.0f64; n];
@@ -37,37 +37,37 @@ fn pull_after_reordering(c: &mut Criterion) {
     for (name, r) in &orderings {
         let relabeled = g.relabel(&r.perm);
         let mut engine = build_engine(EngineKind::PullGraphGrind, &relabeled, &cfg);
-        group.bench_function(BenchmarkId::new("pull", *name), |b| {
+        group.bench_function(format!("pull/{name}"), |b| {
             b.iter(|| engine.spmv_add(black_box(&x), black_box(&mut y)));
         });
     }
     let mut ihtl = build_engine(EngineKind::Ihtl, &g, &cfg);
     let xe = ihtl.from_original_order(&x);
-    group.bench_function(BenchmarkId::new("iHTL", "blocked"), |b| {
+    group.bench_function("iHTL/blocked", |b| {
         b.iter(|| ihtl.spmv_add(black_box(&xe), black_box(&mut y)));
     });
     group.finish();
 }
 
-fn preprocessing_cost(c: &mut Criterion) {
+fn preprocessing_cost(h: &mut Harness) {
     let g = bench_graph();
-    let mut group = c.benchmark_group("fig8/preprocessing");
+    let mut group = h.group("fig8/preprocessing");
     group.sample_size(10);
-    group.bench_function("SlashBurn", |b| {
-        b.iter(|| black_box(slashburn::slashburn(&g, 0.005)))
-    });
-    group.bench_function("Rabbit-Order", |b| {
-        b.iter(|| black_box(rabbit::rabbit_order(&g, 16)))
-    });
+    group.bench_function("SlashBurn", |b| b.iter(|| black_box(slashburn::slashburn(&g, 0.005))));
+    group.bench_function("Rabbit-Order", |b| b.iter(|| black_box(rabbit::rabbit_order(&g, 16))));
     group.bench_function("iHTL-build", |b| {
         let cfg = IhtlConfig { cache_budget_bytes: 4 << 10, ..IhtlConfig::default() };
         b.iter(|| black_box(ihtl_core::IhtlGraph::build(&g, &cfg)))
     });
-    // GOrder is far slower; sample it with the minimum count criterion
-    // allows so the bench suite still terminates promptly.
+    // GOrder is far slower; give it fewer samples so the bench suite still
+    // terminates promptly.
+    group.sample_size(3);
     group.bench_function("GOrder", |b| b.iter(|| black_box(gorder::gorder(&g, 5))));
     group.finish();
 }
 
-criterion_group!(benches, pull_after_reordering, preprocessing_cost);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    pull_after_reordering(&mut h);
+    preprocessing_cost(&mut h);
+}

@@ -1,19 +1,19 @@
 //! Microbenchmarks of the substrates: graph construction, transpose, cache
 //! simulation throughput, and the reordering building blocks.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
+use ihtl_bench::harness::Harness;
 use ihtl_cachesim::{replay_pull, CacheConfig, Hierarchy, ReplayMode};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_graph::builder::csr_from_pairs;
 use ihtl_graph::Graph;
 
-fn graph_construction(c: &mut Criterion) {
+fn graph_construction(h: &mut Harness) {
     let edges = rmat_edges(15, 300_000, RmatParams::social(), 51);
-    let mut group = c.benchmark_group("micro/graph");
+    let mut group = h.group("micro/graph");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.throughput_elements(edges.len() as u64);
     group.bench_function("csr_from_pairs", |b| {
         b.iter(|| black_box(csr_from_pairs(1 << 15, 1 << 15, &edges)))
     });
@@ -22,44 +22,38 @@ fn graph_construction(c: &mut Criterion) {
     group.finish();
 }
 
-fn cache_hierarchy_throughput(c: &mut Criterion) {
-    let mut group = c.benchmark_group("micro/cachesim");
+fn cache_hierarchy_throughput(h: &mut Harness) {
+    let mut group = h.group("micro/cachesim");
     group.sample_size(10);
     let addrs: Vec<u64> = (0..100_000u64).map(|i| (i * 2654435761) % (1 << 24)).collect();
-    group.throughput(Throughput::Elements(addrs.len() as u64));
+    group.throughput_elements(addrs.len() as u64);
     group.bench_function("hierarchy_access", |b| {
-        let mut h = Hierarchy::new(&CacheConfig::default());
+        let mut hier = Hierarchy::new(&CacheConfig::default());
         b.iter(|| {
             for &a in &addrs {
-                black_box(h.access(a));
+                black_box(hier.access(a));
             }
         })
     });
-    let g = Graph::from_edges(
-        1 << 14,
-        &rmat_edges(14, 120_000, RmatParams::social(), 52),
-    );
-    group.throughput(Throughput::Elements(g.n_edges() as u64));
+    let g = Graph::from_edges(1 << 14, &rmat_edges(14, 120_000, RmatParams::social(), 52));
+    group.throughput_elements(g.n_edges() as u64);
     group.bench_function("replay_pull_full", |b| {
         b.iter(|| black_box(replay_pull(&g, &CacheConfig::default(), ReplayMode::Full)))
     });
     group.finish();
 }
 
-fn spmv_throughput(c: &mut Criterion) {
+fn spmv_throughput(h: &mut Harness) {
     use ihtl_traversal::pull::{spmv_pull, spmv_pull_serial};
     use ihtl_traversal::push::spmv_push_atomic;
     use ihtl_traversal::Add;
-    let g = Graph::from_edges(
-        1 << 16,
-        &rmat_edges(16, 900_000, RmatParams::social(), 53),
-    );
+    let g = Graph::from_edges(1 << 16, &rmat_edges(16, 900_000, RmatParams::social(), 53));
     let n = g.n_vertices();
     let x = vec![1.0f64; n];
     let mut y = vec![0.0f64; n];
-    let mut group = c.benchmark_group("micro/spmv");
+    let mut group = h.group("micro/spmv");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(g.n_edges() as u64));
+    group.throughput_elements(g.n_edges() as u64);
     group.bench_function("pull_serial", |b| {
         b.iter(|| spmv_pull_serial::<Add>(&g, black_box(&x), black_box(&mut y)))
     });
@@ -72,5 +66,9 @@ fn spmv_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, graph_construction, cache_hierarchy_throughput, spmv_throughput);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::from_args();
+    graph_construction(&mut h);
+    cache_hierarchy_throughput(&mut h);
+    spmv_throughput(&mut h);
+}

@@ -1,19 +1,20 @@
-//! Criterion counterpart of Table 6: iHTL SpMV with the hub-buffer budget
+//! Timing counterpart of Table 6: iHTL SpMV with the hub-buffer budget
 //! swept over the scaled L1 / L2÷2 / L2 / 2·L2 sizes (plus a wider tail, as
 //! an extension) on a bench-sized web graph.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use ihtl_bench::harness::Harness;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::weblike::{web_edges, WebParams};
 use ihtl_graph::Graph;
 use ihtl_traversal::Add;
 
-fn buffer_sweep(c: &mut Criterion) {
+fn main() {
     let n = 100_000;
     let g = Graph::from_edges(n, &web_edges(n, 1_200_000, &WebParams::concentrated(), 61));
-    let mut group = c.benchmark_group("table6/buffer_budget");
+    let mut h = Harness::from_args();
+    let mut group = h.group("table6/buffer_budget");
     group.sample_size(10);
     // The four paper budgets (scaled) plus an extended tail.
     for (label, bytes) in [
@@ -29,7 +30,7 @@ fn buffer_sweep(c: &mut Criterion) {
         let mut bufs = ih.new_buffers();
         let x = vec![1.0f64; n];
         let mut y = vec![0.0f64; n];
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+        group.bench_function(label, |b| {
             b.iter(|| {
                 ih.spmv::<Add>(black_box(&x), black_box(&mut y), &mut bufs);
             });
@@ -37,6 +38,3 @@ fn buffer_sweep(c: &mut Criterion) {
     }
     group.finish();
 }
-
-criterion_group!(benches, buffer_sweep);
-criterion_main!(benches);

@@ -99,19 +99,12 @@ fn run_dataset(key: &str, g: &Graph) -> String {
             format!("{:.2}", ih.stats().preprocessing_seconds),
         ]);
     }
-    out.push_str(&table::render(
-        &["variant", "#FB", "FB edges", "SpMV ms", "preproc s"],
-        &rows,
-    ));
+    out.push_str(&table::render(&["variant", "#FB", "FB edges", "SpMV ms", "preproc s"], &rows));
 
     // 4: acceptance-threshold sweep.
     let mut rows = Vec::new();
     for ratio in [0.0, 0.25, 0.5, 0.75, 1.01] {
-        let cfg = IhtlConfig {
-            acceptance_ratio: ratio,
-            max_blocks: Some(32),
-            ..base.clone()
-        };
+        let cfg = IhtlConfig { acceptance_ratio: ratio, max_blocks: Some(32), ..base.clone() };
         let ih = IhtlGraph::build(g, &cfg);
         rows.push(vec![
             format!("{ratio:.2}"),

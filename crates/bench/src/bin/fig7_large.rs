@@ -26,10 +26,8 @@ use ihtl_gen::shuffle_vertex_ids;
 use ihtl_graph::Graph;
 
 fn main() {
-    let scale: u32 = std::env::var("IHTL_LARGE_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(25);
+    let scale: u32 =
+        std::env::var("IHTL_LARGE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(25);
     let n = 1usize << scale;
     let target_edges = n * 4; // sparse enough to generate quickly
     eprintln!("[fig7_large] generating R-MAT scale {scale} (~{target_edges} edges)…");
@@ -83,10 +81,6 @@ fn main() {
         let sweep_cfg = IhtlConfig { cache_budget_bytes: bytes, ..IhtlConfig::default() };
         let mut engine = build_engine(EngineKind::Ihtl, &graph, &sweep_cfg);
         let run = pagerank(engine.as_mut(), 3);
-        println!(
-            "| {:<14} | {:>10.0} ms/iter |",
-            label,
-            run.mean_iter_seconds() * 1e3
-        );
+        println!("| {:<14} | {:>10.0} ms/iter |", label, run.mean_iter_seconds() * 1e3);
     }
 }

@@ -19,11 +19,7 @@ pub const FIG1_DATASETS: [&str; 2] = ["twtr10", "sk"];
 
 fn profile_pull(g: &Graph, cache: &CacheConfig) -> Vec<(usize, f64)> {
     let rep = replay_pull(g, cache, ReplayMode::Full);
-    rep.profile
-        .rows()
-        .iter()
-        .map(|r| (r.degree_lo, r.miss_rate()))
-        .collect()
+    rep.profile.rows().iter().map(|r| (r.degree_lo, r.miss_rate())).collect()
 }
 
 /// Runs the miss-rate profiles for one dataset; returns the rendered table.
@@ -80,10 +76,7 @@ fn run_one(d: &Loaded) -> String {
             ]
         })
         .collect();
-    let mut out = format!(
-        "### {} ({})\n\n",
-        d.spec.key, d.spec.paper_name
-    );
+    let mut out = format!("### {} ({})\n\n", d.spec.key, d.spec.paper_name);
     out.push_str(&table::render(
         &["in-degree ≥", "initial", "SlashBurn", "GOrder", "Rabbit-Order", "iHTL"],
         &rows,

@@ -33,9 +33,8 @@ pub fn run() -> String {
     let pull = replay_pull(&g, &figure2_cache(), ReplayMode::RandomOnly);
     let ihtl = replay_ihtl(&ih, &g, &figure2_cache(), ReplayMode::RandomOnly);
 
-    let mut out = String::from(
-        "## Figure 2 — worked example (8 vertices, effective cache size 2)\n\n",
-    );
+    let mut out =
+        String::from("## Figure 2 — worked example (8 vertices, effective cache size 2)\n\n");
     out.push_str(&format!(
         "iHTL relabeling array (new → old, 1-indexed as in the paper's Fig. 4): {:?}\n",
         ih.new_to_old().iter().map(|&v| v + 1).collect::<Vec<_>>()

@@ -72,11 +72,8 @@ pub fn render_fig7(m: &PagerankMatrix) -> String {
     }
     // Average-speedup summary row (geometric mean of baseline/iHTL ratios),
     // matching the paper's "Avg. Speedup" row.
-    let ihtl_idx = m
-        .engines
-        .iter()
-        .position(|&e| e == EngineKind::Ihtl)
-        .expect("iHTL engine missing");
+    let ihtl_idx =
+        m.engines.iter().position(|&e| e == EngineKind::Ihtl).expect("iHTL engine missing");
     let mut summary = vec!["avg speedup vs iHTL".to_string()];
     for e in 0..m.engines.len() {
         if e == ihtl_idx {
@@ -89,8 +86,9 @@ pub fn render_fig7(m: &PagerankMatrix) -> String {
         summary.push(table::speedup(table::geomean(&ratios)));
     }
     rows.push(summary);
-    let mut out =
-        String::from("## Figure 7 — PageRank per-iteration time (ms), push/pull baselines vs iHTL\n\n");
+    let mut out = String::from(
+        "## Figure 7 — PageRank per-iteration time (ms), push/pull baselines vs iHTL\n\n",
+    );
     out.push_str(&table::render(&headers, &rows));
     out
 }
@@ -123,9 +121,8 @@ pub fn render_table2(m: &PagerankMatrix) -> String {
     rows.push(avg);
     let mut headers: Vec<&str> = vec!["dataset"];
     headers.extend(cols.iter().map(|(n, _)| *n));
-    let mut out = String::from(
-        "## Table 2 — iHTL preprocessing cost, in per-framework SpMV iterations\n\n",
-    );
+    let mut out =
+        String::from("## Table 2 — iHTL preprocessing cost, in per-framework SpMV iterations\n\n");
     out.push_str(&table::render(&headers, &rows));
     out
 }

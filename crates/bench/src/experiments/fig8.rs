@@ -61,9 +61,7 @@ pub fn run(suite: &[Loaded]) -> String {
             let iter = pull_after(g, &r, &cfg);
             Some(Cell { iter_seconds: iter, preproc_seconds: r.seconds })
         };
-        let go = if GO_SKIP.contains(&key)
-            || gorder::gorder_cost_estimate(g) > GO_MAX_COST
-        {
+        let go = if GO_SKIP.contains(&key) || gorder::gorder_cost_estimate(g) > GO_MAX_COST {
             None
         } else {
             let r = gorder::gorder(g, GO_WINDOW);
@@ -90,12 +88,10 @@ pub fn run(suite: &[Loaded]) -> String {
                 pre_ratios[i].push(c.preproc_seconds / ihtl_pre);
             }
         }
-        let fmt_iter = |c: &Option<Cell>| {
-            c.as_ref().map_or("—".to_string(), |c| table::ms(c.iter_seconds))
-        };
+        let fmt_iter =
+            |c: &Option<Cell>| c.as_ref().map_or("—".to_string(), |c| table::ms(c.iter_seconds));
         let fmt_pre = |c: &Option<Cell>| {
-            c.as_ref()
-                .map_or("—".to_string(), |c| format!("{:.2}", c.preproc_seconds))
+            c.as_ref().map_or("—".to_string(), |c| format!("{:.2}", c.preproc_seconds))
         };
         eprintln!(
             "[fig8] {:>9}: SB {} GO {} RO {} iHTL {} | pre SB {} GO {} RO {} iHTL {:.2}",

@@ -18,18 +18,11 @@ fn run_one(d: &Loaded) -> String {
     let rows: Vec<Vec<String>> = prof
         .iter()
         .map(|b| {
-            vec![
-                format!("{}..{}", b.lo, b.hi),
-                b.n_vertices.to_string(),
-                format!("{:.3}", b.mean),
-            ]
+            vec![format!("{}..{}", b.lo, b.hi), b.n_vertices.to_string(), format!("{:.3}", b.mean)]
         })
         .collect();
     let mut out = format!("### {} ({})\n\n", d.spec.key, d.spec.paper_name);
-    out.push_str(&table::render(
-        &["in-degree", "vertices", "mean asymmetricity"],
-        &rows,
-    ));
+    out.push_str(&table::render(&["in-degree", "vertices", "mean asymmetricity"], &rows));
     out
 }
 

@@ -28,9 +28,8 @@ pub fn run(suite: &[Loaded]) -> String {
             table::millions(ihtl.l2_misses),
         ]);
     }
-    let mut out = String::from(
-        "## Table 3 — memory accesses and cache misses (simulated, in millions)\n\n",
-    );
+    let mut out =
+        String::from("## Table 3 — memory accesses and cache misses (simulated, in millions)\n\n");
     out.push_str(&table::render(
         &[
             "dataset",

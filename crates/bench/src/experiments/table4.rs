@@ -25,9 +25,6 @@ pub fn run(suite: &[Loaded]) -> String {
         ]);
     }
     let mut out = String::from("## Table 4 — topology size (MiB): CSC vs iHTL graph\n\n");
-    out.push_str(&table::render(
-        &["dataset", "CSC (MiB)", "iHTL (MiB)", "overhead", "#FB"],
-        &rows,
-    ));
+    out.push_str(&table::render(&["dataset", "CSC (MiB)", "iHTL (MiB)", "overhead", "#FB"], &rows));
     out
 }

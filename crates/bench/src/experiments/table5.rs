@@ -57,9 +57,7 @@ pub fn run(suite: &[Loaded]) -> String {
             format!("{fb_speed:.2}"),
         ]);
     }
-    let mut out = String::from(
-        "## Table 5 — iHTL graph statistics and execution breakdown\n\n",
-    );
+    let mut out = String::from("## Table 5 — iHTL graph statistics and execution breakdown\n\n");
     out.push_str(&table::render(
         &[
             "dataset",

@@ -12,12 +12,8 @@ use crate::table;
 
 /// Budgets swept, as (label, bytes): the scaled hierarchy has L1 = 4 KiB
 /// and L2 = 32 KiB (see `ihtl-cachesim`).
-pub const BUDGETS: [(&str, usize); 4] = [
-    ("L1", 4 << 10),
-    ("L2/2", 16 << 10),
-    ("L2", 32 << 10),
-    ("L2*2", 64 << 10),
-];
+pub const BUDGETS: [(&str, usize); 4] =
+    [("L1", 4 << 10), ("L2/2", 16 << 10), ("L2", 32 << 10), ("L2*2", 64 << 10)];
 
 /// Datasets swept (the seven rows of the paper's Table 6).
 pub const TABLE6_DATASETS: [&str; 7] =
@@ -35,21 +31,15 @@ pub fn run(suite: &[Loaded]) -> String {
             let cfg = IhtlConfig { cache_budget_bytes: bytes, ..IhtlConfig::default() };
             let mut engine = build_engine(EngineKind::Ihtl, &d.graph, &cfg);
             let run = pagerank(engine.as_mut(), PR_ITERS);
-            eprintln!(
-                "[table6] {:>9} {:>5}: {}",
-                key,
-                label,
-                table::ms(run.mean_iter_seconds())
-            );
+            eprintln!("[table6] {:>9} {:>5}: {}", key, label, table::ms(run.mean_iter_seconds()));
             row.push(table::ms(run.mean_iter_seconds()));
         }
         rows.push(row);
     }
     let mut headers: Vec<&str> = vec!["dataset"];
     headers.extend(BUDGETS.iter().map(|(l, _)| *l));
-    let mut out = String::from(
-        "## Table 6 — PageRank iteration time (ms) vs hub-buffer budget\n\n",
-    );
+    let mut out =
+        String::from("## Table 6 — PageRank iteration time (ms) vs hub-buffer budget\n\n");
     out.push_str(&table::render(&headers, &rows));
     out
 }

@@ -1,0 +1,185 @@
+//! Minimal in-repo timing harness for the `benches/` targets.
+//!
+//! A hermetic replacement for the external criterion crate (the build
+//! environment cannot fetch crates): each bench target is a plain
+//! `fn main()` (`harness = false`) that builds a [`Harness`], opens named
+//! groups and times closures. The statistics are deliberately simple —
+//! warm-up plus a fixed number of measured samples, reporting
+//! min/median/mean — which is enough to compare kernels within one run,
+//! the only comparison the paper's figures need.
+//!
+//! Usage mirrors the old criterion call shape so the bench sources read the
+//! same:
+//!
+//! ```no_run
+//! use ihtl_bench::harness::Harness;
+//! let mut h = Harness::from_args();
+//! let mut group = h.group("fig7/spmv");
+//! group.sample_size(10);
+//! group.bench_function("pull/social", |b| b.iter(|| 2 + 2));
+//! group.finish();
+//! ```
+//!
+//! `cargo bench -- <substring>` filters benchmarks by `group/id` name.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Re-exported so bench sources can `black_box` inputs without depending on
+/// `std::hint` themselves.
+pub use std::hint::black_box as bb;
+
+/// Top-level bench driver: holds the optional name filter from argv.
+pub struct Harness {
+    filter: Option<String>,
+}
+
+impl Harness {
+    /// Builds a harness from the process arguments, ignoring the flags
+    /// cargo passes to bench binaries (`--bench`, `--nocapture`, ...). The
+    /// first positional argument becomes a substring filter.
+    pub fn from_args() -> Self {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+
+    /// Opens a named benchmark group.
+    pub fn group(&mut self, name: &str) -> Group<'_> {
+        Group { harness: self, name: name.to_string(), samples: 10, throughput_elements: None }
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct Group<'h> {
+    harness: &'h Harness,
+    name: String,
+    samples: usize,
+    throughput_elements: Option<u64>,
+}
+
+impl Group<'_> {
+    /// Number of measured samples per benchmark (after one warm-up run).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Declares the per-iteration element count so the report includes an
+    /// elements/second figure.
+    pub fn throughput_elements(&mut self, elements: u64) -> &mut Self {
+        self.throughput_elements = Some(elements);
+        self
+    }
+
+    /// Runs one benchmark. `f` is called once with a [`Bencher`]; the
+    /// closure it passes to [`Bencher::iter`] is what gets timed.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if let Some(filter) = &self.harness.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher { samples: self.samples, times: Vec::new() };
+        f(&mut b);
+        report(&full, &b.times, self.throughput_elements);
+        self
+    }
+
+    /// Ends the group (kept for criterion-shaped call sites; the report is
+    /// printed per benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times its argument.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`: one warm-up call, then `sample_size` measured calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up
+        self.times = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(f());
+                t.elapsed()
+            })
+            .collect();
+    }
+}
+
+fn report(name: &str, times: &[Duration], throughput: Option<u64>) {
+    if times.is_empty() {
+        println!("{name:<48} (no samples — Bencher::iter never called)");
+        return;
+    }
+    let mut sorted: Vec<Duration> = times.to_vec();
+    sorted.sort_unstable();
+    let min = sorted[0];
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    let mut line = format!(
+        "{name:<48} min {:>12} median {:>12} mean {:>12}",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(mean)
+    );
+    if let Some(elements) = throughput {
+        let eps = elements as f64 / median.as_secs_f64().max(1e-12);
+        line.push_str(&format!("  {:>10.3} Melem/s", eps / 1e6));
+    }
+    println!("{line}");
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else if s >= 1e-6 {
+        format!("{:.3} µs", s * 1e6)
+    } else {
+        format!("{:.1} ns", s * 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut b = Bencher { samples: 7, times: Vec::new() };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.times.len(), 7);
+        assert_eq!(calls, 8); // warm-up + samples
+    }
+
+    #[test]
+    fn group_filter_skips_mismatches() {
+        let h = Harness { filter: Some("nomatch-xyz".into()) };
+        let mut g = Group { harness: &h, name: "g".into(), samples: 3, throughput_elements: None };
+        let mut ran = false;
+        g.bench_function("id", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_duration(Duration::from_micros(7)), "7.000 µs");
+        assert_eq!(fmt_duration(Duration::from_nanos(90)), "90.0 ns");
+    }
+}

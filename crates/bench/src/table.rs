@@ -86,10 +86,7 @@ mod tests {
     fn renders_aligned() {
         let s = render(
             &["name", "x"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "12345".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "12345".into()]],
         );
         let lines: Vec<&str> = s.lines().collect();
         assert_eq!(lines.len(), 4);

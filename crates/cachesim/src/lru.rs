@@ -24,11 +24,7 @@ impl LruCache {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         assert!(capacity_bytes >= line_bytes, "capacity below one line");
         let n_lines = capacity_bytes / line_bytes;
-        let assoc = if associativity == 0 {
-            n_lines as usize
-        } else {
-            associativity
-        };
+        let assoc = if associativity == 0 { n_lines as usize } else { associativity };
         let n_sets = (n_lines / assoc as u64).max(1);
         assert_eq!(
             n_sets * assoc as u64 * line_bytes,

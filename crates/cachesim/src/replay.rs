@@ -117,9 +117,10 @@ impl DegreeMissProfile {
 
     /// Overall miss rate across all buckets.
     pub fn overall_miss_rate(&self) -> f64 {
-        let (acc, miss) = self.buckets.iter().fold((0u64, 0u64), |(a, m), b| {
-            (a + b.random_accesses, m + b.llc_misses)
-        });
+        let (acc, miss) = self
+            .buckets
+            .iter()
+            .fold((0u64, 0u64), |(a, m), b| (a + b.random_accesses, m + b.llc_misses));
         if acc == 0 {
             0.0
         } else {
@@ -169,12 +170,7 @@ pub fn replay_pull(g: &Graph, cfg: &CacheConfig, mode: ReplayMode) -> ReplayRepo
 /// `g` is the original graph, used to attribute hub misses to original
 /// in-degrees. Random buffer accesses during flipped blocks and random
 /// source reads during the sparse block feed the degree profile.
-pub fn replay_ihtl(
-    ih: &IhtlGraph,
-    g: &Graph,
-    cfg: &CacheConfig,
-    mode: ReplayMode,
-) -> ReplayReport {
+pub fn replay_ihtl(ih: &IhtlGraph, g: &Graph, cfg: &CacheConfig, mode: ReplayMode) -> ReplayReport {
     let full = mode == ReplayMode::Full;
     let mut h = Hierarchy::new(cfg);
     let mut profile = DegreeMissProfile::default();
@@ -315,11 +311,7 @@ mod tests {
         let rows = rep.profile.rows();
         let hub_row = rows.iter().find(|r| r.degree_lo == 4).unwrap();
         assert_eq!(hub_row.random_accesses, 9);
-        assert!(
-            hub_row.llc_misses <= 2,
-            "hub misses {} — buffer not captured",
-            hub_row.llc_misses
-        );
+        assert!(hub_row.llc_misses <= 2, "hub misses {} — buffer not captured", hub_row.llc_misses);
     }
 
     #[test]

@@ -146,19 +146,13 @@ impl IhtlGraph {
 
         // Out-degrees in new order (PageRank divides by them every
         // iteration; they must be relabel-invariant originals).
-        let out_degree_new: Vec<u32> = new_to_old
-            .iter()
-            .map(|&old| g.out_degree(old) as u32)
-            .collect();
+        let out_degree_new: Vec<u32> =
+            new_to_old.iter().map(|&old| g.out_degree(old) as u32).collect();
 
         let min_hub_degree = if n_hubs == 0 {
             0
         } else {
-            candidates[..n_hubs]
-                .iter()
-                .map(|&v| g.in_degree(v))
-                .min()
-                .unwrap()
+            candidates[..n_hubs].iter().map(|&v| g.in_degree(v)).min().unwrap()
         };
 
         let stats = BuildStats {
@@ -203,9 +197,7 @@ pub(crate) fn build_push_tasks(
         .iter()
         .enumerate()
         .flat_map(|(b, blk)| {
-            edge_balanced_ranges(&blk.edges, parts)
-                .into_iter()
-                .map(move |r| (b as u32, r))
+            edge_balanced_ranges(&blk.edges, parts).into_iter().map(move |r| (b as u32, r))
         })
         .collect()
 }
@@ -310,10 +302,7 @@ fn accept_blocks_single_pass(
     // Accept while the 50% rule holds, contiguously from block 1.
     let threshold = cfg.acceptance_ratio * feeders[0] as f64;
     let mut n_blocks = 1;
-    while n_blocks < max_blocks
-        && n_blocks * h < n
-        && feeders[n_blocks] as f64 > threshold
-    {
+    while n_blocks < max_blocks && n_blocks * h < n && feeders[n_blocks] as f64 > threshold {
         n_blocks += 1;
     }
     feeders.truncate(n_blocks);

@@ -24,7 +24,7 @@ pub struct IhtlConfig {
     pub max_blocks: Option<usize>,
 
     /// Number of parallel partitions per phase; `0` selects a small multiple
-    /// of the rayon worker count.
+    /// of the ihtl-parallel worker count.
     pub parts: usize,
 
     /// Whether fringe vertices are separated out of the flipped blocks
@@ -83,7 +83,7 @@ impl IhtlConfig {
         if self.parts > 0 {
             self.parts
         } else {
-            rayon::current_num_threads() * 8
+            ihtl_parallel::num_threads() * 8
         }
     }
 }

@@ -3,7 +3,7 @@
 //! Three phases per iteration:
 //!
 //! 1. **Push over flipped blocks** — tasks are (block × source-chunk) pairs;
-//!    each rayon worker scatters into its *private* hub buffer, so "the
+//!    each pool worker scatters into its *private* hub buffer, so "the
 //!    parallel for loop … does not require synchronization between threads"
 //!    (§3.4). Reads of source data are sequential; the random writes land in
 //!    a buffer sized to the cache budget.
@@ -15,34 +15,29 @@
 use std::cell::UnsafeCell;
 use std::time::Instant;
 
-use rayon::prelude::*;
-
 use ihtl_graph::partition::{edge_balanced_ranges, vertex_balanced_ranges, VertexRange};
 use ihtl_traversal::Monoid;
 
 use crate::graph::IhtlGraph;
 
 /// Per-worker hub buffers, reused across iterations ("each thread buffers
-/// H · #FB vertex data", §3.4). One buffer per rayon worker plus one for
-/// the calling thread.
+/// H · #FB vertex data", §3.4). One buffer per ihtl-parallel pool worker
+/// plus one for the calling thread.
 pub struct ThreadBuffers {
     bufs: Vec<UnsafeCell<Vec<f64>>>,
 }
 
-// SAFETY: each rayon worker accesses only the buffer at its own unique
-// thread index (plus slot 0 for the non-pool calling thread); tasks on one
+// SAFETY: each pool worker accesses only the buffer at its own unique
+// thread index (plus slot 0 for sequential paths outside any parallel
+// region); worker indices are distinct within a region and tasks on one
 // worker run sequentially, so no slot is ever aliased concurrently.
 unsafe impl Sync for ThreadBuffers {}
 
 impl ThreadBuffers {
     /// Allocates buffers of `n_hubs` slots for every possible worker.
     pub fn new(n_hubs: usize) -> Self {
-        let n_threads = rayon::current_num_threads() + 1;
-        Self {
-            bufs: (0..n_threads)
-                .map(|_| UnsafeCell::new(vec![0.0f64; n_hubs]))
-                .collect(),
-        }
+        let n_threads = ihtl_parallel::num_threads() + 1;
+        Self { bufs: (0..n_threads).map(|_| UnsafeCell::new(vec![0.0f64; n_hubs])).collect() }
     }
 
     /// Number of per-thread buffers.
@@ -60,15 +55,16 @@ impl ThreadBuffers {
 
     #[inline]
     fn slot_index() -> usize {
-        // Workers get 1.., the non-pool calling thread gets 0.
-        rayon::current_thread_index().map_or(0, |i| i + 1)
+        // Pool workers get 1.., sequential execution outside a region gets 0.
+        ihtl_parallel::current_thread_index().map_or(0, |i| i + 1)
     }
 
     /// The calling worker's private buffer.
     ///
     /// # Safety contract (internal)
     /// Must only be called from code scheduled such that one thread maps to
-    /// one index — true under rayon.
+    /// one index — guaranteed by ihtl-parallel, whose worker indices are
+    /// distinct within a region and `None` outside one.
     #[inline]
     fn my_buffer(&self) -> &mut Vec<f64> {
         unsafe { &mut *self.bufs[Self::slot_index()].get() }
@@ -85,7 +81,7 @@ impl ThreadBuffers {
 
     /// Resets every buffer to the monoid identity, in parallel.
     fn reset<M: Monoid>(&mut self) {
-        self.bufs.par_iter_mut().for_each(|b| {
+        ihtl_parallel::par_for_each_mut(&mut self.bufs, 1, |_, b| {
             for v in b.get_mut().iter_mut() {
                 *v = M::identity();
             }
@@ -163,7 +159,7 @@ impl IhtlGraph {
         bufs.reset::<M>();
         // Precomputed (block, source-chunk) tasks, edge-balanced within each
         // block so skewed rows don't serialise.
-        self.push_tasks.par_iter().for_each(|&(b, range)| {
+        ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
             let blk = &self.blocks[b as usize];
             let base = blk.hub_start as usize;
             let buf = bufs.my_buffer();
@@ -187,8 +183,10 @@ impl IhtlGraph {
         let hub_ranges = vertex_balanced_ranges(self.n_hubs, parts);
         {
             let (hub_y, _) = y.split_at_mut(self.n_hubs);
-            let slices = crate::exec::split_ranges(hub_y, &hub_ranges);
-            hub_ranges.par_iter().zip(slices).for_each(|(range, out)| {
+            let mut slices = crate::exec::split_ranges(hub_y, &hub_ranges);
+            let bufs = &*bufs;
+            ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let range = hub_ranges[p];
                 for (i, slot) in out.iter_mut().enumerate() {
                     let hub = range.start as usize + i;
                     let mut acc = M::identity();
@@ -206,8 +204,9 @@ impl IhtlGraph {
         let ranges = edge_balanced_ranges(&self.sparse, parts);
         {
             let (_, sparse_y) = y.split_at_mut(self.n_hubs);
-            let slices = crate::exec::split_ranges(sparse_y, &ranges);
-            ranges.par_iter().zip(slices).for_each(|(range, out)| {
+            let mut slices = crate::exec::split_ranges(sparse_y, &ranges);
+            ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let range = ranges[p];
                 for row in range.iter() {
                     let mut acc = M::identity();
                     for &u in self.sparse.neighbours(row) {
@@ -241,7 +240,7 @@ impl IhtlGraph {
             let (hub_y, _) = y.split_at_mut(self.n_hubs);
             hub_y.iter_mut().for_each(|v| *v = M::identity());
             let slots = ihtl_traversal::monoid::as_atomic_slice(hub_y);
-            self.push_tasks.par_iter().for_each(|&(b, range)| {
+            ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
                 let blk = &self.blocks[b as usize];
                 let base = blk.hub_start as usize;
                 for u in range.iter() {
@@ -263,8 +262,9 @@ impl IhtlGraph {
         let ranges = edge_balanced_ranges(&self.sparse, parts);
         {
             let (_, sparse_y) = y.split_at_mut(self.n_hubs);
-            let slices = split_ranges(sparse_y, &ranges);
-            ranges.par_iter().zip(slices).for_each(|(range, out)| {
+            let mut slices = split_ranges(sparse_y, &ranges);
+            ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let range = ranges[p];
                 for row in range.iter() {
                     let mut acc = M::identity();
                     for &u in self.sparse.neighbours(row) {
@@ -340,11 +340,8 @@ mod tests {
     #[test]
     fn matches_pull_with_single_hub_blocks() {
         let g = paper_example_graph();
-        let cfg = IhtlConfig {
-            cache_budget_bytes: 8,
-            acceptance_ratio: 0.2,
-            ..IhtlConfig::default()
-        };
+        let cfg =
+            IhtlConfig { cache_budget_bytes: 8, acceptance_ratio: 0.2, ..IhtlConfig::default() };
         check_matches_pull::<Add>(&g, &cfg, 1e-9);
     }
 
@@ -400,11 +397,8 @@ mod tests {
     #[test]
     fn no_fringe_separation_matches_reference() {
         let g = paper_example_graph();
-        let cfg = IhtlConfig {
-            cache_budget_bytes: 16,
-            separate_fringe: false,
-            ..IhtlConfig::default()
-        };
+        let cfg =
+            IhtlConfig { cache_budget_bytes: 16, separate_fringe: false, ..IhtlConfig::default() };
         let ih = IhtlGraph::build(&g, &cfg);
         assert_eq!(ih.n_fringe(), 0);
         assert_eq!(ih.n_active(), 8);

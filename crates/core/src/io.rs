@@ -104,8 +104,7 @@ pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
         block_feeders,
         preprocessing_seconds: 0.0,
     };
-    let push_tasks =
-        crate::build::build_push_tasks(&blocks, ihtl_traversal::pull::default_parts());
+    let push_tasks = crate::build::build_push_tasks(&blocks, ihtl_traversal::pull::default_parts());
     Ok(IhtlGraph {
         n,
         n_hubs,

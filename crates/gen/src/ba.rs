@@ -9,8 +9,6 @@
 //! (old, popular vertices accumulate in-degree and become in-hubs), and with
 //! probability `reciprocity` the target links back (social "follow-back").
 
-use rand::Rng;
-
 use crate::rng_from_seed;
 
 /// Generates a BA graph over `n` vertices with `m` out-links per arriving
@@ -37,7 +35,7 @@ pub fn ba_edges(n: usize, m: usize, reciprocity: f64, seed: u64) -> Vec<(u32, u3
         // order would depend on the randomized hasher).
         let mut chosen: Vec<u32> = Vec::with_capacity(m);
         while chosen.len() < m {
-            let idx = rng.gen_range(0..endpoint_pool.len());
+            let idx = rng.gen_index(endpoint_pool.len());
             let t = endpoint_pool[idx];
             if t != v && !chosen.contains(&t) {
                 chosen.push(t);
@@ -47,7 +45,7 @@ pub fn ba_edges(n: usize, m: usize, reciprocity: f64, seed: u64) -> Vec<(u32, u3
             edges.push((v, t));
             endpoint_pool.push(v);
             endpoint_pool.push(t);
-            if rng.gen::<f64>() < reciprocity {
+            if rng.next_f64() < reciprocity {
                 edges.push((t, v));
                 endpoint_pool.push(t);
                 endpoint_pool.push(v);
@@ -82,10 +80,7 @@ mod tests {
         }
         let early_max = *indeg[..50].iter().max().unwrap();
         let late_max = *indeg[n - 500..].iter().max().unwrap();
-        assert!(
-            early_max > 5 * late_max.max(1),
-            "early {early_max} vs late {late_max}"
-        );
+        assert!(early_max > 5 * late_max.max(1), "early {early_max} vs late {late_max}");
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! ablations: with no skew, flipped blocks capture few edges and the
 //! structural acceptance rule keeps the block count at its minimum.
 
-use rand::Rng;
-
 use crate::rng_from_seed;
 
 /// Generates `m` distinct directed edges (no self-loops) over `n` vertices,
@@ -14,10 +12,7 @@ use crate::rng_from_seed;
 pub fn er_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
     assert!(n >= 2, "need at least two vertices");
     let possible = n as u128 * (n as u128 - 1);
-    assert!(
-        (m as u128) <= possible,
-        "requested more edges than the graph can hold"
-    );
+    assert!((m as u128) <= possible, "requested more edges than the graph can hold");
     assert!(
         (m as u128) * 2 <= possible,
         "rejection sampling needs m <= n(n-1)/2; use a denser generator"
@@ -26,8 +21,8 @@ pub fn er_edges(n: usize, m: usize, seed: u64) -> Vec<(u32, u32)> {
     let mut set = std::collections::HashSet::with_capacity(m * 2);
     let mut edges = Vec::with_capacity(m);
     while edges.len() < m {
-        let s = rng.gen_range(0..n as u32);
-        let d = rng.gen_range(0..n as u32);
+        let s = rng.gen_index(n) as u32;
+        let d = rng.gen_index(n) as u32;
         if s != d && set.insert((s, d)) {
             edges.push((s, d));
         }

@@ -20,40 +20,36 @@
 //!   *asymmetric* in-hubs of Fig. 9 and the "in-hubs but no out-hubs"
 //!   structure the paper highlights for SK-Domain (§5.4).
 //!
-//! Everything is deterministic given the seed (PCG64).
+//! Everything is deterministic given the seed (the in-repo PCG64,
+//! [`prng::Pcg64`] — the workspace builds hermetically with no external
+//! crates).
 
 pub mod ba;
 pub mod er;
+pub mod prng;
 pub mod rmat;
 pub mod suite;
 pub mod weblike;
 pub mod zipf;
 
+pub use prng::Pcg64;
 pub use suite::{suite, suite_small, DatasetKind, DatasetSpec};
-
-use rand_pcg::Pcg64;
 
 /// The PRNG used by every generator in this crate.
 pub type GenRng = Pcg64;
 
 /// Builds the crate-wide PRNG from a seed.
 pub fn rng_from_seed(seed: u64) -> GenRng {
-    use rand::SeedableRng;
     Pcg64::seed_from_u64(seed)
 }
 
 /// Shuffles vertex IDs of an edge set in place with a seeded permutation,
 /// destroying any locality expressed by the generator's ID assignment.
 /// Returns the permutation used (`perm[old] = new`).
-pub fn shuffle_vertex_ids(
-    n: usize,
-    edges: &mut [(u32, u32)],
-    seed: u64,
-) -> Vec<u32> {
-    use rand::seq::SliceRandom;
+pub fn shuffle_vertex_ids(n: usize, edges: &mut [(u32, u32)], seed: u64) -> Vec<u32> {
     let mut rng = rng_from_seed(seed);
     let mut perm: Vec<u32> = (0..n as u32).collect();
-    perm.shuffle(&mut rng);
+    rng.shuffle(&mut perm);
     for e in edges.iter_mut() {
         e.0 = perm[e.0 as usize];
         e.1 = perm[e.1 as usize];

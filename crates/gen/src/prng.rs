@@ -1,0 +1,161 @@
+//! In-repo deterministic PRNG: PCG XSL RR 128/64 ("pcg64").
+//!
+//! The generators need a fast, seed-stable random stream with a tiny API —
+//! uniform `u64`/`f64`, bounded indices, Bernoulli draws and Fisher–Yates
+//! shuffles. This is O'Neill's PCG with 128-bit LCG state and the
+//! XSL-RR output permutation, the same family the previous external
+//! dependency provided. Seeding expands a single `u64` through SplitMix64,
+//! so every generator keeps its `seed_from_u64` entry point; streams are
+//! stable across platforms (only integer arithmetic).
+
+/// Default multiplier of the 128-bit PCG LCG step.
+const PCG_MULT: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// SplitMix64 step used to expand a 64-bit seed into 128-bit state.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// PCG XSL RR 128/64: 2^128 period, 64-bit output, fully deterministic
+/// for a given seed.
+#[derive(Clone, Debug)]
+pub struct Pcg64 {
+    state: u128,
+    /// Stream selector; always odd.
+    increment: u128,
+}
+
+impl Pcg64 {
+    /// Builds the generator from a 64-bit seed (SplitMix64-expanded into
+    /// state and stream), mirroring the `seed_from_u64` entry point the
+    /// generators have always exposed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s_lo = splitmix64(&mut sm);
+        let s_hi = splitmix64(&mut sm);
+        let i_lo = splitmix64(&mut sm);
+        let i_hi = splitmix64(&mut sm);
+        let state = (s_hi as u128) << 64 | s_lo as u128;
+        let increment = ((i_hi as u128) << 64 | i_lo as u128) | 1;
+        let mut rng = Self { state: 0, increment };
+        // Standard PCG init: step, add seed state, step again.
+        rng.step();
+        rng.state = rng.state.wrapping_add(state);
+        rng.step();
+        rng
+    }
+
+    #[inline]
+    fn step(&mut self) {
+        self.state = self.state.wrapping_mul(PCG_MULT).wrapping_add(self.increment);
+    }
+
+    /// Next uniform `u64` (XSL-RR output of the stepped 128-bit state).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.step();
+        let rot = (self.state >> 122) as u32;
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xored.rotate_right(rot)
+    }
+
+    /// Next uniform `f64` in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform index in `0..n`. Panics if `n == 0`. Uses the widening
+    /// multiply reduction (bias ≤ 2⁻⁶⁴·n, irrelevant at these sizes and
+    /// deterministic either way).
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index over an empty range");
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// In-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_index(i + 1);
+            xs.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Pcg64::seed_from_u64(42);
+        let mut b = Pcg64::seed_from_u64(42);
+        let mut c = Pcg64::seed_from_u64(43);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = Pcg64::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn f64_is_roughly_uniform() {
+        let mut rng = Pcg64::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.next_f64()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_index_stays_in_range_and_covers() {
+        let mut rng = Pcg64::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.gen_index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(rng.gen_index(1), 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b: Vec<u32> = (0..100).collect();
+        Pcg64::seed_from_u64(5).shuffle(&mut a);
+        Pcg64::seed_from_u64(5).shuffle(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, (0..100).collect::<Vec<u32>>());
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Pcg64::seed_from_u64(9);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((hits as f64 / 100_000.0 - 0.3).abs() < 0.01, "{hits}");
+    }
+}

@@ -6,8 +6,6 @@
 //! Skew grows with `a`. We perturb the quadrant probabilities per level
 //! (standard "noise" variant) to avoid pathological diagonal clumping.
 
-use rand::Rng;
-
 use crate::{rng_from_seed, GenRng};
 
 /// Parameters of the R-MAT recursion.
@@ -71,7 +69,7 @@ pub fn rmat_edges(
             let (s, d) = sample_edge(scale, &params, &mut rng);
             if s != d {
                 edges.push((s, d));
-                if rng.gen::<f64>() < params.reciprocity {
+                if rng.next_f64() < params.reciprocity {
                     edges.push((d, s));
                 }
             }
@@ -88,12 +86,11 @@ pub fn rmat_edges(
 /// RNG stream). Truncating the *sorted* list instead would strip every
 /// out-edge of the highest-ID sources — a silent structural bias that
 /// destroys hub reciprocity.
-pub(crate) fn thin_to<R: rand::Rng>(edges: &mut Vec<(u32, u32)>, target: usize, rng: &mut R) {
+pub(crate) fn thin_to(edges: &mut Vec<(u32, u32)>, target: usize, rng: &mut GenRng) {
     if edges.len() <= target {
         return;
     }
-    use rand::seq::SliceRandom;
-    edges.shuffle(rng);
+    rng.shuffle(edges);
     edges.truncate(target);
     edges.sort_unstable();
 }
@@ -102,12 +99,12 @@ fn sample_edge(scale: u32, p: &RmatParams, rng: &mut GenRng) -> (u32, u32) {
     let (mut row, mut col) = (0u32, 0u32);
     for _ in 0..scale {
         // Per-level noisy split.
-        let na = p.a * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nb = p.b * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nc = p.c * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
-        let nd = p.d() * (1.0 + p.noise * (rng.gen::<f64>() - 0.5));
+        let na = p.a * (1.0 + p.noise * (rng.next_f64() - 0.5));
+        let nb = p.b * (1.0 + p.noise * (rng.next_f64() - 0.5));
+        let nc = p.c * (1.0 + p.noise * (rng.next_f64() - 0.5));
+        let nd = p.d() * (1.0 + p.noise * (rng.next_f64() - 0.5));
         let total = na + nb + nc + nd;
-        let x = rng.gen::<f64>() * total;
+        let x = rng.next_f64() * total;
         let (r_bit, c_bit) = if x < na {
             (0, 0)
         } else if x < na + nb {
@@ -165,20 +162,14 @@ mod tests {
         let max = *indeg.iter().max().unwrap();
         let mean = edges.len() as f64 / n as f64;
         // A hub should exceed the mean degree by a large factor.
-        assert!(
-            max as f64 > 20.0 * mean,
-            "max in-degree {max} not skewed vs mean {mean}"
-        );
+        assert!(max as f64 > 20.0 * mean, "max in-degree {max} not skewed vs mean {mean}");
     }
 
     #[test]
     fn reciprocity_creates_symmetric_hubs() {
         let edges = rmat_edges(11, 30_000, RmatParams::social(), 9);
         let set: std::collections::HashSet<(u32, u32)> = edges.iter().copied().collect();
-        let reciprocal = edges
-            .iter()
-            .filter(|&&(s, d)| set.contains(&(d, s)))
-            .count();
+        let reciprocal = edges.iter().filter(|&&(s, d)| set.contains(&(d, s))).count();
         // With reciprocity 0.75 well over a third of edges should be
         // mutual even after uniform thinning.
         assert!(reciprocal as f64 / edges.len() as f64 > 0.35);

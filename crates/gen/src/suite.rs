@@ -73,9 +73,7 @@ impl DatasetSpec {
             Recipe::Rmat { scale, params } => {
                 rmat_edges(*scale, self.target_edges, *params, self.seed)
             }
-            Recipe::Ba { m, reciprocity } => {
-                ba_edges(self.n_vertices, *m, *reciprocity, self.seed)
-            }
+            Recipe::Ba { m, reciprocity } => ba_edges(self.n_vertices, *m, *reciprocity, self.seed),
             Recipe::Web { params } => {
                 web_edges(self.n_vertices, self.target_edges, params, self.seed)
             }
@@ -154,7 +152,11 @@ pub fn suite() -> Vec<DatasetSpec> {
             target_edges: 7_600_000,
             seed: 106,
             recipe: Recipe::Web {
-                params: WebParams { n_hosts: 12_000, intra_prob: 0.65, ..WebParams::concentrated() },
+                params: WebParams {
+                    n_hosts: 12_000,
+                    intra_prob: 0.65,
+                    ..WebParams::concentrated()
+                },
             },
         },
         DatasetSpec {
@@ -187,7 +189,11 @@ pub fn suite() -> Vec<DatasetSpec> {
             target_edges: 12_000_000,
             seed: 109,
             recipe: Recipe::Web {
-                params: WebParams { n_hosts: 12_000, intra_prob: 0.75, ..WebParams::concentrated() },
+                params: WebParams {
+                    n_hosts: 12_000,
+                    intra_prob: 0.75,
+                    ..WebParams::concentrated()
+                },
             },
         },
         DatasetSpec {
@@ -301,11 +307,7 @@ mod tests {
         let specs = suite_small();
         let social = specs[0].build();
         let web = specs[1].build();
-        let hub = |g: &Graph| {
-            (0..g.n_vertices() as u32)
-                .max_by_key(|&v| g.in_degree(v))
-                .unwrap()
-        };
+        let hub = |g: &Graph| (0..g.n_vertices() as u32).max_by_key(|&v| g.in_degree(v)).unwrap();
         let s_hub = hub(&social);
         let w_hub = hub(&web);
         let s_asym = asymmetricity(&social, s_hub).unwrap();

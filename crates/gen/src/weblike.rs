@@ -15,10 +15,8 @@
 //!   (they are not out-hubs), reproducing Fig. 9's web-graph curve and the
 //!   "SK-Domain has in-hubs and no out-hubs" observation (§5.4).
 
-use rand::Rng;
-
-use crate::zipf::Zipf;
 use crate::rng_from_seed;
+use crate::zipf::Zipf;
 
 /// Parameters of the host-block model.
 #[derive(Clone, Debug)]
@@ -93,16 +91,13 @@ pub fn web_edges(n: usize, target_edges: usize, params: &WebParams, seed: u64) -
     let mut rng = rng_from_seed(seed);
 
     // --- Host layout: Zipf sizes, contiguous ID ranges. ---
-    let host_zipf_weights: Vec<f64> = (0..params.n_hosts)
-        .map(|h| 1.0 / ((h + 1) as f64).powf(params.host_size_alpha))
-        .collect();
+    let host_zipf_weights: Vec<f64> =
+        (0..params.n_hosts).map(|h| 1.0 / ((h + 1) as f64).powf(params.host_size_alpha)).collect();
     let weight_total: f64 = host_zipf_weights.iter().sum();
     // Every host gets at least one vertex; the remainder is split by weight.
     let spare = n - params.n_hosts;
-    let mut host_sizes: Vec<usize> = host_zipf_weights
-        .iter()
-        .map(|w| 1 + (w / weight_total * spare as f64) as usize)
-        .collect();
+    let mut host_sizes: Vec<usize> =
+        host_zipf_weights.iter().map(|w| 1 + (w / weight_total * spare as f64) as usize).collect();
     let mut assigned: usize = host_sizes.iter().sum();
     // Rounding slack goes to the largest host.
     while assigned < n {
@@ -157,19 +152,18 @@ pub fn web_edges(n: usize, target_edges: usize, params: &WebParams, seed: u64) -
             // not re-rolled per pass) so concentration survives multi-pass
             // generation.
             let h32 = v.wrapping_mul(0x9E37_79B1).rotate_left(13) ^ seed as u32;
-            let is_connector =
-                (h32 % 10_000) as f64 / 10_000.0 < params.connector_frac;
+            let is_connector = (h32 % 10_000) as f64 / 10_000.0 < params.connector_frac;
             let intra_prob = if is_connector { connector_intra } else { regular_intra };
             // Geometric out-degree, capped. Connectors are directory-style
             // pages with several times the typical link count, so the
             // hub-pointing edge mass concentrates into few sources.
             let p = if is_connector { geo_p / 4.0 } else { geo_p };
             let mut d = 1usize;
-            while d < params.out_degree_cap && rng.gen::<f64>() > p {
+            while d < params.out_degree_cap && rng.next_f64() > p {
                 d += 1;
             }
             for _ in 0..d {
-                let dst = if rng.gen::<f64>() < intra_prob && hs > 1 {
+                let dst = if rng.next_f64() < intra_prob && hs > 1 {
                     // Within-host link, Zipf-ranked toward the host's first
                     // pages. Rescale a rank over the largest host into this
                     // host's size so one table serves all hosts.
@@ -255,16 +249,8 @@ mod tests {
         for &(_, d) in &e {
             indeg[d as usize] += 1;
         }
-        let hub = indeg
-            .iter()
-            .enumerate()
-            .max_by_key(|&(_, d)| d)
-            .unwrap()
-            .0 as u32;
-        let reciprocated = e
-            .iter()
-            .filter(|&&(s, d)| d == hub && set.contains(&(hub, s)))
-            .count();
+        let hub = indeg.iter().enumerate().max_by_key(|&(_, d)| d).unwrap().0 as u32;
+        let reciprocated = e.iter().filter(|&&(s, d)| d == hub && set.contains(&(hub, s))).count();
         let total = indeg[hub as usize];
         assert!(
             (reciprocated as f64) < 0.1 * total as f64,
@@ -285,11 +271,7 @@ mod tests {
         let mut sorted = indeg.clone();
         sorted.sort_unstable_by(|a, b| b.cmp(a));
         let top: usize = sorted[..n * 3 / 100].iter().sum();
-        assert!(
-            top as f64 > 0.4 * e.len() as f64,
-            "hub concentration too weak: {top}/{}",
-            e.len()
-        );
+        assert!(top as f64 > 0.4 * e.len() as f64, "hub concentration too weak: {top}/{}", e.len());
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! rejection), deterministic given the RNG stream, and fast enough for the
 //! few tens of millions of draws the suite needs.
 
-use rand::Rng;
+use crate::prng::Pcg64;
 
 /// Zipf distribution over ranks `0..k` with exponent `alpha`.
 #[derive(Clone, Debug)]
@@ -35,9 +35,9 @@ impl Zipf {
 
     /// Draws one rank in `0..k`.
     #[inline]
-    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+    pub fn sample(&self, rng: &mut Pcg64) -> usize {
         let total = *self.cumulative.last().unwrap();
-        let x = rng.gen::<f64>() * total;
+        let x = rng.next_f64() * total;
         self.cumulative.partition_point(|&c| c < x).min(self.k() - 1)
     }
 }

@@ -2,11 +2,8 @@
 //!
 //! The hot path is a two-pass counting sort: one pass to size each adjacency
 //! list, a prefix sum, and one placement pass. Degree counting is
-//! parallelised with rayon over edge chunks into privatised count arrays —
-//! the same privatise-and-merge idiom iHTL itself uses for flipped-block
-//! buffers.
-
-use rayon::prelude::*;
+//! parallelised over edge chunks into privatised count arrays — the same
+//! privatise-and-merge idiom iHTL itself uses for flipped-block buffers.
 
 use crate::csr::Csr;
 use crate::{EdgeIndex, VertexId};
@@ -20,11 +17,7 @@ const PAR_THRESHOLD: usize = 1 << 16;
 /// Within each row, edges keep the order in which they appear in `edges`
 /// (stable placement), which matters for reproducibility of traversal-order-
 /// sensitive measurements such as the cache simulations.
-pub fn csr_from_pairs(
-    n_rows: usize,
-    n_cols: usize,
-    edges: &[(VertexId, VertexId)],
-) -> Csr {
+pub fn csr_from_pairs(n_rows: usize, n_cols: usize, edges: &[(VertexId, VertexId)]) -> Csr {
     let mut counts = count_degrees(n_rows, edges);
     // Exclusive prefix sum: counts[v] becomes the start offset of row v.
     let mut sum: EdgeIndex = 0;
@@ -54,26 +47,28 @@ fn count_degrees(n_rows: usize, edges: &[(VertexId, VertexId)]) -> Vec<EdgeIndex
         }
         return counts;
     }
-    let n_chunks = rayon::current_num_threads().max(1);
+    let n_chunks = ihtl_parallel::num_threads().max(1);
     let chunk = edges.len().div_ceil(n_chunks);
-    edges
-        .par_chunks(chunk)
-        .map(|es| {
+    let merge = |mut a: Vec<EdgeIndex>, b: Vec<EdgeIndex>| {
+        for (x, y) in a.iter_mut().zip(b) {
+            *x += y;
+        }
+        a
+    };
+    ihtl_parallel::par_map_reduce(
+        0..edges.len(),
+        chunk,
+        || vec![0 as EdgeIndex; n_rows],
+        |r| {
             let mut local = vec![0 as EdgeIndex; n_rows];
-            for &(r, _) in es {
-                local[r as usize] += 1;
+            for &(row, _) in &edges[r] {
+                local[row as usize] += 1;
             }
             local
-        })
-        .reduce(
-            || vec![0 as EdgeIndex; n_rows],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        )
+        },
+        merge,
+        merge,
+    )
 }
 
 #[cfg(test)]
@@ -102,9 +97,8 @@ mod tests {
         // Force the parallel path with > PAR_THRESHOLD edges.
         let n = 1000usize;
         let m = super::PAR_THRESHOLD + 17;
-        let edges: Vec<(u32, u32)> = (0..m)
-            .map(|i| (((i * 7919) % n) as u32, ((i * 104729) % n) as u32))
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            (0..m).map(|i| (((i * 7919) % n) as u32, ((i * 104729) % n) as u32)).collect();
         let c = csr_from_pairs(n, n, &edges);
         let mut expect = vec![0u64; n];
         for &(r, _) in &edges {

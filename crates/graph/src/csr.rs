@@ -38,10 +38,7 @@ impl Csr {
             offsets.windows(2).all(|w| w[0] <= w[1]),
             "offsets must be monotonically non-decreasing"
         );
-        assert!(
-            targets.iter().all(|&t| (t as usize) < n_cols),
-            "every target must be < n_cols"
-        );
+        assert!(targets.iter().all(|&t| (t as usize) < n_cols), "every target must be < n_cols");
         Self { offsets, targets, n_cols }
     }
 
@@ -101,8 +98,7 @@ impl Csr {
 
     /// Iterates every stored edge as `(row, col)`.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
-        self.iter_rows()
-            .flat_map(|(v, ns)| ns.iter().map(move |&u| (v, u)))
+        self.iter_rows().flat_map(|(v, ns)| ns.iter().map(move |&u| (v, u)))
     }
 
     /// Byte size of the topology data in the paper's accounting

@@ -25,7 +25,10 @@ impl EdgeList {
     pub fn from_edges(n_vertices: usize, edges: Vec<(VertexId, VertexId)>) -> Self {
         assert!(n_vertices <= u32::MAX as usize, "vertex universe must fit u32");
         for &(s, d) in &edges {
-            assert!((s as usize) < n_vertices && (d as usize) < n_vertices, "edge endpoint out of range");
+            assert!(
+                (s as usize) < n_vertices && (d as usize) < n_vertices,
+                "edge endpoint out of range"
+            );
         }
         Self { n_vertices, edges }
     }

@@ -113,14 +113,20 @@ impl Graph {
 ///   order `7, 1` and vertex 1 having in-neighbour 4.
 pub fn paper_example_graph() -> Graph {
     let edges: Vec<(VertexId, VertexId)> = vec![
-        (0, 1),                         // 1→2
-        (1, 2), (1, 6),                 // 2→3, 2→7
-        (2, 6),                         // 3→7
-        (3, 0),                         // 4→1
-        (4, 2), (4, 6),                 // 5→3, 5→7
-        (5, 2), (5, 6), (5, 3), (5, 4), // 6→3, 6→7, 6→4, 6→5
-        (6, 2), (6, 1),                 // 7→3, 7→2
-        (7, 2),                         // 8→3
+        (0, 1), // 1→2
+        (1, 2),
+        (1, 6), // 2→3, 2→7
+        (2, 6), // 3→7
+        (3, 0), // 4→1
+        (4, 2),
+        (4, 6), // 5→3, 5→7
+        (5, 2),
+        (5, 6),
+        (5, 3),
+        (5, 4), // 6→3, 6→7, 6→4, 6→5
+        (6, 2),
+        (6, 1), // 7→3, 7→2
+        (7, 2), // 8→3
     ];
     Graph::from_edges(8, &edges)
 }

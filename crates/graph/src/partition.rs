@@ -4,7 +4,8 @@
 //! of graph partitions created by vertex and edge partitioning" (§4.1,
 //! GraphGrind-style). The equivalent here: split the vertex range `0..n`
 //! into contiguous chunks whose *edge* counts are as equal as possible, then
-//! hand the chunks to rayon (whose scheduler provides the work stealing).
+//! hand the chunks to ihtl-parallel (whose self-scheduling chunk queue
+//! provides the load balancing).
 
 use crate::csr::Csr;
 use crate::VertexId;
@@ -72,10 +73,7 @@ pub fn vertex_balanced_ranges(n: usize, n_parts: usize) -> Vec<VertexRange> {
     let chunk = n.div_ceil(n_parts).max(1);
     (0..n)
         .step_by(chunk)
-        .map(|s| VertexRange {
-            start: s as VertexId,
-            end: (s + chunk).min(n) as VertexId,
-        })
+        .map(|s| VertexRange { start: s as VertexId, end: (s + chunk).min(n) as VertexId })
         .collect()
 }
 

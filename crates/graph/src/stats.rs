@@ -1,8 +1,6 @@
 //! Structural statistics: degree distributions, hub measures, and the
 //! *asymmetricity* metric of the paper's Figure 9.
 
-use rayon::prelude::*;
-
 use crate::graph::Graph;
 use crate::VertexId;
 
@@ -37,11 +35,9 @@ pub fn degree_stats(g: &Graph) -> DegreeStats {
 /// the highest degree", §3.2).
 pub fn vertices_by_in_degree_desc(g: &Graph) -> Vec<VertexId> {
     let mut order: Vec<VertexId> = (0..g.n_vertices() as u32).collect();
-    order.par_sort_by(|&a, &b| {
-        g.in_degree(b)
-            .cmp(&g.in_degree(a))
-            .then_with(|| a.cmp(&b))
-    });
+    // The comparator is a total order (ties broken by id), so an unstable
+    // sort is deterministic.
+    order.sort_unstable_by(|&a, &b| g.in_degree(b).cmp(&g.in_degree(a)).then_with(|| a.cmp(&b)));
     order
 }
 
@@ -59,10 +55,7 @@ pub fn asymmetricity(g: &Graph, v: VertexId) -> Option<f64> {
     }
     let mut outs: Vec<VertexId> = g.csr().neighbours(v).to_vec();
     outs.sort_unstable();
-    let non_reciprocal = ins
-        .iter()
-        .filter(|u| outs.binary_search(u).is_err())
-        .count();
+    let non_reciprocal = ins.iter().filter(|u| outs.binary_search(u).is_err()).count();
     Some(non_reciprocal as f64 / ins.len() as f64)
 }
 
@@ -84,10 +77,7 @@ pub fn degree_profile<F>(g: &Graph, metric: F) -> Vec<DegreeBucket>
 where
     F: Fn(VertexId) -> Option<f64>,
 {
-    let max_deg = (0..g.n_vertices())
-        .map(|v| g.in_degree(v as VertexId))
-        .max()
-        .unwrap_or(0);
+    let max_deg = (0..g.n_vertices()).map(|v| g.in_degree(v as VertexId)).max().unwrap_or(0);
     let n_buckets = (usize::BITS - max_deg.leading_zeros()) as usize + 1;
     let mut sums = vec![0.0f64; n_buckets];
     let mut counts = vec![0usize; n_buckets];
@@ -122,11 +112,7 @@ pub fn edge_fraction_to_top_k(g: &Graph, k: usize) -> f64 {
         return 0.0;
     }
     let order = vertices_by_in_degree_desc(g);
-    let covered: usize = order
-        .iter()
-        .take(k)
-        .map(|&v| g.in_degree(v))
-        .sum();
+    let covered: usize = order.iter().take(k).map(|&v| g.in_degree(v)).sum();
     covered as f64 / g.n_edges() as f64
 }
 

@@ -1,0 +1,504 @@
+//! Zero-dependency parallel substrate for the iHTL workspace.
+//!
+//! The paper's execution model needs exactly two scheduling shapes:
+//!
+//! * **chunked parallel-for with dynamic load balancing** — the flipped-block
+//!   push phase walks (block × source-chunk) tasks whose cost is wildly
+//!   skewed (hubs!), so workers must self-schedule rather than take static
+//!   slices (paper §4.1 uses "work stealing over partitioned graphs");
+//! * **map-reduce over index ranges** — degree counting and triangle
+//!   counting privatise per-worker accumulators and merge them, the same
+//!   privatise-and-merge idiom iHTL applies to its hub buffers (§3.4).
+//!
+//! Both are provided here on plain `std`: a lazily-sized worker count
+//! (`IHTL_THREADS` env var, else `available_parallelism`), per-call
+//! `std::thread::scope` workers, and an atomic chunk counter acting as the
+//! shared work queue — workers grab the next chunk when they finish their
+//! last, which is self-scheduling with the same load-balancing effect as
+//! stealing for contiguous ranges.
+//!
+//! Guarantees relied on by the rest of the workspace (notably the
+//! privatised hub buffers in `ihtl-core`):
+//!
+//! * inside a parallel region every concurrent worker observes a distinct
+//!   [`current_thread_index`] in `0..num_threads()`;
+//! * outside any region (and on the sequential fallback path)
+//!   `current_thread_index()` is `None`;
+//! * nested parallel calls from inside a worker run sequentially *on that
+//!   worker*, so an index can never be observed by two live threads;
+//! * with `num_threads() == 1` no thread is ever spawned — single-core
+//!   containers pay nothing but a function call.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+static NUM_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    static WORKER_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads parallel regions use, decided once per process:
+/// the `IHTL_THREADS` environment variable if set to a positive integer,
+/// otherwise [`std::thread::available_parallelism`], otherwise 1.
+pub fn num_threads() -> usize {
+    *NUM_THREADS.get_or_init(|| {
+        std::env::var("IHTL_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    })
+}
+
+/// The calling thread's worker index inside a parallel region
+/// (`Some(0..num_threads())`), or `None` outside one. Stable for the whole
+/// region, so it can key per-thread privatised state.
+pub fn current_thread_index() -> Option<usize> {
+    WORKER_INDEX.with(|c| c.get())
+}
+
+/// Runs `f` over `range` split into chunks of at most `grain` elements.
+/// Chunks are claimed dynamically from an atomic counter, so skewed chunk
+/// costs balance across workers. Falls back to a plain sequential loop when
+/// only one thread is configured, when called from inside another parallel
+/// region, or when the range fits in a single chunk.
+pub fn par_for_chunks<F>(range: Range<usize>, grain: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return;
+    }
+    let n_chunks = len.div_ceil(grain);
+    let workers = worker_count(n_chunks);
+    if workers == 1 {
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + grain).min(range.end);
+            f(start..end);
+            start = end;
+        }
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for idx in 1..workers {
+            let f = &f;
+            let next = &next;
+            let range = range.clone();
+            s.spawn(move || chunk_loop(idx, range, grain, n_chunks, next, f));
+        }
+        chunk_loop(0, range.clone(), grain, n_chunks, &next, &f);
+    });
+}
+
+/// How many workers a region with `n_chunks` chunks should use: 1 forces
+/// the sequential path (single-thread config, nested call, or nothing to
+/// share).
+fn worker_count(n_chunks: usize) -> usize {
+    let nt = num_threads();
+    if nt == 1 || current_thread_index().is_some() || n_chunks <= 1 {
+        1
+    } else {
+        nt.min(n_chunks)
+    }
+}
+
+fn chunk_loop<F>(
+    idx: usize,
+    range: Range<usize>,
+    grain: usize,
+    n_chunks: usize,
+    next: &AtomicUsize,
+    f: &F,
+) where
+    F: Fn(Range<usize>) + Sync,
+{
+    WORKER_INDEX.with(|c| c.set(Some(idx)));
+    loop {
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= n_chunks {
+            break;
+        }
+        let start = range.start + chunk * grain;
+        let end = (start + grain).min(range.end);
+        f(start..end);
+    }
+    WORKER_INDEX.with(|c| c.set(None));
+}
+
+/// Maps chunks of `range` through `map` into per-worker accumulators
+/// (seeded by `identity`) folded with `fold`, then reduces the worker
+/// accumulators with `reduce`. `fold` sees chunks in self-scheduled order,
+/// so the operation must be commutative-associative for a deterministic
+/// result — true of every use in this workspace (integer counts, sums,
+/// min/max).
+pub fn par_map_reduce<T, I, M, FO, R>(
+    range: Range<usize>,
+    grain: usize,
+    identity: I,
+    map: M,
+    fold: FO,
+    reduce: R,
+) -> T
+where
+    T: Send,
+    I: Fn() -> T + Sync,
+    M: Fn(Range<usize>) -> T + Sync,
+    FO: Fn(T, T) -> T + Sync,
+    R: Fn(T, T) -> T,
+{
+    let grain = grain.max(1);
+    let len = range.end.saturating_sub(range.start);
+    if len == 0 {
+        return identity();
+    }
+    let n_chunks = len.div_ceil(grain);
+    let workers = worker_count(n_chunks);
+    if workers == 1 {
+        let mut acc = identity();
+        let mut start = range.start;
+        while start < range.end {
+            let end = (start + grain).min(range.end);
+            acc = fold(acc, map(start..end));
+            start = end;
+        }
+        return acc;
+    }
+    let next = AtomicUsize::new(0);
+    let locals: Vec<T> = std::thread::scope(|s| {
+        let handles: Vec<_> = (1..workers)
+            .map(|idx| {
+                let map = &map;
+                let fold = &fold;
+                let identity = &identity;
+                let next = &next;
+                let range = range.clone();
+                s.spawn(move || {
+                    map_reduce_loop(idx, range, grain, n_chunks, next, identity, map, fold)
+                })
+            })
+            .collect();
+        let mine =
+            map_reduce_loop(0, range.clone(), grain, n_chunks, &next, &identity, &map, &fold);
+        let mut locals = vec![mine];
+        for h in handles {
+            locals.push(h.join().expect("ihtl-parallel worker panicked"));
+        }
+        locals
+    });
+    let mut acc = identity();
+    for local in locals {
+        acc = reduce(acc, local);
+    }
+    acc
+}
+
+#[allow(clippy::too_many_arguments)]
+fn map_reduce_loop<T, I, M, FO>(
+    idx: usize,
+    range: Range<usize>,
+    grain: usize,
+    n_chunks: usize,
+    next: &AtomicUsize,
+    identity: &I,
+    map: &M,
+    fold: &FO,
+) -> T
+where
+    I: Fn() -> T,
+    M: Fn(Range<usize>) -> T,
+    FO: Fn(T, T) -> T,
+{
+    WORKER_INDEX.with(|c| c.set(Some(idx)));
+    let mut acc = identity();
+    loop {
+        let chunk = next.fetch_add(1, Ordering::Relaxed);
+        if chunk >= n_chunks {
+            break;
+        }
+        let start = range.start + chunk * grain;
+        let end = (start + grain).min(range.end);
+        acc = fold(acc, map(start..end));
+    }
+    WORKER_INDEX.with(|c| c.set(None));
+    acc
+}
+
+/// Shared-pointer wrapper letting disjoint-index writers run in parallel.
+struct SharedMut<T>(*mut T);
+unsafe impl<T: Send> Sync for SharedMut<T> {}
+
+impl<T> SharedMut<T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the raw pointer field (edition-2021
+    /// closures capture disjoint fields).
+    #[inline]
+    fn ptr(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Calls `f(i, &mut items[i])` for every index, in parallel, `grain` items
+/// per task. Each index is visited exactly once, so the per-item `&mut`
+/// borrows are disjoint.
+pub fn par_for_each_mut<T, F>(items: &mut [T], grain: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let base = SharedMut(items.as_mut_ptr());
+    let len = items.len();
+    par_for_chunks(0..len, grain, move |r| {
+        for i in r {
+            // SAFETY: chunks partition 0..len, so index i is claimed by
+            // exactly one worker and the &mut cannot alias.
+            let item = unsafe { &mut *base.ptr().add(i) };
+            f(i, item);
+        }
+    });
+}
+
+/// Calls `f(i, &items[i])` for every index, in parallel.
+pub fn par_for_each<T, F>(items: &[T], grain: usize, f: F)
+where
+    T: Sync,
+    F: Fn(usize, &T) + Sync,
+{
+    par_for_chunks(0..items.len(), grain, |r| {
+        for i in r {
+            f(i, &items[i]);
+        }
+    });
+}
+
+/// Splits `data` into contiguous chunks of at most `chunk` elements and
+/// calls `f(chunk_index, chunk)` in parallel — the enumerated
+/// chunks-of-a-mutable-slice shape.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk = chunk.max(1);
+    let len = data.len();
+    let base = SharedMut(data.as_mut_ptr());
+    let n_chunks = len.div_ceil(chunk);
+    par_for_chunks(0..n_chunks, 1, move |r| {
+        for ci in r {
+            let start = ci * chunk;
+            let end = (start + chunk).min(len);
+            // SAFETY: chunk index ci is claimed by exactly one worker and
+            // chunks tile 0..len disjointly.
+            let slice =
+                unsafe { std::slice::from_raw_parts_mut(base.ptr().add(start), end - start) };
+            f(ci, slice);
+        }
+    });
+}
+
+/// Maps every element through `f` in parallel, preserving order.
+pub fn par_map<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    par_for_each_mut(&mut out, grain, |i, slot| *slot = Some(f(&items[i])));
+    out.into_iter().map(|o| o.expect("par_map slot unfilled")).collect()
+}
+
+/// Overwrites every element with `value`, in parallel — the bulk
+/// reset-to-identity used before push phases.
+pub fn par_fill<T>(data: &mut [T], value: T)
+where
+    T: Copy + Send + Sync,
+{
+    par_for_each_mut(data, 4096, |_, slot| *slot = value);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    #[test]
+    fn num_threads_is_positive_and_stable() {
+        let a = num_threads();
+        let b = num_threads();
+        assert!(a >= 1);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn honours_ihtl_threads_env() {
+        // The worker count is decided once per process, so this asserts
+        // against whatever environment the test runs under (the verify
+        // script exercises IHTL_THREADS=1 and IHTL_THREADS=4 explicitly).
+        if let Ok(v) = std::env::var("IHTL_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    assert_eq!(num_threads(), n);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_config_never_sets_an_index() {
+        // With IHTL_THREADS=1 the sequential fallback runs everything on
+        // the caller with no worker identity (exercised by verify.sh).
+        if num_threads() == 1 {
+            par_for_chunks(0..128, 8, |_| {
+                assert_eq!(current_thread_index(), None);
+            });
+        }
+    }
+
+    #[test]
+    fn no_index_outside_regions() {
+        assert_eq!(current_thread_index(), None);
+        par_for_chunks(0..1, 1, |_| {});
+        assert_eq!(current_thread_index(), None);
+    }
+
+    #[test]
+    fn par_for_chunks_matches_sequential_sum() {
+        let n = 10_000usize;
+        let total = AtomicUsize::new(0);
+        par_for_chunks(0..n, 64, |r| {
+            let local: usize = r.sum();
+            total.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 4097usize; // deliberately not a multiple of the grain
+        let mut hits = vec![0u8; n];
+        par_for_each_mut(&mut hits, 17, |_, h| *h += 1);
+        assert!(hits.iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn empty_and_single_element_ranges() {
+        let ran = AtomicUsize::new(0);
+        par_for_chunks(5..5, 8, |_| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+        let seen = Mutex::new(Vec::new());
+        par_for_chunks(7..8, 8, |r| seen.lock().unwrap().push(r));
+        assert_eq!(*seen.lock().unwrap(), vec![7..8]);
+    }
+
+    #[test]
+    fn worker_indices_are_distinct_and_in_range() {
+        // With one configured thread the region runs inline on the caller
+        // and no worker identity exists; with more, every index reported
+        // inside the region must fall in 0..num_threads().
+        let nt = num_threads();
+        let seen = Mutex::new(HashSet::new());
+        let hits = AtomicUsize::new(0);
+        par_for_chunks(0..nt * 8, 1, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            if nt == 1 {
+                assert_eq!(current_thread_index(), None);
+            } else {
+                let idx = current_thread_index().expect("no index inside region");
+                assert!(idx < nt, "index {idx} out of 0..{nt}");
+                seen.lock().unwrap().insert(idx);
+                // Hold the worker briefly so concurrent workers overlap and
+                // report their (distinct, thread-local) indices.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), nt * 8);
+        if nt > 1 {
+            assert!(!seen.lock().unwrap().is_empty());
+        }
+    }
+
+    #[test]
+    fn nested_calls_run_sequentially_with_stable_index() {
+        par_for_chunks(0..4, 1, |_| {
+            // `Some(idx)` on a pooled worker, `None` on the inline
+            // single-thread path; either way a nested region must not
+            // change this thread's identity.
+            let outer = current_thread_index();
+            let inner_hits = AtomicUsize::new(0);
+            par_for_chunks(0..16, 4, |r| {
+                inner_hits.fetch_add(r.len(), Ordering::Relaxed);
+                assert_eq!(current_thread_index(), outer);
+            });
+            assert_eq!(inner_hits.load(Ordering::Relaxed), 16);
+            assert_eq!(current_thread_index(), outer);
+        });
+    }
+
+    #[test]
+    fn map_reduce_sums_correctly() {
+        let n = 100_000usize;
+        let total = par_map_reduce(
+            0..n,
+            1024,
+            || 0u64,
+            |r| r.map(|i| i as u64).sum(),
+            |a, b| a + b,
+            |a, b| a + b,
+        );
+        assert_eq!(total, (n as u64) * (n as u64 - 1) / 2);
+    }
+
+    #[test]
+    fn map_reduce_empty_range_is_identity() {
+        let v = par_map_reduce(3..3, 8, || 42u64, |_| 0, |a, b| a + b, |a, b| a + b);
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..5000).collect();
+        let mapped = par_map(&items, 7, |&x| x * 2);
+        assert!(mapped.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_chunks_mut_tiles_disjointly() {
+        let mut data = vec![0usize; 1000];
+        par_chunks_mut(&mut data, 33, |ci, chunk| {
+            for v in chunk.iter_mut() {
+                *v = ci + 1;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i / 33 + 1);
+        }
+    }
+
+    #[test]
+    fn par_fill_overwrites_everything() {
+        let mut data = vec![0.0f64; 12345];
+        par_fill(&mut data, 2.5);
+        assert!(data.iter().all(|&v| v == 2.5));
+    }
+
+    #[test]
+    fn parallel_results_match_sequential_path() {
+        // The same computation through the parallel region and a plain loop.
+        let n = 65_536usize;
+        let mut par = vec![0u64; n];
+        par_for_each_mut(&mut par, 113, |i, v| *v = (i as u64).wrapping_mul(2654435761));
+        let seq: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(2654435761)).collect();
+        assert_eq!(par, seq);
+    }
+}

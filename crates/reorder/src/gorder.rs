@@ -234,16 +234,14 @@ mod tests {
 
     #[test]
     fn bucket_queue_randomized_against_reference() {
-        use rand::Rng;
-        use rand::SeedableRng;
-        let mut rng = rand_pcg::Pcg64::seed_from_u64(99);
+        let mut rng = ihtl_gen::Pcg64::seed_from_u64(99);
         for _trial in 0..50 {
             let n = 12;
             let mut q = BucketQueue::new(n);
             let mut reference = vec![0i64; n];
             let mut alive = vec![true; n];
             for _ in 0..60 {
-                let v = rng.gen_range(0..n as u32);
+                let v = rng.gen_index(n) as u32;
                 if rng.gen_bool(0.5) {
                     q.increment(v);
                     if alive[v as usize] {
@@ -293,10 +291,8 @@ mod tests {
         let inv = r.inverse();
         // Find the positions of the siblings; they must be consecutive-ish
         // (span ≤ 3 positions), with 4 outside that span.
-        let pos: Vec<usize> = [1u32, 2, 3]
-            .iter()
-            .map(|&v| inv.iter().position(|&o| o == v).unwrap())
-            .collect();
+        let pos: Vec<usize> =
+            [1u32, 2, 3].iter().map(|&v| inv.iter().position(|&o| o == v).unwrap()).collect();
         let span = pos.iter().max().unwrap() - pos.iter().min().unwrap();
         assert!(span <= 3, "siblings scattered: {pos:?}");
     }

@@ -41,10 +41,7 @@ pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
         }
     }
     let two_m = (2 * g.n_edges()).max(1) as f64;
-    let mut weight: Vec<u64> = adj
-        .iter()
-        .map(|a| a.values().sum::<u64>())
-        .collect();
+    let mut weight: Vec<u64> = adj.iter().map(|a| a.values().sum::<u64>()).collect();
     // node_of[c] = dendrogram node index of live community c.
     let mut node_of: Vec<usize> = (0..n).collect();
     let mut live: Vec<u32> = (0..n as u32).collect();
@@ -54,9 +51,7 @@ pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
         // vertices first to keep communities balanced).
         let mut order = live.clone();
         order.sort_unstable_by(|&a, &b| {
-            weight[a as usize]
-                .cmp(&weight[b as usize])
-                .then_with(|| a.cmp(&b))
+            weight[a as usize].cmp(&weight[b as usize]).then_with(|| a.cmp(&b))
         });
         let mut merged_any = false;
         let mut alive: Vec<bool> = vec![false; n];
@@ -77,9 +72,7 @@ pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
                 }
                 let dq = w as f64 / two_m
                     - (weight[c as usize] as f64 * weight[u as usize] as f64) / (two_m * two_m);
-                if dq > 0.0
-                    && best.map_or(true, |(bu, b)| dq > b || (dq == b && u < bu))
-                {
+                if dq > 0.0 && best.map_or(true, |(bu, b)| dq > b || (dq == b && u < bu)) {
                     best = Some((u, dq));
                 }
             }
@@ -122,11 +115,7 @@ pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
     // communities in ascending original representative order keeps the
     // result deterministic.
     let mut order: Vec<VertexId> = Vec::with_capacity(n);
-    let mut stack: Vec<usize> = live
-        .iter()
-        .rev()
-        .map(|&c| node_of[c as usize])
-        .collect();
+    let mut stack: Vec<usize> = live.iter().rev().map(|&c| node_of[c as usize]).collect();
     while let Some(idx) = stack.pop() {
         match &nodes[idx] {
             Node::Leaf(v) => order.push(*v),
@@ -157,11 +146,7 @@ mod tests {
     fn communities_get_consecutive_ids() {
         // Two triangles joined by one weak edge: each triangle is a
         // community, so its three vertices must receive consecutive IDs.
-        let edges = vec![
-            (0u32, 1u32), (1, 2), (2, 0),
-            (3, 4), (4, 5), (5, 3),
-            (2, 3),
-        ];
+        let edges = vec![(0u32, 1u32), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)];
         let g = Graph::from_edges(6, &edges);
         let r = rabbit_order(&g, 8);
         r.validate();

@@ -4,26 +4,20 @@ use std::time::Instant;
 
 use ihtl_graph::stats::vertices_by_in_degree_desc;
 use ihtl_graph::{Graph, VertexId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 use crate::Reordering;
 
 /// The identity ordering (the "initial" curves of Figures 1 and 8).
 pub fn identity(g: &Graph) -> Reordering {
-    Reordering {
-        name: "identity",
-        perm: (0..g.n_vertices() as u32).collect(),
-        seconds: 0.0,
-    }
+    Reordering { name: "identity", perm: (0..g.n_vertices() as u32).collect(), seconds: 0.0 }
 }
 
 /// A seeded uniformly random ordering — the locality-destroying control.
 pub fn random(g: &Graph, seed: u64) -> Reordering {
     let t = Instant::now();
     let mut order: Vec<VertexId> = (0..g.n_vertices() as u32).collect();
-    let mut rng = rand_pcg::Pcg64::seed_from_u64(seed);
-    order.shuffle(&mut rng);
+    let mut rng = ihtl_gen::Pcg64::seed_from_u64(seed);
+    rng.shuffle(&mut order);
     // `order[new] = old`; invert into perm[old] = new.
     let mut perm = vec![0 as VertexId; order.len()];
     for (new, &old) in order.iter().enumerate() {

@@ -46,11 +46,8 @@ impl UnionFind {
         if ra == rb {
             return;
         }
-        let (big, small) = if self.size[ra as usize] >= self.size[rb as usize] {
-            (ra, rb)
-        } else {
-            (rb, ra)
-        };
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
         self.parent[small as usize] = big;
         self.size[big as usize] += self.size[small as usize];
     }
@@ -67,18 +64,15 @@ pub fn slashburn(g: &Graph, k_ratio: f64) -> Reordering {
     let mut front: Vec<VertexId> = Vec::with_capacity(n);
     let mut back: Vec<VertexId> = Vec::with_capacity(n);
     // Degree within the alive subgraph (undirected).
-    let mut degree: Vec<u64> = (0..n as u32)
-        .map(|v| (g.in_degree(v) + g.out_degree(v)) as u64)
-        .collect();
+    let mut degree: Vec<u64> =
+        (0..n as u32).map(|v| (g.in_degree(v) + g.out_degree(v)) as u64).collect();
     let mut n_alive = n;
 
     while n_alive > k {
         // --- Slash: remove the k highest-degree alive vertices. ---
         let mut order: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
         order.sort_unstable_by(|&a, &b| {
-            degree[b as usize]
-                .cmp(&degree[a as usize])
-                .then_with(|| a.cmp(&b))
+            degree[b as usize].cmp(&degree[a as usize]).then_with(|| a.cmp(&b))
         });
         let removed = k.min(order.len());
         for &hub in order.iter().take(removed) {
@@ -147,9 +141,7 @@ pub fn slashburn(g: &Graph, k_ratio: f64) -> Reordering {
     // Remaining GCC kernel: append by degree, descending.
     let mut rest: Vec<u32> = (0..n as u32).filter(|&v| alive[v as usize]).collect();
     rest.sort_unstable_by(|&a, &b| {
-        degree[b as usize]
-            .cmp(&degree[a as usize])
-            .then_with(|| a.cmp(&b))
+        degree[b as usize].cmp(&degree[a as usize]).then_with(|| a.cmp(&b))
     });
     front.extend(rest);
 

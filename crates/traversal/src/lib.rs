@@ -24,8 +24,8 @@ pub mod push;
 pub use monoid::{Add, Max, Min, Monoid};
 
 /// Splits a mutable slice into the disjoint sub-slices described by
-/// contiguous vertex ranges, so rayon can hand each range to a worker
-/// without aliasing.
+/// contiguous vertex ranges, so the parallel runtime can hand each range to
+/// a worker without aliasing.
 pub(crate) fn split_by_ranges<'a>(
     mut data: &'a mut [f64],
     ranges: &[ihtl_graph::partition::VertexRange],

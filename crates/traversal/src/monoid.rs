@@ -135,12 +135,13 @@ mod tests {
 
     #[test]
     fn atomic_combine_parallel_sum() {
-        use rayon::prelude::*;
         let mut data = vec![0.0f64; 4];
         {
             let atomics = as_atomic_slice(&mut data);
-            (0..10_000usize).into_par_iter().for_each(|i| {
-                Add::combine_atomic(&atomics[i % 4], 1.0);
+            ihtl_parallel::par_for_chunks(0..10_000, 64, |r| {
+                for i in r {
+                    Add::combine_atomic(&atomics[i % 4], 1.0);
+                }
             });
         }
         assert_eq!(data.iter().sum::<f64>(), 10_000.0);

@@ -4,8 +4,6 @@
 //! write protection is needed; reads of source data are random. Three
 //! parallelisation strategies mirror the paper's pull baselines.
 
-use rayon::prelude::*;
-
 use ihtl_graph::partition::{edge_balanced_ranges, VertexRange};
 use ihtl_graph::{Csr, Graph, VertexId};
 
@@ -28,7 +26,7 @@ pub fn spmv_pull_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
 
 /// GraphGrind-style pull: the destination range is split into
 /// `parts` contiguous, edge-balanced partitions processed in parallel
-/// (work stealing comes from rayon's scheduler).
+/// (load balance comes from ihtl-parallel's self-scheduling chunk queue).
 pub fn spmv_pull<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     spmv_pull_with_parts::<M>(g, x, y, default_parts());
 }
@@ -38,11 +36,10 @@ pub fn spmv_pull_with_parts<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], part
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
     let ranges = edge_balanced_ranges(g.csc(), parts);
-    let slices = split_by_ranges(y, &ranges);
-    ranges
-        .par_iter()
-        .zip(slices)
-        .for_each(|(range, out)| pull_range::<M>(g.csc(), x, *range, out));
+    let mut slices = split_by_ranges(y, &ranges);
+    ihtl_parallel::par_for_each_mut(&mut slices, 1, |i, out| {
+        pull_range::<M>(g.csc(), x, ranges[i], out);
+    });
 }
 
 /// Galois-style pull: vertices processed in small fixed-size chunks that the
@@ -53,7 +50,7 @@ pub fn spmv_pull_chunked<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], chunk: 
     assert_eq!(y.len(), g.n_vertices());
     assert!(chunk > 0);
     let csc = g.csc();
-    y.par_chunks_mut(chunk).enumerate().for_each(|(i, out)| {
+    ihtl_parallel::par_chunks_mut(y, chunk, |i, out| {
         let start = (i * chunk) as VertexId;
         let range = VertexRange { start, end: start + out.len() as VertexId };
         pull_range::<M>(csc, x, range, out);
@@ -102,8 +99,7 @@ impl SegmentedCsc {
         let n = g.n_vertices();
         let n_segments = n.div_ceil(segment_width).max(1);
         // Bucket edges per source segment, keyed by destination.
-        let mut per_segment: Vec<Vec<(VertexId, VertexId)>> =
-            vec![Vec::new(); n_segments];
+        let mut per_segment: Vec<Vec<(VertexId, VertexId)>> = vec![Vec::new(); n_segments];
         for (dst, srcs) in g.csc().iter_rows() {
             for &src in srcs {
                 per_segment[src as usize / segment_width].push((dst, src));
@@ -158,30 +154,24 @@ impl SegmentedCsc {
 /// GraphIt/Cagra-style pull over a [`SegmentedCsc`]: segments are processed
 /// one after another (keeping the source window cache-resident), with each
 /// segment's non-empty destinations processed in parallel.
-pub fn spmv_pull_segmented<M: Monoid>(
-    seg: &SegmentedCsc,
-    x: &[f64],
-    y: &mut [f64],
-) {
+pub fn spmv_pull_segmented<M: Monoid>(seg: &SegmentedCsc, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), seg.n_vertices);
     assert_eq!(y.len(), seg.n_vertices);
-    y.par_iter_mut().for_each(|v| *v = M::identity());
+    ihtl_parallel::par_fill(y, M::identity());
     // Within a segment every compacted row owns a distinct destination, so
     // the scattered writes are race-free; the atomic view only provides the
     // unsynchronised shared mutability (plain relaxed load/store, no CAS).
     let slots = crate::monoid::as_atomic_slice(y);
     for seg in &seg.segments {
         let ranges = edge_balanced_ranges(&seg.csr, default_parts());
-        ranges.par_iter().for_each(|range| {
+        ihtl_parallel::par_for_each(&ranges, 1, |_, range| {
             for row in range.iter() {
                 let ins = seg.csr.neighbours(row);
                 if ins.is_empty() {
                     continue;
                 }
                 let slot = &slots[seg.dsts[row as usize] as usize];
-                let mut acc = f64::from_bits(
-                    slot.load(std::sync::atomic::Ordering::Relaxed),
-                );
+                let mut acc = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
                 for &u in ins {
                     acc = M::combine(acc, x[u as usize]);
                 }
@@ -191,11 +181,11 @@ pub fn spmv_pull_segmented<M: Monoid>(
     }
 }
 
-/// Default partition count: a small multiple of the worker count so rayon's
-/// stealing can balance skewed partitions (the paper uses work stealing over
-/// partitioned graphs, §4.1).
+/// Default partition count: a small multiple of the worker count so the
+/// self-scheduling chunk queue can balance skewed partitions (the paper uses
+/// work stealing over partitioned graphs, §4.1).
 pub fn default_parts() -> usize {
-    rayon::current_num_threads() * 8
+    ihtl_parallel::num_threads() * 8
 }
 
 #[cfg(test)]

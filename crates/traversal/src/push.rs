@@ -6,8 +6,6 @@
 //! buffering, and partitioning edges by destination — all three are
 //! implemented here.
 
-use rayon::prelude::*;
-
 use ihtl_graph::builder::csr_from_pairs;
 use ihtl_graph::partition::{edge_balanced_ranges, vertex_balanced_ranges};
 use ihtl_graph::{Csr, Graph, VertexId};
@@ -36,11 +34,11 @@ pub fn spmv_push_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
 pub fn spmv_push_atomic<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
-    y.par_iter_mut().for_each(|v| *v = M::identity());
+    ihtl_parallel::par_fill(y, M::identity());
     let slots = as_atomic_slice(y);
     let csr = g.csr();
     let ranges = edge_balanced_ranges(csr, crate::pull::default_parts());
-    ranges.par_iter().for_each(|range| {
+    ihtl_parallel::par_for_each(&ranges, 1, |_, range| {
         for u in range.iter() {
             let xu = x[u as usize];
             for &v in csr.neighbours(u) {
@@ -61,23 +59,21 @@ pub fn spmv_push_buffered<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     assert_eq!(y.len(), n);
     let csr = g.csr();
     let ranges = edge_balanced_ranges(csr, crate::pull::default_parts());
-    let buffers: Vec<Vec<f64>> = ranges
-        .par_iter()
-        .map(|range| {
-            let mut buf = vec![M::identity(); n];
-            for u in range.iter() {
-                let xu = x[u as usize];
-                for &v in csr.neighbours(u) {
-                    buf[v as usize] = M::combine(buf[v as usize], xu);
-                }
+    let buffers: Vec<Vec<f64>> = ihtl_parallel::par_map(&ranges, 1, |range| {
+        let mut buf = vec![M::identity(); n];
+        for u in range.iter() {
+            let xu = x[u as usize];
+            for &v in csr.neighbours(u) {
+                buf[v as usize] = M::combine(buf[v as usize], xu);
             }
-            buf
-        })
-        .collect();
+        }
+        buf
+    });
     // Merge: parallel over destination ranges, sequential over buffers.
     let merge_ranges = vertex_balanced_ranges(n, crate::pull::default_parts());
-    let slices = split_by_ranges(y, &merge_ranges);
-    merge_ranges.par_iter().zip(slices).for_each(|(range, out)| {
+    let mut slices = split_by_ranges(y, &merge_ranges);
+    ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+        let range = merge_ranges[p];
         for (i, slot) in out.iter_mut().enumerate() {
             let v = range.start as usize + i;
             let mut acc = M::identity();
@@ -119,10 +115,7 @@ impl DstPartitionedCsr {
                 per_part[p].push((u, v));
             }
         }
-        let partitions = per_part
-            .into_iter()
-            .map(|pairs| csr_from_pairs(n, n, &pairs))
-            .collect();
+        let partitions = per_part.into_iter().map(|pairs| csr_from_pairs(n, n, &pairs)).collect();
         Self { partitions, bounds, n_vertices: n }
     }
 
@@ -147,38 +140,32 @@ impl DstPartitionedCsr {
 /// processed by one task that scans *all* sources but only touches its own
 /// destination range — race-free without atomics or buffers, at the price
 /// of re-reading source data once per partition.
-pub fn spmv_push_partitioned<M: Monoid>(
-    part: &DstPartitionedCsr,
-    x: &[f64],
-    y: &mut [f64],
-) {
+pub fn spmv_push_partitioned<M: Monoid>(part: &DstPartitionedCsr, x: &[f64], y: &mut [f64]) {
     let n = part.n_vertices;
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
-    y.par_iter_mut().for_each(|v| *v = M::identity());
+    ihtl_parallel::par_fill(y, M::identity());
     // Give each partition its own disjoint destination slice.
     let ranges: Vec<ihtl_graph::partition::VertexRange> = part
         .bounds
         .windows(2)
         .map(|w| ihtl_graph::partition::VertexRange { start: w[0], end: w[1] })
         .collect();
-    let slices = split_by_ranges(y, &ranges);
-    part.partitions
-        .par_iter()
-        .zip(ranges.par_iter())
-        .zip(slices)
-        .for_each(|((csr, range), out)| {
-            for (u, outs) in csr.iter_rows() {
-                if outs.is_empty() {
-                    continue;
-                }
-                let xu = x[u as usize];
-                for &v in outs {
-                    let slot = (v - range.start) as usize;
-                    out[slot] = M::combine(out[slot], xu);
-                }
+    let mut slices = split_by_ranges(y, &ranges);
+    ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+        let csr = &part.partitions[p];
+        let range = ranges[p];
+        for (u, outs) in csr.iter_rows() {
+            if outs.is_empty() {
+                continue;
             }
-        });
+            let xu = x[u as usize];
+            for &v in outs {
+                let slot = (v - range.start) as usize;
+                out[slot] = M::combine(out[slot], xu);
+            }
+        }
+    });
 }
 
 #[cfg(test)]

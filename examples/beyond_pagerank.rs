@@ -40,20 +40,14 @@ fn main() {
     );
 
     // --- Unweighted SSSP (Bellman–Ford over min-plus SpMV). ---
-    let source = (0..graph.n_vertices() as u32)
-        .max_by_key(|&v| graph.out_degree(v))
-        .unwrap();
+    let source = (0..graph.n_vertices() as u32).max_by_key(|&v| graph.out_degree(v)).unwrap();
     let mut pull = build_engine(EngineKind::PullGraphGrind, &graph, &cfg);
     let mut ihtl = build_engine(EngineKind::Ihtl, &graph, &cfg);
     let da = sssp(pull.as_mut(), source, 200);
     let db = sssp(ihtl.as_mut(), source, 200);
     assert_eq!(da.dist, db.dist, "iHTL SSSP diverged from pull");
     let reached = da.dist.iter().filter(|d| d.is_finite()).count();
-    let max_d = da
-        .dist
-        .iter()
-        .filter(|d| d.is_finite())
-        .fold(0.0f64, |m, &d| m.max(d));
+    let max_d = da.dist.iter().filter(|d| d.is_finite()).fold(0.0f64, |m, &d| m.max(d));
     println!(
         "SSSP from hub {source}: {} of {} vertices reached, eccentricity {max_d}, \
          {} relaxation rounds — identical distances ✓",

@@ -15,11 +15,7 @@ fn main() {
     //    social network of 2^14 vertices.
     let edges = rmat_edges(14, 150_000, RmatParams::social(), 42);
     let graph = Graph::from_edges(1 << 14, &edges);
-    println!(
-        "graph: {} vertices, {} edges",
-        graph.n_vertices(),
-        graph.n_edges()
-    );
+    println!("graph: {} vertices, {} edges", graph.n_vertices(), graph.n_edges());
 
     // 2. iHTL preprocessing: pick in-hubs sized to the cache budget, split
     //    the adjacency matrix into flipped blocks + sparse block. The
@@ -48,8 +44,5 @@ fn main() {
     for (v, r) in top.iter().take(5) {
         println!("  vertex {v:>6}: {r:.6} (in-degree {})", graph.in_degree(*v as u32));
     }
-    println!(
-        "mean iteration time: {:.2} ms",
-        run.mean_iter_seconds() * 1e3
-    );
+    println!("mean iteration time: {:.2} ms", run.mean_iter_seconds() * 1e3);
 }

@@ -24,10 +24,7 @@ fn main() {
     println!("graph: {} vertices, {} edges\n", graph.n_vertices(), graph.n_edges());
 
     let cache = CacheConfig::default();
-    println!(
-        "{:<14} {:>12} {:>18}",
-        "ordering", "preproc (ms)", "LLC miss rate"
-    );
+    println!("{:<14} {:>12} {:>18}", "ordering", "preproc (ms)", "LLC miss rate");
     let report = |r: &Reordering| {
         r.validate();
         let relabeled = graph.relabel(&r.perm);

@@ -48,24 +48,13 @@ fn main() {
     for kind in EngineKind::all() {
         let mut engine = build_engine(kind, &graph, &cfg);
         let run = pagerank(engine.as_mut(), 10);
-        println!(
-            "  {:<16} {:>8.2} ms/iteration",
-            engine.label(),
-            run.mean_iter_seconds() * 1e3
-        );
+        println!("  {:<16} {:>8.2} ms/iteration", engine.label(), run.mean_iter_seconds() * 1e3);
         match &baseline_ranks {
             None => baseline_ranks = Some(run.ranks),
             Some(r) => {
-                let max_diff = r
-                    .iter()
-                    .zip(&run.ranks)
-                    .map(|(a, b)| (a - b).abs())
-                    .fold(0.0f64, f64::max);
-                assert!(
-                    max_diff < 1e-10,
-                    "{:?} diverged from the reference by {max_diff}",
-                    kind
-                );
+                let max_diff =
+                    r.iter().zip(&run.ranks).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+                assert!(max_diff < 1e-10, "{:?} diverged from the reference by {max_diff}", kind);
             }
         }
     }

@@ -28,9 +28,7 @@ fn main() {
     );
 
     // Asymmetric hubs: the defining property of web in-hubs (Fig. 9).
-    let hub = (0..graph.n_vertices() as u32)
-        .max_by_key(|&v| graph.in_degree(v))
-        .unwrap();
+    let hub = (0..graph.n_vertices() as u32).max_by_key(|&v| graph.in_degree(v)).unwrap();
     println!(
         "biggest in-hub: vertex {hub} with in-degree {}, asymmetricity {:.3} \
          (≈1 ⇒ its fans are not followed back)",

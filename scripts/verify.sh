@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Hermetic verification: everything here must pass with the network
+# unplugged. The workspace has zero external dependencies by policy (see
+# DESIGN.md §"Hermetic build"), so --offline is exact, not best-effort.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "==> IHTL_THREADS=1 cargo test -q --offline (sequential fallback)"
+IHTL_THREADS=1 cargo test -q --offline
+
+echo "==> IHTL_THREADS=4 cargo test -q --offline (fixed pool width)"
+IHTL_THREADS=4 cargo test -q --offline
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo bench --no-run --offline (bench targets must compile)"
+cargo bench --no-run --offline --workspace
+
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, benches"

@@ -4,13 +4,14 @@
 
 mod common;
 
-use common::arb_graph;
+use common::{random_graph, run_cases};
 use ihtl_apps::components::{count_components, propagate_components, symmetrize};
 use ihtl_apps::engine::{build_engine, EngineKind};
 use ihtl_apps::pagerank::{pagerank, DAMPING};
 use ihtl_apps::sssp::sssp;
 use ihtl_core::IhtlConfig;
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn cfg() -> IhtlConfig {
     IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() }
@@ -64,13 +65,12 @@ fn component_oracle(g: &ihtl_graph::Graph) -> Vec<u32> {
     (0..n as u32).map(|v| find(&mut parent, v)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// PageRank satisfies its own fixpoint equation after convergence:
-    /// PR[v] ≈ (1-d)/n + d·Σ PR[u]/deg⁺(u).
-    #[test]
-    fn pagerank_fixpoint(g in arb_graph(30, 150)) {
+/// PageRank satisfies its own fixpoint equation after convergence:
+/// PR[v] ≈ (1-d)/n + d·Σ PR[u]/deg⁺(u).
+#[test]
+fn pagerank_fixpoint() {
+    run_cases(CASES, 0xF18, |rng, case| {
+        let g = random_graph(rng, 30, 150);
         let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
         let run = pagerank(e.as_mut(), 120);
         let n = g.n_vertices();
@@ -81,49 +81,62 @@ proptest! {
                 .iter()
                 .map(|&u| {
                     let d = g.out_degree(u);
-                    if d > 0 { run.ranks[u as usize] / d as f64 } else { 0.0 }
+                    if d > 0 {
+                        run.ranks[u as usize] / d as f64
+                    } else {
+                        0.0
+                    }
                 })
                 .sum();
             let expect = (1.0 - DAMPING) / n as f64 + DAMPING * sum;
-            prop_assert!(
+            assert!(
                 (run.ranks[v as usize] - expect).abs() < 1e-8,
-                "vertex {v}: {} vs {}",
+                "case {case} vertex {v}: {} vs {}",
                 run.ranks[v as usize],
                 expect
             );
         }
-    }
+    });
+}
 
-    /// SSSP equals BFS distances on unweighted graphs, through iHTL.
-    #[test]
-    fn sssp_equals_bfs(g in arb_graph(40, 200), src_raw in 0u32..40) {
-        let src = src_raw % g.n_vertices() as u32;
+/// SSSP equals BFS distances on unweighted graphs, through iHTL.
+#[test]
+fn sssp_equals_bfs() {
+    run_cases(CASES, 0x555B, |rng, case| {
+        let g = random_graph(rng, 40, 200);
+        let src = rng.gen_index(g.n_vertices()) as u32;
         let oracle = bfs_oracle(&g, src);
         let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
         let run = sssp(e.as_mut(), src, 200);
-        prop_assert_eq!(run.dist, oracle);
-    }
+        assert_eq!(run.dist, oracle, "case {case} src {src}");
+    });
+}
 
-    /// Label propagation finds exactly the union-find components of the
-    /// symmetrized graph.
-    #[test]
-    fn components_equal_union_find(g in arb_graph(40, 120)) {
+/// Label propagation finds exactly the union-find components of the
+/// symmetrized graph.
+#[test]
+fn components_equal_union_find() {
+    run_cases(CASES, 0xC09F, |rng, case| {
+        let g = random_graph(rng, 40, 120);
         let sym = symmetrize(&g);
         let oracle = component_oracle(&sym);
         let mut e = build_engine(EngineKind::Ihtl, &sym, &cfg());
         let run = propagate_components(e.as_mut(), 500);
-        prop_assert_eq!(&run.labels, &oracle);
+        assert_eq!(&run.labels, &oracle, "case {case}");
         let distinct: std::collections::HashSet<_> = oracle.iter().collect();
-        prop_assert_eq!(count_components(&run.labels), distinct.len());
-    }
+        assert_eq!(count_components(&run.labels), distinct.len(), "case {case}");
+    });
+}
 
-    /// Rank mass: total PageRank stays within (0, 1] (dangling vertices
-    /// leak mass but never create it).
-    #[test]
-    fn pagerank_mass_conserved(g in arb_graph(30, 150)) {
+/// Rank mass: total PageRank stays within (0, 1] (dangling vertices
+/// leak mass but never create it).
+#[test]
+fn pagerank_mass_conserved() {
+    run_cases(CASES, 0x3A55, |rng, case| {
+        let g = random_graph(rng, 30, 150);
         let mut e = build_engine(EngineKind::PullGraphGrind, &g, &cfg());
         let run = pagerank(e.as_mut(), 40);
         let total: f64 = run.ranks.iter().sum();
-        prop_assert!(total > 0.0 && total <= 1.0 + 1e-9, "mass {total}");
-    }
+        assert!(total > 0.0 && total <= 1.0 + 1e-9, "case {case}: mass {total}");
+    });
 }

@@ -3,61 +3,70 @@
 
 mod common;
 
-use common::arb_graph;
-use ihtl_cachesim::{
-    replay_ihtl, replay_pull, CacheConfig, Hierarchy, LruCache, ReplayMode,
-};
+use common::{random_graph, run_cases};
+use ihtl_cachesim::{replay_ihtl, replay_pull, CacheConfig, Hierarchy, LruCache, ReplayMode};
 use ihtl_core::{IhtlConfig, IhtlGraph};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+const CASES: usize = 48;
 
-    /// LRU inclusion property: for fully-associative LRU caches with the
-    /// same line size, a larger cache hits whenever a smaller one does.
-    #[test]
-    fn lru_inclusion(addrs in proptest::collection::vec(0u64..4096, 1..400)) {
+/// LRU inclusion property: for fully-associative LRU caches with the
+/// same line size, a larger cache hits whenever a smaller one does.
+#[test]
+fn lru_inclusion() {
+    run_cases(CASES, 0x18C1, |rng, case| {
+        let len = 1 + rng.gen_index(399);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_index(4096) as u64).collect();
         let mut small = LruCache::new(8 * 16, 16, 0);
         let mut big = LruCache::new(16 * 16, 16, 0);
         for &a in &addrs {
             let hit_small = small.access(a);
             let hit_big = big.access(a);
-            prop_assert!(!hit_small || hit_big, "small hit but big missed at {a}");
+            assert!(!hit_small || hit_big, "case {case}: small hit but big missed at {a}");
         }
-    }
+    });
+}
 
-    /// Working sets within capacity never miss after the first sweep.
-    #[test]
-    fn resident_set_hits(lines in 1usize..16) {
+/// Working sets within capacity never miss after the first sweep.
+#[test]
+fn resident_set_hits() {
+    run_cases(CASES, 0x4E51D, |rng, case| {
+        let lines = 1 + rng.gen_index(15);
         let mut c = LruCache::new(16 * 64, 64, 0);
         let addrs: Vec<u64> = (0..lines as u64).map(|i| i * 64).collect();
         for &a in &addrs {
             c.access(a);
         }
         for &a in &addrs {
-            prop_assert!(c.access(a));
+            assert!(c.access(a), "case {case}: resident line {a} missed");
         }
-    }
+    });
+}
 
-    /// Hierarchy counters are consistent: misses never exceed accesses and
-    /// deeper levels never miss more than shallower ones.
-    #[test]
-    fn hierarchy_counter_sanity(addrs in proptest::collection::vec(0u64..100_000, 1..500)) {
+/// Hierarchy counters are consistent: misses never exceed accesses and
+/// deeper levels never miss more than shallower ones.
+#[test]
+fn hierarchy_counter_sanity() {
+    run_cases(CASES, 0x41E8, |rng, case| {
+        let len = 1 + rng.gen_index(499);
+        let addrs: Vec<u64> = (0..len).map(|_| rng.gen_index(100_000) as u64).collect();
         let mut h = Hierarchy::new(&CacheConfig::default());
         for &a in &addrs {
             h.access(a * 8);
         }
         let c = h.counters();
-        prop_assert_eq!(c.accesses, addrs.len() as u64);
-        prop_assert!(c.l1_misses <= c.accesses);
-        prop_assert!(c.l2_misses <= c.l1_misses);
-        prop_assert!(c.l3_misses <= c.l2_misses);
-    }
+        assert_eq!(c.accesses, addrs.len() as u64, "case {case}");
+        assert!(c.l1_misses <= c.accesses, "case {case}");
+        assert!(c.l2_misses <= c.l1_misses, "case {case}");
+        assert!(c.l3_misses <= c.l2_misses, "case {case}");
+    });
+}
 
-    /// Replay conservation: the pull replay issues exactly one random read
-    /// per edge, and both replays attribute every edge to some bucket.
-    #[test]
-    fn replay_conservation(g in arb_graph(50, 250)) {
+/// Replay conservation: the pull replay issues exactly one random read
+/// per edge, and both replays attribute every edge to some bucket.
+#[test]
+fn replay_conservation() {
+    run_cases(CASES, 0x3E91A7, |rng, case| {
+        let g = random_graph(rng, 50, 250);
         let cfg = CacheConfig {
             line_bytes: 8,
             l1_bytes: 64,
@@ -69,21 +78,25 @@ proptest! {
         };
         let pull = replay_pull(&g, &cfg, ReplayMode::Full);
         let pull_random: u64 = pull.profile.rows().iter().map(|r| r.random_accesses).sum();
-        prop_assert_eq!(pull_random, g.n_edges() as u64);
+        assert_eq!(pull_random, g.n_edges() as u64, "case {case}");
 
-        let ih = IhtlGraph::build(&g, &IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() });
+        let ih =
+            IhtlGraph::build(&g, &IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() });
         let ihtl = replay_ihtl(&ih, &g, &cfg, ReplayMode::Full);
         let ihtl_random: u64 = ihtl.profile.rows().iter().map(|r| r.random_accesses).sum();
-        prop_assert_eq!(ihtl_random, g.n_edges() as u64);
+        assert_eq!(ihtl_random, g.n_edges() as u64, "case {case}");
 
         // Table 3 shape: iHTL never issues fewer total accesses than pull.
-        prop_assert!(ihtl.counters.accesses >= pull.counters.accesses);
-    }
+        assert!(ihtl.counters.accesses >= pull.counters.accesses, "case {case}");
+    });
+}
 
-    /// A hierarchy with an enormous L3 reduces the pull replay's L3 misses
-    /// to compulsory line fills only.
-    #[test]
-    fn big_llc_only_compulsory_misses(g in arb_graph(40, 200)) {
+/// A hierarchy with an enormous L3 reduces the pull replay's L3 misses
+/// to compulsory line fills only.
+#[test]
+fn big_llc_only_compulsory_misses() {
+    run_cases(CASES, 0xB16_11C, |rng, case| {
+        let g = random_graph(rng, 40, 200);
         let cfg = CacheConfig {
             line_bytes: 64,
             l1_bytes: 128,
@@ -100,11 +113,11 @@ proptest! {
         let m = g.n_edges() as u64;
         // x-lines + y-lines + offset-lines + topo-lines upper bound.
         let bound = n.div_ceil(8) * 2 + (n + 1).div_ceil(8) + m.div_ceil(16) + 4;
-        prop_assert!(
+        assert!(
             rep.counters.l3_misses <= bound,
-            "l3 misses {} > compulsory bound {}",
+            "case {case}: l3 misses {} > compulsory bound {}",
             rep.counters.l3_misses,
             bound
         );
-    }
+    });
 }

@@ -1,45 +1,58 @@
 //! Shared helpers for the cross-crate integration tests.
+//!
+//! The suites are deterministic seeded-loop property tests: each test runs a
+//! fixed number of cases, deriving one `Pcg64` stream per case from the
+//! in-repo generator (`ihtl_gen::Pcg64`), so a failure always reproduces
+//! from the printed case number.
+#![allow(dead_code)]
 
+use ihtl_gen::Pcg64;
 use ihtl_graph::Graph;
-use proptest::prelude::*;
 
-/// Strategy: an arbitrary directed graph with up to `max_n` vertices and
-/// `max_m` edges (duplicates and self-loops allowed before dedup — the
-/// builders must tolerate anything).
-pub fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
-    (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
-            .prop_map(move |mut edges| {
-                edges.sort_unstable();
-                edges.dedup();
-                edges.retain(|&(s, d)| s != d);
-                Graph::from_edges(n, &edges)
-            })
-    })
+/// Runs `n_cases` independent cases of a property, each with its own
+/// deterministic RNG stream derived from `base_seed` and the case index.
+pub fn run_cases(n_cases: usize, base_seed: u64, mut property: impl FnMut(&mut Pcg64, usize)) {
+    for case in 0..n_cases {
+        let mut rng =
+            Pcg64::seed_from_u64(base_seed ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        property(&mut rng, case);
+    }
 }
 
-/// Strategy: a skewed graph where low-numbered vertices are hubs (every
-/// vertex points at a vertex sampled mod `hubs`), guaranteeing iHTL builds
-/// non-trivial flipped blocks.
-pub fn arb_hubby_graph() -> impl Strategy<Value = Graph> {
-    (10usize..80, 2usize..6).prop_flat_map(|(n, hubs)| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), n..n * 4).prop_map(
-            move |raw| {
-                let mut edges: Vec<(u32, u32)> = raw
-                    .into_iter()
-                    .map(|(s, d)| (s, d % hubs as u32))
-                    .collect();
-                // Some non-hub edges too.
-                let extra: Vec<(u32, u32)> =
-                    (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
-                edges.extend(extra);
-                edges.retain(|&(s, d)| s != d);
-                edges.sort_unstable();
-                edges.dedup();
-                Graph::from_edges(n, &edges)
-            },
-        )
-    })
+/// An arbitrary directed graph with `2..max_n` vertices and up to `max_m`
+/// raw edges (duplicates and self-loops generated then dropped — the
+/// builders must tolerate anything).
+pub fn random_graph(rng: &mut Pcg64, max_n: usize, max_m: usize) -> Graph {
+    let n = 2 + rng.gen_index(max_n - 2);
+    let m = rng.gen_index(max_m);
+    let mut edges: Vec<(u32, u32)> =
+        (0..m).map(|_| (rng.gen_index(n) as u32, rng.gen_index(n) as u32)).collect();
+    edges.sort_unstable();
+    edges.dedup();
+    edges.retain(|&(s, d)| s != d);
+    Graph::from_edges(n, &edges)
+}
+
+/// A skewed graph where low-numbered vertices are hubs (destinations are
+/// sampled mod `hubs`), guaranteeing iHTL builds non-trivial flipped
+/// blocks; a ring of non-hub edges keeps every vertex reachable-ish.
+pub fn hubby_graph(rng: &mut Pcg64) -> Graph {
+    let n = 10 + rng.gen_index(70);
+    let hubs = 2 + rng.gen_index(4);
+    let m = n + rng.gen_index(n * 3);
+    let mut edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| {
+            let s = rng.gen_index(n) as u32;
+            let d = (rng.gen_index(n) % hubs) as u32;
+            (s, d)
+        })
+        .collect();
+    // Some non-hub edges too.
+    edges.extend((0..n as u32).map(|v| (v, (v + 1) % n as u32)));
+    edges.retain(|&(s, d)| s != d);
+    edges.sort_unstable();
+    edges.dedup();
+    Graph::from_edges(n, &edges)
 }
 
 /// Asserts two f64 slices are equal within `tol`, treating equal infinities

@@ -5,23 +5,23 @@
 
 mod common;
 
-use common::{arb_graph, arb_hubby_graph, assert_close};
+use common::{assert_close, hubby_graph, random_graph, run_cases};
 use ihtl_apps::components::{propagate_components, symmetrize};
 use ihtl_apps::engine::{build_engine, EngineKind};
 use ihtl_apps::pagerank::pagerank;
 use ihtl_apps::sssp::sssp;
 use ihtl_core::IhtlConfig;
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn cfg() -> IhtlConfig {
     IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn spmv_add_agrees(g in arb_graph(50, 250)) {
+#[test]
+fn spmv_add_agrees() {
+    run_cases(CASES, 0x59A11, |rng, _case| {
+        let g = random_graph(rng, 50, 250);
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| ((i * 7) % 23) as f64 + 0.5).collect();
         let mut reference: Option<Vec<f64>> = None;
@@ -36,10 +36,13 @@ proptest! {
                 Some(r) => assert_close(r, &yo, 1e-9, e.label()),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn pagerank_agrees(g in arb_hubby_graph()) {
+#[test]
+fn pagerank_agrees() {
+    run_cases(CASES, 0x3A6E, |rng, _case| {
+        let g = hubby_graph(rng);
         let mut reference: Option<Vec<f64>> = None;
         for kind in EngineKind::all() {
             let mut e = build_engine(kind, &g, &cfg());
@@ -49,25 +52,33 @@ proptest! {
                 Some(r) => assert_close(r, &run.ranks, 1e-10, e.label()),
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn sssp_agrees(g in arb_graph(40, 200), src_raw in 0u32..40) {
+#[test]
+fn sssp_agrees() {
+    run_cases(CASES, 0x555A, |rng, case| {
+        let g = random_graph(rng, 40, 200);
         let n = g.n_vertices() as u32;
-        let src = src_raw % n;
+        let src = rng.gen_index(n as usize) as u32;
         let mut reference: Option<Vec<f64>> = None;
         for kind in EngineKind::all() {
             let mut e = build_engine(kind, &g, &cfg());
             let run = sssp(e.as_mut(), src, 100);
             match &reference {
                 None => reference = Some(run.dist),
-                Some(r) => prop_assert_eq!(r, &run.dist, "{}", e.label()),
+                Some(r) => {
+                    assert_eq!(r, &run.dist, "case {case}: {}", e.label());
+                }
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn components_agree_and_are_correct(g in arb_graph(40, 120)) {
+#[test]
+fn components_agree_and_are_correct() {
+    run_cases(CASES, 0xC03A, |rng, case| {
+        let g = random_graph(rng, 40, 120);
         let sym = symmetrize(&g);
         let mut reference: Option<Vec<u32>> = None;
         for kind in [EngineKind::PullGraphGrind, EngineKind::PushGraphIt, EngineKind::Ihtl] {
@@ -76,15 +87,15 @@ proptest! {
             // Labels are component minima: every vertex's label is ≤ its
             // own ID and shared with all neighbours.
             for v in 0..sym.n_vertices() as u32 {
-                prop_assert!(run.labels[v as usize] <= v);
+                assert!(run.labels[v as usize] <= v, "case {case}");
                 for &u in sym.csr().neighbours(v) {
-                    prop_assert_eq!(run.labels[v as usize], run.labels[u as usize]);
+                    assert_eq!(run.labels[v as usize], run.labels[u as usize], "case {case}");
                 }
             }
             match &reference {
                 None => reference = Some(run.labels),
-                Some(r) => prop_assert_eq!(r, &run.labels, "{:?}", kind),
+                Some(r) => assert_eq!(r, &run.labels, "case {case}: {kind:?}"),
             }
         }
-    }
+    });
 }

@@ -1,51 +1,57 @@
 //! Property-based invariants of the iHTL construction and execution
-//! (proptest over arbitrary and hub-heavy random graphs).
+//! (deterministic seeded cases over arbitrary and hub-heavy random graphs).
 
 mod common;
 
-use common::{arb_graph, arb_hubby_graph, assert_close};
+use common::{assert_close, hubby_graph, random_graph, run_cases};
 use ihtl_core::{BlockCountMode, IhtlConfig, IhtlGraph};
 use ihtl_traversal::pull::spmv_pull_serial;
 use ihtl_traversal::{Add, Min};
-use proptest::prelude::*;
+
+const CASES: usize = 48;
 
 fn small_cfg() -> IhtlConfig {
     // H = 3 hubs per block so small random graphs still form blocks.
     IhtlConfig { cache_budget_bytes: 24, ..IhtlConfig::default() }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// "In iHTL every edge is traversed exactly once" (§2.4): the flipped
-    /// blocks and the sparse block partition the edge set.
-    #[test]
-    fn edges_partition(g in arb_graph(60, 300)) {
+/// "In iHTL every edge is traversed exactly once" (§2.4): the flipped
+/// blocks and the sparse block partition the edge set.
+#[test]
+fn edges_partition() {
+    run_cases(CASES, 0xED6E5, |rng, case| {
+        let g = random_graph(rng, 60, 300);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let fb: usize = ih.blocks().iter().map(|b| b.n_edges()).sum();
-        prop_assert_eq!(fb, ih.stats().fb_edges);
-        prop_assert_eq!(fb + ih.sparse().n_edges(), g.n_edges());
-    }
+        assert_eq!(fb, ih.stats().fb_edges, "case {case}");
+        assert_eq!(fb + ih.sparse().n_edges(), g.n_edges(), "case {case}");
+    });
+}
 
-    /// The relabeling array is a permutation and its inverse inverts it.
-    #[test]
-    fn relabeling_is_permutation(g in arb_graph(60, 300)) {
+/// The relabeling array is a permutation and its inverse inverts it.
+#[test]
+fn relabeling_is_permutation() {
+    run_cases(CASES, 0x9E12A, |rng, case| {
+        let g = random_graph(rng, 60, 300);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let n = g.n_vertices();
         let mut seen = vec![false; n];
         for &old in ih.new_to_old() {
-            prop_assert!(!seen[old as usize]);
+            assert!(!seen[old as usize], "case {case}");
             seen[old as usize] = true;
         }
         for old in 0..n as u32 {
-            prop_assert_eq!(ih.new_to_old()[ih.old_to_new()[old as usize] as usize], old);
+            assert_eq!(ih.new_to_old()[ih.old_to_new()[old as usize] as usize], old, "case {case}");
         }
-    }
+    });
+}
 
-    /// Class semantics (§3.1): every VWEH has an edge to some hub; no
-    /// fringe vertex has one; hubs are exactly the first `n_hubs` new IDs.
-    #[test]
-    fn classes_are_semantically_correct(g in arb_hubby_graph()) {
+/// Class semantics (§3.1): every VWEH has an edge to some hub; no
+/// fringe vertex has one; hubs are exactly the first `n_hubs` new IDs.
+#[test]
+fn classes_are_semantically_correct() {
+    run_cases(CASES, 0xC1A55, |rng, case| {
+        let g = hubby_graph(rng);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let n_hubs = ih.n_hubs();
         let is_hub = |old: u32| (ih.old_to_new()[old as usize] as usize) < n_hubs;
@@ -54,40 +60,39 @@ proptest! {
             let new = ih.old_to_new()[old as usize] as usize;
             if new >= n_hubs {
                 let is_vweh = new < n_hubs + ih.n_vweh();
-                prop_assert_eq!(
+                assert_eq!(
                     links_hub, is_vweh,
-                    "old {} new {} links_hub {}", old, new, links_hub
+                    "case {case}: old {old} new {new} links_hub {links_hub}"
                 );
             }
         }
-    }
+    });
+}
 
-    /// Hub selection takes the highest in-degree vertices: the smallest
-    /// hub in-degree is ≥ the largest non-hub in-degree.
-    #[test]
-    fn hubs_dominate_by_in_degree(g in arb_hubby_graph()) {
+/// Hub selection takes the highest in-degree vertices: the smallest
+/// hub in-degree is ≥ the largest non-hub in-degree.
+#[test]
+fn hubs_dominate_by_in_degree() {
+    run_cases(CASES, 0x44B5, |rng, case| {
+        let g = hubby_graph(rng);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let n_hubs = ih.n_hubs();
         if n_hubs == 0 || n_hubs == g.n_vertices() {
-            return Ok(());
+            return;
         }
-        let min_hub = ih.new_to_old()[..n_hubs]
-            .iter()
-            .map(|&v| g.in_degree(v))
-            .min()
-            .unwrap();
-        let max_non_hub = ih.new_to_old()[n_hubs..]
-            .iter()
-            .map(|&v| g.in_degree(v))
-            .max()
-            .unwrap();
-        prop_assert!(min_hub >= max_non_hub, "{min_hub} < {max_non_hub}");
-    }
+        let min_hub = ih.new_to_old()[..n_hubs].iter().map(|&v| g.in_degree(v)).min().unwrap();
+        let max_non_hub = ih.new_to_old()[n_hubs..].iter().map(|&v| g.in_degree(v)).max().unwrap();
+        assert!(min_hub >= max_non_hub, "case {case}: {min_hub} < {max_non_hub}");
+    });
+}
 
-    /// The headline correctness claim: iHTL SpMV equals reference pull
-    /// SpMV on every graph, for both monoids.
-    #[test]
-    fn spmv_matches_pull(g in arb_graph(60, 300), seed in 0u64..1000) {
+/// The headline correctness claim: iHTL SpMV equals reference pull
+/// SpMV on every graph, for both monoids.
+#[test]
+fn spmv_matches_pull() {
+    run_cases(CASES, 0x59A7C, |rng, case| {
+        let g = random_graph(rng, 60, 300);
+        let seed = rng.next_u64() % 1000;
         let ih = IhtlGraph::build(&g, &small_cfg());
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| ((i as u64 * 31 + seed) % 97) as f64).collect();
@@ -97,18 +102,21 @@ proptest! {
         let mut y = vec![f64::NAN; n];
         let mut bufs = ih.new_buffers();
         ih.spmv::<Add>(&xn, &mut y, &mut bufs);
-        assert_close(&ih.to_old_order(&y), &pull, 1e-9, "add");
+        assert_close(&ih.to_old_order(&y), &pull, 1e-9, &format!("case {case}: add"));
 
         let mut pull_min = vec![0.0; n];
         spmv_pull_serial::<Min>(&g, &x, &mut pull_min);
         let mut y_min = vec![f64::NAN; n];
         ih.spmv::<Min>(&xn, &mut y_min, &mut bufs);
-        assert_close(&ih.to_old_order(&y_min), &pull_min, 0.0, "min");
-    }
+        assert_close(&ih.to_old_order(&y_min), &pull_min, 0.0, &format!("case {case}: min"));
+    });
+}
 
-    /// The atomic-hub ablation computes the same result as buffering.
-    #[test]
-    fn atomic_ablation_matches(g in arb_hubby_graph()) {
+/// The atomic-hub ablation computes the same result as buffering.
+#[test]
+fn atomic_ablation_matches() {
+    run_cases(CASES, 0xA70B1C, |rng, case| {
+        let g = hubby_graph(rng);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 + 0.25).collect();
@@ -118,21 +126,22 @@ proptest! {
         ih.spmv::<Add>(&xn, &mut buffered, &mut bufs);
         let mut atomic = vec![0.0; n];
         ih.spmv_atomic_hubs::<Add>(&xn, &mut atomic);
-        assert_close(&buffered, &atomic, 1e-9, "atomic vs buffered");
-    }
+        assert_close(&buffered, &atomic, 1e-9, &format!("case {case}: atomic vs buffered"));
+    });
+}
 
-    /// The §6 single-pass block counter never accepts more blocks than the
-    /// exact §3.3 rule (it can only undercount feeders), and the result
-    /// still computes correct SpMV.
-    #[test]
-    fn single_pass_is_conservative(g in arb_hubby_graph()) {
+/// The §6 single-pass block counter never accepts more blocks than the
+/// exact §3.3 rule (it can only undercount feeders), and the result
+/// still computes correct SpMV.
+#[test]
+fn single_pass_is_conservative() {
+    run_cases(CASES, 0x51A61E, |rng, case| {
+        let g = hubby_graph(rng);
         let exact = IhtlGraph::build(&g, &small_cfg());
-        let sp_cfg = IhtlConfig {
-            block_count: BlockCountMode::SinglePass { max_blocks: 8 },
-            ..small_cfg()
-        };
+        let sp_cfg =
+            IhtlConfig { block_count: BlockCountMode::SinglePass { max_blocks: 8 }, ..small_cfg() };
         let sp = IhtlGraph::build(&g, &sp_cfg);
-        prop_assert!(sp.n_blocks() <= exact.n_blocks().max(8));
+        assert!(sp.n_blocks() <= exact.n_blocks().max(8), "case {case}");
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| i as f64).collect();
         let mut pull = vec![0.0; n];
@@ -141,16 +150,19 @@ proptest! {
         let mut y = vec![0.0; n];
         let mut bufs = sp.new_buffers();
         sp.spmv::<Add>(&xn, &mut y, &mut bufs);
-        assert_close(&sp.to_old_order(&y), &pull, 1e-9, "single-pass spmv");
-    }
+        assert_close(&sp.to_old_order(&y), &pull, 1e-9, &format!("case {case}: single-pass spmv"));
+    });
+}
 
-    /// Without fringe separation the graph still computes correctly and
-    /// has no fringe class.
-    #[test]
-    fn no_fringe_separation_correct(g in arb_graph(50, 200)) {
+/// Without fringe separation the graph still computes correctly and
+/// has no fringe class.
+#[test]
+fn no_fringe_separation_correct() {
+    run_cases(CASES, 0xF0F6E, |rng, case| {
+        let g = random_graph(rng, 50, 200);
         let cfg = IhtlConfig { separate_fringe: false, ..small_cfg() };
         let ih = IhtlGraph::build(&g, &cfg);
-        prop_assert_eq!(ih.n_fringe(), 0);
+        assert_eq!(ih.n_fringe(), 0, "case {case}");
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| (i + 1) as f64).collect();
         let mut pull = vec![0.0; n];
@@ -159,29 +171,35 @@ proptest! {
         let mut y = vec![0.0; n];
         let mut bufs = ih.new_buffers();
         ih.spmv::<Add>(&xn, &mut y, &mut bufs);
-        assert_close(&ih.to_old_order(&y), &pull, 1e-9, "no-fringe spmv");
-    }
+        assert_close(&ih.to_old_order(&y), &pull, 1e-9, &format!("case {case}: no-fringe spmv"));
+    });
+}
 
-    /// Accepted blocks satisfy the acceptance rule: every feeder count
-    /// after the first exceeds `ratio · |FV_1|`.
-    #[test]
-    fn acceptance_rule_holds(g in arb_hubby_graph()) {
+/// Accepted blocks satisfy the acceptance rule: every feeder count
+/// after the first exceeds `ratio · |FV_1|`.
+#[test]
+fn acceptance_rule_holds() {
+    run_cases(CASES, 0xACCE97, |rng, case| {
+        let g = hubby_graph(rng);
         let cfg = small_cfg();
         let ih = IhtlGraph::build(&g, &cfg);
         let feeders = &ih.stats().block_feeders;
         if let Some(&first) = feeders.first() {
             for &f in &feeders[1..] {
-                prop_assert!(f as f64 > cfg.acceptance_ratio * first as f64);
+                assert!(f as f64 > cfg.acceptance_ratio * first as f64, "case {case}");
             }
         }
-    }
+    });
+}
 
-    /// Topology accounting: the iHTL graph stores every edge exactly once,
-    /// so its neighbour-array bytes equal |E|·4 plus per-structure indexes.
-    #[test]
-    fn topology_bytes_lower_bound(g in arb_graph(50, 200)) {
+/// Topology accounting: the iHTL graph stores every edge exactly once,
+/// so its neighbour-array bytes equal |E|·4 plus per-structure indexes.
+#[test]
+fn topology_bytes_lower_bound() {
+    run_cases(CASES, 0x70B0, |rng, case| {
+        let g = random_graph(rng, 50, 200);
         let ih = IhtlGraph::build(&g, &small_cfg());
         let bytes = ih.topology_bytes();
-        prop_assert!(bytes >= (g.n_edges() * 4) as u64);
-    }
+        assert!(bytes >= (g.n_edges() * 4) as u64, "case {case}");
+    });
 }

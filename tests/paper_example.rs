@@ -68,12 +68,8 @@ fn figure2_timeline_pull_has_no_hub_reuse() {
     let rep = replay_pull(&g, &figure2_cache(), ReplayMode::RandomOnly);
     // §2.3: "no reuse happens for processing 5 in-edges of vertex 3 … the
     // same behaviour happens for … vertex 7": all 9 hub-edge reads miss.
-    let hub_bucket = rep
-        .profile
-        .rows()
-        .into_iter()
-        .find(|r| r.degree_lo == 4)
-        .expect("hub bucket exists");
+    let hub_bucket =
+        rep.profile.rows().into_iter().find(|r| r.degree_lo == 4).expect("hub bucket exists");
     assert_eq!(hub_bucket.random_accesses, 9);
     assert_eq!(hub_bucket.llc_misses, 9);
 }
@@ -83,12 +79,8 @@ fn figure2_timeline_ihtl_reuses_hub_buffer() {
     let g = paper_example_graph();
     let ih = IhtlGraph::build(&g, &paper_cfg());
     let rep = replay_ihtl(&ih, &g, &figure2_cache(), ReplayMode::RandomOnly);
-    let hub_bucket = rep
-        .profile
-        .rows()
-        .into_iter()
-        .find(|r| r.degree_lo == 4)
-        .expect("hub bucket exists");
+    let hub_bucket =
+        rep.profile.rows().into_iter().find(|r| r.degree_lo == 4).expect("hub bucket exists");
     assert_eq!(hub_bucket.random_accesses, 9);
     // §2.4's timeline achieves 3 reuses; our replay orders rows by new ID
     // and gets at least that much reuse (only compulsory misses remain).

@@ -4,11 +4,12 @@
 
 mod common;
 
-use common::{arb_graph, assert_close};
+use common::{assert_close, random_graph, run_cases};
 use ihtl_reorder::{gorder, rabbit, simple, slashburn, Reordering};
 use ihtl_traversal::pull::spmv_pull_serial;
 use ihtl_traversal::Add;
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn all_orderings(g: &ihtl_graph::Graph) -> Vec<Reordering> {
     vec![
@@ -21,39 +22,44 @@ fn all_orderings(g: &ihtl_graph::Graph) -> Vec<Reordering> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn orderings_are_permutations(g in arb_graph(40, 160)) {
+#[test]
+fn orderings_are_permutations() {
+    run_cases(CASES, 0x0A3E3, |rng, case| {
+        let g = random_graph(rng, 40, 160);
         for r in all_orderings(&g) {
             r.validate();
             // inverse ∘ perm = identity
             let inv = r.inverse();
             for old in 0..g.n_vertices() as u32 {
-                prop_assert_eq!(inv[r.perm[old as usize] as usize], old, "{}", r.name);
+                assert_eq!(inv[r.perm[old as usize] as usize], old, "case {case}: {}", r.name);
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn relabeling_preserves_structure(g in arb_graph(40, 160)) {
+#[test]
+fn relabeling_preserves_structure() {
+    run_cases(CASES, 0x3E1A8, |rng, case| {
+        let g = random_graph(rng, 40, 160);
         for r in all_orderings(&g) {
             let h = g.relabel(&r.perm);
-            prop_assert_eq!(h.n_edges(), g.n_edges(), "{}", r.name);
+            assert_eq!(h.n_edges(), g.n_edges(), "case {case}: {}", r.name);
             // Degree preservation per vertex through the permutation.
             for old in 0..g.n_vertices() as u32 {
                 let new = r.perm[old as usize];
-                prop_assert_eq!(h.in_degree(new), g.in_degree(old), "{}", r.name);
-                prop_assert_eq!(h.out_degree(new), g.out_degree(old), "{}", r.name);
+                assert_eq!(h.in_degree(new), g.in_degree(old), "case {case}: {}", r.name);
+                assert_eq!(h.out_degree(new), g.out_degree(old), "case {case}: {}", r.name);
             }
         }
-    }
+    });
+}
 
-    /// SpMV commutes with relabeling: running on the relabeled graph with a
-    /// permuted input gives the permuted output.
-    #[test]
-    fn spmv_commutes_with_relabeling(g in arb_graph(40, 160)) {
+/// SpMV commutes with relabeling: running on the relabeled graph with a
+/// permuted input gives the permuted output.
+#[test]
+fn spmv_commutes_with_relabeling() {
+    run_cases(CASES, 0xC0117E, |rng, case| {
+        let g = random_graph(rng, 40, 160);
         let n = g.n_vertices();
         let x: Vec<f64> = (0..n).map(|i| ((i * 11) % 17) as f64 + 1.0).collect();
         let mut y = vec![0.0; n];
@@ -67,22 +73,25 @@ proptest! {
             let mut yp = vec![0.0; n];
             spmv_pull_serial::<Add>(&h, &xp, &mut yp);
             let back: Vec<f64> = (0..n).map(|old| yp[r.perm[old] as usize]).collect();
-            assert_close(&back, &y, 1e-9, r.name);
+            assert_close(&back, &y, 1e-9, &format!("case {case}: {}", r.name));
         }
-    }
+    });
+}
 
-    /// SlashBurn puts its per-round hubs at the very front: new ID 0 is a
-    /// maximum-total-degree vertex.
-    #[test]
-    fn slashburn_fronts_a_hub(g in arb_graph(40, 160)) {
+/// SlashBurn puts its per-round hubs at the very front: new ID 0 is a
+/// maximum-total-degree vertex.
+#[test]
+fn slashburn_fronts_a_hub() {
+    run_cases(CASES, 0x51A58, |rng, case| {
+        let g = random_graph(rng, 40, 160);
         if g.n_edges() == 0 {
-            return Ok(());
+            return;
         }
         let r = slashburn::slashburn(&g, 0.03); // k = 1-2
         let inv = r.inverse();
         let first = inv[0];
         let deg = |v: u32| g.in_degree(v) + g.out_degree(v);
         let max_deg = (0..g.n_vertices() as u32).map(deg).max().unwrap();
-        prop_assert_eq!(deg(first), max_deg);
-    }
+        assert_eq!(deg(first), max_deg, "case {case}");
+    });
 }

@@ -34,11 +34,7 @@ fn web_graph_concentrates_edges_in_flipped_blocks() {
     let ih = IhtlGraph::build(&g, &cfg());
     // The concentrated web profile puts a large share of edges into few
     // blocks (paper Table 5: 68 % for SK-Domain).
-    assert!(
-        ih.stats().fb_edge_fraction() > 0.3,
-        "fb fraction {}",
-        ih.stats().fb_edge_fraction()
-    );
+    assert!(ih.stats().fb_edge_fraction() > 0.3, "fb fraction {}", ih.stats().fb_edge_fraction());
     assert!(ih.n_blocks() <= 4, "blocks {}", ih.n_blocks());
 }
 
@@ -53,10 +49,7 @@ fn uniform_control_degenerates_gracefully() {
     // (The paper's rule inspects feeder decay only; uniform graphs have
     // none. A max_blocks cap — §6 — is the intended guard.)
     assert_eq!(ih.n_hubs(), g.n_vertices().min(ih.n_blocks() * 512));
-    let capped = IhtlGraph::build(
-        &g,
-        &IhtlConfig { max_blocks: Some(1), ..cfg() },
-    );
+    let capped = IhtlGraph::build(&g, &IhtlConfig { max_blocks: Some(1), ..cfg() });
     assert_eq!(capped.n_blocks(), 1);
     assert!(capped.stats().fb_edge_fraction() < 0.5);
 }

@@ -5,18 +5,18 @@
 
 mod common;
 
-use common::{arb_graph, assert_close};
+use common::{assert_close, random_graph, run_cases};
 use ihtl_graph::Graph;
 use ihtl_traversal::pull::{
-    spmv_pull_chunked, spmv_pull_segmented, spmv_pull_serial, spmv_pull_with_parts,
-    SegmentedCsc,
+    spmv_pull_chunked, spmv_pull_segmented, spmv_pull_serial, spmv_pull_with_parts, SegmentedCsc,
 };
 use ihtl_traversal::push::{
     spmv_push_atomic, spmv_push_buffered, spmv_push_partitioned, spmv_push_serial,
     DstPartitionedCsr,
 };
 use ihtl_traversal::{Add, Max, Min, Monoid};
-use proptest::prelude::*;
+
+const CASES: usize = 32;
 
 fn reference<M: Monoid>(g: &Graph, x: &[f64]) -> Vec<f64> {
     let mut y = vec![0.0; g.n_vertices()];
@@ -30,84 +30,91 @@ fn input(n: usize, salt: u64) -> Vec<f64> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn pull_variants_match_reference(
-        g in arb_graph(60, 300),
-        parts in 1usize..9,
-        chunk in 1usize..17,
-        salt in 0u64..100,
-    ) {
+#[test]
+fn pull_variants_match_reference() {
+    run_cases(CASES, 0x9111, |rng, case| {
+        let g = random_graph(rng, 60, 300);
+        let parts = 1 + rng.gen_index(8);
+        let chunk = 1 + rng.gen_index(16);
+        let salt = rng.next_u64() % 100;
         let x = input(g.n_vertices(), salt);
         let expect = reference::<Add>(&g, &x);
         let mut y = vec![0.0; g.n_vertices()];
         spmv_pull_with_parts::<Add>(&g, &x, &mut y, parts);
-        assert_close(&y, &expect, 1e-9, "pull parts");
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: pull parts"));
         spmv_pull_chunked::<Add>(&g, &x, &mut y, chunk);
-        assert_close(&y, &expect, 1e-9, "pull chunked");
-    }
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: pull chunked"));
+    });
+}
 
-    #[test]
-    fn segmented_pull_matches_reference(
-        g in arb_graph(60, 300),
-        width in 1usize..40,
-        salt in 0u64..100,
-    ) {
+#[test]
+fn segmented_pull_matches_reference() {
+    run_cases(CASES, 0x5E63, |rng, case| {
+        let g = random_graph(rng, 60, 300);
+        let width = 1 + rng.gen_index(39);
+        let salt = rng.next_u64() % 100;
         let x = input(g.n_vertices(), salt);
         let expect = reference::<Add>(&g, &x);
         let seg = SegmentedCsc::new(&g, width);
-        prop_assert_eq!(seg.n_edges(), g.n_edges());
+        assert_eq!(seg.n_edges(), g.n_edges(), "case {case}");
         let mut y = vec![0.0; g.n_vertices()];
         spmv_pull_segmented::<Add>(&seg, &x, &mut y);
-        assert_close(&y, &expect, 1e-9, "segmented");
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: segmented"));
         // Min must be exact.
         let expect_min = reference::<Min>(&g, &x);
         spmv_pull_segmented::<Min>(&seg, &x, &mut y);
-        prop_assert_eq!(&y, &expect_min);
-    }
+        assert_eq!(&y, &expect_min, "case {case}");
+    });
+}
 
-    #[test]
-    fn push_variants_match_reference(
-        g in arb_graph(60, 300),
-        parts in 1usize..9,
-        salt in 0u64..100,
-    ) {
+#[test]
+fn push_variants_match_reference() {
+    run_cases(CASES, 0x9054, |rng, case| {
+        let g = random_graph(rng, 60, 300);
+        let parts = 1 + rng.gen_index(8);
+        let salt = rng.next_u64() % 100;
         let x = input(g.n_vertices(), salt);
         let expect = reference::<Add>(&g, &x);
         let mut y = vec![0.0; g.n_vertices()];
         spmv_push_serial::<Add>(&g, &x, &mut y);
-        assert_close(&y, &expect, 1e-9, "push serial");
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: push serial"));
         spmv_push_atomic::<Add>(&g, &x, &mut y);
-        assert_close(&y, &expect, 1e-9, "push atomic");
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: push atomic"));
         spmv_push_buffered::<Add>(&g, &x, &mut y);
-        assert_close(&y, &expect, 1e-9, "push buffered");
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: push buffered"));
         let p = DstPartitionedCsr::new(&g, parts);
-        prop_assert_eq!(p.n_edges(), g.n_edges());
+        assert_eq!(p.n_edges(), g.n_edges(), "case {case}");
         spmv_push_partitioned::<Add>(&p, &x, &mut y);
-        assert_close(&y, &expect, 1e-9, "push partitioned");
-    }
+        assert_close(&y, &expect, 1e-9, &format!("case {case}: push partitioned"));
+    });
+}
 
-    #[test]
-    fn max_monoid_agrees_across_directions(g in arb_graph(40, 160), salt in 0u64..50) {
+#[test]
+fn max_monoid_agrees_across_directions() {
+    run_cases(CASES, 0x3A8, |rng, case| {
+        let g = random_graph(rng, 40, 160);
+        let salt = rng.next_u64() % 50;
         let x = input(g.n_vertices(), salt);
         let expect = reference::<Max>(&g, &x);
         let mut y = vec![0.0; g.n_vertices()];
         spmv_push_atomic::<Max>(&g, &x, &mut y);
-        prop_assert_eq!(&y, &expect);
+        assert_eq!(&y, &expect, "case {case}");
         let seg = SegmentedCsc::new(&g, 7);
         spmv_pull_segmented::<Max>(&seg, &x, &mut y);
-        prop_assert_eq!(&y, &expect);
-    }
+        assert_eq!(&y, &expect, "case {case}");
+    });
+}
 
-    /// Blocked structures account for exactly the graph's edges in their
-    /// topology bytes (4 bytes per stored neighbour, at least).
-    #[test]
-    fn blocked_topology_accounting(g in arb_graph(50, 200), parts in 1usize..6) {
+/// Blocked structures account for exactly the graph's edges in their
+/// topology bytes (4 bytes per stored neighbour, at least).
+#[test]
+fn blocked_topology_accounting() {
+    run_cases(CASES, 0xB10C, |rng, case| {
+        let g = random_graph(rng, 50, 200);
+        let parts = 1 + rng.gen_index(5);
         let seg = SegmentedCsc::new(&g, 8);
-        prop_assert!(seg.topology_bytes() >= (g.n_edges() * 4) as u64);
+        assert!(seg.topology_bytes() >= (g.n_edges() * 4) as u64, "case {case}");
         let p = DstPartitionedCsr::new(&g, parts);
-        prop_assert!(p.topology_bytes() >= (g.n_edges() * 4) as u64);
-    }
+        assert!(p.topology_bytes() >= (g.n_edges() * 4) as u64, "case {case}");
+    });
 }
