@@ -82,6 +82,9 @@ pub trait SpmvEngine {
     }
 
     /// Maps a vector from original vertex IDs into the engine's order.
+    /// (Takes `&self` deliberately: this is a conversion the engine
+    /// performs, not a constructor — hence the lint allow.)
+    #[allow(clippy::wrong_self_convention)]
     fn from_original_order(&self, v: &[f64]) -> Vec<f64> {
         v.to_vec()
     }

@@ -44,27 +44,32 @@ pub fn pagerank(engine: &mut dyn SpmvEngine, iters: usize) -> PageRankRun {
     let mut sums = vec![0.0f64; n];
     let mut iter_seconds = Vec::with_capacity(iters);
 
-    for _ in 0..iters {
+    for it in 0..iters {
         let t = Instant::now();
         // Contribution of each vertex; dangling vertices contribute 0 (the
         // paper's formula divides by |N⁺| which only appears for vertices
-        // that have out-edges).
+        // that have out-edges). From the second iteration on, the rank
+        // update `base + d·sums` is fused into this scaling pass — same
+        // per-element arithmetic, one fewer full-vector sweep per
+        // iteration — so ranks are materialized only once, after the loop.
         let degs = engine.out_degrees();
         {
             let pr = &pr[..];
+            let sums = &sums[..];
             ihtl_parallel::par_for_each_mut(&mut contrib, 4096, |i, c| {
                 let d = degs[i];
-                *c = if d > 0 { pr[i] / d as f64 } else { 0.0 };
+                let rank = if it == 0 { pr[i] } else { base + DAMPING * sums[i] };
+                *c = if d > 0 { rank / d as f64 } else { 0.0 };
             });
         }
         engine.spmv_add(&contrib, &mut sums);
-        {
-            let sums = &sums[..];
-            ihtl_parallel::par_for_each_mut(&mut pr, 4096, |i, p| {
-                *p = base + DAMPING * sums[i];
-            });
-        }
         iter_seconds.push(t.elapsed().as_secs_f64());
+    }
+    if iters > 0 {
+        let sums = &sums[..];
+        ihtl_parallel::par_for_each_mut(&mut pr, 4096, |i, p| {
+            *p = base + DAMPING * sums[i];
+        });
     }
 
     PageRankRun { ranks: engine.to_original_order(&pr), iter_seconds }

@@ -1,0 +1,260 @@
+//! Machine-readable SpMV benchmark: writes `results/BENCH_spmv.json`.
+//!
+//! Unlike the table/figure binaries (human-oriented markdown), this target
+//! exists so every PR leaves a perf trajectory: per-kernel ns/edge and the
+//! iHTL phase breakdown (push / merge / pull) over a fixed R-MAT suite,
+//! serialised as JSON a driver can diff across commits. Run it through
+//! `scripts/bench.sh`, which also embeds the checked-in seed capture as the
+//! `baseline` field so before/after speedups are computed in-place.
+//!
+//! Usage:
+//!   bench_spmv [--out PATH] [--baseline PATH] [--samples N]
+
+use std::time::Instant;
+
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_core::{IhtlConfig, IhtlGraph};
+use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_graph::Graph;
+use ihtl_traversal::pull::spmv_pull;
+use ihtl_traversal::Add;
+
+/// One benchmarked dataset: a social R-MAT graph at the given scale.
+struct Dataset {
+    key: &'static str,
+    scale: u32,
+    target_edges: usize,
+    seed: u64,
+}
+
+const SUITE: &[Dataset] = &[
+    Dataset { key: "rmat18", scale: 18, target_edges: 2_600_000, seed: 118 },
+    Dataset { key: "rmat19", scale: 19, target_edges: 3_600_000, seed: 119 },
+    Dataset { key: "rmat20", scale: 20, target_edges: 6_000_000, seed: 120 },
+];
+
+struct KernelResult {
+    name: &'static str,
+    /// Best (minimum) wall-clock seconds of one kernel invocation over all
+    /// samples. The kernels are deterministic compute, so variation is
+    /// one-sided interference (scheduler preemption, frequency dips) and
+    /// the minimum is the robust estimator of the true cost.
+    seconds_best: f64,
+    /// Nanoseconds per edge at the best sample.
+    ns_per_edge: f64,
+    /// Mean per-iteration phase seconds (iHTL only): (fb, merge, pull).
+    phases: Option<(f64, f64, f64)>,
+}
+
+struct DatasetResult {
+    key: &'static str,
+    n_vertices: usize,
+    n_edges: usize,
+    kernels: Vec<KernelResult>,
+}
+
+/// Times `f` `samples` times after one warm-up call; returns the best
+/// (minimum) seconds observed.
+fn time_best<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_dataset(ds: &Dataset, samples: usize) -> DatasetResult {
+    let t = Instant::now();
+    let edges = rmat_edges(ds.scale, ds.target_edges, RmatParams::social(), ds.seed);
+    let g = Graph::from_edges(1usize << ds.scale, &edges);
+    eprintln!(
+        "[bench_spmv] {}: |V|={} |E|={} ({:.1}s build)",
+        ds.key,
+        g.n_vertices(),
+        g.n_edges(),
+        t.elapsed().as_secs_f64()
+    );
+    let n = g.n_vertices();
+    let m = g.n_edges();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+    let mut y = vec![0.0f64; n];
+    let mut kernels = Vec::new();
+
+    // iHTL SpMV with phase breakdown.
+    let cfg = IhtlConfig::default();
+    let ih = IhtlGraph::build(&g, &cfg);
+    let x_new = ih.to_new_order(&x);
+    let mut bufs = ih.new_buffers();
+    let mut fb = 0.0;
+    let mut merge = 0.0;
+    let mut pull = 0.0;
+    let mut phase_samples = 0usize;
+    let sec = time_best(samples, || {
+        let bd = ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+        fb += bd.fb_seconds;
+        merge += bd.merge_seconds;
+        pull += bd.pull_seconds;
+        phase_samples += 1;
+    });
+    let k = phase_samples as f64;
+    kernels.push(KernelResult {
+        name: "ihtl_spmv",
+        seconds_best: sec,
+        ns_per_edge: sec * 1e9 / m as f64,
+        phases: Some((fb / k, merge / k, pull / k)),
+    });
+
+    // Pull baseline (GraphGrind-style edge-balanced parallel pull).
+    let sec = time_best(samples, || spmv_pull::<Add>(&g, &x, &mut y));
+    kernels.push(KernelResult {
+        name: "pull_spmv",
+        seconds_best: sec,
+        ns_per_edge: sec * 1e9 / m as f64,
+        phases: None,
+    });
+
+    // PageRank per-iteration via the iHTL engine (the paper's Fig. 7 metric).
+    let mut e = build_engine(EngineKind::Ihtl, &g, &cfg);
+    let run = pagerank(e.as_mut(), samples.max(2));
+    let sec = run.mean_iter_seconds();
+    kernels.push(KernelResult {
+        name: "pagerank_ihtl_iter",
+        seconds_best: sec,
+        ns_per_edge: sec * 1e9 / m as f64,
+        phases: None,
+    });
+
+    DatasetResult { key: ds.key, n_vertices: n, n_edges: m, kernels }
+}
+
+fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut count) = (0.0f64, 0usize);
+    for v in vals {
+        log_sum += v.ln();
+        count += 1;
+    }
+    if count == 0 {
+        0.0
+    } else {
+        (log_sum / count as f64).exp()
+    }
+}
+
+/// Pulls `"name": <number>` out of our own JSON format (no general parser
+/// needed: the schema is fixed and written by this binary).
+fn extract_number(json: &str, name: &str) -> Option<f64> {
+    let needle = format!("\"{name}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest.find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))?;
+    rest[..end].parse().ok()
+}
+
+fn render_json(results: &[DatasetResult], samples: usize, baseline: Option<&str>) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ihtl-bench-spmv/v1\",\n");
+    let unix =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    out.push_str(&format!("  \"generated_unix\": {unix},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", ihtl_parallel::num_threads()));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"key\": \"{}\",\n", ds.key));
+        out.push_str(&format!("      \"n_vertices\": {},\n", ds.n_vertices));
+        out.push_str(&format!("      \"n_edges\": {},\n", ds.n_edges));
+        out.push_str("      \"kernels\": {\n");
+        for (j, k) in ds.kernels.iter().enumerate() {
+            out.push_str(&format!("        \"{}\": {{\n", k.name));
+            out.push_str(&format!("          \"seconds_best\": {:.6},\n", k.seconds_best));
+            out.push_str(&format!("          \"ns_per_edge\": {:.3}", k.ns_per_edge));
+            if let Some((fb, merge, pull)) = k.phases {
+                out.push_str(",\n          \"phases_mean_seconds\": {\n");
+                out.push_str(&format!("            \"fb\": {fb:.6},\n"));
+                out.push_str(&format!("            \"merge\": {merge:.6},\n"));
+                out.push_str(&format!("            \"pull\": {pull:.6}\n"));
+                out.push_str("          },\n");
+                let total = fb + merge + pull;
+                let frac = if total > 0.0 { merge / total } else { 0.0 };
+                out.push_str(&format!("          \"merge_fraction\": {frac:.4}\n"));
+            } else {
+                out.push('\n');
+            }
+            out.push_str("        }");
+            out.push_str(if j + 1 < ds.kernels.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      }\n");
+        out.push_str("    }");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+
+    let ihtl_geo =
+        geomean(results.iter().flat_map(|d| {
+            d.kernels.iter().filter(|k| k.name == "ihtl_spmv").map(|k| k.ns_per_edge)
+        }));
+    let pr_geo = geomean(results.iter().flat_map(|d| {
+        d.kernels.iter().filter(|k| k.name == "pagerank_ihtl_iter").map(|k| k.ns_per_edge)
+    }));
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!("    \"ihtl_spmv_ns_per_edge_geomean\": {ihtl_geo:.3},\n"));
+    out.push_str(&format!("    \"pagerank_ihtl_ns_per_edge_geomean\": {pr_geo:.3}"));
+    if let Some(base) = baseline {
+        if let Some(base_geo) = extract_number(base, "ihtl_spmv_ns_per_edge_geomean") {
+            if ihtl_geo > 0.0 {
+                out.push_str(&format!(
+                    ",\n    \"ihtl_spmv_speedup_vs_baseline\": {:.3}",
+                    base_geo / ihtl_geo
+                ));
+            }
+        }
+    }
+    out.push_str("\n  }");
+    if let Some(base) = baseline {
+        out.push_str(",\n  \"baseline\": ");
+        // Re-indent the embedded document two spaces so the file stays
+        // readable; it is already valid JSON.
+        let indented: String = base
+            .trim_end()
+            .lines()
+            .enumerate()
+            .map(|(i, l)| if i == 0 { l.to_string() } else { format!("  {l}") })
+            .collect::<Vec<_>>()
+            .join("\n");
+        out.push_str(&indented);
+    }
+    out.push_str("\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut out_path = String::from("results/BENCH_spmv.json");
+    let mut baseline_path: Option<String> = None;
+    let mut samples = 7usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a path").clone(),
+            "--baseline" => {
+                baseline_path = Some(it.next().expect("--baseline needs a path").clone())
+            }
+            "--samples" => {
+                samples = it.next().expect("--samples needs a count").parse().expect("bad count")
+            }
+            other => panic!("unknown argument {other}"),
+        }
+    }
+    let baseline = baseline_path.and_then(|p| std::fs::read_to_string(p).ok());
+    let results: Vec<DatasetResult> = SUITE.iter().map(|d| bench_dataset(d, samples)).collect();
+    let json = render_json(&results, samples, baseline.as_deref());
+    std::fs::write(&out_path, &json).expect("writing results JSON");
+    eprintln!("[bench_spmv] wrote {out_path}");
+    print!("{json}");
+}

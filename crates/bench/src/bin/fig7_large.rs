@@ -41,7 +41,7 @@ fn main() {
         graph.n_vertices(),
         graph.n_edges(),
         t.elapsed().as_secs_f64(),
-        graph.n_vertices() * 8 >> 20
+        (graph.n_vertices() * 8) >> 20
     );
 
     // Hub buffer sized to half the real L2 (2 MiB here): H = 131072, the

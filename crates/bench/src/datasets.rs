@@ -27,7 +27,7 @@ pub fn load_suite() -> Vec<Loaded> {
     let only = std::env::var("IHTL_ONLY").ok();
     specs
         .into_iter()
-        .filter(|spec| only.as_deref().map_or(true, |keys| keys.split(',').any(|k| k == spec.key)))
+        .filter(|spec| only.as_deref().is_none_or(|keys| keys.split(',').any(|k| k == spec.key)))
         .map(|spec| {
             let t = Instant::now();
             let graph = spec.build();

@@ -137,7 +137,6 @@ mod tests {
             l2_ways: 2,
             l3_bytes: 512,
             l3_ways: 2,
-            ..CacheConfig::default()
         })
     }
 

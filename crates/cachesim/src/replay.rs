@@ -10,9 +10,10 @@
 //! one).
 //!
 //! **iHTL SpMV** (Algorithm 3): buffer reset — 1 store per hub slot; per
-//! flipped-block row with edges — 1 offset load and 1 source-data load
-//! (sequential; re-fetched per block, which is exactly the §3.3 cost of
-//! extra blocks); per flipped-block edge — 1 neighbour-ID load plus a
+//! compacted flipped-block row — 1 offset load, 1 source-map (`srcs`) load
+//! and 1 source-data load (the latter ascending but gapped; re-fetched per
+//! block, which is exactly the §3.3 cost of extra blocks); per
+//! flipped-block edge — 1 neighbour-ID load plus a
 //! buffer read-modify-write (1 load + 1 store, the random-but-small
 //! access); merge — 1 buffer load + 1 result store per hub; then the
 //! sparse block is replayed like pull.
@@ -46,6 +47,7 @@ const Y_BASE: u64 = 1 << 40; // output vertex data
 const OFFS_BASE: u64 = 2 << 40; // CSR/CSC offsets, 8 B
 const TOPO_BASE: u64 = 3 << 40; // neighbour IDs, 4 B
 const BUF_BASE: u64 = 4 << 40; // iHTL per-thread hub buffer
+const SRCS_BASE: u64 = 5 << 40; // iHTL compacted-row source maps, 4 B
 
 /// Aggregated LLC miss rate per power-of-two in-degree bucket (Figure 1).
 #[derive(Clone, Debug, Default)]
@@ -189,18 +191,19 @@ pub fn replay_ihtl(ih: &IhtlGraph, g: &Graph, cfg: &CacheConfig, mode: ReplayMod
     }
 
     // --- Flipped blocks: push with buffered random writes. ---
+    // Rows are compacted to feeding sources: the kernel streams the
+    // per-block offset and `srcs` arrays and touches `x` only at listed
+    // sources — no access is issued for sources absent from the block.
     let mut topo_ptr = TOPO_BASE;
     for blk in ih.blocks() {
         let base = blk.hub_start as u64;
-        for (u, hubs) in blk.edges.iter_rows() {
+        for (row, hubs) in blk.edges.iter_rows() {
+            let u = blk.srcs[row as usize];
             if full {
-                h.access(OFFS_BASE + 8 * u as u64);
-            }
-            if hubs.is_empty() {
-                continue;
-            }
-            if full {
-                // Sequential source-data read, once per row per block.
+                h.access(OFFS_BASE + 8 * row as u64);
+                h.access(SRCS_BASE + 4 * row as u64);
+                // Source-data read, ascending within the block, once per
+                // compacted row per block.
                 h.access(X_BASE + 8 * u as u64);
             }
             for &local in hubs {

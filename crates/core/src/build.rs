@@ -16,7 +16,6 @@
 
 use std::time::Instant;
 
-use ihtl_graph::builder::csr_from_pairs;
 use ihtl_graph::partition::edge_balanced_ranges;
 use ihtl_graph::stats::vertices_by_in_degree_desc;
 use ihtl_graph::{Csr, Graph, VertexId};
@@ -106,6 +105,10 @@ impl IhtlGraph {
                 }
             }
         }
+        // Rows are compacted to the sources that actually feed each block
+        // (`srcs` maps compacted row → new source ID): the pairs arrive
+        // grouped by ascending source, so one pass builds the CSR directly
+        // and the push phase never scans an empty row.
         let blocks: Vec<FlippedBlock> = per_block
             .into_iter()
             .enumerate()
@@ -113,10 +116,23 @@ impl IhtlGraph {
                 let hub_start = (b * h) as VertexId;
                 let hub_end = ((b + 1) * h).min(n_hubs) as VertexId;
                 let n_block_hubs = (hub_end - hub_start) as usize;
+                let mut srcs: Vec<VertexId> = Vec::new();
+                let mut offsets: Vec<u64> = Vec::new();
+                let mut targets: Vec<VertexId> = Vec::with_capacity(pairs.len());
+                for &(u, local) in &pairs {
+                    if srcs.last() != Some(&u) {
+                        debug_assert!(srcs.last().is_none_or(|&p| p < u));
+                        srcs.push(u);
+                        offsets.push(targets.len() as u64);
+                    }
+                    targets.push(local);
+                }
+                offsets.push(targets.len() as u64);
                 FlippedBlock {
                     hub_start,
                     hub_end,
-                    edges: csr_from_pairs(n_active, n_block_hubs, &pairs),
+                    srcs,
+                    edges: Csr::from_parts(offsets, targets, n_block_hubs),
                 }
             })
             .collect();
@@ -169,6 +185,8 @@ impl IhtlGraph {
         };
 
         let push_tasks = build_push_tasks(&blocks, cfg.resolved_parts());
+        let merge_tasks = build_merge_tasks(&blocks);
+        let sparse_tasks = build_sparse_tasks(&sparse, cfg.resolved_parts());
 
         IhtlGraph {
             n,
@@ -180,15 +198,18 @@ impl IhtlGraph {
             sparse,
             out_degree_new,
             push_tasks,
+            merge_tasks,
+            sparse_tasks,
             stats,
         }
     }
 }
 
-/// Flattens (block × edge-balanced source chunk) into one task list so the
-/// push phase can schedule across blocks ("different threads can process
-/// vertices of different flipped blocks", §3.4) without per-iteration
-/// allocation.
+/// Flattens (block × edge-balanced chunk of compacted rows) into one task
+/// list so the push phase can schedule across blocks ("different threads
+/// can process vertices of different flipped blocks", §3.4) without
+/// per-iteration allocation. Ranges index the block's *compacted* rows —
+/// `srcs[row]` recovers the source — so no task ever visits an empty row.
 pub(crate) fn build_push_tasks(
     blocks: &[FlippedBlock],
     parts: usize,
@@ -200,6 +221,38 @@ pub(crate) fn build_push_tasks(
             edge_balanced_ranges(&blk.edges, parts).into_iter().map(move |r| (b as u32, r))
         })
         .collect()
+}
+
+/// Hub chunk size of the merge tasks: small enough for load balance across
+/// workers, large enough that the per-task dirty-stamp lookups amortise.
+const MERGE_CHUNK_HUBS: u32 = 1024;
+
+/// (block, hub-range) merge tasks: each block's hub range split into chunks
+/// of at most [`MERGE_CHUNK_HUBS`], never straddling a block boundary (each
+/// task consults exactly one per-(worker × block) dirty stamp). The ranges
+/// tile `0..n_hubs` contiguously, as `split_ranges` requires.
+pub(crate) fn build_merge_tasks(
+    blocks: &[FlippedBlock],
+) -> Vec<(u32, ihtl_graph::partition::VertexRange)> {
+    let mut tasks = Vec::new();
+    for (b, blk) in blocks.iter().enumerate() {
+        let mut start = blk.hub_start;
+        while start < blk.hub_end {
+            let end = (start + MERGE_CHUNK_HUBS).min(blk.hub_end);
+            tasks.push((b as u32, ihtl_graph::partition::VertexRange { start, end }));
+            start = end;
+        }
+    }
+    tasks
+}
+
+/// Edge-balanced destination ranges of the sparse block, precomputed so the
+/// pull phase allocates nothing per iteration.
+pub(crate) fn build_sparse_tasks(
+    sparse: &Csr,
+    parts: usize,
+) -> Vec<ihtl_graph::partition::VertexRange> {
+    edge_balanced_ranges(sparse, parts)
 }
 
 /// The §3.3 acceptance rule: grow the block list one block at a time, each
@@ -352,14 +405,20 @@ mod tests {
     }
 
     #[test]
-    fn flipped_block_rows_span_active_set_only() {
+    fn flipped_block_rows_are_compacted_active_sources() {
         let g = paper_example_graph();
         let ih = IhtlGraph::build(&g, &paper_cfg());
         let b = &ih.blocks()[0];
-        assert_eq!(b.edges.n_rows(), ih.n_active());
+        // One row per distinct feeding source, never more than the active set.
+        assert_eq!(b.edges.n_rows(), b.srcs.len());
+        assert!(b.srcs.len() <= ih.n_active());
+        assert!(b.srcs.windows(2).all(|w| w[0] < w[1]), "srcs not ascending: {:?}", b.srcs);
+        assert!(b.srcs.iter().all(|&u| (u as usize) < ih.n_active()));
         assert_eq!(b.n_hubs(), 2);
-        // Every target is a block-local hub index.
+        // Every compacted row is non-empty and every target is a block-local
+        // hub index.
         for (_, hubs) in b.edges.iter_rows() {
+            assert!(!hubs.is_empty());
             for &t in hubs {
                 assert!((t as usize) < b.n_hubs());
             }

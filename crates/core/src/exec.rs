@@ -15,29 +15,70 @@
 use std::cell::UnsafeCell;
 use std::time::Instant;
 
-use ihtl_graph::partition::{edge_balanced_ranges, vertex_balanced_ranges, VertexRange};
+use ihtl_graph::partition::VertexRange;
 use ihtl_traversal::Monoid;
 
 use crate::graph::IhtlGraph;
 
+/// One worker's private hub buffer plus its dirty-segment stamps.
+struct WorkerBuf {
+    /// `n_hubs` slots; block `b`'s segment spans `[hub_start_b, hub_end_b)`.
+    data: Vec<f64>,
+    /// Per-block generation stamp: `block_gen[b]` equals the buffers'
+    /// current generation iff this worker wrote into block `b`'s segment
+    /// this iteration (the segment is *dirty*). Stale stamps mean the
+    /// segment holds garbage from an earlier iteration and is reset lazily
+    /// on first touch — never read by the merge.
+    block_gen: Vec<u64>,
+}
+
 /// Per-worker hub buffers, reused across iterations ("each thread buffers
 /// H · #FB vertex data", §3.4). One buffer per ihtl-parallel pool worker
 /// plus one for the calling thread.
+///
+/// Reset and merge are *dirty-tracked*: a generation counter is bumped once
+/// per iteration, and each (worker × flipped-block) segment is stamped when
+/// first written. Reset happens lazily per dirty segment inside the push
+/// phase, and the merge phase skips clean segments entirely — on skewed
+/// graphs most workers touch only a few blocks, so both phases scale with
+/// the segments actually written rather than `n_workers × n_hubs`.
 pub struct ThreadBuffers {
-    bufs: Vec<UnsafeCell<Vec<f64>>>,
+    bufs: Vec<UnsafeCell<WorkerBuf>>,
+    /// Bumped at the start of every iteration; compares against
+    /// `WorkerBuf::block_gen` stamps.
+    generation: u64,
+    n_hubs: usize,
+    n_blocks: usize,
 }
 
 // SAFETY: each pool worker accesses only the buffer at its own unique
 // thread index (plus slot 0 for sequential paths outside any parallel
 // region); worker indices are distinct within a region and tasks on one
-// worker run sequentially, so no slot is ever aliased concurrently.
+// worker run sequentially, so no slot is ever aliased concurrently. The
+// merge phase reads all buffers only after the push region has completed
+// (region completion is a happens-before edge).
 unsafe impl Sync for ThreadBuffers {}
 
 impl ThreadBuffers {
-    /// Allocates buffers of `n_hubs` slots for every possible worker.
-    pub fn new(n_hubs: usize) -> Self {
+    /// Allocates buffers of `n_hubs` slots and `n_blocks` dirty stamps for
+    /// every possible worker.
+    pub fn new(n_hubs: usize, n_blocks: usize) -> Self {
         let n_threads = ihtl_parallel::num_threads() + 1;
-        Self { bufs: (0..n_threads).map(|_| UnsafeCell::new(vec![0.0f64; n_hubs])).collect() }
+        Self {
+            bufs: (0..n_threads)
+                .map(|_| {
+                    UnsafeCell::new(WorkerBuf {
+                        data: vec![0.0f64; n_hubs],
+                        block_gen: vec![0u64; n_blocks],
+                    })
+                })
+                .collect(),
+            // Stamps start at 0, so generation 1 (the first iteration)
+            // sees every segment as stale.
+            generation: 0,
+            n_hubs,
+            n_blocks,
+        }
     }
 
     /// Number of per-thread buffers.
@@ -47,10 +88,12 @@ impl ThreadBuffers {
 
     /// Buffer slots per thread.
     pub fn width(&self) -> usize {
-        unsafe {
-            let buf: &Vec<f64> = &*self.bufs[0].get();
-            buf.len()
-        }
+        self.n_hubs
+    }
+
+    /// Dirty stamps per thread (one per flipped block).
+    pub fn n_blocks(&self) -> usize {
+        self.n_blocks
     }
 
     #[inline]
@@ -66,26 +109,41 @@ impl ThreadBuffers {
     /// one index — guaranteed by ihtl-parallel, whose worker indices are
     /// distinct within a region and `None` outside one.
     #[inline]
-    fn my_buffer(&self) -> &mut Vec<f64> {
+    #[allow(clippy::mut_from_ref)]
+    fn my_buffer(&self) -> &mut WorkerBuf {
         unsafe { &mut *self.bufs[Self::slot_index()].get() }
     }
 
-    /// Reads slot `hub` of thread `t` (merge phase).
+    /// Whether worker `t` dirtied block `b` this generation (merge phase).
     #[inline]
-    fn read(&self, t: usize, hub: usize) -> f64 {
-        unsafe {
-            let buf: &Vec<f64> = &*self.bufs[t].get();
-            buf[hub]
-        }
+    fn is_dirty(&self, t: usize, b: usize) -> bool {
+        let wb: &WorkerBuf = unsafe { &*self.bufs[t].get() };
+        wb.block_gen[b] == self.generation
     }
 
-    /// Resets every buffer to the monoid identity, in parallel.
-    fn reset<M: Monoid>(&mut self) {
-        ihtl_parallel::par_for_each_mut(&mut self.bufs, 1, |_, b| {
-            for v in b.get_mut().iter_mut() {
-                *v = M::identity();
-            }
-        });
+    /// Reads slot `hub` of thread `t` without bounds checks (merge phase).
+    ///
+    /// # Safety
+    /// `t < n_buffers()` and `hub < width()`; the caller must have verified
+    /// the owning segment is dirty (clean segments hold stale data).
+    #[inline]
+    unsafe fn read_unchecked(&self, t: usize, hub: usize) -> f64 {
+        debug_assert!(t < self.bufs.len() && hub < self.n_hubs);
+        let wb: &WorkerBuf = &*self.bufs.get_unchecked(t).get();
+        *wb.data.get_unchecked(hub)
+    }
+
+    /// Opens a new iteration: all segments become stale at once, at the
+    /// cost of one counter bump instead of an `n_workers × n_hubs` sweep.
+    fn begin_iteration(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
+    }
+
+    /// Number of (worker × block) segments written this generation.
+    fn count_dirty_segments(&self) -> usize {
+        (0..self.bufs.len())
+            .map(|t| (0..self.n_blocks).filter(|&b| self.is_dirty(t, b)).count())
+            .sum()
     }
 }
 
@@ -100,6 +158,12 @@ pub struct ExecBreakdown {
     pub merge_seconds: f64,
     /// Pull phase over the sparse block.
     pub pull_seconds: f64,
+    /// (worker × flipped-block) buffer segments actually written this
+    /// iteration — the segments reset and merged under dirty tracking.
+    pub dirty_segments: usize,
+    /// Total (worker × flipped-block) segments; `dirty / total` is the
+    /// fraction of buffer space the full-reset scheme would have swept.
+    pub total_segments: usize,
 }
 
 impl ExecBreakdown {
@@ -132,7 +196,7 @@ impl ExecBreakdown {
 impl IhtlGraph {
     /// Allocates reusable per-thread buffers sized for this graph.
     pub fn new_buffers(&self) -> ThreadBuffers {
-        ThreadBuffers::new(self.n_hubs)
+        ThreadBuffers::new(self.n_hubs, self.blocks.len())
     }
 
     /// One SpMV iteration in iHTL order (Algorithm 3):
@@ -150,28 +214,59 @@ impl IhtlGraph {
     ) -> ExecBreakdown {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        assert!(bufs.width() >= self.n_hubs, "buffers sized for a different graph");
-        let parts = ihtl_traversal::pull::default_parts();
+        assert_eq!(bufs.width(), self.n_hubs, "buffers sized for a different graph");
+        assert_eq!(bufs.n_blocks(), self.blocks.len(), "buffers built for a different blocking");
         let mut breakdown = ExecBreakdown::default();
 
         // --- Phase 1: buffered push over flipped blocks. ---
+        // No up-front reset: the generation bump invalidates every segment,
+        // and each (worker × block) segment is reset on first touch below.
         let t = Instant::now();
-        bufs.reset::<M>();
+        bufs.begin_iteration();
+        let gen = bufs.generation;
         // Precomputed (block, source-chunk) tasks, edge-balanced within each
         // block so skewed rows don't serialise.
         ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
             let blk = &self.blocks[b as usize];
             let base = blk.hub_start as usize;
-            let buf = bufs.my_buffer();
-            for u in range.iter() {
-                let hubs = blk.edges.neighbours(u);
-                if hubs.is_empty() {
-                    continue;
+            let wb = bufs.my_buffer();
+            if wb.block_gen[b as usize] != gen {
+                // First touch of this block by this worker this iteration:
+                // reset exactly its segment of the buffer.
+                wb.block_gen[b as usize] = gen;
+                for slot in &mut wb.data[base..blk.hub_end as usize] {
+                    *slot = M::identity();
                 }
-                let xu = x[u as usize];
-                for &local in hubs {
-                    let slot = base + local as usize;
-                    buf[slot] = M::combine(buf[slot], xu);
+            }
+            // Rows are compacted to feeding sources, so every iteration
+            // does real work — no empty-row scan. Source reads follow the
+            // ascending `srcs` map (hardware-prefetched) and the random
+            // scatter lands in the cache-budget-sized buffer, so no
+            // software prefetch is needed in this phase. Rows are
+            // consecutive, so each row's end offset is carried forward as
+            // the next row's start.
+            let offsets = blk.edges.offsets();
+            let targets = blk.edges.targets();
+            debug_assert!((range.end as usize) <= blk.srcs.len());
+            let mut s = offsets[range.start as usize] as usize;
+            for row in range.iter() {
+                // SAFETY: push-task ranges lie within the block's compacted
+                // rows and offsets are monotone ending at `targets.len()`;
+                // `srcs[row] < n_active <= n == x.len()`; targets are
+                // block-local hub indices `< n_block_hubs`, so `base + local
+                // < hub_end <= n_hubs == wb.data.len()`.
+                unsafe {
+                    let e = *offsets.get_unchecked(row as usize + 1) as usize;
+                    let u = *blk.srcs.get_unchecked(row as usize);
+                    debug_assert!((u as usize) < x.len());
+                    let xu = *x.get_unchecked(u as usize);
+                    for &local in targets.get_unchecked(s..e) {
+                        let slot = base + local as usize;
+                        debug_assert!(slot < wb.data.len());
+                        let p = wb.data.get_unchecked_mut(slot);
+                        *p = M::combine(*p, xu);
+                    }
+                    s = e;
                 }
             }
         });
@@ -180,20 +275,32 @@ impl IhtlGraph {
         // --- Phase 2: merge thread buffers into hub results. ---
         let t = Instant::now();
         let n_bufs = bufs.n_buffers();
-        let hub_ranges = vertex_balanced_ranges(self.n_hubs, parts);
+        breakdown.dirty_segments = bufs.count_dirty_segments();
+        breakdown.total_segments = n_bufs * self.blocks.len();
         {
             let (hub_y, _) = y.split_at_mut(self.n_hubs);
-            let mut slices = crate::exec::split_ranges(hub_y, &hub_ranges);
+            let mut slices = split_ranges_iter(hub_y, self.merge_tasks.iter().map(|&(_, r)| r));
             let bufs = &*bufs;
             ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
-                let range = hub_ranges[p];
-                for (i, slot) in out.iter_mut().enumerate() {
-                    let hub = range.start as usize + i;
-                    let mut acc = M::identity();
-                    for t in 0..n_bufs {
-                        acc = M::combine(acc, bufs.read(t, hub));
+                let (b, range) = self.merge_tasks[p];
+                for slot in out.iter_mut() {
+                    *slot = M::identity();
+                }
+                // Sequential over workers (ascending, as Algorithm 3 lines
+                // 5–7), skipping segments no worker wrote: a clean segment
+                // contributed exactly the identity under full reset, so
+                // skipping it preserves the result and the combine order.
+                for t in 0..n_bufs {
+                    if !bufs.is_dirty(t, b as usize) {
+                        continue;
                     }
-                    *slot = acc;
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        // SAFETY: `t < n_bufs`; merge-task ranges lie within
+                        // `0..n_hubs`, and the stamp check above makes this
+                        // segment's data current.
+                        let v = unsafe { bufs.read_unchecked(t, range.start as usize + i) };
+                        *slot = M::combine(*slot, v);
+                    }
                 }
             });
         }
@@ -201,19 +308,18 @@ impl IhtlGraph {
 
         // --- Phase 3: pull over the sparse block. ---
         let t = Instant::now();
-        let ranges = edge_balanced_ranges(&self.sparse, parts);
         {
             let (_, sparse_y) = y.split_at_mut(self.n_hubs);
-            let mut slices = crate::exec::split_ranges(sparse_y, &ranges);
+            let mut slices = crate::exec::split_ranges(sparse_y, &self.sparse_tasks);
             ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
-                let range = ranges[p];
-                for row in range.iter() {
-                    let mut acc = M::identity();
-                    for &u in self.sparse.neighbours(row) {
-                        acc = M::combine(acc, x[u as usize]);
-                    }
-                    out[(row - range.start) as usize] = acc;
-                }
+                // Sparse targets are new source IDs `< n == x.len()`,
+                // which is what the shared kernel's unchecked gather needs.
+                ihtl_traversal::pull::pull_rows_into::<M>(
+                    &self.sparse,
+                    x,
+                    self.sparse_tasks[p],
+                    out,
+                );
             });
         }
         breakdown.pull_seconds = t.elapsed().as_secs_f64();
@@ -231,7 +337,6 @@ impl IhtlGraph {
     pub fn spmv_atomic_hubs<M: Monoid>(&self, x: &[f64], y: &mut [f64]) -> ExecBreakdown {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
-        let parts = ihtl_traversal::pull::default_parts();
         let mut breakdown = ExecBreakdown::default();
 
         // --- Phase 1: atomic push over flipped blocks. ---
@@ -243,35 +348,37 @@ impl IhtlGraph {
             ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
                 let blk = &self.blocks[b as usize];
                 let base = blk.hub_start as usize;
-                for u in range.iter() {
-                    let hubs = blk.edges.neighbours(u);
-                    if hubs.is_empty() {
-                        continue;
-                    }
-                    let xu = x[u as usize];
+                for row in range.iter() {
+                    // SAFETY: same invariants as the buffered push — ranges
+                    // lie within the compacted rows, `srcs[row] < n_active
+                    // <= n == x.len()`, targets are block-local hub indices.
+                    let hubs = unsafe { blk.edges.neighbours_unchecked(row) };
+                    debug_assert!((row as usize) < blk.srcs.len());
+                    let u = unsafe { *blk.srcs.get_unchecked(row as usize) };
+                    debug_assert!((u as usize) < x.len());
+                    let xu = unsafe { *x.get_unchecked(u as usize) };
                     for &local in hubs {
                         M::combine_atomic(&slots[base + local as usize], xu);
                     }
                 }
+                // (The atomic ablation keeps the simpler per-row accessor;
+                // it exists for the §3.4 comparison, not for peak speed.)
             });
         }
         breakdown.fb_seconds = t.elapsed().as_secs_f64();
 
         // --- Phase 2: pull over the sparse block (unchanged). ---
         let t = Instant::now();
-        let ranges = edge_balanced_ranges(&self.sparse, parts);
         {
             let (_, sparse_y) = y.split_at_mut(self.n_hubs);
-            let mut slices = split_ranges(sparse_y, &ranges);
+            let mut slices = split_ranges(sparse_y, &self.sparse_tasks);
             ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
-                let range = ranges[p];
-                for row in range.iter() {
-                    let mut acc = M::identity();
-                    for &u in self.sparse.neighbours(row) {
-                        acc = M::combine(acc, x[u as usize]);
-                    }
-                    out[(row - range.start) as usize] = acc;
-                }
+                ihtl_traversal::pull::pull_rows_into::<M>(
+                    &self.sparse,
+                    x,
+                    self.sparse_tasks[p],
+                    out,
+                );
             });
         }
         breakdown.pull_seconds = t.elapsed().as_secs_f64();
@@ -280,11 +387,17 @@ impl IhtlGraph {
 }
 
 /// Splits `data` into disjoint mutable sub-slices per contiguous range.
-pub(crate) fn split_ranges<'a>(
-    mut data: &'a mut [f64],
-    ranges: &[VertexRange],
-) -> Vec<&'a mut [f64]> {
-    let mut out = Vec::with_capacity(ranges.len());
+pub(crate) fn split_ranges<'a>(data: &'a mut [f64], ranges: &[VertexRange]) -> Vec<&'a mut [f64]> {
+    split_ranges_iter(data, ranges.iter().copied())
+}
+
+/// [`split_ranges`] over any contiguous range sequence (e.g. the range
+/// component of the merge-task list).
+pub(crate) fn split_ranges_iter(
+    mut data: &mut [f64],
+    ranges: impl Iterator<Item = VertexRange>,
+) -> Vec<&mut [f64]> {
+    let mut out = Vec::new();
     let mut consumed = 0u32;
     for r in ranges {
         debug_assert_eq!(r.start, consumed);
@@ -414,6 +527,43 @@ mod tests {
             ..IhtlConfig::default()
         };
         check_matches_pull::<Add>(&g, &cfg, 1e-9);
+    }
+
+    #[test]
+    fn dirty_segments_tracked_and_bounded() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let x = vec![1.0; 8];
+        let mut y = vec![0.0; 8];
+        let mut bufs = ih.new_buffers();
+        let bd = ih.spmv::<Add>(&x, &mut y, &mut bufs);
+        assert_eq!(bd.total_segments, bufs.n_buffers() * ih.n_blocks());
+        // The example graph has flipped-block edges, so someone wrote a
+        // segment; no worker can dirty more segments than exist.
+        assert!(bd.dirty_segments >= 1);
+        assert!(bd.dirty_segments <= bd.total_segments);
+        // A second iteration re-stamps rather than accumulates.
+        let bd2 = ih.spmv::<Add>(&x, &mut y, &mut bufs);
+        assert!(bd2.dirty_segments <= bd2.total_segments);
+    }
+
+    #[test]
+    fn alternating_monoids_reuse_buffers_safely() {
+        // Min after Add over the same ThreadBuffers: stale Add partials must
+        // never leak into the Min result (stamps, not contents, gate reuse).
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let x: Vec<f64> = (0..8).map(|i| (i + 3) as f64).collect();
+        let x_new = ih.to_new_order(&x);
+        let mut bufs = ih.new_buffers();
+        let mut y = vec![0.0; 8];
+        ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+        ih.spmv::<Min>(&x_new, &mut y, &mut bufs);
+        let mut reference = vec![0.0; 8];
+        spmv_pull_serial::<Min>(&g, &x, &mut reference);
+        assert_eq!(ih.to_old_order(&y), reference);
     }
 
     #[test]

@@ -28,12 +28,23 @@ pub enum VertexClass {
 
 /// One flipped block: the incoming edges of `H` consecutive hubs, stored in
 /// push direction.
+///
+/// Rows are *compacted*: only sources with at least one edge into this
+/// block's hubs get a row, and `srcs[row]` names the source (a new ID in
+/// `0..n_active`, strictly ascending). On skewed graphs most active
+/// vertices feed only a few blocks, so without compaction the push phase
+/// would scan `n_active × #FB` rows per iteration just to skip the empty
+/// ones — the dominant fraction of flipped-block time once the edge loops
+/// themselves are tight.
 #[derive(Clone, Debug)]
 pub struct FlippedBlock {
     /// New-ID range `[hub_start, hub_end)` of this block's hubs.
     pub hub_start: VertexId,
     pub hub_end: VertexId,
-    /// Row `u` (a new ID in `0..n_active`) lists *block-local* hub indices
+    /// `srcs[row]` = new source ID of compacted row `row`; strictly
+    /// ascending, every listed source has ≥ 1 edge in this block.
+    pub srcs: Vec<VertexId>,
+    /// Row `row` (indexing `srcs`) lists *block-local* hub indices
     /// (`new_dst - hub_start`) — u32 offsets into the per-thread buffer.
     pub edges: Csr,
 }
@@ -47,6 +58,11 @@ impl FlippedBlock {
     /// Number of edges in the block.
     pub fn n_edges(&self) -> usize {
         self.edges.n_edges()
+    }
+
+    /// Number of compacted rows (= distinct sources feeding this block).
+    pub fn n_srcs(&self) -> usize {
+        self.srcs.len()
     }
 }
 
@@ -71,6 +87,14 @@ pub struct IhtlGraph {
     /// Precomputed (block, source-chunk) push tasks, edge-balanced within
     /// each block, so iterations allocate nothing.
     pub(crate) push_tasks: Vec<(u32, VertexRange)>,
+    /// Precomputed (block, hub-range) merge tasks: chunks clipped at block
+    /// boundaries, contiguously tiling `0..n_hubs`, so the merge phase can
+    /// consult per-(worker × block) dirty stamps without per-iteration
+    /// bookkeeping.
+    pub(crate) merge_tasks: Vec<(u32, VertexRange)>,
+    /// Precomputed edge-balanced destination ranges of the sparse block
+    /// (pull phase), contiguously tiling `0..n - n_hubs`.
+    pub(crate) sparse_tasks: Vec<VertexRange>,
     pub(crate) stats: BuildStats,
 }
 
@@ -169,11 +193,16 @@ impl IhtlGraph {
     }
 
     /// Topology bytes of the iHTL representation (Table 4): per-block CSR
-    /// index + targets, the sparse block, and the relabeling arrays. The
-    /// growth over plain CSC "results from replication of the index array
-    /// for each block" (§4.4).
+    /// index + targets + source map, the sparse block, and the relabeling
+    /// arrays. The growth over plain CSC "results from replication of the
+    /// index array for each block" (§4.4) — row compaction bounds that
+    /// replication by the sources actually feeding each block.
     pub fn topology_bytes(&self) -> u64 {
-        let blocks: u64 = self.blocks.iter().map(|b| b.edges.topology_bytes()).sum();
+        let blocks: u64 = self
+            .blocks
+            .iter()
+            .map(|b| b.edges.topology_bytes() + (b.srcs.len() * NEIGHBOUR_BYTES) as u64)
+            .sum();
         let sparse = self.sparse.topology_bytes();
         let relabel = (2 * self.n * NEIGHBOUR_BYTES) as u64;
         blocks + sparse + relabel

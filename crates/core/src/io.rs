@@ -5,10 +5,12 @@
 //! format (similar to the special file formats that each framework uses)
 //! on disk after preprocessing." This module is that format.
 //!
-//! Layout (little-endian): magic `IHTLBLK1`, then the scalar header, the
-//! relabeling array, per-block hub ranges + CSR arrays, the sparse CSR,
-//! and the out-degree array. Stats are persisted so a loaded graph still
-//! reports Table 5's structural columns (timing fields are zeroed).
+//! Layout (little-endian): magic `IHTLBLK2`, then the scalar header, the
+//! relabeling array, per-block hub ranges + compacted CSR arrays + source
+//! maps, the sparse CSR, and the out-degree array. Stats are persisted so a
+//! loaded graph still reports Table 5's structural columns (timing fields
+//! are zeroed). The magic was bumped from `IHTLBLK1` when flipped-block
+//! rows became compacted (a `srcs` array per block).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -19,7 +21,7 @@ use ihtl_graph::{Csr, EdgeIndex, VertexId};
 use crate::graph::{FlippedBlock, IhtlGraph};
 use crate::stats::BuildStats;
 
-const MAGIC: &[u8; 8] = b"IHTLBLK1";
+const MAGIC: &[u8; 8] = b"IHTLBLK2";
 
 /// Writes the preprocessed graph to `path`.
 pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
@@ -48,6 +50,7 @@ pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
         w.write_all(&(b.hub_start as u64).to_le_bytes())?;
         w.write_all(&(b.hub_end as u64).to_le_bytes())?;
         write_csr(&mut w, &b.edges)?;
+        write_u32s(&mut w, &b.srcs)?;
     }
     write_csr(&mut w, ih.sparse())?;
     w.flush()
@@ -81,7 +84,14 @@ pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
         let hub_start = read_u64(&mut r)? as VertexId;
         let hub_end = read_u64(&mut r)? as VertexId;
         let edges = read_csr(&mut r)?;
-        blocks.push(FlippedBlock { hub_start, hub_end, edges });
+        let srcs = read_u32s(&mut r, edges.n_rows())?;
+        if srcs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "block srcs not ascending"));
+        }
+        if srcs.iter().any(|&u| (u as usize) >= n) {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "block src out of range"));
+        }
+        blocks.push(FlippedBlock { hub_start, hub_end, srcs, edges });
     }
     let sparse = read_csr(&mut r)?;
 
@@ -104,7 +114,10 @@ pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
         block_feeders,
         preprocessing_seconds: 0.0,
     };
-    let push_tasks = crate::build::build_push_tasks(&blocks, ihtl_traversal::pull::default_parts());
+    let parts = ihtl_traversal::pull::default_parts();
+    let push_tasks = crate::build::build_push_tasks(&blocks, parts);
+    let merge_tasks = crate::build::build_merge_tasks(&blocks);
+    let sparse_tasks = crate::build::build_sparse_tasks(&sparse, parts);
     Ok(IhtlGraph {
         n,
         n_hubs,
@@ -115,6 +128,8 @@ pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
         sparse,
         out_degree_new,
         push_tasks,
+        merge_tasks,
+        sparse_tasks,
         stats,
     })
 }

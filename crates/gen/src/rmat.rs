@@ -57,7 +57,7 @@ pub fn rmat_edges(
     params: RmatParams,
     seed: u64,
 ) -> Vec<(u32, u32)> {
-    assert!(scale >= 1 && scale < 31, "scale out of range");
+    assert!((1..31).contains(&scale), "scale out of range");
     let mut rng = rng_from_seed(seed);
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(target_edges + target_edges / 4);
     // Oversample in rounds until we have enough unique edges; duplicates are

@@ -104,8 +104,8 @@ mod tests {
         for &(r, _) in &edges {
             expect[r as usize] += 1;
         }
-        for v in 0..n {
-            assert_eq!(c.degree(v as u32) as u64, expect[v]);
+        for (v, &e) in expect.iter().enumerate() {
+            assert_eq!(c.degree(v as u32) as u64, e);
         }
         assert_eq!(c.n_edges(), m);
     }

@@ -91,6 +91,23 @@ impl Csr {
         &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
     }
 
+    /// The adjacency list of row `v` without bounds checks — the hot-loop
+    /// variant of [`Csr::neighbours`] (debug builds still assert).
+    ///
+    /// # Safety
+    /// `v` must be a valid row index (`v < n_rows()`). The structural
+    /// invariants validated at construction (monotone offsets ending at
+    /// `targets.len()`) make the resulting slice range valid for any valid
+    /// row.
+    #[inline]
+    pub unsafe fn neighbours_unchecked(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        debug_assert!(v < self.n_rows(), "row {v} out of 0..{}", self.n_rows());
+        let start = *self.offsets.get_unchecked(v) as usize;
+        let end = *self.offsets.get_unchecked(v + 1) as usize;
+        self.targets.get_unchecked(start..end)
+    }
+
     /// Iterates `(row, &[targets])` over all rows.
     pub fn iter_rows(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
         (0..self.n_rows()).map(move |v| (v as VertexId, self.neighbours(v as VertexId)))

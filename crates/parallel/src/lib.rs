@@ -10,29 +10,43 @@
 //!   counting privatise per-worker accumulators and merge them, the same
 //!   privatise-and-merge idiom iHTL applies to its hub buffers (§3.4).
 //!
-//! Both are provided here on plain `std`: a lazily-sized worker count
-//! (`IHTL_THREADS` env var, else `available_parallelism`), per-call
-//! `std::thread::scope` workers, and an atomic chunk counter acting as the
-//! shared work queue — workers grab the next chunk when they finish their
-//! last, which is self-scheduling with the same load-balancing effect as
-//! stealing for contiguous ranges.
+//! Both are provided here on plain `std`, executed by a **persistent worker
+//! pool**: `num_threads() - 1` workers are spawned lazily on the first
+//! multi-chunk region and then parked on a condvar between regions. Each
+//! region bumps a generation counter and publishes a type-erased job
+//! pointer; workers run the job exactly once per generation and an atomic
+//! chunk counter acts as the shared work queue — workers grab the next chunk
+//! when they finish their last, which is self-scheduling with the same
+//! load-balancing effect as stealing for contiguous ranges. A per-region
+//! wake costs a condvar broadcast (~µs) instead of the per-call
+//! `thread::scope` spawn/join the first version of this crate paid (~tens
+//! of µs per worker), which matters because the iHTL engine enters a region
+//! per phase per iteration.
 //!
 //! Guarantees relied on by the rest of the workspace (notably the
 //! privatised hub buffers in `ihtl-core`):
 //!
 //! * inside a parallel region every concurrent worker observes a distinct
-//!   [`current_thread_index`] in `0..num_threads()`;
+//!   [`current_thread_index`] in `0..num_threads()` — pool worker *k* owns
+//!   index `k + 1` for the life of the process, the driving caller is
+//!   always index 0, and regions are serialised by a pool-wide lock, so an
+//!   index can never be observed by two live threads even across
+//!   overlapping top-level calls;
 //! * outside any region (and on the sequential fallback path)
 //!   `current_thread_index()` is `None`;
 //! * nested parallel calls from inside a worker run sequentially *on that
-//!   worker*, so an index can never be observed by two live threads;
+//!   worker*, so the worker's index stays stable;
 //! * with `num_threads() == 1` no thread is ever spawned — single-core
-//!   containers pay nothing but a function call.
+//!   containers pay nothing but a function call;
+//! * a panic in any worker (or the caller's own share of the work) is
+//!   re-raised on the calling thread after the region completes; the pool
+//!   survives and later regions run normally.
 
-use std::cell::Cell;
+use std::cell::{Cell, UnsafeCell};
 use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Condvar, Mutex, MutexGuard, OnceLock};
 
 static NUM_THREADS: OnceLock<usize> = OnceLock::new();
 
@@ -60,6 +74,162 @@ pub fn current_thread_index() -> Option<usize> {
     WORKER_INDEX.with(|c| c.get())
 }
 
+// ---------------------------------------------------------------------------
+// The persistent pool.
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a region closure (`&F` where `F: Fn(usize) + Sync`;
+/// the argument is the executing worker's index). Valid for the duration of
+/// the region because the publishing caller blocks until every worker has
+/// reported completion.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const (), usize),
+}
+
+// SAFETY: the pointee is `Sync` (bound enforced at the only construction
+// site, in `run_region`) and outlives the region.
+unsafe impl Send for Job {}
+
+/// Shared pool state, guarded by [`Shared::state`].
+struct RegionState {
+    /// Bumped once per region; a worker runs the published job exactly once
+    /// per generation it observes.
+    generation: u64,
+    job: Option<Job>,
+    /// Pool workers that have not yet finished the current region.
+    remaining: usize,
+    /// First panic payload captured from a pool worker this region.
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Shared {
+    /// Serialises regions: one caller drives the pool at a time; other
+    /// top-level callers block here until the pool is free.
+    region_lock: Mutex<()>,
+    state: Mutex<RegionState>,
+    /// Workers park here between regions.
+    start: Condvar,
+    /// The driving caller parks here until `remaining == 0`.
+    done: Condvar,
+    n_workers: usize,
+}
+
+/// Locks tolerating poison: the guarded data is plain counters/flags that
+/// remain consistent across an unwinding holder.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+static POOL: OnceLock<&'static Shared> = OnceLock::new();
+
+/// The process-wide pool, spawning its `num_threads() - 1` workers on first
+/// use. Never called when `num_threads() == 1`.
+fn pool() -> &'static Shared {
+    POOL.get_or_init(|| {
+        let n_workers = num_threads() - 1;
+        let shared: &'static Shared = Box::leak(Box::new(Shared {
+            region_lock: Mutex::new(()),
+            state: Mutex::new(RegionState { generation: 0, job: None, remaining: 0, panic: None }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            n_workers,
+        }));
+        for k in 0..n_workers {
+            std::thread::Builder::new()
+                .name(format!("ihtl-worker-{}", k + 1))
+                .spawn(move || worker_main(shared, k + 1))
+                .expect("spawning ihtl-parallel pool worker");
+        }
+        shared
+    })
+}
+
+/// Pool worker loop: park until a new generation is published, run the job
+/// under this worker's fixed index, report completion, park again. Never
+/// returns; workers die with the process.
+fn worker_main(shared: &'static Shared, idx: usize) {
+    let mut last_gen = 0u64;
+    let mut st = lock(&shared.state);
+    loop {
+        while st.generation == last_gen {
+            st = shared.start.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        last_gen = st.generation;
+        let job = st.job.expect("region published without a job");
+        drop(st);
+
+        WORKER_INDEX.with(|c| c.set(Some(idx)));
+        let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.data, idx) }));
+        WORKER_INDEX.with(|c| c.set(None));
+
+        st = lock(&shared.state);
+        if let Err(payload) = result {
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.remaining -= 1;
+        if st.remaining == 0 {
+            shared.done.notify_one();
+        }
+    }
+}
+
+/// Runs `f(worker_index)` on the caller (index 0) and every pool worker
+/// (their fixed indices `1..num_threads()`), returning when all are done.
+/// Panics from any participant are re-raised here after the region ends.
+fn run_region<F>(f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    unsafe fn call<F: Fn(usize)>(data: *const (), idx: usize) {
+        (*(data as *const F))(idx);
+    }
+    let shared = pool();
+    let region_guard = lock(&shared.region_lock);
+    {
+        let mut st = lock(&shared.state);
+        st.generation += 1;
+        st.job = Some(Job { data: f as *const F as *const (), run: call::<F> });
+        st.remaining = shared.n_workers;
+        shared.start.notify_all();
+    }
+    // The caller participates as worker 0. Its panic must not unwind past
+    // this frame while workers still borrow `f`, so it is caught and
+    // re-raised after the join below.
+    WORKER_INDEX.with(|c| c.set(Some(0)));
+    let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+    WORKER_INDEX.with(|c| c.set(None));
+
+    let mut st = lock(&shared.state);
+    while st.remaining > 0 {
+        st = shared.done.wait(st).unwrap_or_else(|e| e.into_inner());
+    }
+    st.job = None;
+    let worker_panic = st.panic.take();
+    drop(st);
+    drop(region_guard);
+    if let Err(payload) = caller_result {
+        resume_unwind(payload);
+    }
+    if let Some(payload) = worker_panic {
+        resume_unwind(payload);
+    }
+}
+
+/// Whether a region with `n_chunks` chunks should use the pool. `false`
+/// forces the sequential path (single-thread config, nested call, or
+/// nothing to share).
+fn use_pool(n_chunks: usize) -> bool {
+    n_chunks > 1 && num_threads() > 1 && current_thread_index().is_none()
+}
+
+// ---------------------------------------------------------------------------
+// Public scheduling shapes.
+// ---------------------------------------------------------------------------
+
 /// Runs `f` over `range` split into chunks of at most `grain` elements.
 /// Chunks are claimed dynamically from an atomic counter, so skewed chunk
 /// costs balance across workers. Falls back to a plain sequential loop when
@@ -75,8 +245,7 @@ where
         return;
     }
     let n_chunks = len.div_ceil(grain);
-    let workers = worker_count(n_chunks);
-    if workers == 1 {
+    if !use_pool(n_chunks) {
         let mut start = range.start;
         while start < range.end {
             let end = (start + grain).min(range.end);
@@ -86,41 +255,7 @@ where
         return;
     }
     let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for idx in 1..workers {
-            let f = &f;
-            let next = &next;
-            let range = range.clone();
-            s.spawn(move || chunk_loop(idx, range, grain, n_chunks, next, f));
-        }
-        chunk_loop(0, range.clone(), grain, n_chunks, &next, &f);
-    });
-}
-
-/// How many workers a region with `n_chunks` chunks should use: 1 forces
-/// the sequential path (single-thread config, nested call, or nothing to
-/// share).
-fn worker_count(n_chunks: usize) -> usize {
-    let nt = num_threads();
-    if nt == 1 || current_thread_index().is_some() || n_chunks <= 1 {
-        1
-    } else {
-        nt.min(n_chunks)
-    }
-}
-
-fn chunk_loop<F>(
-    idx: usize,
-    range: Range<usize>,
-    grain: usize,
-    n_chunks: usize,
-    next: &AtomicUsize,
-    f: &F,
-) where
-    F: Fn(Range<usize>) + Sync,
-{
-    WORKER_INDEX.with(|c| c.set(Some(idx)));
-    loop {
+    run_region(&|_idx: usize| loop {
         let chunk = next.fetch_add(1, Ordering::Relaxed);
         if chunk >= n_chunks {
             break;
@@ -128,8 +263,23 @@ fn chunk_loop<F>(
         let start = range.start + chunk * grain;
         let end = (start + grain).min(range.end);
         f(start..end);
+    });
+}
+
+/// Per-worker accumulator slots for [`par_map_reduce`], keyed by the
+/// distinct worker index — same safety argument as every privatised buffer
+/// in the workspace.
+struct SlotArray<'a, T>(&'a [UnsafeCell<Option<T>>]);
+unsafe impl<T: Send> Sync for SlotArray<'_, T> {}
+
+impl<T> SlotArray<'_, T> {
+    /// Accessor (rather than direct field use) so closures capture the
+    /// whole `Sync` wrapper, not the non-`Sync` slice field (edition-2021
+    /// closures capture disjoint fields).
+    #[inline]
+    fn slot(&self, i: usize) -> *mut Option<T> {
+        self.0[i].get()
     }
-    WORKER_INDEX.with(|c| c.set(None));
 }
 
 /// Maps chunks of `range` through `map` into per-worker accumulators
@@ -159,8 +309,7 @@ where
         return identity();
     }
     let n_chunks = len.div_ceil(grain);
-    let workers = worker_count(n_chunks);
-    if workers == 1 {
+    if !use_pool(n_chunks) {
         let mut acc = identity();
         let mut start = range.start;
         while start < range.end {
@@ -170,63 +319,39 @@ where
         }
         return acc;
     }
+    let slots: Vec<UnsafeCell<Option<T>>> =
+        (0..num_threads()).map(|_| UnsafeCell::new(None)).collect();
+    let shared = SlotArray(&slots);
     let next = AtomicUsize::new(0);
-    let locals: Vec<T> = std::thread::scope(|s| {
-        let handles: Vec<_> = (1..workers)
-            .map(|idx| {
-                let map = &map;
-                let fold = &fold;
-                let identity = &identity;
-                let next = &next;
-                let range = range.clone();
-                s.spawn(move || {
-                    map_reduce_loop(idx, range, grain, n_chunks, next, identity, map, fold)
-                })
-            })
-            .collect();
-        let mine =
-            map_reduce_loop(0, range.clone(), grain, n_chunks, &next, &identity, &map, &fold);
-        let mut locals = vec![mine];
-        for h in handles {
-            locals.push(h.join().expect("ihtl-parallel worker panicked"));
+    run_region(&|idx: usize| {
+        let mut acc: Option<T> = None;
+        loop {
+            let chunk = next.fetch_add(1, Ordering::Relaxed);
+            if chunk >= n_chunks {
+                break;
+            }
+            let start = range.start + chunk * grain;
+            let end = (start + grain).min(range.end);
+            let part = map(start..end);
+            acc = Some(match acc.take() {
+                Some(a) => fold(a, part),
+                None => fold(identity(), part),
+            });
         }
-        locals
+        if acc.is_some() {
+            // SAFETY: worker indices are distinct within the region, so
+            // slot `idx` is written by exactly one thread.
+            unsafe { *shared.slot(idx) = acc };
+        }
     });
+    // Reduce in fixed worker-index order for run-to-run stability given the
+    // same chunk→worker assignment.
     let mut acc = identity();
-    for local in locals {
-        acc = reduce(acc, local);
-    }
-    acc
-}
-
-#[allow(clippy::too_many_arguments)]
-fn map_reduce_loop<T, I, M, FO>(
-    idx: usize,
-    range: Range<usize>,
-    grain: usize,
-    n_chunks: usize,
-    next: &AtomicUsize,
-    identity: &I,
-    map: &M,
-    fold: &FO,
-) -> T
-where
-    I: Fn() -> T,
-    M: Fn(Range<usize>) -> T,
-    FO: Fn(T, T) -> T,
-{
-    WORKER_INDEX.with(|c| c.set(Some(idx)));
-    let mut acc = identity();
-    loop {
-        let chunk = next.fetch_add(1, Ordering::Relaxed);
-        if chunk >= n_chunks {
-            break;
+    for cell in slots {
+        if let Some(local) = cell.into_inner() {
+            acc = reduce(acc, local);
         }
-        let start = range.start + chunk * grain;
-        let end = (start + grain).min(range.end);
-        acc = fold(acc, map(start..end));
     }
-    WORKER_INDEX.with(|c| c.set(None));
     acc
 }
 
@@ -302,16 +427,30 @@ where
     });
 }
 
-/// Maps every element through `f` in parallel, preserving order.
+/// Maps every element through `f` in parallel, preserving order. Results
+/// are written directly into the output vector's storage — no intermediate
+/// `Vec<Option<U>>`, no re-collection pass.
 pub fn par_map<T, U, F>(items: &[T], grain: usize, f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
-    let mut out: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
-    par_for_each_mut(&mut out, grain, |i, slot| *slot = Some(f(&items[i])));
-    out.into_iter().map(|o| o.expect("par_map slot unfilled")).collect()
+    let len = items.len();
+    let mut out: Vec<U> = Vec::with_capacity(len);
+    let base = SharedMut(out.as_mut_ptr());
+    par_for_chunks(0..len, grain, |r| {
+        for i in r {
+            // SAFETY: chunks partition 0..len, so slot i is written exactly
+            // once, into capacity reserved above. On panic the region
+            // unwinds before `set_len`, so no uninitialised element is ever
+            // dropped (written ones leak, which is safe).
+            unsafe { base.ptr().add(i).write(f(&items[i])) };
+        }
+    });
+    // SAFETY: the region completed, so all `len` slots are initialised.
+    unsafe { out.set_len(len) };
+    out
 }
 
 /// Overwrites every element with `value`, in parallel — the bulk
@@ -328,7 +467,7 @@ mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
+    use std::sync::{Barrier, Mutex};
 
     #[test]
     fn num_threads_is_positive_and_stable() {
@@ -403,29 +542,26 @@ mod tests {
 
     #[test]
     fn worker_indices_are_distinct_and_in_range() {
-        // With one configured thread the region runs inline on the caller
-        // and no worker identity exists; with more, every index reported
-        // inside the region must fall in 0..num_threads().
+        // A barrier sized to the full worker complement (pool + caller)
+        // releases only once every worker is simultaneously inside the
+        // region — each must therefore hold a distinct index, and none may
+        // process two chunks (a blocked worker cannot claim another). With
+        // one configured thread the region runs inline with no identity.
         let nt = num_threads();
-        let seen = Mutex::new(HashSet::new());
-        let hits = AtomicUsize::new(0);
-        par_for_chunks(0..nt * 8, 1, |_| {
-            hits.fetch_add(1, Ordering::Relaxed);
-            if nt == 1 {
-                assert_eq!(current_thread_index(), None);
-            } else {
-                let idx = current_thread_index().expect("no index inside region");
-                assert!(idx < nt, "index {idx} out of 0..{nt}");
-                seen.lock().unwrap().insert(idx);
-                // Hold the worker briefly so concurrent workers overlap and
-                // report their (distinct, thread-local) indices.
-                std::thread::sleep(std::time::Duration::from_millis(1));
-            }
-        });
-        assert_eq!(hits.load(Ordering::Relaxed), nt * 8);
-        if nt > 1 {
-            assert!(!seen.lock().unwrap().is_empty());
+        if nt == 1 {
+            par_for_chunks(0..4, 1, |_| assert_eq!(current_thread_index(), None));
+            return;
         }
+        let barrier = Barrier::new(nt);
+        let seen = Mutex::new(HashSet::new());
+        par_for_chunks(0..nt, 1, |r| {
+            let idx = current_thread_index().expect("no index inside region");
+            assert!(idx < nt, "index {idx} out of 0..{nt}");
+            assert!(seen.lock().unwrap().insert(idx), "index {idx} observed twice");
+            barrier.wait();
+            let _ = r;
+        });
+        assert_eq!(seen.lock().unwrap().len(), nt);
     }
 
     #[test]
@@ -443,6 +579,60 @@ mod tests {
             assert_eq!(inner_hits.load(Ordering::Relaxed), 16);
             assert_eq!(current_thread_index(), outer);
         });
+    }
+
+    #[test]
+    fn pool_survives_many_regions() {
+        // Thousands of back-to-back regions reuse the same parked workers;
+        // every region must still cover its range exactly.
+        for round in 0..2000usize {
+            let total = AtomicUsize::new(0);
+            par_for_chunks(0..64, 8, |r| {
+                total.fetch_add(r.len(), Ordering::Relaxed);
+            });
+            assert_eq!(total.load(Ordering::Relaxed), 64, "round {round}");
+        }
+    }
+
+    #[test]
+    fn concurrent_top_level_callers_serialise_safely() {
+        // Multiple non-pool threads driving regions at once must not
+        // deadlock or mix worker indices (regions are serialised by the
+        // pool's region lock).
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for _ in 0..50 {
+                        let total = AtomicUsize::new(0);
+                        par_for_chunks(0..256, 16, |r| {
+                            total.fetch_add(r.sum::<usize>(), Ordering::Relaxed);
+                        });
+                        assert_eq!(total.load(Ordering::Relaxed), 256 * 255 / 2, "caller {t}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn panics_propagate_and_pool_survives() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            par_for_chunks(0..64, 1, |r| {
+                if r.start == 13 {
+                    panic!("deliberate test panic");
+                }
+            });
+        }));
+        assert!(result.is_err(), "panic must propagate to the caller");
+        // The pool must keep working after a panicked region.
+        let total = AtomicUsize::new(0);
+        par_for_chunks(0..100, 7, |r| {
+            total.fetch_add(r.len(), Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 100);
     }
 
     #[test]
@@ -466,10 +656,43 @@ mod tests {
     }
 
     #[test]
+    fn map_reduce_non_commutative_visibility() {
+        // Every chunk's contribution must be reduced exactly once even when
+        // some workers never claim a chunk (more workers than chunks).
+        let total = par_map_reduce(
+            0..3,
+            1,
+            Vec::new,
+            |r| r.collect::<Vec<usize>>(),
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+            |mut a, b| {
+                a.extend(b);
+                a
+            },
+        );
+        let mut sorted = total;
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
     fn par_map_preserves_order() {
         let items: Vec<usize> = (0..5000).collect();
         let mapped = par_map(&items, 7, |&x| x * 2);
         assert!(mapped.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn par_map_with_non_copy_values() {
+        // Direct writes into uninitialised storage must handle Drop types.
+        let items: Vec<usize> = (0..1000).collect();
+        let mapped = par_map(&items, 13, |&x| format!("v{x}"));
+        assert_eq!(mapped.len(), 1000);
+        assert_eq!(mapped[0], "v0");
+        assert_eq!(mapped[999], "v999");
     }
 
     #[test]

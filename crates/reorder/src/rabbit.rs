@@ -72,7 +72,7 @@ pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
                 }
                 let dq = w as f64 / two_m
                     - (weight[c as usize] as f64 * weight[u as usize] as f64) / (two_m * two_m);
-                if dq > 0.0 && best.map_or(true, |(bu, b)| dq > b || (dq == b && u < bu)) {
+                if dq > 0.0 && best.is_none_or(|(bu, b)| dq > b || (dq == b && u < bu)) {
                     best = Some((u, dq));
                 }
             }

@@ -9,6 +9,8 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use ihtl_graph::VertexId;
+
 /// A commutative monoid over `f64`.
 ///
 /// Implementations must satisfy, for all `a`, `b`, `c`:
@@ -22,6 +24,24 @@ pub trait Monoid: Copy + Send + Sync + 'static {
 
     /// The reduction operator.
     fn combine(a: f64, b: f64) -> f64;
+
+    /// Folds `x[u]` over every `u` in `ns` into `acc`, in list order — the
+    /// inner loop of every pull-shaped kernel, hoisted into the trait so
+    /// [`Add`] can override it with an unrolled multi-accumulator version.
+    ///
+    /// # Safety
+    /// Every id in `ns` must be `< x.len()`. Kernels obtain this from the
+    /// CSR construction invariant (`target < n_cols`) plus an entry assert
+    /// that `x` spans the column universe; debug builds re-check per access.
+    #[inline]
+    unsafe fn fold_neighbours(acc: f64, ns: &[VertexId], x: &[f64]) -> f64 {
+        let mut acc = acc;
+        for &u in ns {
+            debug_assert!((u as usize) < x.len());
+            acc = Self::combine(acc, *x.get_unchecked(u as usize));
+        }
+        acc
+    }
 
     /// Atomically folds `val` into the `f64` stored (bitwise) in `slot`.
     /// Used by the atomic push baseline; a CAS loop over the bit pattern.
@@ -54,6 +74,12 @@ impl Monoid for Add {
     fn combine(a: f64, b: f64) -> f64 {
         a + b
     }
+
+    // The default in-order `fold_neighbours` is kept deliberately: adjacency
+    // lists average only a handful of edges on the benchmarked graphs, so
+    // multi-accumulator unrolling (tried, measured) loses more to remainder
+    // handling and extra combines than it gains in add-latency overlap, and
+    // the loads — the real bottleneck — already overlap out of order.
 }
 
 /// Minimum with identity `+∞` — connected components, SSSP.

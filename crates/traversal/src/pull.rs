@@ -16,11 +16,8 @@ pub fn spmv_pull_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
     for (v, ins) in g.csc().iter_rows() {
-        let mut acc = M::identity();
-        for &u in ins {
-            acc = M::combine(acc, x[u as usize]);
-        }
-        y[v as usize] = acc;
+        // SAFETY: CSC targets are < n_cols == n_vertices == x.len().
+        y[v as usize] = unsafe { M::fold_neighbours(M::identity(), ins, x) };
     }
 }
 
@@ -58,12 +55,39 @@ pub fn spmv_pull_chunked<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], chunk: 
 }
 
 fn pull_range<M: Monoid>(csc: &Csr, x: &[f64], range: VertexRange, out: &mut [f64]) {
-    for v in range.iter() {
-        let mut acc = M::identity();
-        for &u in csc.neighbours(v) {
-            acc = M::combine(acc, x[u as usize]);
+    pull_rows_into::<M>(csc, x, range, out);
+}
+
+/// Folds rows `[range.start, range.end)` of `csc` over `x` into `out`
+/// (`out[i]` receives row `range.start + i`) — the shared inner kernel of
+/// every pull-shaped phase, including iHTL's sparse block. Bounds are
+/// checked once per range here; the per-edge loop runs unchecked on the
+/// structural invariants `Csr::from_parts` validates (monotone offsets
+/// ending at `targets.len()`, targets `< n_cols`).
+///
+/// Deliberately a plain in-order loop: software prefetch and unrolled
+/// multi-accumulator variants were tried and measured slower — the graphs
+/// are LLC-resident, so hint instructions just contend with the gather
+/// loads on the load ports, and short adjacency lists pay more remainder
+/// overhead than latency they hide.
+pub fn pull_rows_into<M: Monoid>(csc: &Csr, x: &[f64], range: VertexRange, out: &mut [f64]) {
+    assert!(range.end as usize <= csc.n_rows());
+    assert!(csc.n_cols() <= x.len());
+    assert_eq!(out.len(), (range.end - range.start) as usize);
+    let offsets = csc.offsets();
+    let targets = csc.targets();
+    // Rows are consecutive, so each row's end offset is the next row's
+    // start — carry it forward instead of re-loading both bounds per row.
+    let mut s = offsets[range.start as usize] as usize;
+    for (v, slot) in range.iter().zip(out.iter_mut()) {
+        // SAFETY: `v + 1 <= range.end <= n_rows` and offsets are monotone
+        // ending at `targets.len()`; targets are `< n_cols <= x.len()`
+        // (asserted above), covering `fold_neighbours`.
+        unsafe {
+            let e = *offsets.get_unchecked(v as usize + 1) as usize;
+            *slot = M::fold_neighbours(M::identity(), targets.get_unchecked(s..e), x);
+            s = e;
         }
-        out[(v - range.start) as usize] = acc;
     }
 }
 
@@ -171,10 +195,9 @@ pub fn spmv_pull_segmented<M: Monoid>(seg: &SegmentedCsc, x: &[f64], y: &mut [f6
                     continue;
                 }
                 let slot = &slots[seg.dsts[row as usize] as usize];
-                let mut acc = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
-                for &u in ins {
-                    acc = M::combine(acc, x[u as usize]);
-                }
+                let cur = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
+                // SAFETY: segment CSR targets are < n_cols == x.len().
+                let acc = unsafe { M::fold_neighbours(cur, ins, x) };
                 slot.store(acc.to_bits(), std::sync::atomic::Ordering::Relaxed);
             }
         });

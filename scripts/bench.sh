@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Refreshes the machine-readable perf trajectory: runs the bench_spmv
+# binary over the fixed R-MAT suite and writes results/BENCH_spmv.json,
+# embedding the checked-in seed capture (results/BENCH_spmv.seed.json) as
+# the baseline so the file carries its own before/after speedup.
+#
+# Usage: scripts/bench.sh [--samples N]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SAMPLES=7
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --samples) SAMPLES="$2"; shift 2 ;;
+    *) echo "unknown argument: $1" >&2; exit 2 ;;
+  esac
+done
+
+echo "==> cargo build --release --offline -p ihtl-bench --bin bench_spmv"
+cargo build --release --offline -p ihtl-bench --bin bench_spmv
+
+echo "==> bench_spmv (samples=$SAMPLES) -> results/BENCH_spmv.json"
+./target/release/bench_spmv \
+  --baseline results/BENCH_spmv.seed.json \
+  --out results/BENCH_spmv.json \
+  --samples "$SAMPLES" >/dev/null
+
+echo "OK: wrote results/BENCH_spmv.json"

@@ -20,6 +20,9 @@ IHTL_THREADS=4 cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> cargo clippy --workspace --offline -- -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline --workspace
 

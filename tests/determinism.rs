@@ -1,0 +1,170 @@
+//! Determinism guarantees of the iHTL execution path.
+//!
+//! Two families of tests:
+//!
+//! 1. **Bitwise determinism across thread counts.** Each test compares the
+//!    parallel iHTL result against a *schedule-independent* sequential
+//!    reference, on inputs where every floating-point reduction is exact
+//!    (integer-valued contributions for `Add`, arbitrary values for `Min`,
+//!    degree-1 graphs for PageRank). Because the reference never depends on
+//!    the thread count, a bitwise match under `IHTL_THREADS=1`, the default,
+//!    and `IHTL_THREADS=4` (scripts/verify.sh runs the suite under all
+//!    three) proves the results are bitwise identical across thread counts.
+//! 2. **Dirty-segment reset/merge equivalence.** A seeded property test
+//!    that reusing `ThreadBuffers` across iterations (lazy dirty-segment
+//!    reset, merge skipping clean segments) matches the full-reset
+//!    reference (fresh buffers every iteration) and the serial pull kernel
+//!    on random R-MAT graphs.
+
+mod common;
+
+use common::{assert_close, run_cases};
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_core::{IhtlConfig, IhtlGraph};
+use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_graph::Graph;
+use ihtl_traversal::pull::spmv_pull_serial;
+use ihtl_traversal::{Add, Min};
+
+/// A social R-MAT graph small enough for the test suite but with real skew.
+fn rmat_graph(scale: u32, target_edges: usize, seed: u64) -> Graph {
+    let edges = rmat_edges(scale, target_edges, RmatParams::social(), seed);
+    Graph::from_edges(1usize << scale, &edges)
+}
+
+/// Forces a hub/sparse mix and several flipped blocks on small graphs.
+fn small_cfg() -> IhtlConfig {
+    IhtlConfig { cache_budget_bytes: 256, ..IhtlConfig::default() }
+}
+
+fn assert_bitwise(a: &[f64], b: &[f64], label: &str) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{label}: index {i}: {x} vs {y}");
+    }
+}
+
+/// Integer-valued `x`: every partial sum is an exact small integer, so any
+/// grouping of the additions (any chunk→worker assignment, any merge order)
+/// yields the same bits.
+#[test]
+fn spmv_add_bitwise_matches_serial_reference() {
+    let g = rmat_graph(10, 4_000, 42);
+    let n = g.n_vertices();
+    let ih = IhtlGraph::build(&g, &small_cfg());
+    assert!(ih.n_blocks() >= 1, "test graph must exercise the hub path");
+    let mut bufs = ih.new_buffers();
+    // Several iterations over the SAME buffers with changing x: stale
+    // segments from iteration k must never surface in iteration k+1.
+    for iter in 0..3u64 {
+        let x: Vec<f64> =
+            (0..n).map(|i| ((i as u64).wrapping_mul(2654435761) % 1000 + iter) as f64).collect();
+        let mut reference = vec![0.0; n];
+        spmv_pull_serial::<Add>(&g, &x, &mut reference);
+
+        let x_new = ih.to_new_order(&x);
+        let mut y = vec![f64::NAN; n];
+        ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+        assert_bitwise(&ih.to_old_order(&y), &reference, &format!("add iter {iter}"));
+    }
+}
+
+/// `min` is exact on any values: the result is bitwise independent of how
+/// the comparisons are grouped.
+#[test]
+fn spmv_min_bitwise_matches_serial_reference() {
+    let g = rmat_graph(10, 4_000, 43);
+    let n = g.n_vertices();
+    let ih = IhtlGraph::build(&g, &small_cfg());
+    let mut bufs = ih.new_buffers();
+    for iter in 0..3 {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 31 + iter) % 97) as f64 * 0.125 + 0.1).collect();
+        let mut reference = vec![0.0; n];
+        spmv_pull_serial::<Min>(&g, &x, &mut reference);
+
+        let x_new = ih.to_new_order(&x);
+        let mut y = vec![f64::NAN; n];
+        ih.spmv::<Min>(&x_new, &mut y, &mut bufs);
+        assert_bitwise(&ih.to_old_order(&y), &reference, &format!("min iter {iter}"));
+    }
+}
+
+/// PageRank on a permutation graph (every in/out-degree is 1): each SpMV
+/// sum has exactly one term, so the whole run is exact arithmetic and must
+/// be bitwise identical between the iHTL engine (hub buffers + merge — the
+/// default config makes every vertex a hub here) and the
+/// schedule-independent pull engine, at any thread count.
+#[test]
+fn pagerank_bitwise_on_permutation_graph() {
+    let n = 256u32;
+    let edges: Vec<(u32, u32)> = (0..n).map(|v| (v, (v * 17 + 3) % n)).collect();
+    let g = Graph::from_edges(n as usize, &edges);
+    let cfg = IhtlConfig::default();
+    let ih = IhtlGraph::build(&g, &cfg);
+    assert_eq!(ih.n_hubs(), n as usize, "every vertex must take the hub path");
+
+    let mut pull = build_engine(EngineKind::PullGraphGrind, &g, &cfg);
+    let reference = pagerank(pull.as_mut(), 20).ranks;
+
+    let mut ihtl = build_engine(EngineKind::Ihtl, &g, &cfg);
+    let run1 = pagerank(ihtl.as_mut(), 20).ranks;
+    assert_bitwise(&run1, &reference, "ihtl vs pull");
+    // Re-running on the same engine (reused buffers) must not drift.
+    let run2 = pagerank(ihtl.as_mut(), 20).ranks;
+    assert_bitwise(&run2, &reference, "ihtl rerun");
+}
+
+/// Seeded property test: dirty-range reset/merge over reused buffers
+/// matches both fresh buffers (the full-reset reference) and the serial
+/// pull kernel on random R-MAT graphs, across repeated iterations with
+/// changing inputs.
+#[test]
+fn dirty_range_reuse_matches_full_reset_reference() {
+    run_cases(24, 0xD127, |rng, case| {
+        let scale = 7 + (case % 3) as u32;
+        let target_edges = 300 + rng.gen_index(2000);
+        let g = rmat_graph(scale, target_edges, 0xBEEF ^ case as u64);
+        let n = g.n_vertices();
+        let cfg = IhtlConfig { cache_budget_bytes: 64 + 64 * (case % 4), ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let mut reused = ih.new_buffers();
+        for iter in 0..4 {
+            let shift = rng.gen_index(50) as f64;
+            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + iter) % 23) as f64 + shift).collect();
+            let x_new = ih.to_new_order(&x);
+
+            let mut y_reused = vec![f64::NAN; n];
+            ih.spmv::<Add>(&x_new, &mut y_reused, &mut reused);
+
+            // Full-reset reference: brand-new buffers, every segment stale.
+            let mut fresh = ih.new_buffers();
+            let mut y_fresh = vec![f64::NAN; n];
+            ih.spmv::<Add>(&x_new, &mut y_fresh, &mut fresh);
+
+            let mut y_serial = vec![0.0; n];
+            spmv_pull_serial::<Add>(&g, &x, &mut y_serial);
+
+            let back = ih.to_old_order(&y_reused);
+            assert_close(
+                &back,
+                &ih.to_old_order(&y_fresh),
+                1e-9,
+                &format!("case {case} it {iter} fresh"),
+            );
+            assert_close(&back, &y_serial, 1e-9, &format!("case {case} it {iter} serial"));
+
+            // Min reuses the very same buffers right after Add — stamps,
+            // not stale contents, must gate what the merge reads.
+            let mut y_min = vec![f64::NAN; n];
+            ih.spmv::<Min>(&x_new, &mut y_min, &mut reused);
+            let mut y_min_serial = vec![0.0; n];
+            spmv_pull_serial::<Min>(&g, &x, &mut y_min_serial);
+            assert_bitwise(
+                &ih.to_old_order(&y_min),
+                &y_min_serial,
+                &format!("case {case} it {iter} min"),
+            );
+        }
+    });
+}
