@@ -5,6 +5,17 @@
 //! scratch, and exposes object-safe `spmv_add` / `spmv_min` so the analytic
 //! layer can iterate over `dyn SpmvEngine`s uniformly — mirroring how the
 //! paper runs the same PageRank in every framework.
+//!
+//! Engines that keep the input graph around are generic over
+//! `Borrow<Graph>`: batch callers pass `&Graph` ([`build_engine`]) and pay
+//! no refcount, while long-lived services pass `Arc<Graph>`
+//! ([`build_engine_shared`]) so one immutable graph snapshot serves many
+//! concurrent engine instances. The expensive iHTL preprocessing is shared
+//! the same way: [`ihtl_engine_from_shared`] wraps an existing
+//! `Arc<IhtlGraph>` with fresh per-engine scratch buffers.
+
+use std::borrow::Borrow;
+use std::sync::Arc;
 
 use ihtl_core::{IhtlConfig, IhtlGraph, ThreadBuffers};
 use ihtl_graph::Graph;
@@ -90,47 +101,71 @@ pub trait SpmvEngine {
     }
 }
 
-/// Builds the engine of the given kind over `g`. The construction cost is
-/// the engine's preprocessing (what Table 2 prices for iHTL; the blocked
+/// Builds the engine of the given kind over `g`, generic in how the graph
+/// is held (`&Graph` or `Arc<Graph>`). The construction cost is the
+/// engine's preprocessing (what Table 2 prices for iHTL; the blocked
 /// baselines pay analogous costs at load time).
-pub fn build_engine<'g>(
+fn build_engine_over<'g, G>(
     kind: EngineKind,
-    g: &'g Graph,
+    g: G,
     ihtl_cfg: &IhtlConfig,
-) -> Box<dyn SpmvEngine + 'g> {
+) -> Box<dyn SpmvEngine + Send + 'g>
+where
+    G: Borrow<Graph> + Send + 'g,
+{
+    let gr = g.borrow();
     let out_degrees: Vec<u32> =
-        (0..g.n_vertices() as u32).map(|v| g.out_degree(v) as u32).collect();
+        (0..gr.n_vertices() as u32).map(|v| gr.out_degree(v) as u32).collect();
     match kind {
         EngineKind::PullGraphGrind => Box::new(PullGraphGrind { g, out_degrees }),
         EngineKind::PullGraphIt => {
             // Segment width sized so a segment's source data fits the same
             // cache budget iHTL uses (Cagra's sizing rule).
             let width = (ihtl_cfg.cache_budget_bytes / ihtl_cfg.vertex_data_bytes).max(1);
-            Box::new(PullGraphIt { seg: SegmentedCsc::new(g, width), out_degrees })
+            Box::new(PullGraphIt { seg: SegmentedCsc::new(gr, width), out_degrees })
         }
         EngineKind::PullGalois => Box::new(PullGalois { g, out_degrees, chunk: 256 }),
         EngineKind::PushGraphGrind => {
             let parts = ihtl_traversal::pull::default_parts();
-            Box::new(PushGraphGrind { part: DstPartitionedCsr::new(g, parts), out_degrees })
+            Box::new(PushGraphGrind { part: DstPartitionedCsr::new(gr, parts), out_degrees })
         }
         EngineKind::PushGraphIt => Box::new(PushGraphIt { g, out_degrees }),
         EngineKind::Ihtl => {
-            let ih = IhtlGraph::build(g, ihtl_cfg);
-            let bufs = ih.new_buffers();
-            let out_new = ih.out_degree_new().to_vec();
-            Box::new(Ihtl { ih, bufs, out_degrees: out_new })
+            let ih = Arc::new(IhtlGraph::build(gr, ihtl_cfg));
+            Box::new(ihtl_engine_from_shared(ih))
         }
     }
 }
 
-struct PullGraphGrind<'g> {
+/// Builds the engine of the given kind borrowing `g` for the engine's
+/// lifetime — the batch/bench entry point.
+pub fn build_engine<'g>(
+    kind: EngineKind,
     g: &'g Graph,
+    ihtl_cfg: &IhtlConfig,
+) -> Box<dyn SpmvEngine + Send + 'g> {
+    build_engine_over(kind, g, ihtl_cfg)
+}
+
+/// Builds an engine that co-owns the graph through an `Arc`, so the result
+/// is `'static` and can be pooled in a long-lived service while the same
+/// immutable snapshot backs other engines and direct readers.
+pub fn build_engine_shared(
+    kind: EngineKind,
+    g: Arc<Graph>,
+    ihtl_cfg: &IhtlConfig,
+) -> Box<dyn SpmvEngine + Send> {
+    build_engine_over(kind, g, ihtl_cfg)
+}
+
+struct PullGraphGrind<G> {
+    g: G,
     out_degrees: Vec<u32>,
 }
 
-impl SpmvEngine for PullGraphGrind<'_> {
+impl<G: Borrow<Graph> + Send> SpmvEngine for PullGraphGrind<G> {
     fn n_vertices(&self) -> usize {
-        self.g.n_vertices()
+        self.g.borrow().n_vertices()
     }
     fn label(&self) -> &'static str {
         EngineKind::PullGraphGrind.label()
@@ -139,10 +174,10 @@ impl SpmvEngine for PullGraphGrind<'_> {
         &self.out_degrees
     }
     fn spmv_add(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_pull::<Add>(self.g, x, y);
+        spmv_pull::<Add>(self.g.borrow(), x, y);
     }
     fn spmv_min(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_pull::<Min>(self.g, x, y);
+        spmv_pull::<Min>(self.g.borrow(), x, y);
     }
 }
 
@@ -169,15 +204,15 @@ impl SpmvEngine for PullGraphIt {
     }
 }
 
-struct PullGalois<'g> {
-    g: &'g Graph,
+struct PullGalois<G> {
+    g: G,
     out_degrees: Vec<u32>,
     chunk: usize,
 }
 
-impl SpmvEngine for PullGalois<'_> {
+impl<G: Borrow<Graph> + Send> SpmvEngine for PullGalois<G> {
     fn n_vertices(&self) -> usize {
-        self.g.n_vertices()
+        self.g.borrow().n_vertices()
     }
     fn label(&self) -> &'static str {
         EngineKind::PullGalois.label()
@@ -186,10 +221,10 @@ impl SpmvEngine for PullGalois<'_> {
         &self.out_degrees
     }
     fn spmv_add(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_pull_chunked::<Add>(self.g, x, y, self.chunk);
+        spmv_pull_chunked::<Add>(self.g.borrow(), x, y, self.chunk);
     }
     fn spmv_min(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_pull_chunked::<Min>(self.g, x, y, self.chunk);
+        spmv_pull_chunked::<Min>(self.g.borrow(), x, y, self.chunk);
     }
 }
 
@@ -216,14 +251,14 @@ impl SpmvEngine for PushGraphGrind {
     }
 }
 
-struct PushGraphIt<'g> {
-    g: &'g Graph,
+struct PushGraphIt<G> {
+    g: G,
     out_degrees: Vec<u32>,
 }
 
-impl SpmvEngine for PushGraphIt<'_> {
+impl<G: Borrow<Graph> + Send> SpmvEngine for PushGraphIt<G> {
     fn n_vertices(&self) -> usize {
-        self.g.n_vertices()
+        self.g.borrow().n_vertices()
     }
     fn label(&self) -> &'static str {
         EngineKind::PushGraphIt.label()
@@ -232,17 +267,22 @@ impl SpmvEngine for PushGraphIt<'_> {
         &self.out_degrees
     }
     fn spmv_add(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_push_atomic::<Add>(self.g, x, y);
+        spmv_push_atomic::<Add>(self.g.borrow(), x, y);
     }
     fn spmv_min(&mut self, x: &[f64], y: &mut [f64]) {
-        spmv_push_atomic::<Min>(self.g, x, y);
+        spmv_push_atomic::<Min>(self.g.borrow(), x, y);
     }
 }
 
 /// The iHTL engine. `x`/`y` live in the iHTL (new) vertex order; the
 /// `to/from_original_order` hooks translate at the analytic boundary.
+///
+/// The preprocessed graph is held behind an `Arc` so the one-time
+/// flipped-block construction (the cost the paper's §4.2 amortises) is
+/// shared by every engine instance serving it; only the per-thread hub
+/// buffers are private per engine.
 pub struct Ihtl {
-    pub ih: IhtlGraph,
+    pub ih: Arc<IhtlGraph>,
     bufs: ThreadBuffers,
     out_degrees: Vec<u32>,
 }
@@ -290,7 +330,14 @@ impl SpmvEngine for Ihtl {
 
 /// Builds the iHTL engine concretely (callers needing breakdown access).
 pub fn build_ihtl_engine(g: &Graph, cfg: &IhtlConfig) -> Ihtl {
-    let ih = IhtlGraph::build(g, cfg);
+    ihtl_engine_from_shared(Arc::new(IhtlGraph::build(g, cfg)))
+}
+
+/// Wraps an already-preprocessed (possibly disk-loaded) iHTL graph in an
+/// engine with fresh scratch buffers. Many engines can share one
+/// `Arc<IhtlGraph>`, paying the paper's Table 2 preprocessing cost once per
+/// dataset rather than once per request.
+pub fn ihtl_engine_from_shared(ih: Arc<IhtlGraph>) -> Ihtl {
     let bufs = ih.new_buffers();
     let out_degrees = ih.out_degree_new().to_vec();
     Ihtl { ih, bufs, out_degrees }

@@ -1,0 +1,219 @@
+//! Job dispatch: one entry point for every analytic this crate implements.
+//!
+//! Callers (the serving layer, harness binaries) describe work as a
+//! [`JobSpec`] value and run it against any `dyn SpmvEngine` — replacing
+//! the per-binary glue that used to call each analytic's function directly.
+//! The output is uniform (a value vector in original vertex order, a round
+//! count, compute seconds), which is what a wire protocol or a results
+//! table needs regardless of the analytic.
+
+use std::time::Instant;
+
+use ihtl_graph::Graph;
+
+use crate::bfs::bfs;
+use crate::components::propagate_components;
+use crate::engine::SpmvEngine;
+use crate::pagerank::pagerank;
+use crate::spmv::spmv_iterations;
+use crate::sssp::sssp;
+
+/// A description of one analytics job, independent of the engine that will
+/// run it.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobSpec {
+    /// PageRank for a fixed number of iterations (the paper's §4.1
+    /// evaluation application).
+    PageRank { iters: usize },
+    /// Bare iterated sum-SpMV from `x0 = 1` (§2.2's microbenchmark).
+    SpmvSum { iters: usize },
+    /// Unweighted Bellman–Ford from `source`.
+    Sssp { source: u32, max_rounds: usize },
+    /// Min-label propagation. The engine must have been built over a
+    /// symmetrized graph for weakly-connected-component semantics.
+    Components { max_rounds: usize },
+    /// Direction-optimizing BFS from `source` — runs on the raw graph, not
+    /// an SpMV engine.
+    Bfs { source: u32 },
+}
+
+impl JobSpec {
+    /// Stable lowercase name (wire protocol, cache keys, reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobSpec::PageRank { .. } => "pagerank",
+            JobSpec::SpmvSum { .. } => "spmv",
+            JobSpec::Sssp { .. } => "sssp",
+            JobSpec::Components { .. } => "cc",
+            JobSpec::Bfs { .. } => "bfs",
+        }
+    }
+
+    /// Canonical parameter string: equal specs produce equal strings, so it
+    /// can key a result cache.
+    pub fn canonical(&self) -> String {
+        match self {
+            JobSpec::PageRank { iters } => format!("pagerank:iters={iters}"),
+            JobSpec::SpmvSum { iters } => format!("spmv:iters={iters}"),
+            JobSpec::Sssp { source, max_rounds } => {
+                format!("sssp:source={source}:max_rounds={max_rounds}")
+            }
+            JobSpec::Components { max_rounds } => format!("cc:max_rounds={max_rounds}"),
+            JobSpec::Bfs { source } => format!("bfs:source={source}"),
+        }
+    }
+
+    /// Whether this job must run on an engine built over the symmetrized
+    /// graph (weak connectivity) rather than the directed one.
+    pub fn needs_symmetrized(&self) -> bool {
+        matches!(self, JobSpec::Components { .. })
+    }
+
+    /// Whether this job runs on the raw [`Graph`] rather than an engine.
+    pub fn needs_raw_graph(&self) -> bool {
+        matches!(self, JobSpec::Bfs { .. })
+    }
+}
+
+/// Uniform result of a dispatched job.
+#[derive(Clone, Debug)]
+pub struct JobOutput {
+    /// Per-vertex result in *original* vertex order: ranks (PageRank), SpMV
+    /// values, distances (SSSP; unreachable = +∞), component labels, or BFS
+    /// levels (unreachable = +∞).
+    pub values: Vec<f64>,
+    /// Iterations / propagation rounds / BFS levels executed.
+    pub rounds: usize,
+    /// Compute wall-clock seconds (excludes queueing; the caller measures
+    /// end-to-end latency separately).
+    pub seconds: f64,
+}
+
+/// Runs `spec` on `engine` (and `graph` for raw-graph jobs). Errors are
+/// returned as strings suitable for a wire-protocol `error` field.
+pub fn run_job(
+    engine: &mut dyn SpmvEngine,
+    graph: Option<&Graph>,
+    spec: &JobSpec,
+) -> Result<JobOutput, String> {
+    let n = engine.n_vertices();
+    let check_source = |s: u32| {
+        if (s as usize) < n {
+            Ok(())
+        } else {
+            Err(format!("source vertex {s} out of range (n = {n})"))
+        }
+    };
+    let t = Instant::now();
+    match *spec {
+        JobSpec::PageRank { iters } => {
+            let run = pagerank(engine, iters);
+            Ok(JobOutput { values: run.ranks, rounds: iters, seconds: t.elapsed().as_secs_f64() })
+        }
+        JobSpec::SpmvSum { iters } => {
+            let x0 = vec![1.0f64; n];
+            let run = spmv_iterations(engine, &x0, iters);
+            Ok(JobOutput { values: run.values, rounds: iters, seconds: t.elapsed().as_secs_f64() })
+        }
+        JobSpec::Sssp { source, max_rounds } => {
+            check_source(source)?;
+            let run = sssp(engine, source, max_rounds);
+            Ok(JobOutput {
+                values: run.dist,
+                rounds: run.rounds,
+                seconds: t.elapsed().as_secs_f64(),
+            })
+        }
+        JobSpec::Components { max_rounds } => {
+            let run = propagate_components(engine, max_rounds);
+            Ok(JobOutput {
+                values: run.labels.iter().map(|&l| l as f64).collect(),
+                rounds: run.rounds,
+                seconds: t.elapsed().as_secs_f64(),
+            })
+        }
+        JobSpec::Bfs { source } => {
+            let g = graph.ok_or("bfs requires the raw graph (unavailable for this dataset)")?;
+            check_source(source)?;
+            let run = bfs(g, source);
+            let values = run
+                .level
+                .iter()
+                .map(|&l| if l == u32::MAX { f64::INFINITY } else { l as f64 })
+                .collect();
+            Ok(JobOutput {
+                values,
+                rounds: run.bottom_up_levels.len(),
+                seconds: t.elapsed().as_secs_f64(),
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::symmetrize;
+    use crate::engine::{build_engine, EngineKind};
+    use ihtl_core::IhtlConfig;
+    use ihtl_graph::graph::paper_example_graph;
+
+    fn cfg() -> IhtlConfig {
+        IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() }
+    }
+
+    #[test]
+    fn dispatch_matches_direct_calls() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let direct = crate::pagerank::pagerank(e.as_mut(), 10).ranks;
+        let mut e2 = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let out = run_job(e2.as_mut(), Some(&g), &JobSpec::PageRank { iters: 10 }).unwrap();
+        assert_eq!(direct, out.values);
+        assert_eq!(out.rounds, 10);
+    }
+
+    #[test]
+    fn every_spec_runs_on_every_engine() {
+        let g = paper_example_graph();
+        let sym = symmetrize(&g);
+        let specs = [
+            JobSpec::PageRank { iters: 5 },
+            JobSpec::SpmvSum { iters: 3 },
+            JobSpec::Sssp { source: 0, max_rounds: 16 },
+            JobSpec::Components { max_rounds: 16 },
+            JobSpec::Bfs { source: 0 },
+        ];
+        for kind in EngineKind::all() {
+            for spec in &specs {
+                let base = if spec.needs_symmetrized() { &sym } else { &g };
+                let mut e = build_engine(kind, base, &cfg());
+                let out = run_job(e.as_mut(), Some(base), spec).unwrap();
+                assert_eq!(out.values.len(), base.n_vertices(), "{spec:?} on {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_without_graph_errors() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        assert!(run_job(e.as_mut(), None, &JobSpec::Bfs { source: 0 }).is_err());
+    }
+
+    #[test]
+    fn out_of_range_source_errors() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let r = run_job(e.as_mut(), Some(&g), &JobSpec::Sssp { source: 999, max_rounds: 4 });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn canonical_strings_are_distinct_and_stable() {
+        let a = JobSpec::PageRank { iters: 20 }.canonical();
+        let b = JobSpec::PageRank { iters: 21 }.canonical();
+        assert_ne!(a, b);
+        assert_eq!(a, "pagerank:iters=20");
+    }
+}

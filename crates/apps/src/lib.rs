@@ -19,10 +19,14 @@
 pub mod bfs;
 pub mod components;
 pub mod engine;
+pub mod jobs;
 pub mod pagerank;
 pub mod spmv;
 pub mod sssp;
 pub mod triangles;
 
-pub use engine::{EngineKind, SpmvEngine};
+pub use engine::{
+    build_engine, build_engine_shared, ihtl_engine_from_shared, EngineKind, SpmvEngine,
+};
+pub use jobs::{run_job, JobOutput, JobSpec};
 pub use pagerank::{pagerank, PageRankRun};

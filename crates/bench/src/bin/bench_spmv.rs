@@ -17,6 +17,7 @@ use ihtl_apps::pagerank::pagerank;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_graph::Graph;
+use ihtl_serve::argv::{parse_or_exit, FlagSpec};
 use ihtl_traversal::pull::spmv_pull;
 use ihtl_traversal::Add;
 
@@ -233,25 +234,35 @@ fn render_json(results: &[DatasetResult], samples: usize, baseline: Option<&str>
     out
 }
 
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "out",
+        value: Some("PATH"),
+        help: "output JSON path (default results/BENCH_spmv.json)",
+    },
+    FlagSpec {
+        name: "baseline",
+        value: Some("PATH"),
+        help: "seed capture to embed and compute speedups against",
+    },
+    FlagSpec { name: "samples", value: Some("N"), help: "timing samples per kernel (default 7)" },
+];
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut out_path = String::from("results/BENCH_spmv.json");
-    let mut baseline_path: Option<String> = None;
-    let mut samples = 7usize;
-    let mut it = args.iter();
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "--out" => out_path = it.next().expect("--out needs a path").clone(),
-            "--baseline" => {
-                baseline_path = Some(it.next().expect("--baseline needs a path").clone())
-            }
-            "--samples" => {
-                samples = it.next().expect("--samples needs a count").parse().expect("bad count")
-            }
-            other => panic!("unknown argument {other}"),
+    let args = parse_or_exit("bench_spmv", "[options]", FLAGS, std::env::args().skip(1));
+    let out_path = args.get_or("out", "results/BENCH_spmv.json").to_string();
+    let samples = match args.get_usize("samples", 7) {
+        Ok(n) if n > 0 => n,
+        Ok(_) => {
+            eprintln!("error: --samples must be at least 1");
+            std::process::exit(2);
         }
-    }
-    let baseline = baseline_path.and_then(|p| std::fs::read_to_string(p).ok());
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let baseline = args.get("baseline").and_then(|p| std::fs::read_to_string(p).ok());
     let results: Vec<DatasetResult> = SUITE.iter().map(|d| bench_dataset(d, samples)).collect();
     let json = render_json(&results, samples, baseline.as_deref());
     std::fs::write(&out_path, &json).expect("writing results JSON");

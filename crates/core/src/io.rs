@@ -13,7 +13,7 @@
 //! rows became compacted (a `srcs` array per block).
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Write};
 use std::path::Path;
 
 use ihtl_graph::{Csr, EdgeIndex, VertexId};
@@ -22,6 +22,94 @@ use crate::graph::{FlippedBlock, IhtlGraph};
 use crate::stats::BuildStats;
 
 const MAGIC: &[u8; 8] = b"IHTLBLK2";
+
+/// Bounds-checked reader over an in-memory image. Every read validates the
+/// remaining length first, so a truncated or corrupted file can only ever
+/// produce `InvalidData` — never a panic, a mis-read, or an allocation
+/// sized from attacker-controlled bytes.
+struct Cursor<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+fn invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+impl<'a> Cursor<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(invalid(format!("truncated {what}")));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self, what: &str) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` that will be used as an element count of
+    /// `elem_bytes`-sized items: rejects values whose payload could not
+    /// possibly fit in the remaining bytes, so `Vec::with_capacity` is
+    /// always bounded by the file size.
+    fn len(&mut self, elem_bytes: usize, what: &str) -> io::Result<usize> {
+        let v = self.u64(what)?;
+        let v = usize::try_from(v).map_err(|_| invalid(format!("{what} too large")))?;
+        if v.checked_mul(elem_bytes).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(invalid(format!("{what} larger than remaining bytes")));
+        }
+        Ok(v)
+    }
+
+    fn u32s(&mut self, expect: usize, what: &str) -> io::Result<Vec<u32>> {
+        let len = self.len(4, what)?;
+        if len != expect {
+            return Err(invalid(format!("{what} length mismatch")));
+        }
+        let raw = self.take(len * 4, what)?;
+        Ok(raw.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())).collect())
+    }
+
+    fn csr(&mut self, what: &str) -> io::Result<Csr> {
+        let n_rows = self.len(8, what)?;
+        let n_cols = self.u64(what)?;
+        let n_cols = usize::try_from(n_cols).map_err(|_| invalid(format!("{what} n_cols")))?;
+        let n_edges = self.len(1, what)?; // validated precisely below
+        let raw_offsets = self.take((n_rows + 1) * 8, what)?;
+        let offsets: Vec<EdgeIndex> = raw_offsets
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()) as EdgeIndex)
+            .collect();
+        if n_edges.checked_mul(4).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(invalid(format!("{what} edge count larger than remaining bytes")));
+        }
+        let raw_targets = self.take(n_edges * 4, what)?;
+        let targets: Vec<VertexId> = raw_targets
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()) as VertexId)
+            .collect();
+        if offsets.first() != Some(&0) || offsets.last() != Some(&(n_edges as EdgeIndex)) {
+            return Err(invalid(format!("{what} offsets do not span the edge array")));
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(invalid(format!("{what} offsets not monotone")));
+        }
+        if targets.iter().any(|&t| (t as usize) >= n_cols) {
+            return Err(invalid(format!("{what} target out of range")));
+        }
+        Ok(Csr::from_parts(offsets, targets, n_cols))
+    }
+}
 
 /// Writes the preprocessed graph to `path`.
 pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
@@ -58,42 +146,69 @@ pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
 
 /// Reads a graph previously written by [`save_ihtl`].
 pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
-    let mut r = BufReader::new(File::open(path)?);
-    let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    load_ihtl_bytes(&std::fs::read(path)?)
+}
+
+/// Parses an IHTLBLK2 image from memory. Corrupted input — truncated at any
+/// byte, or with internal length fields exceeding the payload — yields
+/// `InvalidData`, never a panic or an unbounded allocation.
+pub fn load_ihtl_bytes(data: &[u8]) -> io::Result<IhtlGraph> {
+    let mut c = Cursor::new(data);
+    if c.take(8, "magic")? != MAGIC {
+        return Err(invalid("bad magic"));
     }
-    let n = read_u64(&mut r)? as usize;
-    let n_hubs = read_u64(&mut r)? as usize;
-    let n_vweh = read_u64(&mut r)? as usize;
-    let hubs_per_block = read_u64(&mut r)? as usize;
-    let n_blocks = read_u64(&mut r)? as usize;
-    let min_hub_degree = read_u64(&mut r)? as usize;
-    let fb_edges = read_u64(&mut r)? as usize;
-    let sparse_edges = read_u64(&mut r)? as usize;
-    let new_to_old = read_u32s(&mut r, n)?;
-    let out_degree_new = read_u32s(&mut r, n)?;
-    let n_feeders = read_u64(&mut r)? as usize;
+    let n = c.len(4, "n_vertices")?; // ≥ 4 bytes/vertex follow (relabel array)
+    let n_hubs = c.u64("n_hubs")? as usize;
+    let n_vweh = c.u64("n_vweh")? as usize;
+    let hubs_per_block = c.u64("hubs_per_block")? as usize;
+    let n_blocks = c.len(8, "n_blocks")?;
+    let min_hub_degree = c.u64("min_hub_degree")? as usize;
+    let fb_edges = c.u64("fb_edges")? as usize;
+    let sparse_edges = c.u64("sparse_edges")? as usize;
+    if n_hubs.checked_add(n_vweh).is_none_or(|a| a > n) {
+        return Err(invalid("hub/vweh counts exceed n_vertices"));
+    }
+    let new_to_old = c.u32s(n, "relabel array")?;
+    let out_degree_new = c.u32s(n, "out-degree array")?;
+    let n_feeders = c.len(8, "block_feeders count")?;
     let mut block_feeders = Vec::with_capacity(n_feeders);
     for _ in 0..n_feeders {
-        block_feeders.push(read_u64(&mut r)? as usize);
+        block_feeders.push(c.u64("block_feeders entry")? as usize);
     }
     let mut blocks = Vec::with_capacity(n_blocks);
+    let mut next_hub = 0 as VertexId;
     for _ in 0..n_blocks {
-        let hub_start = read_u64(&mut r)? as VertexId;
-        let hub_end = read_u64(&mut r)? as VertexId;
-        let edges = read_csr(&mut r)?;
-        let srcs = read_u32s(&mut r, edges.n_rows())?;
+        let hub_start = c.u64("block hub_start")? as VertexId;
+        let hub_end = c.u64("block hub_end")? as VertexId;
+        // Blocks must tile 0..n_hubs contiguously: the merge phase writes
+        // each block's hub range from a distinct task, so overlap would
+        // alias parallel writes.
+        if hub_start != next_hub || hub_start > hub_end || (hub_end as usize) > n_hubs {
+            return Err(invalid("block hub ranges must tile 0..n_hubs"));
+        }
+        next_hub = hub_end;
+        let edges = c.csr("block CSR")?;
+        if edges.n_cols() > (hub_end - hub_start) as usize {
+            // Block-local targets index per-thread hub buffers unchecked in
+            // the push kernel, so the column bound must be the block width.
+            return Err(invalid("block CSR wider than its hub range"));
+        }
+        let srcs = c.u32s(edges.n_rows(), "block srcs")?;
         if srcs.windows(2).any(|w| w[0] >= w[1]) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "block srcs not ascending"));
+            return Err(invalid("block srcs not ascending"));
         }
         if srcs.iter().any(|&u| (u as usize) >= n) {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "block src out of range"));
+            return Err(invalid("block src out of range"));
         }
         blocks.push(FlippedBlock { hub_start, hub_end, srcs, edges });
     }
-    let sparse = read_csr(&mut r)?;
+    if (next_hub as usize) != n_hubs {
+        return Err(invalid("blocks do not cover all hubs"));
+    }
+    let sparse = c.csr("sparse CSR")?;
+    if sparse.n_rows() != n - n_hubs || sparse.n_cols() != n {
+        return Err(invalid("sparse CSR shape mismatch"));
+    }
 
     let mut old_to_new = vec![0 as VertexId; n];
     for (new, &old) in new_to_old.iter().enumerate() {
@@ -142,18 +257,6 @@ fn write_u32s<W: Write>(w: &mut W, data: &[u32]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_u32s<R: Read>(r: &mut R, expect: usize) -> io::Result<Vec<u32>> {
-    let len = read_u64(r)? as usize;
-    if len != expect {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "array length mismatch"));
-    }
-    let mut out = Vec::with_capacity(len);
-    for _ in 0..len {
-        out.push(read_u32(r)?);
-    }
-    Ok(out)
-}
-
 fn write_csr<W: Write>(w: &mut W, c: &Csr) -> io::Result<()> {
     w.write_all(&(c.n_rows() as u64).to_le_bytes())?;
     w.write_all(&(c.n_cols() as u64).to_le_bytes())?;
@@ -165,33 +268,6 @@ fn write_csr<W: Write>(w: &mut W, c: &Csr) -> io::Result<()> {
         w.write_all(&t.to_le_bytes())?;
     }
     Ok(())
-}
-
-fn read_csr<R: Read>(r: &mut R) -> io::Result<Csr> {
-    let n_rows = read_u64(r)? as usize;
-    let n_cols = read_u64(r)? as usize;
-    let n_edges = read_u64(r)? as usize;
-    let mut offsets = Vec::with_capacity(n_rows + 1);
-    for _ in 0..=n_rows {
-        offsets.push(read_u64(r)? as EdgeIndex);
-    }
-    let mut targets = Vec::with_capacity(n_edges);
-    for _ in 0..n_edges {
-        targets.push(read_u32(r)? as VertexId);
-    }
-    Ok(Csr::from_parts(offsets, targets, n_cols))
-}
-
-fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
-    let mut b = [0u8; 4];
-    r.read_exact(&mut b)?;
-    Ok(u32::from_le_bytes(b))
-}
-
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
 }
 
 #[cfg(test)]
@@ -240,5 +316,65 @@ mod tests {
         std::fs::write(&path, b"IHTLBLK1 but then garbage").unwrap();
         assert!(load_ihtl(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// A valid serialized image of the paper example graph.
+    fn example_image() -> Vec<u8> {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let ih = IhtlGraph::build(&g, &cfg);
+        let dir = std::env::temp_dir().join("ihtl_core_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("image_{:?}.ihtl", std::thread::current().id()));
+        save_ihtl(&ih, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_prefix() {
+        // Cut the image at every possible byte boundary: the loader must
+        // return InvalidData each time — never panic, never succeed. This
+        // covers mid-magic, mid-header, mid-u32-array, and mid-CSR cuts in
+        // one sweep (the image is a few hundred bytes).
+        let full = example_image();
+        assert!(load_ihtl_bytes(&full).is_ok());
+        for cut in 0..full.len() {
+            match load_ihtl_bytes(&full[..cut]) {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "cut at {cut}"),
+                Ok(_) => panic!("truncation at byte {cut} of {} was accepted", full.len()),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_len_fields_larger_than_remaining_bytes() {
+        // Overwrite each 8-byte length-bearing header/array field with a
+        // huge value: the loader must reject without attempting to allocate
+        // or read past the payload. Field 0 is n_vertices (byte offset 8);
+        // the relabel-array length sits right after the 8-field header.
+        let full = example_image();
+        for off in [8, 8 + 8 * 8] {
+            let mut img = full.clone();
+            img[off..off + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+            match load_ihtl_bytes(&img) {
+                Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "field at {off}"),
+                Ok(_) => panic!("oversized len at byte {off} was accepted"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_flipped_corruption_without_panicking() {
+        // Flip every byte of the image one at a time. Loading must either
+        // fail cleanly or succeed (some bytes — e.g. stats counters — are
+        // not structural); it must never panic.
+        let full = example_image();
+        for i in 0..full.len() {
+            let mut img = full.clone();
+            img[i] ^= 0xff;
+            let _ = load_ihtl_bytes(&img);
+        }
     }
 }

@@ -1,0 +1,170 @@
+//! `ihtl-cli`: a one-shot client for the `ihtl-serve` daemon.
+//!
+//! Builds one request from the command line, sends it as a single JSON
+//! line, prints the server's JSON reply to stdout, and exits 0 iff the
+//! reply says `"ok": true`.
+//!
+//! ```text
+//! ihtl-cli --addr 127.0.0.1:7411 ping
+//! ihtl-cli register NAME --rmat-scale 12 [--edges N] [--seed N]
+//! ihtl-cli register NAME --suite KEY | --edgelist PATH | --graph-image PATH | --ihtl-image PATH
+//! ihtl-cli job DATASET KIND [--engine E] [--iters N] [--source V] [--timeout-ms N]
+//!                           [--top N] [--values] [--nocache]
+//! ihtl-cli list | stats | shutdown
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use ihtl_serve::argv::{parse_or_exit, FlagSpec, ParsedArgs};
+use ihtl_serve::Json;
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "addr",
+        value: Some("HOST:PORT"),
+        help: "server address (default 127.0.0.1:7411)",
+    },
+    FlagSpec { name: "rmat-scale", value: Some("S"), help: "register: R-MAT scale (n = 2^S)" },
+    FlagSpec { name: "edges", value: Some("N"), help: "register: R-MAT target edge count" },
+    FlagSpec { name: "seed", value: Some("N"), help: "register: generator seed (default 1)" },
+    FlagSpec { name: "suite", value: Some("KEY"), help: "register: generator-suite dataset key" },
+    FlagSpec { name: "edgelist", value: Some("PATH"), help: "register: text edge-list file" },
+    FlagSpec { name: "graph-image", value: Some("PATH"), help: "register: IHTLGRPH binary image" },
+    FlagSpec { name: "ihtl-image", value: Some("PATH"), help: "register: IHTLBLK2 iHTL image" },
+    FlagSpec {
+        name: "engine",
+        value: Some("E"),
+        help: "job: ihtl|pull_grind|pull_graphit|pull_galois|push_grind|push_graphit",
+    },
+    FlagSpec { name: "iters", value: Some("N"), help: "job: iterations (pagerank/spmv/compare)" },
+    FlagSpec { name: "source", value: Some("V"), help: "job: source vertex (bfs/sssp)" },
+    FlagSpec { name: "max-rounds", value: Some("N"), help: "job: round cap (sssp/cc)" },
+    FlagSpec { name: "ms", value: Some("N"), help: "job: sleep milliseconds (kind 'sleep')" },
+    FlagSpec { name: "timeout-ms", value: Some("N"), help: "job: admission-to-reply deadline" },
+    FlagSpec { name: "top", value: Some("K"), help: "job: include the K top-valued vertices" },
+    FlagSpec { name: "values", value: None, help: "job: include the full value vector" },
+    FlagSpec { name: "nocache", value: None, help: "job: bypass the result cache" },
+];
+
+const SYNOPSIS: &str = "[options] <ping|register|job|list|stats|shutdown> [args]";
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn num_field(
+    args: &ParsedArgs,
+    flag: &str,
+    key: &'static str,
+    pairs: &mut Vec<(&'static str, Json)>,
+) {
+    if let Some(v) = args.get(flag) {
+        match v.parse::<u64>() {
+            Ok(n) => pairs.push((key, Json::from(n))),
+            Err(_) => die(&format!("--{flag} expects an integer, got '{v}'")),
+        }
+    }
+}
+
+fn build_request(args: &ParsedArgs) -> Json {
+    let pos = args.positionals();
+    let Some(command) = pos.first().map(String::as_str) else {
+        die("missing command (ping, register, job, list, stats, shutdown)");
+    };
+    match command {
+        "ping" | "list" | "stats" | "shutdown" => Json::obj([("op", Json::from(command))]),
+        "register" => {
+            let Some(name) = pos.get(1) else {
+                die("register needs a dataset name: ihtl-cli register NAME --rmat-scale 12");
+            };
+            let mut source = Vec::new();
+            if args.get("rmat-scale").is_some() {
+                source.push(("type", Json::from("rmat")));
+                num_field(args, "rmat-scale", "scale", &mut source);
+                num_field(args, "edges", "edges", &mut source);
+                num_field(args, "seed", "seed", &mut source);
+            } else if let Some(key) = args.get("suite") {
+                source.push(("type", Json::from("suite")));
+                source.push(("key", Json::from(key)));
+            } else if let Some(path) = args.get("edgelist") {
+                source.push(("type", Json::from("edgelist")));
+                source.push(("path", Json::from(path)));
+            } else if let Some(path) = args.get("graph-image") {
+                source.push(("type", Json::from("graph-image")));
+                source.push(("path", Json::from(path)));
+            } else if let Some(path) = args.get("ihtl-image") {
+                source.push(("type", Json::from("ihtl-image")));
+                source.push(("path", Json::from(path)));
+            } else {
+                die("register needs a source: --rmat-scale, --suite, --edgelist, --graph-image, or --ihtl-image");
+            }
+            Json::obj([
+                ("op", Json::from("register")),
+                ("name", Json::from(name.as_str())),
+                ("source", Json::obj(source)),
+            ])
+        }
+        "job" => {
+            let (Some(dataset), Some(kind)) = (pos.get(1), pos.get(2)) else {
+                die("job needs a dataset and kind: ihtl-cli job NAME pagerank");
+            };
+            let mut pairs = vec![
+                ("op", Json::from("job")),
+                ("dataset", Json::from(dataset.as_str())),
+                ("kind", Json::from(kind.as_str())),
+            ];
+            if let Some(engine) = args.get("engine") {
+                pairs.push(("engine", Json::from(engine)));
+            }
+            num_field(args, "iters", "iters", &mut pairs);
+            num_field(args, "source", "source", &mut pairs);
+            num_field(args, "max-rounds", "max_rounds", &mut pairs);
+            num_field(args, "ms", "ms", &mut pairs);
+            num_field(args, "timeout-ms", "timeout_ms", &mut pairs);
+            num_field(args, "top", "top_k", &mut pairs);
+            if args.has("values") {
+                pairs.push(("include_values", Json::Bool(true)));
+            }
+            if args.has("nocache") {
+                pairs.push(("nocache", Json::Bool(true)));
+            }
+            Json::obj(pairs)
+        }
+        other => die(&format!("unknown command '{other}'")),
+    }
+}
+
+fn main() {
+    let args = parse_or_exit("ihtl-cli", SYNOPSIS, FLAGS, std::env::args().skip(1));
+    let request = build_request(&args);
+    let addr = args.get_or("addr", "127.0.0.1:7411");
+
+    let stream = match TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: connecting to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut writer = stream.try_clone().expect("clone stream");
+    if writeln!(writer, "{request}").is_err() {
+        eprintln!("error: sending request to {addr}");
+        std::process::exit(1);
+    }
+    let mut reply_line = String::new();
+    if BufReader::new(stream).read_line(&mut reply_line).unwrap_or(0) == 0 {
+        eprintln!("error: server closed the connection without replying");
+        std::process::exit(1);
+    }
+    print!("{reply_line}");
+    match Json::parse(reply_line.trim()) {
+        Ok(reply) if reply.get("ok").and_then(Json::as_bool) == Some(true) => {}
+        Ok(_) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: unparseable reply: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The `ihtl-serve` daemon: binds a TCP port and serves graph analytics
+//! over the line-delimited JSON protocol (see DESIGN.md).
+
+use ihtl_serve::argv::{parse_or_exit, FlagSpec};
+use ihtl_serve::{Server, ServerConfig};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "addr",
+        value: Some("HOST:PORT"),
+        help: "bind address (default 127.0.0.1:7411; port 0 = ephemeral)",
+    },
+    FlagSpec {
+        name: "port-file",
+        value: Some("PATH"),
+        help: "write the bound port number to PATH after binding",
+    },
+    FlagSpec { name: "queue", value: Some("N"), help: "admission queue capacity (default 16)" },
+    FlagSpec { name: "executors", value: Some("N"), help: "executor threads (default 1)" },
+    FlagSpec {
+        name: "cache",
+        value: Some("N"),
+        help: "result cache entries (default 64, 0 = off)",
+    },
+];
+
+fn main() {
+    let args = parse_or_exit("ihtl-serve", "[options]", FLAGS, std::env::args().skip(1));
+    let mut cfg = ServerConfig {
+        addr: args.get_or("addr", "127.0.0.1:7411").to_string(),
+        ..ServerConfig::default()
+    };
+    let numeric = (|| -> Result<(), String> {
+        cfg.queue_capacity = args.get_usize("queue", cfg.queue_capacity)?;
+        cfg.executors = args.get_usize("executors", cfg.executors)?;
+        cfg.cache_capacity = args.get_usize("cache", cfg.cache_capacity)?;
+        Ok(())
+    })();
+    if let Err(msg) = numeric {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+    let port_file = args.get("port-file").map(str::to_string);
+
+    let server = match Server::bind(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: binding listener: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr().expect("bound listener");
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            eprintln!("error: writing port file '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("ihtl-serve listening on {addr}");
+    server.run();
+    println!("ihtl-serve stopped");
+}

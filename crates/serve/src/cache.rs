@@ -1,0 +1,161 @@
+//! LRU result cache keyed by (dataset, engine, job) canonical strings.
+//!
+//! Analytics here are deterministic — same dataset, engine, and parameters
+//! produce bitwise-identical value vectors — so a repeated query can be
+//! answered from memory without touching the scheduler. The cache stores
+//! the final reply body (a [`Json`] object) and counts hits/misses for the
+//! `stats` endpoint.
+//!
+//! Recency is a monotone counter per entry; eviction scans for the minimum
+//! (O(capacity), trivial at the default capacity of 64 — a reply object is
+//! far more expensive than the scan).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::Json;
+
+/// Thread-safe LRU cache of reply bodies.
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+struct Inner {
+    map: HashMap<String, Entry>,
+    capacity: usize,
+    tick: u64,
+}
+
+struct Entry {
+    value: Json,
+    last_used: u64,
+}
+
+impl ResultCache {
+    /// A cache holding up to `capacity` replies. Capacity 0 disables
+    /// caching (every lookup misses).
+    pub fn new(capacity: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Inner { map: HashMap::new(), capacity, tick: 0 }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Canonical key for a job request.
+    pub fn key(
+        dataset: &str,
+        engine: &str,
+        job_canonical: &str,
+        top_k: usize,
+        values: bool,
+    ) -> String {
+        format!("{dataset}|{engine}|{job_canonical}|top_k={top_k}|values={values}")
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Json> {
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(e.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a reply, evicting the least-recently-used entry at capacity.
+    pub fn put(&self, key: String, value: Json) {
+        let mut inner = self.inner.lock().expect("cache lock");
+        if inner.capacity == 0 {
+            return;
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, Entry { value, last_used: tick });
+    }
+
+    /// (hits, misses, current length).
+    pub fn stats(&self) -> (u64, u64, usize) {
+        let len = self.inner.lock().expect("cache lock").map.len();
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: f64) -> Json {
+        Json::Num(n)
+    }
+
+    #[test]
+    fn hit_after_put_and_counters() {
+        let c = ResultCache::new(4);
+        assert_eq!(c.get("k"), None);
+        c.put("k".into(), v(1.0));
+        assert_eq!(c.get("k"), Some(v(1.0)));
+        assert_eq!(c.stats(), (1, 1, 1));
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let c = ResultCache::new(2);
+        c.put("a".into(), v(1.0));
+        c.put("b".into(), v(2.0));
+        assert_eq!(c.get("a"), Some(v(1.0))); // refresh a; b is now LRU
+        c.put("c".into(), v(3.0));
+        assert_eq!(c.get("b"), None);
+        assert_eq!(c.get("a"), Some(v(1.0)));
+        assert_eq!(c.get("c"), Some(v(3.0)));
+    }
+
+    #[test]
+    fn reinsert_updates_without_evicting() {
+        let c = ResultCache::new(2);
+        c.put("a".into(), v(1.0));
+        c.put("b".into(), v(2.0));
+        c.put("a".into(), v(9.0));
+        assert_eq!(c.get("a"), Some(v(9.0)));
+        assert_eq!(c.get("b"), Some(v(2.0)));
+    }
+
+    #[test]
+    fn capacity_zero_never_stores() {
+        let c = ResultCache::new(0);
+        c.put("a".into(), v(1.0));
+        assert_eq!(c.get("a"), None);
+    }
+
+    #[test]
+    fn keys_separate_all_dimensions() {
+        let base = ResultCache::key("g", "ihtl", "pagerank:iters=20", 0, false);
+        for other in [
+            ResultCache::key("h", "ihtl", "pagerank:iters=20", 0, false),
+            ResultCache::key("g", "pull_grind", "pagerank:iters=20", 0, false),
+            ResultCache::key("g", "ihtl", "pagerank:iters=21", 0, false),
+            ResultCache::key("g", "ihtl", "pagerank:iters=20", 5, false),
+            ResultCache::key("g", "ihtl", "pagerank:iters=20", 0, true),
+        ] {
+            assert_ne!(base, other);
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Hand-rolled JSON, std-only per the hermetic-build policy.
+//!
+//! One value type, a recursive-descent parser, and a serializer. Objects
+//! preserve insertion order (a `Vec` of pairs, not a map): the wire
+//! protocol's replies stay byte-stable across runs, which the determinism
+//! tests and the result cache rely on.
+//!
+//! Numbers are `f64`. Rust's `Display` for `f64` prints the shortest string
+//! that round-trips, so serialize→parse is exact for every finite value;
+//! non-finite values serialize as `null` (JSON has no NaN/∞).
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Object field lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric field as a non-negative integer (rejects fractions and
+    /// values beyond 2^53, which JSON cannot carry exactly).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && *v <= 9_007_199_254_740_992.0 && v.fract() == 0.0 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Parses one JSON value; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0, depth: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing characters after value"));
+        }
+        Ok(v)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Json {
+        Json::Num(v as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Json {
+        Json::Arr(v)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(true) => f.write_str("true"),
+            Json::Bool(false) => f.write_str("false"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Parse error with byte position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    pub pos: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+/// Nesting depth cap: deeper input is rejected rather than risking a stack
+/// overflow on hostile wire data.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, msg: impl Into<String>) -> JsonError {
+        JsonError { pos: self.pos, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected '{lit}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        items.push(self.value()?);
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                                self.skip_ws();
+                            }
+                            Some(b']') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => return Err(self.err("expected ',' or ']'")),
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Arr(items))
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                self.depth += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                } else {
+                    loop {
+                        let k = self.string()?;
+                        self.skip_ws();
+                        self.expect(b':')?;
+                        self.skip_ws();
+                        let v = self.value()?;
+                        pairs.push((k, v));
+                        self.skip_ws();
+                        match self.peek() {
+                            Some(b',') => {
+                                self.pos += 1;
+                                self.skip_ws();
+                            }
+                            Some(b'}') => {
+                                self.pos += 1;
+                                break;
+                            }
+                            _ => return Err(self.err("expected ',' or '}'")),
+                        }
+                    }
+                }
+                self.depth -= 1;
+                Ok(Json::Obj(pairs))
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte 0x{c:02x}"))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        text.parse::<f64>().map(Json::Num).map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: require the low half.
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code).ok_or_else(|| self.err("bad code point"))?
+                            } else {
+                                char::from_u32(hi).ok_or_else(|| self.err("bad code point"))?
+                            };
+                            out.push(c);
+                            // hex4 leaves pos one past the last hex digit;
+                            // compensate for the unconditional += 1 below.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control character in string")),
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("bad \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        for (text, v) in [
+            ("null", Json::Null),
+            ("true", Json::Bool(true)),
+            ("false", Json::Bool(false)),
+            ("42", Json::Num(42.0)),
+            ("-1.5", Json::Num(-1.5)),
+            ("1e3", Json::Num(1000.0)),
+            ("\"hi\"", Json::Str("hi".into())),
+        ] {
+            assert_eq!(Json::parse(text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_structures() {
+        let v = Json::obj([
+            ("id", Json::from(3u64)),
+            ("name", Json::from("g\"1\"\n")),
+            ("vals", Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Bool(false)])),
+            ("nested", Json::obj([("k", Json::from(0.125))])),
+        ]);
+        let text = v.to_string();
+        assert_eq!(Json::parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn f64_display_roundtrips_bitwise() {
+        // Shortest-roundtrip Display: serialize→parse is the identity on
+        // finite doubles, which job-result bitwise determinism relies on.
+        let vals = [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1.2345678901234567e-300, 6.02e23];
+        for v in vals {
+            let text = Json::Num(v).to_string();
+            let back = Json::parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(v.to_bits(), back.to_bits(), "{text}");
+        }
+    }
+
+    #[test]
+    fn unicode_and_escapes() {
+        let v = Json::parse("\"a\\u00e9\\u20ac\\ud83d\\ude00 ü\"").unwrap();
+        assert_eq!(v.as_str().unwrap(), "aé€😀 ü");
+        let text = Json::Str("tab\tnl\nquote\"".into()).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str().unwrap(), "tab\tnl\nquote\"");
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1.2.3",
+            "\"\\x\"",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":1,}",
+            "nan",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_holds() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&deep).is_err());
+        let ok = "[".repeat(40) + &"]".repeat(40);
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let v = Json::parse("{\"n\":5,\"s\":\"x\",\"b\":true,\"a\":[1],\"f\":5.5}").unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(5));
+        assert_eq!(v.get("f").unwrap().as_u64(), None);
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn non_finite_serializes_as_null() {
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+    }
+}

@@ -1,0 +1,42 @@
+//! `ihtl-serve`: a std-only graph analytics service layer.
+//!
+//! The paper's central economic argument (§4.2) is that iHTL's one-time
+//! preprocessing cost is amortised over repeated SpMV runs. A service is
+//! where that argument becomes literal: datasets are loaded and
+//! preprocessed **once** into a registry, then an unbounded stream of
+//! analytics requests reuses the flipped-block structure. This crate
+//! provides the pieces:
+//!
+//! * [`registry`] — named immutable graph snapshots (`Arc`-shared) with
+//!   memoised iHTL preprocessing, symmetrization, and an engine checkout
+//!   pool;
+//! * [`sched`] — a bounded-admission job scheduler: full queue ⇒ immediate
+//!   `overloaded` rejection, per-job deadlines, panic isolation;
+//! * [`cache`] — an LRU result cache exploiting the determinism of every
+//!   analytic here (same request ⇒ bitwise-same answer);
+//! * [`proto`] + [`server`] — a line-delimited JSON protocol over plain
+//!   `std::net` TCP, with a `stats` endpoint reporting queue depth, cache
+//!   hit rates, latency histograms, and live per-engine ns/edge;
+//! * [`json`] — a hand-rolled JSON parser/serializer (the workspace builds
+//!   with zero external crates);
+//! * [`argv`] — the tiny flag parser shared by `ihtl-serve`, `ihtl-cli`,
+//!   and `bench_spmv`.
+//!
+//! Binaries: `ihtl-serve` (the daemon) and `ihtl-cli` (a one-shot client).
+//! See DESIGN.md for the wire grammar and README.md for a quickstart.
+
+pub mod argv;
+pub mod cache;
+pub mod json;
+pub mod proto;
+pub mod registry;
+pub mod sched;
+pub mod server;
+pub mod stats;
+
+pub use cache::ResultCache;
+pub use json::Json;
+pub use registry::Registry;
+pub use sched::{JobError, Scheduler, SubmitError};
+pub use server::{fnv1a_checksum, Server, ServerConfig, ServerHandle};
+pub use stats::ServeStats;

@@ -1,0 +1,320 @@
+//! Wire protocol: request parsing and the request/reply vocabulary.
+//!
+//! Transport is line-delimited JSON over TCP: one request object per line,
+//! one reply object per line, in order. Every request carries an `op`; the
+//! optional `id` is echoed verbatim in the reply so clients can match
+//! pipelined replies. Replies always carry `"ok": true|false`; failures add
+//! `"error"` with a human-readable message and keep the connection open.
+//! See DESIGN.md for the full grammar.
+
+use ihtl_apps::{EngineKind, JobSpec};
+
+use crate::json::Json;
+
+/// Where a registered dataset's graph comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GraphSource {
+    /// Seeded R-MAT (social profile) generated in-process.
+    Rmat { scale: u32, edges: usize, seed: u64 },
+    /// A named spec from the generator suite (`suite` / `suite_small` keys).
+    Suite { key: String },
+    /// Whitespace-separated `src dst` text file (`#` comments).
+    EdgeListFile { path: String },
+    /// A saved `IHTLGRPH` binary graph image.
+    GraphImage { path: String },
+    /// A saved `IHTLBLK2` preprocessed iHTL image. Only the iHTL engine can
+    /// serve such a dataset (the raw graph is not recoverable from it).
+    IhtlImage { path: String },
+}
+
+impl GraphSource {
+    /// Stable description used for duplicate-registration detection and the
+    /// `list` reply.
+    pub fn describe(&self) -> String {
+        match self {
+            GraphSource::Rmat { scale, edges, seed } => {
+                format!("rmat:scale={scale}:edges={edges}:seed={seed}")
+            }
+            GraphSource::Suite { key } => format!("suite:{key}"),
+            GraphSource::EdgeListFile { path } => format!("edgelist:{path}"),
+            GraphSource::GraphImage { path } => format!("graph-image:{path}"),
+            GraphSource::IhtlImage { path } => format!("ihtl-image:{path}"),
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<GraphSource, String> {
+        let kind =
+            v.get("type").and_then(Json::as_str).ok_or("source requires a string 'type' field")?;
+        let path = || {
+            v.get("path")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or(format!("source type '{kind}' requires a 'path' field"))
+        };
+        match kind {
+            "rmat" => {
+                let scale = v.get("scale").and_then(Json::as_u64).ok_or("rmat requires 'scale'")?;
+                if !(1..=24).contains(&scale) {
+                    return Err(format!("rmat scale {scale} out of range 1..=24"));
+                }
+                let edges = v.get("edges").and_then(Json::as_u64).unwrap_or(8 << scale).min(1 << 27)
+                    as usize;
+                let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
+                Ok(GraphSource::Rmat { scale: scale as u32, edges, seed })
+            }
+            "suite" => {
+                let key = v.get("key").and_then(Json::as_str).ok_or("suite requires 'key'")?;
+                Ok(GraphSource::Suite { key: key.to_string() })
+            }
+            "edgelist" => Ok(GraphSource::EdgeListFile { path: path()? }),
+            "graph-image" => Ok(GraphSource::GraphImage { path: path()? }),
+            "ihtl-image" => Ok(GraphSource::IhtlImage { path: path()? }),
+            other => Err(format!("unknown source type '{other}'")),
+        }
+    }
+}
+
+/// What a `job` request asks to run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireJob {
+    /// One analytic via the `ihtl-apps` job dispatcher.
+    Analytic(JobSpec),
+    /// Run PageRank on every engine and report agreement + per-engine
+    /// timings (the paper's Figure 7 comparison as a service call).
+    Compare { iters: usize },
+    /// Debug job: occupy an executor for `ms` milliseconds. Used by tests
+    /// to saturate the admission queue deterministically.
+    Sleep { ms: u64 },
+}
+
+impl WireJob {
+    /// Cache-key fragment; equal jobs produce equal strings.
+    pub fn canonical(&self) -> String {
+        match self {
+            WireJob::Analytic(spec) => spec.canonical(),
+            WireJob::Compare { iters } => format!("compare:iters={iters}"),
+            WireJob::Sleep { ms } => format!("sleep:ms={ms}"),
+        }
+    }
+
+    /// Whether results of this job may be cached (sleep is a timing tool;
+    /// caching it would defeat its purpose).
+    pub fn cacheable(&self) -> bool {
+        !matches!(self, WireJob::Sleep { .. })
+    }
+
+    fn from_json(v: &Json) -> Result<WireJob, String> {
+        let kind = v.get("kind").and_then(Json::as_str).ok_or("job requires a 'kind' field")?;
+        let u = |field: &str, default: u64| v.get(field).and_then(Json::as_u64).unwrap_or(default);
+        let iters = u("iters", 20).clamp(1, 10_000) as usize;
+        let max_rounds = u("max_rounds", 256).clamp(1, 100_000) as usize;
+        let source = u("source", 0);
+        if source > u32::MAX as u64 {
+            return Err(format!("source vertex {source} exceeds u32"));
+        }
+        let source = source as u32;
+        match kind {
+            "pagerank" => Ok(WireJob::Analytic(JobSpec::PageRank { iters })),
+            "spmv" => Ok(WireJob::Analytic(JobSpec::SpmvSum { iters })),
+            "sssp" => Ok(WireJob::Analytic(JobSpec::Sssp { source, max_rounds })),
+            "cc" => Ok(WireJob::Analytic(JobSpec::Components { max_rounds })),
+            "bfs" => Ok(WireJob::Analytic(JobSpec::Bfs { source })),
+            "compare" => Ok(WireJob::Compare { iters }),
+            "sleep" => Ok(WireJob::Sleep { ms: u("ms", 100).min(60_000) }),
+            other => Err(format!("unknown job kind '{other}'")),
+        }
+    }
+}
+
+/// Parses an engine name as it appears on the wire.
+pub fn engine_from_str(s: &str) -> Result<EngineKind, String> {
+    match s {
+        "ihtl" => Ok(EngineKind::Ihtl),
+        "pull_grind" => Ok(EngineKind::PullGraphGrind),
+        "pull_graphit" => Ok(EngineKind::PullGraphIt),
+        "pull_galois" => Ok(EngineKind::PullGalois),
+        "push_grind" => Ok(EngineKind::PushGraphGrind),
+        "push_graphit" => Ok(EngineKind::PushGraphIt),
+        other => Err(format!(
+            "unknown engine '{other}' (expected ihtl, pull_grind, pull_graphit, pull_galois, \
+             push_grind, or push_graphit)"
+        )),
+    }
+}
+
+/// Wire name of an engine kind (inverse of [`engine_from_str`]).
+pub fn engine_wire_name(kind: EngineKind) -> &'static str {
+    match kind {
+        EngineKind::Ihtl => "ihtl",
+        EngineKind::PullGraphGrind => "pull_grind",
+        EngineKind::PullGraphIt => "pull_graphit",
+        EngineKind::PullGalois => "pull_galois",
+        EngineKind::PushGraphGrind => "push_grind",
+        EngineKind::PushGraphIt => "push_graphit",
+    }
+}
+
+/// A parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Echoed in the reply if present.
+    pub id: Option<Json>,
+    pub op: Op,
+}
+
+/// The operations the server understands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Op {
+    /// Liveness check; replies immediately from the connection thread.
+    Ping,
+    /// Lists registered datasets with their sizes.
+    List,
+    /// Serving counters: queue depth, cache hits, latency histogram,
+    /// per-engine ns/edge.
+    Stats,
+    /// Stops accepting connections and shuts the server down.
+    Shutdown,
+    /// Loads/generates a dataset and registers it under `name`.
+    Register { name: String, source: GraphSource },
+    /// Runs a job on a registered dataset.
+    Job {
+        dataset: String,
+        engine: EngineKind,
+        job: WireJob,
+        /// Admission-to-completion deadline; exceeded jobs fail with
+        /// `"error": "deadline exceeded"`.
+        timeout_ms: Option<u64>,
+        /// Skip the result cache for this call (still records stats).
+        nocache: bool,
+        /// How many top-valued vertices to include in the reply.
+        top_k: usize,
+        /// Include the full value vector (large!) in the reply.
+        include_values: bool,
+    },
+}
+
+impl Request {
+    /// Parses one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let id = v.get("id").cloned();
+        let op_name =
+            v.get("op").and_then(Json::as_str).ok_or("request requires a string 'op' field")?;
+        let op = match op_name {
+            "ping" => Op::Ping,
+            "list" => Op::List,
+            "stats" => Op::Stats,
+            "shutdown" => Op::Shutdown,
+            "register" => {
+                let name = v
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("register requires a 'name' field")?;
+                if name.is_empty() || name.len() > 128 {
+                    return Err("dataset name must be 1..=128 characters".to_string());
+                }
+                let source =
+                    GraphSource::from_json(v.get("source").ok_or("register requires 'source'")?)?;
+                Op::Register { name: name.to_string(), source }
+            }
+            "job" => {
+                let dataset = v
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("job requires a 'dataset' field")?
+                    .to_string();
+                let engine = match v.get("engine") {
+                    None => EngineKind::Ihtl,
+                    Some(e) => engine_from_str(e.as_str().ok_or("'engine' must be a string")?)?,
+                };
+                let job = WireJob::from_json(&v)?;
+                let timeout_ms = v.get("timeout_ms").and_then(Json::as_u64);
+                let nocache = v.get("nocache").and_then(Json::as_bool).unwrap_or(false);
+                let top_k = v.get("top_k").and_then(Json::as_u64).unwrap_or(0).min(1024) as usize;
+                let include_values =
+                    v.get("include_values").and_then(Json::as_bool).unwrap_or(false);
+                Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values }
+            }
+            other => return Err(format!("unknown op '{other}'")),
+        };
+        Ok(Request { id, op })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_ping_with_id() {
+        let r = Request::parse("{\"op\":\"ping\",\"id\":7}").unwrap();
+        assert_eq!(r.op, Op::Ping);
+        assert_eq!(r.id, Some(Json::Num(7.0)));
+    }
+
+    #[test]
+    fn parses_register_rmat() {
+        let r = Request::parse(
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"rmat\",\"scale\":10,\
+             \"edges\":5000,\"seed\":3}}",
+        )
+        .unwrap();
+        match r.op {
+            Op::Register { name, source } => {
+                assert_eq!(name, "g");
+                assert_eq!(source, GraphSource::Rmat { scale: 10, edges: 5000, seed: 3 });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_job_with_defaults() {
+        let r = Request::parse("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\"}").unwrap();
+        match r.op {
+            Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values } => {
+                assert_eq!(dataset, "g");
+                assert_eq!(engine, EngineKind::Ihtl);
+                assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20 }));
+                assert_eq!(timeout_ms, None);
+                assert!(!nocache);
+                assert_eq!(top_k, 0);
+                assert!(!include_values);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for kind in EngineKind::all() {
+            assert_eq!(engine_from_str(engine_wire_name(kind)).unwrap(), kind);
+        }
+        assert!(engine_from_str("gpu").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            "{\"op\":\"warp\"}",
+            "{\"op\":\"register\",\"name\":\"g\"}",
+            "{\"op\":\"register\",\"name\":\"\",\"source\":{\"type\":\"suite\",\"key\":\"x\"}}",
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"quantum\"}",
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"engine\":\"gpu\"}",
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"rmat\",\"scale\":60}}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn canonical_job_strings_distinguish_params() {
+        let a = WireJob::Analytic(JobSpec::PageRank { iters: 20 }).canonical();
+        let b = WireJob::Analytic(JobSpec::PageRank { iters: 21 }).canonical();
+        let c = WireJob::Compare { iters: 20 }.canonical();
+        assert!(a != b && a != c && b != c);
+        assert!(!WireJob::Sleep { ms: 5 }.cacheable());
+        assert!(WireJob::Compare { iters: 2 }.cacheable());
+    }
+}

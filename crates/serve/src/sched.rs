@@ -1,0 +1,345 @@
+//! Bounded job scheduler with explicit overload rejection.
+//!
+//! A fixed pool of executor threads drains a bounded FIFO queue. Admission
+//! never blocks: when the queue is full, [`Scheduler::submit`] returns
+//! [`SubmitError::Overloaded`] immediately — the server turns that into an
+//! `"overloaded"` wire error so clients back off instead of piling up (the
+//! acceptance criterion: saturation yields rejections, not hangs).
+//!
+//! The SpMV work itself is parallel *inside* a job via the `ihtl-parallel`
+//! pool, which serialises regions under a pool-wide lock — so the default
+//! of one executor thread already keeps compute saturated; extra executors
+//! only help when jobs block elsewhere (e.g. `sleep` or disk loads).
+//!
+//! Deadlines are admission-to-completion: a job still queued past its
+//! deadline is dropped at dequeue time, and a waiting client gives up at
+//! the same instant. Cancellation removes a queued job or sets a flag the
+//! running closure may observe.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Why a job submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The admission queue is full.
+    Overloaded,
+    /// The scheduler is shutting down.
+    ShuttingDown,
+}
+
+/// Why a submitted job produced no result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// Deadline elapsed before the job finished.
+    DeadlineExceeded,
+    /// The job was cancelled while queued.
+    Cancelled,
+    /// The scheduler shut down before running the job.
+    ShutDown,
+    /// The job's closure panicked.
+    Panicked,
+    /// The job reported an application error (message for the wire).
+    Failed(String),
+}
+
+impl JobError {
+    /// Wire error string.
+    pub fn message(&self) -> String {
+        match self {
+            JobError::DeadlineExceeded => "deadline exceeded".to_string(),
+            JobError::Cancelled => "cancelled".to_string(),
+            JobError::ShutDown => "server shutting down".to_string(),
+            JobError::Panicked => "internal error: job panicked".to_string(),
+            JobError::Failed(msg) => msg.clone(),
+        }
+    }
+}
+
+type JobResult = Result<Json, JobError>;
+
+/// One-shot result slot the submitting thread waits on.
+struct JobSlot {
+    result: Mutex<Option<JobResult>>,
+    ready: Condvar,
+}
+
+impl JobSlot {
+    fn fill(&self, r: JobResult) {
+        let mut slot = self.result.lock().expect("job slot");
+        // First writer wins: a deadline-waker and the executor may race.
+        if slot.is_none() {
+            *slot = Some(r);
+            self.ready.notify_all();
+        }
+    }
+}
+
+struct QueuedJob {
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    work: Box<dyn FnOnce(&AtomicBool) -> JobResult + Send>,
+    done: Arc<JobSlot>,
+}
+
+struct Queue {
+    jobs: VecDeque<QueuedJob>,
+    shutting_down: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    available: Condvar,
+    capacity: usize,
+    next_id: AtomicU64,
+}
+
+/// Handle for awaiting one submitted job.
+pub struct JobHandle {
+    pub job_id: u64,
+    deadline: Option<Instant>,
+    cancelled: Arc<AtomicBool>,
+    done: Arc<JobSlot>,
+}
+
+impl JobHandle {
+    /// Blocks until the job completes or its deadline passes.
+    pub fn wait(self) -> JobResult {
+        let mut slot = self.done.result.lock().expect("job slot");
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            match self.deadline {
+                None => slot = self.done.ready.wait(slot).expect("job slot"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        // Tell the executor (if it ever starts this job) to
+                        // stop early; nobody is listening for the result.
+                        self.cancelled.store(true, Ordering::Relaxed);
+                        return Err(JobError::DeadlineExceeded);
+                    }
+                    let (s, _) = self.done.ready.wait_timeout(slot, d - now).expect("job slot");
+                    slot = s;
+                }
+            }
+        }
+    }
+}
+
+/// The bounded scheduler.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    executors: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Scheduler {
+    /// Starts `executors` worker threads over a queue of `capacity` slots.
+    pub fn new(capacity: usize, executors: usize) -> Scheduler {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue { jobs: VecDeque::new(), shutting_down: false }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            next_id: AtomicU64::new(1),
+        });
+        let mut handles = Vec::new();
+        for i in 0..executors.max(1) {
+            let shared = Arc::clone(&shared);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ihtl-serve-exec-{i}"))
+                    .spawn(move || executor_loop(&shared))
+                    .expect("spawn executor"),
+            );
+        }
+        Scheduler { shared, executors: Mutex::new(handles) }
+    }
+
+    /// Admits a job, or rejects immediately when the queue is full. `work`
+    /// receives a cancellation flag it may poll between phases.
+    pub fn submit(
+        &self,
+        deadline: Option<Instant>,
+        work: Box<dyn FnOnce(&AtomicBool) -> JobResult + Send>,
+    ) -> Result<JobHandle, SubmitError> {
+        let mut q = self.shared.queue.lock().expect("scheduler queue");
+        if q.shutting_down {
+            return Err(SubmitError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.shared.capacity {
+            return Err(SubmitError::Overloaded);
+        }
+        let job_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancelled = Arc::new(AtomicBool::new(false));
+        let done = Arc::new(JobSlot { result: Mutex::new(None), ready: Condvar::new() });
+        q.jobs.push_back(QueuedJob {
+            deadline,
+            cancelled: Arc::clone(&cancelled),
+            work,
+            done: Arc::clone(&done),
+        });
+        drop(q);
+        self.shared.available.notify_one();
+        Ok(JobHandle { job_id, deadline, cancelled, done })
+    }
+
+    /// Jobs currently queued (not counting the one an executor is running).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("scheduler queue").jobs.len()
+    }
+
+    /// Drains the queue (pending jobs fail with [`JobError::ShutDown`]) and
+    /// joins the executors after their in-flight jobs finish.
+    pub fn shutdown(&self) {
+        let drained: Vec<QueuedJob> = {
+            let mut q = self.shared.queue.lock().expect("scheduler queue");
+            q.shutting_down = true;
+            q.jobs.drain(..).collect()
+        };
+        self.shared.available.notify_all();
+        for job in drained {
+            job.done.fill(Err(JobError::ShutDown));
+        }
+        let handles = std::mem::take(&mut *self.executors.lock().expect("executors"));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Scheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn executor_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().expect("scheduler queue");
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    break job;
+                }
+                if q.shutting_down {
+                    return;
+                }
+                q = shared.available.wait(q).expect("scheduler queue");
+            }
+        };
+        // Late checks at dequeue: the client may already have given up.
+        if job.cancelled.load(Ordering::Relaxed) {
+            job.done.fill(Err(JobError::Cancelled));
+            continue;
+        }
+        if job.deadline.is_some_and(|d| Instant::now() >= d) {
+            job.done.fill(Err(JobError::DeadlineExceeded));
+            continue;
+        }
+        let cancelled = Arc::clone(&job.cancelled);
+        let work = job.work;
+        let result =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || work(&cancelled)))
+                .unwrap_or(Err(JobError::Panicked));
+        job.done.fill(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn ok_job(v: f64) -> Box<dyn FnOnce(&AtomicBool) -> JobResult + Send> {
+        Box::new(move |_| Ok(Json::Num(v)))
+    }
+
+    fn sleep_job(ms: u64) -> Box<dyn FnOnce(&AtomicBool) -> JobResult + Send> {
+        Box::new(move |_| {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(Json::Null)
+        })
+    }
+
+    #[test]
+    fn runs_jobs_in_order() {
+        let s = Scheduler::new(8, 1);
+        let h1 = s.submit(None, ok_job(1.0)).unwrap();
+        let h2 = s.submit(None, ok_job(2.0)).unwrap();
+        assert_eq!(h1.wait().unwrap(), Json::Num(1.0));
+        assert_eq!(h2.wait().unwrap(), Json::Num(2.0));
+    }
+
+    #[test]
+    fn full_queue_rejects_with_overloaded() {
+        let s = Scheduler::new(1, 1);
+        // Occupy the single executor long enough to fill the queue behind it.
+        let busy = s.submit(None, sleep_job(300)).unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let it start running
+        let queued = s.submit(None, sleep_job(1)).unwrap();
+        let rejected = s.submit(None, ok_job(0.0));
+        assert!(matches!(rejected, Err(SubmitError::Overloaded)));
+        assert!(busy.wait().is_ok());
+        assert!(queued.wait().is_ok());
+    }
+
+    #[test]
+    fn deadline_in_queue_fails_fast() {
+        let s = Scheduler::new(8, 1);
+        let _busy = s.submit(None, sleep_job(300)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let d = Instant::now() + Duration::from_millis(30);
+        let h = s.submit(Some(d), ok_job(1.0)).unwrap();
+        let t = Instant::now();
+        assert_eq!(h.wait(), Err(JobError::DeadlineExceeded));
+        // The waiter must give up at its deadline, not wait for the busy job.
+        assert!(t.elapsed() < Duration::from_millis(250));
+    }
+
+    #[test]
+    fn panicking_job_reports_and_pool_survives() {
+        let s = Scheduler::new(8, 1);
+        let h = s.submit(None, Box::new(|_| panic!("boom"))).unwrap();
+        assert_eq!(h.wait(), Err(JobError::Panicked));
+        let h2 = s.submit(None, ok_job(5.0)).unwrap();
+        assert_eq!(h2.wait().unwrap(), Json::Num(5.0));
+    }
+
+    #[test]
+    fn shutdown_fails_queued_jobs_and_rejects_new() {
+        let s = Scheduler::new(8, 1);
+        let _busy = s.submit(None, sleep_job(200)).unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        let queued = s.submit(None, ok_job(1.0)).unwrap();
+        s.shutdown();
+        assert_eq!(queued.wait(), Err(JobError::ShutDown));
+        assert!(matches!(s.submit(None, ok_job(2.0)), Err(SubmitError::ShuttingDown)));
+    }
+
+    #[test]
+    fn many_executors_drain_concurrently() {
+        let s = Scheduler::new(16, 4);
+        let t = Instant::now();
+        let handles: Vec<_> = (0..4).map(|_| s.submit(None, sleep_job(100)).unwrap()).collect();
+        for h in handles {
+            assert!(h.wait().is_ok());
+        }
+        // 4 × 100 ms jobs on 4 executors: well under the serial 400 ms.
+        assert!(t.elapsed() < Duration::from_millis(350), "{:?}", t.elapsed());
+    }
+
+    #[test]
+    fn failed_jobs_carry_their_message() {
+        let s = Scheduler::new(8, 1);
+        let h =
+            s.submit(None, Box::new(|_| Err(JobError::Failed("no such dataset".into())))).unwrap();
+        assert_eq!(h.wait(), Err(JobError::Failed("no such dataset".into())));
+    }
+}

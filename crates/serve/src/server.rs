@@ -1,0 +1,546 @@
+//! The TCP server: accept loop, per-connection line protocol, and the glue
+//! between registry, scheduler, cache, and stats.
+//!
+//! Connections are thread-per-client over line-delimited JSON. `ping`,
+//! `list`, `stats`, and `shutdown` are answered directly on the connection
+//! thread; `register` and `job` requests do their heavy work through the
+//! registry/scheduler so the admission queue bounds total in-flight
+//! compute. Job replies carry an FNV-1a checksum over the result vector's
+//! f64 bit patterns, so clients can assert bitwise determinism without
+//! shipping the whole vector.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ihtl_apps::{run_job, EngineKind, JobSpec};
+use ihtl_core::IhtlConfig;
+
+use crate::cache::ResultCache;
+use crate::json::Json;
+use crate::proto::{engine_wire_name, GraphSource, Op, Request, WireJob};
+use crate::registry::{Dataset, Registry};
+use crate::sched::{JobError, Scheduler, SubmitError};
+use crate::stats::ServeStats;
+
+/// Server tunables. `Default` suits tests and the smoke script.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Admission queue capacity; beyond it, jobs are rejected `overloaded`.
+    pub queue_capacity: usize,
+    /// Executor threads. One is right for CPU-bound SpMV (the parallel
+    /// pool is already machine-wide); more helps only for blocking jobs.
+    pub executors: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// iHTL build configuration used for every dataset.
+    pub ihtl_cfg: IhtlConfig,
+    /// Request lines longer than this are rejected (protocol error).
+    pub max_line_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: 16,
+            executors: 1,
+            cache_capacity: 64,
+            ihtl_cfg: IhtlConfig::default(),
+            max_line_bytes: 1 << 20,
+        }
+    }
+}
+
+/// Everything the connection handlers share.
+struct ServerState {
+    registry: Registry,
+    scheduler: Scheduler,
+    cache: ResultCache,
+    stats: ServeStats,
+    shutting_down: AtomicBool,
+    cfg: ServerConfig,
+}
+
+/// A bound (not yet running) server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and the scheduler, then joins them.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.state, self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn request_shutdown(state: &ServerState, addr: SocketAddr) {
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+}
+
+impl Server {
+    /// Binds the listening socket.
+    pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let state = Arc::new(ServerState {
+            registry: Registry::new(cfg.ihtl_cfg.clone()),
+            scheduler: Scheduler::new(cfg.queue_capacity, cfg.executors),
+            cache: ResultCache::new(cfg.cache_capacity),
+            stats: ServeStats::default(),
+            shutting_down: AtomicBool::new(false),
+            cfg,
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Runs the accept loop on the current thread until shutdown.
+    pub fn run(self) {
+        let addr = self.listener.local_addr().expect("bound listener");
+        for conn in self.listener.incoming() {
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("ihtl-serve-conn".to_string())
+                .spawn(move || handle_connection(stream, &state, addr));
+        }
+        self.state.scheduler.shutdown();
+    }
+
+    /// Runs the accept loop on a background thread.
+    pub fn spawn(self) -> std::io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let state = Arc::clone(&self.state);
+        let accept_thread = std::thread::Builder::new()
+            .name("ihtl-serve-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(ServerHandle { addr, state, accept_thread: Some(accept_thread) })
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr) {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // take() bounds the line length; a longer line shows up as a "line"
+        // with no terminating newline and non-empty content.
+        let mut limited = (&mut reader).take(state.cfg.max_line_bytes as u64);
+        match limited.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if !line.ends_with('\n') && line.len() >= state.cfg.max_line_bytes {
+            let reply = error_reply(None, "request line too long");
+            let _ = writeln!(writer, "{reply}");
+            return;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match Request::parse(trimmed) {
+            Err(msg) => error_reply(None, &msg),
+            Ok(req) => {
+                let is_shutdown = req.op == Op::Shutdown;
+                let reply = dispatch(state, req);
+                if is_shutdown {
+                    let _ = writeln!(writer, "{reply}");
+                    let _ = writer.flush();
+                    let _ = writer.shutdown(NetShutdown::Both);
+                    request_shutdown(state, addr);
+                    return;
+                }
+                reply
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return;
+        }
+    }
+}
+
+/// Builds the `{"ok":false,...}` reply.
+fn error_reply(id: Option<Json>, msg: &str) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(false)));
+    pairs.push(("error".to_string(), Json::from(msg)));
+    Json::Obj(pairs)
+}
+
+/// Builds the `{"ok":true,...}` reply around a body object.
+fn ok_reply(id: Option<Json>, body: Json) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(true)));
+    if let Json::Obj(fields) = body {
+        pairs.extend(fields);
+    }
+    Json::Obj(pairs)
+}
+
+fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
+    let id = req.id;
+    match req.op {
+        Op::Ping => ok_reply(id, Json::obj([("pong", Json::Bool(true))])),
+        Op::Shutdown => ok_reply(id, Json::obj([("bye", Json::Bool(true))])),
+        Op::List => {
+            let items: Vec<Json> = state
+                .registry
+                .list()
+                .iter()
+                .map(|ds| {
+                    Json::obj([
+                        ("name", Json::from(ds.name.clone())),
+                        ("source", Json::from(ds.source_desc.clone())),
+                        ("n_vertices", Json::from(ds.n_vertices)),
+                        ("n_edges", Json::from(ds.n_edges)),
+                        ("load_seconds", Json::Num(ds.load_seconds)),
+                        ("has_graph", Json::Bool(ds.graph().is_some())),
+                    ])
+                })
+                .collect();
+            ok_reply(id, Json::obj([("datasets", Json::Arr(items))]))
+        }
+        Op::Stats => {
+            let body = state.stats.to_json(state.scheduler.queue_depth(), state.cache.stats());
+            ok_reply(id, body)
+        }
+        Op::Register { name, source } => match handle_register(state, &name, &source) {
+            Ok(body) => ok_reply(id, body),
+            Err(msg) => error_reply(id, &msg),
+        },
+        Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values } => {
+            match handle_job(
+                state,
+                &dataset,
+                engine,
+                &job,
+                timeout_ms,
+                nocache,
+                top_k,
+                include_values,
+            ) {
+                Ok(body) => ok_reply(id, body),
+                Err(msg) => error_reply(id, &msg),
+            }
+        }
+    }
+}
+
+fn handle_register(
+    state: &Arc<ServerState>,
+    name: &str,
+    source: &GraphSource,
+) -> Result<Json, String> {
+    let ds = state.registry.register(name, source)?;
+    Ok(Json::obj([
+        ("name", Json::from(ds.name.clone())),
+        ("n_vertices", Json::from(ds.n_vertices)),
+        ("n_edges", Json::from(ds.n_edges)),
+        ("load_seconds", Json::Num(ds.load_seconds)),
+    ]))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn handle_job(
+    state: &Arc<ServerState>,
+    dataset: &str,
+    engine: EngineKind,
+    job: &WireJob,
+    timeout_ms: Option<u64>,
+    nocache: bool,
+    top_k: usize,
+    include_values: bool,
+) -> Result<Json, String> {
+    let ds = state
+        .registry
+        .get(dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    let cache_key = ResultCache::key(
+        dataset,
+        engine_wire_name(engine),
+        &job.canonical(),
+        top_k,
+        include_values,
+    );
+    let use_cache = job.cacheable() && !nocache && state.cfg.cache_capacity > 0;
+    if use_cache {
+        if let Some(mut body) = state.cache.get(&cache_key) {
+            if let Json::Obj(pairs) = &mut body {
+                pairs.retain(|(k, _)| k != "cached");
+                pairs.push(("cached".to_string(), Json::Bool(true)));
+            }
+            return Ok(body);
+        }
+    }
+
+    state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    let submitted_at = Instant::now();
+    let deadline = timeout_ms.map(|ms| submitted_at + Duration::from_millis(ms));
+    let job_for_exec = job.clone();
+    let state_for_exec = Arc::clone(state);
+    let ds_for_exec = Arc::clone(&ds);
+    let handle = state
+        .scheduler
+        .submit(
+            deadline,
+            Box::new(move |cancel| {
+                execute_job(
+                    &state_for_exec,
+                    &ds_for_exec,
+                    engine,
+                    &job_for_exec,
+                    top_k,
+                    include_values,
+                    cancel,
+                )
+                .map_err(JobError::Failed)
+            }),
+        )
+        .map_err(|e| match e {
+            SubmitError::Overloaded => {
+                state.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                "overloaded".to_string()
+            }
+            SubmitError::ShuttingDown => "server shutting down".to_string(),
+        })?;
+
+    let result = handle.wait();
+    let latency = submitted_at.elapsed().as_secs_f64();
+    state.stats.record_latency(latency);
+    match result {
+        Ok(mut body) => {
+            state.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("latency_seconds".to_string(), Json::Num(latency)));
+            }
+            if use_cache {
+                state.cache.put(cache_key, body.clone());
+            }
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("cached".to_string(), Json::Bool(false)));
+            }
+            Ok(body)
+        }
+        Err(err) => {
+            if err == JobError::DeadlineExceeded {
+                state.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            }
+            state.stats.failed.fetch_add(1, Ordering::Relaxed);
+            Err(err.message())
+        }
+    }
+}
+
+/// Runs the job body on an executor thread.
+fn execute_job(
+    state: &ServerState,
+    ds: &Dataset,
+    engine: EngineKind,
+    job: &WireJob,
+    top_k: usize,
+    include_values: bool,
+    cancel: &AtomicBool,
+) -> Result<Json, String> {
+    if cancel.load(Ordering::Relaxed) {
+        return Err("cancelled".to_string());
+    }
+    match job {
+        WireJob::Sleep { ms } => {
+            // Sleep in slices so cancellation/deadline abandonment is cheap.
+            let end = Instant::now() + Duration::from_millis(*ms);
+            while Instant::now() < end && !cancel.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(5.min(*ms).max(1)));
+            }
+            Ok(Json::obj([("slept_ms", Json::from(*ms))]))
+        }
+        WireJob::Analytic(spec) => {
+            let out = run_analytic(state, ds, engine, spec)?;
+            Ok(job_body(ds, engine, spec, &out, top_k, include_values))
+        }
+        WireJob::Compare { iters } => {
+            let spec = JobSpec::PageRank { iters: *iters };
+            let mut per_engine = Vec::new();
+            let mut reference: Option<(EngineKind, Vec<f64>)> = None;
+            let mut max_abs_diff = 0.0f64;
+            for kind in EngineKind::all() {
+                if cancel.load(Ordering::Relaxed) {
+                    return Err("cancelled".to_string());
+                }
+                if ds.graph().is_none() && kind != EngineKind::Ihtl {
+                    continue; // iHTL-image datasets can only run iHTL
+                }
+                let out = run_analytic(state, ds, kind, &spec)?;
+                match &reference {
+                    None => reference = Some((kind, out.values.clone())),
+                    Some((_, r)) => {
+                        for (a, b) in r.iter().zip(&out.values) {
+                            max_abs_diff = max_abs_diff.max((a - b).abs());
+                        }
+                    }
+                }
+                per_engine.push(Json::obj([
+                    ("engine", Json::from(engine_wire_name(kind))),
+                    ("seconds", Json::Num(out.seconds)),
+                    (
+                        "ns_per_edge",
+                        Json::Num(out.seconds * 1e9 / (ds.n_edges.max(1) * iters) as f64),
+                    ),
+                    ("checksum", Json::from(fnv1a_checksum(&out.values))),
+                ]));
+            }
+            Ok(Json::obj([
+                ("job", Json::from(spec.canonical())),
+                ("engines", Json::Arr(per_engine)),
+                ("max_abs_diff", Json::Num(max_abs_diff)),
+            ]))
+        }
+    }
+}
+
+/// Runs one analytic through the dataset's engine pool, recording engine
+/// time into stats.
+fn run_analytic(
+    state: &ServerState,
+    ds: &Dataset,
+    engine: EngineKind,
+    spec: &JobSpec,
+) -> Result<ihtl_apps::JobOutput, String> {
+    let graph = ds.graph();
+    if spec.needs_raw_graph() && graph.is_none() {
+        return Err(format!(
+            "job '{}' needs the raw graph, which dataset '{}' (iHTL image) lacks",
+            spec.name(),
+            ds.name
+        ));
+    }
+    let out = ds.with_engine(engine, spec.needs_symmetrized(), state.registry.cfg(), |e| {
+        run_job(e, graph.as_deref(), spec)
+    })??;
+    // Attribute traversal work: each round touches every edge once.
+    let edges = (ds.n_edges as u64).saturating_mul(out.rounds as u64);
+    state.stats.record_engine(engine, out.seconds, edges);
+    Ok(out)
+}
+
+/// Renders an analytic's output as the reply body.
+fn job_body(
+    ds: &Dataset,
+    engine: EngineKind,
+    spec: &JobSpec,
+    out: &ihtl_apps::JobOutput,
+    top_k: usize,
+    include_values: bool,
+) -> Json {
+    let mut pairs = vec![
+        ("dataset".to_string(), Json::from(ds.name.clone())),
+        ("engine".to_string(), Json::from(engine_wire_name(engine))),
+        ("job".to_string(), Json::from(spec.canonical())),
+        ("n_vertices".to_string(), Json::from(out.values.len())),
+        ("rounds".to_string(), Json::from(out.rounds)),
+        ("compute_seconds".to_string(), Json::Num(out.seconds)),
+        ("checksum".to_string(), Json::from(fnv1a_checksum(&out.values))),
+    ];
+    if top_k > 0 {
+        let mut idx: Vec<usize> = (0..out.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            out.values[b]
+                .partial_cmp(&out.values[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let top: Vec<Json> = idx
+            .into_iter()
+            .take(top_k)
+            .map(|i| Json::obj([("vertex", Json::from(i)), ("value", Json::Num(out.values[i]))]))
+            .collect();
+        pairs.push(("top".to_string(), Json::Arr(top)));
+    }
+    if include_values {
+        pairs.push((
+            "values".to_string(),
+            Json::Arr(out.values.iter().map(|&v| Json::Num(v)).collect()),
+        ));
+    }
+    Json::Obj(pairs)
+}
+
+/// FNV-1a over the little-endian bit patterns of the vector, rendered as
+/// 16 hex digits. Equal checksums across runs ⇒ bitwise-equal results.
+pub fn fnv1a_checksum(values: &[f64]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        for b in v.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_is_bit_sensitive() {
+        let a = fnv1a_checksum(&[1.0, 2.0, 3.0]);
+        let b = fnv1a_checksum(&[1.0, 2.0, 3.0]);
+        assert_eq!(a, b);
+        assert_ne!(a, fnv1a_checksum(&[1.0, 2.0, 3.0000000000000004]));
+        assert_ne!(a, fnv1a_checksum(&[1.0, 2.0]));
+        assert_eq!(a.len(), 16);
+        // 0.0 and -0.0 differ in bits, so they must differ in checksum.
+        assert_ne!(fnv1a_checksum(&[0.0]), fnv1a_checksum(&[-0.0]));
+    }
+
+    #[test]
+    fn replies_put_id_first_and_ok() {
+        let r = ok_reply(Some(Json::Num(4.0)), Json::obj([("x", Json::from(1u64))]));
+        assert_eq!(r.to_string(), "{\"id\":4,\"ok\":true,\"x\":1}");
+        let e = error_reply(None, "nope");
+        assert_eq!(e.to_string(), "{\"ok\":false,\"error\":\"nope\"}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Serving counters for the `stats` endpoint.
+//!
+//! Everything is atomics — recorded from connection and executor threads
+//! without taking the scheduler's lock. Latency is kept as a log2
+//! histogram of end-to-end microseconds (admission to reply), and each
+//! engine accumulates (seconds, edges, runs) so `stats` can report ns/edge
+//! per traversal strategy — the paper's Figure 7 metric, measured live on
+//! served traffic instead of a benchmark loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ihtl_apps::EngineKind;
+
+use crate::json::Json;
+use crate::proto::engine_wire_name;
+
+/// Number of log2 latency buckets: bucket `i` holds latencies in
+/// `[2^i, 2^{i+1})` µs; the last bucket is open-ended (≥ ~34 s).
+const LATENCY_BUCKETS: usize = 26;
+
+/// One engine's accumulated serving work.
+#[derive(Default)]
+struct EngineAccum {
+    /// Compute nanoseconds (scheduler-measured, excludes queueing).
+    nanos: AtomicU64,
+    /// Edges traversed (iterations × graph edges).
+    edges: AtomicU64,
+    runs: AtomicU64,
+}
+
+/// All serving counters. One instance per server, shared by `Arc`.
+#[derive(Default)]
+pub struct ServeStats {
+    pub submitted: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub rejected_overloaded: AtomicU64,
+    pub deadline_missed: AtomicU64,
+    latency: [AtomicU64; LATENCY_BUCKETS],
+    engines: [EngineAccum; 6],
+}
+
+fn engine_slot(kind: EngineKind) -> usize {
+    EngineKind::all().iter().position(|&k| k == kind).expect("kind in all()")
+}
+
+impl ServeStats {
+    /// Records one end-to-end job latency.
+    pub fn record_latency(&self, seconds: f64) {
+        let micros = (seconds * 1e6).max(0.0) as u64;
+        let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        self.latency[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records compute work attributed to an engine: `seconds` of SpMV over
+    /// `edges` traversed edges.
+    pub fn record_engine(&self, kind: EngineKind, seconds: f64, edges: u64) {
+        let a = &self.engines[engine_slot(kind)];
+        a.nanos.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
+        a.edges.fetch_add(edges, Ordering::Relaxed);
+        a.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders everything as the `stats` reply body. `queue_depth` and the
+    /// cache numbers come from the scheduler and cache at call time.
+    pub fn to_json(&self, queue_depth: usize, cache: (u64, u64, usize)) -> Json {
+        let load = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+        let (cache_hits, cache_misses, cache_len) = cache;
+        let mut latency = Vec::new();
+        for (i, b) in self.latency.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                latency.push(Json::obj([
+                    ("le_us", Json::from(1u64 << (i + 1))),
+                    ("count", Json::from(count)),
+                ]));
+            }
+        }
+        let mut engines = Vec::new();
+        for kind in EngineKind::all() {
+            let a = &self.engines[engine_slot(kind)];
+            let runs = a.runs.load(Ordering::Relaxed);
+            if runs == 0 {
+                continue;
+            }
+            let nanos = a.nanos.load(Ordering::Relaxed);
+            let edges = a.edges.load(Ordering::Relaxed);
+            let ns_per_edge = if edges > 0 { nanos as f64 / edges as f64 } else { f64::NAN };
+            engines.push(Json::obj([
+                ("engine", Json::from(engine_wire_name(kind))),
+                ("runs", Json::from(runs)),
+                ("edges", Json::from(edges)),
+                ("ns_per_edge", Json::Num(ns_per_edge)),
+            ]));
+        }
+        Json::obj([
+            ("submitted", load(&self.submitted)),
+            ("completed", load(&self.completed)),
+            ("failed", load(&self.failed)),
+            ("rejected_overloaded", load(&self.rejected_overloaded)),
+            ("deadline_missed", load(&self.deadline_missed)),
+            ("queue_depth", Json::from(queue_depth)),
+            ("cache_hits", Json::from(cache_hits)),
+            ("cache_misses", Json::from(cache_misses)),
+            ("cache_entries", Json::from(cache_len)),
+            ("latency_us_histogram", Json::Arr(latency)),
+            ("engines", Json::Arr(engines)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_buckets_are_log2_micros() {
+        let s = ServeStats::default();
+        s.record_latency(0.000_003); // 3 µs → bucket [2,4)
+        s.record_latency(0.001); // 1000 µs → bucket [512,1024)... le 1024
+        s.record_latency(10_000.0); // clamps into the last bucket
+        let j = s.to_json(0, (0, 0, 0));
+        let hist = j.get("latency_us_histogram").unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), 3);
+        assert_eq!(hist[0].get("le_us").unwrap().as_u64(), Some(4));
+        assert_eq!(hist[1].get("le_us").unwrap().as_u64(), Some(1024));
+    }
+
+    #[test]
+    fn engine_ns_per_edge() {
+        let s = ServeStats::default();
+        s.record_engine(EngineKind::Ihtl, 1.0, 500_000_000);
+        s.record_engine(EngineKind::Ihtl, 1.0, 500_000_000);
+        let j = s.to_json(2, (1, 2, 3));
+        let engines = j.get("engines").unwrap().as_arr().unwrap();
+        assert_eq!(engines.len(), 1);
+        let e = &engines[0];
+        assert_eq!(e.get("engine").unwrap().as_str(), Some("ihtl"));
+        assert_eq!(e.get("runs").unwrap().as_u64(), Some(2));
+        let nspe = e.get("ns_per_edge").unwrap().as_f64().unwrap();
+        assert!((nspe - 2.0).abs() < 1e-9, "{nspe}");
+        assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(2));
+        assert_eq!(j.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn zero_latency_goes_to_first_bucket() {
+        let s = ServeStats::default();
+        s.record_latency(0.0);
+        let j = s.to_json(0, (0, 0, 0));
+        let hist = j.get("latency_us_histogram").unwrap().as_arr().unwrap();
+        assert_eq!(hist.len(), 1);
+        assert_eq!(hist[0].get("le_us").unwrap().as_u64(), Some(2));
+    }
+}

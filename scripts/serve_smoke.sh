@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Cold-start smoke test of the serving layer: boot `ihtl-serve` on an
+# ephemeral port, register a small R-MAT dataset through `ihtl-cli`, run
+# PageRank twice (the second call must be a cache hit), check the stats
+# endpoint, and shut the server down cleanly. Everything is offline and
+# must finish well under 30 s from a warm build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=target/release/ihtl-serve
+CLI=target/release/ihtl-cli
+if [[ ! -x "$SERVE" || ! -x "$CLI" ]]; then
+    echo "==> building serve binaries (release)"
+    cargo build --release --offline -p ihtl-serve
+fi
+
+workdir=$(mktemp -d)
+port_file="$workdir/port"
+server_log="$workdir/server.log"
+
+cleanup() {
+    if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "==> booting ihtl-serve on an ephemeral port"
+"$SERVE" --addr 127.0.0.1:0 --port-file "$port_file" >"$server_log" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 100); do
+    [[ -s "$port_file" ]] && break
+    kill -0 "$server_pid" 2>/dev/null || { cat "$server_log"; echo "server died"; exit 1; }
+    sleep 0.1
+done
+[[ -s "$port_file" ]] || { echo "server never wrote its port"; exit 1; }
+addr="127.0.0.1:$(cat "$port_file")"
+echo "    listening on $addr"
+
+# Every reply must be one line of JSON with "ok":true (the CLI exits
+# nonzero otherwise, which -e turns into a failure).
+echo "==> ping"
+"$CLI" --addr "$addr" ping
+
+echo "==> register a small R-MAT dataset"
+"$CLI" --addr "$addr" register smoke --rmat-scale 12 --edges 40000 --seed 7
+
+echo "==> pagerank (cold)"
+first=$("$CLI" --addr "$addr" job smoke pagerank --iters 10 --top 3)
+echo "$first"
+grep -q '"cached":false' <<<"$first" || { echo "first call must not be cached"; exit 1; }
+
+echo "==> pagerank (repeat: must hit the result cache)"
+second=$("$CLI" --addr "$addr" job smoke pagerank --iters 10 --top 3)
+echo "$second"
+grep -q '"cached":true' <<<"$second" || { echo "second call must be a cache hit"; exit 1; }
+
+sum1=$(sed 's/.*"checksum":"\([0-9a-f]*\)".*/\1/' <<<"$first")
+sum2=$(sed 's/.*"checksum":"\([0-9a-f]*\)".*/\1/' <<<"$second")
+[[ -n "$sum1" && "$sum1" == "$sum2" ]] || { echo "checksums differ: $sum1 vs $sum2"; exit 1; }
+echo "    checksums match: $sum1"
+
+echo "==> stats"
+stats=$("$CLI" --addr "$addr" stats)
+echo "$stats"
+grep -q '"cache_hits":1' <<<"$stats" || { echo "stats must report the cache hit"; exit 1; }
+
+echo "==> shutdown"
+"$CLI" --addr "$addr" shutdown
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "server did not exit after shutdown op"
+    exit 1
+fi
+unset server_pid
+
+echo "OK: serve smoke (boot, register, pagerank, cache hit, stats, shutdown)"

@@ -26,4 +26,10 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline --workspace
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, benches"
+echo "==> cargo run --offline --release --example quickstart"
+cargo run --offline --release --example quickstart
+
+echo "==> scripts/serve_smoke.sh (serving-layer cold-start smoke test)"
+bash scripts/serve_smoke.sh
+
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, benches, quickstart, serve smoke"
