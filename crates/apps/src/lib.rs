@@ -16,6 +16,8 @@
 //! All of them run on any [`engine::SpmvEngine`], so every paper baseline
 //! (five traversal strategies) and iHTL execute the identical analytic code.
 
+#![forbid(unsafe_code)]
+
 pub mod bfs;
 pub mod components;
 pub mod engine;

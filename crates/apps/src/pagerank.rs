@@ -45,6 +45,7 @@ pub fn pagerank(engine: &mut dyn SpmvEngine, iters: usize) -> PageRankRun {
     let mut iter_seconds = Vec::with_capacity(iters);
 
     for it in 0..iters {
+        // lint:allow(R4): per-iteration timing for the Table 2 report
         let t = Instant::now();
         // Contribution of each vertex; dangling vertices contribute 0 (the
         // paper's formula divides by |N⁺| which only appears for vertices

@@ -5,6 +5,8 @@
 //! whole evaluation in one process (building each dataset once). See
 //! `DESIGN.md` §4 for the experiment index and the expected shapes.
 
+#![forbid(unsafe_code)]
+
 pub mod datasets;
 pub mod experiments;
 pub mod harness;

@@ -18,6 +18,8 @@
 //! buffer budget, as in the paper where buffers are sized to L2; L3
 //! 256 KiB).
 
+#![forbid(unsafe_code)]
+
 pub mod hierarchy;
 pub mod lru;
 pub mod replay;

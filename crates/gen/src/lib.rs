@@ -24,6 +24,8 @@
 //! [`prng::Pcg64`] — the workspace builds hermetically with no external
 //! crates).
 
+#![forbid(unsafe_code)]
+
 pub mod ba;
 pub mod er;
 pub mod prng;

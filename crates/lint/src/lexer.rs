@@ -1,0 +1,337 @@
+//! A minimal, comment- and string-aware Rust lexer.
+//!
+//! The rule engine only needs a faithful *token stream* — identifiers,
+//! punctuation, literals — plus the comments (with their line spans) and the
+//! raw source lines. It does not need a parse tree: every rule in
+//! [`crate::rules`] is expressible over tokens + brace scopes. The lexer
+//! therefore handles exactly the lexical features that would otherwise cause
+//! false positives: line and (nested) block comments, string/char literals
+//! with escapes, raw strings with arbitrary `#` fences, byte literals, and
+//! the char-vs-lifetime ambiguity of `'`.
+//!
+//! All line numbers are 1-based to match `file:line` diagnostics.
+
+/// One code token (comments are collected separately).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (`unsafe`, `fn`, `get_unchecked`, ...).
+    Ident(String),
+    /// Integer literal (`0`, `0x1f`, `12_u32`).
+    Int,
+    /// Float literal (`1.0`, `2.5e3`).
+    Float,
+    /// String, byte-string, or raw-string literal (contents discarded).
+    Str,
+    /// Char or byte-char literal.
+    Char,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Life,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct(char),
+}
+
+/// A token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: usize,
+}
+
+/// A comment with its 1-based line span (block comments may span lines).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/*` markers.
+    pub text: String,
+    pub first_line: usize,
+    pub last_line: usize,
+}
+
+/// Lexer output: tokens, comments, and the raw source split into lines.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+    /// Raw source lines; `lines[i]` is line `i + 1`.
+    pub lines: Vec<String>,
+}
+
+/// Tokenizes `src`. Never fails: unterminated literals simply consume the
+/// rest of the file, which is the right degradation for a lint pass.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed { lines: src.lines().map(String::from).collect(), ..Lexed::default() };
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            b' ' | b'\t' | b'\r' => i += 1,
+            b'/' if peek(b, i + 1) == b'/' => {
+                let start = i;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                out.comments.push(Comment {
+                    text: src[start..i].to_string(),
+                    first_line: line,
+                    last_line: line,
+                });
+            }
+            b'/' if peek(b, i + 1) == b'*' => {
+                let (start, first) = (i, line);
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && peek(b, i + 1) == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && peek(b, i + 1) == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: src[start..i.min(src.len())].to_string(),
+                    first_line: first,
+                    last_line: line,
+                });
+            }
+            b'"' => {
+                out.tokens.push(Token { kind: Tok::Str, line });
+                let (ni, nl) = scan_string(b, i, line);
+                i = ni;
+                line = nl;
+            }
+            b'\'' => {
+                let next = peek(b, i + 1);
+                let is_lifetime = (next == b'_' || next.is_ascii_alphabetic())
+                    && peek(b, i + 2) != b'\''
+                    && next != b'\\';
+                if is_lifetime {
+                    out.tokens.push(Token { kind: Tok::Life, line });
+                    i += 2;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                } else {
+                    out.tokens.push(Token { kind: Tok::Char, line });
+                    let (ni, nl) = scan_char(b, i, line);
+                    i = ni;
+                    line = nl;
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                while i < b.len() && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                let nb = peek(b, i);
+                if matches!(word, "r" | "br" | "rb") && (nb == b'"' || nb == b'#') {
+                    if let Some((ni, nl)) = scan_raw_string(b, i, line) {
+                        out.tokens.push(Token { kind: Tok::Str, line });
+                        i = ni;
+                        line = nl;
+                        continue;
+                    }
+                    // `r#ident` (raw identifier): fall through, emitting `r`;
+                    // the `#` and the identifier lex as ordinary tokens.
+                } else if word == "b" && nb == b'"' {
+                    out.tokens.push(Token { kind: Tok::Str, line });
+                    let (ni, nl) = scan_string(b, i, line);
+                    i = ni;
+                    line = nl;
+                    continue;
+                } else if word == "b" && nb == b'\'' {
+                    out.tokens.push(Token { kind: Tok::Char, line });
+                    let (ni, nl) = scan_char(b, i, line);
+                    i = ni;
+                    line = nl;
+                    continue;
+                }
+                out.tokens.push(Token { kind: Tok::Ident(word.to_string()), line });
+            }
+            _ if c.is_ascii_digit() => {
+                let mut is_float = false;
+                while i < b.len() {
+                    let d = b[i];
+                    if d.is_ascii_alphanumeric() || d == b'_' {
+                        i += 1;
+                    } else if d == b'.' && !is_float && peek(b, i + 1).is_ascii_digit() {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token { kind: if is_float { Tok::Float } else { Tok::Int }, line });
+            }
+            _ => {
+                out.tokens.push(Token { kind: Tok::Punct(c as char), line });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Byte at `i`, or NUL past the end (NUL never occurs in valid source).
+fn peek(b: &[u8], i: usize) -> u8 {
+    if i < b.len() {
+        b[i]
+    } else {
+        0
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphabetic() || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c == b'_' || c.is_ascii_alphanumeric() || c >= 0x80
+}
+
+/// From the opening `"` (index `i`), consumes through the closing quote.
+fn scan_string(b: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
+    // `i` may sit on a `b` prefix's quote already; advance past the quote.
+    debug_assert!(b[i] == b'"');
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                i += 1;
+                break;
+            }
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (i, line)
+}
+
+/// From the opening `'` (index `i`), consumes through the closing quote.
+fn scan_char(b: &[u8], mut i: usize, line: usize) -> (usize, usize) {
+    debug_assert!(b[i] == b'\'');
+    i += 1;
+    while i < b.len() && b[i] != b'\'' {
+        if b[i] == b'\\' {
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    if i < b.len() {
+        i += 1; // consume the closing quote
+    }
+    (i, line)
+}
+
+/// From the first `#` or `"` after an `r`/`br` prefix. Returns `None` when
+/// this is a raw *identifier* (`r#ident`), not a raw string.
+fn scan_raw_string(b: &[u8], mut i: usize, mut line: usize) -> Option<(usize, usize)> {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if peek(b, i) != b'"' {
+        return None;
+    }
+    i += 1;
+    while i < b.len() {
+        if b[i] == b'\n' {
+            line += 1;
+            i += 1;
+        } else if b[i] == b'"' {
+            let mut k = 0usize;
+            while k < hashes && peek(b, i + 1 + k) == b'#' {
+                k += 1;
+            }
+            i += 1 + k;
+            if k == hashes {
+                return Some((i, line));
+            }
+        } else {
+            i += 1;
+        }
+    }
+    Some((i, line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_keywords() {
+        let src = "let a = \"unsafe\"; // unsafe here too\n/* unsafe */ let b = 1;";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b"]);
+        assert_eq!(lex(src).comments.len(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = "let s = r#\"unsafe \"x\" panic!\"#; call();";
+        assert_eq!(idents(src), vec!["let", "s", "call"]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let src = "let c: char = 'a'; fn f<'a>(x: &'a str) {} let q = '\\'';";
+        let l = lex(src);
+        let lifetimes = l.tokens.iter().filter(|t| t.kind == Tok::Life).count();
+        let chars = l.tokens.iter().filter(|t| t.kind == Tok::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        assert_eq!(idents(src), vec!["fn", "f"]);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_literals() {
+        let src = "let s = \"a\nb\";\nfn g() {}";
+        let l = lex(src);
+        let g =
+            l.tokens.iter().find(|t| t.kind == Tok::Ident("g".into())).map(|t| t.line).unwrap_or(0);
+        assert_eq!(g, 3);
+    }
+
+    #[test]
+    fn int_vs_float_vs_range() {
+        let src = "a[0]; let x = 1.5; for i in 0..n {}";
+        let l = lex(src);
+        let ints = l.tokens.iter().filter(|t| t.kind == Tok::Int).count();
+        let floats = l.tokens.iter().filter(|t| t.kind == Tok::Float).count();
+        assert_eq!(ints, 2); // `0` (index) and `0` (range start)
+        assert_eq!(floats, 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! ihtl-lint: hermetic workspace static analysis.
+//!
+//! The workspace's correctness rests on hand-written invariants — unchecked
+//! CSR iteration in the flipped-block kernels, a custom parked-worker pool,
+//! a byte-stable wire protocol. Under the zero-external-deps policy there is
+//! no off-the-shelf linter to machine-check them, so this crate is one: a
+//! std-only lexer ([`lexer`]) plus a rule engine ([`rules`]) walking every
+//! `.rs` file under `crates/`, `src/`, `tests/`, and `examples/`.
+//!
+//! Run it with `cargo run -p ihtl-lint` (or `scripts/lint.sh`). Findings
+//! print as `file:line:rule: message` and the process exits nonzero. A
+//! finding is silenced only by a reasoned suppression comment placed on or
+//! directly above the offending line (see DESIGN.md §8 for the policy):
+//!
+//! ```text
+//! // lint:allow(R4): wall-clock feeds the reported phase stats, not values
+//! let t0 = Instant::now();
+//! ```
+//!
+//! The reason is mandatory; suppressions are counted, reported, and checked
+//! against a baseline by `tests/self_lint.rs` so new ones show up in review.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+pub use rules::{check_file, FileReport, Finding, UsedSuppression, KNOWN_RULES};
+
+/// One finding tagged with its workspace-relative file path.
+#[derive(Debug, Clone)]
+pub struct WorkspaceFinding {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+impl WorkspaceFinding {
+    /// The `file:line:rule: message` diagnostic line.
+    pub fn render(&self) -> String {
+        format!("{}:{}:{}: {}", self.file, self.line, self.rule, self.msg)
+    }
+}
+
+/// One honoured suppression tagged with its file.
+#[derive(Debug, Clone)]
+pub struct WorkspaceSuppression {
+    pub file: String,
+    pub line: usize,
+    pub rule: &'static str,
+    pub reason: String,
+}
+
+/// Aggregate result of linting the whole workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub files_checked: usize,
+    pub findings: Vec<WorkspaceFinding>,
+    pub suppressions: Vec<WorkspaceSuppression>,
+}
+
+impl WorkspaceReport {
+    /// Honoured-suppression counts per rule, sorted by rule id — the shape
+    /// checked against the committed baseline.
+    pub fn suppression_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for s in &self.suppressions {
+            match counts.iter_mut().find(|(r, _)| r == s.rule) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((s.rule.to_string(), 1)),
+            }
+        }
+        counts.sort();
+        counts
+    }
+}
+
+/// Lints every `.rs` file reachable from `root` (the workspace root).
+pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for top in ["crates", "src", "tests", "examples"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            collect_rs(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut report = WorkspaceReport::default();
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let src = fs::read_to_string(path)
+            .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+        let fr = check_file(&rel, &src);
+        report.files_checked += 1;
+        for f in fr.findings {
+            report.findings.push(WorkspaceFinding {
+                file: rel.clone(),
+                line: f.line,
+                rule: f.rule,
+                msg: f.msg,
+            });
+        }
+        for s in fr.suppressions {
+            report.suppressions.push(WorkspaceSuppression {
+                file: rel.clone(),
+                line: s.line,
+                rule: s.rule,
+                reason: s.reason,
+            });
+        }
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files, skipping build output and VCS state.
+/// Entries are visited in sorted order so reports are deterministic.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| format!("{}: {e}", dir.display()))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+        if name.starts_with('.') || name == "target" {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,81 @@
+//! `ihtl-lint` binary: lint the workspace, print findings, exit nonzero on
+//! any. See `ihtl_lint` (lib) for the rule catalogue and DESIGN.md §8 for
+//! the policy.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ihtl-lint [--root <dir>] [--list-suppressions]\n\
+         \n\
+         Lints every .rs file under <dir> (default: the workspace root\n\
+         inferred from this binary's manifest, else the current directory)\n\
+         against the R1-R5 invariants. Exits 1 on findings, 2 on usage or\n\
+         I/O errors."
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut list_suppressions = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => usage(),
+            },
+            "--list-suppressions" => list_suppressions = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    // When run via `cargo run -p ihtl-lint`, the manifest dir is
+    // `<workspace>/crates/lint`; its grandparent is the workspace root.
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."))
+    });
+
+    let report = match ihtl_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ihtl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    for f in &report.findings {
+        println!("{}", f.render());
+    }
+    if list_suppressions {
+        for s in &report.suppressions {
+            println!("suppressed {} at {}:{}: {}", s.rule, s.file, s.line, s.reason);
+        }
+    }
+    let counts = report
+        .suppression_counts()
+        .into_iter()
+        .map(|(r, n)| format!("{r}={n}"))
+        .collect::<Vec<_>>()
+        .join(" ");
+    let suffix = if counts.is_empty() { String::new() } else { format!(" ({counts})") };
+    eprintln!(
+        "ihtl-lint: {} files, {} findings, {} suppressions honoured{suffix}",
+        report.files_checked,
+        report.findings.len(),
+        report.suppressions.len(),
+    );
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

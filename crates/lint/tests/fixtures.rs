@@ -1,0 +1,230 @@
+//! Fixture tests: every rule must catch its deliberately-broken snippet
+//! (positive), stay quiet on the compliant variant (negative), and honour a
+//! reasoned suppression (suppressed). Paths are faked to exercise the
+//! path-scoped rules; the engine never touches the filesystem here.
+
+use ihtl_lint::check_file;
+
+/// Rules triggered on `src` when linted under `path`.
+fn rules_at(path: &str, src: &str) -> Vec<&'static str> {
+    check_file(path, src).findings.iter().map(|f| f.rule).collect()
+}
+
+/// (rules, honoured-suppression count).
+fn rules_and_sups(path: &str, src: &str) -> (Vec<&'static str>, usize) {
+    let r = check_file(path, src);
+    (r.findings.iter().map(|f| f.rule).collect(), r.suppressions.len())
+}
+
+const ANY: &str = "crates/graph/src/fixture.rs";
+
+// ---------------------------------------------------------------------- R1
+
+#[test]
+fn r1_unsafe_without_safety_comment() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_at(ANY, src), vec!["R1"]);
+}
+
+#[test]
+fn r1_safety_comment_directly_above_passes() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r1_safety_doc_section_on_unsafe_fn_passes() {
+    let src = "/// Reads raw.\n///\n/// # Safety\n/// `p` must be valid.\npub unsafe fn f(p: *const u32) -> u32 {\n    // SAFETY: contract forwarded from the fn's # Safety section.\n    unsafe { *p }\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r1_comment_survives_attributes_and_binding_head() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: p valid for reads.\n    #[allow(clippy::let_and_return)]\n    let v =\n        unsafe { *p };\n    v\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r1_fn_pointer_type_is_not_a_site() {
+    let src = "struct Job {\n    run: unsafe fn(*const ()),\n}\ntype F = unsafe fn(u32) -> u32;\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r1_unsafe_in_string_or_comment_is_not_a_site() {
+    let src =
+        "// this mentions unsafe code\npub fn f() -> &'static str {\n    \"unsafe { nope }\"\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r1_blank_line_detaches_the_comment() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // SAFETY: stale, detached comment.\n\n    unsafe { *p }\n}\n";
+    assert_eq!(rules_at(ANY, src), vec!["R1"]);
+}
+
+#[test]
+fn r1_suppression_with_reason_is_honoured() {
+    let src = "pub fn f(p: *const u32) -> u32 {\n    // lint:allow(R1): audited in review, comment pending\n    unsafe { *p }\n}\n";
+    let (rules, sups) = rules_and_sups(ANY, src);
+    assert!(rules.is_empty());
+    assert_eq!(sups, 1);
+}
+
+// ---------------------------------------------------------------------- R2
+
+#[test]
+fn r2_get_unchecked_far_from_justification() {
+    // The SAFETY comment is more than two code lines above the call and
+    // the function has no assert: both justification paths fail.
+    let src = "pub fn f(xs: &[f64], i: usize) -> f64 {\n    // SAFETY: block established elsewhere.\n    unsafe {\n        let a = i + 1;\n        let b = a * 2;\n        let c = b - 1;\n        *xs.get_unchecked(c)\n    }\n}\n";
+    assert_eq!(rules_at(ANY, src), vec!["R2"]);
+}
+
+#[test]
+fn r2_debug_assert_in_enclosing_fn_passes() {
+    let src = "pub fn f(xs: &[f64], i: usize) -> f64 {\n    debug_assert!(i + 1 < xs.len());\n    // SAFETY: bounds checked by the debug_assert above.\n    unsafe {\n        let a = i + 1;\n        let b = a;\n        let c = b;\n        *xs.get_unchecked(c)\n    }\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r2_adjacent_safety_comment_passes() {
+    let src = "pub fn f(xs: &[f64], i: usize) -> f64 {\n    // SAFETY: i < xs.len() validated at IHTLBLK2 load time.\n    unsafe { *xs.get_unchecked(i) }\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r2_assert_in_another_fn_does_not_count() {
+    let src = "pub fn g(xs: &[f64]) {\n    assert!(!xs.is_empty());\n}\npub fn f(xs: &[f64], i: usize) -> f64 {\n    unsafe {\n        let a = i;\n        let b = a;\n        let c = b;\n        *xs.get_unchecked(c)\n    }\n}\n";
+    assert!(rules_at(ANY, src).contains(&"R2"));
+}
+
+// ---------------------------------------------------------------------- R3
+
+const SERVE: &str = "crates/serve/src/handler.rs";
+
+#[test]
+fn r3_unwrap_expect_panic_and_literal_index_in_serve() {
+    let src = "pub fn handle(v: &[u8], m: std::sync::Mutex<u32>) -> u8 {\n    let g = m.lock().unwrap();\n    let h = m.lock().expect(\"lock\");\n    if v.is_empty() {\n        panic!(\"empty\");\n    }\n    v[0]\n}\n";
+    assert_eq!(rules_at(SERVE, src), vec!["R3", "R3", "R3", "R3"]);
+}
+
+#[test]
+fn r3_does_not_apply_outside_serve_and_traversal() {
+    let src = "pub fn f(v: &[u8]) -> u8 {\n    v.first().copied().unwrap()\n}\n";
+    assert!(rules_at("crates/gen/src/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r3_cfg_test_module_is_exempt() {
+    let src = "pub fn ok() {}\n\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let v = vec![1u8];\n        assert_eq!(v[0], 1);\n        Some(3).unwrap();\n    }\n}\n";
+    assert!(rules_at(SERVE, src).is_empty());
+}
+
+#[test]
+fn r3_unwrap_or_and_expect_byte_are_fine() {
+    let src = "pub fn f(v: Option<u8>, p: &mut Parser) -> Result<u8, ()> {\n    p.expect_byte(b':')?;\n    Ok(v.unwrap_or(0))\n}\n";
+    assert!(rules_at(SERVE, src).is_empty());
+}
+
+#[test]
+fn r3_unreachable_in_traversal_kernel() {
+    let src = "pub fn kernel(sel: u8) -> u8 {\n    match sel {\n        0 => 1,\n        _ => unreachable!(\"bad selector\"),\n    }\n}\n";
+    assert_eq!(rules_at("crates/traversal/src/kernel.rs", src), vec!["R3"]);
+}
+
+#[test]
+fn r3_suppression_requires_reason() {
+    let with_reason = "pub fn f(v: Option<u8>) -> u8 {\n    // lint:allow(R3): startup path, cannot be reached with a live socket\n    v.unwrap()\n}\n";
+    let (rules, sups) = rules_and_sups(SERVE, with_reason);
+    assert!(rules.is_empty());
+    assert_eq!(sups, 1);
+
+    let without_reason =
+        "pub fn f(v: Option<u8>) -> u8 {\n    // lint:allow(R3)\n    v.unwrap()\n}\n";
+    let got = rules_at(SERVE, without_reason);
+    // The reason-less comment is itself a finding and suppresses nothing.
+    assert!(got.contains(&"S1") && got.contains(&"R3"), "{got:?}");
+}
+
+// ---------------------------------------------------------------------- R4
+
+#[test]
+fn r4_hashmap_in_wire_file() {
+    let src = "use std::collections::HashMap;\npub fn render(m: &HashMap<String, u32>) -> String {\n    format!(\"{}\", m.len())\n}\n";
+    let got = rules_at("crates/serve/src/json.rs", src);
+    assert_eq!(got, vec!["R4", "R4"]);
+    // The same code is fine in a non-wire serve file (order never leaks).
+    assert!(rules_at("crates/serve/src/registry.rs", src).is_empty());
+}
+
+#[test]
+fn r4_instant_now_outside_stats_or_bench() {
+    let src = "use std::time::Instant;\npub fn f() -> f64 {\n    let t = Instant::now();\n    t.elapsed().as_secs_f64()\n}\n";
+    assert_eq!(rules_at("crates/core/src/fixture.rs", src), vec!["R4"]);
+    assert!(rules_at("crates/bench/src/fixture.rs", src).is_empty());
+    assert!(rules_at("crates/core/src/stats.rs", src).is_empty());
+    assert!(rules_at("crates/core/benches/fixture.rs", src).is_empty());
+}
+
+#[test]
+fn r4_systemtime_now_flagged_and_suppressible() {
+    let src = "pub fn f() {\n    // lint:allow(R4): logged timestamp only, never fed to a checksum\n    let _ = std::time::SystemTime::now();\n}\n";
+    let (rules, sups) = rules_and_sups("crates/core/src/fixture.rs", src);
+    assert!(rules.is_empty());
+    assert_eq!(sups, 1);
+}
+
+// ---------------------------------------------------------------------- R5
+
+#[test]
+fn r5_thread_spawn_outside_runtime_crates() {
+    let src = "pub fn f() {\n    std::thread::spawn(|| {});\n    let b = std::thread::Builder::new();\n    let _ = b;\n}\n";
+    assert_eq!(rules_at("crates/apps/src/fixture.rs", src), vec!["R5", "R5"]);
+    assert!(rules_at("crates/parallel/src/fixture.rs", src).is_empty());
+    assert!(rules_at("crates/serve/src/bin/daemon.rs", src).is_empty());
+}
+
+#[test]
+fn r5_thread_sleep_is_fine_anywhere() {
+    let src = "pub fn f() {\n    std::thread::sleep(std::time::Duration::from_millis(1));\n}\n";
+    assert!(rules_at("crates/apps/src/fixture.rs", src).is_empty());
+}
+
+// -------------------------------------------------------------- suppressions
+
+#[test]
+fn unused_suppression_is_reported() {
+    let src = "// lint:allow(R3): nothing here actually violates R3\npub fn f() {}\n";
+    assert_eq!(rules_at(SERVE, src), vec!["S2"]);
+}
+
+#[test]
+fn unknown_rule_in_suppression_is_reported() {
+    let src = "// lint:allow(R9): no such rule\npub fn f() {}\n";
+    assert_eq!(rules_at(ANY, src), vec!["S1"]);
+}
+
+#[test]
+fn prose_mentioning_the_syntax_is_not_a_suppression() {
+    let src = "/// Silence a finding with a `lint:allow(R4): reason` comment.\npub fn f() {}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn one_comment_may_cover_multiple_rules() {
+    let src = "pub fn f(v: Option<u8>) -> u64 {\n    // lint:allow(R3, R4): fixture exercising multi-rule suppressions\n    v.unwrap() as u64 + std::time::Instant::now().elapsed().as_secs()\n}\n";
+    let (rules, sups) = rules_and_sups(SERVE, src);
+    assert!(rules.is_empty(), "{rules:?}");
+    assert_eq!(sups, 2);
+}
+
+// ------------------------------------------------------------------- output
+
+#[test]
+fn findings_render_as_file_line_rule() {
+    let report = check_file(SERVE, "pub fn f(v: Option<u8>) -> u8 {\n    v.unwrap()\n}\n");
+    assert_eq!(report.findings.len(), 1);
+    let f = &report.findings[0];
+    assert_eq!((f.line, f.rule), (2, "R3"));
+}

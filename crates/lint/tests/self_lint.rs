@@ -1,0 +1,58 @@
+//! Self-lint: the workspace itself must be clean, and the honoured
+//! suppressions must match the committed baseline (`lint.baseline`) so any
+//! new `lint:allow` comment is a visible diff, not a silent drift.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let report = ihtl_lint::lint_workspace(&root).expect("lint walk");
+    assert!(report.files_checked > 50, "walker found only {} files", report.files_checked);
+    let rendered: Vec<String> = report.findings.iter().map(|f| f.render()).collect();
+    assert!(rendered.is_empty(), "workspace has lint findings:\n{}", rendered.join("\n"));
+}
+
+#[test]
+fn suppression_counts_match_baseline() {
+    let root = workspace_root();
+    let report = ihtl_lint::lint_workspace(&root).expect("lint walk");
+    let live = report.suppression_counts();
+    let baseline = read_baseline(&root.join("crates/lint/lint.baseline"));
+    assert_eq!(
+        live, baseline,
+        "honoured suppressions diverge from crates/lint/lint.baseline — if the new \
+         suppression is justified, update the baseline in the same change"
+    );
+    // Every honoured suppression must carry a non-empty reason (the parser
+    // enforces this; double-check the invariant end to end).
+    for s in &report.suppressions {
+        assert!(!s.reason.trim().is_empty(), "reason-less suppression at {}:{}", s.file, s.line);
+    }
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn read_baseline(path: &Path) -> Vec<(String, usize)> {
+    let text = std::fs::read_to_string(path).expect("read lint.baseline");
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(rule), Some(count)) = (it.next(), it.next()) else {
+            panic!("malformed baseline line: {line}");
+        };
+        out.push((rule.to_string(), count.parse().expect("baseline count")));
+    }
+    out.sort();
+    out
+}

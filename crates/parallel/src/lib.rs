@@ -161,6 +161,10 @@ fn worker_main(shared: &'static Shared, idx: usize) {
         drop(st);
 
         WORKER_INDEX.with(|c| c.set(Some(idx)));
+        // SAFETY: `job.data` points at the region closure published by
+        // `run_region`, which blocks until `remaining == 0`; this worker
+        // decrements only after the call returns or unwinds, so the
+        // closure is live for the whole call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.data, idx) }));
         WORKER_INDEX.with(|c| c.set(None));
 
@@ -184,6 +188,9 @@ fn run_region<F>(f: &F)
 where
     F: Fn(usize) + Sync,
 {
+    // SAFETY: `data` must be the `&F` published for the current region.
+    // Upheld by construction: this generic instantiation is only ever
+    // paired with `f as *const F` in the `Job` built below.
     unsafe fn call<F: Fn(usize)>(data: *const (), idx: usize) {
         (*(data as *const F))(idx);
     }
@@ -270,6 +277,9 @@ where
 /// distinct worker index — same safety argument as every privatised buffer
 /// in the workspace.
 struct SlotArray<'a, T>(&'a [UnsafeCell<Option<T>>]);
+// SAFETY: each cell is written only through `slot(i)` with the caller's
+// distinct worker index, so no two threads ever touch the same cell; `T:
+// Send` makes moving each value to the reducing thread sound.
 unsafe impl<T: Send> Sync for SlotArray<'_, T> {}
 
 impl<T> SlotArray<'_, T> {
@@ -357,6 +367,9 @@ where
 
 /// Shared-pointer wrapper letting disjoint-index writers run in parallel.
 struct SharedMut<T>(*mut T);
+// SAFETY: callers only dereference disjoint indices (each participant owns
+// a distinct chunk of `0..len`), so the shared raw pointer never aliases a
+// concurrently-written element.
 unsafe impl<T: Send> Sync for SharedMut<T> {}
 
 impl<T> SharedMut<T> {

@@ -118,6 +118,7 @@ impl BucketQueue {
 
 /// Runs GOrder with window width `w` (the original paper uses w = 5).
 pub fn gorder(g: &Graph, w: usize) -> Reordering {
+    // lint:allow(R4): reorder cost is reported alongside the ordering
     let t = Instant::now();
     let n = g.n_vertices();
     assert!(w >= 1);

@@ -15,6 +15,8 @@
 //! All of them produce a [`Reordering`]: a permutation `perm[old] = new`
 //! plus the preprocessing wall-clock the paper prices in Figure 8 (right).
 
+#![forbid(unsafe_code)]
+
 pub mod gorder;
 pub mod rabbit;
 pub mod simple;

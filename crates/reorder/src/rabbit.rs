@@ -24,6 +24,7 @@ enum Node {
 /// Runs Rabbit-Order-style aggregation with at most `max_levels` rounds of
 /// contraction.
 pub fn rabbit_order(g: &Graph, max_levels: usize) -> Reordering {
+    // lint:allow(R4): reorder cost is reported alongside the ordering
     let t = Instant::now();
     let n = g.n_vertices();
     // Undirected weighted multigraph as adjacency maps community → weight.

@@ -14,6 +14,7 @@ pub fn identity(g: &Graph) -> Reordering {
 
 /// A seeded uniformly random ordering — the locality-destroying control.
 pub fn random(g: &Graph, seed: u64) -> Reordering {
+    // lint:allow(R4): reorder cost is reported alongside the ordering
     let t = Instant::now();
     let mut order: Vec<VertexId> = (0..g.n_vertices() as u32).collect();
     let mut rng = ihtl_gen::Pcg64::seed_from_u64(seed);
@@ -30,6 +31,7 @@ pub fn random(g: &Graph, seed: u64) -> Reordering {
 /// schemes apply throughout (the paper notes this "destroys locality
 /// expressed in the initial assignment of vertex labels", §5.4).
 pub fn degree_sort(g: &Graph) -> Reordering {
+    // lint:allow(R4): reorder cost is reported alongside the ordering
     let t = Instant::now();
     let order = vertices_by_in_degree_desc(g);
     let mut perm = vec![0 as VertexId; order.len()];

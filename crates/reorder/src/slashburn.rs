@@ -56,6 +56,7 @@ impl UnionFind {
 /// Runs SlashBurn with hub fraction `k_ratio` (the original paper suggests
 /// 0.5 % of |V| per round). Degrees are taken over the undirected view.
 pub fn slashburn(g: &Graph, k_ratio: f64) -> Reordering {
+    // lint:allow(R4): reorder cost is reported alongside the ordering
     let t = Instant::now();
     let n = g.n_vertices();
     let k = ((n as f64 * k_ratio).ceil() as usize).max(1);

@@ -148,7 +148,13 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let mut writer = stream.try_clone().expect("clone stream");
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: cloning connection to {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
     if writeln!(writer, "{request}").is_err() {
         eprintln!("error: sending request to {addr}");
         std::process::exit(1);

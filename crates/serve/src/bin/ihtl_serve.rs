@@ -49,7 +49,7 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let addr = server.local_addr().expect("bound listener");
+    let addr = server.local_addr();
     if let Some(path) = port_file {
         if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
             eprintln!("error: writing port file '{path}': {e}");

@@ -58,7 +58,7 @@ impl ResultCache {
 
     /// Looks up `key`, refreshing its recency on a hit.
     pub fn get(&self, key: &str) -> Option<Json> {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = crate::lock_ok(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
@@ -76,7 +76,7 @@ impl ResultCache {
 
     /// Inserts a reply, evicting the least-recently-used entry at capacity.
     pub fn put(&self, key: String, value: Json) {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = crate::lock_ok(&self.inner);
         if inner.capacity == 0 {
             return;
         }
@@ -94,7 +94,7 @@ impl ResultCache {
 
     /// (hits, misses, current length).
     pub fn stats(&self) -> (u64, u64, usize) {
-        let len = self.inner.lock().expect("cache lock").map.len();
+        let len = crate::lock_ok(&self.inner).map.len();
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed), len)
     }
 }

@@ -223,7 +223,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -288,7 +288,7 @@ impl Parser<'_> {
                     loop {
                         let k = self.string()?;
                         self.skip_ws();
-                        self.expect(b':')?;
+                        self.expect_byte(b':')?;
                         self.skip_ws();
                         let v = self.value()?;
                         pairs.push((k, v));
@@ -338,12 +338,17 @@ impl Parser<'_> {
                 self.pos += 1;
             }
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        // The scanned range holds only ASCII digit/sign/dot/exponent bytes,
+        // so this conversion cannot fail; report it as a parse error anyway
+        // rather than panicking a connection thread.
+        let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
+            return Err(self.err("bad number"));
+        };
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err(format!("bad number '{text}'")))
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -395,7 +400,9 @@ impl Parser<'_> {
                     // Copy one UTF-8 scalar (multi-byte sequences intact).
                     let rest = std::str::from_utf8(&self.bytes[self.pos..])
                         .map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("non-empty");
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.err("unexpected end of input"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

@@ -24,6 +24,16 @@
 //!
 //! Binaries: `ihtl-serve` (the daemon) and `ihtl-cli` (a one-shot client).
 //! See DESIGN.md for the wire grammar and README.md for a quickstart.
+//!
+//! The whole crate is on the panic-free service path checked by `ihtl-lint`
+//! (rule R3): request handling returns protocol errors instead of
+//! unwrapping, and poisoned locks are recovered via [`lock_ok`] /
+//! [`read_ok`] / [`write_ok`] — a panic in one job must never take down a
+//! connection thread that merely shares a mutex with it.
+
+#![forbid(unsafe_code)]
+
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 pub mod argv;
 pub mod cache;
@@ -40,3 +50,22 @@ pub use registry::Registry;
 pub use sched::{JobError, Scheduler, SubmitError};
 pub use server::{fnv1a_checksum, Server, ServerConfig, ServerHandle};
 pub use stats::ServeStats;
+
+/// Locks `m`, recovering from poisoning. Every value guarded by a mutex in
+/// this crate is kept consistent by its writers *before* any operation that
+/// can panic, so the poisoned payload is safe to reuse — and the
+/// alternative (unwrap) would cascade one job's panic into every connection
+/// thread touching the same lock.
+pub fn lock_ok<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-locks `l`, recovering from poisoning (see [`lock_ok`]).
+pub fn read_ok<T: ?Sized>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-locks `l`, recovering from poisoning (see [`lock_ok`]).
+pub fn write_ok<T: ?Sized>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}

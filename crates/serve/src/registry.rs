@@ -95,13 +95,13 @@ impl Dataset {
         f: impl FnOnce(&mut dyn SpmvEngine) -> R,
     ) -> Result<R, String> {
         let key = engine_key(kind, symmetrized);
-        let pooled = self.engines.lock().expect("engine pool").get_mut(&key).and_then(Vec::pop);
+        let pooled = crate::lock_ok(&self.engines).get_mut(&key).and_then(Vec::pop);
         let mut engine = match pooled {
             Some(e) => e,
             None => self.build_engine(kind, symmetrized, cfg)?,
         };
         let out = f(engine.as_mut());
-        self.engines.lock().expect("engine pool").entry(key).or_default().push(engine);
+        crate::lock_ok(&self.engines).entry(key).or_default().push(engine);
         Ok(out)
     }
 
@@ -147,12 +147,12 @@ impl Registry {
 
     /// Looks up a registered dataset.
     pub fn get(&self, name: &str) -> Option<Arc<Dataset>> {
-        self.map.read().expect("registry").get(name).cloned()
+        crate::read_ok(&self.map).get(name).cloned()
     }
 
     /// All datasets, sorted by name (for `list`).
     pub fn list(&self) -> Vec<Arc<Dataset>> {
-        let mut v: Vec<_> = self.map.read().expect("registry").values().cloned().collect();
+        let mut v: Vec<_> = crate::read_ok(&self.map).values().cloned().collect();
         v.sort_by(|a, b| a.name.cmp(&b.name));
         v
     }
@@ -174,14 +174,17 @@ impl Registry {
         }
         // Load outside the write lock: generation can take seconds and
         // must not block lookups for running jobs.
+        // lint:allow(R4): load_seconds is reported registration metadata
         let t = Instant::now();
         let loaded = load_source(source)?;
         let load_seconds = t.elapsed().as_secs_f64();
-        let (graph, ihtl) = loaded;
-        let (n_vertices, n_edges) = match (&graph, &ihtl) {
-            (Some(g), _) => (g.n_vertices(), g.n_edges()),
-            (None, Some(ih)) => (ih.n_vertices(), ih.n_edges()),
-            (None, None) => unreachable!("load_source returns at least one"),
+        let (n_vertices, n_edges) = match &loaded {
+            Loaded::Raw(g) => (g.n_vertices(), g.n_edges()),
+            Loaded::Image(ih) => (ih.n_vertices(), ih.n_edges()),
+        };
+        let (graph, ihtl) = match loaded {
+            Loaded::Raw(g) => (Some(g), None),
+            Loaded::Image(ih) => (None, Some(ih)),
         };
         let ds = Arc::new(Dataset {
             name: name.to_string(),
@@ -200,7 +203,7 @@ impl Registry {
             n_edges,
             load_seconds,
         });
-        let mut map = self.map.write().expect("registry");
+        let mut map = crate::write_ok(&self.map);
         // Two clients may race to register the same name; first wins, and
         // the loser's load is discarded (idempotent if sources matched).
         if let Some(existing) = map.get(name) {
@@ -218,17 +221,22 @@ impl Registry {
     }
 }
 
-/// Loads a graph (and/or a prebuilt iHTL image) from a source description.
-#[allow(clippy::type_complexity)]
-fn load_source(
-    source: &GraphSource,
-) -> Result<(Option<Arc<Graph>>, Option<Arc<IhtlGraph>>), String> {
+/// What loading a source yields: every source produces exactly one of a
+/// raw graph or a prebuilt iHTL image — an enum, so `register` cannot see
+/// an impossible "neither" state (the panic-free tier bans `unreachable!`).
+enum Loaded {
+    Raw(Arc<Graph>),
+    Image(Arc<IhtlGraph>),
+}
+
+/// Loads a graph (or a prebuilt iHTL image) from a source description.
+fn load_source(source: &GraphSource) -> Result<Loaded, String> {
     match source {
         GraphSource::Rmat { scale, edges, seed } => {
             let raw = rmat_edges(*scale, *edges, RmatParams::social(), *seed);
             let mut el = EdgeList::from_edges(1usize << scale, raw);
             el.compact_zero_degree();
-            Ok((Some(Arc::new(Graph::from_edge_list(&el))), None))
+            Ok(Loaded::Raw(Arc::new(Graph::from_edge_list(&el))))
         }
         GraphSource::Suite { key } => {
             let spec = suite()
@@ -236,22 +244,22 @@ fn load_source(
                 .chain(suite_small())
                 .find(|s| s.key == key)
                 .ok_or_else(|| format!("unknown suite key '{key}'"))?;
-            Ok((Some(Arc::new(spec.build())), None))
+            Ok(Loaded::Raw(Arc::new(spec.build())))
         }
         GraphSource::EdgeListFile { path } => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("reading edge list '{path}': {e}"))?;
-            Ok((Some(Arc::new(parse_edge_list_text(&text)?)), None))
+            Ok(Loaded::Raw(Arc::new(parse_edge_list_text(&text)?)))
         }
         GraphSource::GraphImage { path } => {
             let g = ihtl_graph::io::load_graph(Path::new(path))
                 .map_err(|e| format!("loading graph image '{path}': {e}"))?;
-            Ok((Some(Arc::new(g)), None))
+            Ok(Loaded::Raw(Arc::new(g)))
         }
         GraphSource::IhtlImage { path } => {
             let ih = load_ihtl(Path::new(path))
                 .map_err(|e| format!("loading iHTL image '{path}': {e}"))?;
-            Ok((None, Some(Arc::new(ih))))
+            Ok(Loaded::Image(Arc::new(ih)))
         }
     }
 }

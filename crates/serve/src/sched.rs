@@ -18,7 +18,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -71,7 +71,7 @@ struct JobSlot {
 
 impl JobSlot {
     fn fill(&self, r: JobResult) {
-        let mut slot = self.result.lock().expect("job slot");
+        let mut slot = crate::lock_ok(&self.result);
         // First writer wins: a deadline-waker and the executor may race.
         if slot.is_none() {
             *slot = Some(r);
@@ -111,14 +111,17 @@ pub struct JobHandle {
 impl JobHandle {
     /// Blocks until the job completes or its deadline passes.
     pub fn wait(self) -> JobResult {
-        let mut slot = self.done.result.lock().expect("job slot");
+        let mut slot = crate::lock_ok(&self.done.result);
         loop {
             if let Some(r) = slot.take() {
                 return r;
             }
             match self.deadline {
-                None => slot = self.done.ready.wait(slot).expect("job slot"),
+                None => {
+                    slot = self.done.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+                }
                 Some(d) => {
+                    // lint:allow(R4): deadline bookkeeping — wall-clock never feeds results
                     let now = Instant::now();
                     if now >= d {
                         // Tell the executor (if it ever starts this job) to
@@ -126,7 +129,11 @@ impl JobHandle {
                         self.cancelled.store(true, Ordering::Relaxed);
                         return Err(JobError::DeadlineExceeded);
                     }
-                    let (s, _) = self.done.ready.wait_timeout(slot, d - now).expect("job slot");
+                    let (s, _) = self
+                        .done
+                        .ready
+                        .wait_timeout(slot, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
                     slot = s;
                 }
             }
@@ -151,13 +158,23 @@ impl Scheduler {
         });
         let mut handles = Vec::new();
         for i in 0..executors.max(1) {
-            let shared = Arc::clone(&shared);
-            handles.push(
-                std::thread::Builder::new()
-                    .name(format!("ihtl-serve-exec-{i}"))
-                    .spawn(move || executor_loop(&shared))
-                    .expect("spawn executor"),
-            );
+            let worker_shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("ihtl-serve-exec-{i}"))
+                .spawn(move || executor_loop(&worker_shared))
+            {
+                Ok(h) => handles.push(h),
+                // Out of threads: run with however many spawned. With zero
+                // executors the queue can never drain, so flip straight to
+                // shutting_down and every submit reports ShuttingDown
+                // instead of accepting jobs that would hang forever.
+                Err(_) => {
+                    if handles.is_empty() {
+                        crate::lock_ok(&shared.queue).shutting_down = true;
+                    }
+                    break;
+                }
+            }
         }
         Scheduler { shared, executors: Mutex::new(handles) }
     }
@@ -169,7 +186,7 @@ impl Scheduler {
         deadline: Option<Instant>,
         work: Box<dyn FnOnce(&AtomicBool) -> JobResult + Send>,
     ) -> Result<JobHandle, SubmitError> {
-        let mut q = self.shared.queue.lock().expect("scheduler queue");
+        let mut q = crate::lock_ok(&self.shared.queue);
         if q.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
@@ -192,14 +209,14 @@ impl Scheduler {
 
     /// Jobs currently queued (not counting the one an executor is running).
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("scheduler queue").jobs.len()
+        crate::lock_ok(&self.shared.queue).jobs.len()
     }
 
     /// Drains the queue (pending jobs fail with [`JobError::ShutDown`]) and
     /// joins the executors after their in-flight jobs finish.
     pub fn shutdown(&self) {
         let drained: Vec<QueuedJob> = {
-            let mut q = self.shared.queue.lock().expect("scheduler queue");
+            let mut q = crate::lock_ok(&self.shared.queue);
             q.shutting_down = true;
             q.jobs.drain(..).collect()
         };
@@ -207,7 +224,7 @@ impl Scheduler {
         for job in drained {
             job.done.fill(Err(JobError::ShutDown));
         }
-        let handles = std::mem::take(&mut *self.executors.lock().expect("executors"));
+        let handles = std::mem::take(&mut *crate::lock_ok(&self.executors));
         for h in handles {
             let _ = h.join();
         }
@@ -223,7 +240,7 @@ impl Drop for Scheduler {
 fn executor_loop(shared: &Shared) {
     loop {
         let job = {
-            let mut q = shared.queue.lock().expect("scheduler queue");
+            let mut q = crate::lock_ok(&shared.queue);
             loop {
                 if let Some(job) = q.jobs.pop_front() {
                     break job;
@@ -231,7 +248,7 @@ fn executor_loop(shared: &Shared) {
                 if q.shutting_down {
                     return;
                 }
-                q = shared.available.wait(q).expect("scheduler queue");
+                q = shared.available.wait(q).unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Late checks at dequeue: the client may already have given up.
@@ -239,6 +256,7 @@ fn executor_loop(shared: &Shared) {
             job.done.fill(Err(JobError::Cancelled));
             continue;
         }
+        // lint:allow(R4): deadline bookkeeping — wall-clock never feeds results
         if job.deadline.is_some_and(|d| Instant::now() >= d) {
             job.done.fill(Err(JobError::DeadlineExceeded));
             continue;

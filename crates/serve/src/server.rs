@@ -69,6 +69,7 @@ struct ServerState {
 /// A bound (not yet running) server.
 pub struct Server {
     listener: TcpListener,
+    addr: SocketAddr,
     state: Arc<ServerState>,
 }
 
@@ -106,6 +107,7 @@ impl Server {
     /// Binds the listening socket.
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
         let state = Arc::new(ServerState {
             registry: Registry::new(cfg.ihtl_cfg.clone()),
             scheduler: Scheduler::new(cfg.queue_capacity, cfg.executors),
@@ -114,17 +116,18 @@ impl Server {
             shutting_down: AtomicBool::new(false),
             cfg,
         });
-        Ok(Server { listener, state })
+        Ok(Server { listener, addr, state })
     }
 
-    /// The bound address.
-    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
-        self.listener.local_addr()
+    /// The bound address (resolved once at bind time, so the accept loop
+    /// and the shutdown path never need a fallible OS query).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
     }
 
     /// Runs the accept loop on the current thread until shutdown.
     pub fn run(self) {
-        let addr = self.listener.local_addr().expect("bound listener");
+        let addr = self.addr;
         for conn in self.listener.incoming() {
             if self.state.shutting_down.load(Ordering::SeqCst) {
                 break;
@@ -140,7 +143,7 @@ impl Server {
 
     /// Runs the accept loop on a background thread.
     pub fn spawn(self) -> std::io::Result<ServerHandle> {
-        let addr = self.local_addr()?;
+        let addr = self.local_addr();
         let state = Arc::clone(&self.state);
         let accept_thread = std::thread::Builder::new()
             .name("ihtl-serve-accept".to_string())
@@ -317,6 +320,7 @@ fn handle_job(
     }
 
     state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    // lint:allow(R4): admission timestamp feeds the latency histogram only
     let submitted_at = Instant::now();
     let deadline = timeout_ms.map(|ms| submitted_at + Duration::from_millis(ms));
     let job_for_exec = job.clone();
@@ -390,7 +394,9 @@ fn execute_job(
     match job {
         WireJob::Sleep { ms } => {
             // Sleep in slices so cancellation/deadline abandonment is cheap.
+            // lint:allow(R4): the sleep job is wall-clock by definition
             let end = Instant::now() + Duration::from_millis(*ms);
+            // lint:allow(R4): the sleep job is wall-clock by definition
             while Instant::now() < end && !cancel.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(5.min(*ms).max(1)));
             }

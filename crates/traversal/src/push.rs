@@ -148,8 +148,9 @@ pub fn spmv_push_partitioned<M: Monoid>(part: &DstPartitionedCsr, x: &[f64], y: 
     // Give each partition its own disjoint destination slice.
     let ranges: Vec<ihtl_graph::partition::VertexRange> = part
         .bounds
-        .windows(2)
-        .map(|w| ihtl_graph::partition::VertexRange { start: w[0], end: w[1] })
+        .iter()
+        .zip(part.bounds.iter().skip(1))
+        .map(|(&start, &end)| ihtl_graph::partition::VertexRange { start, end })
         .collect();
     let mut slices = split_by_ranges(y, &ranges);
     ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Runs ihtl-lint over the workspace (R1-R5 invariants, DESIGN.md §8).
+# Exits nonzero on any finding. Pass --list-suppressions to see every
+# honoured suppression with its reason.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# --release reuses the artifacts verify.sh already built; a warm run is
+# milliseconds, and even a cold build of this zero-dependency crate is fast.
+cargo run -q --release --offline -p ihtl-lint -- "$@"

@@ -23,6 +23,9 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "==> scripts/lint.sh (ihtl-lint R1-R5 workspace invariants)"
+bash scripts/lint.sh
+
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline --workspace
 
@@ -32,4 +35,4 @@ cargo run --offline --release --example quickstart
 echo "==> scripts/serve_smoke.sh (serving-layer cold-start smoke test)"
 bash scripts/serve_smoke.sh
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, benches, quickstart, serve smoke"
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke"

@@ -11,6 +11,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the experiment index.
 
+#![forbid(unsafe_code)]
+
 pub use ihtl_apps as apps;
 pub use ihtl_cachesim as cachesim;
 pub use ihtl_core as core;
