@@ -106,6 +106,8 @@ pub fn run_job(
     };
     // lint:allow(R4): wall-clock feeds the reported job timing, not values
     let t = Instant::now();
+    // Span name is the analytic's stable wire name, arg its round budget.
+    let _job_span = ihtl_trace::span(spec.name());
     match *spec {
         JobSpec::PageRank { iters } => {
             let run = pagerank(engine, iters);

@@ -9,6 +9,13 @@
 //!
 //! Usage:
 //!   bench_spmv [--out PATH] [--baseline PATH] [--samples N]
+//!              [--max-regress PCT] [--trace-ab]
+//!
+//! `--max-regress PCT` turns the run into a regression gate: if the live
+//! iHTL SpMV ns/edge geomean is more than PCT percent above the baseline's,
+//! the binary exits nonzero. `--trace-ab` additionally measures the
+//! `ihtl-trace` instrumentation cost (tracing enabled vs idle on the same
+//! kernel) and records it as `trace_overhead_pct` in the summary.
 
 use std::time::Instant;
 
@@ -132,6 +139,32 @@ fn bench_dataset(ds: &Dataset, samples: usize) -> DatasetResult {
     DatasetResult { key: ds.key, n_vertices: n, n_edges: m, kernels }
 }
 
+/// A/B of the iHTL kernel with tracing idle vs enabled, on the smallest
+/// suite graph. Returns the overhead in percent (negative = noise in the
+/// traced run's favour). Uses best-of-samples on both sides, so one-sided
+/// interference does not masquerade as tracing cost.
+fn trace_overhead_pct(samples: usize) -> f64 {
+    let ds = &SUITE[0];
+    let edges = rmat_edges(ds.scale, ds.target_edges, RmatParams::social(), ds.seed);
+    let g = Graph::from_edges(1usize << ds.scale, &edges);
+    let n = g.n_vertices();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+    let mut y = vec![0.0f64; n];
+    let ih = IhtlGraph::build(&g, &IhtlConfig::default());
+    let x_new = ih.to_new_order(&x);
+    let mut bufs = ih.new_buffers();
+    let off = time_best(samples, || {
+        let _ = ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+    });
+    let on_guard = ihtl_trace::enable();
+    let on = time_best(samples, || {
+        let _ = ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+    });
+    drop(on_guard);
+    eprintln!("[bench_spmv] trace A/B on {}: idle {:.6}s, enabled {:.6}s", ds.key, off, on);
+    (on / off - 1.0) * 100.0
+}
+
 fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
     let (mut log_sum, mut count) = (0.0f64, 0usize);
     for v in vals {
@@ -155,7 +188,12 @@ fn extract_number(json: &str, name: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
-fn render_json(results: &[DatasetResult], samples: usize, baseline: Option<&str>) -> String {
+fn render_json(
+    results: &[DatasetResult],
+    samples: usize,
+    baseline: Option<&str>,
+    trace_overhead: Option<f64>,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"ihtl-bench-spmv/v1\",\n");
@@ -206,6 +244,9 @@ fn render_json(results: &[DatasetResult], samples: usize, baseline: Option<&str>
     out.push_str("  \"summary\": {\n");
     out.push_str(&format!("    \"ihtl_spmv_ns_per_edge_geomean\": {ihtl_geo:.3},\n"));
     out.push_str(&format!("    \"pagerank_ihtl_ns_per_edge_geomean\": {pr_geo:.3}"));
+    if let Some(pct) = trace_overhead {
+        out.push_str(&format!(",\n    \"trace_overhead_pct\": {pct:.2}"));
+    }
     if let Some(base) = baseline {
         if let Some(base_geo) = extract_number(base, "ihtl_spmv_ns_per_edge_geomean") {
             if ihtl_geo > 0.0 {
@@ -246,6 +287,16 @@ const FLAGS: &[FlagSpec] = &[
         help: "seed capture to embed and compute speedups against",
     },
     FlagSpec { name: "samples", value: Some("N"), help: "timing samples per kernel (default 7)" },
+    FlagSpec {
+        name: "max-regress",
+        value: Some("PCT"),
+        help: "fail if iHTL ns/edge geomean regresses more than PCT% vs the baseline",
+    },
+    FlagSpec {
+        name: "trace-ab",
+        value: None,
+        help: "measure tracing-enabled vs idle kernel cost (summary trace_overhead_pct)",
+    },
 ];
 
 fn main() {
@@ -262,10 +313,46 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let max_regress = match args.get("max-regress") {
+        None => None,
+        Some(v) => match v.parse::<f64>() {
+            Ok(pct) if pct >= 0.0 => Some(pct),
+            _ => {
+                eprintln!("error: --max-regress expects a non-negative percentage, got '{v}'");
+                std::process::exit(2);
+            }
+        },
+    };
     let baseline = args.get("baseline").and_then(|p| std::fs::read_to_string(p).ok());
     let results: Vec<DatasetResult> = SUITE.iter().map(|d| bench_dataset(d, samples)).collect();
-    let json = render_json(&results, samples, baseline.as_deref());
+    let overhead = args.has("trace-ab").then(|| trace_overhead_pct(samples));
+    let json = render_json(&results, samples, baseline.as_deref(), overhead);
     std::fs::write(&out_path, &json).expect("writing results JSON");
     eprintln!("[bench_spmv] wrote {out_path}");
     print!("{json}");
+
+    if let Some(pct) = max_regress {
+        // The summary block precedes the embedded baseline document, so the
+        // first occurrence of the key is always the live number.
+        let live = extract_number(&json, "ihtl_spmv_ns_per_edge_geomean");
+        let base =
+            baseline.as_deref().and_then(|b| extract_number(b, "ihtl_spmv_ns_per_edge_geomean"));
+        match (live, base) {
+            (Some(live), Some(base)) if base > 0.0 => {
+                let delta = (live / base - 1.0) * 100.0;
+                if delta > pct {
+                    eprintln!(
+                        "error: iHTL SpMV regressed {delta:.1}% vs baseline \
+                         ({live:.3} vs {base:.3} ns/edge, limit {pct}%)"
+                    );
+                    std::process::exit(1);
+                }
+                eprintln!("[bench_spmv] regression gate: {delta:+.1}% vs baseline (limit {pct}%)");
+            }
+            _ => {
+                eprintln!("error: --max-regress needs a readable --baseline with a geomean");
+                std::process::exit(2);
+            }
+        }
+    }
 }

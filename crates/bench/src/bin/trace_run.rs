@@ -1,0 +1,77 @@
+//! `trace_run`: records a Chrome-trace-event capture of one traced
+//! preprocessing + PageRank run and writes it as Perfetto-loadable JSON.
+//!
+//! Drive it through `scripts/trace.sh`, or directly:
+//!
+//!   trace_run [--out PATH] [--scale S] [--edges N] [--iters N]
+//!
+//! Open the output at https://ui.perfetto.dev (or chrome://tracing): one
+//! row per thread — the main thread carries `ihtl_build` and the
+//! `ihtl_spmv` phase spans, the pool workers their `worker_busy` /
+//! `push_task` / `merge_task` / `pull_task` spans.
+
+use ihtl_apps::engine::{build_engine, EngineKind};
+use ihtl_apps::pagerank::pagerank;
+use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_graph::Graph;
+use ihtl_serve::argv::{parse_or_exit, FlagSpec};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "out",
+        value: Some("PATH"),
+        help: "output Chrome trace JSON path (default results/trace.json)",
+    },
+    FlagSpec { name: "scale", value: Some("S"), help: "R-MAT scale (default 16)" },
+    FlagSpec { name: "edges", value: Some("N"), help: "R-MAT target edges (default 8 << scale)" },
+    FlagSpec { name: "iters", value: Some("N"), help: "PageRank iterations (default 5)" },
+];
+
+fn main() {
+    let args = parse_or_exit("trace_run", "[options]", FLAGS, std::env::args().skip(1));
+    let out_path = args.get_or("out", "results/trace.json").to_string();
+    let numeric = (|| -> Result<(u32, usize, usize), String> {
+        let scale = args.get_usize("scale", 16)?;
+        if !(1..=24).contains(&scale) {
+            return Err(format!("--scale {scale} out of range 1..=24"));
+        }
+        let edges = args.get_usize("edges", 8 << scale)?;
+        let iters = args.get_usize("iters", 5)?.max(1);
+        Ok((scale as u32, edges, iters))
+    })();
+    let (scale, edges, iters) = match numeric {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    // Everything from here on is recorded: graph build is untraced (no
+    // spans there by design), engine preprocessing and the iterations are.
+    ihtl_trace::enable_forever();
+    eprintln!("[trace_run] generating rmat scale={scale} edges~{edges}");
+    let edge_list = rmat_edges(scale, edges, RmatParams::social(), 1);
+    let g = Graph::from_edges(1usize << scale, &edge_list);
+    eprintln!("[trace_run] |V|={} |E|={}; building iHTL engine", g.n_vertices(), g.n_edges());
+    let mut engine = build_engine(EngineKind::Ihtl, &g, &ihtl_core::IhtlConfig::default());
+    eprintln!("[trace_run] pagerank iters={iters}");
+    let _ = pagerank(engine.as_mut(), iters);
+
+    let snap = ihtl_trace::snapshot();
+    let spans: usize = snap.iter().map(|t| t.spans.len()).sum();
+    let dropped: u64 = snap.iter().map(|t| t.dropped).sum();
+    let json = ihtl_trace::chrome::export(&snap);
+    if let Some(dir) = std::path::Path::new(&out_path).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("error: writing {out_path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[trace_run] wrote {out_path}: {} threads, {spans} spans ({dropped} dropped to ring wrap)",
+        snap.len()
+    );
+    eprintln!("[trace_run] open it at https://ui.perfetto.dev or chrome://tracing");
+}

@@ -32,23 +32,29 @@ impl IhtlGraph {
     pub fn build(g: &Graph, cfg: &IhtlConfig) -> IhtlGraph {
         // lint:allow(R4): preprocessing cost is a reported stat (Table 2)
         let t0 = Instant::now();
+        let _build_span = ihtl_trace::span("ihtl_build");
         let n = g.n_vertices();
         let h = cfg.hubs_per_block();
 
         // --- Hub candidates: vertices by descending in-degree (§3.2). ---
+        let phase = ihtl_trace::span("hub_candidates");
         let candidates = vertices_by_in_degree_desc(g);
+        drop(phase);
 
         // --- Block acceptance (§3.3 exact rule or §6 single-pass). ---
+        let phase = ihtl_trace::span("block_accept");
         let (n_blocks, block_feeders) = match cfg.block_count {
             BlockCountMode::Exact => accept_blocks_exact(g, cfg, &candidates, h),
             BlockCountMode::SinglePass { max_blocks } => {
                 accept_blocks_single_pass(g, cfg, &candidates, h, max_blocks)
             }
         };
+        drop(phase);
         // Degenerate graphs (no edges at all): no hubs, everything fringe.
         let n_hubs = (n_blocks * h).min(n);
 
         // --- Classification: hubs, VWEH, FV (§3.1). ---
+        let phase = ihtl_trace::span("classify");
         let mut is_hub = vec![false; n];
         for &v in &candidates[..n_hubs] {
             is_hub[v as usize] = true;
@@ -65,9 +71,11 @@ impl IhtlGraph {
                 }
             }
         }
+        drop(phase);
 
         // --- Relabeling array (§3.2 step 1, Figure 4). ---
         // Hubs in selection (degree) order; VWEH then FV in original order.
+        let phase = ihtl_trace::span("relabel");
         let mut new_to_old: Vec<VertexId> = Vec::with_capacity(n);
         new_to_old.extend_from_slice(&candidates[..n_hubs]);
         for v in 0..n as u32 {
@@ -88,7 +96,9 @@ impl IhtlGraph {
         }
 
         let n_active = n_hubs + n_vweh;
+        drop(phase);
 
+        let phase = ihtl_trace::span("flipped_blocks");
         // --- Flipped blocks (§3.2 step 2). ---
         // One pass over the out-edges of the active set, selecting edges
         // with in-hub destinations and bucketing them per block. Targets
@@ -137,7 +147,9 @@ impl IhtlGraph {
                 }
             })
             .collect();
+        drop(phase);
 
+        let phase = ihtl_trace::span("sparse_block");
         // --- Sparse block (§3.2 step 3). ---
         // One pass over the in-edges of VWEH ∪ FV, relabeling sources. Rows
         // are indexed by `new_dst - n_hubs`.
@@ -160,6 +172,7 @@ impl IhtlGraph {
         let sparse = Csr::from_parts(offsets, targets, n);
         let sparse_edges = sparse.n_edges();
         debug_assert_eq!(fb_edges + sparse_edges, g.n_edges());
+        drop(phase);
 
         // Out-degrees in new order (PageRank divides by them every
         // iteration; they must be relabel-invariant originals).
@@ -185,9 +198,11 @@ impl IhtlGraph {
             preprocessing_seconds: t0.elapsed().as_secs_f64(),
         };
 
+        let phase = ihtl_trace::span("task_build");
         let push_tasks = build_push_tasks(&blocks, cfg.resolved_parts());
         let merge_tasks = build_merge_tasks(&blocks);
         let sparse_tasks = build_sparse_tasks(&sparse, cfg.resolved_parts());
+        drop(phase);
 
         IhtlGraph {
             n,

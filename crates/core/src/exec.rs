@@ -221,17 +221,20 @@ impl IhtlGraph {
         assert_eq!(bufs.width(), self.n_hubs, "buffers sized for a different graph");
         assert_eq!(bufs.n_blocks(), self.blocks.len(), "buffers built for a different blocking");
         let mut breakdown = ExecBreakdown::default();
+        let _iter_span = ihtl_trace::span("ihtl_spmv");
 
         // --- Phase 1: buffered push over flipped blocks. ---
         // No up-front reset: the generation bump invalidates every segment,
         // and each (worker × block) segment is reset on first touch below.
         // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
         let t = Instant::now();
+        let phase_span = ihtl_trace::span("fb_push");
         bufs.begin_iteration();
         let gen = bufs.generation;
         // Precomputed (block, source-chunk) tasks, edge-balanced within each
         // block so skewed rows don't serialise.
         ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
+            let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
             let blk = &self.blocks[b as usize];
             let base = blk.hub_start as usize;
             let wb = bufs.my_buffer();
@@ -275,11 +278,13 @@ impl IhtlGraph {
                 }
             }
         });
+        drop(phase_span);
         breakdown.fb_seconds = t.elapsed().as_secs_f64();
 
         // --- Phase 2: merge thread buffers into hub results. ---
         // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
         let t = Instant::now();
+        let phase_span = ihtl_trace::span("fb_merge");
         let n_bufs = bufs.n_buffers();
         breakdown.dirty_segments = bufs.count_dirty_segments();
         breakdown.total_segments = n_bufs * self.blocks.len();
@@ -289,6 +294,7 @@ impl IhtlGraph {
             let bufs = &*bufs;
             ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
                 let (b, range) = self.merge_tasks[p];
+                let _task_span = ihtl_trace::span("merge_task").with_arg(b as u64);
                 for slot in out.iter_mut() {
                     *slot = M::identity();
                 }
@@ -310,15 +316,18 @@ impl IhtlGraph {
                 }
             });
         }
+        drop(phase_span);
         breakdown.merge_seconds = t.elapsed().as_secs_f64();
 
         // --- Phase 3: pull over the sparse block. ---
         // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
         let t = Instant::now();
+        let phase_span = ihtl_trace::span("sparse_pull");
         {
             let (_, sparse_y) = y.split_at_mut(self.n_hubs);
             let mut slices = crate::exec::split_ranges(sparse_y, &self.sparse_tasks);
             ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let _task_span = ihtl_trace::span("pull_task").with_arg(p as u64);
                 // Sparse targets are new source IDs `< n == x.len()`,
                 // which is what the shared kernel's unchecked gather needs.
                 ihtl_traversal::pull::pull_rows_into::<M>(
@@ -329,6 +338,7 @@ impl IhtlGraph {
                 );
             });
         }
+        drop(phase_span);
         breakdown.pull_seconds = t.elapsed().as_secs_f64();
         breakdown
     }

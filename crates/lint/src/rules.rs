@@ -14,7 +14,9 @@
 //!   `crates/serve/src` or `crates/traversal/src` (tests exempt).
 //! * **R4** — determinism: no `HashMap`/`HashSet` in wire-output files
 //!   (`json.rs`, `proto.rs`, `server.rs`, `stats.rs` under serve); no
-//!   `Instant::now`/`SystemTime::now` outside `stats.rs` and bench code.
+//!   `Instant::now`/`SystemTime::now` outside `stats.rs`, bench code, and
+//!   `crates/trace` (the tracing layer owns the workspace's monotonic
+//!   clock; everything else should take timestamps through it).
 //! * **R5** — no `std::thread::spawn`/`thread::Builder` outside
 //!   `crates/parallel` and `crates/serve`: parallelism goes through the
 //!   `ihtl-parallel` runtime so worker indices stay stable.
@@ -75,7 +77,10 @@ fn classify(rel_path: &str) -> Class {
     Class {
         panic_free: (serve_src || traversal_src) && !driver,
         wire: serve_src && matches!(file, "json.rs" | "proto.rs" | "server.rs" | "stats.rs"),
-        timers_ok: driver || p.starts_with("crates/bench/") || file == "stats.rs",
+        timers_ok: driver
+            || p.starts_with("crates/bench/")
+            || p.starts_with("crates/trace/")
+            || file == "stats.rs",
         spawn_ok: driver || p.starts_with("crates/parallel/") || p.starts_with("crates/serve/"),
     }
 }

@@ -153,19 +153,26 @@ fn worker_main(shared: &'static Shared, idx: usize) {
     let mut last_gen = 0u64;
     let mut st = lock(&shared.state);
     loop {
-        while st.generation == last_gen {
-            st = shared.start.wait(st).unwrap_or_else(|e| e.into_inner());
+        {
+            // Spans the park time between regions; recorded only when a
+            // wake actually ends a wait (and tracing is on at entry).
+            let _idle = ihtl_trace::span("worker_idle").with_arg(idx as u64);
+            while st.generation == last_gen {
+                st = shared.start.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
         }
         last_gen = st.generation;
         let job = st.job.expect("region published without a job");
         drop(st);
 
         WORKER_INDEX.with(|c| c.set(Some(idx)));
+        let busy = ihtl_trace::span("worker_busy").with_arg(idx as u64);
         // SAFETY: `job.data` points at the region closure published by
         // `run_region`, which blocks until `remaining == 0`; this worker
         // decrements only after the call returns or unwinds, so the
         // closure is live for the whole call.
         let result = catch_unwind(AssertUnwindSafe(|| unsafe { (job.run)(job.data, idx) }));
+        drop(busy);
         WORKER_INDEX.with(|c| c.set(None));
 
         st = lock(&shared.state);

@@ -9,7 +9,8 @@
 //! ihtl-cli register NAME --rmat-scale 12 [--edges N] [--seed N]
 //! ihtl-cli register NAME --suite KEY | --edgelist PATH | --graph-image PATH | --ihtl-image PATH
 //! ihtl-cli job DATASET KIND [--engine E] [--iters N] [--source V] [--timeout-ms N]
-//!                           [--top N] [--values] [--nocache]
+//!                           [--top N] [--values] [--nocache] [--trace]
+//! ihtl-cli trace TRACE_ID
 //! ihtl-cli list | stats | shutdown
 //! ```
 
@@ -45,9 +46,14 @@ const FLAGS: &[FlagSpec] = &[
     FlagSpec { name: "top", value: Some("K"), help: "job: include the K top-valued vertices" },
     FlagSpec { name: "values", value: None, help: "job: include the full value vector" },
     FlagSpec { name: "nocache", value: None, help: "job: bypass the result cache" },
+    FlagSpec {
+        name: "trace",
+        value: None,
+        help: "job: record a span trace; fetch it with 'trace <trace_id>'",
+    },
 ];
 
-const SYNOPSIS: &str = "[options] <ping|register|job|list|stats|shutdown> [args]";
+const SYNOPSIS: &str = "[options] <ping|register|job|trace|list|stats|shutdown> [args]";
 
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -130,7 +136,19 @@ fn build_request(args: &ParsedArgs) -> Json {
             if args.has("nocache") {
                 pairs.push(("nocache", Json::Bool(true)));
             }
+            if args.has("trace") {
+                pairs.push(("trace", Json::Bool(true)));
+            }
             Json::obj(pairs)
+        }
+        "trace" => {
+            let Some(tid) = pos.get(1) else {
+                die("trace needs the id a traced job returned: ihtl-cli trace 7");
+            };
+            match tid.parse::<u64>() {
+                Ok(n) => Json::obj([("op", Json::from("trace")), ("trace_id", Json::from(n))]),
+                Err(_) => die(&format!("trace id must be an integer, got '{tid}'")),
+            }
         }
         other => die(&format!("unknown command '{other}'")),
     }
@@ -160,9 +178,18 @@ fn main() {
         std::process::exit(1);
     }
     let mut reply_line = String::new();
-    if BufReader::new(stream).read_line(&mut reply_line).unwrap_or(0) == 0 {
-        eprintln!("error: server closed the connection without replying");
-        std::process::exit(1);
+    // A clean EOF (server closed without replying) and an I/O failure are
+    // different diagnoses — a reset mid-read must not masquerade as a close.
+    match BufReader::new(stream).read_line(&mut reply_line) {
+        Ok(0) => {
+            eprintln!("error: server closed the connection without replying");
+            std::process::exit(1);
+        }
+        Ok(_) => {}
+        Err(e) => {
+            eprintln!("error: reading reply from {addr}: {e}");
+            std::process::exit(1);
+        }
     }
     print!("{reply_line}");
     match Json::parse(reply_line.trim()) {

@@ -22,6 +22,11 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "result cache entries (default 64, 0 = off)",
     },
+    FlagSpec {
+        name: "idle-timeout-ms",
+        value: Some("N"),
+        help: "close connections idle for N ms (default 30000, 0 = never)",
+    },
 ];
 
 fn main() {
@@ -34,6 +39,9 @@ fn main() {
         cfg.queue_capacity = args.get_usize("queue", cfg.queue_capacity)?;
         cfg.executors = args.get_usize("executors", cfg.executors)?;
         cfg.cache_capacity = args.get_usize("cache", cfg.cache_capacity)?;
+        let default_idle_ms = cfg.idle_timeout.map(|t| t.as_millis() as usize).unwrap_or(0);
+        let idle_ms = args.get_usize("idle-timeout-ms", default_idle_ms)?;
+        cfg.idle_timeout = (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64));
         Ok(())
     })();
     if let Err(msg) = numeric {

@@ -190,7 +190,12 @@ pub enum Op {
         top_k: usize,
         /// Include the full value vector (large!) in the reply.
         include_values: bool,
+        /// Trace this job: the reply carries a `trace_id` whose span tree
+        /// the `trace` op can fetch afterwards.
+        trace: bool,
     },
+    /// Fetches the span tree recorded for an earlier traced job.
+    Trace { trace_id: u64 },
 }
 
 impl Request {
@@ -233,7 +238,15 @@ impl Request {
                 let top_k = v.get("top_k").and_then(Json::as_u64).unwrap_or(0).min(1024) as usize;
                 let include_values =
                     v.get("include_values").and_then(Json::as_bool).unwrap_or(false);
-                Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values }
+                let trace = v.get("trace").and_then(Json::as_bool).unwrap_or(false);
+                Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values, trace }
+            }
+            "trace" => {
+                let trace_id = v
+                    .get("trace_id")
+                    .and_then(Json::as_u64)
+                    .ok_or("trace requires a numeric 'trace_id' field")?;
+                Op::Trace { trace_id }
             }
             other => return Err(format!("unknown op '{other}'")),
         };
@@ -272,7 +285,7 @@ mod tests {
     fn parses_job_with_defaults() {
         let r = Request::parse("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\"}").unwrap();
         match r.op {
-            Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values } => {
+            Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values, trace } => {
                 assert_eq!(dataset, "g");
                 assert_eq!(engine, EngineKind::Ihtl);
                 assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20 }));
@@ -280,9 +293,25 @@ mod tests {
                 assert!(!nocache);
                 assert_eq!(top_k, 0);
                 assert!(!include_values);
+                assert!(!trace);
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_traced_job_and_trace_fetch() {
+        let r = Request::parse(
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"trace\":true}",
+        )
+        .unwrap();
+        match r.op {
+            Op::Job { trace, .. } => assert!(trace),
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse("{\"op\":\"trace\",\"trace_id\":17}").unwrap();
+        assert_eq!(r.op, Op::Trace { trace_id: 17 });
+        assert!(Request::parse("{\"op\":\"trace\"}").is_err());
     }
 
     #[test]

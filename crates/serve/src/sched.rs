@@ -81,6 +81,7 @@ impl JobSlot {
 }
 
 struct QueuedJob {
+    id: u64,
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
     work: Box<dyn FnOnce(&AtomicBool) -> JobResult + Send>,
@@ -106,10 +107,14 @@ pub struct JobHandle {
     deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
     done: Arc<JobSlot>,
+    shared: Arc<Shared>,
 }
 
 impl JobHandle {
-    /// Blocks until the job completes or its deadline passes.
+    /// Blocks until the job completes or its deadline passes. A job
+    /// abandoned at its deadline is removed from the queue immediately, so
+    /// its closure (and any `Arc<Graph>` snapshot it captured) is released
+    /// and its admission slot is free for live traffic.
     pub fn wait(self) -> JobResult {
         let mut slot = crate::lock_ok(&self.done.result);
         loop {
@@ -127,6 +132,10 @@ impl JobHandle {
                         // Tell the executor (if it ever starts this job) to
                         // stop early; nobody is listening for the result.
                         self.cancelled.store(true, Ordering::Relaxed);
+                        // Release the slot lock first: abandoning fills this
+                        // slot, and `fill` takes the same mutex.
+                        drop(slot);
+                        self.abandon_queued(JobError::DeadlineExceeded);
                         return Err(JobError::DeadlineExceeded);
                     }
                     let (s, _) = self
@@ -137,6 +146,25 @@ impl JobHandle {
                     slot = s;
                 }
             }
+        }
+    }
+
+    /// Flags the job as cancelled; if it is still queued it is removed on
+    /// the spot, freeing its admission slot and dropping its closure.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        self.abandon_queued(JobError::Cancelled);
+    }
+
+    /// Removes this handle's job from the queue, if still queued, and fills
+    /// its result slot with `err` so any concurrent waiter unblocks.
+    fn abandon_queued(&self, err: JobError) {
+        let job = {
+            let mut q = crate::lock_ok(&self.shared.queue);
+            q.jobs.iter().position(|j| j.id == self.job_id).and_then(|i| q.jobs.remove(i))
+        };
+        if let Some(job) = job {
+            job.done.fill(Err(err));
         }
     }
 }
@@ -190,6 +218,9 @@ impl Scheduler {
         if q.shutting_down {
             return Err(SubmitError::ShuttingDown);
         }
+        // Corpses (cancelled, or expired with their waiter gone) must not
+        // reject live traffic: purge them before judging capacity.
+        purge_dead(&mut q);
         if q.jobs.len() >= self.shared.capacity {
             return Err(SubmitError::Overloaded);
         }
@@ -197,6 +228,7 @@ impl Scheduler {
         let cancelled = Arc::new(AtomicBool::new(false));
         let done = Arc::new(JobSlot { result: Mutex::new(None), ready: Condvar::new() });
         q.jobs.push_back(QueuedJob {
+            id: job_id,
             deadline,
             cancelled: Arc::clone(&cancelled),
             work,
@@ -204,7 +236,7 @@ impl Scheduler {
         });
         drop(q);
         self.shared.available.notify_one();
-        Ok(JobHandle { job_id, deadline, cancelled, done })
+        Ok(JobHandle { job_id, deadline, cancelled, done, shared: Arc::clone(&self.shared) })
     }
 
     /// Jobs currently queued (not counting the one an executor is running).
@@ -234,6 +266,35 @@ impl Scheduler {
 impl Drop for Scheduler {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Drops queued jobs nobody will collect: cancelled ones, and ones whose
+/// deadline has passed (their waiter has returned `DeadlineExceeded`, or
+/// never existed). Their slots are filled so a late waiter still unblocks.
+fn purge_dead(q: &mut Queue) {
+    if q.jobs.is_empty() {
+        return;
+    }
+    // lint:allow(R4): deadline bookkeeping — wall-clock never feeds results
+    let now = Instant::now();
+    let mut i = 0;
+    while i < q.jobs.len() {
+        let err = if q.jobs[i].cancelled.load(Ordering::Relaxed) {
+            Some(JobError::Cancelled)
+        } else if q.jobs[i].deadline.is_some_and(|d| now >= d) {
+            Some(JobError::DeadlineExceeded)
+        } else {
+            None
+        };
+        match err {
+            Some(err) => {
+                if let Some(job) = q.jobs.remove(i) {
+                    job.done.fill(Err(err));
+                }
+            }
+            None => i += 1,
+        }
     }
 }
 
@@ -273,17 +334,32 @@ fn executor_loop(shared: &Shared) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
     use std::time::Duration;
 
-    fn ok_job(v: f64) -> Box<dyn FnOnce(&AtomicBool) -> JobResult + Send> {
+    type BoxedJob = Box<dyn FnOnce(&AtomicBool) -> JobResult + Send>;
+
+    fn ok_job(v: f64) -> BoxedJob {
         Box::new(move |_| Ok(Json::Num(v)))
     }
 
-    fn sleep_job(ms: u64) -> Box<dyn FnOnce(&AtomicBool) -> JobResult + Send> {
-        Box::new(move |_| {
-            std::thread::sleep(Duration::from_millis(ms));
+    /// A job that reports when it starts running and then blocks until
+    /// released — tests pin an executor on a *signal*, never a sleep guess
+    /// (mirrors the barrier-based pool test in ihtl-parallel).
+    struct Gate {
+        started: mpsc::Receiver<()>,
+        release: mpsc::Sender<()>,
+    }
+
+    fn gated_job() -> (Gate, BoxedJob) {
+        let (started_tx, started_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        let job = Box::new(move |_: &AtomicBool| {
+            let _ = started_tx.send(());
+            let _ = release_rx.recv();
             Ok(Json::Null)
-        })
+        });
+        (Gate { started: started_rx, release: release_tx }, job)
     }
 
     #[test]
@@ -298,27 +374,33 @@ mod tests {
     #[test]
     fn full_queue_rejects_with_overloaded() {
         let s = Scheduler::new(1, 1);
-        // Occupy the single executor long enough to fill the queue behind it.
-        let busy = s.submit(None, sleep_job(300)).unwrap();
-        std::thread::sleep(Duration::from_millis(50)); // let it start running
-        let queued = s.submit(None, sleep_job(1)).unwrap();
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        // Once the job reports in, it has been dequeued: the queue is empty
+        // and the single executor is pinned.
+        gate.started.recv().unwrap();
+        let queued = s.submit(None, ok_job(1.0)).unwrap();
         let rejected = s.submit(None, ok_job(0.0));
         assert!(matches!(rejected, Err(SubmitError::Overloaded)));
+        gate.release.send(()).unwrap();
         assert!(busy.wait().is_ok());
-        assert!(queued.wait().is_ok());
+        assert_eq!(queued.wait().unwrap(), Json::Num(1.0));
     }
 
     #[test]
     fn deadline_in_queue_fails_fast() {
         let s = Scheduler::new(8, 1);
-        let _busy = s.submit(None, sleep_job(300)).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        gate.started.recv().unwrap();
         let d = Instant::now() + Duration::from_millis(30);
         let h = s.submit(Some(d), ok_job(1.0)).unwrap();
-        let t = Instant::now();
+        // The executor stays pinned, so only the deadline can end this wait.
         assert_eq!(h.wait(), Err(JobError::DeadlineExceeded));
-        // The waiter must give up at its deadline, not wait for the busy job.
-        assert!(t.elapsed() < Duration::from_millis(250));
+        // Abandoning at the deadline removed the corpse from the queue.
+        assert_eq!(s.queue_depth(), 0);
+        gate.release.send(()).unwrap();
+        assert!(busy.wait().is_ok());
     }
 
     #[test]
@@ -333,24 +415,112 @@ mod tests {
     #[test]
     fn shutdown_fails_queued_jobs_and_rejects_new() {
         let s = Scheduler::new(8, 1);
-        let _busy = s.submit(None, sleep_job(200)).unwrap();
-        std::thread::sleep(Duration::from_millis(50));
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        gate.started.recv().unwrap();
         let queued = s.submit(None, ok_job(1.0)).unwrap();
-        s.shutdown();
-        assert_eq!(queued.wait(), Err(JobError::ShutDown));
+        // Shutdown drains the queue, then joins the executors — so it must
+        // run on another thread while this one gates on the drain (the
+        // queued job's slot filling with ShutDown) before releasing the
+        // pinned executor for the join.
+        std::thread::scope(|scope| {
+            let t = scope.spawn(|| s.shutdown());
+            assert_eq!(queued.wait(), Err(JobError::ShutDown));
+            gate.release.send(()).unwrap();
+            t.join().unwrap();
+        });
         assert!(matches!(s.submit(None, ok_job(2.0)), Err(SubmitError::ShuttingDown)));
+        assert!(busy.wait().is_ok());
     }
 
     #[test]
     fn many_executors_drain_concurrently() {
         let s = Scheduler::new(16, 4);
-        let t = Instant::now();
-        let handles: Vec<_> = (0..4).map(|_| s.submit(None, sleep_job(100)).unwrap()).collect();
+        // Each job blocks on a 4-way barrier: the batch completes only if
+        // all four executors run simultaneously. No timing assumptions —
+        // insufficient concurrency deadlocks (and trips the test timeout)
+        // rather than passing slowly.
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&barrier);
+                s.submit(
+                    None,
+                    Box::new(move |_| {
+                        b.wait();
+                        Ok(Json::Null)
+                    }),
+                )
+                .unwrap()
+            })
+            .collect();
         for h in handles {
             assert!(h.wait().is_ok());
         }
-        // 4 × 100 ms jobs on 4 executors: well under the serial 400 ms.
-        assert!(t.elapsed() < Duration::from_millis(350), "{:?}", t.elapsed());
+    }
+
+    #[test]
+    fn deadline_abandon_restores_admission_capacity() {
+        // Regression: a burst of short-deadline jobs used to leave corpses
+        // queued (holding their closures and counting against capacity)
+        // until an executor happened to reach them.
+        let s = Scheduler::new(2, 1);
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        gate.started.recv().unwrap();
+        let d = Instant::now() + Duration::from_millis(20);
+        let h1 = s.submit(Some(d), ok_job(1.0)).unwrap();
+        let h2 = s.submit(Some(d), ok_job(2.0)).unwrap();
+        assert!(matches!(s.submit(None, ok_job(9.0)), Err(SubmitError::Overloaded)));
+        assert_eq!(h1.wait(), Err(JobError::DeadlineExceeded));
+        assert_eq!(h2.wait(), Err(JobError::DeadlineExceeded));
+        // Both corpses were removed when their waiters gave up, so the
+        // queue has room again even though the executor is still pinned.
+        assert_eq!(s.queue_depth(), 0);
+        let h3 = s.submit(None, ok_job(3.0)).expect("capacity restored after abandon");
+        gate.release.send(()).unwrap();
+        assert!(busy.wait().is_ok());
+        assert_eq!(h3.wait().unwrap(), Json::Num(3.0));
+    }
+
+    #[test]
+    fn submit_purges_expired_corpses() {
+        // Corpses whose waiters never call `wait` (a vanished client) are
+        // purged by the next submit rather than squatting on capacity.
+        let s = Scheduler::new(2, 1);
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        gate.started.recv().unwrap();
+        let d = Instant::now() + Duration::from_millis(5);
+        let h1 = s.submit(Some(d), ok_job(1.0)).unwrap();
+        let h2 = s.submit(Some(d), ok_job(2.0)).unwrap();
+        // Nobody waits; the deadline simply passes (spinning on the actual
+        // condition, not a sleep guess).
+        while Instant::now() < d {
+            std::thread::yield_now();
+        }
+        let h3 = s.submit(None, ok_job(3.0)).expect("submit must purge expired corpses");
+        // The purge filled the corpses' slots, so late waiters unblock.
+        assert_eq!(h1.wait(), Err(JobError::DeadlineExceeded));
+        assert_eq!(h2.wait(), Err(JobError::DeadlineExceeded));
+        gate.release.send(()).unwrap();
+        assert!(busy.wait().is_ok());
+        assert_eq!(h3.wait().unwrap(), Json::Num(3.0));
+    }
+
+    #[test]
+    fn cancel_removes_queued_job_immediately() {
+        let s = Scheduler::new(2, 1);
+        let (gate, job) = gated_job();
+        let busy = s.submit(None, job).unwrap();
+        gate.started.recv().unwrap();
+        let h = s.submit(None, ok_job(1.0)).unwrap();
+        assert_eq!(s.queue_depth(), 1);
+        h.cancel();
+        assert_eq!(s.queue_depth(), 0);
+        assert_eq!(h.wait(), Err(JobError::Cancelled));
+        gate.release.send(()).unwrap();
+        assert!(busy.wait().is_ok());
     }
 
     #[test]

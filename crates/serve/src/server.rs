@@ -9,10 +9,11 @@
 //! f64 bit patterns, so clients can assert bitwise determinism without
 //! shipping the whole vector.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use ihtl_apps::{run_job, EngineKind, JobSpec};
@@ -41,6 +42,10 @@ pub struct ServerConfig {
     pub ihtl_cfg: IhtlConfig,
     /// Request lines longer than this are rejected (protocol error).
     pub max_line_bytes: usize,
+    /// Close a connection whose client sends nothing for this long
+    /// (`None` = wait forever). Idle sockets otherwise pin a thread and a
+    /// file descriptor each for the life of the client process.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -52,9 +57,13 @@ impl Default for ServerConfig {
             cache_capacity: 64,
             ihtl_cfg: IhtlConfig::default(),
             max_line_bytes: 1 << 20,
+            idle_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
+
+/// How many completed job traces the server retains for the `trace` op.
+const TRACE_STORE_CAP: usize = 64;
 
 /// Everything the connection handlers share.
 struct ServerState {
@@ -64,6 +73,9 @@ struct ServerState {
     stats: ServeStats,
     shutting_down: AtomicBool,
     cfg: ServerConfig,
+    /// Recent traced-job span trees, oldest first, keyed by trace id.
+    traces: Mutex<VecDeque<(u64, Json)>>,
+    next_trace_id: AtomicU64,
 }
 
 /// A bound (not yet running) server.
@@ -115,6 +127,8 @@ impl Server {
             stats: ServeStats::default(),
             shutting_down: AtomicBool::new(false),
             cfg,
+            traces: Mutex::new(VecDeque::new()),
+            next_trace_id: AtomicU64::new(1),
         });
         Ok(Server { listener, addr, state })
     }
@@ -153,6 +167,11 @@ impl Server {
 }
 
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAddr) {
+    // The timeout only governs reads between requests: a job in flight
+    // blocks in `dispatch`, not in `read_line`, so slow jobs are unaffected.
+    if state.cfg.idle_timeout.is_some() {
+        let _ = stream.set_read_timeout(state.cfg.idle_timeout);
+    }
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
@@ -167,6 +186,13 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAd
         match limited.read_line(&mut line) {
             Ok(0) => return, // client closed
             Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                // Idle expiry (both kinds occur across platforms). Closing
+                // frees the connection thread and its file descriptor.
+                state.stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
+                let _ = writeln!(writer, "{}", error_reply(None, "idle timeout, closing"));
+                return;
+            }
             Err(_) => return,
         }
         if !line.ends_with('\n') && line.len() >= state.cfg.max_line_bytes {
@@ -254,7 +280,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
             Ok(body) => ok_reply(id, body),
             Err(msg) => error_reply(id, &msg),
         },
-        Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values } => {
+        Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values, trace } => {
             match handle_job(
                 state,
                 &dataset,
@@ -264,12 +290,29 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
                 nocache,
                 top_k,
                 include_values,
+                trace,
             ) {
                 Ok(body) => ok_reply(id, body),
                 Err(msg) => error_reply(id, &msg),
             }
         }
+        Op::Trace { trace_id } => {
+            let traces = lock_traces(state);
+            match traces.iter().find(|(tid, _)| *tid == trace_id) {
+                Some((_, tree)) => ok_reply(id, tree.clone()),
+                None => error_reply(
+                    id,
+                    &format!("unknown trace_id {trace_id} (expired or never recorded)"),
+                ),
+            }
+        }
     }
+}
+
+/// Locks the trace store, recovering from poisoning (R3: a panicking
+/// executor must not take the trace endpoint down with it).
+fn lock_traces(state: &ServerState) -> std::sync::MutexGuard<'_, VecDeque<(u64, Json)>> {
+    state.traces.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn handle_register(
@@ -296,6 +339,7 @@ fn handle_job(
     nocache: bool,
     top_k: usize,
     include_values: bool,
+    trace: bool,
 ) -> Result<Json, String> {
     let ds = state
         .registry
@@ -308,7 +352,9 @@ fn handle_job(
         top_k,
         include_values,
     );
-    let use_cache = job.cacheable() && !nocache && state.cfg.cache_capacity > 0;
+    // A traced request must actually execute (a cached reply has no spans),
+    // and its reply must not be cached (the trace_id is call-specific).
+    let use_cache = job.cacheable() && !nocache && !trace && state.cfg.cache_capacity > 0;
     if use_cache {
         if let Some(mut body) = state.cache.get(&cache_key) {
             if let Json::Obj(pairs) = &mut body {
@@ -323,6 +369,7 @@ fn handle_job(
     // lint:allow(R4): admission timestamp feeds the latency histogram only
     let submitted_at = Instant::now();
     let deadline = timeout_ms.map(|ms| submitted_at + Duration::from_millis(ms));
+    let trace_id = trace.then(|| state.next_trace_id.fetch_add(1, Ordering::Relaxed));
     let job_for_exec = job.clone();
     let state_for_exec = Arc::clone(state);
     let ds_for_exec = Arc::clone(&ds);
@@ -331,7 +378,13 @@ fn handle_job(
         .submit(
             deadline,
             Box::new(move |cancel| {
-                execute_job(
+                // Tracing turns on for exactly this job's execution window:
+                // the guard + mark are taken on the executor thread, so the
+                // `job` root span and everything `run_job` opens nest under
+                // it, and pool-worker spans land in the collected window.
+                let traced = trace_id.map(|tid| (tid, ihtl_trace::enable(), ihtl_trace::mark()));
+                let root = ihtl_trace::span("job");
+                let result = execute_job(
                     &state_for_exec,
                     &ds_for_exec,
                     engine,
@@ -340,7 +393,14 @@ fn handle_job(
                     include_values,
                     cancel,
                 )
-                .map_err(JobError::Failed)
+                .map_err(JobError::Failed);
+                drop(root);
+                if let Some((tid, guard, mark)) = traced {
+                    let capture = mark.collect();
+                    drop(guard);
+                    store_trace(&state_for_exec, tid, &capture);
+                }
+                result
             }),
         )
         .map_err(|e| match e {
@@ -365,6 +425,9 @@ fn handle_job(
             }
             if let Json::Obj(pairs) = &mut body {
                 pairs.push(("cached".to_string(), Json::Bool(false)));
+                if let Some(tid) = trace_id {
+                    pairs.push(("trace_id".to_string(), Json::from(tid)));
+                }
             }
             Ok(body)
         }
@@ -444,6 +507,76 @@ fn execute_job(
             ]))
         }
     }
+}
+
+/// Renders one thread's flat span list as a forest of
+/// `{name, start_ns, dur_ns, arg, children}` nodes, children ordered by
+/// start time. Parent links only ever point at earlier ids on the same
+/// thread (they come from the tracer's per-thread open-span stack), so the
+/// recursion is acyclic and its depth is bounded by the tracer's stack cap.
+fn span_forest(spans: &[ihtl_trace::SpanInfo]) -> Json {
+    // Sorted (id, index) pairs let children find parents by binary search —
+    // no hash map (rule R4a keeps wire-facing files to plain collections).
+    let mut by_id: Vec<(u64, usize)> = spans.iter().enumerate().map(|(i, s)| (s.id, i)).collect();
+    by_id.sort_unstable();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); spans.len()];
+    let mut roots: Vec<usize> = Vec::new();
+    for (i, s) in spans.iter().enumerate() {
+        match by_id.binary_search_by_key(&s.parent, |&(id, _)| id) {
+            Ok(p) if s.parent != 0 && by_id[p].1 != i => children[by_id[p].1].push(i),
+            _ => roots.push(i), // orphan: parent span fell out of the ring
+        }
+    }
+    let by_start = |list: &mut Vec<usize>| {
+        list.sort_by_key(|&i| spans[i].start_ns);
+    };
+    by_start(&mut roots);
+    for list in &mut children {
+        by_start(list);
+    }
+    fn node(spans: &[ihtl_trace::SpanInfo], children: &[Vec<usize>], i: usize, depth: u32) -> Json {
+        let s = &spans[i];
+        let kids = if depth > 128 {
+            Vec::new() // unreachable with well-formed data; guards the stack
+        } else {
+            children[i].iter().map(|&c| node(spans, children, c, depth + 1)).collect()
+        };
+        Json::obj([
+            ("name", Json::from(s.name)),
+            ("start_ns", Json::from(s.start_ns)),
+            ("dur_ns", Json::from(s.dur_ns())),
+            ("arg", Json::from(s.arg)),
+            ("children", Json::Arr(kids)),
+        ])
+    }
+    Json::Arr(roots.iter().map(|&i| node(spans, &children, i, 0)).collect())
+}
+
+/// Renders a job's [`ihtl_trace::Capture`] as the `trace` reply body and
+/// files it in the bounded store (oldest traces fall out first).
+fn store_trace(state: &ServerState, trace_id: u64, capture: &ihtl_trace::Capture) {
+    let mut threads = Vec::with_capacity(1 + capture.remote.len());
+    let thread_json = |t: &ihtl_trace::ThreadTrace| {
+        Json::obj([
+            ("label", Json::from(t.label.clone())),
+            ("serial", Json::from(t.serial)),
+            ("dropped", Json::from(t.dropped)),
+            ("spans", span_forest(&t.spans)),
+        ])
+    };
+    threads.push(thread_json(&capture.local));
+    threads.extend(capture.remote.iter().map(thread_json));
+    let (start, end) = capture.window_ns;
+    let tree = Json::obj([
+        ("trace_id", Json::from(trace_id)),
+        ("window_ns", Json::Arr(vec![Json::from(start), Json::from(end)])),
+        ("threads", Json::Arr(threads)),
+    ]);
+    let mut traces = lock_traces(state);
+    if traces.len() >= TRACE_STORE_CAP {
+        traces.pop_front();
+    }
+    traces.push_back((trace_id, tree));
 }
 
 /// Runs one analytic through the dataset's engine pool, recording engine

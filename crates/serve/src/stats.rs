@@ -36,6 +36,9 @@ pub struct ServeStats {
     pub failed: AtomicU64,
     pub rejected_overloaded: AtomicU64,
     pub deadline_missed: AtomicU64,
+    /// Connections closed because the client sent nothing for the
+    /// configured idle timeout.
+    pub idle_disconnects: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     engines: [EngineAccum; 6],
 }
@@ -101,6 +104,7 @@ impl ServeStats {
             ("failed", load(&self.failed)),
             ("rejected_overloaded", load(&self.rejected_overloaded)),
             ("deadline_missed", load(&self.deadline_missed)),
+            ("idle_disconnects", load(&self.idle_disconnects)),
             ("queue_depth", Json::from(queue_depth)),
             ("cache_hits", Json::from(cache_hits)),
             ("cache_misses", Json::from(cache_misses)),

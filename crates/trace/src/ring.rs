@@ -1,0 +1,218 @@
+//! Per-thread fixed-capacity span ring buffer.
+//!
+//! One thread (the owner) writes; any thread may snapshot. The design is a
+//! per-slot seqlock built entirely from atomics, so the crate stays free of
+//! `unsafe`: the owning thread publishes a slot by writing its fields with
+//! `Relaxed` stores bracketed by two `Release` stores to the slot sequence
+//! word, and readers validate the sequence word before and after copying
+//! the fields. A torn read can therefore only produce a slot the reader
+//! *discards*, never undefined behaviour — the worst race outcome is a
+//! dropped diagnostic entry.
+//!
+//! Slot sequence protocol: an idle slot holds the value `pos + 1` of the
+//! last record written at ring position `pos` (0 = never written). Because
+//! positions assigned to one slot differ by exactly `capacity`, a reader
+//! that observes `pos + 1` twice around its field copy knows the fields
+//! belong to record `pos` — there is no ABA window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One completed span as stored in (and read back from) a ring slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Identifier unique across the process (thread serial in high bits).
+    pub id: u64,
+    /// Enclosing span id, or 0 for a root span.
+    pub parent: u64,
+    /// Interned name id (see [`crate::name_of`]).
+    pub name_id: u32,
+    /// Nanoseconds since the process trace epoch.
+    pub start_ns: u64,
+    /// Nanoseconds since the process trace epoch (`>= start_ns`).
+    pub end_ns: u64,
+    /// Free-form argument (block id, worker index, iteration, ...).
+    pub arg: u64,
+}
+
+const FIELDS: usize = 6;
+const F_ID: usize = 0;
+const F_PARENT: usize = 1;
+const F_META: usize = 2; // name_id in the low 32 bits
+const F_START: usize = 3;
+const F_END: usize = 4;
+const F_ARG: usize = 5;
+
+struct Slot {
+    /// Seqlock word: `pos + 1` once position `pos` is fully published,
+    /// `u64::MAX` while the owner is overwriting the slot.
+    seq: AtomicU64,
+    fields: [AtomicU64; FIELDS],
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot { seq: AtomicU64::new(0), fields: [const { AtomicU64::new(0) }; FIELDS] }
+    }
+}
+
+/// Fixed-capacity single-writer ring buffer of [`SpanRec`]s.
+///
+/// Allocated once at thread registration; recording never allocates.
+pub struct RingBuf {
+    slots: Vec<Slot>,
+    /// Next ring position to write. Only the owning thread stores it.
+    head: AtomicU64,
+}
+
+impl RingBuf {
+    /// Allocates a ring with `capacity` slots (rounded up to at least 2).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2);
+        RingBuf { slots: (0..cap).map(|_| Slot::new()).collect(), head: AtomicU64::new(0) }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total records ever written by the owner (monotonic).
+    pub fn head(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Publishes one record. Must only be called by the owning thread: the
+    /// single-writer discipline is what makes the plain `head` bump safe.
+    pub fn record(&self, rec: &SpanRec) {
+        let pos = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(pos % self.slots.len() as u64) as usize];
+        // Invalidate, write fields, re-validate. The Release stores order
+        // the field writes for any reader that Acquire-loads `seq`.
+        slot.seq.store(u64::MAX, Ordering::Release);
+        slot.fields[F_ID].store(rec.id, Ordering::Relaxed);
+        slot.fields[F_PARENT].store(rec.parent, Ordering::Relaxed);
+        slot.fields[F_META].store(rec.name_id as u64, Ordering::Relaxed);
+        slot.fields[F_START].store(rec.start_ns, Ordering::Relaxed);
+        slot.fields[F_END].store(rec.end_ns, Ordering::Relaxed);
+        slot.fields[F_ARG].store(rec.arg, Ordering::Relaxed);
+        slot.seq.store(pos + 1, Ordering::Release);
+        self.head.store(pos + 1, Ordering::Release);
+    }
+
+    /// Copies out every record with position `>= from` that is still
+    /// resident, oldest first. Records overwritten by ring wrap (or caught
+    /// mid-overwrite) are skipped and counted in the returned `dropped`.
+    pub fn read_from(&self, from: u64) -> (Vec<SpanRec>, u64) {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.slots.len() as u64;
+        let lo = from.max(head.saturating_sub(cap));
+        let mut out = Vec::with_capacity((head - lo) as usize);
+        let mut dropped = lo.saturating_sub(from);
+        for pos in lo..head {
+            let slot = &self.slots[(pos % cap) as usize];
+            // SeqCst on the seqlock word keeps the validation loads from
+            // being reordered around the field copies on weak memory.
+            let before = slot.seq.load(Ordering::SeqCst);
+            if before != pos + 1 {
+                dropped += 1;
+                continue;
+            }
+            let rec = SpanRec {
+                id: slot.fields[F_ID].load(Ordering::Acquire),
+                parent: slot.fields[F_PARENT].load(Ordering::Acquire),
+                name_id: slot.fields[F_META].load(Ordering::Acquire) as u32,
+                start_ns: slot.fields[F_START].load(Ordering::Acquire),
+                end_ns: slot.fields[F_END].load(Ordering::Acquire),
+                arg: slot.fields[F_ARG].load(Ordering::Acquire),
+            };
+            let after = slot.seq.load(Ordering::SeqCst);
+            if after != pos + 1 {
+                dropped += 1;
+                continue;
+            }
+            out.push(rec);
+        }
+        (out, dropped)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(i: u64) -> SpanRec {
+        SpanRec { id: i, parent: 0, name_id: 7, start_ns: i * 10, end_ns: i * 10 + 5, arg: i }
+    }
+
+    #[test]
+    fn records_round_trip_in_order() {
+        let ring = RingBuf::new(8);
+        for i in 0..5 {
+            ring.record(&rec(i));
+        }
+        let (out, dropped) = ring.read_from(0);
+        assert_eq!(dropped, 0);
+        assert_eq!(out, (0..5).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wrap_drops_oldest_and_counts_them() {
+        let ring = RingBuf::new(4);
+        for i in 0..10 {
+            ring.record(&rec(i));
+        }
+        let (out, dropped) = ring.read_from(0);
+        assert_eq!(dropped, 6);
+        assert_eq!(out, (6..10).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn read_from_mark_skips_earlier_records() {
+        let ring = RingBuf::new(16);
+        for i in 0..6 {
+            ring.record(&rec(i));
+        }
+        let mark = ring.head();
+        for i in 6..9 {
+            ring.record(&rec(i));
+        }
+        let (out, dropped) = ring.read_from(mark);
+        assert_eq!(dropped, 0);
+        assert_eq!(out, (6..9).map(rec).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_records() {
+        use std::sync::Arc;
+        let ring = Arc::new(RingBuf::new(32));
+        let writer = {
+            let ring = Arc::clone(&ring);
+            std::thread::spawn(move || {
+                for i in 0..20_000u64 {
+                    // All fields derive from i, so a torn record is detectable.
+                    ring.record(&SpanRec {
+                        id: i,
+                        parent: i,
+                        name_id: i as u32,
+                        start_ns: i,
+                        end_ns: i,
+                        arg: i,
+                    });
+                }
+            })
+        };
+        let mut seen = 0u64;
+        while seen < 1_000 {
+            let (out, _) = ring.read_from(0);
+            for r in &out {
+                assert_eq!(r.parent, r.id);
+                assert_eq!(r.start_ns, r.id);
+                assert_eq!(r.end_ns, r.id);
+                assert_eq!(r.arg, r.id);
+                assert_eq!(r.name_id as u64, r.id & 0xffff_ffff);
+            }
+            seen += out.len() as u64;
+        }
+        writer.join().expect("writer thread");
+    }
+}

@@ -32,6 +32,7 @@ pub fn spmv_pull<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
 pub fn spmv_pull_with_parts<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], parts: usize) {
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
+    let _span = ihtl_trace::span("pull_spmv");
     let ranges = edge_balanced_ranges(g.csc(), parts);
     let mut slices = split_by_ranges(y, &ranges);
     ihtl_parallel::par_for_each_mut(&mut slices, 1, |i, out| {
@@ -46,6 +47,7 @@ pub fn spmv_pull_chunked<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], chunk: 
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
     assert!(chunk > 0);
+    let _span = ihtl_trace::span("pull_chunked");
     let csc = g.csc();
     ihtl_parallel::par_chunks_mut(y, chunk, |i, out| {
         let start = (i * chunk) as VertexId;
@@ -181,6 +183,7 @@ impl SegmentedCsc {
 pub fn spmv_pull_segmented<M: Monoid>(seg: &SegmentedCsc, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), seg.n_vertices);
     assert_eq!(y.len(), seg.n_vertices);
+    let _span = ihtl_trace::span("pull_segmented");
     ihtl_parallel::par_fill(y, M::identity());
     // Within a segment every compacted row owns a distinct destination, so
     // the scattered writes are race-free; the atomic view only provides the

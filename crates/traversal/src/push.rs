@@ -34,6 +34,7 @@ pub fn spmv_push_serial<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
 pub fn spmv_push_atomic<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), g.n_vertices());
     assert_eq!(y.len(), g.n_vertices());
+    let _span = ihtl_trace::span("push_atomic");
     ihtl_parallel::par_fill(y, M::identity());
     let slots = as_atomic_slice(y);
     let csr = g.csr();
@@ -57,6 +58,7 @@ pub fn spmv_push_buffered<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64]) {
     let n = g.n_vertices();
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
+    let _span = ihtl_trace::span("push_buffered");
     let csr = g.csr();
     let ranges = edge_balanced_ranges(csr, crate::pull::default_parts());
     let buffers: Vec<Vec<f64>> = ihtl_parallel::par_map(&ranges, 1, |range| {
@@ -144,6 +146,7 @@ pub fn spmv_push_partitioned<M: Monoid>(part: &DstPartitionedCsr, x: &[f64], y: 
     let n = part.n_vertices;
     assert_eq!(x.len(), n);
     assert_eq!(y.len(), n);
+    let _span = ihtl_trace::span("push_partitioned");
     ihtl_parallel::par_fill(y, M::identity());
     // Give each partition its own disjoint destination slice.
     let ranges: Vec<ihtl_graph::partition::VertexRange> = part

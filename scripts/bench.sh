@@ -4,14 +4,21 @@
 # embedding the checked-in seed capture (results/BENCH_spmv.seed.json) as
 # the baseline so the file carries its own before/after speedup.
 #
-# Usage: scripts/bench.sh [--samples N]
+# Usage: scripts/bench.sh [--samples N] [--max-regress PCT] [--trace-ab]
+#
+# --max-regress PCT fails the run if the iHTL SpMV ns/edge geomean is more
+# than PCT percent worse than the seed capture (the verify.sh perf gate).
+# --trace-ab additionally records tracing-enabled vs idle kernel cost.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SAMPLES=7
+EXTRA=()
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --samples) SAMPLES="$2"; shift 2 ;;
+    --max-regress) EXTRA+=(--max-regress "$2"); shift 2 ;;
+    --trace-ab) EXTRA+=(--trace-ab); shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -23,6 +30,6 @@ echo "==> bench_spmv (samples=$SAMPLES) -> results/BENCH_spmv.json"
 ./target/release/bench_spmv \
   --baseline results/BENCH_spmv.seed.json \
   --out results/BENCH_spmv.json \
-  --samples "$SAMPLES" >/dev/null
+  --samples "$SAMPLES" ${EXTRA[@]+"${EXTRA[@]}"} >/dev/null
 
 echo "OK: wrote results/BENCH_spmv.json"

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Records a Chrome-trace-event capture of one traced iHTL build + PageRank
+# run (see DESIGN.md §9) and writes results/trace.json, loadable at
+# https://ui.perfetto.dev or chrome://tracing.
+#
+# Usage: scripts/trace.sh [--scale S] [--iters N] [--out PATH]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline -p ihtl-bench --bin trace_run"
+cargo build --release --offline -p ihtl-bench --bin trace_run
+
+echo "==> trace_run $*"
+./target/release/trace_run "$@"

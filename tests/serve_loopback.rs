@@ -262,6 +262,115 @@ fn protocol_errors_keep_the_connection_usable() {
 }
 
 #[test]
+fn idle_socket_is_disconnected_and_counted() {
+    let handle = spawn_server(ServerConfig {
+        idle_timeout: Some(std::time::Duration::from_millis(100)),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+
+    // An active client keeps working long past the idle limit as long as it
+    // keeps sending requests.
+    let mut active = Client::connect(addr);
+    for _ in 0..4 {
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        active.ok("{\"op\":\"ping\"}");
+    }
+
+    // A silent client is told off and then cut off.
+    let silent = TcpStream::connect(addr).expect("connect");
+    let mut reader = BufReader::new(silent);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read idle notice");
+    assert!(line.contains("idle timeout"), "expected an idle notice, got {line:?}");
+    line.clear();
+    let n = reader.read_line(&mut line).unwrap_or(0);
+    assert_eq!(n, 0, "idle connection must be closed after the notice: {line:?}");
+
+    let stats = Client::connect(addr).ok("{\"op\":\"stats\"}");
+    assert!(stats.get("idle_disconnects").and_then(Json::as_u64).unwrap() >= 1);
+    handle.shutdown();
+}
+
+/// Recursively checks that every child span's window nests inside its
+/// parent's and returns the total number of nodes visited.
+fn assert_nested(node: &Json) -> usize {
+    let start = node.get("start_ns").and_then(Json::as_u64).expect("start_ns");
+    let dur = node.get("dur_ns").and_then(Json::as_u64).expect("dur_ns");
+    let children = node.get("children").and_then(Json::as_arr).expect("children");
+    let mut count = 1;
+    for child in children {
+        let cs = child.get("start_ns").and_then(Json::as_u64).expect("child start_ns");
+        let cd = child.get("dur_ns").and_then(Json::as_u64).expect("child dur_ns");
+        assert!(cs >= start, "child starts before parent: {child} in {node}");
+        assert!(cs + cd <= start + dur, "child outlives parent: {child} in {node}");
+        count += assert_nested(child);
+    }
+    count
+}
+
+/// Depth-first search for a node by name in a span forest.
+fn find_span<'a>(forest: &'a [Json], name: &str) -> Option<&'a Json> {
+    for node in forest {
+        if node.get("name").and_then(Json::as_str) == Some(name) {
+            return Some(node);
+        }
+        if let Some(kids) = node.get("children").and_then(Json::as_arr) {
+            if let Some(hit) = find_span(kids, name) {
+                return Some(hit);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+fn traced_pagerank_returns_a_nesting_span_tree() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(handle.addr());
+    c.ok(REGISTER);
+
+    let reply = c
+        .ok("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":10,\"trace\":true}");
+    let trace_id = reply.get("trace_id").and_then(Json::as_u64).expect("trace_id in reply");
+    let compute_seconds =
+        reply.get("compute_seconds").and_then(Json::as_f64).expect("compute_seconds");
+    // Traced replies are never served from (or stored in) the cache.
+    assert_eq!(reply.get("cached").and_then(Json::as_bool), Some(false));
+
+    let trace = c.ok(&format!("{{\"op\":\"trace\",\"trace_id\":{trace_id}}}"));
+    let threads = trace.get("threads").and_then(Json::as_arr).expect("threads");
+    assert!(!threads.is_empty(), "trace must cover at least the executor thread");
+
+    // The executor thread is first; its tree roots at the `job` span.
+    let spans = threads[0].get("spans").and_then(Json::as_arr).expect("spans");
+    let job = find_span(spans, "job").expect("job root span");
+    let total_nodes: usize = spans.iter().map(assert_nested).sum();
+    assert!(total_nodes >= 12, "expected a real tree, got {total_nodes} spans");
+
+    // The analytic and the per-iteration kernel nest under the job root.
+    let pagerank = find_span(spans, "pagerank").expect("pagerank span");
+    assert!(find_span(spans, "ihtl_spmv").is_some(), "kernel iterations must be traced");
+    assert!(find_span(spans, "fb_push").is_some(), "push phase must be traced");
+
+    // Acceptance: the tree accounts for >=95% of scheduler-measured compute
+    // time. The job root wraps run_job, whose own timer is compute_seconds.
+    let job_dur = job.get("dur_ns").and_then(Json::as_u64).expect("dur_ns") as f64;
+    let pr_dur = pagerank.get("dur_ns").and_then(Json::as_u64).expect("dur_ns") as f64;
+    assert!(
+        job_dur >= 0.95 * compute_seconds * 1e9,
+        "job span ({job_dur} ns) must cover >=95% of compute ({compute_seconds} s)"
+    );
+    assert!(pr_dur >= 0.95 * compute_seconds * 1e9, "pagerank span must cover the compute");
+
+    // Unknown ids fail without disturbing the connection.
+    let msg = c.err("{\"op\":\"trace\",\"trace_id\":999999}");
+    assert!(msg.contains("unknown trace_id"));
+    c.ok("{\"op\":\"ping\"}");
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_op_stops_the_server() {
     let handle = spawn_server(ServerConfig::default());
     let addr = handle.addr();
