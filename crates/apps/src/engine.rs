@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use ihtl_core::{IhtlConfig, IhtlGraph, ThreadBuffers};
 use ihtl_graph::Graph;
-use ihtl_traversal::pull::{spmv_pull, spmv_pull_chunked, spmv_pull_segmented, SegmentedCsc};
+use ihtl_traversal::pull::{
+    spmv_pull, spmv_pull_chunked, spmv_pull_multi, spmv_pull_segmented, SegmentedCsc,
+};
 use ihtl_traversal::push::{spmv_push_atomic, spmv_push_partitioned, DstPartitionedCsr};
 use ihtl_traversal::{Add, Min};
 
@@ -98,6 +100,63 @@ pub trait SpmvEngine {
     #[allow(clippy::wrong_self_convention)]
     fn from_original_order(&self, v: &[f64]) -> Vec<f64> {
         v.to_vec()
+    }
+
+    /// `Y = A^T ⊕_add X` over `k` interleaved columns per vertex (row-major
+    /// `[vertex][k]`, so one vertex's `k` values share a cache line) — one
+    /// call serves `k` independent queries. The default de-interleaves into
+    /// `k` solo sweeps, which is bitwise identical to `k` separate
+    /// [`SpmvEngine::spmv_add`] calls by construction; engines with native
+    /// SpMM kernels (iHTL, GraphGrind pull) override it so the `k` queries
+    /// share a single edge sweep.
+    fn spmm_add(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        let n = self.n_vertices();
+        spmm_by_columns(n, x, y, k, |xj, yj| self.spmv_add(xj, yj));
+    }
+
+    /// `Y = A^T ⊕_min X` over `k` interleaved columns per vertex (see
+    /// [`SpmvEngine::spmm_add`] for the layout and the fallback contract).
+    fn spmm_min(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        let n = self.n_vertices();
+        spmm_by_columns(n, x, y, k, |xj, yj| self.spmv_min(xj, yj));
+    }
+
+    /// [`SpmvEngine::to_original_order`] for `k` interleaved columns per
+    /// vertex — a permutation of whole `k`-wide rows.
+    fn to_original_order_multi(&self, v: &[f64], _k: usize) -> Vec<f64> {
+        v.to_vec()
+    }
+
+    /// [`SpmvEngine::from_original_order`] for `k` interleaved columns.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_original_order_multi(&self, v: &[f64], _k: usize) -> Vec<f64> {
+        v.to_vec()
+    }
+}
+
+/// The de-interleaving SpMM fallback: runs `solo` on each of the `k`
+/// columns of `x`/`y` in turn. Column `j`'s sweep sees exactly the vector a
+/// solo run would, so the fallback is bitwise identical to `k` solo runs.
+fn spmm_by_columns(
+    n: usize,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+    mut solo: impl FnMut(&[f64], &mut [f64]),
+) {
+    assert!(k >= 1, "spmm needs at least one column");
+    assert_eq!(x.len(), n * k);
+    assert_eq!(y.len(), n * k);
+    let mut xj = vec![0.0; n];
+    let mut yj = vec![0.0; n];
+    for j in 0..k {
+        for (i, slot) in xj.iter_mut().enumerate() {
+            *slot = x[i * k + j];
+        }
+        solo(&xj, &mut yj);
+        for (i, &v) in yj.iter().enumerate() {
+            y[i * k + j] = v;
+        }
     }
 }
 
@@ -178,6 +237,15 @@ impl<G: Borrow<Graph> + Send> SpmvEngine for PullGraphGrind<G> {
     }
     fn spmv_min(&mut self, x: &[f64], y: &mut [f64]) {
         spmv_pull::<Min>(self.g.borrow(), x, y);
+    }
+    // Native SpMM: one edge sweep for all k columns. Pull folds are
+    // schedule independent, so each column stays bitwise equal to a solo
+    // sweep on any inputs.
+    fn spmm_add(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        spmv_pull_multi::<Add>(self.g.borrow(), x, y, k);
+    }
+    fn spmm_min(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        spmv_pull_multi::<Min>(self.g.borrow(), x, y, k);
     }
 }
 
@@ -284,6 +352,10 @@ impl<G: Borrow<Graph> + Send> SpmvEngine for PushGraphIt<G> {
 pub struct Ihtl {
     pub ih: Arc<IhtlGraph>,
     bufs: ThreadBuffers,
+    /// Per-column-count SpMM buffers, allocated on first use and reused
+    /// across batches of the same width (a serving engine sees the same few
+    /// K values over and over).
+    multi_bufs: Vec<(usize, ThreadBuffers)>,
     out_degrees: Vec<u32>,
 }
 
@@ -291,6 +363,17 @@ impl Ihtl {
     /// Access to the underlying iHTL graph (stats, breakdowns).
     pub fn graph(&self) -> &IhtlGraph {
         &self.ih
+    }
+
+    /// Index of the cached `k`-column buffers, allocating on first use.
+    fn multi_buf_index(&mut self, k: usize) -> usize {
+        match self.multi_bufs.iter().position(|(kk, _)| *kk == k) {
+            Some(i) => i,
+            None => {
+                self.multi_bufs.push((k, self.ih.new_buffers_multi(k)));
+                self.multi_bufs.len() - 1
+            }
+        }
     }
 
     /// Runs one SpMV and returns the phase breakdown (Table 5's right
@@ -326,6 +409,28 @@ impl SpmvEngine for Ihtl {
     fn from_original_order(&self, v: &[f64]) -> Vec<f64> {
         self.ih.to_new_order(v)
     }
+    // Native SpMM: the flipped-block push, merge and sparse pull all run
+    // k columns wide over one edge sweep (`IhtlGraph::spmm`).
+    fn spmm_add(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        if k == 1 {
+            return self.spmv_add(x, y);
+        }
+        let i = self.multi_buf_index(k);
+        self.ih.spmm::<Add>(x, y, k, &mut self.multi_bufs[i].1);
+    }
+    fn spmm_min(&mut self, x: &[f64], y: &mut [f64], k: usize) {
+        if k == 1 {
+            return self.spmv_min(x, y);
+        }
+        let i = self.multi_buf_index(k);
+        self.ih.spmm::<Min>(x, y, k, &mut self.multi_bufs[i].1);
+    }
+    fn to_original_order_multi(&self, v: &[f64], k: usize) -> Vec<f64> {
+        self.ih.to_old_order_multi(v, k)
+    }
+    fn from_original_order_multi(&self, v: &[f64], k: usize) -> Vec<f64> {
+        self.ih.to_new_order_multi(v, k)
+    }
 }
 
 /// Builds the iHTL engine concretely (callers needing breakdown access).
@@ -340,7 +445,7 @@ pub fn build_ihtl_engine(g: &Graph, cfg: &IhtlConfig) -> Ihtl {
 pub fn ihtl_engine_from_shared(ih: Arc<IhtlGraph>) -> Ihtl {
     let bufs = ih.new_buffers();
     let out_degrees = ih.out_degree_new().to_vec();
-    Ihtl { ih, bufs, out_degrees }
+    Ihtl { ih, bufs, multi_bufs: Vec::new(), out_degrees }
 }
 
 #[cfg(test)]
@@ -386,6 +491,68 @@ mod tests {
             match &reference {
                 None => reference = Some(yo),
                 Some(r) => assert_eq!(r, &yo, "{} disagrees", e.label()),
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_matches_solo_spmv_per_column_on_every_engine() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        let n = 8;
+        for kind in EngineKind::all() {
+            for k in [1usize, 4, 8] {
+                let mut e = build_engine(kind, &g, &cfg);
+                // Integer-valued columns: Add is exact under any combine
+                // grouping, so bitwise identity holds on every engine.
+                let cols: Vec<Vec<f64>> = (0..k)
+                    .map(|j| (0..n).map(|i| ((i * 3 + j * 5) % 11) as f64).collect())
+                    .collect();
+                let mut x_orig = vec![0.0; n * k];
+                for (j, col) in cols.iter().enumerate() {
+                    for (i, &v) in col.iter().enumerate() {
+                        x_orig[i * k + j] = v;
+                    }
+                }
+                let x_m = e.from_original_order_multi(&x_orig, k);
+                let mut y_m = vec![f64::NAN; n * k];
+                e.spmm_add(&x_m, &mut y_m, k);
+                let y_back = e.to_original_order_multi(&y_m, k);
+                for (j, col) in cols.iter().enumerate() {
+                    let xe = e.from_original_order(col);
+                    let mut y = vec![f64::NAN; n];
+                    e.spmv_add(&xe, &mut y);
+                    let solo = e.to_original_order(&y);
+                    for v in 0..n {
+                        assert_eq!(
+                            y_back[v * k + j].to_bits(),
+                            solo[v].to_bits(),
+                            "{} add k={k} column {j} vertex {v}",
+                            e.label()
+                        );
+                    }
+                }
+                // Min is exact on any values — use non-integer inputs.
+                let x_min: Vec<f64> = (0..n * k).map(|i| (i as f64) * 0.37 + 0.25).collect();
+                let xm = e.from_original_order_multi(&x_min, k);
+                let mut ym = vec![f64::NAN; n * k];
+                e.spmm_min(&xm, &mut ym, k);
+                let ym_back = e.to_original_order_multi(&ym, k);
+                for j in 0..k {
+                    let col: Vec<f64> = (0..n).map(|i| x_min[i * k + j]).collect();
+                    let xe = e.from_original_order(&col);
+                    let mut y = vec![f64::NAN; n];
+                    e.spmv_min(&xe, &mut y);
+                    let solo = e.to_original_order(&y);
+                    for v in 0..n {
+                        assert_eq!(
+                            ym_back[v * k + j].to_bits(),
+                            solo[v].to_bits(),
+                            "{} min k={k} column {j} vertex {v}",
+                            e.label()
+                        );
+                    }
+                }
             }
         }
     }

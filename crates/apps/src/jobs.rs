@@ -14,6 +14,7 @@ use ihtl_graph::Graph;
 use crate::bfs::bfs;
 use crate::components::propagate_components;
 use crate::engine::SpmvEngine;
+use crate::multi::{pagerank_multi, pagerank_seeded, spmv_sum_multi, sssp_multi};
 use crate::pagerank::pagerank;
 use crate::spmv::spmv_iterations;
 use crate::sssp::sssp;
@@ -23,10 +24,13 @@ use crate::sssp::sssp;
 #[derive(Clone, Debug, PartialEq)]
 pub enum JobSpec {
     /// PageRank for a fixed number of iterations (the paper's §4.1
-    /// evaluation application).
-    PageRank { iters: usize },
-    /// Bare iterated sum-SpMV from `x0 = 1` (§2.2's microbenchmark).
-    SpmvSum { iters: usize },
+    /// evaluation application). `seed: Some(s)` personalises the teleport
+    /// (and the start vector) to vertex `s`; `None` is classic uniform
+    /// PageRank.
+    PageRank { iters: usize, seed: Option<u32> },
+    /// Bare iterated sum-SpMV (§2.2's microbenchmark) from `x0 = 1`
+    /// (`source: None`) or an indicator at `source` (`Some`).
+    SpmvSum { iters: usize, source: Option<u32> },
     /// Unweighted Bellman–Ford from `source`.
     Sssp { source: u32, max_rounds: usize },
     /// Min-label propagation. The engine must have been built over a
@@ -50,16 +54,65 @@ impl JobSpec {
     }
 
     /// Canonical parameter string: equal specs produce equal strings, so it
-    /// can key a result cache.
+    /// can key a result cache. Optional parameters only appear when set, so
+    /// pre-existing cache keys stay valid.
     pub fn canonical(&self) -> String {
         match self {
-            JobSpec::PageRank { iters } => format!("pagerank:iters={iters}"),
-            JobSpec::SpmvSum { iters } => format!("spmv:iters={iters}"),
+            JobSpec::PageRank { iters, seed: None } => format!("pagerank:iters={iters}"),
+            JobSpec::PageRank { iters, seed: Some(s) } => {
+                format!("pagerank:iters={iters}:seed={s}")
+            }
+            JobSpec::SpmvSum { iters, source: None } => format!("spmv:iters={iters}"),
+            JobSpec::SpmvSum { iters, source: Some(s) } => {
+                format!("spmv:iters={iters}:source={s}")
+            }
             JobSpec::Sssp { source, max_rounds } => {
                 format!("sssp:source={source}:max_rounds={max_rounds}")
             }
             JobSpec::Components { max_rounds } => format!("cc:max_rounds={max_rounds}"),
             JobSpec::Bfs { source } => format!("bfs:source={source}"),
+        }
+    }
+
+    /// Coalescing key: two queued jobs whose group keys are equal (and
+    /// `Some`) can share one SpMM edge sweep — they are the same analytic
+    /// with the same iteration budget, differing only in the per-column
+    /// parameter (seed / source). `None` means the job cannot be batched.
+    pub fn batch_group_key(&self) -> Option<String> {
+        match self {
+            JobSpec::PageRank { iters, .. } => Some(format!("pagerank:iters={iters}")),
+            JobSpec::SpmvSum { iters, .. } => Some(format!("spmv:iters={iters}")),
+            JobSpec::Sssp { max_rounds, .. } => Some(format!("sssp:max_rounds={max_rounds}")),
+            JobSpec::Components { .. } | JobSpec::Bfs { .. } => None,
+        }
+    }
+
+    /// Parameter validation, shared by the solo and batched paths. Runs
+    /// *before* any compute timer or trace span starts, so a rejected job
+    /// reports no compute time and emits no span.
+    pub fn validate(&self, n: usize, graph: Option<&Graph>) -> Result<(), String> {
+        let check_source = |s: u32| {
+            if (s as usize) < n {
+                Ok(())
+            } else {
+                Err(format!("source vertex {s} out of range (n = {n})"))
+            }
+        };
+        match *self {
+            JobSpec::PageRank { seed: Some(s), .. } => check_source(s),
+            JobSpec::PageRank { seed: None, .. } => Ok(()),
+            JobSpec::SpmvSum { source: Some(s), .. } => check_source(s),
+            JobSpec::SpmvSum { source: None, .. } => Ok(()),
+            JobSpec::Sssp { source, .. } => check_source(source),
+            JobSpec::Components { .. } => Ok(()),
+            JobSpec::Bfs { source } => {
+                if graph.is_none() {
+                    return Err(
+                        "bfs requires the raw graph (unavailable for this dataset)".to_string()
+                    );
+                }
+                check_source(source)
+            }
         }
     }
 
@@ -76,7 +129,7 @@ impl JobSpec {
 }
 
 /// Uniform result of a dispatched job.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct JobOutput {
     /// Per-vertex result in *original* vertex order: ranks (PageRank), SpMV
     /// values, distances (SSSP; unreachable = +∞), component labels, or BFS
@@ -97,29 +150,36 @@ pub fn run_job(
     spec: &JobSpec,
 ) -> Result<JobOutput, String> {
     let n = engine.n_vertices();
-    let check_source = |s: u32| {
-        if (s as usize) < n {
-            Ok(())
-        } else {
-            Err(format!("source vertex {s} out of range (n = {n})"))
-        }
-    };
+    // Reject bad parameters before the timer and span start: a rejected job
+    // must report zero compute seconds and leave no trace span behind.
+    spec.validate(n, graph)?;
     // lint:allow(R4): wall-clock feeds the reported job timing, not values
     let t = Instant::now();
-    // Span name is the analytic's stable wire name, arg its round budget.
+    // Span name is the analytic's stable wire name.
     let _job_span = ihtl_trace::span(spec.name());
     match *spec {
-        JobSpec::PageRank { iters } => {
+        JobSpec::PageRank { iters, seed: None } => {
             let run = pagerank(engine, iters);
-            Ok(JobOutput { values: run.ranks, rounds: iters, seconds: t.elapsed().as_secs_f64() })
+            // Report rounds actually executed (the empty-graph early return
+            // runs none), not the requested budget.
+            let rounds = run.iter_seconds.len();
+            Ok(JobOutput { values: run.ranks, rounds, seconds: t.elapsed().as_secs_f64() })
         }
-        JobSpec::SpmvSum { iters } => {
-            let x0 = vec![1.0f64; n];
+        JobSpec::PageRank { iters, seed: seed @ Some(_) } => {
+            let values = pagerank_seeded(engine, iters, seed);
+            let rounds = if n == 0 { 0 } else { iters };
+            Ok(JobOutput { values, rounds, seconds: t.elapsed().as_secs_f64() })
+        }
+        JobSpec::SpmvSum { iters, source } => {
+            let mut x0 = vec![0.0f64; n];
+            match source {
+                None => x0.iter_mut().for_each(|v| *v = 1.0),
+                Some(s) => x0[s as usize] = 1.0,
+            }
             let run = spmv_iterations(engine, &x0, iters);
             Ok(JobOutput { values: run.values, rounds: iters, seconds: t.elapsed().as_secs_f64() })
         }
         JobSpec::Sssp { source, max_rounds } => {
-            check_source(source)?;
             let run = sssp(engine, source, max_rounds);
             Ok(JobOutput {
                 values: run.dist,
@@ -137,7 +197,6 @@ pub fn run_job(
         }
         JobSpec::Bfs { source } => {
             let g = graph.ok_or("bfs requires the raw graph (unavailable for this dataset)")?;
-            check_source(source)?;
             let run = bfs(g, source);
             let values = run
                 .level
@@ -151,6 +210,107 @@ pub fn run_job(
             })
         }
     }
+}
+
+/// Runs a coalesced batch of jobs sharing one [`JobSpec::batch_group_key`]
+/// in a single SpMM edge sweep (K value columns per sweep), returning one
+/// result per input spec in order.
+///
+/// Failure isolation: members that fail validation, are unbatchable, or
+/// don't share the batch's group key get their own `Err` and are excluded
+/// *before* any compute runs — the surviving columns execute and succeed
+/// normally. Each successful member's `seconds` is its amortized share of
+/// the batch's compute wall-clock (the batch total divided by the number of
+/// executed columns), so summing members recovers the sweep cost.
+///
+/// Each result column is bitwise identical to the corresponding solo
+/// [`run_job`] wherever solo runs are themselves schedule independent (see
+/// `crate::multi`).
+pub fn run_job_multi(
+    engine: &mut dyn SpmvEngine,
+    specs: &[JobSpec],
+) -> Vec<Result<JobOutput, String>> {
+    let n = engine.n_vertices();
+    let mut results: Vec<Option<Result<JobOutput, String>>> = specs.iter().map(|_| None).collect();
+    let group = specs.iter().find_map(JobSpec::batch_group_key);
+    let mut live: Vec<usize> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        match (spec.batch_group_key(), spec.validate(n, None)) {
+            (None, _) => {
+                results[i] = Some(Err(format!("{} jobs cannot be batched", spec.name())));
+            }
+            (_, Err(e)) => results[i] = Some(Err(e)),
+            (Some(g), Ok(())) if Some(&g) != group.as_ref() => {
+                results[i] = Some(Err(format!(
+                    "batch group mismatch: {g} does not match {}",
+                    group.as_deref().unwrap_or("?")
+                )));
+            }
+            _ => live.push(i),
+        }
+    }
+    if live.is_empty() {
+        return results
+            .into_iter()
+            .map(|r| r.unwrap_or_else(|| Err("empty batch".to_string())))
+            .collect();
+    }
+    let k = live.len();
+    // lint:allow(R4): wall-clock feeds the reported job timing, not values
+    let t = Instant::now();
+    let _job_span = ihtl_trace::span(specs[live[0]].name()).with_arg(k as u64);
+    match specs[live[0]] {
+        JobSpec::PageRank { iters, .. } => {
+            let seeds: Vec<Option<u32>> = live
+                .iter()
+                .map(|&i| match specs[i] {
+                    JobSpec::PageRank { seed, .. } => seed,
+                    _ => None,
+                })
+                .collect();
+            let cols = pagerank_multi(engine, iters, &seeds);
+            let secs = t.elapsed().as_secs_f64() / k as f64;
+            let rounds = if n == 0 { 0 } else { iters };
+            for (&i, col) in live.iter().zip(cols) {
+                results[i] = Some(Ok(JobOutput { values: col, rounds, seconds: secs }));
+            }
+        }
+        JobSpec::SpmvSum { iters, .. } => {
+            let sources: Vec<Option<u32>> = live
+                .iter()
+                .map(|&i| match specs[i] {
+                    JobSpec::SpmvSum { source, .. } => source,
+                    _ => None,
+                })
+                .collect();
+            let cols = spmv_sum_multi(engine, iters, &sources);
+            let secs = t.elapsed().as_secs_f64() / k as f64;
+            for (&i, col) in live.iter().zip(cols) {
+                results[i] = Some(Ok(JobOutput { values: col, rounds: iters, seconds: secs }));
+            }
+        }
+        JobSpec::Sssp { max_rounds, .. } => {
+            let sources: Vec<u32> = live
+                .iter()
+                .map(|&i| match specs[i] {
+                    JobSpec::Sssp { source, .. } => source,
+                    _ => 0,
+                })
+                .collect();
+            let cols = sssp_multi(engine, &sources, max_rounds);
+            let secs = t.elapsed().as_secs_f64() / k as f64;
+            for (&i, (dist, rounds)) in live.iter().zip(cols) {
+                results[i] = Some(Ok(JobOutput { values: dist, rounds, seconds: secs }));
+            }
+        }
+        JobSpec::Components { .. } | JobSpec::Bfs { .. } => {
+            // Unreachable: batch_group_key() returned None above.
+            for &i in &live {
+                results[i] = Some(Err(format!("{} jobs cannot be batched", specs[i].name())));
+            }
+        }
+    }
+    results.into_iter().map(|r| r.unwrap_or_else(|| Err("empty batch".to_string()))).collect()
 }
 
 #[cfg(test)]
@@ -171,7 +331,8 @@ mod tests {
         let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
         let direct = crate::pagerank::pagerank(e.as_mut(), 10).ranks;
         let mut e2 = build_engine(EngineKind::Ihtl, &g, &cfg());
-        let out = run_job(e2.as_mut(), Some(&g), &JobSpec::PageRank { iters: 10 }).unwrap();
+        let out =
+            run_job(e2.as_mut(), Some(&g), &JobSpec::PageRank { iters: 10, seed: None }).unwrap();
         assert_eq!(direct, out.values);
         assert_eq!(out.rounds, 10);
     }
@@ -181,8 +342,10 @@ mod tests {
         let g = paper_example_graph();
         let sym = symmetrize(&g);
         let specs = [
-            JobSpec::PageRank { iters: 5 },
-            JobSpec::SpmvSum { iters: 3 },
+            JobSpec::PageRank { iters: 5, seed: None },
+            JobSpec::PageRank { iters: 5, seed: Some(2) },
+            JobSpec::SpmvSum { iters: 3, source: None },
+            JobSpec::SpmvSum { iters: 3, source: Some(1) },
             JobSpec::Sssp { source: 0, max_rounds: 16 },
             JobSpec::Components { max_rounds: 16 },
             JobSpec::Bfs { source: 0 },
@@ -214,9 +377,105 @@ mod tests {
 
     #[test]
     fn canonical_strings_are_distinct_and_stable() {
-        let a = JobSpec::PageRank { iters: 20 }.canonical();
-        let b = JobSpec::PageRank { iters: 21 }.canonical();
+        let a = JobSpec::PageRank { iters: 20, seed: None }.canonical();
+        let b = JobSpec::PageRank { iters: 21, seed: None }.canonical();
         assert_ne!(a, b);
         assert_eq!(a, "pagerank:iters=20");
+        let c = JobSpec::PageRank { iters: 20, seed: Some(3) }.canonical();
+        assert_eq!(c, "pagerank:iters=20:seed=3");
+        assert_eq!(JobSpec::SpmvSum { iters: 4, source: None }.canonical(), "spmv:iters=4");
+        assert_eq!(
+            JobSpec::SpmvSum { iters: 4, source: Some(7) }.canonical(),
+            "spmv:iters=4:source=7"
+        );
+    }
+
+    #[test]
+    fn batch_group_keys_ignore_per_column_parameters() {
+        let a = JobSpec::Sssp { source: 0, max_rounds: 16 }.batch_group_key();
+        let b = JobSpec::Sssp { source: 5, max_rounds: 16 }.batch_group_key();
+        let c = JobSpec::Sssp { source: 0, max_rounds: 17 }.batch_group_key();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(JobSpec::Bfs { source: 0 }.batch_group_key().is_none());
+        assert!(JobSpec::Components { max_rounds: 8 }.batch_group_key().is_none());
+        assert_eq!(
+            JobSpec::PageRank { iters: 9, seed: Some(1) }.batch_group_key(),
+            JobSpec::PageRank { iters: 9, seed: None }.batch_group_key()
+        );
+    }
+
+    #[test]
+    fn rejected_jobs_report_zero_seconds() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        for spec in [
+            JobSpec::Sssp { source: 999, max_rounds: 4 },
+            JobSpec::PageRank { iters: 4, seed: Some(999) },
+            JobSpec::SpmvSum { iters: 4, source: Some(999) },
+        ] {
+            let r = run_job(e.as_mut(), Some(&g), &spec);
+            assert!(r.is_err(), "{spec:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn pagerank_reports_executed_rounds() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let out =
+            run_job(e.as_mut(), Some(&g), &JobSpec::PageRank { iters: 7, seed: None }).unwrap();
+        assert_eq!(out.rounds, 7);
+    }
+
+    #[test]
+    fn run_job_multi_matches_solo_runs_bitwise() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let specs: Vec<JobSpec> =
+            [5u32, 0, 2, 6].iter().map(|&s| JobSpec::Sssp { source: s, max_rounds: 32 }).collect();
+        let batched = run_job_multi(e.as_mut(), &specs);
+        for (spec, out) in specs.iter().zip(&batched) {
+            let out = out.as_ref().unwrap();
+            let solo = run_job(e.as_mut(), Some(&g), spec).unwrap();
+            assert_eq!(out.rounds, solo.rounds);
+            for (a, b) in out.values.iter().zip(&solo.values) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn run_job_multi_isolates_failures() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let specs = vec![
+            JobSpec::Sssp { source: 5, max_rounds: 32 },
+            JobSpec::Sssp { source: 999, max_rounds: 32 },
+            JobSpec::Bfs { source: 0 },
+            JobSpec::Sssp { source: 0, max_rounds: 32 },
+        ];
+        let batched = run_job_multi(e.as_mut(), &specs);
+        assert!(batched[0].is_ok());
+        assert!(batched[1].as_ref().unwrap_err().contains("out of range"));
+        assert!(batched[2].as_ref().unwrap_err().contains("cannot be batched"));
+        assert!(batched[3].is_ok());
+        let solo = run_job(e.as_mut(), Some(&g), &specs[3]).unwrap();
+        for (a, b) in batched[3].as_ref().unwrap().values.iter().zip(&solo.values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_job_multi_rejects_group_mismatch() {
+        let g = paper_example_graph();
+        let mut e = build_engine(EngineKind::Ihtl, &g, &cfg());
+        let specs = vec![
+            JobSpec::Sssp { source: 5, max_rounds: 32 },
+            JobSpec::Sssp { source: 0, max_rounds: 16 },
+        ];
+        let batched = run_job_multi(e.as_mut(), &specs);
+        assert!(batched[0].is_ok());
+        assert!(batched[1].as_ref().unwrap_err().contains("group mismatch"));
     }
 }

@@ -22,6 +22,7 @@ pub mod bfs;
 pub mod components;
 pub mod engine;
 pub mod jobs;
+pub mod multi;
 pub mod pagerank;
 pub mod spmv;
 pub mod sssp;
@@ -30,5 +31,6 @@ pub mod triangles;
 pub use engine::{
     build_engine, build_engine_shared, ihtl_engine_from_shared, EngineKind, SpmvEngine,
 };
-pub use jobs::{run_job, JobOutput, JobSpec};
+pub use jobs::{run_job, run_job_multi, JobOutput, JobSpec};
+pub use multi::{pagerank_multi, pagerank_seeded, spmv_sum_multi, sssp_multi};
 pub use pagerank::{pagerank, PageRankRun};

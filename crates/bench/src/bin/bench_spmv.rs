@@ -139,6 +139,94 @@ fn bench_dataset(ds: &Dataset, samples: usize) -> DatasetResult {
     DatasetResult { key: ds.key, n_vertices: n, n_edges: m, kernels }
 }
 
+/// Batched-execution A/B on one dataset: amortized ns/edge/query of the
+/// iHTL kernel at K = 1 (solo SpMV baseline) and K = 4/8 columns per edge
+/// sweep. One SpMM sweep serves K queries, so its per-query cost is its
+/// wall-clock divided by K× the edge count.
+struct SpmmResult {
+    key: &'static str,
+    n_edges: usize,
+    /// (k, best seconds per sweep, amortized ns/edge/query).
+    points: Vec<(usize, f64, f64)>,
+}
+
+fn bench_spmm(ds: &Dataset, samples: usize) -> SpmmResult {
+    let edges = rmat_edges(ds.scale, ds.target_edges, RmatParams::social(), ds.seed);
+    let g = Graph::from_edges(1usize << ds.scale, &edges);
+    let n = g.n_vertices();
+    let m = g.n_edges();
+    let ih = IhtlGraph::build(&g, &IhtlConfig::default());
+    let mut points = Vec::new();
+    for k in [1usize, 4, 8] {
+        let x: Vec<f64> = (0..n * k).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+        let x_new = ih.to_new_order_multi(&x, k);
+        let mut y = vec![0.0f64; n * k];
+        let sec = if k == 1 {
+            let mut bufs = ih.new_buffers();
+            time_best(samples, || {
+                let _ = ih.spmv::<Add>(&x_new, &mut y, &mut bufs);
+            })
+        } else {
+            let mut bufs = ih.new_buffers_multi(k);
+            time_best(samples, || {
+                let _ = ih.spmm::<Add>(&x_new, &mut y, k, &mut bufs);
+            })
+        };
+        let ns_per_edge_query = sec * 1e9 / (m * k) as f64;
+        eprintln!(
+            "[bench_spmv] spmm {} k={k}: {sec:.6}s/sweep, {ns_per_edge_query:.3} ns/edge/query",
+            ds.key
+        );
+        points.push((k, sec, ns_per_edge_query));
+    }
+    SpmmResult { key: ds.key, n_edges: m, points }
+}
+
+/// Per-dataset speedup of K=8 amortized cost over the K=1 baseline
+/// (> 1.0 means batching wins).
+fn spmm_k8_speedup(r: &SpmmResult) -> f64 {
+    let at = |k: usize| r.points.iter().find(|p| p.0 == k).map(|p| p.2);
+    match (at(1), at(8)) {
+        (Some(k1), Some(k8)) if k8 > 0.0 => k1 / k8,
+        _ => 0.0,
+    }
+}
+
+fn render_spmm_json(results: &[SpmmResult], samples: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ihtl-bench-spmm/v1\",\n");
+    let unix =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    out.push_str(&format!("  \"generated_unix\": {unix},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", ihtl_parallel::num_threads()));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"datasets\": [\n");
+    for (i, ds) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"key\": \"{}\",\n", ds.key));
+        out.push_str(&format!("      \"n_edges\": {},\n", ds.n_edges));
+        out.push_str("      \"points\": {\n");
+        for (j, (k, sec, nspe)) in ds.points.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"k{k}\": {{ \"seconds_best\": {sec:.6}, \
+                 \"ns_per_edge_per_query\": {nspe:.3} }}"
+            ));
+            out.push_str(if j + 1 < ds.points.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      },\n");
+        out.push_str(&format!("      \"k8_vs_k1_speedup\": {:.3}\n", spmm_k8_speedup(ds)));
+        out.push_str("    }");
+        out.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let best = results.iter().map(spmm_k8_speedup).fold(0.0f64, f64::max);
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!("    \"best_k8_vs_k1_speedup\": {best:.3}\n"));
+    out.push_str("  }\n}\n");
+    out
+}
+
 /// A/B of the iHTL kernel with tracing idle vs enabled, on the smallest
 /// suite graph. Returns the overhead in percent (negative = noise in the
 /// traced run's favour). Uses best-of-samples on both sides, so one-sided
@@ -297,6 +385,16 @@ const FLAGS: &[FlagSpec] = &[
         value: None,
         help: "measure tracing-enabled vs idle kernel cost (summary trace_overhead_pct)",
     },
+    FlagSpec {
+        name: "spmm",
+        value: None,
+        help: "also run the batched SpMM A/B (K=1/4/8 columns per sweep)",
+    },
+    FlagSpec {
+        name: "spmm-out",
+        value: Some("PATH"),
+        help: "batched A/B output path (default results/BENCH_spmm.json)",
+    },
 ];
 
 fn main() {
@@ -353,6 +451,29 @@ fn main() {
                 eprintln!("error: --max-regress needs a readable --baseline with a geomean");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if args.has("spmm") {
+        let spmm_out = args.get_or("spmm-out", "results/BENCH_spmm.json").to_string();
+        // Two datasets keep the A/B fast; the K sweep is the experiment.
+        let spmm_results: Vec<SpmmResult> =
+            SUITE[..2].iter().map(|d| bench_spmm(d, samples)).collect();
+        let sjson = render_spmm_json(&spmm_results, samples);
+        std::fs::write(&spmm_out, &sjson).expect("writing spmm results JSON");
+        eprintln!("[bench_spmv] wrote {spmm_out}");
+        if max_regress.is_some() {
+            // Batched execution must actually pay for itself: the amortized
+            // per-query cost at K=8 has to beat the solo kernel somewhere.
+            let best = spmm_results.iter().map(spmm_k8_speedup).fold(0.0f64, f64::max);
+            if best <= 1.0 {
+                eprintln!(
+                    "error: batched SpMM at K=8 is not cheaper per query than K=1 on any \
+                     dataset (best speedup {best:.3}x)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!("[bench_spmv] spmm gate: best K=8 vs K=1 speedup {best:.3}x");
         }
     }
 }

@@ -22,7 +22,8 @@ use crate::graph::IhtlGraph;
 
 /// One worker's private hub buffer plus its dirty-segment stamps.
 struct WorkerBuf {
-    /// `n_hubs` slots; block `b`'s segment spans `[hub_start_b, hub_end_b)`.
+    /// `n_hubs * cols` slots, `cols` interleaved per hub; block `b`'s
+    /// segment spans `[hub_start_b * cols, hub_end_b * cols)`.
     data: Vec<f64>,
     /// Per-block generation stamp: `block_gen[b]` equals the buffers'
     /// current generation iff this worker wrote into block `b`'s segment
@@ -49,6 +50,9 @@ pub struct ThreadBuffers {
     generation: u64,
     n_hubs: usize,
     n_blocks: usize,
+    /// Value columns per hub (1 for SpMV, `k` for SpMM). Columns of one hub
+    /// are interleaved so a hub's `k` values share a cache line.
+    cols: usize,
 }
 
 // SAFETY: each pool worker accesses only the buffer at its own unique
@@ -63,12 +67,19 @@ impl ThreadBuffers {
     /// Allocates buffers of `n_hubs` slots and `n_blocks` dirty stamps for
     /// every possible worker.
     pub fn new(n_hubs: usize, n_blocks: usize) -> Self {
+        Self::with_cols(n_hubs, n_blocks, 1)
+    }
+
+    /// [`ThreadBuffers::new`] with `cols` interleaved value columns per hub
+    /// — the SpMM layout (`data[hub * cols + j]` holds column `j`).
+    pub fn with_cols(n_hubs: usize, n_blocks: usize, cols: usize) -> Self {
+        assert!(cols >= 1, "buffers need at least one value column");
         let n_threads = ihtl_parallel::num_threads() + 1;
         Self {
             bufs: (0..n_threads)
                 .map(|_| {
                     UnsafeCell::new(WorkerBuf {
-                        data: vec![0.0f64; n_hubs],
+                        data: vec![0.0f64; n_hubs * cols],
                         block_gen: vec![0u64; n_blocks],
                     })
                 })
@@ -78,6 +89,7 @@ impl ThreadBuffers {
             generation: 0,
             n_hubs,
             n_blocks,
+            cols,
         }
     }
 
@@ -86,9 +98,14 @@ impl ThreadBuffers {
         self.bufs.len()
     }
 
-    /// Buffer slots per thread.
+    /// Hub slots per thread (independent of the column count).
     pub fn width(&self) -> usize {
         self.n_hubs
+    }
+
+    /// Interleaved value columns per hub (1 for SpMV buffers).
+    pub fn cols(&self) -> usize {
+        self.cols
     }
 
     /// Dirty stamps per thread (one per flipped block).
@@ -125,16 +142,18 @@ impl ThreadBuffers {
         wb.block_gen[b] == self.generation
     }
 
-    /// Reads slot `hub` of thread `t` without bounds checks (merge phase).
+    /// Reads flat slot `slot` (`hub * cols + column`) of thread `t` without
+    /// bounds checks (merge phase).
     ///
     /// # Safety
-    /// `t < n_buffers()` and `hub < width()`; the caller must have verified
-    /// the owning segment is dirty (clean segments hold stale data).
+    /// `t < n_buffers()` and `slot < width() * cols()`; the caller must have
+    /// verified the owning segment is dirty (clean segments hold stale
+    /// data).
     #[inline]
-    unsafe fn read_unchecked(&self, t: usize, hub: usize) -> f64 {
-        debug_assert!(t < self.bufs.len() && hub < self.n_hubs);
+    unsafe fn read_unchecked(&self, t: usize, slot: usize) -> f64 {
+        debug_assert!(t < self.bufs.len() && slot < self.n_hubs * self.cols);
         let wb: &WorkerBuf = &*self.bufs.get_unchecked(t).get();
-        *wb.data.get_unchecked(hub)
+        *wb.data.get_unchecked(slot)
     }
 
     /// Opens a new iteration: all segments become stale at once, at the
@@ -203,6 +222,11 @@ impl IhtlGraph {
         ThreadBuffers::new(self.n_hubs, self.blocks.len())
     }
 
+    /// Allocates per-thread buffers for `k`-column SpMM over this graph.
+    pub fn new_buffers_multi(&self, k: usize) -> ThreadBuffers {
+        ThreadBuffers::with_cols(self.n_hubs, self.blocks.len(), k)
+    }
+
     /// One SpMV iteration in iHTL order (Algorithm 3):
     /// `y[v] = ⊕_{u ∈ N⁻(v)} x[u]`, with `x` and `y` indexed by NEW ids.
     ///
@@ -220,6 +244,7 @@ impl IhtlGraph {
         assert_eq!(y.len(), self.n);
         assert_eq!(bufs.width(), self.n_hubs, "buffers sized for a different graph");
         assert_eq!(bufs.n_blocks(), self.blocks.len(), "buffers built for a different blocking");
+        assert_eq!(bufs.cols(), 1, "multi-column buffers need the spmm entry point");
         let mut breakdown = ExecBreakdown::default();
         let _iter_span = ihtl_trace::span("ihtl_spmv");
 
@@ -342,6 +367,151 @@ impl IhtlGraph {
         breakdown.pull_seconds = t.elapsed().as_secs_f64();
         breakdown
     }
+
+    /// One SpMM iteration in iHTL order: [`IhtlGraph::spmv`] generalised to
+    /// `k` interleaved value columns per vertex (row-major `[vertex][k]`),
+    /// so one edge sweep serves `k` independent queries. `x` and `y` hold
+    /// `n * k` values indexed by NEW ids: `x[v * k + j]` is vertex `v`,
+    /// column `j`.
+    ///
+    /// All three phases operate on column groups: the push scatters a
+    /// source's `k` contiguous values into `k` contiguous buffer slots (one
+    /// cache line for `k <= 8`), the merge folds `k`-wide segments, and the
+    /// sparse pull amortises each neighbour gather over `k` accumulators.
+    /// Per column the combine sequence is exactly the one [`IhtlGraph::spmv`]
+    /// would perform under the same chunk→worker assignment, so results
+    /// match K solo runs bitwise under the workspace's determinism
+    /// discipline (exact inputs for `Add`, any values for `Min`/`Max`).
+    pub fn spmm<M: Monoid>(
+        &self,
+        x: &[f64],
+        y: &mut [f64],
+        k: usize,
+        bufs: &mut ThreadBuffers,
+    ) -> ExecBreakdown {
+        assert!(k >= 1, "spmm needs at least one column");
+        assert_eq!(x.len(), self.n * k);
+        assert_eq!(y.len(), self.n * k);
+        assert_eq!(bufs.width(), self.n_hubs, "buffers sized for a different graph");
+        assert_eq!(bufs.n_blocks(), self.blocks.len(), "buffers built for a different blocking");
+        assert_eq!(bufs.cols(), k, "buffers allocated for a different column count");
+        assert!(self.n * k <= u32::MAX as usize, "n * k must fit the u32 range arithmetic");
+        let mut breakdown = ExecBreakdown::default();
+        let _iter_span = ihtl_trace::span("ihtl_spmm").with_arg(k as u64);
+
+        // --- Phase 1: buffered push over flipped blocks, k columns wide. ---
+        // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
+        let t = Instant::now();
+        let phase_span = ihtl_trace::span("fb_push");
+        bufs.begin_iteration();
+        let gen = bufs.generation;
+        ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
+            let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
+            let blk = &self.blocks[b as usize];
+            let base = blk.hub_start as usize;
+            let wb = bufs.my_buffer();
+            if wb.block_gen[b as usize] != gen {
+                wb.block_gen[b as usize] = gen;
+                for slot in &mut wb.data[base * k..blk.hub_end as usize * k] {
+                    *slot = M::identity();
+                }
+            }
+            let offsets = blk.edges.offsets();
+            let targets = blk.edges.targets();
+            debug_assert!((range.end as usize) <= blk.srcs.len());
+            let mut s = offsets[range.start as usize] as usize;
+            for row in range.iter() {
+                // SAFETY: same structural invariants as the SpMV push; the
+                // column reads span `u * k .. u * k + k <= n * k == x.len()`
+                // and the scatter spans `(base + local) * k .. + k`, within
+                // the `n_hubs * k` slots (`cols == k` asserted above).
+                unsafe {
+                    let e = *offsets.get_unchecked(row as usize + 1) as usize;
+                    let u = *blk.srcs.get_unchecked(row as usize) as usize;
+                    debug_assert!(u * k + k <= x.len());
+                    let xs = x.get_unchecked(u * k..u * k + k);
+                    for &local in targets.get_unchecked(s..e) {
+                        let slot = (base + local as usize) * k;
+                        debug_assert!(slot + k <= wb.data.len());
+                        let ps = wb.data.get_unchecked_mut(slot..slot + k);
+                        for (p, &xv) in ps.iter_mut().zip(xs) {
+                            *p = M::combine(*p, xv);
+                        }
+                    }
+                    s = e;
+                }
+            }
+        });
+        drop(phase_span);
+        breakdown.fb_seconds = t.elapsed().as_secs_f64();
+
+        // --- Phase 2: merge thread buffers, k columns per hub. ---
+        // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
+        let t = Instant::now();
+        let phase_span = ihtl_trace::span("fb_merge");
+        let n_bufs = bufs.n_buffers();
+        breakdown.dirty_segments = bufs.count_dirty_segments();
+        breakdown.total_segments = n_bufs * self.blocks.len();
+        {
+            let (hub_y, _) = y.split_at_mut(self.n_hubs * k);
+            let mut slices =
+                split_ranges_iter(hub_y, self.merge_tasks.iter().map(|&(_, r)| scale_range(r, k)));
+            let bufs = &*bufs;
+            ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let (b, range) = self.merge_tasks[p];
+                let _task_span = ihtl_trace::span("merge_task").with_arg(b as u64);
+                for slot in out.iter_mut() {
+                    *slot = M::identity();
+                }
+                // Same worker order (ascending) and clean-segment skipping
+                // as the SpMV merge — per column the combine order matches.
+                let start = range.start as usize * k;
+                for t in 0..n_bufs {
+                    if !bufs.is_dirty(t, b as usize) {
+                        continue;
+                    }
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        // SAFETY: `t < n_bufs`; merge-task ranges lie within
+                        // `0..n_hubs`, so the flat slots lie within
+                        // `n_hubs * k`; the stamp check makes them current.
+                        let v = unsafe { bufs.read_unchecked(t, start + i) };
+                        *slot = M::combine(*slot, v);
+                    }
+                }
+            });
+        }
+        drop(phase_span);
+        breakdown.merge_seconds = t.elapsed().as_secs_f64();
+
+        // --- Phase 3: pull over the sparse block, k accumulators per row. ---
+        // lint:allow(R4): phase timing feeds ExecBreakdown (Table 5), not values
+        let t = Instant::now();
+        let phase_span = ihtl_trace::span("sparse_pull");
+        {
+            let (_, sparse_y) = y.split_at_mut(self.n_hubs * k);
+            let scaled: Vec<VertexRange> =
+                self.sparse_tasks.iter().map(|&r| scale_range(r, k)).collect();
+            let mut slices = split_ranges(sparse_y, &scaled);
+            ihtl_parallel::par_for_each_mut(&mut slices, 1, |p, out| {
+                let _task_span = ihtl_trace::span("pull_task").with_arg(p as u64);
+                ihtl_traversal::pull::pull_rows_into_multi::<M>(
+                    &self.sparse,
+                    x,
+                    k,
+                    self.sparse_tasks[p],
+                    out,
+                );
+            });
+        }
+        drop(phase_span);
+        breakdown.pull_seconds = t.elapsed().as_secs_f64();
+        breakdown
+    }
+}
+
+/// Scales a vertex range to its flat `k`-column span.
+fn scale_range(r: VertexRange, k: usize) -> VertexRange {
+    VertexRange { start: r.start * k as u32, end: r.end * k as u32 }
 }
 
 impl IhtlGraph {
@@ -586,6 +756,88 @@ mod tests {
         let mut reference = vec![0.0; 8];
         spmv_pull_serial::<Min>(&g, &x, &mut reference);
         assert_eq!(ih.to_old_order(&y), reference);
+    }
+
+    /// Interleaves `cols` (each length `n`) into the row-major `[vertex][k]`
+    /// SpMM layout.
+    fn interleave(cols: &[Vec<f64>]) -> Vec<f64> {
+        let k = cols.len();
+        let n = cols[0].len();
+        let mut out = vec![0.0; n * k];
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                out[i * k + j] = v;
+            }
+        }
+        out
+    }
+
+    fn check_spmm_matches_solo_bitwise<M: Monoid>(g: &Graph, cfg: &IhtlConfig, k: usize) {
+        let ih = IhtlGraph::build(g, cfg);
+        let n = g.n_vertices();
+        // Integer-valued inputs: exact under any combine grouping, so the
+        // bitwise comparison is valid for Add as well as Min.
+        let cols: Vec<Vec<f64>> =
+            (0..k).map(|j| (0..n).map(|i| ((i * 13 + j * 7) % 50 + 1) as f64).collect()).collect();
+        let x_m = ih.to_new_order_multi(&interleave(&cols), k);
+        let mut y_m = vec![f64::NAN; n * k];
+        let mut mbufs = ih.new_buffers_multi(k);
+        // Two iterations over the same buffers: dirty-segment reuse must be
+        // column-group aware too.
+        for _ in 0..2 {
+            ih.spmm::<M>(&x_m, &mut y_m, k, &mut mbufs);
+        }
+        let y_back = ih.to_old_order_multi(&y_m, k);
+        let mut bufs = ih.new_buffers();
+        for (j, col) in cols.iter().enumerate() {
+            let x_new = ih.to_new_order(col);
+            let mut y = vec![f64::NAN; n];
+            ih.spmv::<M>(&x_new, &mut y, &mut bufs);
+            let solo = ih.to_old_order(&y);
+            for v in 0..n {
+                assert_eq!(
+                    y_back[v * k + j].to_bits(),
+                    solo[v].to_bits(),
+                    "k={k} column {j} vertex {v}: {} vs {}",
+                    y_back[v * k + j],
+                    solo[v]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_columns_match_solo_spmv_bitwise() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 16, ..IhtlConfig::default() };
+        for k in [1usize, 2, 4, 8] {
+            check_spmm_matches_solo_bitwise::<Add>(&g, &cfg, k);
+            check_spmm_matches_solo_bitwise::<Min>(&g, &cfg, k);
+        }
+    }
+
+    #[test]
+    fn spmm_when_everything_is_a_hub() {
+        let g = paper_example_graph();
+        let cfg = IhtlConfig { cache_budget_bytes: 1 << 20, ..IhtlConfig::default() };
+        check_spmm_matches_solo_bitwise::<Add>(&g, &cfg, 4);
+    }
+
+    #[test]
+    fn spmm_on_edgeless_graph() {
+        let g = Graph::from_edges(4, &[]);
+        check_spmm_matches_solo_bitwise::<Add>(&g, &IhtlConfig::default(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "multi-column buffers need the spmm entry point")]
+    fn spmv_rejects_multi_column_buffers() {
+        let g = paper_example_graph();
+        let ih = IhtlGraph::build(&g, &IhtlConfig::default());
+        let x = vec![0.0; 8];
+        let mut y = vec![0.0; 8];
+        let mut bufs = ih.new_buffers_multi(4);
+        ih.spmv::<Add>(&x, &mut y, &mut bufs);
     }
 
     #[test]

@@ -192,6 +192,31 @@ impl IhtlGraph {
         out
     }
 
+    /// [`IhtlGraph::to_new_order`] for `k` interleaved columns per vertex
+    /// (`v * k + j` holds vertex `v`, column `j`). A pure permutation of
+    /// whole `k`-wide rows — bitwise equal to permuting each column solo.
+    pub fn to_new_order_multi(&self, old: &[f64], k: usize) -> Vec<f64> {
+        assert!(k >= 1);
+        assert_eq!(old.len(), self.n * k);
+        let mut out = Vec::with_capacity(old.len());
+        for &o in &self.new_to_old {
+            let base = o as usize * k;
+            out.extend_from_slice(&old[base..base + k]);
+        }
+        out
+    }
+
+    /// [`IhtlGraph::to_old_order`] for `k` interleaved columns per vertex.
+    pub fn to_old_order_multi(&self, new: &[f64], k: usize) -> Vec<f64> {
+        assert!(k >= 1);
+        assert_eq!(new.len(), self.n * k);
+        let mut out = vec![0.0; new.len()];
+        for (v_new, &o) in self.new_to_old.iter().enumerate() {
+            out[o as usize * k..o as usize * k + k].copy_from_slice(&new[v_new * k..v_new * k + k]);
+        }
+        out
+    }
+
     /// Topology bytes of the iHTL representation (Table 4): per-block CSR
     /// index + targets + source map, the sparse block, and the relabeling
     /// arrays. The growth over plain CSC "results from replication of the

@@ -1,0 +1,303 @@
+//! Request coalescing: merge queued jobs into one SpMM execution.
+//!
+//! Queued jobs that share `(dataset, engine, analytic, iteration budget)`
+//! and differ only in a per-query parameter (SSSP source, PageRank seed,
+//! SpMV start vector) can share a single edge sweep: the scheduler runs
+//! them as one K-column SpMM job and demuxes the result columns into the
+//! individual replies. The paper's in-hub temporal locality makes the edge
+//! stream the expensive part; serving K queries per stream amortises it.
+//!
+//! Mechanics: the first arrival for a group key becomes the *leader*. It
+//! installs a [`Group`] in the coalescer and submits one scheduler closure
+//! carrying a [`BatchTicket`]; everyone (leader included) parks on a
+//! private [`BatchSlot`]. Arrivals while the closure is still queued join
+//! the group. When the closure finally runs it *drains* the group —
+//! removing it from the map so later arrivals start a new batch — executes
+//! the members in chunks, and fills each slot individually (failure
+//! isolation: one bad parameter fails one slot, not the sweep).
+//!
+//! Liveness invariants:
+//!
+//! * every slot is eventually filled: by the executing closure, by the
+//!   ticket's `Drop` (the scheduler dropped the closure un-run, e.g. at
+//!   shutdown → [`JobError::ShutDown`]), or by the member's own deadline
+//!   expiring in [`BatchSlot::wait`];
+//! * a member abandoned at its deadline marks itself cancelled so the
+//!   drain skips its column;
+//! * group membership is only touched under the map lock (lock order:
+//!   map → members), so a join can never race a drain and strand a member
+//!   on a detached group.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+use ihtl_apps::{JobOutput, JobSpec};
+
+use crate::sched::JobError;
+
+/// One demuxed column of a coalesced execution.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchedOutput {
+    /// The member's own analytic result, bitwise identical to a solo run.
+    pub output: JobOutput,
+    /// How many queries shared the edge sweep that produced it.
+    pub batch_k: usize,
+}
+
+type BatchResult = Result<BatchedOutput, JobError>;
+
+/// One-shot result slot a batched request parks on (first writer wins, as
+/// in the scheduler's job slot).
+pub struct BatchSlot {
+    result: Mutex<Option<BatchResult>>,
+    ready: Condvar,
+    /// Set when the waiter gave up (deadline); the drain skips this column.
+    cancelled: AtomicBool,
+}
+
+impl BatchSlot {
+    fn new() -> BatchSlot {
+        BatchSlot {
+            result: Mutex::new(None),
+            ready: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    fn fill(&self, r: BatchResult) {
+        let mut slot = crate::lock_ok(&self.result);
+        if slot.is_none() {
+            *slot = Some(r);
+            self.ready.notify_all();
+        }
+    }
+
+    /// Blocks until the batch fills this slot or `deadline` passes. On
+    /// expiry the slot marks itself cancelled so the sweep (if it has not
+    /// started yet) drops the column instead of computing for nobody.
+    pub fn wait(&self, deadline: Option<Instant>) -> BatchResult {
+        let mut slot = crate::lock_ok(&self.result);
+        loop {
+            if let Some(r) = slot.take() {
+                return r;
+            }
+            match deadline {
+                None => {
+                    slot = self.ready.wait(slot).unwrap_or_else(PoisonError::into_inner);
+                }
+                Some(d) => {
+                    // lint:allow(R4): deadline bookkeeping — wall-clock never feeds results
+                    let now = Instant::now();
+                    if now >= d {
+                        self.cancelled.store(true, Ordering::Relaxed);
+                        return Err(JobError::DeadlineExceeded);
+                    }
+                    let (s, _) = self
+                        .ready
+                        .wait_timeout(slot, d - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    slot = s;
+                }
+            }
+        }
+    }
+}
+
+/// One enlisted request: its spec and the slot its client waits on.
+pub struct BatchMember {
+    spec: JobSpec,
+    slot: Arc<BatchSlot>,
+}
+
+impl BatchMember {
+    /// The member's job description (per-column parameters included).
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// Whether the waiting client already gave up on this member.
+    pub fn is_abandoned(&self) -> bool {
+        self.slot.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Delivers this member's result (first writer wins).
+    pub fn fill(&self, r: BatchResult) {
+        self.slot.fill(r);
+    }
+}
+
+struct Group {
+    members: Mutex<Vec<BatchMember>>,
+}
+
+type Groups = Arc<Mutex<HashMap<String, Arc<Group>>>>;
+
+/// Moved into the leader's scheduler closure; draining it claims the
+/// group's members for execution. If the closure is dropped without ever
+/// running (scheduler shutdown drains the queue), `Drop` fails every
+/// member with [`JobError::ShutDown`] so no client hangs.
+pub struct BatchTicket {
+    groups: Groups,
+    key: String,
+    group: Arc<Group>,
+    drained: bool,
+}
+
+impl BatchTicket {
+    /// Claims the group's members and retires the group: later arrivals
+    /// with the same key start a fresh batch behind a new leader.
+    pub fn drain(mut self) -> Vec<BatchMember> {
+        self.drained = true;
+        self.take_members()
+    }
+
+    fn take_members(&self) -> Vec<BatchMember> {
+        let mut groups = crate::lock_ok(&self.groups);
+        if let Some(g) = groups.get(&self.key) {
+            if Arc::ptr_eq(g, &self.group) {
+                groups.remove(&self.key);
+            }
+        }
+        // Still under the map lock (lock order map → members): no join can
+        // slip a member into the group after this take.
+        std::mem::take(&mut *crate::lock_ok(&self.group.members))
+    }
+}
+
+impl Drop for BatchTicket {
+    fn drop(&mut self) {
+        if self.drained {
+            return;
+        }
+        for m in self.take_members() {
+            m.fill(Err(JobError::ShutDown));
+        }
+    }
+}
+
+/// The per-server coalescer: open groups keyed by
+/// `dataset|engine|batch_group_key`.
+pub struct Coalescer {
+    groups: Groups,
+}
+
+impl Default for Coalescer {
+    fn default() -> Coalescer {
+        Coalescer::new()
+    }
+}
+
+impl Coalescer {
+    pub fn new() -> Coalescer {
+        Coalescer { groups: Arc::new(Mutex::new(HashMap::new())) }
+    }
+
+    /// Enlists one request. Returns the slot to wait on and, when this
+    /// request opened a new group, the [`BatchTicket`] the caller must move
+    /// into exactly one scheduler closure. If that submission fails, drop
+    /// the ticket: its `Drop` fails every enlisted member (including this
+    /// one) so a raced joiner cannot hang on a leaderless group.
+    pub fn enlist(&self, key: String, spec: JobSpec) -> (Arc<BatchSlot>, Option<BatchTicket>) {
+        let slot = Arc::new(BatchSlot::new());
+        let member = BatchMember { spec, slot: Arc::clone(&slot) };
+        let mut groups = crate::lock_ok(&self.groups);
+        if let Some(g) = groups.get(&key) {
+            crate::lock_ok(&g.members).push(member);
+            return (slot, None);
+        }
+        let group = Arc::new(Group { members: Mutex::new(vec![member]) });
+        groups.insert(key.clone(), Arc::clone(&group));
+        let ticket = BatchTicket { groups: Arc::clone(&self.groups), key, group, drained: false };
+        (slot, Some(ticket))
+    }
+
+    /// Number of open (not yet drained) groups — observability for tests.
+    pub fn open_groups(&self) -> usize {
+        crate::lock_ok(&self.groups).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn spec(source: u32) -> JobSpec {
+        JobSpec::Sssp { source, max_rounds: 8 }
+    }
+
+    fn out(k: usize) -> BatchedOutput {
+        BatchedOutput {
+            output: JobOutput { values: vec![0.0], rounds: 1, seconds: 0.0 },
+            batch_k: k,
+        }
+    }
+
+    #[test]
+    fn first_enlist_leads_then_others_join() {
+        let c = Coalescer::new();
+        let (s1, t1) = c.enlist("g|ihtl|sssp:max_rounds=8".into(), spec(0));
+        assert!(t1.is_some());
+        let (s2, t2) = c.enlist("g|ihtl|sssp:max_rounds=8".into(), spec(1));
+        assert!(t2.is_none());
+        let (_s3, t3) = c.enlist("g|ihtl|pagerank:iters=20".into(), spec(2));
+        assert!(t3.is_some(), "different key opens its own group");
+        assert_eq!(c.open_groups(), 2);
+        let members = t1.map(BatchTicket::drain).unwrap_or_default();
+        assert_eq!(members.len(), 2);
+        assert_eq!(c.open_groups(), 1);
+        members[0].fill(Ok(out(2)));
+        members[1].fill(Ok(out(2)));
+        assert_eq!(s1.wait(None).map(|b| b.batch_k), Ok(2));
+        assert_eq!(s2.wait(None).map(|b| b.batch_k), Ok(2));
+    }
+
+    #[test]
+    fn drain_retires_the_group_key() {
+        let c = Coalescer::new();
+        let (_s1, t1) = c.enlist("k".into(), spec(0));
+        let members = t1.map(BatchTicket::drain).unwrap_or_default();
+        assert_eq!(members.len(), 1);
+        // Same key now opens a new group with a new leader.
+        let (_s2, t2) = c.enlist("k".into(), spec(1));
+        assert!(t2.is_some());
+        for m in members {
+            m.fill(Err(JobError::Cancelled));
+        }
+    }
+
+    #[test]
+    fn dropped_ticket_fails_all_members_with_shutdown() {
+        let c = Coalescer::new();
+        let (s1, t1) = c.enlist("k".into(), spec(0));
+        let (s2, _) = c.enlist("k".into(), spec(1));
+        drop(t1);
+        assert_eq!(s1.wait(None), Err(JobError::ShutDown));
+        assert_eq!(s2.wait(None), Err(JobError::ShutDown));
+        assert_eq!(c.open_groups(), 0);
+    }
+
+    #[test]
+    fn deadline_expiry_marks_member_abandoned() {
+        let c = Coalescer::new();
+        let (s1, t1) = c.enlist("k".into(), spec(0));
+        let d = Instant::now() + Duration::from_millis(10);
+        assert_eq!(s1.wait(Some(d)), Err(JobError::DeadlineExceeded));
+        let members = t1.map(BatchTicket::drain).unwrap_or_default();
+        assert!(members[0].is_abandoned());
+        // A late fill is harmless: the waiter already returned.
+        members[0].fill(Ok(out(1)));
+    }
+
+    #[test]
+    fn first_writer_wins_on_slots() {
+        let c = Coalescer::new();
+        let (s, t) = c.enlist("k".into(), spec(0));
+        let members = t.map(BatchTicket::drain).unwrap_or_default();
+        members[0].fill(Ok(out(3)));
+        members[0].fill(Err(JobError::Panicked)); // backstop fill, ignored
+        assert_eq!(s.wait(None).map(|b| b.batch_k), Ok(3));
+    }
+}

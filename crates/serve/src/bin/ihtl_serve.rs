@@ -27,6 +27,11 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("N"),
         help: "close connections idle for N ms (default 30000, 0 = never)",
     },
+    FlagSpec {
+        name: "max-batch",
+        value: Some("K"),
+        help: "max coalesced queries per SpMM sweep (default 8, 1 = off)",
+    },
 ];
 
 fn main() {
@@ -42,6 +47,7 @@ fn main() {
         let default_idle_ms = cfg.idle_timeout.map(|t| t.as_millis() as usize).unwrap_or(0);
         let idle_ms = args.get_usize("idle-timeout-ms", default_idle_ms)?;
         cfg.idle_timeout = (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64));
+        cfg.max_batch = args.get_usize("max-batch", cfg.max_batch)?.max(1);
         Ok(())
     })();
     if let Err(msg) = numeric {

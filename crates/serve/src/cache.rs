@@ -83,8 +83,15 @@ impl ResultCache {
         inner.tick += 1;
         let tick = inner.tick;
         if inner.map.len() >= inner.capacity && !inner.map.contains_key(&key) {
-            if let Some(oldest) =
-                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            // Tie-break equal recency on the key: `min_by_key` alone would
+            // pick whichever tied entry HashMap iteration happens to visit
+            // first, making eviction (and therefore hit patterns)
+            // run-to-run nondeterministic.
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(k, e)| (e.last_used, k.as_str()))
+                .map(|(k, _)| k.clone())
             {
                 inner.map.remove(&oldest);
             }

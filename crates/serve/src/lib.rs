@@ -36,6 +36,7 @@
 use std::sync::{Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 pub mod argv;
+pub mod batch;
 pub mod cache;
 pub mod json;
 pub mod proto;
@@ -44,6 +45,7 @@ pub mod sched;
 pub mod server;
 pub mod stats;
 
+pub use batch::{BatchSlot, BatchTicket, BatchedOutput, Coalescer};
 pub use cache::ResultCache;
 pub use json::Json;
 pub use registry::Registry;

@@ -57,8 +57,14 @@ impl GraphSource {
                 if !(1..=24).contains(&scale) {
                     return Err(format!("rmat scale {scale} out of range 1..=24"));
                 }
-                let edges = v.get("edges").and_then(Json::as_u64).unwrap_or(8 << scale).min(1 << 27)
-                    as usize;
+                let edges = v.get("edges").and_then(Json::as_u64).unwrap_or(8 << scale);
+                // Reject out-of-range sizes instead of silently clamping:
+                // the caller asked for a graph we will not build, so tell
+                // them rather than hand back a smaller one.
+                if edges == 0 || edges > 1 << 30 {
+                    return Err(format!("rmat edges {edges} out of range 1..=2^30"));
+                }
+                let edges = edges as usize;
                 let seed = v.get("seed").and_then(Json::as_u64).unwrap_or(1);
                 Ok(GraphSource::Rmat { scale: scale as u32, edges, seed })
             }
@@ -113,9 +119,21 @@ impl WireJob {
             return Err(format!("source vertex {source} exceeds u32"));
         }
         let source = source as u32;
+        // Optional per-query parameters: absent means the classic variant
+        // (uniform teleport / all-ones start), so old requests and their
+        // cache keys are unchanged.
+        let opt_u32 = |field: &str| -> Result<Option<u32>, String> {
+            match v.get(field).and_then(Json::as_u64) {
+                None => Ok(None),
+                Some(x) if x <= u32::MAX as u64 => Ok(Some(x as u32)),
+                Some(x) => Err(format!("{field} vertex {x} exceeds u32")),
+            }
+        };
         match kind {
-            "pagerank" => Ok(WireJob::Analytic(JobSpec::PageRank { iters })),
-            "spmv" => Ok(WireJob::Analytic(JobSpec::SpmvSum { iters })),
+            "pagerank" => {
+                Ok(WireJob::Analytic(JobSpec::PageRank { iters, seed: opt_u32("seed")? }))
+            }
+            "spmv" => Ok(WireJob::Analytic(JobSpec::SpmvSum { iters, source: opt_u32("source")? })),
             "sssp" => Ok(WireJob::Analytic(JobSpec::Sssp { source, max_rounds })),
             "cc" => Ok(WireJob::Analytic(JobSpec::Components { max_rounds })),
             "bfs" => Ok(WireJob::Analytic(JobSpec::Bfs { source })),
@@ -288,7 +306,7 @@ mod tests {
             Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values, trace } => {
                 assert_eq!(dataset, "g");
                 assert_eq!(engine, EngineKind::Ihtl);
-                assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20 }));
+                assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20, seed: None }));
                 assert_eq!(timeout_ms, None);
                 assert!(!nocache);
                 assert_eq!(top_k, 0);
@@ -339,11 +357,53 @@ mod tests {
 
     #[test]
     fn canonical_job_strings_distinguish_params() {
-        let a = WireJob::Analytic(JobSpec::PageRank { iters: 20 }).canonical();
-        let b = WireJob::Analytic(JobSpec::PageRank { iters: 21 }).canonical();
+        let a = WireJob::Analytic(JobSpec::PageRank { iters: 20, seed: None }).canonical();
+        let b = WireJob::Analytic(JobSpec::PageRank { iters: 21, seed: None }).canonical();
         let c = WireJob::Compare { iters: 20 }.canonical();
         assert!(a != b && a != c && b != c);
+        let d = WireJob::Analytic(JobSpec::PageRank { iters: 20, seed: Some(4) }).canonical();
+        assert_ne!(a, d);
         assert!(!WireJob::Sleep { ms: 5 }.cacheable());
         assert!(WireJob::Compare { iters: 2 }.cacheable());
+    }
+
+    #[test]
+    fn parses_optional_seed_and_source() {
+        let r =
+            Request::parse("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"seed\":9}")
+                .unwrap();
+        match r.op {
+            Op::Job { job, .. } => {
+                assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20, seed: Some(9) }));
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse(
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"spmv\",\"iters\":3,\"source\":2}",
+        )
+        .unwrap();
+        match r.op {
+            Op::Job { job, .. } => {
+                assert_eq!(job, WireJob::Analytic(JobSpec::SpmvSum { iters: 3, source: Some(2) }));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse(
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"seed\":5000000000}",
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_oversized_rmat_edges_instead_of_clamping() {
+        let big = "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"rmat\",\
+                   \"scale\":10,\"edges\":2000000000}}";
+        let err = Request::parse(big).unwrap_err();
+        assert!(err.contains("out of range"), "{err}");
+        assert!(Request::parse(
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"rmat\",\"scale\":10,\
+             \"edges\":0}}",
+        )
+        .is_err());
     }
 }

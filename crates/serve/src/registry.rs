@@ -328,12 +328,12 @@ mod tests {
         let n = ds.n_vertices;
         let a = ds
             .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
-                run_job(e, None, &JobSpec::PageRank { iters: 3 }).unwrap().values
+                run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
         let b = ds
             .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
-                run_job(e, None, &JobSpec::PageRank { iters: 3 }).unwrap().values
+                run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
         assert_eq!(a.len(), n);
@@ -370,7 +370,7 @@ mod tests {
         assert!(ds.graph().is_none());
         let ranks = ds
             .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
-                run_job(e, None, &JobSpec::PageRank { iters: 3 }).unwrap().values
+                run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
         assert_eq!(ranks.len(), 8);

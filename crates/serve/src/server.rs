@@ -16,9 +16,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use ihtl_apps::{run_job, EngineKind, JobSpec};
+use ihtl_apps::{run_job, run_job_multi, EngineKind, JobSpec};
 use ihtl_core::IhtlConfig;
 
+use crate::batch::{BatchMember, BatchTicket, BatchedOutput, Coalescer};
 use crate::cache::ResultCache;
 use crate::json::Json;
 use crate::proto::{engine_wire_name, GraphSource, Op, Request, WireJob};
@@ -46,6 +47,10 @@ pub struct ServerConfig {
     /// (`None` = wait forever). Idle sockets otherwise pin a thread and a
     /// file descriptor each for the life of the client process.
     pub idle_timeout: Option<Duration>,
+    /// Largest number of coalesced queries per SpMM edge sweep. Queued
+    /// jobs sharing (dataset, engine, analytic, iteration budget) merge
+    /// into one K-column execution; `1` disables coalescing.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +63,7 @@ impl Default for ServerConfig {
             ihtl_cfg: IhtlConfig::default(),
             max_line_bytes: 1 << 20,
             idle_timeout: Some(Duration::from_secs(30)),
+            max_batch: 8,
         }
     }
 }
@@ -70,6 +76,7 @@ struct ServerState {
     registry: Registry,
     scheduler: Scheduler,
     cache: ResultCache,
+    coalescer: Coalescer,
     stats: ServeStats,
     shutting_down: AtomicBool,
     cfg: ServerConfig,
@@ -124,6 +131,7 @@ impl Server {
             registry: Registry::new(cfg.ihtl_cfg.clone()),
             scheduler: Scheduler::new(cfg.queue_capacity, cfg.executors),
             cache: ResultCache::new(cfg.cache_capacity),
+            coalescer: Coalescer::new(),
             stats: ServeStats::default(),
             shutting_down: AtomicBool::new(false),
             cfg,
@@ -369,6 +377,30 @@ fn handle_job(
     // lint:allow(R4): admission timestamp feeds the latency histogram only
     let submitted_at = Instant::now();
     let deadline = timeout_ms.map(|ms| submitted_at + Duration::from_millis(ms));
+    // Coalescible analytics park on a batch slot instead of a private
+    // scheduler job, so queued lookalikes share one SpMM edge sweep.
+    // Traced jobs stay solo: their span tree must describe exactly one
+    // execution, not whatever batch they landed in.
+    if !trace && state.cfg.max_batch > 1 {
+        if let WireJob::Analytic(spec) = job {
+            if let Some(group) = spec.batch_group_key() {
+                return finish_batched_job(
+                    state,
+                    &ds,
+                    dataset,
+                    engine,
+                    spec,
+                    &group,
+                    deadline,
+                    submitted_at,
+                    use_cache,
+                    cache_key,
+                    top_k,
+                    include_values,
+                );
+            }
+        }
+    }
     let trace_id = trace.then(|| state.next_trace_id.fetch_add(1, Ordering::Relaxed));
     let job_for_exec = job.clone();
     let state_for_exec = Arc::clone(state);
@@ -441,6 +473,154 @@ fn handle_job(
     }
 }
 
+/// Finishes a coalescible job on the batching path: enlist with the
+/// coalescer, lead (submit the one batch closure) if this request opened
+/// the group, then park on the member slot until the sweep demuxes this
+/// column — or the member's own deadline passes.
+#[allow(clippy::too_many_arguments)]
+fn finish_batched_job(
+    state: &Arc<ServerState>,
+    ds: &Arc<Dataset>,
+    dataset: &str,
+    engine: EngineKind,
+    spec: &JobSpec,
+    group: &str,
+    deadline: Option<Instant>,
+    submitted_at: Instant,
+    use_cache: bool,
+    cache_key: String,
+    top_k: usize,
+    include_values: bool,
+) -> Result<Json, String> {
+    let key = format!("{dataset}|{}|{group}", engine_wire_name(engine));
+    let (slot, ticket) = state.coalescer.enlist(key, spec.clone());
+    if let Some(ticket) = ticket {
+        let state_for_exec = Arc::clone(state);
+        let ds_for_exec = Arc::clone(ds);
+        let max_batch = state.cfg.max_batch;
+        // The batch closure carries no deadline of its own: each member
+        // enforces its deadline on its slot, and a closure purged from the
+        // queue would strand every member. On submit failure the dropped
+        // ticket fails all enlisted slots, so nobody hangs.
+        state
+            .scheduler
+            .submit(
+                None,
+                Box::new(move |_cancel| {
+                    run_batch(&state_for_exec, &ds_for_exec, engine, ticket, max_batch);
+                    Ok(Json::Null)
+                }),
+            )
+            .map_err(|e| match e {
+                SubmitError::Overloaded => {
+                    state.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                    "overloaded".to_string()
+                }
+                SubmitError::ShuttingDown => "server shutting down".to_string(),
+            })?;
+    }
+    let result = slot.wait(deadline);
+    let latency = submitted_at.elapsed().as_secs_f64();
+    state.stats.record_latency(latency);
+    match result {
+        Ok(b) => {
+            state.stats.completed.fetch_add(1, Ordering::Relaxed);
+            let mut body = job_body(ds, engine, spec, &b.output, top_k, include_values);
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("latency_seconds".to_string(), Json::Num(latency)));
+            }
+            if use_cache {
+                state.cache.put(cache_key, body.clone());
+            }
+            // Appended after the cache put (like `cached`): occupancy is a
+            // property of this call's sweep, not of the cached result.
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("cached".to_string(), Json::Bool(false)));
+                pairs.push(("batch_k".to_string(), Json::from(b.batch_k)));
+            }
+            Ok(body)
+        }
+        Err(err) => {
+            if err == JobError::DeadlineExceeded {
+                state.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
+            }
+            state.stats.failed.fetch_add(1, Ordering::Relaxed);
+            Err(err.message())
+        }
+    }
+}
+
+/// Executor-side batch driver: claims the group's members, runs them, and
+/// guarantees every member slot is filled even if execution panics.
+fn run_batch(
+    state: &Arc<ServerState>,
+    ds: &Dataset,
+    engine: EngineKind,
+    ticket: BatchTicket,
+    max_batch: usize,
+) {
+    let members = ticket.drain();
+    let ran = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_batch(state, ds, engine, &members, max_batch);
+    }));
+    // Backstop (first writer wins, so this is a no-op for filled slots):
+    // any slot a panic left unfilled fails instead of hanging its client.
+    for m in &members {
+        m.fill(Err(JobError::Panicked));
+    }
+    drop(ran);
+}
+
+/// Runs a drained batch in chunks of at most `max_batch` columns, demuxing
+/// each chunk's result columns into the members' slots. A member whose
+/// parameters are rejected fails alone; the surviving columns still share
+/// the sweep.
+fn execute_batch(
+    state: &ServerState,
+    ds: &Dataset,
+    engine: EngineKind,
+    members: &[BatchMember],
+    max_batch: usize,
+) {
+    let live: Vec<&BatchMember> = members.iter().filter(|m| !m.is_abandoned()).collect();
+    for chunk in live.chunks(max_batch.max(1)) {
+        let _span = ihtl_trace::span("batch").with_arg(chunk.len() as u64);
+        let specs: Vec<JobSpec> = chunk.iter().map(|m| m.spec().clone()).collect();
+        let ran = ds.with_engine(engine, false, state.registry.cfg(), |e| run_job_multi(e, &specs));
+        let results = match ran {
+            Ok(results) => results,
+            Err(msg) => {
+                for m in chunk {
+                    m.fill(Err(JobError::Failed(msg.clone())));
+                }
+                continue;
+            }
+        };
+        // Occupancy counts the columns that actually executed; rejected
+        // members consumed no sweep capacity.
+        let executed = results.iter().filter(|r| r.is_ok()).count();
+        let mut chunk_seconds = 0.0;
+        let mut chunk_edges = 0u64;
+        for (m, r) in chunk.iter().zip(results) {
+            match r {
+                Ok(out) => {
+                    chunk_seconds += out.seconds;
+                    chunk_edges = chunk_edges
+                        .saturating_add((ds.n_edges as u64).saturating_mul(out.rounds as u64));
+                    m.fill(Ok(BatchedOutput { output: out, batch_k: executed }));
+                }
+                Err(msg) => m.fill(Err(JobError::Failed(msg))),
+            }
+        }
+        if executed > 0 {
+            // One record per sweep over the summed work: per-engine
+            // ns/edge in `stats` stays amortized per query.
+            state.stats.record_engine(engine, chunk_seconds, chunk_edges);
+            state.stats.record_batch(executed);
+        }
+    }
+}
+
 /// Runs the job body on an executor thread.
 fn execute_job(
     state: &ServerState,
@@ -470,7 +650,7 @@ fn execute_job(
             Ok(job_body(ds, engine, spec, &out, top_k, include_values))
         }
         WireJob::Compare { iters } => {
-            let spec = JobSpec::PageRank { iters: *iters };
+            let spec = JobSpec::PageRank { iters: *iters, seed: None };
             let mut per_engine = Vec::new();
             let mut reference: Option<(EngineKind, Vec<f64>)> = None;
             let mut max_abs_diff = 0.0f64;

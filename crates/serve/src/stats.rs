@@ -18,6 +18,10 @@ use crate::proto::engine_wire_name;
 /// `[2^i, 2^{i+1})` µs; the last bucket is open-ended (≥ ~34 s).
 const LATENCY_BUCKETS: usize = 26;
 
+/// Number of batch-occupancy buckets: bucket `k-1` counts coalesced SpMM
+/// chunks that executed exactly `k` queries; the last bucket is open-ended.
+const BATCH_BUCKETS: usize = 16;
+
 /// One engine's accumulated serving work.
 #[derive(Default)]
 struct EngineAccum {
@@ -41,6 +45,11 @@ pub struct ServeStats {
     pub idle_disconnects: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
     engines: [EngineAccum; 6],
+    /// Coalesced SpMM chunks executed (one count per edge sweep).
+    batch_runs: AtomicU64,
+    /// Queries served by those chunks (Σ occupancy).
+    batch_jobs: AtomicU64,
+    occupancy: [AtomicU64; BATCH_BUCKETS],
 }
 
 fn engine_slot(kind: EngineKind) -> usize {
@@ -64,6 +73,16 @@ impl ServeStats {
         a.nanos.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
         a.edges.fetch_add(edges, Ordering::Relaxed);
         a.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one coalesced SpMM chunk that served `k` queries in a single
+    /// edge sweep. Pair with [`ServeStats::record_engine`] over the chunk's
+    /// total work so per-engine ns/edge stays amortized per query.
+    pub fn record_batch(&self, k: usize) {
+        self.batch_runs.fetch_add(1, Ordering::Relaxed);
+        self.batch_jobs.fetch_add(k as u64, Ordering::Relaxed);
+        let bucket = k.clamp(1, BATCH_BUCKETS) - 1;
+        self.occupancy[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders everything as the `stats` reply body. `queue_depth` and the
@@ -98,6 +117,16 @@ impl ServeStats {
                 ("ns_per_edge", Json::Num(ns_per_edge)),
             ]));
         }
+        let mut occupancy = Vec::new();
+        for (i, b) in self.occupancy.iter().enumerate() {
+            let count = b.load(Ordering::Relaxed);
+            if count > 0 {
+                occupancy.push(Json::obj([
+                    ("k", Json::from(i as u64 + 1)),
+                    ("count", Json::from(count)),
+                ]));
+            }
+        }
         Json::obj([
             ("submitted", load(&self.submitted)),
             ("completed", load(&self.completed)),
@@ -111,6 +140,9 @@ impl ServeStats {
             ("cache_entries", Json::from(cache_len)),
             ("latency_us_histogram", Json::Arr(latency)),
             ("engines", Json::Arr(engines)),
+            ("batch_runs", load(&self.batch_runs)),
+            ("batch_jobs", load(&self.batch_jobs)),
+            ("batch_occupancy", Json::Arr(occupancy)),
         ])
     }
 }
@@ -147,6 +179,25 @@ mod tests {
         assert!((nspe - 2.0).abs() < 1e-9, "{nspe}");
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn batch_occupancy_histogram() {
+        let s = ServeStats::default();
+        s.record_batch(4);
+        s.record_batch(4);
+        s.record_batch(1);
+        s.record_batch(999); // clamps into the open-ended last bucket
+        let j = s.to_json(0, (0, 0, 0));
+        assert_eq!(j.get("batch_runs").unwrap().as_u64(), Some(4));
+        assert_eq!(j.get("batch_jobs").unwrap().as_u64(), Some(4 + 4 + 1 + 999));
+        let occ = j.get("batch_occupancy").unwrap().as_arr().unwrap();
+        assert_eq!(occ.len(), 3);
+        assert_eq!(occ[0].get("k").unwrap().as_u64(), Some(1));
+        assert_eq!(occ[0].get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(occ[1].get("k").unwrap().as_u64(), Some(4));
+        assert_eq!(occ[1].get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(occ[2].get("k").unwrap().as_u64(), Some(16));
     }
 
     #[test]

@@ -93,6 +93,82 @@ pub fn pull_rows_into<M: Monoid>(csc: &Csr, x: &[f64], range: VertexRange, out: 
     }
 }
 
+/// Multi-column (SpMM) variant of [`pull_rows_into`]: `x` and `out` hold
+/// `k` interleaved columns per vertex (row-major `[vertex][k]`, so one
+/// vertex's columns share a cache line), and `out[i * k + j]` receives row
+/// `range.start + i`, column `j`.
+///
+/// Per column the fold visits the same neighbours in the same list order as
+/// the single-column kernel, so column `j` of the result is bitwise
+/// identical to a solo [`pull_rows_into`] over column `j` — the gather of a
+/// neighbour's cache line is simply amortised over `k` queries.
+pub fn pull_rows_into_multi<M: Monoid>(
+    csc: &Csr,
+    x: &[f64],
+    k: usize,
+    range: VertexRange,
+    out: &mut [f64],
+) {
+    assert!(k >= 1);
+    assert!(range.end as usize <= csc.n_rows());
+    assert!(csc.n_cols() * k <= x.len());
+    assert_eq!(out.len(), (range.end - range.start) as usize * k);
+    let offsets = csc.offsets();
+    let targets = csc.targets();
+    let mut s = offsets[range.start as usize] as usize;
+    for (v, slots) in range.iter().zip(out.chunks_exact_mut(k)) {
+        for slot in slots.iter_mut() {
+            *slot = M::identity();
+        }
+        // SAFETY: same structural invariants as `pull_rows_into`; the column
+        // reads index `u * k + j < n_cols * k <= x.len()` (asserted above).
+        unsafe {
+            let e = *offsets.get_unchecked(v as usize + 1) as usize;
+            for &u in targets.get_unchecked(s..e) {
+                let base = u as usize * k;
+                for (j, slot) in slots.iter_mut().enumerate() {
+                    *slot = M::combine(*slot, *x.get_unchecked(base + j));
+                }
+            }
+            s = e;
+        }
+    }
+}
+
+/// GraphGrind-style pull SpMM: [`spmv_pull`] generalised to `k` interleaved
+/// columns per vertex. Uses the same edge-balanced destination ranges as the
+/// single-column kernel, and every per-destination fold is schedule
+/// independent, so column `j` is bitwise identical to a solo [`spmv_pull`]
+/// run on column `j` for any monoid and any thread count.
+pub fn spmv_pull_multi<M: Monoid>(g: &Graph, x: &[f64], y: &mut [f64], k: usize) {
+    spmv_pull_multi_with_parts::<M>(g, x, y, k, default_parts());
+}
+
+/// [`spmv_pull_multi`] with an explicit partition count.
+pub fn spmv_pull_multi_with_parts<M: Monoid>(
+    g: &Graph,
+    x: &[f64],
+    y: &mut [f64],
+    k: usize,
+    parts: usize,
+) {
+    let n = g.n_vertices();
+    assert!(k >= 1);
+    assert_eq!(x.len(), n * k);
+    assert_eq!(y.len(), n * k);
+    assert!(n * k <= u32::MAX as usize, "n * k must fit the u32 range arithmetic");
+    let _span = ihtl_trace::span("pull_spmm").with_arg(k as u64);
+    let ranges = edge_balanced_ranges(g.csc(), parts);
+    let scaled: Vec<VertexRange> = ranges
+        .iter()
+        .map(|r| VertexRange { start: r.start * k as u32, end: r.end * k as u32 })
+        .collect();
+    let mut slices = split_by_ranges(y, &scaled);
+    ihtl_parallel::par_for_each_mut(&mut slices, 1, |i, out| {
+        pull_rows_into_multi::<M>(g.csc(), x, k, ranges[i], out);
+    });
+}
+
 /// Cagra/GraphIt-style *horizontally blocked* CSC: sources are split into
 /// contiguous segments sized to cache, and the in-edges are regrouped by
 /// source segment. During traversal each segment's random reads stay within
@@ -279,6 +355,43 @@ mod tests {
         let no_in = (0..8u32).find(|&v| g.in_degree(v) == 0);
         if let Some(v) = no_in {
             assert_eq!(reference[v as usize], f64::INFINITY);
+        }
+    }
+
+    fn assert_multi_matches_solo_bitwise<M: Monoid>(g: &Graph, k: usize, salt: usize) {
+        let n = g.n_vertices();
+        // Arbitrary (non-integer) values: pull folds are schedule
+        // independent, so bitwise identity must hold for any inputs.
+        let cols: Vec<Vec<f64>> = (0..k)
+            .map(|j| (0..n).map(|i| (i * (j + 2) + salt) as f64 * 0.37 + 0.1).collect())
+            .collect();
+        let mut x_m = vec![0.0; n * k];
+        for (j, col) in cols.iter().enumerate() {
+            for (i, &v) in col.iter().enumerate() {
+                x_m[i * k + j] = v;
+            }
+        }
+        let mut y_m = vec![f64::NAN; n * k];
+        spmv_pull_multi::<M>(g, &x_m, &mut y_m, k);
+        for (j, col) in cols.iter().enumerate() {
+            let mut solo = vec![0.0; n];
+            spmv_pull::<M>(g, col, &mut solo);
+            for i in 0..n {
+                assert_eq!(
+                    y_m[i * k + j].to_bits(),
+                    solo[i].to_bits(),
+                    "k={k} column {j} vertex {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_pull_columns_match_solo_bitwise() {
+        let g = paper_example_graph();
+        for k in [1usize, 3, 4, 8] {
+            assert_multi_matches_solo_bitwise::<Add>(&g, k, 1);
+            assert_multi_matches_solo_bitwise::<Min>(&g, k, 5);
         }
     }
 

@@ -4,11 +4,14 @@
 # embedding the checked-in seed capture (results/BENCH_spmv.seed.json) as
 # the baseline so the file carries its own before/after speedup.
 #
-# Usage: scripts/bench.sh [--samples N] [--max-regress PCT] [--trace-ab]
+# Usage: scripts/bench.sh [--samples N] [--max-regress PCT] [--trace-ab] [--spmm]
 #
 # --max-regress PCT fails the run if the iHTL SpMV ns/edge geomean is more
 # than PCT percent worse than the seed capture (the verify.sh perf gate).
 # --trace-ab additionally records tracing-enabled vs idle kernel cost.
+# --spmm additionally runs the batched SpMM A/B (K=1/4/8 columns per edge
+# sweep) and writes results/BENCH_spmm.json; combined with --max-regress it
+# also fails unless K=8 amortizes below K=1 on at least one dataset.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -19,6 +22,7 @@ while [[ $# -gt 0 ]]; do
     --samples) SAMPLES="$2"; shift 2 ;;
     --max-regress) EXTRA+=(--max-regress "$2"); shift 2 ;;
     --trace-ab) EXTRA+=(--trace-ab); shift ;;
+    --spmm) EXTRA+=(--spmm); shift ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done

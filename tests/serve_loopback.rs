@@ -371,6 +371,165 @@ fn traced_pagerank_returns_a_nesting_span_tree() {
 }
 
 #[test]
+fn coalesced_sssp_batch_matches_solo_bitwise_and_counts_occupancy() {
+    let handle = spawn_server(ServerConfig { queue_capacity: 16, ..ServerConfig::default() });
+    let addr = handle.addr();
+    Client::connect(addr).ok(REGISTER);
+
+    // Pin the single executor with a sleep so the four SSSP queries below
+    // all enqueue while the leader's sweep is still waiting — they must
+    // coalesce into one K=4 SpMM execution.
+    let pin = std::thread::spawn(move || {
+        Client::connect(addr)
+            .ok("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sleep\",\"ms\":800}");
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    fn sssp_req(src: usize) -> String {
+        format!(
+            "{{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sssp\",\"source\":{src},\
+             \"max_rounds\":16,\"nocache\":true}}"
+        )
+    }
+    let clients: Vec<_> = (0..4)
+        .map(|src| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let reply = c.ok(&sssp_req(src));
+                let checksum =
+                    reply.get("checksum").and_then(Json::as_str).expect("checksum").to_string();
+                let batch_k = reply.get("batch_k").and_then(Json::as_u64).expect("batch_k");
+                let rounds = reply.get("rounds").and_then(Json::as_u64).expect("rounds");
+                (checksum, batch_k, rounds)
+            })
+        })
+        .collect();
+    let batched: Vec<_> = clients.into_iter().map(|t| t.join().expect("client")).collect();
+    pin.join().unwrap();
+    assert!(
+        batched.iter().all(|(_, k, _)| *k == 4),
+        "all four queries must share one edge sweep: {batched:?}"
+    );
+
+    // Sequential reruns each run as a batch of one; the demuxed columns
+    // above must be bitwise identical to these solo results.
+    let mut c = Client::connect(addr);
+    for (src, (checksum, _, rounds)) in batched.iter().enumerate() {
+        let solo = c.ok(&sssp_req(src));
+        assert_eq!(
+            solo.get("checksum").and_then(Json::as_str),
+            Some(checksum.as_str()),
+            "batched column for source {src} must match its solo run bitwise"
+        );
+        assert_eq!(solo.get("rounds").and_then(Json::as_u64), Some(*rounds));
+        assert_eq!(solo.get("batch_k").and_then(Json::as_u64), Some(1));
+    }
+
+    let stats = c.ok("{\"op\":\"stats\"}");
+    assert!(stats.get("batch_runs").and_then(Json::as_u64).unwrap() >= 5);
+    assert!(stats.get("batch_jobs").and_then(Json::as_u64).unwrap() >= 8);
+    let occ = stats.get("batch_occupancy").and_then(Json::as_arr).expect("batch_occupancy");
+    assert!(
+        occ.iter().any(|b| b.get("k").and_then(Json::as_u64) == Some(4)),
+        "occupancy histogram must record the K=4 run: {stats}"
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn batched_failure_is_isolated_to_the_bad_query() {
+    let handle = spawn_server(ServerConfig { queue_capacity: 16, ..ServerConfig::default() });
+    let addr = handle.addr();
+    Client::connect(addr).ok(REGISTER); // rmat scale 9: n = 512
+
+    let pin = std::thread::spawn(move || {
+        Client::connect(addr)
+            .ok("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sleep\",\"ms\":800}");
+    });
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    // Sources 0 and 3 are valid; 100000 is out of range for n = 512. All
+    // three coalesce, but only the bad column may fail.
+    let clients: Vec<_> = [0usize, 100_000, 3]
+        .into_iter()
+        .map(|src| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.roundtrip(&format!(
+                    "{{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sssp\",\"source\":{src},\
+                     \"max_rounds\":16,\"nocache\":true}}"
+                ))
+            })
+        })
+        .collect();
+    let replies: Vec<Json> = clients.into_iter().map(|t| t.join().expect("client")).collect();
+    pin.join().unwrap();
+
+    assert_eq!(replies[1].get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        replies[1].get("error").and_then(Json::as_str).unwrap().contains("out of range"),
+        "bad source must fail with its own validation error: {}",
+        replies[1]
+    );
+    for (i, src) in [(0usize, 0usize), (2, 3)] {
+        assert_eq!(
+            replies[i].get("ok").and_then(Json::as_bool),
+            Some(true),
+            "valid source {src} must survive the bad neighbour: {}",
+            replies[i]
+        );
+        // batch_k counts executed columns: the failed one is excluded.
+        assert_eq!(replies[i].get("batch_k").and_then(Json::as_u64), Some(2));
+        let mut c = Client::connect(addr);
+        let solo = c.ok(&format!(
+            "{{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sssp\",\"source\":{src},\
+             \"max_rounds\":16,\"nocache\":true}}"
+        ));
+        assert_eq!(
+            solo.get("checksum").and_then(Json::as_str),
+            replies[i].get("checksum").and_then(Json::as_str),
+            "surviving column must still be bitwise identical to a solo run"
+        );
+    }
+    let stats = Client::connect(addr).ok("{\"op\":\"stats\"}");
+    assert!(stats.get("failed").and_then(Json::as_u64).unwrap() >= 1);
+    handle.shutdown();
+}
+
+#[test]
+fn max_batch_one_disables_coalescing() {
+    let handle =
+        spawn_server(ServerConfig { max_batch: 1, queue_capacity: 16, ..ServerConfig::default() });
+    let addr = handle.addr();
+    Client::connect(addr).ok(REGISTER);
+
+    let pin = std::thread::spawn(move || {
+        Client::connect(addr)
+            .ok("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sleep\",\"ms\":400}");
+    });
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let clients: Vec<_> = (0..2)
+        .map(|src| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                c.ok(&format!(
+                    "{{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sssp\",\"source\":{src},\
+                     \"max_rounds\":16,\"nocache\":true}}"
+                ))
+            })
+        })
+        .collect();
+    for t in clients {
+        let reply = t.join().expect("client");
+        assert!(reply.get("batch_k").is_none(), "max_batch=1 must use the solo path: {reply}");
+    }
+    pin.join().unwrap();
+    let stats = Client::connect(addr).ok("{\"op\":\"stats\"}");
+    assert_eq!(stats.get("batch_runs").and_then(Json::as_u64), Some(0));
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_op_stops_the_server() {
     let handle = spawn_server(ServerConfig::default());
     let addr = handle.addr();
