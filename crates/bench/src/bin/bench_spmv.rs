@@ -23,6 +23,8 @@ use ihtl_apps::engine::{build_engine, EngineKind};
 use ihtl_apps::pagerank::pagerank;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_gen::{er, weblike};
+use ihtl_graph::stats::{engine_features_llc, pick_engine, EnginePick};
 use ihtl_graph::Graph;
 use ihtl_serve::argv::{parse_or_exit, FlagSpec};
 use ihtl_traversal::pull::spmv_pull;
@@ -227,6 +229,246 @@ fn render_spmm_json(results: &[SpmmResult], samples: usize) -> String {
     out
 }
 
+/// One row of the four-engine A/B matrix.
+struct EngineMatrixRow {
+    key: String,
+    n_vertices: usize,
+    n_edges: usize,
+    /// (wire name, best seconds, ns/edge) per candidate engine, in
+    /// [`EnginePick::ALL`] order.
+    engines: Vec<(&'static str, f64, f64)>,
+    /// The scoring rule's pick for this dataset at the live thread count.
+    auto_pick: &'static str,
+}
+
+impl EngineMatrixRow {
+    fn ns_of(&self, name: &str) -> f64 {
+        self.engines.iter().find(|(n, _, _)| *n == name).map_or(f64::NAN, |&(_, _, ns)| ns)
+    }
+
+    fn best(&self) -> (&'static str, f64) {
+        self.engines
+            .iter()
+            .fold(("", f64::INFINITY), |acc, &(n, _, ns)| if ns < acc.1 { (n, ns) } else { acc })
+    }
+
+    /// Percent by which the auto pick's measured cost exceeds the best
+    /// fixed engine's (0 when auto picked the winner).
+    fn auto_gap_pct(&self) -> f64 {
+        let (_, best_ns) = self.best();
+        (self.ns_of(self.auto_pick) / best_ns - 1.0) * 100.0
+    }
+}
+
+/// Smallest R-MAT scale whose vertex data is at least 1.5× `llc_bytes`
+/// (capped so a huge reported LLC cannot make the bench unbounded).
+fn thrashing_scale(llc_bytes: usize) -> u32 {
+    let mut scale = 20u32;
+    while (1usize << scale) * 8 < llc_bytes + llc_bytes / 2 && scale < 27 {
+        scale += 1;
+    }
+    scale
+}
+
+/// The engine A/B suite, sized to the machine rather than to fixed scales:
+/// "cache-thrashing" is a property of the *hardware*, so the skewed R-MAT
+/// is generated at the smallest scale whose vertex data is ≥ 1.5× the
+/// detected LLC — pull's random source reads genuinely miss, which is the
+/// regime propagation blocking exists for. Two LLC-resident contrasts ride
+/// along (flat er, skewed weblike) where pull cannot miss and the scoring
+/// rule must leave it alone.
+fn engine_suite(samples: usize) -> Vec<(String, Graph)> {
+    let (_, llc) = ihtl_parallel::cache_sizes();
+    let scale = thrashing_scale(llc);
+    let n = 1usize << scale;
+    eprintln!(
+        "[bench_spmv] engines: llc {} MiB -> thrashing rmat at scale {scale} \
+         ({} MiB vertex data, ~{} samples/engine)",
+        llc >> 20,
+        (n * 8) >> 20,
+        samples
+    );
+    let t = Instant::now();
+    let edges = rmat_edges(scale, 2 * n, RmatParams::social(), 0xE5_0007);
+    let g = Graph::from_edges(n, &edges);
+    drop(edges);
+    eprintln!(
+        "[bench_spmv] engines rmat{scale}: |V|={} |E|={} ({:.1}s build)",
+        g.n_vertices(),
+        g.n_edges(),
+        t.elapsed().as_secs_f64()
+    );
+    let mut out: Vec<(String, Graph)> = vec![(format!("rmat{scale}"), g)];
+    let n = 1usize << 19;
+    out.push((format!("er{}", 19), Graph::from_edges(n, &er::er_edges(n, 4 * n, 0xE5_19))));
+    let n = 1usize << 18;
+    let web = weblike::web_edges(n, 6 * n, &weblike::WebParams::concentrated(), 0xE5_18);
+    out.push((format!("web{}", 18), Graph::from_edges(n, &web)));
+    out
+}
+
+/// Times all four candidate engines (plain pull, iHTL, PB, hybrid) on one
+/// dataset through the uniform engine API, and resolves the scoring rule's
+/// pick from the same structural features the serve tier uses — with the
+/// two cache roles split to the detected hierarchy: the flipped-block /
+/// bin buffers are sized to the private L2, residency to the LLC.
+///
+/// Samples are **interleaved round-robin** (one sweep per engine per
+/// round) rather than engine-by-engine: this row feeds a *ranking* gate,
+/// and on shared hosts a slow window (noisy neighbours, frequency dips)
+/// lasting longer than one engine's whole sample budget would otherwise
+/// penalise only the engine being timed just then. Round-robin spreads any
+/// window across all four; per-engine minima then come from the same fast
+/// windows.
+fn bench_engine_matrix(key: &str, g: &Graph, samples: usize) -> EngineMatrixRow {
+    let (buffer, llc) = ihtl_parallel::cache_sizes();
+    let cfg = IhtlConfig { cache_budget_bytes: buffer, ..IhtlConfig::default() };
+    let n = g.n_vertices();
+    let m = g.n_edges();
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 101) as f64 + 0.5).collect();
+    const CANDIDATES: [(EnginePick, EngineKind); 4] = [
+        (EnginePick::Pull, EngineKind::PullGraphGrind),
+        (EnginePick::Ihtl, EngineKind::Ihtl),
+        (EnginePick::Pb, EngineKind::Pb),
+        (EnginePick::Hybrid, EngineKind::Hybrid),
+    ];
+    let mut runs = Vec::new();
+    let mut slowest_warmup = 0.0f64;
+    for (pick, kind) in CANDIDATES {
+        let t = Instant::now();
+        let mut e = build_engine(kind, g, &cfg);
+        let built = t.elapsed().as_secs_f64();
+        let xe = e.from_original_order(&x);
+        let mut y = vec![0.0f64; n];
+        let t = Instant::now();
+        e.spmv_add(&xe, &mut y);
+        slowest_warmup = slowest_warmup.max(t.elapsed().as_secs_f64());
+        eprintln!("[bench_spmv] engines {key} {}: built {built:.1}s", pick.wire_name());
+        runs.push((pick, e, xe, y, f64::INFINITY));
+    }
+    // At least 5 rounds even when --samples is lower (this gates a
+    // ranking); fast sweeps are nearly free, so small graphs get extra
+    // rounds for their minima to settle, bounded at 50.
+    let budget_rounds = (0.5 / slowest_warmup.max(1e-9)) as usize;
+    let rounds = samples.max(5).max(budget_rounds.min(50));
+    for _ in 0..rounds {
+        for (_, e, xe, y, best) in runs.iter_mut() {
+            let t = Instant::now();
+            e.spmv_add(xe, y);
+            *best = best.min(t.elapsed().as_secs_f64());
+        }
+    }
+    let mut engines = Vec::new();
+    for (pick, _, _, _, sec) in &runs {
+        let ns = sec * 1e9 / m as f64;
+        eprintln!(
+            "[bench_spmv] engines {key} {}: {sec:.6}s, {ns:.3} ns/edge ({rounds} rounds)",
+            pick.wire_name()
+        );
+        engines.push((pick.wire_name(), *sec, ns));
+    }
+    drop(runs);
+    let f = engine_features_llc(g, cfg.cache_budget_bytes, llc, cfg.vertex_data_bytes);
+    let auto_pick = pick_engine(&f, ihtl_parallel::num_threads()).wire_name();
+    let row =
+        EngineMatrixRow { key: key.to_string(), n_vertices: n, n_edges: m, engines, auto_pick };
+    eprintln!(
+        "[bench_spmv] engines {key}: auto={auto_pick} (gap {:+.1}% vs best {})",
+        row.auto_gap_pct(),
+        row.best().0
+    );
+    row
+}
+
+fn render_engines_json(rows: &[EngineMatrixRow], samples: usize) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"ihtl-bench-engines/v1\",\n");
+    let unix =
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_secs();
+    out.push_str(&format!("  \"generated_unix\": {unix},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", ihtl_parallel::num_threads()));
+    out.push_str(&format!("  \"samples\": {samples},\n"));
+    out.push_str("  \"datasets\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"key\": \"{}\",\n", row.key));
+        out.push_str(&format!("      \"n_vertices\": {},\n", row.n_vertices));
+        out.push_str(&format!("      \"n_edges\": {},\n", row.n_edges));
+        out.push_str("      \"engines\": {\n");
+        for (j, (name, sec, ns)) in row.engines.iter().enumerate() {
+            out.push_str(&format!(
+                "        \"{name}\": {{ \"seconds_best\": {sec:.6}, \"ns_per_edge\": {ns:.3} }}"
+            ));
+            out.push_str(if j + 1 < row.engines.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("      },\n");
+        let (best_name, best_ns) = row.best();
+        out.push_str(&format!(
+            "      \"best\": {{ \"engine\": \"{best_name}\", \"ns_per_edge\": {best_ns:.3} }},\n"
+        ));
+        out.push_str(&format!(
+            "      \"auto\": {{ \"pick\": \"{}\", \"ns_per_edge\": {:.3}, \
+             \"gap_vs_best_pct\": {:.2} }}\n",
+            row.auto_pick,
+            row.ns_of(row.auto_pick),
+            row.auto_gap_pct()
+        ));
+        out.push_str("    }");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n");
+    let max_gap = rows.iter().map(EngineMatrixRow::auto_gap_pct).fold(0.0f64, f64::max);
+    let rmat_speedup = rows
+        .iter()
+        .filter(|r| r.key.starts_with("rmat"))
+        .map(|r| r.ns_of("pull") / r.ns_of("pb").min(r.ns_of("hybrid")))
+        .fold(f64::INFINITY, f64::min);
+    out.push_str("  \"summary\": {\n");
+    out.push_str(&format!("    \"max_auto_gap_pct\": {max_gap:.2},\n"));
+    out.push_str(&format!(
+        "    \"min_rmat_binned_vs_pull_speedup\": {rmat_speedup:.3}\n  }}\n}}\n"
+    ));
+    out
+}
+
+/// Engine-matrix acceptance: `auto` within `gate_pct` of the best fixed
+/// engine on every dataset, and the binned engines (pb and hybrid) beating
+/// plain pull on every skewed cache-thrashing rmat dataset. Returns the
+/// failure messages (empty = pass).
+fn check_engine_gate(rows: &[EngineMatrixRow], gate_pct: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for row in rows {
+        let gap = row.auto_gap_pct();
+        // NaN (no measurement) must fail the gate, not sneak past it.
+        if gap.is_nan() || gap > gate_pct {
+            failures.push(format!(
+                "{}: auto picked {} at {:.3} ns/edge, {:.1}% over best {} ({:.3}); limit {}%",
+                row.key,
+                row.auto_pick,
+                row.ns_of(row.auto_pick),
+                gap,
+                row.best().0,
+                row.best().1,
+                gate_pct
+            ));
+        }
+        if row.key.starts_with("rmat") {
+            let pull = row.ns_of("pull");
+            for name in ["pb", "hybrid"] {
+                let ns = row.ns_of(name);
+                if ns.is_nan() || pull.is_nan() || ns >= pull {
+                    failures.push(format!(
+                        "{}: {name} ({ns:.3} ns/edge) does not beat plain pull ({pull:.3})",
+                        row.key
+                    ));
+                }
+            }
+        }
+    }
+    failures
+}
+
 /// A/B of the iHTL kernel with tracing idle vs enabled, on the smallest
 /// suite graph. Returns the overhead in percent (negative = noise in the
 /// traced run's favour). Uses best-of-samples on both sides, so one-sided
@@ -395,6 +637,22 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("PATH"),
         help: "batched A/B output path (default results/BENCH_spmm.json)",
     },
+    FlagSpec {
+        name: "engines",
+        value: None,
+        help: "run the four-engine A/B matrix (pull/ihtl/pb/hybrid + auto pick)",
+    },
+    FlagSpec {
+        name: "engines-out",
+        value: Some("PATH"),
+        help: "engine matrix output path (default results/BENCH_engines.json)",
+    },
+    FlagSpec {
+        name: "engines-gate",
+        value: Some("PCT"),
+        help: "fail unless auto is within PCT% of the best fixed engine everywhere \
+               and pb/hybrid beat pull on the rmat datasets",
+    },
 ];
 
 fn main() {
@@ -451,6 +709,37 @@ fn main() {
                 eprintln!("error: --max-regress needs a readable --baseline with a geomean");
                 std::process::exit(2);
             }
+        }
+    }
+
+    if args.has("engines") || args.get("engines-gate").is_some() {
+        let engines_out = args.get_or("engines-out", "results/BENCH_engines.json").to_string();
+        let gate = match args.get("engines-gate") {
+            None => None,
+            Some(v) => match v.parse::<f64>() {
+                Ok(pct) if pct >= 0.0 => Some(pct),
+                _ => {
+                    eprintln!("error: --engines-gate expects a non-negative percentage, got '{v}'");
+                    std::process::exit(2);
+                }
+            },
+        };
+        let rows: Vec<EngineMatrixRow> = engine_suite(samples)
+            .iter()
+            .map(|(key, g)| bench_engine_matrix(key, g, samples))
+            .collect();
+        let ejson = render_engines_json(&rows, samples);
+        std::fs::write(&engines_out, &ejson).expect("writing engine matrix JSON");
+        eprintln!("[bench_spmv] wrote {engines_out}");
+        if let Some(pct) = gate {
+            let failures = check_engine_gate(&rows, pct);
+            if !failures.is_empty() {
+                for f in &failures {
+                    eprintln!("error: engine gate: {f}");
+                }
+                std::process::exit(1);
+            }
+            eprintln!("[bench_spmv] engine gate: auto within {pct}% of best on every dataset");
         }
     }
 

@@ -10,8 +10,9 @@
 //! * [`lru`] — a single set-associative LRU cache;
 //! * [`hierarchy`] — a three-level hierarchy with per-level hit/miss
 //!   counters and load/store totals;
-//! * [`replay`] — access-stream replays of pull SpMV (Algorithm 1) and
-//!   iHTL SpMV (Algorithm 3) with per-destination-degree miss attribution.
+//! * [`replay`] — access-stream replays of pull SpMV (Algorithm 1), iHTL
+//!   SpMV (Algorithm 3) and propagation-blocking SpMV with
+//!   per-destination-degree miss attribution.
 //!
 //! The default geometry is scaled ~1:32 together with the synthetic
 //! datasets (line 64 B; L1 4 KiB; L2 32 KiB — matching the default iHTL
@@ -26,4 +27,6 @@ pub mod replay;
 
 pub use hierarchy::{CacheConfig, Counters, Hierarchy, Level};
 pub use lru::LruCache;
-pub use replay::{replay_ihtl, replay_pull, DegreeMissProfile, ReplayMode, ReplayReport};
+pub use replay::{
+    replay_ihtl, replay_pb, replay_pull, DegreeMissProfile, ReplayMode, ReplayReport,
+};

@@ -75,6 +75,75 @@ pub fn current_thread_index() -> Option<usize> {
 }
 
 // ---------------------------------------------------------------------------
+// Cache-hierarchy detection.
+// ---------------------------------------------------------------------------
+
+static CACHE_SIZES: OnceLock<(usize, usize)> = OnceLock::new();
+
+/// Fallback when the cache hierarchy is unreadable (non-Linux, sandboxes):
+/// a 1 MiB private cache and a 32 MiB last-level cache — ordinary numbers
+/// for current server parts, conservative enough that neither the flipped
+/// blocks nor the thrashing threshold are sized absurdly.
+pub const FALLBACK_BUFFER_BYTES: usize = 1 << 20;
+/// See [`FALLBACK_BUFFER_BYTES`].
+pub const FALLBACK_LLC_BYTES: usize = 32 << 20;
+
+/// Parses a Linux sysfs cache size string like `"48K"`, `"2048K"` or
+/// `"1M"` into bytes.
+fn parse_cache_size(s: &str) -> Option<usize> {
+    let s = s.trim();
+    let (digits, mult) = match s.as_bytes().last()? {
+        b'K' | b'k' => (&s[..s.len() - 1], 1usize << 10),
+        b'M' | b'm' => (&s[..s.len() - 1], 1 << 20),
+        b'G' | b'g' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    digits.trim().parse::<usize>().ok().map(|n| n * mult)
+}
+
+/// Reads cpu0's cache levels from sysfs: `(level, bytes)` for every data or
+/// unified cache.
+fn sysfs_cache_levels() -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    for index in 0..16 {
+        let dir = format!("/sys/devices/system/cpu/cpu0/cache/index{index}");
+        let read = |f: &str| std::fs::read_to_string(format!("{dir}/{f}")).ok();
+        let Some(ty) = read("type") else { break };
+        if ty.trim() == "Instruction" {
+            continue;
+        }
+        let (Some(level), Some(size)) = (read("level"), read("size")) else { continue };
+        if let (Ok(level), Some(bytes)) = (level.trim().parse(), parse_cache_size(&size)) {
+            out.push((level, bytes));
+        }
+    }
+    out
+}
+
+/// `(buffer_bytes, llc_bytes)`, detected once per process from Linux sysfs
+/// (`/sys/devices/system/cpu/cpu0/cache/index*/`): the private per-core
+/// working-set cache (largest data/unified level ≤ 2 — the L2 on common
+/// parts) and the last-level cache capacity (largest level present). The
+/// two answer different questions — how big a cache-resident scratch buffer
+/// may be, and how much vertex data random reads can touch before they
+/// start missing — and on big-LLC parts they differ by orders of
+/// magnitude. Falls back to ([`FALLBACK_BUFFER_BYTES`],
+/// [`FALLBACK_LLC_BYTES`]) when the hierarchy is unreadable.
+pub fn cache_sizes() -> (usize, usize) {
+    *CACHE_SIZES.get_or_init(|| {
+        let levels = sysfs_cache_levels();
+        let buffer = levels
+            .iter()
+            .filter(|&&(level, _)| level <= 2)
+            .map(|&(_, bytes)| bytes)
+            .max()
+            .unwrap_or(FALLBACK_BUFFER_BYTES);
+        let llc = levels.iter().map(|&(_, bytes)| bytes).max().unwrap_or(FALLBACK_LLC_BYTES);
+        (buffer, llc.max(buffer))
+    })
+}
+
+// ---------------------------------------------------------------------------
 // The persistent pool.
 // ---------------------------------------------------------------------------
 
@@ -495,6 +564,27 @@ mod tests {
         let b = num_threads();
         assert!(a >= 1);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parses_sysfs_cache_sizes() {
+        assert_eq!(parse_cache_size("48K"), Some(48 << 10));
+        assert_eq!(parse_cache_size("2048K\n"), Some(2 << 20));
+        assert_eq!(parse_cache_size("1M"), Some(1 << 20));
+        assert_eq!(parse_cache_size("266240K"), Some(266_240 << 10));
+        assert_eq!(parse_cache_size("65536"), Some(65_536));
+        assert_eq!(parse_cache_size(""), None);
+        assert_eq!(parse_cache_size("big"), None);
+    }
+
+    #[test]
+    fn cache_sizes_are_sane_and_stable() {
+        let (buffer, llc) = cache_sizes();
+        // Whatever the machine reports, the buffer cache is a real size and
+        // the LLC is never smaller than it (enforced by the detector).
+        assert!(buffer >= 1 << 12, "buffer {buffer}");
+        assert!(llc >= buffer, "llc {llc} < buffer {buffer}");
+        assert_eq!(cache_sizes(), (buffer, llc));
     }
 
     #[test]

@@ -144,20 +144,44 @@ impl WireJob {
     }
 }
 
-/// Parses an engine name as it appears on the wire.
-pub fn engine_from_str(s: &str) -> Result<EngineKind, String> {
-    match s {
-        "ihtl" => Ok(EngineKind::Ihtl),
-        "pull_grind" => Ok(EngineKind::PullGraphGrind),
-        "pull_graphit" => Ok(EngineKind::PullGraphIt),
-        "pull_galois" => Ok(EngineKind::PullGalois),
-        "push_grind" => Ok(EngineKind::PushGraphGrind),
-        "push_graphit" => Ok(EngineKind::PushGraphIt),
-        other => Err(format!(
-            "unknown engine '{other}' (expected ihtl, pull_grind, pull_graphit, pull_galois, \
-             push_grind, or push_graphit)"
-        )),
+/// What the `engine` field of a job request asks for: a specific engine,
+/// or the server-side per-dataset adaptive choice.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Run exactly this engine.
+    Fixed(EngineKind),
+    /// Let the registry's memoized scoring rule pick the engine for the
+    /// dataset (DESIGN.md §11). The job reply's `engine_selected` field
+    /// reports what ran.
+    Auto,
+}
+
+impl EngineChoice {
+    /// The choice's wire name (what the client wrote in `engine`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            EngineChoice::Fixed(kind) => engine_wire_name(kind),
+            EngineChoice::Auto => "auto",
+        }
     }
+}
+
+/// Parses an engine name as it appears on the wire. Unknown names report
+/// the full valid vocabulary, which tracks `EngineKind::all()` by
+/// construction.
+pub fn engine_from_str(s: &str) -> Result<EngineChoice, String> {
+    if s == "auto" {
+        return Ok(EngineChoice::Auto);
+    }
+    for kind in EngineKind::all() {
+        if engine_wire_name(kind) == s {
+            return Ok(EngineChoice::Fixed(kind));
+        }
+    }
+    let mut valid: Vec<&'static str> =
+        EngineKind::all().iter().map(|&k| engine_wire_name(k)).collect();
+    valid.push("auto");
+    Err(format!("unknown engine '{s}' (valid engines: {})", valid.join(", ")))
 }
 
 /// Wire name of an engine kind (inverse of [`engine_from_str`]).
@@ -169,6 +193,8 @@ pub fn engine_wire_name(kind: EngineKind) -> &'static str {
         EngineKind::PullGalois => "pull_galois",
         EngineKind::PushGraphGrind => "push_grind",
         EngineKind::PushGraphIt => "push_graphit",
+        EngineKind::Pb => "pb",
+        EngineKind::Hybrid => "hybrid",
     }
 }
 
@@ -197,7 +223,7 @@ pub enum Op {
     /// Runs a job on a registered dataset.
     Job {
         dataset: String,
-        engine: EngineKind,
+        engine: EngineChoice,
         job: WireJob,
         /// Admission-to-completion deadline; exceeded jobs fail with
         /// `"error": "deadline exceeded"`.
@@ -247,7 +273,7 @@ impl Request {
                     .ok_or("job requires a 'dataset' field")?
                     .to_string();
                 let engine = match v.get("engine") {
-                    None => EngineKind::Ihtl,
+                    None => EngineChoice::Fixed(EngineKind::Ihtl),
                     Some(e) => engine_from_str(e.as_str().ok_or("'engine' must be a string")?)?,
                 };
                 let job = WireJob::from_json(&v)?;
@@ -305,7 +331,7 @@ mod tests {
         match r.op {
             Op::Job { dataset, engine, job, timeout_ms, nocache, top_k, include_values, trace } => {
                 assert_eq!(dataset, "g");
-                assert_eq!(engine, EngineKind::Ihtl);
+                assert_eq!(engine, EngineChoice::Fixed(EngineKind::Ihtl));
                 assert_eq!(job, WireJob::Analytic(JobSpec::PageRank { iters: 20, seed: None }));
                 assert_eq!(timeout_ms, None);
                 assert!(!nocache);
@@ -335,9 +361,30 @@ mod tests {
     #[test]
     fn engine_names_roundtrip() {
         for kind in EngineKind::all() {
-            assert_eq!(engine_from_str(engine_wire_name(kind)).unwrap(), kind);
+            assert_eq!(engine_from_str(engine_wire_name(kind)).unwrap(), EngineChoice::Fixed(kind));
         }
+        assert_eq!(engine_from_str("auto").unwrap(), EngineChoice::Auto);
+        assert_eq!(EngineChoice::Auto.wire_name(), "auto");
+        assert_eq!(EngineChoice::Fixed(EngineKind::Pb).wire_name(), "pb");
         assert!(engine_from_str("gpu").is_err());
+    }
+
+    #[test]
+    fn unknown_engine_error_lists_valid_names() {
+        let err = engine_from_str("gpu").unwrap_err();
+        for name in [
+            "ihtl",
+            "pull_grind",
+            "pull_graphit",
+            "pull_galois",
+            "push_grind",
+            "push_graphit",
+            "pb",
+            "hybrid",
+            "auto",
+        ] {
+            assert!(err.contains(name), "error should list '{name}': {err}");
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ use ihtl_core::io::load_ihtl;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_gen::{suite, suite_small};
+use ihtl_graph::stats::{engine_features_llc, pick_engine, EnginePick};
 use ihtl_graph::{EdgeList, Graph};
 
 use crate::proto::GraphSource;
@@ -47,6 +48,10 @@ pub struct Dataset {
     ihtl: OnceLock<Arc<IhtlGraph>>,
     sym: OnceLock<Arc<Graph>>,
     engines: Mutex<HashMap<EngineKey, Vec<Box<dyn SpmvEngine + Send>>>>,
+    /// Memoised `auto` engine decision, indexed by `symmetrized as usize`.
+    /// The structural features don't change (datasets are immutable), so
+    /// the scoring rule runs at most once per (dataset, symmetrized).
+    auto_choice: [OnceLock<EngineKind>; 2],
     pub n_vertices: usize,
     pub n_edges: usize,
     /// Wall-clock seconds spent loading/generating at registration.
@@ -103,6 +108,50 @@ impl Dataset {
         let out = f(engine.as_mut());
         crate::lock_ok(&self.engines).entry(key).or_default().push(engine);
         Ok(out)
+    }
+
+    /// Resolves the `auto` engine choice for this dataset: computes the
+    /// structural features once and feeds them through the transparent
+    /// scoring rule in `ihtl_graph::stats` (validated offline against the
+    /// cache-simulator replays — see DESIGN.md §11). The configured cache
+    /// budget sizes the hub buffers; residency is judged against the
+    /// machine's detected last-level cache, the same split the bench
+    /// matrix uses. Image-only datasets have no raw graph to featurize,
+    /// and only the iHTL engine can serve them anyway, so they resolve to
+    /// iHTL.
+    pub fn auto_engine(&self, symmetrized: bool, cfg: &IhtlConfig) -> Result<EngineKind, String> {
+        let cell = &self.auto_choice[usize::from(symmetrized)];
+        if let Some(&kind) = cell.get() {
+            return Ok(kind);
+        }
+        let graph = if symmetrized { Some(self.sym_graph()?) } else { self.graph() };
+        let kind = *cell.get_or_init(|| {
+            let _span = ihtl_trace::span("auto_select");
+            let Some(g) = graph else {
+                return EngineKind::Ihtl;
+            };
+            let (_, llc) = ihtl_parallel::cache_sizes();
+            let f = engine_features_llc(
+                &g,
+                cfg.cache_budget_bytes,
+                llc.max(cfg.cache_budget_bytes),
+                cfg.vertex_data_bytes,
+            );
+            match pick_engine(&f, ihtl_parallel::num_threads()) {
+                EnginePick::Pull => EngineKind::PullGraphGrind,
+                EnginePick::Ihtl => EngineKind::Ihtl,
+                EnginePick::Pb => EngineKind::Pb,
+                EnginePick::Hybrid => EngineKind::Hybrid,
+            }
+        });
+        Ok(kind)
+    }
+
+    /// The memoised `auto` decision for (plain, symmetrized), without
+    /// forcing a computation — `None` until some job asked for `auto`.
+    pub fn auto_decisions(&self) -> [Option<EngineKind>; 2] {
+        let [plain, sym] = &self.auto_choice;
+        [plain.get().copied(), sym.get().copied()]
     }
 
     fn build_engine(
@@ -199,6 +248,7 @@ impl Registry {
             },
             sym: OnceLock::new(),
             engines: Mutex::new(HashMap::new()),
+            auto_choice: [OnceLock::new(), OnceLock::new()],
             n_vertices,
             n_edges,
             load_seconds,
@@ -377,6 +427,45 @@ mod tests {
         // Baselines need the raw graph — clear error, no panic.
         assert!(ds.with_engine(EngineKind::PullGalois, false, r.cfg(), |_| ()).is_err());
         assert!(ds.with_engine(EngineKind::Ihtl, true, r.cfg(), |_| ()).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn auto_engine_is_memoized_and_valid() {
+        let r = Registry::new(cfg());
+        let ds = r.register("g", &rmat_source()).unwrap();
+        assert_eq!(ds.auto_decisions(), [None, None]);
+        let kind = ds.auto_engine(false, r.cfg()).unwrap();
+        // Memoised: the same answer comes back, and stats can observe it.
+        assert_eq!(ds.auto_engine(false, r.cfg()).unwrap(), kind);
+        assert_eq!(ds.auto_decisions()[0], Some(kind));
+        // The chosen engine actually serves jobs.
+        let vals = ds
+            .with_engine(kind, false, r.cfg(), |e| {
+                run_job(e, None, &JobSpec::PageRank { iters: 2, seed: None }).unwrap().values
+            })
+            .unwrap();
+        assert_eq!(vals.len(), ds.n_vertices);
+        // The symmetrized decision is tracked independently.
+        let sym_kind = ds.auto_engine(true, r.cfg()).unwrap();
+        assert_eq!(ds.auto_decisions()[1], Some(sym_kind));
+    }
+
+    #[test]
+    fn auto_engine_falls_back_to_ihtl_for_image_datasets() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ihtl_serve_auto_{:?}.blk", std::thread::current().id()));
+        {
+            let g = ihtl_graph::graph::paper_example_graph();
+            let ih = IhtlGraph::build(&g, &IhtlConfig { cache_budget_bytes: 16, ..cfg() });
+            ihtl_core::io::save_ihtl(&ih, &path).unwrap();
+        }
+        let r = Registry::new(IhtlConfig { cache_budget_bytes: 16, ..cfg() });
+        let src = GraphSource::IhtlImage { path: path.display().to_string() };
+        let ds = r.register("img", &src).unwrap();
+        assert_eq!(ds.auto_engine(false, r.cfg()).unwrap(), EngineKind::Ihtl);
+        // Symmetrized auto needs the raw graph — clean error, no panic.
+        assert!(ds.auto_engine(true, r.cfg()).is_err());
         std::fs::remove_file(&path).ok();
     }
 

@@ -22,7 +22,7 @@ use ihtl_core::IhtlConfig;
 use crate::batch::{BatchMember, BatchTicket, BatchedOutput, Coalescer};
 use crate::cache::ResultCache;
 use crate::json::Json;
-use crate::proto::{engine_wire_name, GraphSource, Op, Request, WireJob};
+use crate::proto::{engine_wire_name, EngineChoice, GraphSource, Op, Request, WireJob};
 use crate::registry::{Dataset, Registry};
 use crate::sched::{JobError, Scheduler, SubmitError};
 use crate::stats::ServeStats;
@@ -281,7 +281,38 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
             ok_reply(id, Json::obj([("datasets", Json::Arr(items))]))
         }
         Op::Stats => {
-            let body = state.stats.to_json(state.scheduler.queue_depth(), state.cache.stats());
+            let mut body = state.stats.to_json(state.scheduler.queue_depth(), state.cache.stats());
+            if let Json::Obj(pairs) = &mut body {
+                // Memoised `auto` picks, one entry per dataset that has
+                // resolved at least one (datasets never asked for `auto`
+                // are omitted rather than forcing a feature computation).
+                let autos: Vec<Json> = state
+                    .registry
+                    .list()
+                    .iter()
+                    .filter_map(|ds| {
+                        let [plain, sym] = ds.auto_decisions();
+                        if plain.is_none() && sym.is_none() {
+                            return None;
+                        }
+                        let mut p = vec![("dataset".to_string(), Json::from(ds.name.clone()))];
+                        if let Some(k) = plain {
+                            p.push((
+                                "engine_selected".to_string(),
+                                Json::from(engine_wire_name(k)),
+                            ));
+                        }
+                        if let Some(k) = sym {
+                            p.push((
+                                "engine_selected_symmetrized".to_string(),
+                                Json::from(engine_wire_name(k)),
+                            ));
+                        }
+                        Some(Json::Obj(p))
+                    })
+                    .collect();
+                pairs.push(("auto_engines".to_string(), Json::Arr(autos)));
+            }
             ok_reply(id, body)
         }
         Op::Register { name, source } => match handle_register(state, &name, &source) {
@@ -341,7 +372,7 @@ fn handle_register(
 fn handle_job(
     state: &Arc<ServerState>,
     dataset: &str,
-    engine: EngineKind,
+    engine: EngineChoice,
     job: &WireJob,
     timeout_ms: Option<u64>,
     nocache: bool,
@@ -353,6 +384,20 @@ fn handle_job(
         .registry
         .get(dataset)
         .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    // Resolve `auto` to a concrete engine *before* cache-keying, so an
+    // auto request and an explicit request for the engine it picks share
+    // one cache entry (and the memoised decision makes this resolution a
+    // single atomic load after the first job).
+    let engine: EngineKind = match engine {
+        EngineChoice::Fixed(kind) => kind,
+        EngineChoice::Auto => {
+            let symmetrized = match job {
+                WireJob::Analytic(spec) => spec.needs_symmetrized(),
+                _ => false,
+            };
+            ds.auto_engine(symmetrized, state.registry.cfg())?
+        }
+    };
     let cache_key = ResultCache::key(
         dataset,
         engine_wire_name(engine),
@@ -796,6 +841,10 @@ fn job_body(
     let mut pairs = vec![
         ("dataset".to_string(), Json::from(ds.name.clone())),
         ("engine".to_string(), Json::from(engine_wire_name(engine))),
+        // Always the *resolved* engine: under `engine: "auto"` this is the
+        // scoring rule's pick; for a fixed request it echoes the request.
+        // Cache-safe because auto resolves before the cache key is formed.
+        ("engine_selected".to_string(), Json::from(engine_wire_name(engine))),
         ("job".to_string(), Json::from(spec.canonical())),
         ("n_vertices".to_string(), Json::from(out.values.len())),
         ("rounds".to_string(), Json::from(out.rounds)),

@@ -44,7 +44,7 @@ pub struct ServeStats {
     /// configured idle timeout.
     pub idle_disconnects: AtomicU64,
     latency: [AtomicU64; LATENCY_BUCKETS],
-    engines: [EngineAccum; 6],
+    engines: [EngineAccum; 8],
     /// Coalesced SpMM chunks executed (one count per edge sweep).
     batch_runs: AtomicU64,
     /// Queries served by those chunks (Σ occupancy).
@@ -179,6 +179,20 @@ mod tests {
         assert!((nspe - 2.0).abs() < 1e-9, "{nspe}");
         assert_eq!(j.get("queue_depth").unwrap().as_u64(), Some(2));
         assert_eq!(j.get("cache_hits").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
+    fn every_engine_kind_has_a_distinct_slot() {
+        // Regression guard: the accumulator array must track
+        // `EngineKind::all()` (it silently aliases slot 0 otherwise).
+        let s = ServeStats::default();
+        for (i, &kind) in EngineKind::all().iter().enumerate() {
+            assert_eq!(engine_slot(kind), i);
+            s.record_engine(kind, 0.001, 1_000);
+        }
+        let j = s.to_json(0, (0, 0, 0));
+        let engines = j.get("engines").unwrap().as_arr().unwrap();
+        assert_eq!(engines.len(), EngineKind::all().len());
     }
 
     #[test]

@@ -12,12 +12,14 @@
 //! | GraphGrind push     | [`push::DstPartitionedCsr`] + [`push::spmv_push_partitioned`] — vertical destination blocking (race-free) |
 //! | GraphIt push        | [`push::spmv_push_atomic`] — CAS-based concurrent updates |
 //! | (X-Stream buffering)| [`push::spmv_push_buffered`] — per-thread full-width buffers, merged |
+//! | (propagation blocking) | [`pb::PbGraph`] — two-phase binned push, destinations merged segment-by-segment |
 //!
 //! All kernels compute the same SpMV: `y[v] = ⊕_{u ∈ N⁻(v)} x[u]` for a
 //! commutative monoid `⊕` (see [`monoid`]). PageRank, components and SSSP
 //! are layered on top in `ihtl-apps`.
 
 pub mod monoid;
+pub mod pb;
 pub mod pull;
 pub mod push;
 

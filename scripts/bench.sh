@@ -2,9 +2,14 @@
 # Refreshes the machine-readable perf trajectory: runs the bench_spmv
 # binary over the fixed R-MAT suite and writes results/BENCH_spmv.json,
 # embedding the checked-in seed capture (results/BENCH_spmv.seed.json) as
-# the baseline so the file carries its own before/after speedup.
+# the baseline so the file carries its own before/after speedup. A second
+# multi-threaded pass (IHTL_THREADS=4) writes results/BENCH_spmv.t4.json
+# so the trajectory captures parallel scaling, not just threads=1; that
+# pass carries no gates because the seed baseline was captured
+# single-threaded.
 #
-# Usage: scripts/bench.sh [--samples N] [--max-regress PCT] [--trace-ab] [--spmm]
+# Usage: scripts/bench.sh [--samples N] [--max-regress PCT] [--trace-ab]
+#                         [--spmm] [--engines] [--engines-gate PCT]
 #
 # --max-regress PCT fails the run if the iHTL SpMV ns/edge geomean is more
 # than PCT percent worse than the seed capture (the verify.sh perf gate).
@@ -12,6 +17,10 @@
 # --spmm additionally runs the batched SpMM A/B (K=1/4/8 columns per edge
 # sweep) and writes results/BENCH_spmm.json; combined with --max-regress it
 # also fails unless K=8 amortizes below K=1 on at least one dataset.
+# --engines runs the four-engine A/B matrix (pull/ihtl/pb/hybrid plus the
+# auto pick) on a machine-sized suite, writing results/BENCH_engines.json;
+# --engines-gate PCT fails unless auto lands within PCT% of the best fixed
+# engine everywhere and the binned engines beat pull on the thrashing rmat.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,6 +32,8 @@ while [[ $# -gt 0 ]]; do
     --max-regress) EXTRA+=(--max-regress "$2"); shift 2 ;;
     --trace-ab) EXTRA+=(--trace-ab); shift ;;
     --spmm) EXTRA+=(--spmm); shift ;;
+    --engines) EXTRA+=(--engines); shift ;;
+    --engines-gate) EXTRA+=(--engines-gate "$2"); shift 2 ;;
     *) echo "unknown argument: $1" >&2; exit 2 ;;
   esac
 done
@@ -30,10 +41,16 @@ done
 echo "==> cargo build --release --offline -p ihtl-bench --bin bench_spmv"
 cargo build --release --offline -p ihtl-bench --bin bench_spmv
 
-echo "==> bench_spmv (samples=$SAMPLES) -> results/BENCH_spmv.json"
-./target/release/bench_spmv \
+echo "==> bench_spmv IHTL_THREADS=1 (samples=$SAMPLES) -> results/BENCH_spmv.json"
+IHTL_THREADS=1 ./target/release/bench_spmv \
   --baseline results/BENCH_spmv.seed.json \
   --out results/BENCH_spmv.json \
   --samples "$SAMPLES" ${EXTRA[@]+"${EXTRA[@]}"} >/dev/null
 
-echo "OK: wrote results/BENCH_spmv.json"
+echo "==> bench_spmv IHTL_THREADS=4 (samples=$SAMPLES) -> results/BENCH_spmv.t4.json"
+IHTL_THREADS=4 ./target/release/bench_spmv \
+  --baseline results/BENCH_spmv.seed.json \
+  --out results/BENCH_spmv.t4.json \
+  --samples "$SAMPLES" >/dev/null
+
+echo "OK: wrote results/BENCH_spmv.json and results/BENCH_spmv.t4.json"

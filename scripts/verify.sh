@@ -35,7 +35,7 @@ cargo run --offline --release --example quickstart
 echo "==> scripts/serve_smoke.sh (serving-layer cold-start smoke test)"
 bash scripts/serve_smoke.sh
 
-echo "==> scripts/bench.sh --samples 3 --max-regress 15 (perf + SpMM batching gate)"
-bash scripts/bench.sh --samples 3 --max-regress 15 --trace-ab --spmm
+echo "==> scripts/bench.sh --samples 3 --max-regress 15 (perf + SpMM + engine-selection gates)"
+bash scripts/bench.sh --samples 3 --max-regress 15 --trace-ab --spmm --engines --engines-gate 10
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke, perf gate"
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke, perf + engine gates"

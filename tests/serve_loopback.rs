@@ -249,7 +249,7 @@ fn protocol_errors_keep_the_connection_usable() {
     // Engine A/B comparison over the wire: every engine agrees.
     let cmp = c.ok("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"compare\",\"iters\":5}");
     let engines = cmp.get("engines").and_then(Json::as_arr).expect("engines");
-    assert_eq!(engines.len(), 6, "all six paper engines must report");
+    assert_eq!(engines.len(), 8, "all eight engines (six paper + pb + hybrid) must report");
     let max_diff = cmp.get("max_abs_diff").and_then(Json::as_f64).expect("max_abs_diff");
     assert!(max_diff < 1e-9, "engines disagree: {max_diff}");
 
@@ -258,6 +258,73 @@ fn protocol_errors_keep_the_connection_usable() {
     assert_eq!(datasets.len(), 1);
     assert_eq!(datasets[0].get("name").and_then(Json::as_str), Some("g"));
 
+    handle.shutdown();
+}
+
+#[test]
+fn unknown_engine_error_lists_the_full_vocabulary() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(handle.addr());
+    c.ok(REGISTER);
+    let msg = c.err(
+        "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":2,\
+         \"engine\":\"gpu\"}",
+    );
+    assert!(msg.contains("unknown engine 'gpu'"), "{msg}");
+    for name in [
+        "ihtl",
+        "pull_grind",
+        "pull_graphit",
+        "pull_galois",
+        "push_grind",
+        "push_graphit",
+        "pb",
+        "hybrid",
+        "auto",
+    ] {
+        assert!(msg.contains(name), "error must list '{name}': {msg}");
+    }
+    // The connection survives the protocol error.
+    c.ok("{\"op\":\"ping\"}");
+    handle.shutdown();
+}
+
+#[test]
+fn auto_engine_resolves_reports_and_shares_the_cache() {
+    let handle = spawn_server(ServerConfig::default());
+    let mut c = Client::connect(handle.addr());
+    c.ok(REGISTER);
+
+    let auto_req = "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":10,\
+                    \"engine\":\"auto\"}";
+    let first = c.ok(auto_req);
+    let selected =
+        first.get("engine_selected").and_then(Json::as_str).expect("engine_selected").to_string();
+    assert!(
+        ["pull_grind", "ihtl", "pb", "hybrid"].contains(&selected.as_str()),
+        "auto must resolve to a scoring-rule candidate, got '{selected}'"
+    );
+    assert_eq!(first.get("engine").and_then(Json::as_str), Some(selected.as_str()));
+
+    // An explicit request for the engine auto picked hits the same cache
+    // entry (auto resolves before the cache key is formed) and agrees
+    // bitwise.
+    let explicit = c.ok(&format!(
+        "{{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":10,\
+         \"engine\":\"{selected}\"}}"
+    ));
+    assert_eq!(explicit.get("cached").and_then(Json::as_bool), Some(true));
+    assert_eq!(
+        explicit.get("checksum").and_then(Json::as_str),
+        first.get("checksum").and_then(Json::as_str),
+    );
+
+    // The memoised decision shows up in stats.
+    let stats = c.ok("{\"op\":\"stats\"}");
+    let autos = stats.get("auto_engines").and_then(Json::as_arr).expect("auto_engines");
+    assert_eq!(autos.len(), 1, "one dataset resolved auto: {stats}");
+    assert_eq!(autos[0].get("dataset").and_then(Json::as_str), Some("g"));
+    assert_eq!(autos[0].get("engine_selected").and_then(Json::as_str), Some(selected.as_str()));
     handle.shutdown();
 }
 

@@ -113,6 +113,46 @@ fn spmv_sum_multi_matches_solo_iterations_on_every_engine() {
     });
 }
 
+/// Batched columns through the binned push engines on all three generator
+/// families. PB replays contributions in pull's reduction order, so its
+/// batched PageRank columns equal solo *pull* runs bitwise even on
+/// non-integer values — the claim crosses the batching and the engine
+/// boundary at once. Hybrid reduces in relabeled order, so its batched
+/// columns are compared to solo *hybrid* runs (the demux claim), which is
+/// exactly the iHTL determinism doctrine above.
+#[test]
+fn pb_and_hybrid_multi_demux_bitwise_on_generated_graphs() {
+    use ihtl_gen::{er, weblike};
+    let rmat = rmat_edges(10, 6_000, RmatParams::social(), 0xB1_2026);
+    let erg = er::er_edges(800, 4_800, 0xB2_2026);
+    let web = weblike::web_edges(2_000, 10_000, &weblike::WebParams::concentrated(), 0xB3_2026);
+    let graphs = [
+        ("rmat", Graph::from_edges(1usize << 10, &rmat)),
+        ("er", Graph::from_edges(800, &erg)),
+        ("weblike", Graph::from_edges(2_000, &web)),
+    ];
+    for (name, g) in &graphs {
+        let n = g.n_vertices();
+        for kind in [EngineKind::Pb, EngineKind::Hybrid] {
+            let solo_kind = if kind == EngineKind::Pb { EngineKind::PullGraphGrind } else { kind };
+            for k in [1usize, 4, 8] {
+                let seeds: Vec<Option<u32>> =
+                    (0..k).map(|j| (j % 2 == 1).then_some((j * 13 % n) as u32)).collect();
+                let mut e = build_engine(kind, g, &cfg());
+                let multi = pagerank_multi(e.as_mut(), 10, &seeds);
+                for (j, seed) in seeds.iter().enumerate() {
+                    let mut solo_e = build_engine(solo_kind, g, &cfg());
+                    let solo = match seed {
+                        None => pagerank(solo_e.as_mut(), 10).ranks,
+                        Some(_) => pagerank_seeded(solo_e.as_mut(), 10, *seed),
+                    };
+                    assert_bitwise(&multi[j], &solo, &format!("{name} {kind:?} k={k} col {j}"));
+                }
+            }
+        }
+    }
+}
+
 /// The job layer on a real R-MAT graph: a K=8 coalesced SSSP batch demuxes
 /// into exactly the outputs of eight solo `run_job` calls.
 #[test]
