@@ -207,7 +207,7 @@ where
         }
         EngineKind::Pb => {
             let pb = PbGraph::new(gr, ihtl_cfg.cache_budget_bytes, ihtl_cfg.vertex_data_bytes);
-            Box::new(Pb { pb, values: Vec::new(), out_degrees })
+            Box::new(pb_engine_from_shared(Arc::new(pb), out_degrees))
         }
         EngineKind::Hybrid => {
             let ih = Arc::new(IhtlGraph::build(gr, ihtl_cfg));
@@ -458,8 +458,10 @@ impl SpmvEngine for Ihtl {
 /// segment-by-segment ([`PbGraph`]). Works in original vertex order, and —
 /// uniquely among the push engines — is bitwise identical to pull for any
 /// monoid and inputs (every edge's bin slot is fixed at build time).
-struct Pb {
-    pb: PbGraph,
+pub struct Pb {
+    /// Shared so a disk-loaded layout can back many pooled engines (and
+    /// stay resident across engine rebuilds) without copying the bins.
+    pb: Arc<PbGraph>,
     /// Per-edge contribution scratch, reused across traversals.
     values: Vec<f64>,
     out_degrees: Vec<u32>,
@@ -549,6 +551,14 @@ impl SpmvEngine for Hybrid {
 /// Builds the iHTL engine concretely (callers needing breakdown access).
 pub fn build_ihtl_engine(g: &Graph, cfg: &IhtlConfig) -> Ihtl {
     ihtl_engine_from_shared(Arc::new(IhtlGraph::build(g, cfg)))
+}
+
+/// Wraps an already-built (possibly disk-loaded) propagation-blocking
+/// layout in an engine with fresh contribution scratch. `out_degrees` must
+/// be the out-degrees of the graph the layout was built from (the PB image
+/// stores topology only; degree data travels with the dataset).
+pub fn pb_engine_from_shared(pb: Arc<PbGraph>, out_degrees: Vec<u32>) -> Pb {
+    Pb { pb, values: Vec::new(), out_degrees }
 }
 
 /// Wraps an already-preprocessed iHTL graph in a hybrid engine with a fresh

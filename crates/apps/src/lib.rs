@@ -29,7 +29,8 @@ pub mod sssp;
 pub mod triangles;
 
 pub use engine::{
-    build_engine, build_engine_shared, ihtl_engine_from_shared, EngineKind, SpmvEngine,
+    build_engine, build_engine_shared, ihtl_engine_from_shared, pb_engine_from_shared, EngineKind,
+    SpmvEngine,
 };
 pub use jobs::{run_job, run_job_multi, JobOutput, JobSpec};
 pub use multi::{pagerank_multi, pagerank_seeded, spmv_sum_multi, sssp_multi};

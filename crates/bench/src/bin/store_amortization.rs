@@ -1,0 +1,157 @@
+//! Measures what the durable store amortizes: iHTL/PB preprocessing cost
+//! (build) versus persisting (save) and reloading (load) the finished
+//! artifact, over R-MAT graphs of growing scale. Writes a markdown table
+//! to `results/store_amortization.md` and echoes it to stdout.
+//!
+//! Usage: `store_amortization [--samples N] [--max-scale S]`
+
+use std::time::Instant;
+
+use ihtl_core::{IhtlConfig, IhtlGraph};
+use ihtl_gen::rmat::{rmat_edges, RmatParams};
+use ihtl_graph::Graph;
+use ihtl_store::{dataset_content_hash, BlockStore};
+use ihtl_traversal::pb::PbGraph;
+
+/// Times `f` `samples` times after one warm-up call; returns the best
+/// (minimum) seconds observed.
+fn time_best<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    f(); // warm-up
+    (0..samples)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+struct Row {
+    scale: u32,
+    n_edges: usize,
+    ihtl_build: f64,
+    ihtl_save: f64,
+    ihtl_load: f64,
+    pb_build: f64,
+    pb_save: f64,
+    pb_load: f64,
+}
+
+fn measure(scale: u32, samples: usize, store: &BlockStore) -> Row {
+    let edges = rmat_edges(scale, (1usize << scale) * 8, RmatParams::social(), 100 + scale as u64);
+    let g = Graph::from_edges(1usize << scale, &edges);
+    let cfg = IhtlConfig::default();
+    let hash = dataset_content_hash(&g);
+    let parts = ihtl_traversal::pull::default_parts();
+
+    let ihtl_build = time_best(samples, || {
+        std::hint::black_box(IhtlGraph::build(&g, &cfg));
+    });
+    let ih = IhtlGraph::build(&g, &cfg);
+    let ihtl_save = time_best(samples, || {
+        store.save_ihtl(hash, &cfg, &ih).expect("save ihtl artifact");
+    });
+    let ihtl_load = time_best(samples, || {
+        std::hint::black_box(store.load_ihtl(hash, &cfg).expect("load ihtl artifact"));
+    });
+
+    let pb_build = time_best(samples, || {
+        std::hint::black_box(PbGraph::with_parts(
+            &g,
+            cfg.cache_budget_bytes,
+            cfg.vertex_data_bytes,
+            parts,
+        ));
+    });
+    let pb = PbGraph::with_parts(&g, cfg.cache_budget_bytes, cfg.vertex_data_bytes, parts);
+    let pb_save = time_best(samples, || {
+        store.save_pb(hash, &cfg, parts, &pb).expect("save pb artifact");
+    });
+    let pb_load = time_best(samples, || {
+        std::hint::black_box(store.load_pb(hash, &cfg, parts).expect("load pb artifact"));
+    });
+
+    eprintln!(
+        "[store_amortization] scale {scale}: |E|={} ihtl build {:.1}ms load {:.1}ms",
+        g.n_edges(),
+        ihtl_build * 1e3,
+        ihtl_load * 1e3
+    );
+    Row {
+        scale,
+        n_edges: g.n_edges(),
+        ihtl_build,
+        ihtl_save,
+        ihtl_load,
+        pb_build,
+        pb_save,
+        pb_load,
+    }
+}
+
+fn main() {
+    let mut samples = 3usize;
+    let mut max_scale = 16u32;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--samples" => {
+                samples = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--max-scale" => {
+                max_scale = args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--max-scale expects an integer");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag '{other}' (supported: --samples N, --max-scale S)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let dir = std::env::temp_dir().join(format!("ihtl_store_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = BlockStore::open(&dir).expect("open bench store");
+
+    let rows: Vec<Row> = (12..=max_scale).step_by(2).map(|s| measure(s, samples, &store)).collect();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut out = String::new();
+    out.push_str("# Durable store amortization: build vs save vs load (best-of samples, ms)\n\n");
+    out.push_str(&format!(
+        "R-MAT (social skew), 8 edges/vertex, {} threads, {} samples.\n\n",
+        ihtl_parallel::num_threads(),
+        samples
+    ));
+    out.push_str(
+        "| scale | edges | iHTL build | iHTL save | iHTL load | build/load | \
+         PB build | PB save | PB load |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+    for r in &rows {
+        let speedup = r.ihtl_build / r.ihtl_load.max(1e-9);
+        out.push_str(&format!(
+            "| {} | {} | {:.2} | {:.2} | {:.2} | {:.1}x | {:.2} | {:.2} | {:.2} |\n",
+            r.scale,
+            r.n_edges,
+            r.ihtl_build * 1e3,
+            r.ihtl_save * 1e3,
+            r.ihtl_load * 1e3,
+            speedup,
+            r.pb_build * 1e3,
+            r.pb_save * 1e3,
+            r.pb_load * 1e3,
+        ));
+    }
+    print!("{out}");
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/store_amortization.md", &out))
+    {
+        eprintln!("warning: could not write results/store_amortization.md: {e}");
+    }
+}

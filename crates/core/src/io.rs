@@ -11,9 +11,15 @@
 //! loaded graph still reports Table 5's structural columns (timing fields
 //! are zeroed). The magic was bumped from `IHTLBLK1` when flipped-block
 //! rows became compacted (a `srcs` array per block).
+//!
+//! Persistence doctrine (shared with every binary format in the workspace,
+//! see `ihtl_graph::io`): [`save_ihtl`] writes atomically (sibling temp
+//! file + rename) and appends an FNV-1a-64 checksum trailer; [`load_ihtl`]
+//! verifies the trailer *before* structural validation and still accepts
+//! trailer-less legacy images, for which the structural validators below
+//! remain the only (and sufficient) corruption backstop.
 
-use std::fs::File;
-use std::io::{self, BufWriter, Write};
+use std::io::{self, Write};
 use std::path::Path;
 
 use ihtl_graph::{Csr, EdgeIndex, VertexId};
@@ -111,9 +117,15 @@ impl<'a> Cursor<'a> {
     }
 }
 
-/// Writes the preprocessed graph to `path`.
+/// Writes the preprocessed graph to `path`: atomically (a crash mid-write
+/// can never leave a truncated image at the final path) and with a checksum
+/// trailer (see `ihtl_graph::io::save_atomic`).
 pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
+    ihtl_graph::io::save_atomic(path, |w| write_ihtl(ih, w))
+}
+
+/// Streams the `IHTLBLK2` payload (no trailer) to `w`.
+pub fn write_ihtl(ih: &IhtlGraph, w: &mut dyn Write) -> io::Result<()> {
     w.write_all(MAGIC)?;
     let s = ih.stats();
     for v in [
@@ -128,8 +140,8 @@ pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
     ] {
         w.write_all(&v.to_le_bytes())?;
     }
-    write_u32s(&mut w, ih.new_to_old())?;
-    write_u32s(&mut w, ih.out_degree_new())?;
+    write_u32s(&mut *w, ih.new_to_old())?;
+    write_u32s(&mut *w, ih.out_degree_new())?;
     w.write_all(&(s.block_feeders.len() as u64).to_le_bytes())?;
     for &f in &s.block_feeders {
         w.write_all(&(f as u64).to_le_bytes())?;
@@ -137,10 +149,10 @@ pub fn save_ihtl(ih: &IhtlGraph, path: &Path) -> io::Result<()> {
     for b in ih.blocks() {
         w.write_all(&(b.hub_start as u64).to_le_bytes())?;
         w.write_all(&(b.hub_end as u64).to_le_bytes())?;
-        write_csr(&mut w, &b.edges)?;
-        write_u32s(&mut w, &b.srcs)?;
+        write_csr(&mut *w, &b.edges)?;
+        write_u32s(&mut *w, &b.srcs)?;
     }
-    write_csr(&mut w, ih.sparse())?;
+    write_csr(&mut *w, ih.sparse())?;
     w.flush()
 }
 
@@ -150,10 +162,13 @@ pub fn load_ihtl(path: &Path) -> io::Result<IhtlGraph> {
 }
 
 /// Parses an IHTLBLK2 image from memory. Corrupted input — truncated at any
-/// byte, or with internal length fields exceeding the payload — yields
-/// `InvalidData`, never a panic or an unbounded allocation.
+/// byte, with internal length fields exceeding the payload, or failing the
+/// checksum trailer — yields `InvalidData`, never a panic or an unbounded
+/// allocation. A trailer-less legacy image is parsed on structural
+/// validation alone.
 pub fn load_ihtl_bytes(data: &[u8]) -> io::Result<IhtlGraph> {
-    let mut c = Cursor::new(data);
+    let payload = ihtl_graph::io::verify_trailer(data)?;
+    let mut c = Cursor::new(payload);
     if c.take(8, "magic")? != MAGIC {
         return Err(invalid("bad magic"));
     }
@@ -209,6 +224,12 @@ pub fn load_ihtl_bytes(data: &[u8]) -> io::Result<IhtlGraph> {
     if sparse.n_rows() != n - n_hubs || sparse.n_cols() != n {
         return Err(invalid("sparse CSR shape mismatch"));
     }
+    // A well-formed image is consumed exactly. Leftover bytes mean the
+    // image was produced by something else (e.g. a trailered image whose
+    // trailer was itself corrupted, making it parse as legacy).
+    if c.remaining() != 0 {
+        return Err(invalid("trailing bytes after sparse CSR"));
+    }
 
     let mut old_to_new = vec![0 as VertexId; n];
     for (new, &old) in new_to_old.iter().enumerate() {
@@ -249,7 +270,7 @@ pub fn load_ihtl_bytes(data: &[u8]) -> io::Result<IhtlGraph> {
     })
 }
 
-fn write_u32s<W: Write>(w: &mut W, data: &[u32]) -> io::Result<()> {
+fn write_u32s<W: Write + ?Sized>(w: &mut W, data: &[u32]) -> io::Result<()> {
     w.write_all(&(data.len() as u64).to_le_bytes())?;
     for &v in data {
         w.write_all(&v.to_le_bytes())?;
@@ -257,7 +278,7 @@ fn write_u32s<W: Write>(w: &mut W, data: &[u32]) -> io::Result<()> {
     Ok(())
 }
 
-fn write_csr<W: Write>(w: &mut W, c: &Csr) -> io::Result<()> {
+fn write_csr<W: Write + ?Sized>(w: &mut W, c: &Csr) -> io::Result<()> {
     w.write_all(&(c.n_rows() as u64).to_le_bytes())?;
     w.write_all(&(c.n_cols() as u64).to_le_bytes())?;
     w.write_all(&(c.n_edges() as u64).to_le_bytes())?;
@@ -336,16 +357,49 @@ mod tests {
     fn rejects_truncation_at_every_prefix() {
         // Cut the image at every possible byte boundary: the loader must
         // return InvalidData each time — never panic, never succeed. This
-        // covers mid-magic, mid-header, mid-u32-array, and mid-CSR cuts in
-        // one sweep (the image is a few hundred bytes).
+        // covers mid-magic, mid-header, mid-u32-array, mid-CSR, and
+        // mid-trailer cuts in one sweep (the image is a few hundred bytes).
+        // The one exception is the cut that removes exactly the trailer:
+        // that prefix *is* a complete legacy image, which the format
+        // promises to keep loading.
         let full = example_image();
+        let payload_len = full.len() - ihtl_graph::io::TRAILER_LEN;
         assert!(load_ihtl_bytes(&full).is_ok());
         for cut in 0..full.len() {
             match load_ihtl_bytes(&full[..cut]) {
                 Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData, "cut at {cut}"),
+                Ok(_) if cut == payload_len => {} // complete trailer-less legacy image
                 Ok(_) => panic!("truncation at byte {cut} of {} was accepted", full.len()),
             }
         }
+    }
+
+    #[test]
+    fn trailer_detects_nonstructural_corruption() {
+        // min_hub_degree (header field 5) is a reporting-only stat: flipping
+        // it passes every structural check, so only the checksum trailer can
+        // catch the corruption.
+        let full = example_image();
+        let mut img = full.clone();
+        img[8 + 5 * 8] ^= 1;
+        match load_ihtl_bytes(&img) {
+            Err(e) => assert_eq!(e.kind(), io::ErrorKind::InvalidData),
+            Ok(_) => panic!("corrupted stats byte was accepted"),
+        }
+        // The same flip on a trailer-less legacy image goes undetected —
+        // documenting exactly what the trailer buys.
+        let legacy = &img[..img.len() - ihtl_graph::io::TRAILER_LEN];
+        assert!(load_ihtl_bytes(legacy).is_ok());
+    }
+
+    #[test]
+    fn legacy_trailerless_images_still_load() {
+        let full = example_image();
+        let legacy = &full[..full.len() - ihtl_graph::io::TRAILER_LEN];
+        let a = load_ihtl_bytes(&full).unwrap();
+        let b = load_ihtl_bytes(legacy).unwrap();
+        assert_eq!(a.new_to_old(), b.new_to_old());
+        assert_eq!(a.stats().fb_edges, b.stats().fb_edges);
     }
 
     #[test]

@@ -8,10 +8,25 @@
 //! Layout (little-endian): magic `IHTLGRPH`, version u32, n_vertices u64,
 //! n_edges u64, then the CSR offsets (u64 each) and targets (u32 each).
 //! The CSC is rebuilt on load (cheaper than storing both).
+//!
+//! This module also hosts the low-level persistence doctrine every binary
+//! format in the workspace shares (`IHTLGRPH` here, `IHTLBLK2` in
+//! `ihtl-core`, `IHTLPBG1` in `ihtl-traversal`, and the `ihtl-store` block
+//! store built on all three):
+//!
+//! * **Atomic writes** ([`save_atomic`]): the payload goes to a uniquely
+//!   named sibling temp file which is `rename`d into place, so a crash
+//!   mid-write can never leave a truncated image at the final path.
+//! * **Checksum trailer** ([`ChecksumWriter`], [`verify_trailer`]): every
+//!   saved image ends with `IHTLSUM1` + the FNV-1a-64 of the payload.
+//!   Loaders verify and strip the trailer *before* structural validation;
+//!   trailer-less legacy images pass through unchanged (the structural
+//!   validators remain the backstop for them).
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::Path;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::csr::Csr;
 use crate::graph::Graph;
@@ -20,25 +35,167 @@ use crate::{EdgeIndex, VertexId};
 const MAGIC: &[u8; 8] = b"IHTLGRPH";
 const VERSION: u32 = 1;
 
-/// Writes `g` to `path` in the binary format.
+/// Magic that opens the checksum trailer appended to every saved image.
+pub const TRAILER_MAGIC: &[u8; 8] = b"IHTLSUM1";
+
+/// Total trailer size: magic + u64 checksum.
+pub const TRAILER_LEN: usize = 16;
+
+/// Incremental FNV-1a-64 hasher — the same function the serve tier uses for
+/// wire checksums ([`fnv1a_checksum` in `ihtl-serve`] delegates here), reused
+/// for image trailers so one implementation covers both.
+#[derive(Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fnv1a {
+    /// The FNV-1a-64 offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// One-shot FNV-1a-64 over a byte slice.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// A writer that hashes everything written through it, so the checksum
+/// trailer can be computed while streaming the payload (no second pass).
+pub struct ChecksumWriter<W: Write> {
+    inner: W,
+    hash: Fnv1a,
+}
+
+impl<W: Write> ChecksumWriter<W> {
+    pub fn new(inner: W) -> ChecksumWriter<W> {
+        ChecksumWriter { inner, hash: Fnv1a::new() }
+    }
+
+    /// The hash of everything written so far.
+    pub fn checksum(&self) -> u64 {
+        self.hash.finish()
+    }
+
+    /// Unwraps the inner writer (e.g. to append the trailer unhashed).
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Write> Write for ChecksumWriter<W> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        let n = self.inner.write(buf)?;
+        self.hash.write(&buf[..n]);
+        Ok(n)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}
+
+/// Disambiguates concurrent writers within one process; the pid handles
+/// concurrent processes.
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_sibling(path: &Path) -> PathBuf {
+    let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("image");
+    path.with_file_name(format!(".{name}.tmp.{}.{seq}", std::process::id()))
+}
+
+/// Writes an image atomically: streams `write_payload` through a
+/// [`ChecksumWriter`] into a uniquely named sibling temp file, appends the
+/// `IHTLSUM1` checksum trailer, and `rename`s into place. A crash at any
+/// point leaves either the old file or nothing at `path` — never a torn
+/// image (rename within one directory is atomic on POSIX).
+pub fn save_atomic(
+    path: &Path,
+    write_payload: impl FnOnce(&mut dyn Write) -> io::Result<()>,
+) -> io::Result<()> {
+    let tmp = temp_sibling(path);
+    let result = (|| {
+        let mut cw = ChecksumWriter::new(BufWriter::new(File::create(&tmp)?));
+        write_payload(&mut cw)?;
+        let sum = cw.checksum();
+        let mut w = cw.into_inner();
+        w.write_all(TRAILER_MAGIC)?;
+        w.write_all(&sum.to_le_bytes())?;
+        w.flush()?;
+        w.into_inner().map_err(|e| e.into_error())?.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// Checks a loaded image for the checksum trailer. With a trailer present,
+/// verifies the FNV-1a-64 of the payload and returns the payload slice
+/// (trailer stripped); a mismatch is `InvalidData`. Without one, returns
+/// `data` unchanged — trailer-less legacy images stay loadable, backstopped
+/// by the formats' structural validation.
+pub fn verify_trailer(data: &[u8]) -> io::Result<&[u8]> {
+    if data.len() < TRAILER_LEN || &data[data.len() - TRAILER_LEN..data.len() - 8] != TRAILER_MAGIC
+    {
+        return Ok(data);
+    }
+    let payload = &data[..data.len() - TRAILER_LEN];
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(&data[data.len() - 8..]);
+    if fnv1a_64(payload) != u64::from_le_bytes(stored) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "checksum trailer does not match payload (image corrupted)",
+        ));
+    }
+    Ok(payload)
+}
+
+/// Writes `g` to `path` in the binary format (atomic, checksum-trailered).
 pub fn save_graph(g: &Graph, path: &Path) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    w.write_all(MAGIC)?;
-    w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(g.n_vertices() as u64).to_le_bytes())?;
-    w.write_all(&(g.n_edges() as u64).to_le_bytes())?;
-    for &o in g.csr().offsets() {
-        w.write_all(&o.to_le_bytes())?;
-    }
-    for &t in g.csr().targets() {
-        w.write_all(&t.to_le_bytes())?;
-    }
-    w.flush()
+    save_atomic(path, |w| {
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(g.n_vertices() as u64).to_le_bytes())?;
+        w.write_all(&(g.n_edges() as u64).to_le_bytes())?;
+        for &o in g.csr().offsets() {
+            w.write_all(&o.to_le_bytes())?;
+        }
+        for &t in g.csr().targets() {
+            w.write_all(&t.to_le_bytes())?;
+        }
+        Ok(())
+    })
 }
 
 /// Reads a graph previously written by [`save_graph`].
 pub fn load_graph(path: &Path) -> io::Result<Graph> {
-    let mut r = BufReader::new(File::open(path)?);
+    let data = std::fs::read(path)?;
+    let payload = verify_trailer(&data)?;
+    let mut r: &[u8] = payload;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {

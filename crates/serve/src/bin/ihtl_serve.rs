@@ -32,6 +32,17 @@ const FLAGS: &[FlagSpec] = &[
         value: Some("K"),
         help: "max coalesced queries per SpMM sweep (default 8, 1 = off)",
     },
+    FlagSpec {
+        name: "store-dir",
+        value: Some("PATH"),
+        help: "durable artifact store root (default: no store; builds are not persisted)",
+    },
+    FlagSpec {
+        name: "mem-budget-mb",
+        value: Some("N"),
+        help: "warm-artifact memory budget in MiB; LRU datasets demote to the store \
+               (default: unlimited)",
+    },
 ];
 
 fn main() {
@@ -48,6 +59,10 @@ fn main() {
         let idle_ms = args.get_usize("idle-timeout-ms", default_idle_ms)?;
         cfg.idle_timeout = (idle_ms > 0).then(|| std::time::Duration::from_millis(idle_ms as u64));
         cfg.max_batch = args.get_usize("max-batch", cfg.max_batch)?.max(1);
+        cfg.store_dir = args.get("store-dir").map(str::to_string);
+        if args.get("mem-budget-mb").is_some() {
+            cfg.mem_budget_mb = Some(args.get_usize("mem-budget-mb", 0)? as u64);
+        }
         Ok(())
     })();
     if let Err(msg) = numeric {

@@ -1,4 +1,5 @@
-//! Graph registry: named datasets, loaded once, served forever.
+//! Graph registry: named datasets, loaded once, served with a warm/cold
+//! artifact tier.
 //!
 //! Each dataset is loaded or generated exactly once and then held as an
 //! immutable `Arc<Graph>` snapshot. The expensive derived structures are
@@ -6,28 +7,52 @@
 //!
 //! * the preprocessed [`IhtlGraph`] (the paper's Table 2 preprocessing cost
 //!   — paid once per dataset, amortised over every subsequent request, the
-//!   §4.2 argument applied to serving);
+//!   §4.2 argument applied to serving) and the [`PbGraph`] binned layout;
 //! * the symmetrized graph (for weakly-connected components);
 //! * a checkout pool of ready engines per (engine kind, symmetrized) pair,
 //!   so concurrent requests reuse scratch buffers instead of re-running
 //!   engine preprocessing per call.
 //!
+//! ## Warm/cold tiering (DESIGN.md §12)
+//!
+//! The big derived artifacts — the iHTL image and the PB layout — live in
+//! per-dataset **warm slots** (`Mutex<Option<Arc<…>>>`). With a durable
+//! [`BlockStore`] attached, a cold slot first tries a checksum-verified
+//! disk load (keyed by the dataset's content hash and the build config)
+//! before rebuilding, and every fresh build is written back — the paper's
+//! §4.2 amortisation, across process restarts. With a memory budget
+//! configured (`--mem-budget-mb`), the registry accounts the topology bytes
+//! of all warm artifacts after each checkout and **demotes** the
+//! least-recently-used datasets until under budget: the warm `Arc` is
+//! dropped (the store key is enough to get it back), the engine pool is
+//! cleared, and a generation bump stops in-flight engines from re-pooling.
+//! The next checkout transparently reloads from the store (or rebuilds).
+//! Results are bitwise identical across demotion because the on-disk images
+//! reproduce the in-memory structures exactly (property-tested in
+//! `ihtl-store` and `tests/store_tiering.rs`).
+//!
 //! Datasets registered from an `IHTLBLK2` image have *no* raw graph — only
-//! the iHTL engine can serve them, and jobs needing the raw or symmetrized
-//! graph (BFS, CC) or a baseline engine report a clear error.
+//! the iHTL engine can serve them, jobs needing the raw or symmetrized
+//! graph (BFS, CC) or a baseline engine report a clear error, and they are
+//! never demoted (with no raw graph there is no rebuild path).
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::time::Instant;
 
-use ihtl_apps::{build_engine_shared, ihtl_engine_from_shared, EngineKind, SpmvEngine};
+use ihtl_apps::{
+    build_engine_shared, ihtl_engine_from_shared, pb_engine_from_shared, EngineKind, SpmvEngine,
+};
 use ihtl_core::io::load_ihtl;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_gen::{suite, suite_small};
 use ihtl_graph::stats::{engine_features_llc, pick_engine, EnginePick};
 use ihtl_graph::{EdgeList, Graph};
+use ihtl_store::{dataset_content_hash, BlockStore, StoreCounters};
+use ihtl_traversal::pb::PbGraph;
 
 use crate::proto::GraphSource;
 
@@ -45,7 +70,12 @@ pub struct Dataset {
     pub source_desc: String,
     /// `None` for datasets restored from a preprocessed iHTL image.
     graph: Option<Arc<Graph>>,
-    ihtl: OnceLock<Arc<IhtlGraph>>,
+    /// Warm slot for the preprocessed iHTL graph; `None` = cold (rebuilt
+    /// or store-loaded on next checkout). Pre-filled and pinned for
+    /// image-registered datasets.
+    ihtl: Mutex<Option<Arc<IhtlGraph>>>,
+    /// Warm slot for the propagation-blocking layout.
+    pb: Mutex<Option<Arc<PbGraph>>>,
     sym: OnceLock<Arc<Graph>>,
     engines: Mutex<HashMap<EngineKey, Vec<Box<dyn SpmvEngine + Send>>>>,
     /// Memoised `auto` engine decision, indexed by `symmetrized as usize`.
@@ -56,6 +86,16 @@ pub struct Dataset {
     pub n_edges: usize,
     /// Wall-clock seconds spent loading/generating at registration.
     pub load_seconds: f64,
+    /// Content hash of the raw graph's CSR — the store address component.
+    /// `None` for image-registered datasets: nothing to hash, no rebuild
+    /// path, so the store is bypassed and the warm iHTL slot is pinned.
+    dataset_hash: Option<u64>,
+    /// Registry LRU clock value at the last engine checkout.
+    last_used: AtomicU64,
+    /// Bumped by demotion; an engine checked out under an older generation
+    /// is dropped instead of re-pooled, so demoted pools can't resurrect
+    /// the big structures they hold through their `Arc`s.
+    generation: AtomicU64,
 }
 
 impl Dataset {
@@ -64,18 +104,102 @@ impl Dataset {
         self.graph.clone()
     }
 
-    /// The preprocessed iHTL graph, building it on first use.
-    fn ihtl_graph(&self, cfg: &IhtlConfig) -> Result<Arc<IhtlGraph>, String> {
-        match (self.ihtl.get(), &self.graph) {
-            (Some(ih), _) => Ok(Arc::clone(ih)),
-            (None, Some(g)) => {
-                Ok(Arc::clone(self.ihtl.get_or_init(|| Arc::new(IhtlGraph::build(g, cfg)))))
-            }
-            (None, None) => Err(format!(
+    /// Whether any demotable artifact is currently warm.
+    pub fn warm(&self) -> bool {
+        crate::lock_ok(&self.ihtl).is_some() || crate::lock_ok(&self.pb).is_some()
+    }
+
+    /// Topology bytes of the warm (demotable) artifacts — what the memory
+    /// budget meters. The raw `Arc<Graph>` snapshot is excluded: it is the
+    /// rebuild source, not a demotable artifact.
+    fn resident_artifact_bytes(&self) -> u64 {
+        let mut bytes = 0;
+        if let Some(ih) = crate::lock_ok(&self.ihtl).as_ref() {
+            bytes += ih.topology_bytes();
+        }
+        if let Some(pb) = crate::lock_ok(&self.pb).as_ref() {
+            bytes += pb.topology_bytes();
+        }
+        bytes
+    }
+
+    /// Drops the warm artifacts and the engine pool (demotion to cold).
+    /// Callers guarantee a rebuild path exists (`dataset_hash.is_some()`).
+    /// The generation bump comes first so an engine in flight observes it
+    /// and declines to re-pool.
+    fn demote(&self) {
+        let _span = ihtl_trace::span("evict");
+        self.generation.fetch_add(1, Ordering::Release);
+        crate::lock_ok(&self.engines).clear();
+        *crate::lock_ok(&self.ihtl) = None;
+        *crate::lock_ok(&self.pb) = None;
+    }
+
+    /// The preprocessed iHTL graph: warm slot, else store load (verified;
+    /// corruption quarantines and falls through), else build + write-back.
+    /// The slot mutex is held across the whole miss path so concurrent
+    /// checkouts build once, like the `OnceLock` this slot replaces.
+    fn ihtl_graph(&self, reg: &Registry) -> Result<Arc<IhtlGraph>, String> {
+        let mut slot = crate::lock_ok(&self.ihtl);
+        if let Some(ih) = slot.as_ref() {
+            return Ok(Arc::clone(ih));
+        }
+        let Some(g) = &self.graph else {
+            return Err(format!(
                 "dataset '{}' has no graph and no iHTL image (internal inconsistency)",
                 self.name
-            )),
+            ));
+        };
+        let cfg = reg.cfg();
+        if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            if let Some(ih) = store.load_ihtl(hash, cfg) {
+                let ih = Arc::new(ih);
+                *slot = Some(Arc::clone(&ih));
+                return Ok(ih);
+            }
         }
+        let ih = Arc::new(IhtlGraph::build(g, cfg));
+        if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            // Write-back is best-effort: the store is a cache, and serving
+            // must not fail over a full or read-only disk.
+            let _ = store.save_ihtl(hash, cfg, &ih);
+        }
+        *slot = Some(Arc::clone(&ih));
+        Ok(ih)
+    }
+
+    /// The propagation-blocking layout, tiered exactly like
+    /// [`Dataset::ihtl_graph`]. The partition count is part of the store
+    /// key: the default is machine-dependent, and the bin layout bakes the
+    /// source ranges in.
+    fn pb_graph(&self, reg: &Registry) -> Result<Arc<PbGraph>, String> {
+        let mut slot = crate::lock_ok(&self.pb);
+        if let Some(pb) = slot.as_ref() {
+            return Ok(Arc::clone(pb));
+        }
+        let Some(g) = &self.graph else {
+            return Err(format!(
+                "dataset '{}' was registered from an iHTL image; only the 'ihtl' engine can \
+                 serve it",
+                self.name
+            ));
+        };
+        let cfg = reg.cfg();
+        let parts = ihtl_traversal::pull::default_parts();
+        if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            if let Some(pb) = store.load_pb(hash, cfg, parts) {
+                let pb = Arc::new(pb);
+                *slot = Some(Arc::clone(&pb));
+                return Ok(pb);
+            }
+        }
+        let pb =
+            Arc::new(PbGraph::with_parts(g, cfg.cache_budget_bytes, cfg.vertex_data_bytes, parts));
+        if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            let _ = store.save_pb(hash, cfg, parts, &pb);
+        }
+        *slot = Some(Arc::clone(&pb));
+        Ok(pb)
     }
 
     /// The symmetrized graph (for CC), building it on first use.
@@ -91,22 +215,31 @@ impl Dataset {
     }
 
     /// Checks out an engine (reusing a pooled one if available), runs `f`,
-    /// and returns the engine to the pool.
+    /// returns the engine to the pool, and lets the registry enforce its
+    /// memory budget (possibly demoting colder datasets).
     pub fn with_engine<R>(
         &self,
         kind: EngineKind,
         symmetrized: bool,
-        cfg: &IhtlConfig,
+        reg: &Registry,
         f: impl FnOnce(&mut dyn SpmvEngine) -> R,
     ) -> Result<R, String> {
+        self.last_used.store(reg.tick(), Ordering::Relaxed);
+        let generation = self.generation.load(Ordering::Acquire);
         let key = engine_key(kind, symmetrized);
         let pooled = crate::lock_ok(&self.engines).get_mut(&key).and_then(Vec::pop);
         let mut engine = match pooled {
             Some(e) => e,
-            None => self.build_engine(kind, symmetrized, cfg)?,
+            None => self.build_engine(kind, symmetrized, reg)?,
         };
         let out = f(engine.as_mut());
-        crate::lock_ok(&self.engines).entry(key).or_default().push(engine);
+        // Re-pool only if no demotion ran while we held the engine —
+        // otherwise the pool entry would keep the demoted artifacts alive
+        // through the engine's `Arc`s, defeating the eviction.
+        if self.generation.load(Ordering::Acquire) == generation {
+            crate::lock_ok(&self.engines).entry(key).or_default().push(engine);
+        }
+        reg.enforce_budget(&self.name);
         Ok(out)
     }
 
@@ -158,16 +291,27 @@ impl Dataset {
         &self,
         kind: EngineKind,
         symmetrized: bool,
-        cfg: &IhtlConfig,
+        reg: &Registry,
     ) -> Result<Box<dyn SpmvEngine + Send>, String> {
         if symmetrized {
             // iHTL over the symmetrized graph would memoise the wrong
             // IhtlGraph; build through the generic path instead.
-            return Ok(build_engine_shared(kind, self.sym_graph()?, cfg));
+            return Ok(build_engine_shared(kind, self.sym_graph()?, reg.cfg()));
         }
         match (kind, &self.graph) {
-            (EngineKind::Ihtl, _) => Ok(Box::new(ihtl_engine_from_shared(self.ihtl_graph(cfg)?))),
-            (_, Some(g)) => Ok(build_engine_shared(kind, Arc::clone(g), cfg)),
+            // The three engines whose preprocessing dominates build cost go
+            // through the tiered (store-backed, demotable) artifact slots;
+            // iHTL and hybrid share one warm IhtlGraph.
+            (EngineKind::Ihtl, _) => Ok(Box::new(ihtl_engine_from_shared(self.ihtl_graph(reg)?))),
+            (EngineKind::Hybrid, Some(_)) => {
+                Ok(Box::new(ihtl_apps::engine::hybrid_engine_from_shared(self.ihtl_graph(reg)?)))
+            }
+            (EngineKind::Pb, Some(g)) => {
+                let out_degrees: Vec<u32> =
+                    (0..g.n_vertices() as u32).map(|v| g.out_degree(v) as u32).collect();
+                Ok(Box::new(pb_engine_from_shared(self.pb_graph(reg)?, out_degrees)))
+            }
+            (_, Some(g)) => Ok(build_engine_shared(kind, Arc::clone(g), reg.cfg())),
             (_, None) => Err(format!(
                 "dataset '{}' was registered from an iHTL image; only the 'ihtl' engine can \
                  serve it",
@@ -178,20 +322,98 @@ impl Dataset {
 }
 
 /// The registry: name → dataset, plus the iHTL configuration every build
-/// uses (one config per server keeps cache keys meaningful).
+/// uses (one config per server keeps cache keys meaningful), the optional
+/// durable artifact store, and the optional warm-tier memory budget.
 pub struct Registry {
     cfg: IhtlConfig,
     map: RwLock<HashMap<String, Arc<Dataset>>>,
+    /// Durable artifact store; `None` = build-only (pre-PR-8 behaviour).
+    store: Option<Arc<BlockStore>>,
+    /// Warm-artifact byte budget; `None` = never demote.
+    mem_budget_bytes: Option<u64>,
+    /// Monotone LRU clock, advanced by every engine checkout.
+    clock: AtomicU64,
+    /// Lifetime demotion count (surfaced by `stats`).
+    evictions: AtomicU64,
 }
 
 impl Registry {
     pub fn new(cfg: IhtlConfig) -> Registry {
-        Registry { cfg, map: RwLock::new(HashMap::new()) }
+        Registry::with_store(cfg, None, None)
+    }
+
+    /// A registry with a durable store and/or a warm-tier memory budget.
+    pub fn with_store(
+        cfg: IhtlConfig,
+        store: Option<Arc<BlockStore>>,
+        mem_budget_mb: Option<u64>,
+    ) -> Registry {
+        Registry {
+            cfg,
+            map: RwLock::new(HashMap::new()),
+            store,
+            mem_budget_bytes: mem_budget_mb.map(|mb| mb.saturating_mul(1024 * 1024)),
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// The iHTL configuration used for every engine build.
     pub fn cfg(&self) -> &IhtlConfig {
         &self.cfg
+    }
+
+    /// The attached artifact store, if any.
+    pub fn store(&self) -> Option<&BlockStore> {
+        self.store.as_deref()
+    }
+
+    /// Store counters (zeros when no store is attached), for `stats`.
+    pub fn store_counters(&self) -> StoreCounters {
+        self.store.as_ref().map(|s| s.counters()).unwrap_or_default()
+    }
+
+    /// Lifetime demotion count.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Total topology bytes of warm (demotable) artifacts across datasets.
+    pub fn resident_bytes(&self) -> u64 {
+        self.list().iter().map(|d| d.resident_artifact_bytes()).sum()
+    }
+
+    /// Advances the LRU clock and returns the new tick.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Demotes least-recently-used datasets until the warm tier fits the
+    /// budget. `current_name` (the dataset just served) is exempt: it is
+    /// the MRU by definition, and demoting it would thrash the next
+    /// request on the same dataset. Image-registered datasets are pinned
+    /// (no rebuild path). If only pinned/current datasets remain warm, the
+    /// tier may stay over budget — correctness over strictness.
+    fn enforce_budget(&self, current_name: &str) {
+        let Some(budget) = self.mem_budget_bytes else {
+            return;
+        };
+        loop {
+            let datasets = self.list();
+            let total: u64 = datasets.iter().map(|d| d.resident_artifact_bytes()).sum();
+            if total <= budget {
+                return;
+            }
+            let victim = datasets
+                .iter()
+                .filter(|d| d.dataset_hash.is_some() && d.name != current_name && d.warm())
+                .min_by_key(|d| d.last_used.load(Ordering::Relaxed));
+            let Some(victim) = victim else {
+                return;
+            };
+            victim.demote();
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Looks up a registered dataset.
@@ -235,23 +457,25 @@ impl Registry {
             Loaded::Raw(g) => (Some(g), None),
             Loaded::Image(ih) => (None, Some(ih)),
         };
+        // The content hash addresses this dataset's artifacts in the store
+        // and doubles as the "demotable" marker (image-only datasets have
+        // nothing to hash and no rebuild path).
+        let dataset_hash = graph.as_deref().map(dataset_content_hash);
         let ds = Arc::new(Dataset {
             name: name.to_string(),
             source_desc: desc.clone(),
             graph,
-            ihtl: {
-                let cell = OnceLock::new();
-                if let Some(ih) = ihtl {
-                    let _ = cell.set(ih);
-                }
-                cell
-            },
+            ihtl: Mutex::new(ihtl),
+            pb: Mutex::new(None),
             sym: OnceLock::new(),
             engines: Mutex::new(HashMap::new()),
             auto_choice: [OnceLock::new(), OnceLock::new()],
             n_vertices,
             n_edges,
             load_seconds,
+            dataset_hash,
+            last_used: AtomicU64::new(0),
+            generation: AtomicU64::new(0),
         });
         let mut map = crate::write_ok(&self.map);
         // Two clients may race to register the same name; first wins, and
@@ -377,12 +601,12 @@ mod tests {
         let ds = r.register("g", &rmat_source()).unwrap();
         let n = ds.n_vertices;
         let a = ds
-            .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
+            .with_engine(EngineKind::Ihtl, false, &r, |e| {
                 run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
         let b = ds
-            .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
+            .with_engine(EngineKind::Ihtl, false, &r, |e| {
                 run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
@@ -393,12 +617,121 @@ mod tests {
         assert_eq!(ds.engines.lock().unwrap().values().map(Vec::len).sum::<usize>(), 1);
     }
 
+    fn pagerank(ds: &Dataset, r: &Registry, kind: EngineKind) -> Vec<f64> {
+        ds.with_engine(kind, false, r, |e| {
+            run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn store_amortizes_builds_across_registries() {
+        let dir = std::env::temp_dir().join(format!("ihtl_reg_store_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(BlockStore::open(&dir).unwrap());
+
+        // "Boot" 1: cold store — every tiered engine misses, builds, and
+        // writes back.
+        let r1 = Registry::with_store(cfg(), Some(Arc::clone(&store)), None);
+        let ds = r1.register("g", &rmat_source()).unwrap();
+        let a_ihtl = pagerank(&ds, &r1, EngineKind::Ihtl);
+        let a_pb = pagerank(&ds, &r1, EngineKind::Pb);
+        let a_hy = pagerank(&ds, &r1, EngineKind::Hybrid);
+        let c1 = store.counters();
+        assert_eq!(c1.hits, 0);
+        // iHTL image (shared by ihtl + hybrid) and the PB layout.
+        assert_eq!(c1.writes, 2);
+
+        // "Boot" 2: a fresh registry over the same store — zero rebuilds
+        // means zero new writes, and results stay bitwise identical.
+        let r2 = Registry::with_store(cfg(), Some(Arc::clone(&store)), None);
+        let ds2 = r2.register("g", &rmat_source()).unwrap();
+        let b_ihtl = pagerank(&ds2, &r2, EngineKind::Ihtl);
+        let b_pb = pagerank(&ds2, &r2, EngineKind::Pb);
+        let b_hy = pagerank(&ds2, &r2, EngineKind::Hybrid);
+        let c2 = store.counters();
+        assert_eq!(c2.writes, 2, "warm boot must not rebuild anything");
+        assert_eq!(c2.hits, 2);
+        for (a, b) in [(&a_ihtl, &b_ihtl), (&a_pb, &b_pb), (&a_hy, &b_hy)] {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tiny_budget_demotes_lru_and_results_stay_bitwise() {
+        let dir = std::env::temp_dir().join(format!("ihtl_reg_evict_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(BlockStore::open(&dir).unwrap());
+        // 0 MiB: any warm artifact is over budget, so every checkout of a
+        // second dataset demotes the first.
+        let r = Registry::with_store(cfg(), Some(store), Some(0));
+        let a = r.register("a", &rmat_source()).unwrap();
+        let b = r.register("b", &GraphSource::Rmat { scale: 9, edges: 4_000, seed: 11 }).unwrap();
+        let first = pagerank(&a, &r, EngineKind::Ihtl);
+        assert!(a.warm());
+        // Serving `b` pushes the tier over budget; `a` is the LRU victim.
+        let _ = pagerank(&b, &r, EngineKind::Ihtl);
+        assert!(!a.warm(), "LRU dataset must be demoted under a zero budget");
+        assert!(r.evictions() >= 1);
+        // Transparent reload: `a` still serves, bitwise identically.
+        let again = pagerank(&a, &r, EngineKind::Ihtl);
+        assert_eq!(first.len(), again.len());
+        for (x, y) in first.iter().zip(again.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        std::fs::remove_dir_all(r.store().unwrap().root()).ok();
+    }
+
+    #[test]
+    fn budget_without_store_rebuilds_instead_of_reloading() {
+        // Demotion is legal with no store attached: the rebuild path is the
+        // raw graph. Slower, but results must still be bitwise identical.
+        let r = Registry::with_store(cfg(), None, Some(0));
+        let a = r.register("a", &rmat_source()).unwrap();
+        let b = r.register("b", &GraphSource::Rmat { scale: 9, edges: 4_000, seed: 11 }).unwrap();
+        let first = pagerank(&a, &r, EngineKind::Ihtl);
+        let _ = pagerank(&b, &r, EngineKind::Ihtl);
+        assert!(!a.warm());
+        let again = pagerank(&a, &r, EngineKind::Ihtl);
+        for (x, y) in first.iter().zip(again.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn image_datasets_are_never_demoted() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ihtl_serve_pin_{:?}.blk", std::thread::current().id()));
+        {
+            let g = ihtl_graph::graph::paper_example_graph();
+            let ih = IhtlGraph::build(&g, &IhtlConfig { cache_budget_bytes: 16, ..cfg() });
+            ihtl_core::io::save_ihtl(&ih, &path).unwrap();
+        }
+        let r = Registry::with_store(IhtlConfig { cache_budget_bytes: 16, ..cfg() }, None, Some(0));
+        let img = r
+            .register("img", &GraphSource::IhtlImage { path: path.display().to_string() })
+            .unwrap();
+        let other = r.register("g", &rmat_source()).unwrap();
+        let _ = pagerank(&img, &r, EngineKind::Ihtl);
+        let _ = pagerank(&other, &r, EngineKind::Ihtl);
+        // The image dataset has no rebuild path, so it must stay warm even
+        // under a zero budget; the rebuildable dataset is the only victim.
+        assert!(img.warm());
+        let _ = pagerank(&img, &r, EngineKind::Ihtl);
+        assert!(!other.warm());
+        std::fs::remove_file(&path).ok();
+    }
+
     #[test]
     fn symmetrized_engines_serve_components() {
         let r = Registry::new(cfg());
         let ds = r.register("g", &rmat_source()).unwrap();
         let labels = ds
-            .with_engine(EngineKind::Ihtl, true, r.cfg(), |e| {
+            .with_engine(EngineKind::Ihtl, true, &r, |e| {
                 run_job(e, None, &JobSpec::Components { max_rounds: 64 }).unwrap().values
             })
             .unwrap();
@@ -419,14 +752,14 @@ mod tests {
         let ds = r.register("img", &src).unwrap();
         assert!(ds.graph().is_none());
         let ranks = ds
-            .with_engine(EngineKind::Ihtl, false, r.cfg(), |e| {
+            .with_engine(EngineKind::Ihtl, false, &r, |e| {
                 run_job(e, None, &JobSpec::PageRank { iters: 3, seed: None }).unwrap().values
             })
             .unwrap();
         assert_eq!(ranks.len(), 8);
         // Baselines need the raw graph — clear error, no panic.
-        assert!(ds.with_engine(EngineKind::PullGalois, false, r.cfg(), |_| ()).is_err());
-        assert!(ds.with_engine(EngineKind::Ihtl, true, r.cfg(), |_| ()).is_err());
+        assert!(ds.with_engine(EngineKind::PullGalois, false, &r, |_| ()).is_err());
+        assert!(ds.with_engine(EngineKind::Ihtl, true, &r, |_| ()).is_err());
         std::fs::remove_file(&path).ok();
     }
 
@@ -441,7 +774,7 @@ mod tests {
         assert_eq!(ds.auto_decisions()[0], Some(kind));
         // The chosen engine actually serves jobs.
         let vals = ds
-            .with_engine(kind, false, r.cfg(), |e| {
+            .with_engine(kind, false, &r, |e| {
                 run_job(e, None, &JobSpec::PageRank { iters: 2, seed: None }).unwrap().values
             })
             .unwrap();

@@ -51,6 +51,12 @@ pub struct ServerConfig {
     /// jobs sharing (dataset, engine, analytic, iteration budget) merge
     /// into one K-column execution; `1` disables coalescing.
     pub max_batch: usize,
+    /// Root directory of the durable artifact store (`--store-dir`);
+    /// `None` disables the store (every preprocessing is rebuilt).
+    pub store_dir: Option<String>,
+    /// Warm-artifact memory budget in MiB (`--mem-budget-mb`); `None`
+    /// keeps every artifact resident forever.
+    pub mem_budget_mb: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,8 @@ impl Default for ServerConfig {
             max_line_bytes: 1 << 20,
             idle_timeout: Some(Duration::from_secs(30)),
             max_batch: 8,
+            store_dir: None,
+            mem_budget_mb: None,
         }
     }
 }
@@ -127,8 +135,15 @@ impl Server {
     pub fn bind(cfg: ServerConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
+        // Opening the store is fallible (mkdir) and happens before any
+        // connection is accepted — a bad --store-dir fails the boot loudly
+        // instead of degrading every job quietly.
+        let store = match &cfg.store_dir {
+            Some(dir) => Some(Arc::new(ihtl_store::BlockStore::open(dir)?)),
+            None => None,
+        };
         let state = Arc::new(ServerState {
-            registry: Registry::new(cfg.ihtl_cfg.clone()),
+            registry: Registry::with_store(cfg.ihtl_cfg.clone(), store, cfg.mem_budget_mb),
             scheduler: Scheduler::new(cfg.queue_capacity, cfg.executors),
             cache: ResultCache::new(cfg.cache_capacity),
             coalescer: Coalescer::new(),
@@ -275,6 +290,7 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
                         ("n_edges", Json::from(ds.n_edges)),
                         ("load_seconds", Json::Num(ds.load_seconds)),
                         ("has_graph", Json::Bool(ds.graph().is_some())),
+                        ("warm", Json::Bool(ds.warm())),
                     ])
                 })
                 .collect();
@@ -312,6 +328,18 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
                     })
                     .collect();
                 pairs.push(("auto_engines".to_string(), Json::Arr(autos)));
+                // Durable-store and warm-tier counters. Always present
+                // (zeros without a store) so the wire shape is stable.
+                let sc = state.registry.store_counters();
+                pairs.push(("store_hits".to_string(), Json::from(sc.hits)));
+                pairs.push(("store_misses".to_string(), Json::from(sc.misses)));
+                pairs.push(("store_writes".to_string(), Json::from(sc.writes)));
+                pairs.push(("store_quarantined".to_string(), Json::from(sc.quarantined)));
+                pairs.push(("evictions".to_string(), Json::from(state.registry.evictions())));
+                pairs.push((
+                    "resident_artifact_bytes".to_string(),
+                    Json::from(state.registry.resident_bytes()),
+                ));
             }
             ok_reply(id, body)
         }
@@ -631,7 +659,7 @@ fn execute_batch(
     for chunk in live.chunks(max_batch.max(1)) {
         let _span = ihtl_trace::span("batch").with_arg(chunk.len() as u64);
         let specs: Vec<JobSpec> = chunk.iter().map(|m| m.spec().clone()).collect();
-        let ran = ds.with_engine(engine, false, state.registry.cfg(), |e| run_job_multi(e, &specs));
+        let ran = ds.with_engine(engine, false, &state.registry, |e| run_job_multi(e, &specs));
         let results = match ran {
             Ok(results) => results,
             Err(msg) => {
@@ -820,7 +848,7 @@ fn run_analytic(
             ds.name
         ));
     }
-    let out = ds.with_engine(engine, spec.needs_symmetrized(), state.registry.cfg(), |e| {
+    let out = ds.with_engine(engine, spec.needs_symmetrized(), &state.registry, |e| {
         run_job(e, graph.as_deref(), spec)
     })??;
     // Attribute traversal work: each round touches every edge once.
@@ -878,14 +906,11 @@ fn job_body(
 /// FNV-1a over the little-endian bit patterns of the vector, rendered as
 /// 16 hex digits. Equal checksums across runs ⇒ bitwise-equal results.
 pub fn fnv1a_checksum(values: &[f64]) -> String {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = ihtl_graph::io::Fnv1a::new();
     for v in values {
-        for b in v.to_bits().to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
+        h.write(&v.to_bits().to_le_bytes());
     }
-    format!("{h:016x}")
+    format!("{:016x}", h.finish())
 }
 
 #[cfg(test)]

@@ -26,6 +26,9 @@
 //! schedule-independent: no matter which worker runs a range, the bytes
 //! land in the same places.
 
+use std::io::{self, Write};
+use std::path::Path;
+
 use ihtl_graph::partition::{edge_balanced_ranges, VertexRange};
 use ihtl_graph::{EdgeIndex, Graph, VertexId};
 
@@ -257,6 +260,235 @@ impl PbGraph {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Binary persistence (`IHTLPBG1`) — the PB layout joins the workspace's
+// binary format family (see `ihtl_graph::io` for the shared doctrine:
+// atomic writes, checksum trailer, legacy passthrough). The loader
+// re-validates every invariant the unsafe traversal kernels rely on, so a
+// corrupted or adversarial image can only ever produce `InvalidData`.
+// ---------------------------------------------------------------------------
+
+const PB_MAGIC: &[u8; 8] = b"IHTLPBG1";
+
+fn pb_invalid(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Bounds-checked reader (the pb.rs sibling of `ihtl-core`'s loader
+/// cursor): every read validates the remaining length first, and element
+/// counts are rejected before allocation unless their payload fits in the
+/// remaining bytes.
+struct PbReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> PbReader<'a> {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize, what: &str) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(pb_invalid(format!("truncated {what}")));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self, what: &str) -> io::Result<u64> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.take(8, what)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Reads a `u64` element count of `elem_bytes`-sized items, rejecting
+    /// values whose payload cannot fit in the remaining bytes so
+    /// allocations stay bounded by the file size.
+    fn count(&mut self, elem_bytes: usize, what: &str) -> io::Result<usize> {
+        let v = self.u64(what)?;
+        let v = usize::try_from(v).map_err(|_| pb_invalid(format!("{what} too large")))?;
+        if v.checked_mul(elem_bytes).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(pb_invalid(format!("{what} larger than remaining bytes")));
+        }
+        Ok(v)
+    }
+
+    fn u32s(&mut self, count: usize, what: &str) -> io::Result<Vec<u32>> {
+        if count.checked_mul(4).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(pb_invalid(format!("{what} larger than remaining bytes")));
+        }
+        let raw = self.take(count * 4, what)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(c);
+                u32::from_le_bytes(b)
+            })
+            .collect())
+    }
+
+    fn u64s(&mut self, count: usize, what: &str) -> io::Result<Vec<u64>> {
+        if count.checked_mul(8).is_none_or(|bytes| bytes > self.remaining()) {
+            return Err(pb_invalid(format!("{what} larger than remaining bytes")));
+        }
+        let raw = self.take(count * 8, what)?;
+        Ok(raw
+            .chunks_exact(8)
+            .map(|c| {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(c);
+                u64::from_le_bytes(b)
+            })
+            .collect())
+    }
+}
+
+/// Streams the `IHTLPBG1` payload (no trailer) to `w`.
+pub fn write_pb(pb: &PbGraph, w: &mut dyn Write) -> io::Result<()> {
+    w.write_all(PB_MAGIC)?;
+    for v in [
+        pb.n as u64,
+        pb.m as u64,
+        pb.seg_shift as u64,
+        pb.n_segments as u64,
+        pb.ranges.len() as u64,
+    ] {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    for r in &pb.ranges {
+        w.write_all(&r.start.to_le_bytes())?;
+        w.write_all(&r.end.to_le_bytes())?;
+    }
+    for &o in &pb.src_offsets {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &o in &pb.bin_offsets {
+        w.write_all(&o.to_le_bytes())?;
+    }
+    for &d in &pb.binned_dst {
+        w.write_all(&d.to_le_bytes())?;
+    }
+    for &p in &pb.edge_pos {
+        w.write_all(&p.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Writes the PB layout to `path`: atomically (sibling temp + rename) and
+/// with an FNV-1a-64 checksum trailer (see `ihtl_graph::io::save_atomic`).
+pub fn save_pb(pb: &PbGraph, path: &Path) -> io::Result<()> {
+    ihtl_graph::io::save_atomic(path, |w| write_pb(pb, w))
+}
+
+/// Reads a PB layout previously written by [`save_pb`].
+pub fn load_pb(path: &Path) -> io::Result<PbGraph> {
+    load_pb_bytes(&std::fs::read(path)?)
+}
+
+/// Parses an `IHTLPBG1` image from memory, re-validating every invariant
+/// the unsafe [`PbGraph::spmm`] kernels rely on: ranges tiling `0..n`
+/// ascending, monotone offset arrays spanning the edge set, bin contents
+/// confined to their segment, and `edge_pos` a *permutation* of `0..m`
+/// (the scratch-reuse optimisation requires every slot to be overwritten
+/// each sweep). Corrupted input yields `InvalidData`, never a panic.
+pub fn load_pb_bytes(data: &[u8]) -> io::Result<PbGraph> {
+    let payload = ihtl_graph::io::verify_trailer(data)?;
+    let mut r = PbReader { data: payload, pos: 0 };
+    if r.take(8, "magic")? != PB_MAGIC {
+        return Err(pb_invalid("bad magic (not an IHTLPBG1 image)"));
+    }
+    let n = usize::try_from(r.u64("n_vertices")?).map_err(|_| pb_invalid("n_vertices"))?;
+    let m = usize::try_from(r.u64("n_edges")?).map_err(|_| pb_invalid("n_edges"))?;
+    if n > u32::MAX as usize || m > u32::MAX as usize {
+        return Err(pb_invalid("vertex/edge count exceeds u32"));
+    }
+    let seg_shift_raw = r.u64("seg_shift")?;
+    if seg_shift_raw >= usize::BITS as u64 {
+        return Err(pb_invalid("seg_shift out of range"));
+    }
+    let seg_shift = seg_shift_raw as u32;
+    let seg_len = 1usize << seg_shift;
+    let n_segments = usize::try_from(r.u64("n_segments")?).map_err(|_| pb_invalid("n_segments"))?;
+    if n_segments != n.div_ceil(seg_len).max(1) {
+        return Err(pb_invalid("n_segments inconsistent with n and seg_shift"));
+    }
+    let n_ranges = r.count(8, "n_ranges")?;
+    if n_ranges == 0 {
+        return Err(pb_invalid("no source ranges"));
+    }
+    let range_words = r.u32s(n_ranges * 2, "ranges")?;
+    let mut ranges = Vec::with_capacity(n_ranges);
+    let mut words = range_words.iter();
+    while let (Some(&start), Some(&end)) = (words.next(), words.next()) {
+        ranges.push(VertexRange { start, end });
+    }
+    let mut expect_start = 0u32;
+    for range in &ranges {
+        if range.start != expect_start || range.end < range.start {
+            return Err(pb_invalid("ranges do not tile 0..n ascending"));
+        }
+        expect_start = range.end;
+    }
+    if expect_start as usize != n {
+        return Err(pb_invalid("ranges do not end at n"));
+    }
+    let src_offsets: Vec<EdgeIndex> = r.u64s(n + 1, "src_offsets")?;
+    if src_offsets.first() != Some(&0) || src_offsets.last() != Some(&(m as EdgeIndex)) {
+        return Err(pb_invalid("src_offsets do not span the edge array"));
+    }
+    if src_offsets.iter().zip(src_offsets.iter().skip(1)).any(|(a, b)| a > b) {
+        return Err(pb_invalid("src_offsets not monotone"));
+    }
+    let n_bins = n_ranges
+        .checked_mul(n_segments)
+        .and_then(|b| b.checked_add(1))
+        .ok_or_else(|| pb_invalid("bin count overflow"))?;
+    let bin_offsets: Vec<EdgeIndex> = r.u64s(n_bins, "bin_offsets")?;
+    if bin_offsets.first() != Some(&0) || bin_offsets.last() != Some(&(m as EdgeIndex)) {
+        return Err(pb_invalid("bin_offsets do not span the edge slots"));
+    }
+    if bin_offsets.iter().zip(bin_offsets.iter().skip(1)).any(|(a, b)| a > b) {
+        return Err(pb_invalid("bin_offsets not monotone"));
+    }
+    let binned_dst: Vec<VertexId> = r.u32s(m, "binned_dst")?;
+    // Every destination in bin (r, s) must lie inside segment s — the merge
+    // kernel subtracts the segment base without checking.
+    for (b, (&lo, &hi)) in bin_offsets.iter().zip(bin_offsets.iter().skip(1)).enumerate() {
+        let s = b % n_segments;
+        let (lo, hi) = (lo as usize, hi as usize);
+        for &dst in &binned_dst[lo..hi] {
+            if dst as usize >= n || (dst as usize) >> seg_shift != s {
+                return Err(pb_invalid("binned destination outside its segment"));
+            }
+        }
+    }
+    let edge_pos: Vec<u32> = r.u32s(m, "edge_pos")?;
+    let mut seen = vec![false; m];
+    for &p in &edge_pos {
+        let p = p as usize;
+        if p >= m || std::mem::replace(&mut seen[p], true) {
+            return Err(pb_invalid("edge_pos is not a permutation of the edge slots"));
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(pb_invalid("trailing bytes after edge_pos"));
+    }
+    Ok(PbGraph {
+        n,
+        m,
+        seg_shift,
+        n_segments,
+        ranges,
+        src_offsets,
+        bin_offsets,
+        binned_dst,
+        edge_pos,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,6 +606,89 @@ mod tests {
         let mut scratch = Vec::new();
         pb.spmv::<Add>(&[0.0; 3], &mut y, &mut scratch);
         assert_eq!(y, vec![0.0; 3]);
+    }
+
+    fn image_of(pb: &PbGraph) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_pb(pb, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn persistence_roundtrip_is_bitwise() {
+        let mut rng = Pcg64::seed_from_u64(0x7b_60);
+        let dir = std::env::temp_dir().join(format!("ihtl_pb_io_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        for case in 0..8 {
+            let n = 2 + rng.gen_index(90);
+            let m = rng.gen_index(4 * n + 1);
+            let g = random_graph(&mut rng, n, m);
+            let pb = PbGraph::with_parts(&g, 8 << rng.gen_index(5), 8, 1 + rng.gen_index(6));
+            let path = dir.join(format!("case{case}.pb"));
+            save_pb(&pb, &path).unwrap();
+            let re = load_pb(&path).unwrap();
+            // The loaded layout must be field-for-field identical...
+            assert_eq!(re.n, pb.n);
+            assert_eq!(re.m, pb.m);
+            assert_eq!(re.seg_shift, pb.seg_shift);
+            assert_eq!(re.n_segments, pb.n_segments);
+            assert_eq!(re.ranges, pb.ranges);
+            assert_eq!(re.src_offsets, pb.src_offsets);
+            assert_eq!(re.bin_offsets, pb.bin_offsets);
+            assert_eq!(re.binned_dst, pb.binned_dst);
+            assert_eq!(re.edge_pos, pb.edge_pos);
+            // ...and traverse bitwise-identically.
+            let x = x_for(n);
+            let (mut a, mut b) = (vec![f64::NAN; n], vec![f64::NAN; n]);
+            let mut scratch = Vec::new();
+            pb.spmv::<Add>(&x, &mut a, &mut scratch);
+            let mut scratch2 = Vec::new();
+            re.spmv::<Add>(&x, &mut b, &mut scratch2);
+            assert_bitwise(&a, &b, &format!("case {case}"));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_rejects_truncation_at_every_prefix() {
+        let g = ihtl_graph::graph::paper_example_graph();
+        let pb = PbGraph::with_parts(&g, 16, 8, 3);
+        let full = image_of(&pb);
+        assert!(load_pb_bytes(&full).is_ok());
+        for cut in 0..full.len() {
+            assert!(load_pb_bytes(&full[..cut]).is_err(), "cut at {cut} accepted");
+        }
+    }
+
+    #[test]
+    fn load_rejects_broken_kernel_invariants() {
+        let g = ihtl_graph::graph::paper_example_graph();
+        let pb = PbGraph::with_parts(&g, 16, 8, 2);
+        let base = image_of(&pb);
+        assert!(load_pb_bytes(&base).is_ok());
+        // Each mutation breaks one invariant the unsafe kernels rely on;
+        // images are rebuilt by hand (no trailer → structural checks are
+        // the only line of defence, exactly the legacy-image threat model).
+        let m = pb.m;
+        // edge_pos duplicate: two edges sharing a slot breaks scratch reuse.
+        let mut img = base.clone();
+        let ep_off = img.len() - m * 4;
+        img.copy_within(ep_off..ep_off + 4, ep_off + 4);
+        assert!(load_pb_bytes(&img).is_err(), "duplicate edge_pos accepted");
+        // Out-of-segment destination.
+        let mut img = base.clone();
+        let bd_off = img.len() - 2 * m * 4;
+        img[bd_off] ^= 0x07;
+        assert!(load_pb_bytes(&img).is_err(), "out-of-segment destination accepted");
+        // Non-monotone src_offsets: corrupt the second offset to be huge.
+        let mut img = base.clone();
+        let so_off = 48 + pb.ranges.len() * 8 + 8;
+        img[so_off + 7] = 0xff;
+        assert!(load_pb_bytes(&img).is_err(), "non-monotone src_offsets accepted");
+        // Wrong n_segments for the stored seg_shift.
+        let mut img = base.clone();
+        img[24] ^= 0x01;
+        assert!(load_pb_bytes(&img).is_err(), "inconsistent n_segments accepted");
     }
 
     #[test]

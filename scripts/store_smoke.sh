@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Durable-store smoke test: boot `ihtl-serve` twice against one temp
+# --store-dir. The first boot builds the iHTL image (traced job shows an
+# `ihtl_build` span) and persists it (`store_write`); the second boot must
+# reload it (`store_load` span, `store_hits` > 0, NO `ihtl_build`) and
+# serve a bitwise-identical checksum. Records preprocessing-vs-load wall
+# time into results/store_smoke.md. Offline, < 30 s from a warm build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SERVE=target/release/ihtl-serve
+CLI=target/release/ihtl-cli
+if [[ ! -x "$SERVE" || ! -x "$CLI" ]]; then
+    echo "==> building serve binaries (release)"
+    cargo build --release --offline -p ihtl-serve
+fi
+
+workdir=$(mktemp -d)
+store_dir="$workdir/store"
+
+cleanup() {
+    if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+        kill "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# boot <tag>: start a server against $store_dir, export $addr/$server_pid.
+boot() {
+    local tag=$1
+    local port_file="$workdir/port.$tag"
+    "$SERVE" --addr 127.0.0.1:0 --port-file "$port_file" --store-dir "$store_dir" \
+        >"$workdir/server.$tag.log" 2>&1 &
+    server_pid=$!
+    for _ in $(seq 1 100); do
+        [[ -s "$port_file" ]] && break
+        kill -0 "$server_pid" 2>/dev/null \
+            || { cat "$workdir/server.$tag.log"; echo "server died"; exit 1; }
+        sleep 0.1
+    done
+    [[ -s "$port_file" ]] || { echo "server never wrote its port"; exit 1; }
+    addr="127.0.0.1:$(cat "$port_file")"
+    echo "    [$tag] listening on $addr (store: $store_dir)"
+}
+
+stop() {
+    "$CLI" --addr "$addr" shutdown >/dev/null
+    for _ in $(seq 1 100); do
+        kill -0 "$server_pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "$server_pid" 2>/dev/null && { echo "server did not exit"; exit 1; }
+    unset server_pid
+}
+
+# run_traced: register the dataset, run one traced uncached PageRank, and
+# export $checksum, $trace, $elapsed_ms, $stats for the caller's asserts.
+run_traced() {
+    "$CLI" --addr "$addr" register smoke --rmat-scale 12 --edges 40000 --seed 7 >/dev/null
+    local t0 t1 reply trace_id
+    t0=$(date +%s%3N)
+    reply=$("$CLI" --addr "$addr" job smoke pagerank --iters 10 --engine ihtl \
+        --nocache --trace)
+    t1=$(date +%s%3N)
+    elapsed_ms=$((t1 - t0))
+    checksum=$(sed 's/.*"checksum":"\([0-9a-f]*\)".*/\1/' <<<"$reply")
+    trace_id=$(sed 's/.*"trace_id":\([0-9]*\).*/\1/' <<<"$reply")
+    [[ -n "$checksum" && -n "$trace_id" ]] \
+        || { echo "job reply missing checksum/trace_id: $reply"; exit 1; }
+    trace=$("$CLI" --addr "$addr" trace "$trace_id")
+    stats=$("$CLI" --addr "$addr" stats)
+}
+
+echo "==> boot 1 (cold store): must build and persist the iHTL image"
+boot cold
+run_traced
+cold_ms=$elapsed_ms
+cold_sum=$checksum
+grep -q '"name":"ihtl_build"' <<<"$trace" \
+    || { echo "cold-boot trace must contain an ihtl_build span"; exit 1; }
+grep -q '"name":"store_write"' <<<"$trace" \
+    || { echo "cold-boot trace must contain a store_write span"; exit 1; }
+grep -q '"store_hits":0' <<<"$stats" || { echo "an empty store cannot hit"; exit 1; }
+grep -q '"store_writes":0' <<<"$stats" && { echo "cold boot must write artifacts"; exit 1; }
+stop
+echo "    built + persisted in ${cold_ms} ms, checksum $cold_sum"
+
+echo "==> boot 2 (warm store): must load, not rebuild"
+boot warm
+run_traced
+warm_ms=$elapsed_ms
+grep -q '"name":"ihtl_build"' <<<"$trace" \
+    && { echo "warm-boot trace must NOT contain ihtl_build (rebuild!)"; exit 1; }
+grep -q '"name":"store_load"' <<<"$trace" \
+    || { echo "warm-boot trace must contain a store_load span"; exit 1; }
+grep -q '"store_hits":0' <<<"$stats" && { echo "warm boot must report store hits"; exit 1; }
+grep -q '"store_writes":0' <<<"$stats" || { echo "warm boot must not rewrite artifacts"; exit 1; }
+[[ "$checksum" == "$cold_sum" ]] \
+    || { echo "checksums differ across boots: $cold_sum vs $checksum"; exit 1; }
+stop
+echo "    loaded in ${warm_ms} ms, checksum matches"
+
+mkdir -p results
+{
+    echo "# Durable store smoke: preprocessing vs load"
+    echo
+    echo "R-MAT scale 12 (~40k edges), PageRank x10 on the iHTL engine,"
+    echo "first uncached traced job after boot (registration excluded)."
+    echo
+    echo "| boot | path | wall time (ms) |"
+    echo "|------|------|----------------|"
+    echo "| 1 (cold store) | ihtl_build + store_write | $cold_ms |"
+    echo "| 2 (warm store) | store_load | $warm_ms |"
+} >results/store_smoke.md
+echo "    wrote results/store_smoke.md"
+
+echo "OK: store smoke (cold build+persist, warm load, zero rebuilds, bitwise-equal)"

@@ -35,7 +35,10 @@ cargo run --offline --release --example quickstart
 echo "==> scripts/serve_smoke.sh (serving-layer cold-start smoke test)"
 bash scripts/serve_smoke.sh
 
+echo "==> scripts/store_smoke.sh (durable-store two-boot amortization smoke test)"
+bash scripts/store_smoke.sh
+
 echo "==> scripts/bench.sh --samples 3 --max-regress 15 (perf + SpMM + engine-selection gates)"
 bash scripts/bench.sh --samples 3 --max-regress 15 --trace-ab --spmm --engines --engines-gate 10
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke, perf + engine gates"
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke, store smoke, perf + engine gates"
