@@ -3,11 +3,16 @@
 //! Three phases per iteration:
 //!
 //! 1. **Push over flipped blocks** — tasks are (block × source-chunk) pairs;
-//!    each pool worker scatters into its *private* hub buffer, so "the
-//!    parallel for loop … does not require synchronization between threads"
-//!    (§3.4). Reads of source data are sequential; the random writes land in
-//!    a buffer sized to the cache budget.
-//! 2. **Buffer merge** — parallel over hubs, sequential over threads
+//!    tasks are partitioned into fixed contiguous *lanes*, and each lane
+//!    scatters into its private hub buffer, so "the parallel for loop …
+//!    does not require synchronization between threads" (§3.4). Reads of
+//!    source data are sequential; the random writes land in a buffer sized
+//!    to the cache budget. Buffers are keyed by lane — a pure function of
+//!    the task index — not by the claiming worker, so the merge's f64
+//!    combine grouping (and hence the bitwise result) is independent of OS
+//!    scheduling. The serve layer's checksum cache, batch coalescing, and
+//!    replay tests all rely on that reproducibility.
+//! 2. **Buffer merge** — parallel over hubs, sequential over lanes
 //!    (Algorithm 3 lines 5–7). Table 5 shows this costs < 2.5 % of time.
 //! 3. **Pull over the sparse block** — edge-balanced parallel ranges of
 //!    non-hub destinations (Algorithm 3 lines 8–10).
@@ -20,29 +25,40 @@ use ihtl_traversal::Monoid;
 
 use crate::graph::IhtlGraph;
 
-/// One worker's private hub buffer plus its dirty-segment stamps.
+/// One lane's private hub buffer plus its dirty-segment stamps.
 struct WorkerBuf {
     /// `n_hubs * cols` slots, `cols` interleaved per hub; block `b`'s
     /// segment spans `[hub_start_b * cols, hub_end_b * cols)`.
     data: Vec<f64>,
     /// Per-block generation stamp: `block_gen[b]` equals the buffers'
-    /// current generation iff this worker wrote into block `b`'s segment
+    /// current generation iff this lane wrote into block `b`'s segment
     /// this iteration (the segment is *dirty*). Stale stamps mean the
     /// segment holds garbage from an earlier iteration and is reset lazily
     /// on first touch — never read by the merge.
     block_gen: Vec<u64>,
 }
 
-/// Per-worker hub buffers, reused across iterations ("each thread buffers
+/// Per-lane hub buffers, reused across iterations ("each thread buffers
 /// H · #FB vertex data", §3.4). One buffer per ihtl-parallel pool worker
-/// plus one for the calling thread.
+/// plus one for the calling thread; the push phase statically partitions
+/// its tasks into that many contiguous *lanes*, each owning one buffer.
+///
+/// Keying buffers by lane rather than by the dynamically-claiming worker
+/// is what makes iHTL results bitwise-deterministic: the f64 merge folds
+/// per-lane partials in ascending lane order, and lane membership is a
+/// pure function of the task index — never of which worker the pool's
+/// chunk counter happened to hand a task to. (With worker-keyed buffers
+/// the combine *grouping* varied run-to-run under a multi-thread pool,
+/// producing ULP-level divergence that broke serve-layer checksum
+/// comparisons.) Results remain a function of the configured thread count,
+/// which sets the lane count.
 ///
 /// Reset and merge are *dirty-tracked*: a generation counter is bumped once
-/// per iteration, and each (worker × flipped-block) segment is stamped when
+/// per iteration, and each (lane × flipped-block) segment is stamped when
 /// first written. Reset happens lazily per dirty segment inside the push
 /// phase, and the merge phase skips clean segments entirely — on skewed
-/// graphs most workers touch only a few blocks, so both phases scale with
-/// the segments actually written rather than `n_workers × n_hubs`.
+/// graphs most lanes touch only a few blocks, so both phases scale with
+/// the segments actually written rather than `n_lanes × n_hubs`.
 pub struct ThreadBuffers {
     bufs: Vec<UnsafeCell<WorkerBuf>>,
     /// Bumped at the start of every iteration; compares against
@@ -55,12 +71,12 @@ pub struct ThreadBuffers {
     cols: usize,
 }
 
-// SAFETY: each pool worker accesses only the buffer at its own unique
-// thread index (plus slot 0 for sequential paths outside any parallel
-// region); worker indices are distinct within a region and tasks on one
-// worker run sequentially, so no slot is ever aliased concurrently. The
-// merge phase reads all buffers only after the push region has completed
-// (region completion is a happens-before edge).
+// SAFETY: during the push phase each lane index is handed to exactly one
+// `par_for_each` closure invocation (the pool's chunk counter gives out
+// each index once), so `lane_buffer` never aliases a `WorkerBuf`
+// concurrently; one invocation runs on one thread sequentially. The merge
+// phase reads all buffers only after the push region has completed (region
+// completion is a happens-before edge).
 unsafe impl Sync for ThreadBuffers {}
 
 impl ThreadBuffers {
@@ -93,12 +109,12 @@ impl ThreadBuffers {
         }
     }
 
-    /// Number of per-thread buffers.
+    /// Number of lane buffers (= pool workers + 1 for the caller).
     pub fn n_buffers(&self) -> usize {
         self.bufs.len()
     }
 
-    /// Hub slots per thread (independent of the column count).
+    /// Hub slots per lane (independent of the column count).
     pub fn width(&self) -> usize {
         self.n_hubs
     }
@@ -108,41 +124,36 @@ impl ThreadBuffers {
         self.cols
     }
 
-    /// Dirty stamps per thread (one per flipped block).
+    /// Dirty stamps per lane (one per flipped block).
     pub fn n_blocks(&self) -> usize {
         self.n_blocks
     }
 
-    #[inline]
-    fn slot_index() -> usize {
-        // Pool workers get 1.., sequential execution outside a region gets 0.
-        ihtl_parallel::current_thread_index().map_or(0, |i| i + 1)
-    }
-
-    /// The calling worker's private buffer.
+    /// Lane `lane`'s private buffer (push phase).
     ///
     /// # Safety contract (internal)
-    /// Must only be called from code scheduled such that one thread maps to
-    /// one index — guaranteed by ihtl-parallel, whose worker indices are
-    /// distinct within a region and `None` outside one.
+    /// Must only be called with a lane index this invocation exclusively
+    /// owns — guaranteed when lanes are the unit of parallel scheduling:
+    /// `par_for_each` over the lane partition hands each index to exactly
+    /// one closure invocation, and invocations run sequentially per thread.
     #[inline]
     #[allow(clippy::mut_from_ref)]
-    fn my_buffer(&self) -> &mut WorkerBuf {
-        unsafe { &mut *self.bufs[Self::slot_index()].get() }
+    fn lane_buffer(&self, lane: usize) -> &mut WorkerBuf {
+        unsafe { &mut *self.bufs[lane].get() }
     }
 
-    /// Whether worker `t` dirtied block `b` this generation (merge phase).
+    /// Whether lane `t` dirtied block `b` this generation (merge phase).
     #[inline]
     fn is_dirty(&self, t: usize, b: usize) -> bool {
-        // SAFETY: shared read of worker `t`'s stamp array. Stamps are
-        // written only by their owning worker inside the push region, and
+        // SAFETY: shared read of lane `t`'s stamp array. Stamps are
+        // written only by their owning lane inside the push region, and
         // the region barrier (pool `remaining == 0`) happens-before every
         // merge-phase call, so no write is concurrent with this read.
         let wb: &WorkerBuf = unsafe { &*self.bufs[t].get() };
         wb.block_gen[b] == self.generation
     }
 
-    /// Reads flat slot `slot` (`hub * cols + column`) of thread `t` without
+    /// Reads flat slot `slot` (`hub * cols + column`) of lane `t` without
     /// bounds checks (merge phase).
     ///
     /// # Safety
@@ -162,7 +173,7 @@ impl ThreadBuffers {
         self.generation = self.generation.wrapping_add(1);
     }
 
-    /// Number of (worker × block) segments written this generation.
+    /// Number of (lane × block) segments written this generation.
     fn count_dirty_segments(&self) -> usize {
         (0..self.bufs.len())
             .map(|t| (0..self.n_blocks).filter(|&b| self.is_dirty(t, b)).count())
@@ -181,10 +192,10 @@ pub struct ExecBreakdown {
     pub merge_seconds: f64,
     /// Pull phase over the sparse block.
     pub pull_seconds: f64,
-    /// (worker × flipped-block) buffer segments actually written this
+    /// (lane × flipped-block) buffer segments actually written this
     /// iteration — the segments reset and merged under dirty tracking.
     pub dirty_segments: usize,
-    /// Total (worker × flipped-block) segments; `dirty / total` is the
+    /// Total (lane × flipped-block) segments; `dirty / total` is the
     /// fraction of buffer space the full-reset scheme would have swept.
     pub total_segments: usize,
 }
@@ -217,12 +228,12 @@ impl ExecBreakdown {
 }
 
 impl IhtlGraph {
-    /// Allocates reusable per-thread buffers sized for this graph.
+    /// Allocates reusable per-lane buffers sized for this graph.
     pub fn new_buffers(&self) -> ThreadBuffers {
         ThreadBuffers::new(self.n_hubs, self.blocks.len())
     }
 
-    /// Allocates per-thread buffers for `k`-column SpMM over this graph.
+    /// Allocates per-lane buffers for `k`-column SpMM over this graph.
     pub fn new_buffers_multi(&self, k: usize) -> ThreadBuffers {
         ThreadBuffers::with_cols(self.n_hubs, self.blocks.len(), k)
     }
@@ -257,49 +268,58 @@ impl IhtlGraph {
         bufs.begin_iteration();
         let gen = bufs.generation;
         // Precomputed (block, source-chunk) tasks, edge-balanced within each
-        // block so skewed rows don't serialise.
-        ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
-            let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
-            let blk = &self.blocks[b as usize];
-            let base = blk.hub_start as usize;
-            let wb = bufs.my_buffer();
-            if wb.block_gen[b as usize] != gen {
-                // First touch of this block by this worker this iteration:
-                // reset exactly its segment of the buffer.
-                wb.block_gen[b as usize] = gen;
-                for slot in &mut wb.data[base..blk.hub_end as usize] {
-                    *slot = M::identity();
-                }
-            }
-            // Rows are compacted to feeding sources, so every iteration
-            // does real work — no empty-row scan. Source reads follow the
-            // ascending `srcs` map (hardware-prefetched) and the random
-            // scatter lands in the cache-budget-sized buffer, so no
-            // software prefetch is needed in this phase. Rows are
-            // consecutive, so each row's end offset is carried forward as
-            // the next row's start.
-            let offsets = blk.edges.offsets();
-            let targets = blk.edges.targets();
-            debug_assert!((range.end as usize) <= blk.srcs.len());
-            let mut s = offsets[range.start as usize] as usize;
-            for row in range.iter() {
-                // SAFETY: push-task ranges lie within the block's compacted
-                // rows and offsets are monotone ending at `targets.len()`;
-                // `srcs[row] < n_active <= n == x.len()`; targets are
-                // block-local hub indices `< n_block_hubs`, so `base + local
-                // < hub_end <= n_hubs == wb.data.len()`.
-                unsafe {
-                    let e = *offsets.get_unchecked(row as usize + 1) as usize;
-                    let u = *blk.srcs.get_unchecked(row as usize);
-                    debug_assert!((u as usize) < x.len());
-                    let xu = *x.get_unchecked(u as usize);
-                    for &local in targets.get_unchecked(s..e) {
-                        let slot = base + local as usize;
-                        debug_assert!(slot < wb.data.len());
-                        let p = wb.data.get_unchecked_mut(slot);
-                        *p = M::combine(*p, xu);
+        // block so skewed rows don't serialise. Tasks are partitioned into
+        // one contiguous lane per buffer: lane membership is a pure function
+        // of the task index, so the merge's combine grouping — and hence
+        // the bitwise f64 result — does not depend on which worker the
+        // pool's chunk counter handed a lane to. Equal task counts stay
+        // edge-balanced because the tasks themselves are.
+        let lanes = lane_partition(self.push_tasks.len(), bufs.n_buffers());
+        ihtl_parallel::par_for_each(&lanes, 1, |lane, tasks| {
+            let wb = bufs.lane_buffer(lane);
+            for &(b, range) in &self.push_tasks[tasks.clone()] {
+                let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
+                let blk = &self.blocks[b as usize];
+                let base = blk.hub_start as usize;
+                if wb.block_gen[b as usize] != gen {
+                    // First touch of this block by this lane this iteration:
+                    // reset exactly its segment of the buffer.
+                    wb.block_gen[b as usize] = gen;
+                    for slot in &mut wb.data[base..blk.hub_end as usize] {
+                        *slot = M::identity();
                     }
-                    s = e;
+                }
+                // Rows are compacted to feeding sources, so every iteration
+                // does real work — no empty-row scan. Source reads follow the
+                // ascending `srcs` map (hardware-prefetched) and the random
+                // scatter lands in the cache-budget-sized buffer, so no
+                // software prefetch is needed in this phase. Rows are
+                // consecutive, so each row's end offset is carried forward as
+                // the next row's start.
+                let offsets = blk.edges.offsets();
+                let targets = blk.edges.targets();
+                debug_assert!((range.end as usize) <= blk.srcs.len());
+                let mut s = offsets[range.start as usize] as usize;
+                for row in range.iter() {
+                    // SAFETY: push-task ranges lie within the block's
+                    // compacted rows and offsets are monotone ending at
+                    // `targets.len()`; `srcs[row] < n_active <= n ==
+                    // x.len()`; targets are block-local hub indices
+                    // `< n_block_hubs`, so `base + local < hub_end <=
+                    // n_hubs == wb.data.len()`.
+                    unsafe {
+                        let e = *offsets.get_unchecked(row as usize + 1) as usize;
+                        let u = *blk.srcs.get_unchecked(row as usize);
+                        debug_assert!((u as usize) < x.len());
+                        let xu = *x.get_unchecked(u as usize);
+                        for &local in targets.get_unchecked(s..e) {
+                            let slot = base + local as usize;
+                            debug_assert!(slot < wb.data.len());
+                            let p = wb.data.get_unchecked_mut(slot);
+                            *p = M::combine(*p, xu);
+                        }
+                        s = e;
+                    }
                 }
             }
         });
@@ -323,10 +343,12 @@ impl IhtlGraph {
                 for slot in out.iter_mut() {
                     *slot = M::identity();
                 }
-                // Sequential over workers (ascending, as Algorithm 3 lines
-                // 5–7), skipping segments no worker wrote: a clean segment
+                // Sequential over lanes (ascending, as Algorithm 3 lines
+                // 5–7), skipping segments no lane wrote: a clean segment
                 // contributed exactly the identity under full reset, so
                 // skipping it preserves the result and the combine order.
+                // Lane membership is schedule-independent, so this fold's
+                // grouping — and the bitwise result — is too.
                 for t in 0..n_bufs {
                     if !bufs.is_dirty(t, b as usize) {
                         continue;
@@ -379,9 +401,10 @@ impl IhtlGraph {
     /// cache line for `k <= 8`), the merge folds `k`-wide segments, and the
     /// sparse pull amortises each neighbour gather over `k` accumulators.
     /// Per column the combine sequence is exactly the one [`IhtlGraph::spmv`]
-    /// would perform under the same chunk→worker assignment, so results
-    /// match K solo runs bitwise under the workspace's determinism
-    /// discipline (exact inputs for `Add`, any values for `Min`/`Max`).
+    /// would perform under the same lane partition (identical task list and
+    /// lane count), so results match K solo runs bitwise under the
+    /// workspace's determinism discipline (exact inputs for `Add`, any
+    /// values for `Min`/`Max`).
     pub fn spmm<M: Monoid>(
         &self,
         x: &[f64],
@@ -405,40 +428,47 @@ impl IhtlGraph {
         let phase_span = ihtl_trace::span("fb_push");
         bufs.begin_iteration();
         let gen = bufs.generation;
-        ihtl_parallel::par_for_each(&self.push_tasks, 1, |_, &(b, range)| {
-            let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
-            let blk = &self.blocks[b as usize];
-            let base = blk.hub_start as usize;
-            let wb = bufs.my_buffer();
-            if wb.block_gen[b as usize] != gen {
-                wb.block_gen[b as usize] = gen;
-                for slot in &mut wb.data[base * k..blk.hub_end as usize * k] {
-                    *slot = M::identity();
-                }
-            }
-            let offsets = blk.edges.offsets();
-            let targets = blk.edges.targets();
-            debug_assert!((range.end as usize) <= blk.srcs.len());
-            let mut s = offsets[range.start as usize] as usize;
-            for row in range.iter() {
-                // SAFETY: same structural invariants as the SpMV push; the
-                // column reads span `u * k .. u * k + k <= n * k == x.len()`
-                // and the scatter spans `(base + local) * k .. + k`, within
-                // the `n_hubs * k` slots (`cols == k` asserted above).
-                unsafe {
-                    let e = *offsets.get_unchecked(row as usize + 1) as usize;
-                    let u = *blk.srcs.get_unchecked(row as usize) as usize;
-                    debug_assert!(u * k + k <= x.len());
-                    let xs = x.get_unchecked(u * k..u * k + k);
-                    for &local in targets.get_unchecked(s..e) {
-                        let slot = (base + local as usize) * k;
-                        debug_assert!(slot + k <= wb.data.len());
-                        let ps = wb.data.get_unchecked_mut(slot..slot + k);
-                        for (p, &xv) in ps.iter_mut().zip(xs) {
-                            *p = M::combine(*p, xv);
-                        }
+        // Same deterministic lane partition as the SpMV push: buffers are
+        // keyed by lane, not by claiming worker, so per column the combine
+        // grouping is schedule-independent.
+        let lanes = lane_partition(self.push_tasks.len(), bufs.n_buffers());
+        ihtl_parallel::par_for_each(&lanes, 1, |lane, tasks| {
+            let wb = bufs.lane_buffer(lane);
+            for &(b, range) in &self.push_tasks[tasks.clone()] {
+                let _task_span = ihtl_trace::span("push_task").with_arg(b as u64);
+                let blk = &self.blocks[b as usize];
+                let base = blk.hub_start as usize;
+                if wb.block_gen[b as usize] != gen {
+                    wb.block_gen[b as usize] = gen;
+                    for slot in &mut wb.data[base * k..blk.hub_end as usize * k] {
+                        *slot = M::identity();
                     }
-                    s = e;
+                }
+                let offsets = blk.edges.offsets();
+                let targets = blk.edges.targets();
+                debug_assert!((range.end as usize) <= blk.srcs.len());
+                let mut s = offsets[range.start as usize] as usize;
+                for row in range.iter() {
+                    // SAFETY: same structural invariants as the SpMV push;
+                    // the column reads span `u * k .. u * k + k <= n * k ==
+                    // x.len()` and the scatter spans `(base + local) * k ..
+                    // + k`, within the `n_hubs * k` slots (`cols == k`
+                    // asserted above).
+                    unsafe {
+                        let e = *offsets.get_unchecked(row as usize + 1) as usize;
+                        let u = *blk.srcs.get_unchecked(row as usize) as usize;
+                        debug_assert!(u * k + k <= x.len());
+                        let xs = x.get_unchecked(u * k..u * k + k);
+                        for &local in targets.get_unchecked(s..e) {
+                            let slot = (base + local as usize) * k;
+                            debug_assert!(slot + k <= wb.data.len());
+                            let ps = wb.data.get_unchecked_mut(slot..slot + k);
+                            for (p, &xv) in ps.iter_mut().zip(xs) {
+                                *p = M::combine(*p, xv);
+                            }
+                        }
+                        s = e;
+                    }
                 }
             }
         });
@@ -463,7 +493,7 @@ impl IhtlGraph {
                 for slot in out.iter_mut() {
                     *slot = M::identity();
                 }
-                // Same worker order (ascending) and clean-segment skipping
+                // Same lane order (ascending) and clean-segment skipping
                 // as the SpMV merge — per column the combine order matches.
                 let start = range.start as usize * k;
                 for t in 0..n_bufs {
@@ -512,6 +542,16 @@ impl IhtlGraph {
 /// Scales a vertex range to its flat `k`-column span.
 fn scale_range(r: VertexRange, k: usize) -> VertexRange {
     VertexRange { start: r.start * k as u32, end: r.end * k as u32 }
+}
+
+/// Partitions `0..n_tasks` into `n_lanes` contiguous ranges: lane `l` owns
+/// `[l·T/L, (l+1)·T/L)`. The partition is a pure function of the two counts
+/// — never of scheduling — which is what makes the push phase's buffer
+/// assignment (and hence the merge's f64 combine grouping) deterministic.
+/// Lanes are the unit of parallel scheduling, so each buffer is touched by
+/// exactly one claim; trailing lanes may be empty when `n_tasks < n_lanes`.
+fn lane_partition(n_tasks: usize, n_lanes: usize) -> Vec<std::ops::Range<usize>> {
+    (0..n_lanes).map(|l| n_tasks * l / n_lanes..n_tasks * (l + 1) / n_lanes).collect()
 }
 
 /// Precomputed propagation-blocking plan for the **hybrid** executor: the
@@ -647,6 +687,9 @@ impl IhtlGraph {
                         let bits = x.get_unchecked(u as usize).to_bits();
                         for _ in s..e {
                             debug_assert!(p < slots.len());
+                            // ORDERING: Relaxed — each slot is written by
+                            // exactly one worker (disjoint ranges); the
+                            // region join publishes the buffer to readers.
                             slots
                                 .get_unchecked(p)
                                 .store(bits, std::sync::atomic::Ordering::Relaxed);
@@ -785,6 +828,8 @@ impl IhtlGraph {
                         for _ in s..e {
                             debug_assert!(p + k <= slots.len());
                             for (j, &xv) in xs.iter().enumerate() {
+                                // ORDERING: Relaxed — disjoint slots; the
+                                // region join publishes, as above.
                                 slots
                                     .get_unchecked(p + j)
                                     .store(xv.to_bits(), std::sync::atomic::Ordering::Relaxed);

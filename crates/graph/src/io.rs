@@ -120,6 +120,7 @@ impl<W: Write> Write for ChecksumWriter<W> {
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 fn temp_sibling(path: &Path) -> PathBuf {
+    // ORDERING: Relaxed — only uniqueness of the sequence number matters.
     let seq = TEMP_SEQ.fetch_add(1, Ordering::Relaxed);
     let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("image");
     path.with_file_name(format!(".{name}.tmp.{}.{seq}", std::process::id()))

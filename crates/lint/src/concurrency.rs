@@ -1,0 +1,883 @@
+//! R6: cross-file lock-order analysis over the lexed token streams.
+//!
+//! The pass works per crate (lock names are field names, scoped by crate;
+//! call resolution never crosses a crate boundary):
+//!
+//! 1. **Extract functions** from each non-driver file (functions defined
+//!    under `#[cfg(test)]` are skipped, like R3–R5 skip test lines).
+//! 2. **Summarize** each function: which locks its body may acquire
+//!    (directly or through same-crate callees, to a fixpoint), whether it
+//!    may block (`Condvar::wait`, channel `recv`, socket/file I/O,
+//!    `BlockStore` I/O), and whether its signature returns a guard
+//!    (`MutexGuard`/`RwLockReadGuard`/`RwLockWriteGuard`) — guard-returning
+//!    helpers like `lock_traces` act as acquisition sites for callers.
+//! 3. **Simulate guard liveness** through each body: `let g = lock_ok(..);`
+//!    binds a guard until its block closes or `drop(g)`; a chained call
+//!    (`lock_ok(..).get_mut(..)`) is a statement-scoped temporary;
+//!    `cv.wait(g)` / `cv.wait_timeout(g, ..)` atomically releases exactly
+//!    the guard it consumes (and re-acquires it — the binding stays live).
+//!    Every acquisition performed while other guards are live contributes a
+//!    **lock-order edge** (held → acquired); every blocking operation
+//!    reached while guards are live is a **held-across-blocking** finding.
+//! 4. **Check**: every observed edge must lie in the transitive closure of
+//!    the hierarchy declared in `LOCKS.md`, and the observed edge graph
+//!    must be acyclic.
+//!
+//! Known approximations (see DESIGN.md §13): liveness is token-scoped, so
+//! a temporary in an `if let` head is considered live slightly past the
+//! statement (over-approximation — may report an edge Rust's drop order
+//! avoids by one line, never misses one the code has); closure bodies are
+//! analyzed inline in their defining function (a closure *defined* under a
+//! guard is treated as *run* under it); call resolution is by bare name
+//! within the crate, with a skip-list of ubiquitous std method names so
+//! `map.get(..)` under the registry guard does not resolve to
+//! `Registry::get`.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::rules::{cfg_test_ranges, Finding};
+
+/// Call-site acquisition primitives: the poison-recovering helpers every
+/// crate funnels acquisitions through. Their *bodies* are skipped (the
+/// parameter name would be meaningless as a lock identity); their *call
+/// sites* name the lock via the argument's final path segment.
+const PRIMITIVES: [&str; 3] = ["lock_ok", "read_ok", "write_ok"];
+
+/// Method names never resolved to same-crate functions: ubiquitous std
+/// methods whose accidental name collision with a workspace function would
+/// inject phantom edges (`HashMap::get` vs `Registry::get`, `VecDeque::drain`
+/// vs `BatchTicket::drain`, `drop` vs `Drop::drop`, ...).
+const CALL_SKIP: [&str; 48] = [
+    "new",
+    "default",
+    "clone",
+    "from",
+    "into",
+    "take",
+    "replace",
+    "get",
+    "get_mut",
+    "insert",
+    "remove",
+    "push",
+    "push_back",
+    "pop",
+    "pop_front",
+    "drain",
+    "clear",
+    "len",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "collect",
+    "extend",
+    "entry",
+    "or_default",
+    "or_insert_with",
+    "contains_key",
+    "values",
+    "keys",
+    "find",
+    "position",
+    "min",
+    "max",
+    "min_by_key",
+    "max_by_key",
+    "sort_by",
+    "map",
+    "filter",
+    "and_then",
+    "unwrap_or_else",
+    "retain",
+    "join",
+    "send",
+    "recv",
+    "wait",
+    "lock",
+    "drop",
+    "spawn",
+];
+
+/// Method calls that block the calling thread. `wait`/`wait_timeout` are
+/// handled separately (condvar semantics); `join` only with zero arguments
+/// (`slice::join(sep)` takes one).
+const BLOCKING_METHODS: [&str; 14] = [
+    "recv",
+    "recv_timeout",
+    "read_line",
+    "read_exact",
+    "read_to_end",
+    "read_to_string",
+    "write_all",
+    "flush",
+    "accept",
+    "load_ihtl",
+    "save_ihtl",
+    "load_pb",
+    "save_pb",
+    "load_bytes",
+];
+
+/// Additional blocking free/path calls resolved by their last segment.
+const BLOCKING_PATH_CALLS: [&str; 3] = ["save_atomic", "load_graph", "save_graph"];
+
+// ---------------------------------------------------------------------------
+// Declared hierarchy (LOCKS.md)
+// ---------------------------------------------------------------------------
+
+/// The declared lock order: directed edges `(crate, held, acquired)`.
+#[derive(Debug, Default)]
+pub struct Hierarchy {
+    edges: Vec<(String, String, String)>,
+}
+
+impl Hierarchy {
+    /// An empty hierarchy: every observed edge becomes a finding. Useful
+    /// for fixtures.
+    pub fn empty() -> Hierarchy {
+        Hierarchy::default()
+    }
+
+    /// Parses `LOCKS.md`: bullet lines of the form `- <crate>: <a> -> <b>`
+    /// declare an edge; every other line is prose and ignored.
+    pub fn parse(text: &str) -> Hierarchy {
+        let mut edges = Vec::new();
+        for line in text.lines() {
+            let Some(rest) = line.trim().strip_prefix("- ") else { continue };
+            let Some((krate, order)) = rest.split_once(':') else { continue };
+            let Some((a, b)) = order.split_once("->") else { continue };
+            let (krate, a, b) = (krate.trim(), a.trim(), b.trim());
+            if !krate.is_empty() && !a.is_empty() && !b.is_empty() {
+                edges.push((krate.to_string(), a.to_string(), b.to_string()));
+            }
+        }
+        Hierarchy { edges }
+    }
+
+    /// Declares one edge (fixtures build hierarchies programmatically).
+    pub fn with_edge(mut self, krate: &str, held: &str, acquired: &str) -> Hierarchy {
+        self.edges.push((krate.to_string(), held.to_string(), acquired.to_string()));
+        self
+    }
+
+    /// Is `held -> acquired` within the transitive closure of the declared
+    /// edges for `krate`?
+    fn allows(&self, krate: &str, held: &str, acquired: &str) -> bool {
+        let mut frontier = vec![held];
+        let mut seen: BTreeSet<&str> = BTreeSet::new();
+        while let Some(cur) = frontier.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            for (k, a, b) in &self.edges {
+                if k == krate && a == cur {
+                    if b == acquired {
+                        return true;
+                    }
+                    frontier.push(b);
+                }
+            }
+        }
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Function extraction
+// ---------------------------------------------------------------------------
+
+struct FnItem {
+    name: String,
+    file: usize,
+    /// Token range of the signature (`fn` keyword through the token before
+    /// the body `{`) — scanned for guard-returning types.
+    sig: (usize, usize),
+    /// Token range of the body, inclusive of its braces.
+    body: (usize, usize),
+}
+
+/// Finds every `fn` item in a token stream. Functions whose `fn` keyword
+/// lies in a `#[cfg(test)]` range are dropped.
+fn extract_fns(file: usize, toks: &[Token], test_ranges: &[(usize, usize)]) -> Vec<FnItem> {
+    let in_test = |line: usize| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < toks.len() {
+        let is_fn = matches!(&toks[i].kind, Tok::Ident(s) if s == "fn");
+        let name = match (&is_fn, toks.get(i + 1).map(|t| &t.kind)) {
+            (true, Some(Tok::Ident(n))) => n.clone(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        if in_test(toks[i].line) {
+            i += 2;
+            continue;
+        }
+        // Find the body's opening brace; a `;` first means a bodyless
+        // declaration (trait method signature).
+        let mut j = i + 2;
+        let mut open = None;
+        while j < toks.len() {
+            match toks[j].kind {
+                Tok::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                Tok::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let Some(o) = open else {
+            i = j.max(i + 2);
+            continue;
+        };
+        let mut depth = 0usize;
+        let mut k = o;
+        while k < toks.len() {
+            match toks[k].kind {
+                Tok::Punct('{') => depth += 1,
+                Tok::Punct('}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        out.push(FnItem { name, file, sig: (i, o), body: (o, k.min(toks.len() - 1)) });
+        // Continue *inside* the body so nested `fn` items are extracted as
+        // their own entries (the walk skips their ranges in the parent).
+        i = o + 1;
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Per-function facts and crate-wide summaries
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct Facts {
+    acquires: BTreeSet<String>,
+    blocking: BTreeSet<String>,
+    calls: BTreeSet<String>,
+    returns_guard: bool,
+}
+
+/// A guard known to be live at some point of the walk.
+#[derive(Debug, Clone)]
+struct Guard {
+    locks: Vec<String>,
+    /// `Some` for `let`-bound guards (killable by `drop(name)` and block
+    /// close); `None` for statement-scoped temporaries.
+    name: Option<String>,
+    /// Brace depth at the binding (`let`) or at the statement (temporary).
+    depth: usize,
+}
+
+/// The last identifier in a call's argument list that is not `self` — the
+/// lock's field name in `lock_ok(&self.done.result)`.
+fn arg_lock_name(toks: &[Token], open_paren: usize) -> Option<(String, usize)> {
+    let mut depth = 0usize;
+    let mut j = open_paren;
+    let mut last: Option<String> = None;
+    while j < toks.len() {
+        match &toks[j].kind {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    return last.map(|l| (l, j));
+                }
+            }
+            Tok::Ident(s) if s != "self" && s != "crate" && s != "mut" => last = Some(s.clone()),
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Is token `i` the start of a `let [mut] NAME =` statement head whose
+/// initializer begins at `expr_start`? Returns the bound name.
+fn binding_name(toks: &[Token], expr_start: usize) -> Option<String> {
+    // Walk back over an optional `crate ::` / `self .` path prefix.
+    let mut j = expr_start;
+    while j > 0 {
+        match &toks[j - 1].kind {
+            Tok::Punct(':') | Tok::Punct('.') => j -= 1,
+            Tok::Ident(s) if s == "crate" || s == "self" => j -= 1,
+            _ => break,
+        }
+    }
+    if j == 0 || !matches!(toks[j - 1].kind, Tok::Punct('=')) {
+        return None;
+    }
+    let mut k = j - 1; // on `=`
+    let name = match toks.get(k.checked_sub(1)?).map(|t| &t.kind) {
+        Some(Tok::Ident(n)) => n.clone(),
+        _ => return None,
+    };
+    k -= 1; // on the name
+    let before = k.checked_sub(1).map(|x| &toks[x].kind);
+    match before {
+        Some(Tok::Ident(s)) if s == "let" => Some(name),
+        Some(Tok::Ident(s)) if s == "mut" => match k.checked_sub(2).map(|x| &toks[x].kind) {
+            Some(Tok::Ident(s2)) if s2 == "let" => Some(name),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn ident_at(toks: &[Token], i: usize) -> Option<&str> {
+    match toks.get(i).map(|t| &t.kind) {
+        Some(Tok::Ident(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct_at(toks: &[Token], i: usize, c: char) -> bool {
+    matches!(toks.get(i).map(|t| &t.kind), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// One acquisition detected at token `i`.
+struct Acq {
+    locks: Vec<String>,
+    /// Index of the call's closing paren.
+    end: usize,
+    /// Token index where the acquiring expression starts (for `let` head
+    /// detection).
+    expr_start: usize,
+}
+
+/// Detects an acquisition starting at token `i` (primitive call, `.lock()`,
+/// or guard-returning same-crate call).
+fn acquisition_at(
+    toks: &[Token],
+    i: usize,
+    fn_name: &str,
+    guard_returners: &BTreeMap<String, Vec<String>>,
+) -> Option<Acq> {
+    let name = ident_at(toks, i)?;
+    let prev_is_fn = i > 0 && matches!(&toks[i - 1].kind, Tok::Ident(s) if s == "fn");
+    if prev_is_fn {
+        return None;
+    }
+    if PRIMITIVES.contains(&name) && punct_at(toks, i + 1, '(') {
+        let (lock, end) = arg_lock_name(toks, i + 1)?;
+        return Some(Acq { locks: vec![lock], end, expr_start: i });
+    }
+    if name == "lock"
+        && i > 0
+        && punct_at(toks, i - 1, '.')
+        && punct_at(toks, i + 1, '(')
+        && punct_at(toks, i + 2, ')')
+        && !PRIMITIVES.contains(&fn_name)
+    {
+        // Receiver: the identifier just before the dot (`NAMES.lock()`,
+        // `state.traces.lock()` — the *last* path segment names the lock).
+        let recv = i.checked_sub(2).and_then(|r| ident_at(toks, r))?;
+        // Walk the receiver chain back to its first token for `let` heads.
+        let mut s = i - 2;
+        while s > 0 {
+            match &toks[s - 1].kind {
+                Tok::Punct('.') | Tok::Punct(':') => s -= 1,
+                Tok::Ident(_) => s -= 1,
+                _ => break,
+            }
+        }
+        return Some(Acq { locks: vec![recv.to_string()], end: i + 2, expr_start: s });
+    }
+    if let Some(locks) = guard_returners.get(name) {
+        if punct_at(toks, i + 1, '(') && !locks.is_empty() {
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            while j < toks.len() {
+                match toks[j].kind {
+                    Tok::Punct('(') => depth += 1,
+                    Tok::Punct(')') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(Acq { locks: locks.clone(), end: j, expr_start: i });
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    None
+}
+
+/// Is `name` at token `i` a plain (non-macro) call or a `Path::name`
+/// function reference eligible for same-crate resolution?
+fn resolvable_reference(toks: &[Token], i: usize, name: &str) -> bool {
+    if CALL_SKIP.contains(&name) || PRIMITIVES.contains(&name) {
+        return false;
+    }
+    if i > 0 && matches!(&toks[i - 1].kind, Tok::Ident(s) if s == "fn") {
+        return false;
+    }
+    if punct_at(toks, i + 1, '!') {
+        return false; // macro
+    }
+    if punct_at(toks, i + 1, '(') {
+        return true; // free or method call
+    }
+    // `Type::name` used as a function value (e.g. `.map(SpanInfo::from_rec)`).
+    i >= 2 && punct_at(toks, i - 1, ':') && punct_at(toks, i - 2, ':')
+}
+
+/// Collects a function's direct facts (pass 1).
+fn direct_facts(toks: &[Token], item: &FnItem, inner: &[(usize, usize)]) -> Facts {
+    let mut f = Facts::default();
+    for j in item.sig.0..item.sig.1 {
+        if let Some(t) = ident_at(toks, j) {
+            if matches!(t, "MutexGuard" | "RwLockReadGuard" | "RwLockWriteGuard") {
+                f.returns_guard = true;
+            }
+        }
+    }
+    let mut i = item.body.0;
+    while i <= item.body.1 {
+        if let Some(&(_, end)) = inner.iter().find(|&&(s, _)| s == i) {
+            i = end + 1; // nested fn item: analyzed separately
+            continue;
+        }
+        if let Some(acq) = acquisition_at(toks, i, &item.name, &BTreeMap::new()) {
+            f.acquires.extend(acq.locks.iter().cloned());
+            i += 1;
+            continue;
+        }
+        if let Some(name) = ident_at(toks, i) {
+            let after_dot = i > 0 && punct_at(toks, i - 1, '.');
+            if after_dot && (name == "wait" || name == "wait_timeout") && punct_at(toks, i + 1, '(')
+            {
+                f.blocking.insert("Condvar::wait".to_string());
+            } else if after_dot
+                && name == "join"
+                && punct_at(toks, i + 1, '(')
+                && punct_at(toks, i + 2, ')')
+            {
+                f.blocking.insert("thread join".to_string());
+            } else if after_dot && BLOCKING_METHODS.contains(&name) && punct_at(toks, i + 1, '(') {
+                f.blocking.insert(name.to_string());
+            } else if name == "fs" && punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':') {
+                if let Some(op) = ident_at(toks, i + 3) {
+                    if punct_at(toks, i + 4, '(') {
+                        f.blocking.insert(format!("fs::{op}"));
+                    }
+                }
+            } else if BLOCKING_PATH_CALLS.contains(&name) && punct_at(toks, i + 1, '(') {
+                f.blocking.insert(name.to_string());
+            } else if resolvable_reference(toks, i, name) {
+                f.calls.insert(name.to_string());
+            }
+        }
+        i += 1;
+    }
+    f
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: guard-liveness simulation
+// ---------------------------------------------------------------------------
+
+/// An observed lock-order edge with its first witness site.
+struct Edge {
+    held: String,
+    acquired: String,
+    file: usize,
+    line: usize,
+}
+
+struct Walker {
+    live: Vec<Guard>,
+    depth: usize,
+}
+
+impl Walker {
+    fn kill_scopes(&mut self) {
+        let d = self.depth;
+        self.live.retain(|g| g.depth <= d);
+    }
+
+    fn live_lock_names(&self) -> Vec<String> {
+        self.live.iter().flat_map(|g| g.locks.iter().cloned()).collect()
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn walk_fn(
+    toks: &[Token],
+    item: &FnItem,
+    inner: &[(usize, usize)],
+    summaries: &BTreeMap<String, Facts>,
+    guard_returners: &BTreeMap<String, Vec<String>>,
+    edges: &mut Vec<Edge>,
+    blocking_out: &mut Vec<(usize, usize, String, String)>, // (file, line, lock, op)
+) {
+    let mut w = Walker { live: Vec::new(), depth: 0 };
+    let mut i = item.body.0;
+    while i <= item.body.1 {
+        if let Some(&(_, end)) = inner.iter().find(|&&(s, _)| s == i) {
+            i = end + 1;
+            continue;
+        }
+        match &toks[i].kind {
+            Tok::Punct('{') => w.depth += 1,
+            Tok::Punct('}') => {
+                w.depth = w.depth.saturating_sub(1);
+                w.kill_scopes();
+            }
+            Tok::Punct(';') => {
+                let d = w.depth;
+                w.live.retain(|g| g.name.is_some() || g.depth < d);
+            }
+            Tok::Ident(name) => {
+                // `drop(g)` ends a binding's liveness.
+                if name == "drop" && punct_at(toks, i + 1, '(') {
+                    if let Some(victim) = ident_at(toks, i + 2) {
+                        if punct_at(toks, i + 3, ')') {
+                            w.live.retain(|g| g.name.as_deref() != Some(victim));
+                            i += 4;
+                            continue;
+                        }
+                    }
+                }
+                let after_dot = i > 0 && punct_at(toks, i - 1, '.');
+                // Condvar wait: `.wait(g)` / `.wait_timeout(g, ..)` where
+                // `g` is a live guard — releases exactly that guard for the
+                // duration; every *other* live lock is held across a block.
+                if after_dot
+                    && (name == "wait" || name == "wait_timeout")
+                    && punct_at(toks, i + 1, '(')
+                {
+                    let arg = ident_at(toks, i + 2);
+                    let arg_is_guard = arg
+                        .map(|a| w.live.iter().any(|g| g.name.as_deref() == Some(a)))
+                        .unwrap_or(false);
+                    let consumed = if arg_is_guard { arg } else { None };
+                    for g in &w.live {
+                        if g.name.as_deref() == consumed && consumed.is_some() {
+                            continue;
+                        }
+                        for l in &g.locks {
+                            blocking_out.push((
+                                item.file,
+                                toks[i].line,
+                                l.clone(),
+                                "Condvar::wait".to_string(),
+                            ));
+                        }
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Other direct blocking operations.
+                let direct_block: Option<String> = if after_dot
+                    && name == "join"
+                    && punct_at(toks, i + 1, '(')
+                    && punct_at(toks, i + 2, ')')
+                {
+                    Some("thread join".to_string())
+                } else if after_dot
+                    && BLOCKING_METHODS.contains(&name.as_str())
+                    && punct_at(toks, i + 1, '(')
+                {
+                    Some(name.clone())
+                } else if name == "fs" && punct_at(toks, i + 1, ':') && punct_at(toks, i + 2, ':') {
+                    ident_at(toks, i + 3)
+                        .filter(|_| punct_at(toks, i + 4, '('))
+                        .map(|op| format!("fs::{op}"))
+                } else if BLOCKING_PATH_CALLS.contains(&name.as_str()) && punct_at(toks, i + 1, '(')
+                {
+                    Some(name.clone())
+                } else {
+                    None
+                };
+                if let Some(op) = direct_block {
+                    for l in w.live_lock_names() {
+                        blocking_out.push((item.file, toks[i].line, l, op.clone()));
+                    }
+                    i += 1;
+                    continue;
+                }
+                // Acquisition (primitive, `.lock()`, or guard returner).
+                if let Some(acq) = acquisition_at(toks, i, &item.name, guard_returners) {
+                    for held in w.live_lock_names() {
+                        for l in &acq.locks {
+                            edges.push(Edge {
+                                held: held.clone(),
+                                acquired: l.clone(),
+                                file: item.file,
+                                line: toks[i].line,
+                            });
+                        }
+                    }
+                    let bound = if punct_at(toks, acq.end + 1, ';') {
+                        binding_name(toks, acq.expr_start)
+                    } else {
+                        None
+                    };
+                    if let Some(b) = &bound {
+                        // Shadowing: a rebound name replaces the old guard.
+                        w.live.retain(|g| g.name.as_deref() != Some(b.as_str()));
+                    }
+                    let depth = w.depth;
+                    w.live.push(Guard { locks: acq.locks, name: bound, depth });
+                    i = acq.end + 1;
+                    continue;
+                }
+                // Same-crate call: inherit the callee's transitive effects.
+                if !w.live.is_empty() && resolvable_reference(toks, i, name) {
+                    if let Some(facts) = summaries.get(name.as_str()) {
+                        for held in w.live_lock_names() {
+                            for l in &facts.acquires {
+                                if !w.live.iter().any(|g| g.locks.contains(l)) {
+                                    edges.push(Edge {
+                                        held: held.clone(),
+                                        acquired: l.clone(),
+                                        file: item.file,
+                                        line: toks[i].line,
+                                    });
+                                }
+                            }
+                        }
+                        if let Some(op) = facts.blocking.iter().next() {
+                            for l in w.live_lock_names() {
+                                blocking_out.push((
+                                    item.file,
+                                    toks[i].line,
+                                    l,
+                                    format!("{op} (via `{name}`)"),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crate analysis driver
+// ---------------------------------------------------------------------------
+
+/// The crate a workspace-relative path belongs to (`crates/<name>/…`), or
+/// `"root"` for top-level `src/`.
+pub fn crate_of(rel_path: &str) -> String {
+    let p = rel_path.replace('\\', "/");
+    let mut parts = p.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(name) = parts.next() {
+            return name.to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Runs the R6 analysis over one crate's files. `files` pairs an opaque
+/// caller-side index with the lexed source; findings come back attributed
+/// to those indices.
+pub fn analyze_crate(
+    krate: &str,
+    files: &[(usize, &Lexed)],
+    hierarchy: &Hierarchy,
+) -> Vec<(usize, Finding)> {
+    // 1. Extract functions.
+    let mut items: Vec<FnItem> = Vec::new();
+    for (fi, lx) in files {
+        let ranges = cfg_test_ranges(&lx.tokens);
+        items.extend(extract_fns(*fi, &lx.tokens, &ranges));
+    }
+    // Nested-fn ranges per file, for skipping during walks.
+    let inner_of = |item: &FnItem| -> Vec<(usize, usize)> {
+        items
+            .iter()
+            .filter(|o| o.file == item.file && o.body.0 > item.body.0 && o.body.1 < item.body.1)
+            .map(|o| (o.sig.0, o.body.1))
+            .collect()
+    };
+    let toks_of = |file: usize| -> &[Token] {
+        files.iter().find(|(fi, _)| *fi == file).map(|(_, lx)| lx.tokens.as_slice()).unwrap_or(&[])
+    };
+
+    // 2. Direct facts, merged by name, then transitive fixpoint.
+    let mut merged: BTreeMap<String, Facts> = BTreeMap::new();
+    for item in &items {
+        let facts = direct_facts(toks_of(item.file), item, &inner_of(item));
+        let slot = merged.entry(item.name.clone()).or_default();
+        slot.acquires.extend(facts.acquires);
+        slot.blocking.extend(facts.blocking);
+        slot.calls.extend(facts.calls);
+        slot.returns_guard |= facts.returns_guard;
+    }
+    let guard_returners: BTreeMap<String, Vec<String>> = merged
+        .iter()
+        .filter(|(name, f)| f.returns_guard && !PRIMITIVES.contains(&name.as_str()))
+        .map(|(name, f)| (name.clone(), f.acquires.iter().cloned().collect()))
+        .collect();
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = merged.keys().cloned().collect();
+        for name in &names {
+            let callees: Vec<String> = merged[name].calls.iter().cloned().collect();
+            let mut add_acq: BTreeSet<String> = BTreeSet::new();
+            let mut add_blk: BTreeSet<String> = BTreeSet::new();
+            for c in &callees {
+                if let Some(cf) = merged.get(c) {
+                    add_acq.extend(cf.acquires.iter().cloned());
+                    add_blk.extend(cf.blocking.iter().cloned());
+                }
+            }
+            let f = merged.get_mut(name).expect("name from keys");
+            let before = (f.acquires.len(), f.blocking.len());
+            f.acquires.extend(add_acq);
+            f.blocking.extend(add_blk);
+            if (f.acquires.len(), f.blocking.len()) != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // 3. Liveness walks.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut blocking: Vec<(usize, usize, String, String)> = Vec::new();
+    for item in &items {
+        walk_fn(
+            toks_of(item.file),
+            item,
+            &inner_of(item),
+            &merged,
+            &guard_returners,
+            &mut edges,
+            &mut blocking,
+        );
+    }
+
+    // 4. Findings.
+    let mut out: Vec<(usize, Finding)> = Vec::new();
+    let mut first_witness: BTreeMap<(String, String), (usize, usize)> = BTreeMap::new();
+    for e in &edges {
+        first_witness.entry((e.held.clone(), e.acquired.clone())).or_insert((e.file, e.line));
+    }
+    for ((held, acquired), (file, line)) in &first_witness {
+        if held == acquired {
+            out.push((
+                *file,
+                Finding {
+                    line: *line,
+                    rule: "R6",
+                    msg: format!(
+                        "lock `{held}` acquired while a guard of `{held}` is already live \
+                         (self-deadlock)"
+                    ),
+                },
+            ));
+        } else if !hierarchy.allows(krate, held, acquired) {
+            out.push((
+                *file,
+                Finding {
+                    line: *line,
+                    rule: "R6",
+                    msg: format!(
+                        "lock-order edge `{held}` -> `{acquired}` (crate {krate}) is not \
+                         declared in LOCKS.md — declare it or restructure the locking"
+                    ),
+                },
+            ));
+        }
+    }
+    if let Some(cycle) = find_cycle(first_witness.keys()) {
+        let key = (cycle[0].clone(), cycle[1].clone());
+        let (file, line) = first_witness.get(&key).copied().unwrap_or((0, 1));
+        out.push((
+            file,
+            Finding {
+                line,
+                rule: "R6",
+                msg: format!("lock-acquisition cycle: {} (potential deadlock)", cycle.join(" -> ")),
+            },
+        ));
+    }
+    let mut seen_block: BTreeSet<(usize, usize, String, String)> = BTreeSet::new();
+    for (file, line, lock, op) in blocking {
+        if seen_block.insert((file, line, lock.clone(), op.clone())) {
+            out.push((
+                file,
+                Finding {
+                    line,
+                    rule: "R6",
+                    msg: format!("lock `{lock}` held across blocking operation `{op}`"),
+                },
+            ));
+        }
+    }
+    out
+}
+
+/// Finds one cycle in the observed edge set, returned as a node path
+/// `a -> b -> … -> a` (first node repeated at the end).
+fn find_cycle<'a>(edges: impl Iterator<Item = &'a (String, String)>) -> Option<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    let edge_list: Vec<&(String, String)> = edges.collect();
+    for (a, b) in edge_list.iter().map(|e| (&e.0, &e.1)) {
+        adj.entry(a).or_default().push(b);
+        nodes.insert(a);
+        nodes.insert(b);
+    }
+    // 0 = unvisited, 1 = on stack, 2 = done.
+    let mut state: BTreeMap<&str, u8> = nodes.iter().map(|&n| (n, 0u8)).collect();
+    for &start in &nodes {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        state.insert(start, 1);
+        while let Some(&(node, idx)) = stack.last() {
+            let next = adj.get(node).and_then(|v| v.get(idx)).copied();
+            match next {
+                Some(n) => {
+                    if let Some(e) = stack.last_mut() {
+                        e.1 += 1;
+                    }
+                    match state.get(n).copied().unwrap_or(0) {
+                        0 => {
+                            state.insert(n, 1);
+                            stack.push((n, 0));
+                        }
+                        1 => {
+                            // Reconstruct the cycle from the stack.
+                            let pos = stack.iter().position(|&(s, _)| s == n).unwrap_or(0);
+                            let mut path: Vec<String> =
+                                stack[pos..].iter().map(|&(s, _)| s.to_string()).collect();
+                            path.push(n.to_string());
+                            return Some(path);
+                        }
+                        _ => {}
+                    }
+                }
+                None => {
+                    state.insert(node, 2);
+                    stack.pop();
+                }
+            }
+        }
+    }
+    None
+}

@@ -208,7 +208,15 @@ fn scan_string(b: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
     i += 1;
     while i < b.len() {
         match b[i] {
-            b'\\' => i += 2,
+            b'\\' => {
+                // An escaped newline (line-continuation) still ends a source
+                // line; skipping it without counting would shift every
+                // diagnostic below it.
+                if peek(b, i + 1) == b'\n' {
+                    line += 1;
+                }
+                i += 2;
+            }
             b'"' => {
                 i += 1;
                 break;
@@ -224,13 +232,22 @@ fn scan_string(b: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
 }
 
 /// From the opening `'` (index `i`), consumes through the closing quote.
-fn scan_char(b: &[u8], mut i: usize, line: usize) -> (usize, usize) {
+fn scan_char(b: &[u8], mut i: usize, mut line: usize) -> (usize, usize) {
     debug_assert!(b[i] == b'\'');
     i += 1;
     while i < b.len() && b[i] != b'\'' {
         if b[i] == b'\\' {
+            if peek(b, i + 1) == b'\n' {
+                line += 1;
+            }
             i += 2;
         } else {
+            if b[i] == b'\n' {
+                // Only malformed source puts a raw newline in a char
+                // literal; keep the line count right anyway so every
+                // diagnostic after the error stays addressable.
+                line += 1;
+            }
             i += 1;
         }
     }
@@ -323,6 +340,62 @@ mod tests {
         let g =
             l.tokens.iter().find(|t| t.kind == Tok::Ident("g".into())).map(|t| t.line).unwrap_or(0);
         assert_eq!(g, 3);
+    }
+
+    #[test]
+    fn raw_strings_hide_comment_markers_and_quotes() {
+        // `//` and `/*` inside a raw string are content, not comments; the
+        // `"#` sequence inside an `r##"…"##` body must not terminate it.
+        let src = "let s = r##\"// not a comment /* nor this */ \"# still\"##; done();";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["let", "s", "done"]);
+        assert!(l.comments.is_empty());
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == Tok::Str).count(), 1);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let src = "let a = b\"unsafe\"; let b2 = br#\"panic! \" fence\"#; end();";
+        assert_eq!(idents(src), vec!["let", "a", "let", "b2", "end"]);
+    }
+
+    #[test]
+    fn char_literals_containing_quote_and_slashes() {
+        // '"' must not open a string; '/' twice must not open a comment.
+        let src = "let q = '\"'; let s1 = '/'; let s2 = '/'; let x = \"tail\"; // real";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["let", "q", "let", "s1", "let", "s2", "let", "x"]);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == Tok::Char).count(), 3);
+        assert_eq!(l.tokens.iter().filter(|t| t.kind == Tok::Str).count(), 1);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn nested_block_comment_with_string_inside() {
+        let src = "/* a /* \"nested \\\" quote\" */ b */ fn tail() {}";
+        let l = lex(src);
+        assert_eq!(idents(src), vec!["fn", "tail"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_keeps_line_numbers() {
+        // A `\` line-continuation consumes the newline inside the literal;
+        // the token after the string must still land on line 3.
+        let src = "let s = \"a\\\nb\";\nfn g() {}";
+        let l = lex(src);
+        let g =
+            l.tokens.iter().find(|t| t.kind == Tok::Ident("g".into())).map(|t| t.line).unwrap_or(0);
+        assert_eq!(g, 3);
+    }
+
+    #[test]
+    fn raw_string_line_spans() {
+        let src = "let s = r#\"x\ny\nz\"#;\nfn h() {}";
+        let l = lex(src);
+        let h =
+            l.tokens.iter().find(|t| t.kind == Tok::Ident("h".into())).map(|t| t.line).unwrap_or(0);
+        assert_eq!(h, 4);
     }
 
     #[test]

@@ -2,10 +2,12 @@
 //!
 //! The workspace's correctness rests on hand-written invariants — unchecked
 //! CSR iteration in the flipped-block kernels, a custom parked-worker pool,
-//! a byte-stable wire protocol. Under the zero-external-deps policy there is
-//! no off-the-shelf linter to machine-check them, so this crate is one: a
-//! std-only lexer ([`lexer`]) plus a rule engine ([`rules`]) walking every
-//! `.rs` file under `crates/`, `src/`, `tests/`, and `examples/`.
+//! a byte-stable wire protocol, and a serve tier full of locks. Under the
+//! zero-external-deps policy there is no off-the-shelf linter to
+//! machine-check them, so this crate is one: a std-only lexer ([`lexer`])
+//! plus a per-file rule engine ([`rules`]) and a cross-file concurrency
+//! pass ([`concurrency`]) walking every `.rs` file under `crates/`, `src/`,
+//! `tests/`, and `examples/`.
 //!
 //! Run it with `cargo run -p ihtl-lint` (or `scripts/lint.sh`). Findings
 //! print as `file:line:rule: message` and the process exits nonzero. A
@@ -17,17 +19,21 @@
 //! let t0 = Instant::now();
 //! ```
 //!
-//! The reason is mandatory; suppressions are counted, reported, and checked
-//! against a baseline by `tests/self_lint.rs` so new ones show up in review.
+//! The reason is mandatory; suppressions are counted per file and rule, and
+//! checked against `crates/lint/lint.baseline` (regenerate with `--bless`)
+//! so every new suppression shows up in review as a baseline diff.
 
 #![forbid(unsafe_code)]
 
+pub mod concurrency;
 pub mod lexer;
 pub mod rules;
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+pub use concurrency::Hierarchy;
 pub use rules::{check_file, FileReport, Finding, UsedSuppression, KNOWN_RULES};
 
 /// One finding tagged with its workspace-relative file path.
@@ -60,12 +66,14 @@ pub struct WorkspaceSuppression {
 pub struct WorkspaceReport {
     pub files_checked: usize,
     pub findings: Vec<WorkspaceFinding>,
+    /// Findings silenced by an honoured suppression — still carried so the
+    /// JSON export and baseline can account for them.
+    pub suppressed: Vec<WorkspaceFinding>,
     pub suppressions: Vec<WorkspaceSuppression>,
 }
 
 impl WorkspaceReport {
-    /// Honoured-suppression counts per rule, sorted by rule id — the shape
-    /// checked against the committed baseline.
+    /// Honoured-suppression counts per rule, sorted by rule id.
     pub fn suppression_counts(&self) -> Vec<(String, usize)> {
         let mut counts: Vec<(String, usize)> = Vec::new();
         for s in &self.suppressions {
@@ -77,9 +85,83 @@ impl WorkspaceReport {
         counts.sort();
         counts
     }
+
+    /// Honoured-suppression counts per `(file, rule)`, sorted — the shape
+    /// committed to `crates/lint/lint.baseline`.
+    pub fn suppression_table(&self) -> Vec<(String, String, usize)> {
+        let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for s in &self.suppressions {
+            *counts.entry((s.file.clone(), s.rule.to_string())).or_insert(0) += 1;
+        }
+        counts.into_iter().map(|((f, r), n)| (f, r, n)).collect()
+    }
+
+    /// Serializes [`Self::suppression_table`] as the baseline file format:
+    /// a comment header, then one `<file> <rule> <count>` line per entry.
+    pub fn baseline_text(&self) -> String {
+        let mut out = String::from(
+            "# ihtl-lint suppression baseline: <file> <rule> <count>\n\
+             # Regenerate with `scripts/lint.sh --bless` after reviewing new\n\
+             # suppressions; the lint run fails with a diff on any drift.\n",
+        );
+        for (file, rule, n) in self.suppression_table() {
+            out.push_str(&format!("{file} {rule} {n}\n"));
+        }
+        out
+    }
 }
 
-/// Lints every `.rs` file reachable from `root` (the workspace root).
+/// Lints a set of in-memory sources `(rel_path, src)` as one workspace:
+/// per-file rules plus the cross-file R6 pass against `hierarchy`. This is
+/// the core of [`lint_workspace`] and the entry point fixture tests use to
+/// exercise R6 on seeded multi-file inputs.
+pub fn check_sources(files: &[(&str, &str)], hierarchy: &Hierarchy) -> WorkspaceReport {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|(_, src)| lexer::lex(src)).collect();
+    let mut raw: Vec<Vec<Finding>> =
+        files.iter().zip(&lexed).map(|((rel, _), lx)| rules::raw_findings(rel, lx)).collect();
+
+    // Cross-file pass: group non-driver files by crate and merge the R6
+    // findings into each file's raw list so `lint:allow(R6)` applies.
+    let mut by_crate: BTreeMap<String, Vec<(usize, &lexer::Lexed)>> = BTreeMap::new();
+    for (i, (rel, _)) in files.iter().enumerate() {
+        if !rules::is_driver_path(rel) {
+            by_crate.entry(concurrency::crate_of(rel)).or_default().push((i, &lexed[i]));
+        }
+    }
+    for (krate, group) in &by_crate {
+        for (idx, f) in concurrency::analyze_crate(krate, group, hierarchy) {
+            raw[idx].push(f);
+        }
+    }
+
+    let mut report = WorkspaceReport::default();
+    for (((rel, _), lx), raw) in files.iter().zip(&lexed).zip(raw) {
+        let fr = rules::finalize(lx, raw);
+        report.files_checked += 1;
+        let tag = |f: Finding| WorkspaceFinding {
+            file: (*rel).to_string(),
+            line: f.line,
+            rule: f.rule,
+            msg: f.msg,
+        };
+        report.findings.extend(fr.findings.into_iter().map(tag));
+        report.suppressed.extend(fr.suppressed.into_iter().map(tag));
+        for s in fr.suppressions {
+            report.suppressions.push(WorkspaceSuppression {
+                file: (*rel).to_string(),
+                line: s.line,
+                rule: s.rule,
+                reason: s.reason,
+            });
+        }
+    }
+    report.findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Lints every `.rs` file reachable from `root` (the workspace root),
+/// reading the declared lock hierarchy from `<root>/LOCKS.md` (an absent
+/// file means an empty hierarchy: every observed lock-order edge fails).
 pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
     let mut files: Vec<PathBuf> = Vec::new();
     for top in ["crates", "src", "tests", "examples"] {
@@ -89,31 +171,19 @@ pub fn lint_workspace(root: &Path) -> Result<WorkspaceReport, String> {
         }
     }
     files.sort();
-    let mut report = WorkspaceReport::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
         let src = fs::read_to_string(path)
             .map_err(|e| format!("{}: read failed: {e}", path.display()))?;
-        let fr = check_file(&rel, &src);
-        report.files_checked += 1;
-        for f in fr.findings {
-            report.findings.push(WorkspaceFinding {
-                file: rel.clone(),
-                line: f.line,
-                rule: f.rule,
-                msg: f.msg,
-            });
-        }
-        for s in fr.suppressions {
-            report.suppressions.push(WorkspaceSuppression {
-                file: rel.clone(),
-                line: s.line,
-                rule: s.rule,
-                reason: s.reason,
-            });
-        }
+        sources.push((rel, src));
     }
-    Ok(report)
+    let hierarchy = match fs::read_to_string(root.join("LOCKS.md")) {
+        Ok(text) => Hierarchy::parse(&text),
+        Err(_) => Hierarchy::empty(),
+    };
+    let refs: Vec<(&str, &str)> = sources.iter().map(|(r, s)| (r.as_str(), s.as_str())).collect();
+    Ok(check_sources(&refs, &hierarchy))
 }
 
 /// Recursively collects `.rs` files, skipping build output and VCS state.

@@ -1,20 +1,28 @@
-//! `ihtl-lint` binary: lint the workspace, print findings, exit nonzero on
-//! any. See `ihtl_lint` (lib) for the rule catalogue and DESIGN.md §8 for
-//! the policy.
+//! `ihtl-lint` binary: lint the workspace, print findings, check the
+//! suppression baseline, exit nonzero on drift or findings. See `ihtl_lint`
+//! (lib) for the rule catalogue and DESIGN.md §8/§13 for the policy.
 
 #![forbid(unsafe_code)]
 
-use std::path::PathBuf;
+use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: ihtl-lint [--root <dir>] [--list-suppressions]\n\
+        "usage: ihtl-lint [--root <dir>] [--list-suppressions] [--bless] [--json <path>]\n\
          \n\
          Lints every .rs file under <dir> (default: the workspace root\n\
          inferred from this binary's manifest, else the current directory)\n\
-         against the R1-R5 invariants. Exits 1 on findings, 2 on usage or\n\
-         I/O errors."
+         against the R1-R7 invariants, then checks the per-file/per-rule\n\
+         suppression counts against crates/lint/lint.baseline.\n\
+         \n\
+         --bless        rewrite the baseline from the current run instead\n\
+         \u{20}               of failing on drift\n\
+         --json <path>  also write findings (active and suppressed) as a\n\
+         \u{20}               JSON array of {{rule, file, line, suppressed}}\n\
+         \n\
+         Exits 1 on findings or baseline drift, 2 on usage or I/O errors."
     );
     std::process::exit(2);
 }
@@ -22,6 +30,8 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut list_suppressions = false;
+    let mut bless = false;
+    let mut json_path: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -29,7 +39,12 @@ fn main() -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => usage(),
             },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => usage(),
+            },
             "--list-suppressions" => list_suppressions = true,
+            "--bless" => bless = true,
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -60,6 +75,26 @@ fn main() -> ExitCode {
             println!("suppressed {} at {}:{}: {}", s.rule, s.file, s.line, s.reason);
         }
     }
+    if let Some(p) = &json_path {
+        if let Err(e) = write_json(p, &report) {
+            eprintln!("ihtl-lint: {}: {e}", p.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    let baseline_path = root.join("crates/lint/lint.baseline");
+    let mut drift = false;
+    if bless {
+        if let Err(e) = fs::write(&baseline_path, report.baseline_text()) {
+            eprintln!("ihtl-lint: {}: write failed: {e}", baseline_path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!("ihtl-lint: baseline blessed ({})", baseline_path.display());
+    } else {
+        let committed = fs::read_to_string(&baseline_path).unwrap_or_default();
+        drift = !baseline_diff(&committed, &report.baseline_text());
+    }
+
     let counts = report
         .suppression_counts()
         .into_iter()
@@ -73,9 +108,92 @@ fn main() -> ExitCode {
         report.findings.len(),
         report.suppressions.len(),
     );
-    if report.findings.is_empty() {
+    if report.findings.is_empty() && !drift {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)
     }
+}
+
+/// Compares baseline texts entry-by-entry, printing a readable diff of
+/// added/removed/changed suppression counts. Returns `true` when equal.
+fn baseline_diff(committed: &str, current: &str) -> bool {
+    let parse = |text: &str| -> Vec<(String, String, String)> {
+        text.lines()
+            .filter(|l| !l.trim_start().starts_with('#') && !l.trim().is_empty())
+            .filter_map(|l| {
+                let mut it = l.split_whitespace();
+                Some((it.next()?.to_string(), it.next()?.to_string(), it.next()?.to_string()))
+            })
+            .collect()
+    };
+    let old = parse(committed);
+    let new = parse(current);
+    if old == new {
+        return true;
+    }
+    eprintln!("ihtl-lint: suppression baseline drift (crates/lint/lint.baseline):");
+    for (f, r, n) in &old {
+        match new.iter().find(|(f2, r2, _)| f2 == f && r2 == r) {
+            None => eprintln!("  - {f} {r} {n}  (suppressions removed)"),
+            Some((_, _, n2)) if n2 != n => eprintln!("  ~ {f} {r} {n} -> {n2}"),
+            _ => {}
+        }
+    }
+    for (f, r, n) in &new {
+        if !old.iter().any(|(f2, r2, _)| f2 == f && r2 == r) {
+            eprintln!("  + {f} {r} {n}  (new suppressions)");
+        }
+    }
+    eprintln!("  review the change, then run `scripts/lint.sh --bless` to accept it");
+    false
+}
+
+/// Writes findings (active and suppressed) as a JSON array, creating the
+/// parent directory if needed. Hand-rolled serializer — the workspace has
+/// no JSON dependency by policy.
+fn write_json(path: &Path, report: &ihtl_lint::WorkspaceReport) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+    }
+    let mut out = String::from("[\n");
+    let mut first = true;
+    let mut entry = |rule: &str, file: &str, line: usize, suppressed: bool| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"suppressed\": {}}}",
+            escape(rule),
+            escape(file),
+            line,
+            suppressed
+        ));
+    };
+    for f in &report.findings {
+        entry(f.rule, &f.file, f.line, false);
+    }
+    for f in &report.suppressed {
+        entry(f.rule, &f.file, f.line, true);
+    }
+    out.push_str("\n]\n");
+    fs::write(path, out).map_err(|e| e.to_string())
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }

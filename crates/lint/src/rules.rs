@@ -20,6 +20,17 @@
 //! * **R5** — no `std::thread::spawn`/`thread::Builder` outside
 //!   `crates/parallel` and `crates/serve`: parallelism goes through the
 //!   `ihtl-parallel` runtime so worker indices stay stable.
+//! * **R6** — lock-order discipline (cross-file; implemented in
+//!   [`crate::concurrency`], findings merged here before suppression):
+//!   every observed lock-acquisition edge must be declared in `LOCKS.md`,
+//!   the observed graph must be acyclic, and no lock may be held across a
+//!   blocking operation (`Condvar::wait`, channel `recv`, socket I/O,
+//!   `BlockStore` I/O) without a reasoned suppression.
+//! * **R7** — atomic-ordering audit: every `Ordering::Relaxed`/`Acquire`/
+//!   `Release`/`AcqRel`/`SeqCst` site must carry an `// ORDERING:`
+//!   justification comment, symmetric to R1's SAFETY audit. The documented
+//!   seqlock in `crates/trace/src/ring.rs` is exempt as a module, as are
+//!   tests/driver files.
 //!
 //! Suppression findings: **S1** (malformed or reason-less suppression
 //! comment) and **S2** (suppression that matched nothing). Neither is
@@ -28,7 +39,7 @@
 use crate::lexer::{lex, Comment, Lexed, Tok, Token};
 
 /// Rule identifiers accepted inside a suppression comment.
-pub const KNOWN_RULES: [&str; 5] = ["R1", "R2", "R3", "R4", "R5"];
+pub const KNOWN_RULES: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
 
 /// One diagnostic, reported as `file:line:rule: message`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,6 +61,9 @@ pub struct UsedSuppression {
 #[derive(Debug, Default)]
 pub struct FileReport {
     pub findings: Vec<Finding>,
+    /// Findings silenced by a reasoned `lint:allow` (kept for lint.json:
+    /// suppressed findings are data, not noise).
+    pub suppressed: Vec<Finding>,
     pub suppressions: Vec<UsedSuppression>,
 }
 
@@ -65,12 +79,23 @@ struct Class {
     timers_ok: bool,
     /// R5 exemption: the runtime itself, the serve tier, driver code.
     spawn_ok: bool,
+    /// R7 exemption: driver code and the documented trace seqlock module.
+    ordering_exempt: bool,
+}
+
+/// Driver code (tests, benches, examples, fixtures) is exempt from the
+/// scoped rules and from the R6 concurrency pass: lock discipline there is
+/// the test's business, not the service tier's.
+pub(crate) fn is_driver_path(rel_path: &str) -> bool {
+    rel_path
+        .replace('\\', "/")
+        .split('/')
+        .any(|part| matches!(part, "tests" | "benches" | "examples" | "fixtures"))
 }
 
 fn classify(rel_path: &str) -> Class {
     let p = rel_path.replace('\\', "/");
-    let driver =
-        p.split('/').any(|part| matches!(part, "tests" | "benches" | "examples" | "fixtures"));
+    let driver = is_driver_path(&p);
     let file = p.rsplit('/').next().unwrap_or("");
     let serve_src = p.starts_with("crates/serve/src/");
     let traversal_src = p.starts_with("crates/traversal/src/");
@@ -82,6 +107,9 @@ fn classify(rel_path: &str) -> Class {
             || p.starts_with("crates/trace/")
             || file == "stats.rs",
         spawn_ok: driver || p.starts_with("crates/parallel/") || p.starts_with("crates/serve/"),
+        // ring.rs is the one module whose orderings are documented as a
+        // system (the per-slot seqlock protocol) rather than site by site.
+        ordering_exempt: driver || p == "crates/trace/src/ring.rs",
     }
 }
 
@@ -98,12 +126,23 @@ struct Suppression {
 }
 
 /// Lints one file given its workspace-relative path and source text.
+/// Single-file entry point: runs every per-file rule (R1–R5, R7) and the
+/// suppression pass, but not the cross-file R6 analysis (that needs the
+/// whole workspace; see [`crate::lint_workspace`] / [`crate::check_sources`]).
 pub fn check_file(rel_path: &str, src: &str) -> FileReport {
     let lx = lex(src);
+    let raw = raw_findings(rel_path, &lx);
+    finalize(&lx, raw)
+}
+
+/// All per-file raw findings (before suppression). Cross-file passes append
+/// their findings to this list so one suppression mechanism covers every
+/// rule.
+pub fn raw_findings(rel_path: &str, lx: &Lexed) -> Vec<Finding> {
     let class = classify(rel_path);
     let n_lines = lx.lines.len();
 
-    // Per-line indexes used by the SAFETY-proximity scan.
+    // Per-line indexes used by the marker-proximity scans (R1/R2/R7).
     let mut has_code = vec![false; n_lines + 2];
     for t in &lx.tokens {
         if t.line < has_code.len() {
@@ -123,10 +162,15 @@ pub fn check_file(rel_path: &str, src: &str) -> FileReport {
     let in_test = |line: usize| test_ranges.iter().any(|&(a, b)| line >= a && line <= b);
 
     let mut raw: Vec<Finding> = Vec::new();
-    run_unsafe_rules(&lx, &scopes, &comment_on_line, &has_code, &mut raw);
-    run_scoped_rules(&lx, class, &in_test, &mut raw);
+    run_unsafe_rules(lx, &scopes, &comment_on_line, &has_code, &mut raw);
+    run_scoped_rules(lx, class, &in_test, &mut raw);
+    run_ordering_rule(lx, class, &in_test, &comment_on_line, &has_code, &mut raw);
+    raw
+}
 
-    // Suppressions: parse, apply, and report misuse.
+/// Applies this file's suppressions to `raw` (which may include cross-file
+/// findings attributed to this file) and reports suppression misuse.
+pub fn finalize(lx: &Lexed, raw: Vec<Finding>) -> FileReport {
     let mut findings: Vec<Finding> = Vec::new();
     let mut sups: Vec<Suppression> = Vec::new();
     for c in &lx.comments {
@@ -146,6 +190,7 @@ pub fn check_file(rel_path: &str, src: &str) -> FileReport {
                     rule: f.rule,
                     reason: s.reason.clone(),
                 });
+                report.suppressed.push(f.clone());
                 suppressed = true;
                 break;
             }
@@ -187,7 +232,8 @@ fn run_unsafe_rules(
                 if is_fn_pointer_type(toks, i) {
                     continue;
                 }
-                if !has_safety_near(lx, comment_on_line, has_code, t.line) {
+                if !has_marker_near(lx, comment_on_line, has_code, t.line, &["SAFETY", "# Safety"])
+                {
                     out.push(Finding {
                         line: t.line,
                         rule: "R1",
@@ -198,8 +244,9 @@ fn run_unsafe_rules(
                 }
             }
             "get_unchecked" | "get_unchecked_mut" => {
-                let justified = has_safety_near(lx, comment_on_line, has_code, t.line)
-                    || fn_scope_has_assert(toks, scopes, i);
+                let justified =
+                    has_marker_near(lx, comment_on_line, has_code, t.line, &["SAFETY", "# Safety"])
+                        || fn_scope_has_assert(toks, scopes, i);
                 if !justified {
                     out.push(Finding {
                         line: t.line,
@@ -236,35 +283,37 @@ fn is_fn_pointer_type(toks: &[Token], i: usize) -> bool {
     )
 }
 
-/// Walks upward from `line` looking for a comment containing `SAFETY` or a
-/// `# Safety` doc heading. Attribute lines are skipped freely; up to two
-/// plain code lines are tolerated (e.g. the `let x =` head of a binding and
-/// the `fn` signature under a doc comment); a blank line ends the search.
-fn has_safety_near(
+/// Walks upward from `line` looking for a comment containing one of the
+/// `markers` (`SAFETY`/`# Safety` for R1/R2, `ORDERING:` for R7).
+/// Attribute lines are skipped freely; up to two plain code lines are
+/// tolerated (e.g. the `let x =` head of a binding and the `fn` signature
+/// under a doc comment); a blank line ends the search.
+fn has_marker_near(
     lx: &Lexed,
     comment_on_line: &[Option<usize>],
     has_code: &[bool],
     line: usize,
+    markers: &[&str],
 ) -> bool {
-    let comment_is_safety = |l: usize| -> bool {
+    let comment_has_marker = |l: usize| -> bool {
         comment_on_line
             .get(l)
             .copied()
             .flatten()
             .map(|ci| {
                 let text = &lx.comments[ci].text;
-                text.contains("SAFETY") || text.contains("# Safety")
+                markers.iter().any(|m| text.contains(m))
             })
             .unwrap_or(false)
     };
-    if comment_is_safety(line) {
+    if comment_has_marker(line) {
         return true; // trailing comment on the same line
     }
     let mut budget = 2usize;
     let mut l = line;
     while l > 1 {
         l -= 1;
-        if comment_is_safety(l) {
+        if comment_has_marker(l) {
             return true;
         }
         let raw = lx.lines.get(l - 1).map(String::as_str).unwrap_or("");
@@ -462,6 +511,59 @@ fn run_scoped_rules(
 }
 
 // ---------------------------------------------------------------------------
+// R7: atomic-ordering audit
+// ---------------------------------------------------------------------------
+
+/// The five memory orderings; `cmp::Ordering`'s variants never collide.
+const MEMORY_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Flags every `Ordering::<memory ordering>` token sequence that has no
+/// `ORDERING:` comment in marker proximity. One finding per line: clustered
+/// counter updates justify themselves with one shared comment.
+fn run_ordering_rule(
+    lx: &Lexed,
+    class: Class,
+    in_test: &dyn Fn(usize) -> bool,
+    comment_on_line: &[Option<usize>],
+    has_code: &[bool],
+    out: &mut Vec<Finding>,
+) {
+    if class.ordering_exempt {
+        return;
+    }
+    let toks = &lx.tokens;
+    let mut last_flagged_line = 0usize;
+    for (i, t) in toks.iter().enumerate() {
+        let Tok::Ident(name) = &t.kind else { continue };
+        if name != "Ordering" || in_test(t.line) || t.line == last_flagged_line {
+            continue;
+        }
+        let is_site = matches!(toks.get(i + 1).map(|t| &t.kind), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 2).map(|t| &t.kind), Some(Tok::Punct(':')))
+            && matches!(toks.get(i + 3).map(|t| &t.kind),
+                        Some(Tok::Ident(ord)) if MEMORY_ORDERINGS.contains(&ord.as_str()));
+        if !is_site {
+            continue;
+        }
+        let ord = match &toks[i + 3].kind {
+            Tok::Ident(s) => s.clone(),
+            _ => continue,
+        };
+        if !has_marker_near(lx, comment_on_line, has_code, t.line, &["ORDERING:"]) {
+            last_flagged_line = t.line;
+            out.push(Finding {
+                line: t.line,
+                rule: "R7",
+                msg: format!(
+                    "`Ordering::{ord}` without an `// ORDERING:` comment justifying the \
+                     memory ordering (what it synchronizes with, or why none is needed)"
+                ),
+            });
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------------
 
@@ -520,8 +622,9 @@ fn parse_suppression(c: &Comment, sups: &mut Vec<Suppression>, findings: &mut Ve
 // ---------------------------------------------------------------------------
 
 /// Line ranges covered by `#[cfg(test)]` items (modules or functions).
-/// R3–R5 do not apply inside them; test code may unwrap freely.
-fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
+/// R3–R5/R7 do not apply inside them, and the R6 concurrency pass skips
+/// functions defined there; test code may lock and unwrap freely.
+pub(crate) fn cfg_test_ranges(toks: &[Token]) -> Vec<(usize, usize)> {
     let mut ranges = Vec::new();
     let mut i = 0usize;
     while i + 6 < toks.len() {

@@ -230,3 +230,195 @@ fn findings_render_as_file_line_rule() {
     let f = &report.findings[0];
     assert_eq!((f.line, f.rule), (2, "R3"));
 }
+
+// ---------------------------------------------------------------------- R7
+
+#[test]
+fn r7_ordering_without_justification() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+    assert_eq!(rules_at(ANY, src), vec!["R7"]);
+}
+
+#[test]
+fn r7_ordering_comment_directly_above_passes() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    // ORDERING: Relaxed — stats counter, no data published through it.\n    a.store(1, Ordering::Relaxed);\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r7_one_comment_per_line_multiple_orderings_on_one_line() {
+    // A CAS carries two orderings on one line; one comment covers the line.
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    // ORDERING: AcqRel success / Acquire failure — publishes the slot.\n    let _ = a.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire);\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r7_trace_ring_seqlock_is_exempt() {
+    // The seqlock module documents its protocol once at module level.
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Release);\n}\n";
+    assert!(rules_at("crates/trace/src/ring.rs", src).is_empty());
+    assert_eq!(rules_at("crates/trace/src/lib.rs", src), vec!["R7"]);
+}
+
+#[test]
+fn r7_tests_and_driver_files_are_exempt() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    a.store(1, Ordering::Relaxed);\n}\n";
+    assert!(rules_at("tests/integration.rs", src).is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    use std::sync::atomic::{AtomicU64, Ordering};\n    fn f(a: &AtomicU64) {\n        a.store(1, Ordering::Relaxed);\n    }\n}\n";
+    assert!(rules_at(ANY, in_test).is_empty());
+}
+
+#[test]
+fn r7_import_and_cmp_ordering_are_not_sites() {
+    let src = "use std::sync::atomic::Ordering;\nuse std::cmp::Ordering as CmpOrd;\npub fn f(a: u32, b: u32) -> CmpOrd {\n    let _ = std::cmp::Ordering::Less;\n    a.cmp(&b)\n}\n";
+    assert!(rules_at(ANY, src).is_empty());
+}
+
+#[test]
+fn r7_suppression_is_honoured() {
+    let src = "use std::sync::atomic::{AtomicU64, Ordering};\npub fn f(a: &AtomicU64) {\n    // lint:allow(R7): ordering audit pending for this migration shim\n    a.store(1, Ordering::SeqCst);\n}\n";
+    let (rules, sups) = rules_and_sups(ANY, src);
+    assert!(rules.is_empty());
+    assert_eq!(sups, 1);
+}
+
+// ---------------------------------------------------------------------- R6
+
+use ihtl_lint::{check_sources, Hierarchy};
+
+/// Renders the R6 findings for a multi-file fixture workspace.
+fn r6_findings(files: &[(&str, &str)], h: &Hierarchy) -> Vec<String> {
+    check_sources(files, h).findings.iter().filter(|f| f.rule == "R6").map(|f| f.render()).collect()
+}
+
+const FIX_A: &str = "crates/serve/src/fixture_a.rs";
+const FIX_B: &str = "crates/serve/src/fixture_b.rs";
+
+#[test]
+fn r6_detects_two_lock_cycle() {
+    // Classic AB/BA deadlock: one function takes alpha then beta, another
+    // takes beta then alpha.
+    let src = "pub fn ab(s: &S) {\n    let a = crate::lock_ok(&s.alpha);\n    let b = crate::lock_ok(&s.beta);\n}\npub fn ba(s: &S) {\n    let b = crate::lock_ok(&s.beta);\n    let a = crate::lock_ok(&s.alpha);\n}\n";
+    let h = Hierarchy::empty().with_edge("serve", "alpha", "beta");
+    let got = r6_findings(&[(FIX_A, src)], &h);
+    // The beta -> alpha edge is undeclared AND closes a cycle.
+    assert!(got.iter().any(|f| f.contains("beta` -> `alpha")), "{got:?}");
+    assert!(got.iter().any(|f| f.contains("cycle")), "{got:?}");
+}
+
+#[test]
+fn r6_declared_order_is_clean() {
+    let src = "pub fn ab(s: &S) {\n    let a = crate::lock_ok(&s.alpha);\n    let b = crate::lock_ok(&s.beta);\n}\n";
+    let h = Hierarchy::empty().with_edge("serve", "alpha", "beta");
+    assert!(r6_findings(&[(FIX_A, src)], &h).is_empty());
+    // The same nesting with an empty hierarchy is an undeclared edge.
+    let got = r6_findings(&[(FIX_A, src)], &Hierarchy::empty());
+    assert!(got.iter().any(|f| f.contains("alpha` -> `beta")), "{got:?}");
+}
+
+#[test]
+fn r6_transitive_closure_of_declared_edges_allows_skips() {
+    // Declared a -> b -> c allows observing a -> c directly.
+    let src = "pub fn ac(s: &S) {\n    let a = crate::lock_ok(&s.alpha);\n    let c = crate::lock_ok(&s.gamma);\n}\n";
+    let h =
+        Hierarchy::empty().with_edge("serve", "alpha", "beta").with_edge("serve", "beta", "gamma");
+    assert!(r6_findings(&[(FIX_A, src)], &h).is_empty());
+}
+
+#[test]
+fn r6_lock_held_across_condvar_wait() {
+    // `outer` stays held while the condvar consumes (and re-acquires) only
+    // the `inner` guard — the classic lock-across-wait deadlock shape.
+    let src = "pub fn f(s: &S) {\n    let g = crate::lock_ok(&s.outer);\n    let mut st = crate::lock_ok(&s.inner);\n    st = s.cv.wait(st).unwrap_or_else(|e| e.into_inner());\n}\n";
+    let h = Hierarchy::empty().with_edge("serve", "outer", "inner");
+    let got = r6_findings(&[(FIX_A, src)], &h);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].contains("outer` held across blocking operation `Condvar::wait"), "{got:?}");
+}
+
+#[test]
+fn r6_wait_consuming_the_only_guard_is_clean() {
+    let src = "pub fn f(s: &S) {\n    let mut st = crate::lock_ok(&s.inner);\n    while st.busy {\n        st = s.cv.wait(st).unwrap_or_else(|e| e.into_inner());\n    }\n}\n";
+    assert!(r6_findings(&[(FIX_A, src)], &Hierarchy::empty()).is_empty());
+}
+
+#[test]
+fn r6_lock_held_across_store_io() {
+    let src = "pub fn f(s: &S, store: &Store, h: u64) {\n    let mut slot = crate::lock_ok(&s.slot);\n    let _ = store.load_ihtl(h, &s.cfg);\n}\n";
+    let got = r6_findings(&[(FIX_A, src)], &Hierarchy::empty());
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].contains("slot` held across blocking operation `load_ihtl"), "{got:?}");
+}
+
+#[test]
+fn r6_suppression_with_reason_is_honoured() {
+    let src = "pub fn f(s: &S, store: &Store, h: u64) {\n    let mut slot = crate::lock_ok(&s.slot);\n    // lint:allow(R6): build-once slot guard, held across I/O by design\n    let _ = store.load_ihtl(h, &s.cfg);\n}\n";
+    let report = check_sources(&[(FIX_A, src)], &Hierarchy::empty());
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.suppressions.len(), 1);
+}
+
+#[test]
+fn r6_dropped_and_statement_scoped_guards_do_not_leak_edges() {
+    // drop(g) ends liveness; a chained temporary dies at its statement.
+    let src = "pub fn f(s: &S) {\n    let g = crate::lock_ok(&s.alpha);\n    drop(g);\n    let h = crate::lock_ok(&s.beta);\n}\npub fn t(s: &S) {\n    crate::lock_ok(&s.alpha).clear();\n    let h = crate::lock_ok(&s.beta);\n}\n";
+    assert!(r6_findings(&[(FIX_A, src)], &Hierarchy::empty()).is_empty());
+}
+
+#[test]
+fn r6_resolves_through_same_crate_callees() {
+    // File A holds a lock while calling a helper in file B that acquires
+    // another lock; the edge is attributed to the call site in A.
+    let a = "pub fn caller(s: &S) {\n    let g = crate::lock_ok(&s.alpha);\n    helper(s);\n}\n";
+    let b = "pub fn helper(s: &S) {\n    let h = crate::lock_ok(&s.beta);\n}\n";
+    let got = r6_findings(&[(FIX_A, a), (FIX_B, b)], &Hierarchy::empty());
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].starts_with(FIX_A), "{got:?}");
+    assert!(got[0].contains("alpha` -> `beta"), "{got:?}");
+}
+
+#[test]
+fn r6_guard_returning_helper_acts_as_acquisition() {
+    // `lock_names()`-style helpers: the caller acquires what the helper
+    // locks, so holding another guard across the call is an edge.
+    let src = "fn lock_names() -> std::sync::MutexGuard<'static, Vec<u32>> {\n    NAMES.lock().unwrap_or_else(|e| e.into_inner())\n}\npub fn f(s: &S) {\n    let g = crate::lock_ok(&s.alpha);\n    let names = lock_names();\n}\n";
+    let got = r6_findings(&[(FIX_A, src)], &Hierarchy::empty());
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].contains("alpha` -> `NAMES"), "{got:?}");
+}
+
+#[test]
+fn r6_self_deadlock_is_reported() {
+    let src = "pub fn f(s: &S) {\n    let a = crate::lock_ok(&s.alpha);\n    let b = crate::lock_ok(&s.alpha);\n}\n";
+    let got = r6_findings(&[(FIX_A, src)], &Hierarchy::empty());
+    assert!(got.iter().any(|f| f.contains("self-deadlock")), "{got:?}");
+}
+
+#[test]
+fn r6_skips_test_functions_and_driver_files() {
+    let src = "#[cfg(test)]\nmod tests {\n    fn f(s: &super::S) {\n        let b = crate::lock_ok(&s.beta);\n        let a = crate::lock_ok(&s.alpha);\n    }\n}\n";
+    assert!(r6_findings(&[(FIX_A, src)], &Hierarchy::empty()).is_empty());
+    let driver = "pub fn f(s: &S) {\n    let b = crate::lock_ok(&s.beta);\n    let a = crate::lock_ok(&s.alpha);\n}\n";
+    assert!(r6_findings(&[("tests/fixture.rs", driver)], &Hierarchy::empty()).is_empty());
+}
+
+#[test]
+fn r6_locks_are_scoped_per_crate() {
+    // The same field names in different crates are different locks: each
+    // crate's AB nesting is a (distinct) undeclared edge, not a cycle.
+    let a = "pub fn f(s: &S) {\n    let g = crate::lock_ok(&s.alpha);\n    let h = crate::lock_ok(&s.beta);\n}\n";
+    let b = "pub fn f(s: &S) {\n    let g = crate::lock_ok(&s.beta);\n    let h = crate::lock_ok(&s.alpha);\n}\n";
+    let got = r6_findings(&[(FIX_A, a), ("crates/store/src/fixture.rs", b)], &Hierarchy::empty());
+    assert_eq!(got.len(), 2, "{got:?}");
+    assert!(!got.iter().any(|f| f.contains("cycle")), "{got:?}");
+}
+
+#[test]
+fn r6_hierarchy_parses_locks_md_bullets() {
+    let text = "# Lock hierarchy\n\nProse is ignored.\n\n- serve: queue -> result\n- trace: REGISTRY -> NAMES\n- not an edge line\n";
+    let h = Hierarchy::parse(text);
+    let src = "pub fn f(s: &S) {\n    let q = crate::lock_ok(&s.queue);\n    let r = crate::lock_ok(&s.result);\n}\n";
+    assert!(r6_findings(&[(FIX_A, src)], &h).is_empty());
+    let rev = "pub fn f(s: &S) {\n    let r = crate::lock_ok(&s.result);\n    let q = crate::lock_ok(&s.queue);\n}\n";
+    assert!(!r6_findings(&[(FIX_A, rev)], &h).is_empty());
+}

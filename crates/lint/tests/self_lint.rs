@@ -1,6 +1,7 @@
 //! Self-lint: the workspace itself must be clean, and the honoured
-//! suppressions must match the committed baseline (`lint.baseline`) so any
-//! new `lint:allow` comment is a visible diff, not a silent drift.
+//! suppressions must match the committed per-file/per-rule baseline
+//! (`lint.baseline`) so any new `lint:allow` comment is a visible diff,
+//! not a silent drift. Regenerate with `scripts/lint.sh --bless`.
 
 use std::path::Path;
 
@@ -14,16 +15,34 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
-fn suppression_counts_match_baseline() {
+fn suppression_table_matches_baseline() {
     let root = workspace_root();
     let report = ihtl_lint::lint_workspace(&root).expect("lint walk");
-    let live = report.suppression_counts();
+    let live = report.suppression_table();
     let baseline = read_baseline(&root.join("crates/lint/lint.baseline"));
-    assert_eq!(
-        live, baseline,
-        "honoured suppressions diverge from crates/lint/lint.baseline — if the new \
-         suppression is justified, update the baseline in the same change"
+
+    // Readable diff: report each divergent (file, rule) entry, not just a
+    // giant Vec inequality dump.
+    let mut diff = Vec::new();
+    for (f, r, n) in &baseline {
+        match live.iter().find(|(f2, r2, _)| f2 == f && r2 == r) {
+            None => diff.push(format!("- {f} {r} {n} (suppressions removed)")),
+            Some((_, _, n2)) if n2 != n => diff.push(format!("~ {f} {r} {n} -> {n2}")),
+            _ => {}
+        }
+    }
+    for (f, r, n) in &live {
+        if !baseline.iter().any(|(f2, r2, _)| f2 == f && r2 == r) {
+            diff.push(format!("+ {f} {r} {n} (new suppressions)"));
+        }
+    }
+    assert!(
+        diff.is_empty(),
+        "honoured suppressions diverge from crates/lint/lint.baseline — if the \
+         change is justified, run `scripts/lint.sh --bless` in the same change:\n{}",
+        diff.join("\n")
     );
+
     // Every honoured suppression must carry a non-empty reason (the parser
     // enforces this; double-check the invariant end to end).
     for s in &report.suppressions {
@@ -39,7 +58,7 @@ fn workspace_root() -> std::path::PathBuf {
         .to_path_buf()
 }
 
-fn read_baseline(path: &Path) -> Vec<(String, usize)> {
+fn read_baseline(path: &Path) -> Vec<(String, String, usize)> {
     let text = std::fs::read_to_string(path).expect("read lint.baseline");
     let mut out = Vec::new();
     for line in text.lines() {
@@ -48,10 +67,10 @@ fn read_baseline(path: &Path) -> Vec<(String, usize)> {
             continue;
         }
         let mut it = line.split_whitespace();
-        let (Some(rule), Some(count)) = (it.next(), it.next()) else {
-            panic!("malformed baseline line: {line}");
+        let (Some(file), Some(rule), Some(count)) = (it.next(), it.next(), it.next()) else {
+            panic!("malformed baseline line (want `<file> <rule> <count>`): {line}");
         };
-        out.push((rule.to_string(), count.parse().expect("baseline count")));
+        out.push((file.to_string(), rule.to_string(), count.parse().expect("baseline count")));
     }
     out.sort();
     out

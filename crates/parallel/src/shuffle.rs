@@ -1,0 +1,303 @@
+//! Deterministic schedule-permutation harness for concurrency tests.
+//!
+//! Real races are timing-dependent: the registry evicting an engine while a
+//! checkout is mid-flight, a batch leader abandoning a slot just as a
+//! follower's deadline expires, a scheduler draining its queue during
+//! shutdown. Running such tests under the OS scheduler explores one
+//! interleaving per run — usually the same one. This module explores *many*
+//! interleavings, reproducibly:
+//!
+//! * every participant runs on its own thread, but the harness serialises
+//!   them with a **turn token** — exactly one participant executes at a
+//!   time, everyone else is parked on a condvar;
+//! * participants mark *yield points* with [`Yield::point`]. At each point a
+//!   seeded PRNG decides whether to preempt the runner and which ready
+//!   participant proceeds instead (bounded by a preemption budget, the
+//!   classic bounded-preemption result: most schedule-sensitive bugs need
+//!   only a handful of forced switches);
+//! * a fixed seed replays the exact same interleaving, so a failing seed is
+//!   a reproducer, not a flake.
+//!
+//! The model is sound only if the code *between* two yield points never
+//! blocks on another participant: each step must run to completion on its
+//! own (acquire-and-release a lock, complete a timed wait, finish an I/O).
+//! Under that contract the harness is deadlock-free by construction — the
+//! turn token always moves, because the runner always reaches its next
+//! `point()` or its end. Placing a `point()` *inside* a critical section
+//! another participant can enter is fine (the suspended thread holds the
+//! lock, the scheduled one blocks on it — but the suspended thread is not
+//! runnable until scheduled, and the harness only schedules participants
+//! parked *at* a yield point or not yet started); placing one before a wait
+//! that only another participant can satisfy is not.
+//!
+//! The embedded PCG-XSL-RR generator duplicates `ihtl_gen::Pcg64` because
+//! depending on `ihtl-gen` here would cycle the crate graph
+//! (gen → parallel). Keeping the harness std-only also lets any crate's
+//! integration tests use it.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::lock_ok;
+
+/// Minimal PCG-XSL-RR 128/64 — same construction as `ihtl_gen::Pcg64`,
+/// embedded to keep this crate at the bottom of the dependency graph.
+struct Pcg64 {
+    state: u128,
+    inc: u128,
+}
+
+impl Pcg64 {
+    const MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+    fn new(seed: u64) -> Self {
+        let mut rng = Pcg64 { state: 0, inc: ((seed as u128) << 1) | 1 };
+        rng.next_u64();
+        rng.state = rng.state.wrapping_add(0x9e37_79b9_7f4a_7c15 ^ (seed as u128));
+        rng.next_u64();
+        rng
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(Self::MUL).wrapping_add(self.inc);
+        let xored = ((self.state >> 64) as u64) ^ (self.state as u64);
+        let rot = (self.state >> 122) as u32;
+        xored.rotate_right(rot)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Scheduler state, guarded by `Inner::turn`. All PRNG draws happen under
+/// this lock and only on the thread holding the turn, which is what makes a
+/// run a pure function of the seed.
+struct State {
+    /// Index of the participant allowed to run.
+    current: usize,
+    done: Vec<bool>,
+    rng: Pcg64,
+    preemptions_left: u32,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct Inner {
+    turn: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Inner {
+    /// Hands the turn to a PRNG-chosen unfinished participant (used when the
+    /// runner finishes; does not consume preemption budget).
+    fn pass_turn(&self, st: &mut State) {
+        let ready: Vec<usize> = (0..st.done.len()).filter(|&j| !st.done[j]).collect();
+        if !ready.is_empty() {
+            st.current = ready[st.rng.below(ready.len())];
+        }
+        self.cv.notify_all();
+    }
+}
+
+/// One participant: a closure run on its own thread, yielding at the
+/// points whose interleavings the test wants explored.
+pub type Participant = Box<dyn FnOnce(&Yield) + Send>;
+
+/// Per-participant handle: call [`Yield::point`] between the steps whose
+/// interleavings the test wants explored.
+pub struct Yield {
+    inner: Arc<Inner>,
+    id: usize,
+}
+
+impl Yield {
+    /// A yield point. With probability ½ (and while the preemption budget
+    /// lasts) the harness suspends this participant here and schedules
+    /// another ready one; the call returns when the turn comes back.
+    pub fn point(&self) {
+        let mut st = lock_ok(&self.inner.turn);
+        debug_assert_eq!(st.current, self.id, "point() called off-turn");
+        // Once a sibling has panicked, stop permuting: let every participant
+        // run straight to its end so `run` can join and re-raise.
+        if st.panic.is_some() || st.preemptions_left == 0 {
+            return;
+        }
+        let others: Vec<usize> =
+            (0..st.done.len()).filter(|&j| j != self.id && !st.done[j]).collect();
+        if others.is_empty() || st.rng.next_u64().is_multiple_of(2) {
+            return;
+        }
+        st.preemptions_left -= 1;
+        st.current = others[st.rng.below(others.len())];
+        self.inner.cv.notify_all();
+        while st.current != self.id {
+            st = self.inner.cv.wait(st).unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// Runs `participants` under the schedule permutation selected by `seed`,
+/// with at most `preemption_budget` forced context switches. Returns when
+/// every participant has finished; re-raises the first participant panic on
+/// the caller (like `ihtl-parallel` regions do).
+pub fn run(seed: u64, preemption_budget: u32, participants: Vec<Participant>) {
+    let n = participants.len();
+    if n == 0 {
+        return;
+    }
+    let inner = Arc::new(Inner {
+        turn: Mutex::new(State {
+            current: 0,
+            done: vec![false; n],
+            rng: Pcg64::new(seed),
+            preemptions_left: preemption_budget,
+            panic: None,
+        }),
+        cv: Condvar::new(),
+    });
+    {
+        let mut st = lock_ok(&inner.turn);
+        st.current = st.rng.below(n);
+    }
+    let handles: Vec<_> = participants
+        .into_iter()
+        .enumerate()
+        .map(|(id, f)| {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || {
+                {
+                    let mut st = lock_ok(&inner.turn);
+                    while st.current != id {
+                        st = inner.cv.wait(st).unwrap_or_else(|poisoned| poisoned.into_inner());
+                    }
+                }
+                let handle = Yield { inner: Arc::clone(&inner), id };
+                let result = catch_unwind(AssertUnwindSafe(|| f(&handle)));
+                let mut st = lock_ok(&inner.turn);
+                st.done[id] = true;
+                if let Err(payload) = result {
+                    if st.panic.is_none() {
+                        st.panic = Some(payload);
+                    }
+                }
+                inner.pass_turn(&mut st);
+            })
+        })
+        .collect();
+    for h in handles {
+        // Participant panics are captured in `State::panic`; the join itself
+        // cannot fail for any other reason.
+        let _ = h.join();
+    }
+    let payload = lock_ok(&inner.turn).panic.take();
+    if let Some(p) = payload {
+        resume_unwind(p);
+    }
+}
+
+/// Number of seeds a shuffle test should sweep: `IHTL_SHUFFLE_SEEDS` when
+/// set to a positive integer (verify.sh sets 64), else `default`.
+pub fn seed_count(default: u64) -> u64 {
+    std::env::var("IHTL_SHUFFLE_SEEDS")
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs two participants that each append their (id, step) pairs to a
+    /// shared trace, yielding between appends; returns the trace.
+    fn trace_run(seed: u64, budget: u32) -> Vec<(usize, usize)> {
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let mk = |id: usize, trace: Arc<Mutex<Vec<(usize, usize)>>>| {
+            Box::new(move |y: &Yield| {
+                for step in 0..4 {
+                    y.point();
+                    lock_ok(&trace).push((id, step));
+                }
+            }) as Box<dyn FnOnce(&Yield) + Send>
+        };
+        run(seed, budget, vec![mk(0, Arc::clone(&trace)), mk(1, Arc::clone(&trace))]);
+        let out = lock_ok(&trace).clone();
+        out
+    }
+
+    #[test]
+    fn same_seed_replays_the_same_interleaving() {
+        for seed in 0..16 {
+            assert_eq!(trace_run(seed, 8), trace_run(seed, 8), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_explore_different_interleavings() {
+        let mut distinct = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            distinct.insert(trace_run(seed, 8));
+        }
+        assert!(distinct.len() > 1, "32 seeds produced a single interleaving");
+    }
+
+    #[test]
+    fn zero_budget_runs_participants_back_to_back() {
+        // Without preemptions the only switches happen at participant exit,
+        // so each participant's steps are contiguous in the trace.
+        let trace = trace_run(7, 0);
+        let ids: Vec<usize> = trace.iter().map(|&(id, _)| id).collect();
+        let switches = ids.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(switches <= 1, "zero-budget run interleaved: {ids:?}");
+    }
+
+    #[test]
+    fn every_step_runs_exactly_once_under_any_schedule() {
+        for seed in 0..64 {
+            let trace = trace_run(seed, 16);
+            assert_eq!(trace.len(), 8, "seed {seed}: {trace:?}");
+            for id in 0..2 {
+                let steps: Vec<usize> =
+                    trace.iter().filter(|&&(i, _)| i == id).map(|&(_, s)| s).collect();
+                assert_eq!(steps, vec![0, 1, 2, 3], "seed {seed} participant {id}");
+            }
+        }
+    }
+
+    #[test]
+    fn participant_panic_propagates_and_siblings_finish() {
+        let finished = Arc::new(Mutex::new(false));
+        let fin = Arc::clone(&finished);
+        let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run(
+                3,
+                8,
+                vec![
+                    Box::new(|y: &Yield| {
+                        y.point();
+                        panic!("boom");
+                    }),
+                    Box::new(move |y: &Yield| {
+                        y.point();
+                        *lock_ok(&fin) = true;
+                    }),
+                ],
+            );
+        }));
+        assert!(res.is_err(), "panic was swallowed");
+        assert!(*lock_ok(&finished), "sibling did not run to completion");
+    }
+
+    #[test]
+    fn seed_count_respects_environment() {
+        // The env var is process-global and tests run concurrently, so read
+        // it rather than mutate it.
+        let expect = std::env::var("IHTL_SHUFFLE_SEEDS")
+            .ok()
+            .and_then(|s| s.trim().parse().ok())
+            .filter(|&n: &u64| n > 0)
+            .unwrap_or(8);
+        assert_eq!(seed_count(8), expect);
+    }
+}

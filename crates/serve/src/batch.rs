@@ -91,6 +91,9 @@ impl BatchSlot {
                     // lint:allow(R4): deadline bookkeeping — wall-clock never feeds results
                     let now = Instant::now();
                     if now >= d {
+                        // ORDERING: Relaxed — advisory abandon flag; the
+                        // leader re-checks it and results travel under the
+                        // slot mutex, which orders everything that matters.
                         self.cancelled.store(true, Ordering::Relaxed);
                         return Err(JobError::DeadlineExceeded);
                     }
@@ -119,6 +122,8 @@ impl BatchMember {
 
     /// Whether the waiting client already gave up on this member.
     pub fn is_abandoned(&self) -> bool {
+        // ORDERING: Relaxed — advisory read: a stale false only means the
+        // leader computes a result nobody collects; never a safety issue.
         self.slot.cancelled.load(Ordering::Relaxed)
     }
 

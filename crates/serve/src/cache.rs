@@ -64,10 +64,13 @@ impl ResultCache {
         match inner.map.get_mut(key) {
             Some(e) => {
                 e.last_used = tick;
+                // ORDERING: Relaxed — hit/miss tallies are stats counters;
+                // the cached value itself travels under the inner mutex.
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.value.clone())
             }
             None => {
+                // ORDERING: Relaxed — stats counter; see the hit path.
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -102,6 +105,7 @@ impl ResultCache {
     /// (hits, misses, current length).
     pub fn stats(&self) -> (u64, u64, usize) {
         let len = crate::lock_ok(&self.inner).map.len();
+        // ORDERING: Relaxed — stats reads for the monitoring endpoint.
         (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed), len)
     }
 }

@@ -129,6 +129,9 @@ impl Dataset {
     /// and declines to re-pool.
     fn demote(&self) {
         let _span = ihtl_trace::span("evict");
+        // ORDERING: Release — pairs with the Acquire loads in with_engine;
+        // an engine that observes the bumped generation also observes the
+        // cleared slots and must not re-pool demoted artifacts.
         self.generation.fetch_add(1, Ordering::Release);
         crate::lock_ok(&self.engines).clear();
         *crate::lock_ok(&self.ihtl) = None;
@@ -152,6 +155,9 @@ impl Dataset {
         };
         let cfg = reg.cfg();
         if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            // The ihtl slot is deliberately held across store I/O so
+            // concurrent checkouts build/load once (see doc comment above).
+            // lint:allow(R6): build-once slot guard; no locks taken under it
             if let Some(ih) = store.load_ihtl(hash, cfg) {
                 let ih = Arc::new(ih);
                 *slot = Some(Arc::clone(&ih));
@@ -162,6 +168,7 @@ impl Dataset {
         if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
             // Write-back is best-effort: the store is a cache, and serving
             // must not fail over a full or read-only disk.
+            // lint:allow(R6): same build-once rationale as the load above.
             let _ = store.save_ihtl(hash, cfg, &ih);
         }
         *slot = Some(Arc::clone(&ih));
@@ -187,6 +194,9 @@ impl Dataset {
         let cfg = reg.cfg();
         let parts = ihtl_traversal::pull::default_parts();
         if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            // The pb slot is held across store I/O so concurrent
+            // checkouts build/load once, like the ihtl slot.
+            // lint:allow(R6): build-once slot guard; no locks taken under it
             if let Some(pb) = store.load_pb(hash, cfg, parts) {
                 let pb = Arc::new(pb);
                 *slot = Some(Arc::clone(&pb));
@@ -196,6 +206,8 @@ impl Dataset {
         let pb =
             Arc::new(PbGraph::with_parts(g, cfg.cache_budget_bytes, cfg.vertex_data_bytes, parts));
         if let (Some(store), Some(hash)) = (reg.store(), self.dataset_hash) {
+            // Best-effort write-back under the build-once slot guard.
+            // lint:allow(R6): same build-once rationale as the load above.
             let _ = store.save_pb(hash, cfg, parts, &pb);
         }
         *slot = Some(Arc::clone(&pb));
@@ -224,7 +236,12 @@ impl Dataset {
         reg: &Registry,
         f: impl FnOnce(&mut dyn SpmvEngine) -> R,
     ) -> Result<R, String> {
+        // ORDERING: Relaxed — last_used is an LRU heuristic read under no
+        // lock; a stale value only perturbs eviction order, never safety.
         self.last_used.store(reg.tick(), Ordering::Relaxed);
+        // ORDERING: Acquire — pairs with demote()'s Release bump; observing
+        // the old generation here means any demotion that follows will be
+        // seen by the second load below, keeping the re-pool check sound.
         let generation = self.generation.load(Ordering::Acquire);
         let key = engine_key(kind, symmetrized);
         let pooled = crate::lock_ok(&self.engines).get_mut(&key).and_then(Vec::pop);
@@ -236,6 +253,7 @@ impl Dataset {
         // Re-pool only if no demotion ran while we held the engine —
         // otherwise the pool entry would keep the demoted artifacts alive
         // through the engine's `Arc`s, defeating the eviction.
+        // ORDERING: Acquire — pairs with demote()'s Release; see above.
         if self.generation.load(Ordering::Acquire) == generation {
             crate::lock_ok(&self.engines).entry(key).or_default().push(engine);
         }
@@ -375,6 +393,7 @@ impl Registry {
 
     /// Lifetime demotion count.
     pub fn evictions(&self) -> u64 {
+        // ORDERING: Relaxed — monotonic stats counter, no data published.
         self.evictions.load(Ordering::Relaxed)
     }
 
@@ -385,6 +404,8 @@ impl Registry {
 
     /// Advances the LRU clock and returns the new tick.
     fn tick(&self) -> u64 {
+        // ORDERING: Relaxed — the clock only orders LRU victims; ties or
+        // reordering across threads are harmless to correctness.
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
@@ -407,11 +428,13 @@ impl Registry {
             let victim = datasets
                 .iter()
                 .filter(|d| d.dataset_hash.is_some() && d.name != current_name && d.warm())
+                // ORDERING: Relaxed — LRU heuristic; see with_engine.
                 .min_by_key(|d| d.last_used.load(Ordering::Relaxed));
             let Some(victim) = victim else {
                 return;
             };
             victim.demote();
+            // ORDERING: Relaxed — stats counter only.
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }

@@ -131,6 +131,8 @@ impl JobHandle {
                     if now >= d {
                         // Tell the executor (if it ever starts this job) to
                         // stop early; nobody is listening for the result.
+                        // ORDERING: Relaxed — advisory flag; the result slot
+                        // mutex orders the actual hand-off.
                         self.cancelled.store(true, Ordering::Relaxed);
                         // Release the slot lock first: abandoning fills this
                         // slot, and `fill` takes the same mutex.
@@ -152,6 +154,7 @@ impl JobHandle {
     /// Flags the job as cancelled; if it is still queued it is removed on
     /// the spot, freeing its admission slot and dropping its closure.
     pub fn cancel(&self) {
+        // ORDERING: Relaxed — advisory flag; see the deadline path above.
         self.cancelled.store(true, Ordering::Relaxed);
         self.abandon_queued(JobError::Cancelled);
     }
@@ -224,6 +227,7 @@ impl Scheduler {
         if q.jobs.len() >= self.shared.capacity {
             return Err(SubmitError::Overloaded);
         }
+        // ORDERING: Relaxed — only uniqueness of the id matters.
         let job_id = self.shared.next_id.fetch_add(1, Ordering::Relaxed);
         let cancelled = Arc::new(AtomicBool::new(false));
         let done = Arc::new(JobSlot { result: Mutex::new(None), ready: Condvar::new() });
@@ -280,6 +284,8 @@ fn purge_dead(q: &mut Queue) {
     let now = Instant::now();
     let mut i = 0;
     while i < q.jobs.len() {
+        // ORDERING: Relaxed — advisory flag read under the queue lock; a
+        // stale false just defers the purge to the executor's own check.
         let err = if q.jobs[i].cancelled.load(Ordering::Relaxed) {
             Some(JobError::Cancelled)
         } else if q.jobs[i].deadline.is_some_and(|d| now >= d) {
@@ -313,6 +319,8 @@ fn executor_loop(shared: &Shared) {
             }
         };
         // Late checks at dequeue: the client may already have given up.
+        // ORDERING: Relaxed — advisory flag; a stale false only wastes one
+        // job's compute, and the fill below is mutex-ordered anyway.
         if job.cancelled.load(Ordering::Relaxed) {
             job.done.fill(Err(JobError::Cancelled));
             continue;

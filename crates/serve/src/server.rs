@@ -123,6 +123,9 @@ impl ServerHandle {
 }
 
 fn request_shutdown(state: &ServerState, addr: SocketAddr) {
+    // ORDERING: SeqCst — shutdown is a once-per-process edge; the accept
+    // loop's SeqCst load must see it in total order with the wake-up
+    // connection below, and the cost is irrelevant off the hot path.
     if state.shutting_down.swap(true, Ordering::SeqCst) {
         return;
     }
@@ -166,6 +169,7 @@ impl Server {
     pub fn run(self) {
         let addr = self.addr;
         for conn in self.listener.incoming() {
+            // ORDERING: SeqCst — pairs with request_shutdown's swap.
             if self.state.shutting_down.load(Ordering::SeqCst) {
                 break;
             }
@@ -212,6 +216,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>, addr: SocketAd
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 // Idle expiry (both kinds occur across platforms). Closing
                 // frees the connection thread and its file descriptor.
+                // ORDERING: Relaxed — stats counter only.
                 state.stats.idle_disconnects.fetch_add(1, Ordering::Relaxed);
                 let _ = writeln!(writer, "{}", error_reply(None, "idle timeout, closing"));
                 return;
@@ -446,6 +451,7 @@ fn handle_job(
         }
     }
 
+    // ORDERING: Relaxed — stats counter only.
     state.stats.submitted.fetch_add(1, Ordering::Relaxed);
     // lint:allow(R4): admission timestamp feeds the latency histogram only
     let submitted_at = Instant::now();
@@ -474,6 +480,7 @@ fn handle_job(
             }
         }
     }
+    // ORDERING: Relaxed — only uniqueness of the trace id matters.
     let trace_id = trace.then(|| state.next_trace_id.fetch_add(1, Ordering::Relaxed));
     let job_for_exec = job.clone();
     let state_for_exec = Arc::clone(state);
@@ -510,6 +517,7 @@ fn handle_job(
         )
         .map_err(|e| match e {
             SubmitError::Overloaded => {
+                // ORDERING: Relaxed — stats counter only.
                 state.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
                 "overloaded".to_string()
             }
@@ -521,6 +529,7 @@ fn handle_job(
     state.stats.record_latency(latency);
     match result {
         Ok(mut body) => {
+            // ORDERING: Relaxed — stats counter only.
             state.stats.completed.fetch_add(1, Ordering::Relaxed);
             if let Json::Obj(pairs) = &mut body {
                 pairs.push(("latency_seconds".to_string(), Json::Num(latency)));
@@ -537,9 +546,11 @@ fn handle_job(
             Ok(body)
         }
         Err(err) => {
+            // ORDERING: Relaxed — stats counters only.
             if err == JobError::DeadlineExceeded {
                 state.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
             }
+            // ORDERING: Relaxed — stats counter only.
             state.stats.failed.fetch_add(1, Ordering::Relaxed);
             Err(err.message())
         }
@@ -586,6 +597,7 @@ fn finish_batched_job(
             )
             .map_err(|e| match e {
                 SubmitError::Overloaded => {
+                    // ORDERING: Relaxed — stats counter only.
                     state.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
                     "overloaded".to_string()
                 }
@@ -597,6 +609,7 @@ fn finish_batched_job(
     state.stats.record_latency(latency);
     match result {
         Ok(b) => {
+            // ORDERING: Relaxed — stats counter only.
             state.stats.completed.fetch_add(1, Ordering::Relaxed);
             let mut body = job_body(ds, engine, spec, &b.output, top_k, include_values);
             if let Json::Obj(pairs) = &mut body {
@@ -614,9 +627,11 @@ fn finish_batched_job(
             Ok(body)
         }
         Err(err) => {
+            // ORDERING: Relaxed — stats counters only.
             if err == JobError::DeadlineExceeded {
                 state.stats.deadline_missed.fetch_add(1, Ordering::Relaxed);
             }
+            // ORDERING: Relaxed — stats counter only.
             state.stats.failed.fetch_add(1, Ordering::Relaxed);
             Err(err.message())
         }
@@ -704,6 +719,8 @@ fn execute_job(
     include_values: bool,
     cancel: &AtomicBool,
 ) -> Result<Json, String> {
+    // ORDERING: Relaxed — advisory cancellation flag: a stale false only
+    // wastes compute; the result hand-off is mutex-ordered elsewhere.
     if cancel.load(Ordering::Relaxed) {
         return Err("cancelled".to_string());
     }
@@ -712,6 +729,7 @@ fn execute_job(
             // Sleep in slices so cancellation/deadline abandonment is cheap.
             // lint:allow(R4): the sleep job is wall-clock by definition
             let end = Instant::now() + Duration::from_millis(*ms);
+            // ORDERING: Relaxed — advisory cancellation poll.
             // lint:allow(R4): the sleep job is wall-clock by definition
             while Instant::now() < end && !cancel.load(Ordering::Relaxed) {
                 std::thread::sleep(Duration::from_millis(5.min(*ms).max(1)));
@@ -728,6 +746,7 @@ fn execute_job(
             let mut reference: Option<(EngineKind, Vec<f64>)> = None;
             let mut max_abs_diff = 0.0f64;
             for kind in EngineKind::all() {
+                // ORDERING: Relaxed — advisory cancellation poll.
                 if cancel.load(Ordering::Relaxed) {
                     return Err("cancelled".to_string());
                 }

@@ -63,6 +63,9 @@ impl ServeStats {
     pub fn record_latency(&self, seconds: f64) {
         let micros = (seconds * 1e6).max(0.0) as u64;
         let bucket = (64 - micros.max(1).leading_zeros() as usize - 1).min(LATENCY_BUCKETS - 1);
+        // ORDERING: Relaxed — all ServeStats cells are monotonic counters
+        // read only by the stats endpoint; no data is published through
+        // them, so no synchronization is needed (holds file-wide).
         self.latency[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -70,6 +73,7 @@ impl ServeStats {
     /// `edges` traversed edges.
     pub fn record_engine(&self, kind: EngineKind, seconds: f64, edges: u64) {
         let a = &self.engines[engine_slot(kind)];
+        // ORDERING: Relaxed — monotonic stats counters; see record_latency.
         a.nanos.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
         a.edges.fetch_add(edges, Ordering::Relaxed);
         a.runs.fetch_add(1, Ordering::Relaxed);
@@ -79,19 +83,24 @@ impl ServeStats {
     /// edge sweep. Pair with [`ServeStats::record_engine`] over the chunk's
     /// total work so per-engine ns/edge stays amortized per query.
     pub fn record_batch(&self, k: usize) {
+        // ORDERING: Relaxed — monotonic stats counters; see record_latency.
         self.batch_runs.fetch_add(1, Ordering::Relaxed);
         self.batch_jobs.fetch_add(k as u64, Ordering::Relaxed);
         let bucket = k.clamp(1, BATCH_BUCKETS) - 1;
+        // ORDERING: Relaxed — stats counter; see record_latency.
         self.occupancy[bucket].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Renders everything as the `stats` reply body. `queue_depth` and the
     /// cache numbers come from the scheduler and cache at call time.
     pub fn to_json(&self, queue_depth: usize, cache: (u64, u64, usize)) -> Json {
+        // ORDERING: Relaxed — stats reads; a momentarily torn view across
+        // counters is fine for a monitoring endpoint.
         let load = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
         let (cache_hits, cache_misses, cache_len) = cache;
         let mut latency = Vec::new();
         for (i, b) in self.latency.iter().enumerate() {
+            // ORDERING: Relaxed — stats read; see above.
             let count = b.load(Ordering::Relaxed);
             if count > 0 {
                 latency.push(Json::obj([
@@ -103,10 +112,12 @@ impl ServeStats {
         let mut engines = Vec::new();
         for kind in EngineKind::all() {
             let a = &self.engines[engine_slot(kind)];
+            // ORDERING: Relaxed — stats reads; see above.
             let runs = a.runs.load(Ordering::Relaxed);
             if runs == 0 {
                 continue;
             }
+            // ORDERING: Relaxed — stats reads; see above.
             let nanos = a.nanos.load(Ordering::Relaxed);
             let edges = a.edges.load(Ordering::Relaxed);
             let ns_per_edge = if edges > 0 { nanos as f64 / edges as f64 } else { f64::NAN };
@@ -119,6 +130,7 @@ impl ServeStats {
         }
         let mut occupancy = Vec::new();
         for (i, b) in self.occupancy.iter().enumerate() {
+            // ORDERING: Relaxed — stats read; see above.
             let count = b.load(Ordering::Relaxed);
             if count > 0 {
                 occupancy.push(Json::obj([

@@ -146,10 +146,13 @@ impl BlockStore {
     /// Lifetime counters since open.
     pub fn counters(&self) -> StoreCounters {
         StoreCounters {
+            // ORDERING: Relaxed — all four are monotonic stats counters
+            // read for reporting; no data is published through them
+            // (holds for every counter op in this file).
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
-            quarantined: self.quarantined.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed), // ORDERING: as above
         }
     }
 
@@ -162,6 +165,7 @@ impl BlockStore {
         match std::fs::read(&path) {
             Ok(data) => Some(data),
             Err(_) => {
+                // ORDERING: Relaxed — stats counter; see counters().
                 self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
@@ -175,6 +179,7 @@ impl BlockStore {
         // Best-effort: if the rename fails too, the next load re-detects
         // the corruption and retries; never fail the caller over it.
         let _ = std::fs::rename(&path, PathBuf::from(corrupt));
+        // ORDERING: Relaxed — stats counters; see counters().
         self.quarantined.fetch_add(1, Ordering::Relaxed);
         self.misses.fetch_add(1, Ordering::Relaxed);
     }
@@ -186,6 +191,7 @@ impl BlockStore {
         let data = self.load_bytes(key)?;
         match ihtl_core::io::load_ihtl_bytes(&data) {
             Ok(ih) => {
+                // ORDERING: Relaxed — stats counter; see counters().
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(ih)
             }
@@ -205,6 +211,7 @@ impl BlockStore {
             std::fs::create_dir_all(dir)?;
         }
         ihtl_core::io::save_ihtl(ih, &path)?;
+        // ORDERING: Relaxed — stats counter; see counters().
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -216,6 +223,7 @@ impl BlockStore {
         let data = self.load_bytes(key)?;
         match ihtl_traversal::pb::load_pb_bytes(&data) {
             Ok(pb) => {
+                // ORDERING: Relaxed — stats counter; see counters().
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(pb)
             }
@@ -241,6 +249,7 @@ impl BlockStore {
             std::fs::create_dir_all(dir)?;
         }
         ihtl_traversal::pb::save_pb(pb, &path)?;
+        // ORDERING: Relaxed — stats counter; see counters().
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }

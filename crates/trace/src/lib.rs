@@ -63,6 +63,8 @@ static ENABLE_COUNT: AtomicU32 = AtomicU32::new(0);
 /// True while at least one [`EnabledGuard`] is alive.
 #[inline]
 pub fn enabled() -> bool {
+    // ORDERING: Relaxed — a flag polled per span; callers that race an
+    // enable/disable edge may record or skip one span, which is fine.
     ENABLE_COUNT.load(Ordering::Relaxed) > 0
 }
 
@@ -73,12 +75,14 @@ pub struct EnabledGuard(());
 
 impl Drop for EnabledGuard {
     fn drop(&mut self) {
+        // ORDERING: Relaxed — see enabled(): the count is advisory.
         ENABLE_COUNT.fetch_sub(1, Ordering::Relaxed);
     }
 }
 
 /// Turns tracing on for the lifetime of the returned guard.
 pub fn enable() -> EnabledGuard {
+    // ORDERING: Relaxed — see enabled(): the count is advisory.
     ENABLE_COUNT.fetch_add(1, Ordering::Relaxed);
     EnabledGuard(())
 }
@@ -120,8 +124,13 @@ fn lock_names() -> MutexGuard<'static, Vec<&'static str>> {
 
 fn intern(name: &'static str) -> u32 {
     let p = name.as_ptr() as usize;
+    // ORDERING: Acquire — pairs with intern_slow's Release store of
+    // NAME_COUNT: observing count i+1 guarantees NAME_PTRS[..=i] below
+    // are the published pointers, so the lock-free scan is sound.
     let n = NAME_COUNT.load(Ordering::Acquire).min(MAX_NAMES);
     for (i, slot) in NAME_PTRS[..n].iter().enumerate() {
+        // ORDERING: Relaxed — the Acquire on NAME_COUNT above already
+        // ordered these slots; each slot is written once before publish.
         if slot.load(Ordering::Relaxed) == p {
             return i as u32 + 1;
         }
@@ -144,6 +153,9 @@ fn intern_slow(name: &'static str, p: usize) -> u32 {
         return 0; // overflow bucket; rendered as "(unnamed)"
     }
     names.push(name);
+    // ORDERING: Relaxed store then Release publish — the slot write must
+    // not be observed without the count; the Release on NAME_COUNT makes
+    // the slot visible to intern()'s Acquire readers.
     NAME_PTRS[i].store(p, Ordering::Relaxed);
     NAME_COUNT.store(i + 1, Ordering::Release);
     i as u32 + 1
@@ -195,6 +207,7 @@ struct ThreadState {
 
 impl ThreadState {
     fn new() -> Self {
+        // ORDERING: Relaxed — only uniqueness of the serial matters.
         let serial = NEXT_SERIAL.fetch_add(1, Ordering::Relaxed);
         let label = std::thread::current()
             .name()

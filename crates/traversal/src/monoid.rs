@@ -47,12 +47,16 @@ pub trait Monoid: Copy + Send + Sync + 'static {
     /// Used by the atomic push baseline; a CAS loop over the bit pattern.
     #[inline]
     fn combine_atomic(slot: &AtomicU64, val: f64) {
+        // ORDERING: Relaxed — the CAS loop only needs atomicity of each
+        // combine; cross-thread visibility of the final values is
+        // published by the parallel-region join, not by these ops.
         let mut cur = slot.load(Ordering::Relaxed);
         loop {
             let new = Self::combine(f64::from_bits(cur), val).to_bits();
             if new == cur {
                 return; // no-op update; avoid a write
             }
+            // ORDERING: Relaxed — see the load above.
             match slot.compare_exchange_weak(cur, new, Ordering::Relaxed, Ordering::Relaxed) {
                 Ok(_) => return,
                 Err(actual) => cur = actual,

@@ -213,6 +213,8 @@ impl PbGraph {
                         for &p in edge_pos.get_unchecked(s..e) {
                             let base = p as usize * k;
                             for (j, &xv) in xr.iter().enumerate() {
+                                // ORDERING: Relaxed — disjoint slots per
+                                // worker; the region join publishes.
                                 slots
                                     .get_unchecked(base + j)
                                     .store(xv.to_bits(), std::sync::atomic::Ordering::Relaxed);

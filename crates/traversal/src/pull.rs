@@ -274,9 +274,12 @@ pub fn spmv_pull_segmented<M: Monoid>(seg: &SegmentedCsc, x: &[f64], y: &mut [f6
                     continue;
                 }
                 let slot = &slots[seg.dsts[row as usize] as usize];
+                // ORDERING: Relaxed — each destination row is owned by one
+                // worker within a segment sweep; the region join publishes.
                 let cur = f64::from_bits(slot.load(std::sync::atomic::Ordering::Relaxed));
                 // SAFETY: segment CSR targets are < n_cols == x.len().
                 let acc = unsafe { M::fold_neighbours(cur, ins, x) };
+                // ORDERING: Relaxed — see the load above.
                 slot.store(acc.to_bits(), std::sync::atomic::Ordering::Relaxed);
             }
         });

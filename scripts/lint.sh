@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Runs ihtl-lint over the workspace (R1-R5 invariants, DESIGN.md §8).
-# Exits nonzero on any finding. Pass --list-suppressions to see every
-# honoured suppression with its reason.
+# Runs ihtl-lint over the workspace (R1-R7 invariants, DESIGN.md §8/§13)
+# and checks the per-file/per-rule suppression baseline. Exits nonzero on
+# any finding or baseline drift.
+#
+#   --list-suppressions   print every honoured suppression with its reason
+#   --bless               rewrite crates/lint/lint.baseline from this run
+#   --json <path>         also write findings as machine-readable JSON
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

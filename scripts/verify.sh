@@ -23,8 +23,18 @@ cargo fmt --check
 echo "==> cargo clippy --workspace --offline -- -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
-echo "==> scripts/lint.sh (ihtl-lint R1-R5 workspace invariants)"
-bash scripts/lint.sh
+echo "==> scripts/lint.sh (ihtl-lint R1-R7 workspace invariants + baseline + lint.json)"
+bash scripts/lint.sh --json results/lint.json
+
+echo "==> IHTL_SHUFFLE_SEEDS=64 cargo test -q --offline --test shuffle_races"
+IHTL_SHUFFLE_SEEDS=64 cargo test -q --offline --test shuffle_races
+
+# With the worker pool engaged the shuffle sweep doubles as the regression
+# gate for engine bitwise determinism: worker-keyed push buffers once made
+# the f64 merge grouping schedule-dependent, and this exact sweep is what
+# caught it (single-CPU boxes never engage the pool without the override).
+echo "==> IHTL_THREADS=4 IHTL_SHUFFLE_SEEDS=64 cargo test -q --offline --test shuffle_races (pooled determinism gate)"
+IHTL_THREADS=4 IHTL_SHUFFLE_SEEDS=64 cargo test -q --offline --test shuffle_races
 
 echo "==> cargo bench --no-run --offline (bench targets must compile)"
 cargo bench --no-run --offline --workspace
@@ -41,4 +51,4 @@ bash scripts/store_smoke.sh
 echo "==> scripts/bench.sh --samples 3 --max-regress 15 (perf + SpMM + engine-selection gates)"
 bash scripts/bench.sh --samples 3 --max-regress 15 --trace-ab --spmm --engines --engines-gate 10
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint, benches, quickstart, serve smoke, store smoke, perf + engine gates"
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint (R1-R7 + baseline), 64-seed shuffle sweep, benches, quickstart, serve smoke, store smoke, perf + engine gates"

@@ -134,15 +134,24 @@ fn concurrent_clients_get_identical_checksums() {
                 } else {
                     PAGERANK
                 };
-                c.ok(req).get("checksum").and_then(Json::as_str).expect("checksum").to_string()
+                let reply = c.ok(req);
+                let checksum =
+                    reply.get("checksum").and_then(Json::as_str).expect("checksum").to_string();
+                // Carried into the failure message: which path served each
+                // client (cache hit / batch occupancy) is the first question
+                // any divergence raises.
+                let cached = reply.get("cached").and_then(Json::as_bool).unwrap_or(false);
+                let batch_k = reply.get("batch_k").and_then(Json::as_f64).map_or(0, |k| k as usize);
+                (checksum, cached, batch_k)
             })
         })
         .collect();
-    let checksums: Vec<String> = threads.into_iter().map(|t| t.join().expect("client")).collect();
-    assert_eq!(checksums.len(), 5);
+    let replies: Vec<(String, bool, usize)> =
+        threads.into_iter().map(|t| t.join().expect("client")).collect();
+    assert_eq!(replies.len(), 5);
     assert!(
-        checksums.iter().all(|c| c == &checksums[0]),
-        "all clients must see bitwise-identical results: {checksums:?}"
+        replies.iter().all(|(c, _, _)| c == &replies[0].0),
+        "all clients must see bitwise-identical results (checksum, cached, batch_k): {replies:?}"
     );
     handle.shutdown();
 }

@@ -1,0 +1,306 @@
+//! Schedule-permutation tests over the serve tier's race surface, driven by
+//! the deterministic shuffle harness (`ihtl_parallel::shuffle`).
+//!
+//! Each scenario runs under many seeded interleavings (the sweep width comes
+//! from `IHTL_SHUFFLE_SEEDS`; verify.sh sets 64) and asserts the two
+//! properties a concurrency surface owes its callers:
+//!
+//! * **termination** — every interleaving completes (the harness itself
+//!   would hang, and the test time out, on a schedule-dependent deadlock);
+//! * **no divergence** — any successfully computed result is bitwise equal
+//!   to a solo reference run, and every failure is one of the protocol's
+//!   declared outcomes (`DeadlineExceeded`, `ShutDown`, `ShuttingDown`),
+//!   never a corrupted value or a silently dropped request.
+//!
+//! Scenario 1 additionally replays each seed and demands an identical
+//! event trace: with all participants serialised by the harness, the whole
+//! registry interaction is a pure function of the seed. Scenario 3 cannot
+//! promise that (scheduler executors are free-running pool threads), so it
+//! checks the outcome set only.
+
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use ihtl_apps::{run_job, EngineKind, JobOutput, JobSpec};
+use ihtl_core::IhtlConfig;
+use ihtl_parallel::shuffle::{self, Yield};
+use ihtl_serve::batch::BatchedOutput;
+use ihtl_serve::proto::GraphSource;
+use ihtl_serve::registry::Dataset;
+use ihtl_serve::{Coalescer, JobError, Registry, Scheduler, SubmitError};
+
+fn seeds() -> u64 {
+    shuffle::seed_count(16)
+}
+
+fn source(seed: u64) -> GraphSource {
+    GraphSource::Rmat { scale: 8, edges: 1_500, seed }
+}
+
+/// One engine checkout: PageRank through the registry's pooled-engine path,
+/// exactly what the server's job handler does. Returns (values, rounds) —
+/// `seconds` is wall clock and excluded from comparison.
+fn checkout(ds: &Dataset, reg: &Registry, kind: EngineKind) -> (Vec<f64>, usize) {
+    let graph = ds.graph();
+    let spec = JobSpec::PageRank { iters: 4, seed: None };
+    let out = ds
+        .with_engine(kind, false, reg, |e| run_job(e, graph.as_deref(), &spec))
+        .expect("engine checkout")
+        .expect("pagerank");
+    (out.values, out.rounds)
+}
+
+// ------------------------------------------------- registry vs. eviction
+
+/// The trace one interleaved run produces: per completed checkout, which
+/// participant ran which (dataset, engine) step and what it computed.
+type RegistryTrace = Vec<(usize, usize, &'static str, Vec<f64>, usize)>;
+
+/// Two participants alternate checkouts across two datasets while a zero
+/// memory budget forces the registry to demote the LRU dataset on every
+/// budget check — so checkouts constantly race rebuilds and generation
+/// bumps in every permuted order.
+fn registry_run(seed: u64) -> (RegistryTrace, u64) {
+    let reg = Arc::new(Registry::with_store(IhtlConfig::default(), None, Some(0)));
+    reg.register("a", &source(1)).expect("register a");
+    reg.register("b", &source(2)).expect("register b");
+    let trace: Arc<Mutex<RegistryTrace>> = Arc::new(Mutex::new(Vec::new()));
+
+    let participant = |id: usize| {
+        let reg = Arc::clone(&reg);
+        let trace = Arc::clone(&trace);
+        Box::new(move |y: &Yield| {
+            for step in 0..3 {
+                y.point();
+                // Participant 0 leads with dataset a, participant 1 with b,
+                // so the LRU victim alternates and demotions interleave
+                // with the sibling's checkout.
+                let name = if (id + step).is_multiple_of(2) { "a" } else { "b" };
+                let kind = if step % 2 == 0 { EngineKind::Ihtl } else { EngineKind::Pb };
+                let ds = reg.get(name).expect("registered dataset");
+                let (values, rounds) = checkout(&ds, &reg, kind);
+                y.point();
+                trace.lock().unwrap().push((id, step, name, values, rounds));
+            }
+        }) as Box<dyn FnOnce(&Yield) + Send>
+    };
+    shuffle::run(seed, 16, vec![participant(0), participant(1)]);
+
+    let out = trace.lock().unwrap().clone();
+    (out, reg.evictions())
+}
+
+#[test]
+fn registry_checkouts_survive_zero_budget_eviction_storms() {
+    // Solo reference: same datasets, no budget, no concurrency.
+    let reg = Registry::new(IhtlConfig::default());
+    reg.register("a", &source(1)).expect("register a");
+    reg.register("b", &source(2)).expect("register b");
+    let mut reference = std::collections::BTreeMap::new();
+    for name in ["a", "b"] {
+        for kind in [EngineKind::Ihtl, EngineKind::Pb] {
+            let ds = reg.get(name).expect("dataset");
+            reference.insert((name, kind.label()), checkout(&ds, &reg, kind));
+        }
+    }
+
+    let mut evicted_somewhere = false;
+    for seed in 0..seeds() {
+        let (trace, evictions) = registry_run(seed);
+        assert_eq!(trace.len(), 6, "seed {seed}: a checkout was lost");
+        for (id, step, name, values, rounds) in &trace {
+            let kind = if step % 2 == 0 { EngineKind::Ihtl } else { EngineKind::Pb };
+            let expect = &reference[&(*name, kind.label())];
+            assert_eq!(
+                (values, rounds),
+                (&expect.0, &expect.1),
+                "seed {seed}: participant {id} step {step} on '{name}' diverged from the \
+                 solo run"
+            );
+        }
+        evicted_somewhere |= evictions > 0;
+
+        // Replay determinism: the serialised schedule is a pure function of
+        // the seed, so the full event trace must reproduce exactly.
+        let (replay, replay_evictions) = registry_run(seed);
+        assert_eq!(trace, replay, "seed {seed}: replay diverged");
+        assert_eq!(evictions, replay_evictions, "seed {seed}: eviction count diverged");
+    }
+    assert!(evicted_somewhere, "the zero-budget registry never evicted — scenario is inert");
+}
+
+// --------------------------------------------- batch handoff vs. deadline
+
+/// Outcome of one batch participant, comparable across a replay.
+#[derive(Debug, Clone, PartialEq)]
+enum BatchOutcome {
+    Got(Vec<f64>, usize),
+    Err(JobError),
+}
+
+fn batch_result_outcome(r: Result<BatchedOutput, JobError>) -> BatchOutcome {
+    match r {
+        Ok(b) => BatchOutcome::Got(b.output.values, b.batch_k),
+        Err(e) => BatchOutcome::Err(e),
+    }
+}
+
+/// A leader and a follower coalesce on one key; the follower's deadline is
+/// already expired when it collects, so every interleaving of
+/// {drain, fill} × {abandon} is reachable. On seeds ≡ 0 (mod 3) the leader
+/// drops its ticket without draining (the shutdown-drain path).
+fn batch_run(seed: u64) -> Vec<BatchOutcome> {
+    let co = Arc::new(Coalescer::new());
+    let spec = JobSpec::PageRank { iters: 2, seed: None };
+    let (leader_slot, ticket) = co.enlist("k".to_string(), spec.clone());
+    let ticket = ticket.expect("first enlist leads");
+    let (follower_slot, no_ticket) = co.enlist("k".to_string(), spec);
+    assert!(no_ticket.is_none(), "second enlist must join, not lead");
+    let payload = || JobOutput { values: vec![1.0, 2.0, 3.0], rounds: 2, seconds: 0.0 };
+
+    let outcomes = Arc::new(Mutex::new(vec![None, None]));
+    let leader = {
+        let outcomes = Arc::clone(&outcomes);
+        let abandon_without_drain = seed.is_multiple_of(3);
+        Box::new(move |y: &Yield| {
+            y.point();
+            if abandon_without_drain {
+                // Dropping the ticket must fail every member with ShutDown
+                // (the scheduler's queue-drain path) — nobody may hang.
+                drop(ticket);
+            } else {
+                let members = ticket.drain();
+                let batch_k = members.len();
+                for m in members {
+                    y.point();
+                    if !m.is_abandoned() {
+                        m.fill(Ok(BatchedOutput { output: payload(), batch_k }));
+                    }
+                }
+            }
+            y.point();
+            let r = leader_slot.wait(Some(Instant::now()));
+            outcomes.lock().unwrap()[0] = Some(batch_result_outcome(r));
+        }) as Box<dyn FnOnce(&Yield) + Send>
+    };
+    let follower = {
+        let outcomes = Arc::clone(&outcomes);
+        Box::new(move |y: &Yield| {
+            y.point();
+            // Already-expired deadline: collect whatever is there, abandon
+            // otherwise — never block on the (possibly suspended) leader.
+            let r = follower_slot.wait(Some(Instant::now()));
+            outcomes.lock().unwrap()[1] = Some(batch_result_outcome(r));
+        }) as Box<dyn FnOnce(&Yield) + Send>
+    };
+    shuffle::run(seed, 16, vec![leader, follower]);
+
+    assert_eq!(co.open_groups(), 0, "seed {seed}: batch group leaked");
+    let got = outcomes.lock().unwrap().clone();
+    got.into_iter().map(|o| o.expect("participant recorded an outcome")).collect()
+}
+
+#[test]
+fn batch_handoff_under_expired_deadlines_never_hangs_or_corrupts() {
+    let expect_values = vec![1.0, 2.0, 3.0];
+    for seed in 0..seeds() {
+        let outcomes = batch_run(seed);
+        for (who, outcome) in outcomes.iter().enumerate() {
+            match outcome {
+                // A delivered result must be the exact batch payload with
+                // the true batch width.
+                BatchOutcome::Got(values, batch_k) => {
+                    assert_eq!(values, &expect_values, "seed {seed} participant {who}");
+                    assert_eq!(*batch_k, 2, "seed {seed} participant {who}");
+                }
+                // The only declared failure modes: the waiter's own expired
+                // deadline, or the leader abandoning the batch.
+                BatchOutcome::Err(JobError::DeadlineExceeded | JobError::ShutDown) => {}
+                BatchOutcome::Err(e) => {
+                    panic!("seed {seed} participant {who}: undeclared failure {e:?}")
+                }
+            }
+        }
+        // The member list is claimed exactly once, so a dropped ticket
+        // fails *everyone* — a mixed Ok/ShutDown split would mean members
+        // leaked out of the group.
+        if seed % 3 == 0 {
+            for (who, outcome) in outcomes.iter().enumerate() {
+                assert!(
+                    matches!(
+                        outcome,
+                        BatchOutcome::Err(JobError::ShutDown | JobError::DeadlineExceeded)
+                    ),
+                    "seed {seed} participant {who}: got a result from a dropped ticket: \
+                     {outcome:?}"
+                );
+            }
+        }
+        assert_eq!(outcomes, batch_run(seed), "seed {seed}: replay diverged");
+    }
+}
+
+// ------------------------------------------------ scheduler vs. shutdown
+
+#[test]
+fn scheduler_shutdown_races_submissions_without_losing_jobs() {
+    for seed in 0..seeds() {
+        let sched = Arc::new(Scheduler::new(8, 2));
+        let handles = Arc::new(Mutex::new(Vec::new()));
+        let rejections = Arc::new(Mutex::new(Vec::new()));
+
+        let submitter = {
+            let sched = Arc::clone(&sched);
+            let handles = Arc::clone(&handles);
+            let rejections = Arc::clone(&rejections);
+            Box::new(move |y: &Yield| {
+                for i in 0..4u32 {
+                    y.point();
+                    let work = Box::new(move |_cancelled: &std::sync::atomic::AtomicBool| {
+                        Ok(ihtl_serve::Json::from(format!("job-{i}")))
+                    });
+                    match sched.submit(None, work) {
+                        Ok(h) => handles.lock().unwrap().push((i, h)),
+                        Err(e) => rejections.lock().unwrap().push((i, e)),
+                    }
+                }
+            }) as Box<dyn FnOnce(&Yield) + Send>
+        };
+        let shutter = {
+            let sched = Arc::clone(&sched);
+            Box::new(move |y: &Yield| {
+                y.point();
+                sched.shutdown();
+            }) as Box<dyn FnOnce(&Yield) + Send>
+        };
+        shuffle::run(seed, 16, vec![submitter, shutter]);
+
+        // Every accepted job resolves — to its exact result if an executor
+        // ran it, or ShutDown if the drain got there first. Never a hang,
+        // never a wrong payload. (Executors are free-running pool threads,
+        // so *which* of the two happens is not seed-deterministic; the
+        // outcome set is the invariant.)
+        let handles = std::mem::take(&mut *handles.lock().unwrap());
+        for (i, h) in handles {
+            match h.wait() {
+                Ok(json) => {
+                    assert_eq!(
+                        json.as_str(),
+                        Some(format!("job-{i}").as_str()),
+                        "seed {seed} job {i}"
+                    )
+                }
+                Err(JobError::ShutDown) => {}
+                Err(e) => panic!("seed {seed} job {i}: undeclared failure {e:?}"),
+            }
+        }
+        // A rejection is only ever the declared shutdown refusal (capacity
+        // 8 can never overflow 4 submissions).
+        for (i, e) in std::mem::take(&mut *rejections.lock().unwrap()) {
+            assert_eq!(e, SubmitError::ShuttingDown, "seed {seed} job {i}");
+        }
+        // Idempotent teardown: a second shutdown after the race is a no-op.
+        sched.shutdown();
+        assert_eq!(sched.queue_depth(), 0, "seed {seed}: jobs left queued after shutdown");
+    }
+}

@@ -172,3 +172,66 @@ fn tiny_budget_evicts_lru_but_results_stay_bitwise() {
     handle.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Concurrent checkouts mid-eviction, over real loopback TCP, permuted by
+/// the deterministic shuffle harness: a zero-budget boot where two client
+/// connections hammer opposite datasets, so every request's engine checkout
+/// races the demotion triggered by the other's. Server worker threads run
+/// free (each request round-trip is one shuffle step that completes on its
+/// own), while the harness permutes the *order* the clients fire in across
+/// seeded interleavings. Every reply must be bitwise identical to the
+/// connection's first.
+#[test]
+fn concurrent_checkouts_mid_eviction_stay_bitwise_under_shuffle() {
+    use ihtl_parallel::shuffle::{self, Yield};
+    use std::sync::{Arc, Mutex};
+
+    let dir = fresh_dir("shuffle_evict");
+    let handle = spawn_server(ServerConfig {
+        store_dir: Some(dir.to_string_lossy().into_owned()),
+        mem_budget_mb: Some(0),
+        ..ServerConfig::default()
+    });
+    let addr = handle.addr();
+    {
+        let mut c = Client::connect(addr);
+        register(&mut c, "a", 11);
+        register(&mut c, "b", 22);
+    }
+    // Solo reference checksums for both datasets.
+    let (ref_a, ref_b) = {
+        let mut c = Client::connect(addr);
+        (checksum(&mut c, "a", "ihtl"), checksum(&mut c, "b", "ihtl"))
+    };
+
+    // Loopback round-trips make each seed ~10 requests; keep the TCP sweep
+    // narrower than the in-process suites (which take the full 64).
+    let seeds = shuffle::seed_count(16).min(16);
+    for seed in 0..seeds {
+        let sums: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let client = |dataset: &'static str| {
+            let sums = Arc::clone(&sums);
+            Box::new(move |y: &Yield| {
+                let mut c = Client::connect(addr);
+                for _ in 0..3 {
+                    y.point();
+                    sums.lock()
+                        .unwrap()
+                        .push(format!("{dataset}={}", checksum(&mut c, dataset, "ihtl")));
+                }
+            }) as Box<dyn FnOnce(&Yield) + Send>
+        };
+        shuffle::run(seed, 8, vec![client("a"), client("b")]);
+        for entry in std::mem::take(&mut *sums.lock().unwrap()) {
+            let (ds, sum) = entry.split_once('=').expect("tagged checksum");
+            let expect = if ds == "a" { &ref_a } else { &ref_b };
+            assert_eq!(&sum, expect, "seed {seed}: dataset '{ds}' diverged mid-eviction");
+        }
+    }
+    {
+        let mut c = Client::connect(addr);
+        assert!(c.stat("evictions") >= 1, "zero-budget boot must demote under load");
+    }
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
