@@ -195,7 +195,14 @@ pub fn save_graph(g: &Graph, path: &Path) -> io::Result<()> {
 /// Reads a graph previously written by [`save_graph`].
 pub fn load_graph(path: &Path) -> io::Result<Graph> {
     let data = std::fs::read(path)?;
-    let payload = verify_trailer(&data)?;
+    load_graph_bytes(&data)
+}
+
+/// Parses an in-memory image written by [`save_graph`] (trailer verified).
+/// The artifact store reads files itself so a missing file is a miss and a
+/// failed parse is a quarantine — it needs the parse separated from the I/O.
+pub fn load_graph_bytes(data: &[u8]) -> io::Result<Graph> {
+    let payload = verify_trailer(data)?;
     let mut r: &[u8] = payload;
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;

@@ -13,6 +13,9 @@
 //!   measure of the paper's Figure 9;
 //! * [`partition`] — edge-balanced range partitioning used by the parallel
 //!   traversals (the paper's GraphGrind-style partitioning, §4.1);
+//! * [`shard`] — destination-range sharding for multi-node serving (the
+//!   same partitioning applied across workers, with merge-exactness
+//!   invariants documented on the module);
 //! * [`io`] — a compact binary format so preprocessing can be amortised
 //!   across runs (§4.2).
 //!
@@ -26,6 +29,7 @@ pub mod edgelist;
 pub mod graph;
 pub mod io;
 pub mod partition;
+pub mod shard;
 pub mod stats;
 
 pub use csr::Csr;

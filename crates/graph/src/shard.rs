@@ -1,0 +1,182 @@
+//! Destination-range sharding for multi-node serving.
+//!
+//! A shard is the subgraph keeping exactly the edges whose *destination*
+//! falls in a contiguous vertex range, with vertex IDs left global and the
+//! vertex count unchanged. Under that cut a pull sweep over the shard's CSC
+//! computes, for every owned row, the *same fold in the same order* as the
+//! full graph would — the shard's CSC row for an owned vertex is the full
+//! graph's row verbatim (edge filtering preserves the stable within-row
+//! order of [`crate::builder::csr_from_pairs`], and `transpose` orders each
+//! CSC row by ascending source). Non-owned rows have no in-edges, so a
+//! monoid sweep leaves them at the identity (0 for +, +∞ for min) and a
+//! router can merge per-shard partial vectors element-wise into a result
+//! bitwise-equal to single-node execution.
+//!
+//! Ranges are *edge-balanced over in-edges* (each worker pulls ≈ |E|/S
+//! edges per sweep), mirroring the GraphGrind-style partitioning the paper
+//! uses intra-node (§4.1) at the inter-node level. The in-hub locality
+//! structure survives per-shard: flipped-block preprocessing is applied
+//! shard-locally by whatever engine the worker builds.
+
+use crate::csr::Csr;
+use crate::graph::Graph;
+use crate::partition::{edge_balanced_ranges, VertexRange};
+use crate::VertexId;
+
+/// Placement metadata for one shard, reported by workers at registration
+/// and kept in the router's placement table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Owned destination range `[start, end)` (global vertex IDs).
+    pub range: VertexRange,
+    /// Edges kept by this shard (in-edges of the owned range).
+    pub n_edges: usize,
+    /// Distinct source vertices *outside* the owned range with at least one
+    /// edge into it — the x-values that must be shipped to this shard on
+    /// every sweep if transfers were made sparse (today full vectors
+    /// travel; this quantifies the headroom).
+    pub boundary_sources: usize,
+}
+
+/// Splits the destination space of `g` into exactly `count` contiguous
+/// ranges with approximately equal *in-edge* counts. Unlike
+/// [`edge_balanced_ranges`], the result is padded with empty trailing
+/// ranges so shard index `k < count` is always defined — a router
+/// addressing worker `k` must never find its range missing just because
+/// the graph is small.
+pub fn shard_ranges(g: &Graph, count: usize) -> Vec<VertexRange> {
+    assert!(count > 0, "need at least one shard");
+    let mut ranges = edge_balanced_ranges(g.csc(), count);
+    let n = g.n_vertices() as VertexId;
+    while ranges.len() < count {
+        ranges.push(VertexRange { start: n, end: n });
+    }
+    ranges
+}
+
+/// Extracts the destination-range shard of `g` owning `range`: every edge
+/// `(u, v)` with `v ∈ range`, global IDs, full vertex count. Edges are
+/// collected in CSR iteration order so both shard views preserve the full
+/// graph's stable within-row order (the bitwise-merge invariant above).
+pub fn extract_shard(g: &Graph, range: VertexRange) -> Graph {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for (u, ns) in g.csr().iter_rows() {
+        for &v in ns {
+            if v >= range.start && v < range.end {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(g.n_vertices(), &edges)
+}
+
+/// Computes the placement metadata of the shard of `g` owning `range`
+/// without materialising the shard graph (one CSC scan of the range).
+pub fn shard_info(g: &Graph, range: VertexRange) -> ShardInfo {
+    let csc: &Csr = g.csc();
+    let mut n_edges = 0usize;
+    let mut external = vec![false; g.n_vertices()];
+    for v in range.iter() {
+        for &u in csc.neighbours(v) {
+            n_edges += 1;
+            if u < range.start || u >= range.end {
+                external[u as usize] = true;
+            }
+        }
+    }
+    let boundary_sources = external.iter().filter(|&&b| b).count();
+    ShardInfo { range, n_edges, boundary_sources }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::paper_example_graph;
+
+    #[test]
+    fn ranges_are_padded_to_count() {
+        let g = paper_example_graph(); // n = 8
+        let rs = shard_ranges(&g, 6);
+        assert_eq!(rs.len(), 6);
+        // Coverage: consecutive, starting at 0, ending at n.
+        let mut next = 0u32;
+        for r in &rs {
+            if !r.is_empty() {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+        }
+        assert_eq!(rs.iter().map(VertexRange::len).sum::<usize>(), 8);
+    }
+
+    #[test]
+    fn shards_partition_the_edges() {
+        let g = paper_example_graph();
+        for count in [1usize, 2, 3, 5] {
+            let rs = shard_ranges(&g, count);
+            let shards: Vec<Graph> = rs.iter().map(|&r| extract_shard(&g, r)).collect();
+            let total: usize = shards.iter().map(Graph::n_edges).sum();
+            assert_eq!(total, g.n_edges(), "{count} shards must partition |E|");
+            for s in &shards {
+                assert_eq!(s.n_vertices(), g.n_vertices(), "vertex space stays global");
+            }
+        }
+    }
+
+    #[test]
+    fn owned_csc_rows_match_the_full_graph_verbatim() {
+        let g = paper_example_graph();
+        let rs = shard_ranges(&g, 3);
+        for &r in &rs {
+            let s = extract_shard(&g, r);
+            for v in 0..g.n_vertices() as u32 {
+                if v >= r.start && v < r.end {
+                    assert_eq!(
+                        s.csc().neighbours(v),
+                        g.csc().neighbours(v),
+                        "owned row {v} must keep full-graph order"
+                    );
+                } else {
+                    assert!(s.csc().neighbours(v).is_empty(), "non-owned row {v} must be empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_degrees_sum_across_shards() {
+        // Each edge lives in exactly one shard, so summing per-shard
+        // out-degrees recovers the global out-degree vector — what a
+        // router needs for PageRank's normalisation.
+        let g = paper_example_graph();
+        let rs = shard_ranges(&g, 3);
+        let shards: Vec<Graph> = rs.iter().map(|&r| extract_shard(&g, r)).collect();
+        for v in 0..g.n_vertices() as u32 {
+            let sum: usize = shards.iter().map(|s| s.out_degree(v)).sum();
+            assert_eq!(sum, g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn shard_info_counts_boundary_sources() {
+        let g = paper_example_graph();
+        let r = VertexRange { start: 2, end: 4 }; // owns vertices 2,3
+        let info = shard_info(&g, r);
+        let s = extract_shard(&g, r);
+        assert_eq!(info.n_edges, s.n_edges());
+        // In-neighbours of {2,3}: N⁻(2) = {1,4,5,6,7}, N⁻(3) = {5}; all
+        // outside the range → 5 distinct boundary sources.
+        assert_eq!(info.boundary_sources, 5);
+        assert_eq!(info.range, r);
+    }
+
+    #[test]
+    fn single_shard_is_the_whole_graph() {
+        let g = paper_example_graph();
+        let rs = shard_ranges(&g, 1);
+        assert_eq!(rs.len(), 1);
+        let s = extract_shard(&g, rs[0]);
+        assert_eq!(s.csr(), g.csr());
+        assert_eq!(s.csc(), g.csc());
+    }
+}

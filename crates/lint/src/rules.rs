@@ -17,9 +17,10 @@
 //!   `Instant::now`/`SystemTime::now` outside `stats.rs`, bench code, and
 //!   `crates/trace` (the tracing layer owns the workspace's monotonic
 //!   clock; everything else should take timestamps through it).
-//! * **R5** — no `std::thread::spawn`/`thread::Builder` outside
-//!   `crates/parallel` and `crates/serve`: parallelism goes through the
-//!   `ihtl-parallel` runtime so worker indices stay stable.
+//! * **R5** — no raw `thread::spawn`/`thread::Builder` outside
+//!   `crates/parallel` and the serve tier (`crates/serve`,
+//!   `crates/router`): parallelism goes through the `ihtl-parallel`
+//!   runtime so worker indices stay stable.
 //! * **R6** — lock-order discipline (cross-file; implemented in
 //!   [`crate::concurrency`], findings merged here before suppression):
 //!   every observed lock-acquisition edge must be declared in `LOCKS.md`,
@@ -106,7 +107,10 @@ fn classify(rel_path: &str) -> Class {
             || p.starts_with("crates/bench/")
             || p.starts_with("crates/trace/")
             || file == "stats.rs",
-        spawn_ok: driver || p.starts_with("crates/parallel/") || p.starts_with("crates/serve/"),
+        spawn_ok: driver
+            || p.starts_with("crates/parallel/")
+            || p.starts_with("crates/serve/")
+            || p.starts_with("crates/router/"),
         // ring.rs is the one module whose orderings are documented as a
         // system (the per-slot seqlock protocol) rather than site by site.
         ordering_exempt: driver || p == "crates/trace/src/ring.rs",
@@ -502,8 +506,9 @@ fn run_scoped_rules(
             out.push(Finding {
                 line: t.line,
                 rule: "R5",
-                msg: "raw thread spawn outside crates/parallel and crates/serve — use the \
-                      ihtl-parallel runtime so worker indices stay stable"
+                msg: "raw thread spawn outside crates/parallel and the serve tier \
+                      (crates/serve, crates/router) — use the ihtl-parallel runtime so \
+                      worker indices stay stable"
                     .to_string(),
             });
         }

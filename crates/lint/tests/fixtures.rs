@@ -185,6 +185,7 @@ fn r5_thread_spawn_outside_runtime_crates() {
     assert_eq!(rules_at("crates/apps/src/fixture.rs", src), vec!["R5", "R5"]);
     assert!(rules_at("crates/parallel/src/fixture.rs", src).is_empty());
     assert!(rules_at("crates/serve/src/bin/daemon.rs", src).is_empty());
+    assert!(rules_at("crates/router/src/lib.rs", src).is_empty());
 }
 
 #[test]

@@ -1,0 +1,74 @@
+//! The `ihtl-router` daemon: fronts a fleet of `ihtl-serve` shard workers,
+//! owns dataset placement, and merges per-shard sweep results (DESIGN.md
+//! §14). Speaks the same line-delimited JSON protocol as the workers.
+
+use ihtl_router::{Router, RouterConfig};
+use ihtl_serve::argv::{parse_or_exit, FlagSpec};
+
+const FLAGS: &[FlagSpec] = &[
+    FlagSpec {
+        name: "addr",
+        value: Some("HOST:PORT"),
+        help: "bind address (default 127.0.0.1:7410; port 0 = ephemeral)",
+    },
+    FlagSpec {
+        name: "workers",
+        value: Some("HOST:PORT,..."),
+        help: "comma-separated worker addresses; one shard per worker, in order (required)",
+    },
+    FlagSpec {
+        name: "worker-timeout-ms",
+        value: Some("N"),
+        help: "connect/read/write timeout per worker RPC in ms (default 30000)",
+    },
+    FlagSpec {
+        name: "port-file",
+        value: Some("PATH"),
+        help: "write the bound port number to PATH after binding",
+    },
+];
+
+fn main() {
+    let args =
+        parse_or_exit("ihtl-router", "--workers LIST [options]", FLAGS, std::env::args().skip(1));
+    let mut cfg = RouterConfig {
+        addr: args.get_or("addr", "127.0.0.1:7410").to_string(),
+        workers: args
+            .get_or("workers", "")
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+        ..RouterConfig::default()
+    };
+    let numeric = (|| -> Result<(), String> {
+        let default_ms = cfg.worker_timeout.as_millis() as usize;
+        let ms = args.get_usize("worker-timeout-ms", default_ms)?;
+        cfg.worker_timeout = std::time::Duration::from_millis(ms as u64);
+        Ok(())
+    })();
+    if let Err(msg) = numeric {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    }
+    let port_file = args.get("port-file").map(str::to_string);
+
+    let router = match Router::bind(cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: binding listener: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = router.local_addr();
+    if let Some(path) = port_file {
+        if let Err(e) = std::fs::write(&path, format!("{}\n", addr.port())) {
+            eprintln!("error: writing port file '{path}': {e}");
+            std::process::exit(1);
+        }
+    }
+    println!("ihtl-router listening on {addr}");
+    router.run();
+    println!("ihtl-router stopped");
+}

@@ -1,0 +1,897 @@
+//! Placement router for sharded multi-node serving (DESIGN.md §14).
+//!
+//! One `ihtl-router` process fronts a fleet of `ihtl-serve` workers. At
+//! `register` time the router fans a destination-range shard registration
+//! to every worker (shard *k* of *W* over the same base source), records
+//! the per-worker vertex ranges the workers report back, and sums their
+//! per-shard out-degree contributions into the exact global out-degree
+//! vector. At `job` time it runs the ordinary `ihtl-apps` drivers against
+//! a [`RouterEngine`] whose per-round edge sweep is a parallel `sweep`
+//! fan-out to the owning workers, merged by *ownership selection*.
+//!
+//! Why selection, not a monoid fold: destination ranges partition the
+//! vertices, and a worker holds exactly the monoid identity outside its
+//! range, so folding degenerates to picking the owner's entry. Selection
+//! also sidesteps the one non-neutral identity case (`+0.0 + -0.0` is
+//! `+0.0`, which would destroy a worker-computed `-0.0` bitwise). The
+//! merged vector is therefore bitwise-equal to a single-node run for any
+//! engine whose row fold matches the full-graph CSC row order
+//! (`pull_grind`, `pull_galois`, `pb`), because a shard's owned rows are
+//! verbatim slices of the full graph's rows.
+//!
+//! Locking: the placement table is a leaf `RwLock` and every entry is
+//! cloned out before any socket I/O (R6 — no lock is ever held across a
+//! `read`/`write` on a worker connection). Worker connections live in
+//! per-request [`WorkerLink`]s, never shared across threads.
+
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{Shutdown as NetShutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+use ihtl_apps::{run_job, SpmvEngine};
+use ihtl_serve::proto::{EngineChoice, GraphSource, GraphView, Monoid, Op, Request, WireJob};
+use ihtl_serve::{fnv1a_checksum, Json};
+
+/// Router configuration.
+#[derive(Clone, Debug)]
+pub struct RouterConfig {
+    /// Listen address; `127.0.0.1:0` picks an ephemeral port.
+    pub addr: String,
+    /// Worker addresses, one shard per worker, shard index = position.
+    pub workers: Vec<String>,
+    /// Connect/read/write timeout for every worker RPC. A worker that dies
+    /// mid-job surfaces as a clean `error` reply within this bound.
+    pub worker_timeout: Duration,
+    /// Maximum request line length accepted from clients.
+    pub max_line_bytes: usize,
+    /// Idle client connections are closed after this long.
+    pub idle_timeout: Option<Duration>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> RouterConfig {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: Vec::new(),
+            worker_timeout: Duration::from_secs(30),
+            max_line_bytes: 64 << 20,
+            idle_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// One dataset's placement: which vertex range each worker owns, plus the
+/// global metadata the drivers need. Cloned out of the table before any
+/// worker I/O, so it is deliberately cheap to clone (the degree vector is
+/// shared).
+#[derive(Clone, Debug)]
+pub struct PlacementEntry {
+    /// Dataset name (the same on the router and on every worker).
+    pub name: String,
+    /// Base source description (duplicate-registration detection).
+    pub source_desc: String,
+    /// Global vertex count (every shard reports the same one).
+    pub n_vertices: usize,
+    /// Total edges across shards (= base graph edges).
+    pub n_edges: usize,
+    /// Per-worker owned `[start, end)` destination ranges; position =
+    /// worker index = shard index. The ranges partition `0..n_vertices`.
+    pub ranges: Vec<(u32, u32)>,
+    /// Sum of per-shard boundary source counts (cross-shard traffic gauge).
+    pub boundary_sources: usize,
+    /// Exact global out-degree vector: elementwise integer sum of each
+    /// shard's kept-edge degrees. PageRank divides by this.
+    pub out_degrees: Arc<Vec<u32>>,
+    /// Slowest worker's load time (the fan-out runs in parallel).
+    pub load_seconds: f64,
+}
+
+/// Router-wide counters (`stats` op).
+#[derive(Default)]
+struct RouterStats {
+    datasets_registered: AtomicU64,
+    jobs_completed: AtomicU64,
+    jobs_failed: AtomicU64,
+    sweeps_fanned: AtomicU64,
+    worker_retries: AtomicU64,
+}
+
+/// Everything the connection handlers share.
+struct RouterState {
+    cfg: RouterConfig,
+    placements: RwLock<Vec<PlacementEntry>>,
+    stats: RouterStats,
+    shutting_down: AtomicBool,
+}
+
+/// One connection to one worker, used by exactly one thread. `rpc` opens
+/// lazily, retries a failed exchange once on a fresh connection (every
+/// router→worker op is idempotent), and reports errors prefixed with the
+/// worker address so multi-worker failures are attributable.
+struct WorkerLink {
+    addr: String,
+    timeout: Duration,
+    conn: Option<(TcpStream, BufReader<TcpStream>)>,
+    /// Incremented on each reconnect-after-failure, drained by the caller
+    /// into the router-wide counter (the link itself has no state access).
+    retries: u64,
+}
+
+impl WorkerLink {
+    fn new(addr: &str, timeout: Duration) -> WorkerLink {
+        WorkerLink { addr: addr.to_string(), timeout, conn: None, retries: 0 }
+    }
+
+    fn connect(&self) -> Result<(TcpStream, BufReader<TcpStream>), String> {
+        let sockaddr: SocketAddr = self
+            .addr
+            .to_socket_addrs()
+            .map_err(|e| format!("worker {}: bad address: {e}", self.addr))?
+            .next()
+            .ok_or_else(|| format!("worker {}: address resolves to nothing", self.addr))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, self.timeout)
+            .map_err(|e| format!("worker {}: connect failed: {e}", self.addr))?;
+        let _ = stream.set_read_timeout(Some(self.timeout));
+        let _ = stream.set_write_timeout(Some(self.timeout));
+        let reader = BufReader::new(
+            stream.try_clone().map_err(|e| format!("worker {}: clone failed: {e}", self.addr))?,
+        );
+        Ok((stream, reader))
+    }
+
+    fn exchange(
+        conn: &mut (TcpStream, BufReader<TcpStream>),
+        line: &str,
+    ) -> Result<String, std::io::Error> {
+        let (writer, reader) = conn;
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        let n = reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(std::io::Error::new(ErrorKind::UnexpectedEof, "worker closed connection"));
+        }
+        Ok(reply)
+    }
+
+    /// Sends one pre-rendered request line and returns the parsed reply.
+    /// One retry on a fresh connection: a worker restart between jobs (or
+    /// an idle-timeout disconnect) looks like a dead cached socket, and
+    /// every op the router sends is safe to repeat.
+    fn rpc(&mut self, line: &str) -> Result<Json, String> {
+        let mut conn = match self.conn.take() {
+            Some(c) => c,
+            None => self.connect()?,
+        };
+        let reply = match Self::exchange(&mut conn, line) {
+            Ok(r) => r,
+            Err(_) => {
+                self.retries += 1;
+                let mut fresh = self.connect()?;
+                let r = Self::exchange(&mut fresh, line)
+                    .map_err(|e| format!("worker {}: {e}", self.addr))?;
+                conn = fresh;
+                r
+            }
+        };
+        self.conn = Some(conn);
+        Json::parse(&reply).map_err(|e| format!("worker {}: bad reply: {e}", self.addr))
+    }
+
+    /// `rpc` plus the `ok` check: a worker-side error comes back as `Err`
+    /// with the worker's message, prefixed with its address.
+    fn call(&mut self, line: &str) -> Result<Json, String> {
+        let reply = self.rpc(line)?;
+        if reply.get("ok").and_then(Json::as_bool) == Some(true) {
+            Ok(reply)
+        } else {
+            let msg = reply.get("error").and_then(Json::as_str).unwrap_or("unspecified failure");
+            Err(format!("worker {}: {msg}", self.addr))
+        }
+    }
+}
+
+/// An [`SpmvEngine`] whose edge sweep is a parallel fan-out of `sweep`
+/// RPCs to the shard workers, merged by ownership selection. Identity
+/// order conversions: the wire carries original vertex order end to end,
+/// so the drivers see the global vertex space directly.
+///
+/// Failures latch: the first worker error makes every later sweep a no-op
+/// (the drivers have no error channel mid-iteration), and the job handler
+/// turns the latched message into one clean `error` reply.
+struct RouterEngine {
+    links: Vec<WorkerLink>,
+    ranges: Vec<(u32, u32)>,
+    degrees: Arc<Vec<u32>>,
+    n: usize,
+    /// Fields of the per-round `sweep` request that do not change across
+    /// rounds: dataset, forwarded engine choice, view.
+    dataset: String,
+    engine_wire: &'static str,
+    view: GraphView,
+    failed: Option<String>,
+    sweeps: u64,
+}
+
+impl RouterEngine {
+    fn sweep(&mut self, monoid: Monoid, x: &[f64], y: &mut [f64]) {
+        let identity = match monoid {
+            Monoid::Add => 0.0f64,
+            Monoid::Min => f64::INFINITY,
+        };
+        y.iter_mut().for_each(|v| *v = identity);
+        if self.failed.is_some() {
+            return;
+        }
+        self.sweeps += 1;
+        // Every worker receives the identical request (same dataset name,
+        // same full-length vector), so render the line once.
+        let line = Json::obj([
+            ("op", Json::from("sweep")),
+            ("dataset", Json::from(self.dataset.clone())),
+            ("engine", Json::from(self.engine_wire)),
+            ("monoid", Json::from(monoid.wire_name())),
+            ("view", Json::from(self.view.wire_name())),
+            ("xbits", Json::Arr(x.iter().map(|v| Json::from(v.to_bits())).collect())),
+        ])
+        .to_string();
+        let n = self.n;
+        let results: Vec<Result<Vec<u64>, String>> = std::thread::scope(|s| {
+            let handles: Vec<_> = self
+                .links
+                .iter_mut()
+                .map(|link| {
+                    let line = &line;
+                    s.spawn(move || {
+                        let reply = link.call(line)?;
+                        let ybits = reply
+                            .get("ybits")
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| format!("worker {}: reply lacks ybits", link.addr))?;
+                        if ybits.len() != n {
+                            return Err(format!(
+                                "worker {}: ybits has {} entries, expected {n}",
+                                link.addr,
+                                ybits.len()
+                            ));
+                        }
+                        ybits
+                            .iter()
+                            .map(|b| {
+                                b.as_u64().ok_or_else(|| {
+                                    format!("worker {}: non-integer ybits entry", link.addr)
+                                })
+                            })
+                            .collect::<Result<Vec<u64>, String>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| Err("worker fan-out thread panicked".to_string()))
+                })
+                .collect()
+        });
+        for (k, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(ybits) => {
+                    // Ownership selection: shard k's answer is authoritative
+                    // exactly on its destination range; everything outside
+                    // is its padding identity and is discarded.
+                    let (start, end) = self.ranges[k];
+                    for v in start as usize..end as usize {
+                        y[v] = f64::from_bits(ybits[v]);
+                    }
+                }
+                Err(e) => {
+                    if self.failed.is_none() {
+                        self.failed = Some(e);
+                    }
+                }
+            }
+        }
+        if self.failed.is_some() {
+            // Partial merges must not leak: a half-written y would look
+            // like a result. Reset to the identity; the handler reports
+            // the latched error instead of values.
+            y.iter_mut().for_each(|v| *v = identity);
+        }
+    }
+}
+
+impl SpmvEngine for RouterEngine {
+    fn n_vertices(&self) -> usize {
+        self.n
+    }
+
+    fn label(&self) -> &'static str {
+        "router"
+    }
+
+    fn out_degrees(&self) -> &[u32] {
+        &self.degrees
+    }
+
+    fn spmv_add(&mut self, x: &[f64], y: &mut [f64]) {
+        self.sweep(Monoid::Add, x, y);
+    }
+
+    fn spmv_min(&mut self, x: &[f64], y: &mut [f64]) {
+        self.sweep(Monoid::Min, x, y);
+    }
+}
+
+/// A bound (not yet running) router.
+pub struct Router {
+    listener: TcpListener,
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+}
+
+/// Handle to a router running on a background thread.
+pub struct RouterHandle {
+    addr: SocketAddr,
+    state: Arc<RouterState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RouterHandle {
+    /// The bound address (useful with ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins it. Workers are independent
+    /// processes and are left running.
+    pub fn shutdown(mut self) {
+        request_shutdown(&self.state, self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn request_shutdown(state: &RouterState, addr: SocketAddr) {
+    // ORDERING: SeqCst — shutdown is a once-per-process edge; the accept
+    // loop's SeqCst load must see it in total order with the wake-up
+    // connection below.
+    if state.shutting_down.swap(true, Ordering::SeqCst) {
+        return;
+    }
+    // Wake the blocking accept() with a throwaway connection.
+    let _ = TcpStream::connect(addr);
+}
+
+impl Router {
+    /// Binds the listening socket. Requires at least one worker: a router
+    /// with nobody to route to is a misconfiguration, not a degenerate
+    /// deployment.
+    pub fn bind(cfg: RouterConfig) -> std::io::Result<Router> {
+        if cfg.workers.is_empty() {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidInput,
+                "router requires at least one --workers address",
+            ));
+        }
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(RouterState {
+            cfg,
+            placements: RwLock::new(Vec::new()),
+            stats: RouterStats::default(),
+            shutting_down: AtomicBool::new(false),
+        });
+        Ok(Router { listener, addr, state })
+    }
+
+    /// The bound address (resolved once at bind time).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Runs the accept loop on the current thread until shutdown.
+    pub fn run(self) {
+        let addr = self.addr;
+        for conn in self.listener.incoming() {
+            // ORDERING: SeqCst — pairs with request_shutdown's swap.
+            if self.state.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let state = Arc::clone(&self.state);
+            let _ = std::thread::Builder::new()
+                .name("ihtl-router-conn".to_string())
+                .spawn(move || handle_connection(stream, &state, addr));
+        }
+    }
+
+    /// Runs the accept loop on a background thread.
+    pub fn spawn(self) -> std::io::Result<RouterHandle> {
+        let addr = self.local_addr();
+        let state = Arc::clone(&self.state);
+        let accept_thread = std::thread::Builder::new()
+            .name("ihtl-router-accept".to_string())
+            .spawn(move || self.run())?;
+        Ok(RouterHandle { addr, state, accept_thread: Some(accept_thread) })
+    }
+}
+
+fn handle_connection(stream: TcpStream, state: &Arc<RouterState>, addr: SocketAddr) {
+    if state.cfg.idle_timeout.is_some() {
+        let _ = stream.set_read_timeout(state.cfg.idle_timeout);
+    }
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let mut limited = (&mut reader).take(state.cfg.max_line_bytes as u64);
+        match limited.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                let _ = writeln!(writer, "{}", error_reply(None, "idle timeout, closing"));
+                return;
+            }
+            Err(_) => return,
+        }
+        if !line.ends_with('\n') && line.len() >= state.cfg.max_line_bytes {
+            let _ = writeln!(writer, "{}", error_reply(None, "request line too long"));
+            return;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let reply = match Request::parse(trimmed) {
+            Err(msg) => error_reply(None, &msg),
+            Ok(req) => {
+                let is_shutdown = req.op == Op::Shutdown;
+                let reply = dispatch(state, req);
+                if is_shutdown {
+                    let _ = writeln!(writer, "{reply}");
+                    let _ = writer.flush();
+                    let _ = writer.shutdown(NetShutdown::Both);
+                    request_shutdown(state, addr);
+                    return;
+                }
+                reply
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() {
+            return;
+        }
+    }
+}
+
+fn error_reply(id: Option<Json>, msg: &str) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(false)));
+    pairs.push(("error".to_string(), Json::from(msg)));
+    Json::Obj(pairs)
+}
+
+fn ok_reply(id: Option<Json>, body: Json) -> Json {
+    let mut pairs = Vec::new();
+    if let Some(id) = id {
+        pairs.push(("id".to_string(), id));
+    }
+    pairs.push(("ok".to_string(), Json::Bool(true)));
+    if let Json::Obj(fields) = body {
+        pairs.extend(fields);
+    }
+    Json::Obj(pairs)
+}
+
+fn dispatch(state: &Arc<RouterState>, req: Request) -> Json {
+    let id = req.id;
+    match req.op {
+        Op::Ping => ok_reply(
+            id,
+            Json::obj([
+                ("role", Json::from("router")),
+                ("workers", Json::from(state.cfg.workers.len())),
+            ]),
+        ),
+        Op::Shutdown => ok_reply(id, Json::obj([("shutting_down", Json::Bool(true))])),
+        Op::Register { name, source } => match handle_register(state, &name, &source) {
+            Ok(body) => ok_reply(id, body),
+            Err(msg) => error_reply(id, &msg),
+        },
+        Op::Job { dataset, engine, job, timeout_ms, nocache: _, top_k, include_values, trace } => {
+            if trace {
+                return error_reply(id, "trace is not supported by the router");
+            }
+            if timeout_ms.is_some() {
+                return error_reply(
+                    id,
+                    "timeout_ms is not supported by the router (set --worker-timeout-ms instead)",
+                );
+            }
+            match handle_job(state, &dataset, engine, &job, top_k, include_values) {
+                Ok(body) => ok_reply(id, body),
+                Err(msg) => error_reply(id, &msg),
+            }
+        }
+        Op::List => {
+            let entries = read_placements(state);
+            let datasets: Vec<Json> = entries
+                .iter()
+                .map(|e| {
+                    Json::obj([
+                        ("name", Json::from(e.name.clone())),
+                        ("source", Json::from(e.source_desc.clone())),
+                        ("n_vertices", Json::from(e.n_vertices)),
+                        ("n_edges", Json::from(e.n_edges)),
+                        ("shards", Json::from(e.ranges.len())),
+                        ("boundary_sources", Json::from(e.boundary_sources)),
+                        (
+                            "ranges",
+                            Json::Arr(
+                                e.ranges
+                                    .iter()
+                                    .map(|&(s, en)| Json::Arr(vec![Json::from(s), Json::from(en)]))
+                                    .collect(),
+                            ),
+                        ),
+                        ("load_seconds", Json::Num(e.load_seconds)),
+                    ])
+                })
+                .collect();
+            ok_reply(id, Json::obj([("datasets", Json::Arr(datasets))]))
+        }
+        Op::Stats => ok_reply(id, handle_stats(state)),
+        Op::Trace { .. } => error_reply(id, "trace is not supported by the router"),
+        Op::Sweep { .. } => {
+            error_reply(id, "sweep is a worker-side op; send jobs to the router instead")
+        }
+        Op::Degrees { .. } => {
+            error_reply(id, "degrees is a worker-side op; send jobs to the router instead")
+        }
+    }
+}
+
+/// Reads the placement table, recovering from poisoning (a panicking
+/// connection thread must not take the whole router down).
+fn read_placements(state: &RouterState) -> Vec<PlacementEntry> {
+    state.placements.read().unwrap_or_else(std::sync::PoisonError::into_inner).clone()
+}
+
+fn find_placement(state: &RouterState, dataset: &str) -> Option<PlacementEntry> {
+    state
+        .placements
+        .read()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .iter()
+        .find(|e| e.name == dataset)
+        .cloned()
+}
+
+fn fresh_links(state: &RouterState) -> Vec<WorkerLink> {
+    state.cfg.workers.iter().map(|addr| WorkerLink::new(addr, state.cfg.worker_timeout)).collect()
+}
+
+/// Registers `source` as a sharded dataset: shard `k` of `W` goes to
+/// worker `k`. Idempotent by (name, source): re-registering the same pair
+/// returns the recorded placement; a different source under a taken name
+/// is an error.
+fn handle_register(
+    state: &Arc<RouterState>,
+    name: &str,
+    source: &GraphSource,
+) -> Result<Json, String> {
+    if matches!(source, GraphSource::Shard { .. }) {
+        return Err("the router assigns shards itself; register a plain source".to_string());
+    }
+    let source_desc = source.describe();
+    if let Some(existing) = find_placement(state, name) {
+        return if existing.source_desc == source_desc {
+            Ok(register_body(&existing))
+        } else {
+            Err(format!("dataset '{name}' already registered with source {}", existing.source_desc))
+        };
+    }
+    let count = state.cfg.workers.len();
+    let base_json = source.to_json();
+    let mut links = fresh_links(state);
+    let _span = ihtl_trace::span("router_register").with_arg(count as u64);
+    // Fan the shard registrations out in parallel: each worker loads (or
+    // generates) the base graph and extracts its own shard, so the wall
+    // clock is one load, not W of them.
+    let replies: Vec<Result<Json, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = links
+            .iter_mut()
+            .enumerate()
+            .map(|(k, link)| {
+                let req = Json::obj([
+                    ("op", Json::from("register")),
+                    ("name", Json::from(name)),
+                    (
+                        "source",
+                        Json::obj([
+                            ("type", Json::from("shard")),
+                            ("index", Json::from(k)),
+                            ("count", Json::from(count)),
+                            ("base", base_json.clone()),
+                        ]),
+                    ),
+                ])
+                .to_string();
+                s.spawn(move || link.call(&req))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker fan-out thread panicked".to_string())))
+            .collect()
+    });
+    drain_retries(state, &links);
+    let mut ranges = vec![(0u32, 0u32); count];
+    let mut n_vertices = 0usize;
+    let mut n_edges = 0usize;
+    let mut boundary_sources = 0usize;
+    let mut load_seconds = 0.0f64;
+    for (k, reply) in replies.iter().enumerate() {
+        let reply = reply.as_ref().map_err(Clone::clone)?;
+        let field = |key: &str| {
+            reply
+                .get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("worker {}: register reply lacks {key}", links[k].addr))
+        };
+        let nv = field("n_vertices")? as usize;
+        if k == 0 {
+            n_vertices = nv;
+        } else if nv != n_vertices {
+            return Err(format!(
+                "worker {}: shard reports {nv} vertices, shard 0 reported {n_vertices} \
+                 (inconsistent base graphs?)",
+                links[k].addr
+            ));
+        }
+        ranges[k] = (field("range_start")? as u32, field("range_end")? as u32);
+        n_edges += field("shard_edges")? as usize;
+        boundary_sources += field("boundary_sources")? as usize;
+        if let Some(s) = reply.get("load_seconds").and_then(Json::as_f64) {
+            load_seconds = load_seconds.max(s);
+        }
+    }
+    // Fetch and sum the per-shard out-degree contributions. Integer
+    // addition, so the sum is the base graph's exact out-degree vector.
+    let degree_req = Json::obj([
+        ("op", Json::from("degrees")),
+        ("dataset", Json::from(name)),
+        ("view", Json::from("raw")),
+    ])
+    .to_string();
+    let degree_replies: Vec<Result<Json, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = links
+            .iter_mut()
+            .map(|link| {
+                let req = &degree_req;
+                s.spawn(move || link.call(req))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Err("worker fan-out thread panicked".to_string())))
+            .collect()
+    });
+    drain_retries(state, &links);
+    let mut degrees = vec![0u64; n_vertices];
+    for (k, reply) in degree_replies.iter().enumerate() {
+        let reply = reply.as_ref().map_err(Clone::clone)?;
+        let shard_degrees = reply
+            .get("degrees")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("worker {}: degrees reply lacks degrees", links[k].addr))?;
+        if shard_degrees.len() != n_vertices {
+            return Err(format!(
+                "worker {}: degrees has {} entries, expected {n_vertices}",
+                links[k].addr,
+                shard_degrees.len()
+            ));
+        }
+        for (acc, d) in degrees.iter_mut().zip(shard_degrees) {
+            *acc += d
+                .as_u64()
+                .ok_or_else(|| format!("worker {}: non-integer degree entry", links[k].addr))?;
+        }
+    }
+    let out_degrees: Vec<u32> = degrees
+        .into_iter()
+        .map(|d| u32::try_from(d).map_err(|_| "summed out-degree exceeds u32".to_string()))
+        .collect::<Result<_, _>>()?;
+    let entry = PlacementEntry {
+        name: name.to_string(),
+        source_desc,
+        n_vertices,
+        n_edges,
+        ranges,
+        boundary_sources,
+        out_degrees: Arc::new(out_degrees),
+        load_seconds,
+    };
+    // Two clients racing to register the same name: first writer wins, and
+    // a same-source loser adopts the winner's entry (idempotent), exactly
+    // like the re-registration path above.
+    let mut table = state.placements.write().unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = table.iter().find(|e| e.name == name) {
+        return if existing.source_desc == entry.source_desc {
+            Ok(register_body(existing))
+        } else {
+            Err(format!("dataset '{name}' already registered with source {}", existing.source_desc))
+        };
+    }
+    let body = register_body(&entry);
+    table.push(entry);
+    drop(table);
+    // ORDERING: Relaxed — stats counter only.
+    state.stats.datasets_registered.fetch_add(1, Ordering::Relaxed);
+    Ok(body)
+}
+
+fn register_body(entry: &PlacementEntry) -> Json {
+    Json::obj([
+        ("name", Json::from(entry.name.clone())),
+        ("n_vertices", Json::from(entry.n_vertices)),
+        ("n_edges", Json::from(entry.n_edges)),
+        ("shards", Json::from(entry.ranges.len())),
+        ("boundary_sources", Json::from(entry.boundary_sources)),
+        ("load_seconds", Json::Num(entry.load_seconds)),
+    ])
+}
+
+fn handle_job(
+    state: &Arc<RouterState>,
+    dataset: &str,
+    engine: EngineChoice,
+    job: &WireJob,
+    top_k: usize,
+    include_values: bool,
+) -> Result<Json, String> {
+    let entry = find_placement(state, dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    let spec = match job {
+        WireJob::Analytic(spec) => spec,
+        WireJob::Compare { .. } | WireJob::Sleep { .. } => {
+            return Err(format!(
+                "{} jobs are not supported by the router",
+                if matches!(job, WireJob::Compare { .. }) { "compare" } else { "sleep" }
+            ));
+        }
+    };
+    if spec.needs_raw_graph() {
+        return Err("bfs needs the raw graph; the router serves sweep-based analytics \
+                    (pagerank, spmv, sssp, cc)"
+            .to_string());
+    }
+    // Admission validation, same contract as a worker: rejected jobs report
+    // no compute seconds, touch no worker, and still count as failed.
+    spec.validate(entry.n_vertices, None).inspect_err(|_| {
+        // ORDERING: Relaxed — stats counter only.
+        state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    })?;
+    let view = if spec.needs_symmetrized() { GraphView::Sym } else { GraphView::Raw };
+    let mut eng = RouterEngine {
+        links: fresh_links(state),
+        ranges: entry.ranges.clone(),
+        degrees: Arc::clone(&entry.out_degrees),
+        n: entry.n_vertices,
+        dataset: dataset.to_string(),
+        engine_wire: engine.wire_name(),
+        view,
+        failed: None,
+        sweeps: 0,
+    };
+    let _span = ihtl_trace::span("router_job").with_arg(eng.links.len() as u64);
+    let result = run_job(&mut eng, None, spec);
+    drain_retries(state, &eng.links);
+    // ORDERING: Relaxed — stats counter only.
+    state.stats.sweeps_fanned.fetch_add(eng.sweeps, Ordering::Relaxed);
+    if let Some(msg) = eng.failed {
+        // ORDERING: Relaxed — stats counter only.
+        state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        return Err(msg);
+    }
+    let out = result.inspect_err(|_| {
+        // ORDERING: Relaxed — stats counter only.
+        state.stats.jobs_failed.fetch_add(1, Ordering::Relaxed);
+    })?;
+    // ORDERING: Relaxed — stats counter only.
+    state.stats.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    let mut pairs = vec![
+        ("dataset".to_string(), Json::from(dataset)),
+        ("engine".to_string(), Json::from(engine.wire_name())),
+        // What each worker resolved the forwarded choice to; the merge is
+        // engine-independent, so the router reports its own label.
+        ("engine_selected".to_string(), Json::from("router")),
+        ("job".to_string(), Json::from(spec.canonical())),
+        ("n_vertices".to_string(), Json::from(out.values.len())),
+        ("rounds".to_string(), Json::from(out.rounds)),
+        ("compute_seconds".to_string(), Json::Num(out.seconds)),
+        ("checksum".to_string(), Json::from(fnv1a_checksum(&out.values))),
+        ("shards".to_string(), Json::from(entry.ranges.len())),
+    ];
+    if top_k > 0 {
+        let mut idx: Vec<usize> = (0..out.values.len()).collect();
+        idx.sort_by(|&a, &b| {
+            out.values[b]
+                .partial_cmp(&out.values[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        let top: Vec<Json> = idx
+            .into_iter()
+            .take(top_k)
+            .map(|i| Json::obj([("vertex", Json::from(i)), ("value", Json::Num(out.values[i]))]))
+            .collect();
+        pairs.push(("top".to_string(), Json::Arr(top)));
+    }
+    if include_values {
+        pairs.push((
+            "values".to_string(),
+            Json::Arr(out.values.iter().map(|&v| Json::Num(v)).collect()),
+        ));
+    }
+    Ok(Json::Obj(pairs))
+}
+
+/// Folds each link's retry count into the router-wide counter.
+fn drain_retries(state: &RouterState, links: &[WorkerLink]) {
+    let total: u64 = links.iter().map(|l| l.retries).sum();
+    if total > 0 {
+        // ORDERING: Relaxed — stats counter only.
+        state.stats.worker_retries.fetch_add(total, Ordering::Relaxed);
+    }
+}
+
+fn handle_stats(state: &Arc<RouterState>) -> Json {
+    // Ping every worker so `stats` doubles as a fleet health check. Done
+    // on fresh links so a wedged worker costs one timeout, not a hang.
+    let mut links = fresh_links(state);
+    let ping = Json::obj([("op", Json::from("ping"))]).to_string();
+    let health: Vec<Json> = std::thread::scope(|s| {
+        let handles: Vec<_> = links
+            .iter_mut()
+            .map(|link| {
+                let ping = &ping;
+                s.spawn(move || {
+                    let reachable = link.call(ping).is_ok();
+                    Json::obj([
+                        ("addr", Json::from(link.addr.clone())),
+                        ("reachable", Json::Bool(reachable)),
+                    ])
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| Json::obj([("reachable", Json::Bool(false))])))
+            .collect()
+    });
+    let stats = &state.stats;
+    // ORDERING: Relaxed — stats reads; a momentarily torn view across
+    // counters is fine for a monitoring endpoint.
+    let load = |a: &AtomicU64| Json::from(a.load(Ordering::Relaxed));
+    Json::obj([
+        ("role", Json::from("router")),
+        ("datasets", Json::from(read_placements(state).len())),
+        ("datasets_registered", load(&stats.datasets_registered)),
+        ("jobs_completed", load(&stats.jobs_completed)),
+        ("jobs_failed", load(&stats.jobs_failed)),
+        ("sweeps_fanned", load(&stats.sweeps_fanned)),
+        ("worker_retries", load(&stats.worker_retries)),
+        ("workers", Json::Arr(health)),
+    ])
+}

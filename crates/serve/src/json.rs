@@ -5,9 +5,16 @@
 //! protocol's replies stay byte-stable across runs, which the determinism
 //! tests and the result cache rely on.
 //!
-//! Numbers are `f64`. Rust's `Display` for `f64` prints the shortest string
-//! that round-trips, so serialize→parse is exact for every finite value;
-//! non-finite values serialize as `null` (JSON has no NaN/∞).
+//! Numbers carry their exact wire form. Integer literals (no `.` or
+//! exponent) parse to [`Json::Int`], which holds any `u64`/`i64` exactly —
+//! `seed`, `trace_id` and f64 bit patterns above 2^53 must not round
+//! through a double. Everything else parses to [`Json::Num`]; Rust's
+//! `Display` for `f64` prints the shortest string that round-trips, so
+//! serialize→parse is exact for every finite value, and non-finite values
+//! serialize as `null` (JSON has no NaN/∞). Two carve-outs keep the
+//! mapping total: `-0` stays a `Num` (an integer type cannot carry the
+//! `-0.0` bit pattern), and integer literals beyond `i128` fall back to
+//! `f64` (nothing on this wire is both integral and that large).
 
 use std::fmt;
 
@@ -16,6 +23,8 @@ use std::fmt;
 pub enum Json {
     Null,
     Bool(bool),
+    /// An integer literal, kept exact (never rounded through `f64`).
+    Int(i128),
     Num(f64),
     Str(String),
     Arr(Vec<Json>),
@@ -43,17 +52,24 @@ impl Json {
         }
     }
 
+    /// Numeric field as a double. Integer literals convert with
+    /// round-to-nearest, so a value that was `f64::to_string`'d (which
+    /// prints integral doubles without a point) comes back bitwise equal.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Num(v) => Some(*v),
+            Json::Int(v) => Some(*v as f64),
             _ => None,
         }
     }
 
-    /// Numeric field as a non-negative integer (rejects fractions and
-    /// values beyond 2^53, which JSON cannot carry exactly).
+    /// Numeric field as a non-negative integer. Exact over the whole `u64`
+    /// range for integer literals; float-form numbers (`"5.0"`) are
+    /// accepted only when integral and below 2^53, beyond which `f64`
+    /// cannot have carried the value exactly.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            Json::Int(v) if *v >= 0 && *v <= u64::MAX as i128 => Some(*v as u64),
             Json::Num(v) if *v >= 0.0 && *v <= 9_007_199_254_740_992.0 && v.fract() == 0.0 => {
                 Some(*v as u64)
             }
@@ -100,17 +116,17 @@ impl From<f64> for Json {
 }
 impl From<usize> for Json {
     fn from(v: usize) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<u64> for Json {
     fn from(v: u64) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<u32> for Json {
     fn from(v: u32) -> Json {
-        Json::Num(v as f64)
+        Json::Int(v as i128)
     }
 }
 impl From<&str> for Json {
@@ -135,6 +151,9 @@ impl fmt::Display for Json {
             Json::Null => f.write_str("null"),
             Json::Bool(true) => f.write_str("true"),
             Json::Bool(false) => f.write_str("false"),
+            // Same bytes f64 Display would print for any value both types
+            // carry, so replies that switched to Int stayed byte-stable.
+            Json::Int(v) => write!(f, "{v}"),
             Json::Num(v) => {
                 if v.is_finite() {
                     write!(f, "{v}")
@@ -320,22 +339,25 @@ impl Parser<'_> {
         if self.peek() == Some(b'-') {
             self.pos += 1;
         }
-        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-            self.pos += 1;
+        if self.digits() == 0 {
+            return Err(self.err("expected digits in number"));
         }
+        let mut is_float = false;
         if self.peek() == Some(b'.') {
             self.pos += 1;
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            is_float = true;
+            if self.digits() == 0 {
+                return Err(self.err("expected digits after decimal point"));
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
             self.pos += 1;
+            is_float = true;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
             }
-            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
-                self.pos += 1;
+            if self.digits() == 0 {
+                return Err(self.err("expected digits in exponent"));
             }
         }
         // The scanned range holds only ASCII digit/sign/dot/exponent bytes,
@@ -344,7 +366,25 @@ impl Parser<'_> {
         let Ok(text) = std::str::from_utf8(&self.bytes[start..self.pos]) else {
             return Err(self.err("bad number"));
         };
+        // Integer literals stay exact. "-0" must remain a float (Int has no
+        // negative zero, and `-0.0` round-trips bitwise through "-0");
+        // literals beyond i128 fall back to f64, matching the old lossy
+        // behaviour only where exactness was never possible on this wire.
+        if !is_float && text != "-0" {
+            if let Ok(v) = text.parse::<i128>() {
+                return Ok(Json::Int(v));
+            }
+        }
         text.parse::<f64>().map(Json::Num).map_err(|_| self.err(format!("bad number '{text}'")))
+    }
+
+    /// Consumes a run of ASCII digits, returning how many were consumed.
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        self.pos - start
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
@@ -433,8 +473,10 @@ mod tests {
             ("null", Json::Null),
             ("true", Json::Bool(true)),
             ("false", Json::Bool(false)),
-            ("42", Json::Num(42.0)),
+            ("42", Json::Int(42)),
+            ("-7", Json::Int(-7)),
             ("-1.5", Json::Num(-1.5)),
+            ("5.0", Json::Num(5.0)),
             ("1e3", Json::Num(1000.0)),
             ("\"hi\"", Json::Str("hi".into())),
         ] {
@@ -447,7 +489,7 @@ mod tests {
         let v = Json::obj([
             ("id", Json::from(3u64)),
             ("name", Json::from("g\"1\"\n")),
-            ("vals", Json::Arr(vec![Json::Num(1.0), Json::Null, Json::Bool(false)])),
+            ("vals", Json::Arr(vec![Json::Int(1), Json::Num(1.5), Json::Null, Json::Bool(false)])),
             ("nested", Json::obj([("k", Json::from(0.125))])),
         ]);
         let text = v.to_string();
@@ -491,6 +533,82 @@ mod tests {
             "nan",
         ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_numbers() {
+        // Tightened grammar: every digit run the JSON spec requires must be
+        // non-empty (the old scanner let Rust's f64 parser arbitrate, which
+        // happened to accept "1.").
+        for bad in ["-", "1e", "1e+", "1e-", "1.", "-.5", ".5", "--1", "+1", "1.e3", "-e3"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn big_integers_are_exact() {
+        // Regression: u64 wire values (seed, trace_id, f64 bit patterns)
+        // above 2^53 used to round through f64 and come back wrong.
+        let cases: [u64; 5] = [
+            (1u64 << 60) + 1,
+            u64::MAX,
+            (1u64 << 53) + 1,
+            9_007_199_254_740_993, // 2^53 + 1: the first f64-unrepresentable integer
+            f64::INFINITY.to_bits(),
+        ];
+        for v in cases {
+            let wire = Json::from(v).to_string();
+            assert_eq!(wire, v.to_string(), "serialization must print every digit");
+            let back = Json::parse(&wire).unwrap();
+            assert_eq!(back, Json::Int(v as i128));
+            assert_eq!(back.as_u64(), Some(v), "round-trip must be exact for {v}");
+        }
+        // Negative literals are exact too (and out of as_u64's domain).
+        let neg = Json::parse("-1152921504606846977").unwrap();
+        assert_eq!(neg, Json::Int(-((1i128 << 60) + 1)));
+        assert_eq!(neg.as_u64(), None);
+    }
+
+    #[test]
+    fn negative_zero_stays_a_float() {
+        let v = Json::parse("-0").unwrap();
+        assert_eq!(v.as_f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+        // And it survives a serialize→parse cycle bitwise.
+        let back = Json::parse(&v.to_string()).unwrap();
+        assert_eq!(back.as_f64().map(f64::to_bits), Some((-0.0f64).to_bits()));
+    }
+
+    #[test]
+    fn integers_beyond_i128_fall_back_to_f64() {
+        let text = format!("1{}", "0".repeat(40)); // 1e40 > i128::MAX
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v, Json::Num(1e40));
+    }
+
+    #[test]
+    fn parser_edge_cases_table() {
+        // Surrogate-pair escapes must produce astral-plane characters, and
+        // the malformed halves must be rejected — table-driven so new cases
+        // are one line each.
+        let good: [(&str, &str); 4] = [
+            ("\"\\ud83d\\ude00\"", "😀"),            // U+1F600
+            ("\"\\ud834\\udd1e\"", "𝄞"),             // U+1D11E MUSICAL SYMBOL G CLEF
+            ("\"\\udbff\\udfff\"", "\u{10FFFF}"),    // last code point
+            ("\"x\\ud800\\udc00y\"", "x\u{10000}y"), // first astral, embedded
+        ];
+        for (text, want) in good {
+            assert_eq!(Json::parse(text).unwrap().as_str(), Some(want), "{text}");
+        }
+        let bad = [
+            "\"\\ud83d\"",        // lone high surrogate
+            "\"\\ud83dx\"",       // high surrogate not followed by \u
+            "\"\\ud83d\\u0041\"", // high surrogate followed by a non-low escape
+            "\"\\ude00\"",        // lone low surrogate decodes to no char
+            "\"\\ud83d\\ud83d\"", // two high surrogates
+        ];
+        for text in bad {
+            assert!(Json::parse(text).is_err(), "{text} should fail");
         }
     }
 

@@ -25,6 +25,12 @@ pub enum GraphSource {
     /// A saved `IHTLBLK2` preprocessed iHTL image. Only the iHTL engine can
     /// serve such a dataset (the raw graph is not recoverable from it).
     IhtlImage { path: String },
+    /// Destination-range shard `index` of `count` over a base source: the
+    /// worker loads (or generates) the base graph, keeps only the edges
+    /// whose destination falls in its deterministic edge-balanced range,
+    /// and serves that subgraph under the global vertex space. Sent by the
+    /// placement router, one shard per worker.
+    Shard { index: usize, count: usize, base: Box<GraphSource> },
 }
 
 impl GraphSource {
@@ -39,6 +45,41 @@ impl GraphSource {
             GraphSource::EdgeListFile { path } => format!("edgelist:{path}"),
             GraphSource::GraphImage { path } => format!("graph-image:{path}"),
             GraphSource::IhtlImage { path } => format!("ihtl-image:{path}"),
+            GraphSource::Shard { index, count, base } => {
+                format!("shard:{index}/{count}:{}", base.describe())
+            }
+        }
+    }
+
+    /// Renders the source back to its wire form (inverse of `from_json`).
+    /// The placement router parses a base source off its own wire and
+    /// re-serializes it inside per-worker shard `register` requests.
+    pub fn to_json(&self) -> Json {
+        match self {
+            GraphSource::Rmat { scale, edges, seed } => Json::obj([
+                ("type", Json::from("rmat")),
+                ("scale", Json::from(*scale)),
+                ("edges", Json::from(*edges)),
+                ("seed", Json::from(*seed)),
+            ]),
+            GraphSource::Suite { key } => {
+                Json::obj([("type", Json::from("suite")), ("key", Json::from(key.clone()))])
+            }
+            GraphSource::EdgeListFile { path } => {
+                Json::obj([("type", Json::from("edgelist")), ("path", Json::from(path.clone()))])
+            }
+            GraphSource::GraphImage { path } => {
+                Json::obj([("type", Json::from("graph-image")), ("path", Json::from(path.clone()))])
+            }
+            GraphSource::IhtlImage { path } => {
+                Json::obj([("type", Json::from("ihtl-image")), ("path", Json::from(path.clone()))])
+            }
+            GraphSource::Shard { index, count, base } => Json::obj([
+                ("type", Json::from("shard")),
+                ("index", Json::from(*index)),
+                ("count", Json::from(*count)),
+                ("base", base.to_json()),
+            ]),
         }
     }
 
@@ -75,6 +116,32 @@ impl GraphSource {
             "edgelist" => Ok(GraphSource::EdgeListFile { path: path()? }),
             "graph-image" => Ok(GraphSource::GraphImage { path: path()? }),
             "ihtl-image" => Ok(GraphSource::IhtlImage { path: path()? }),
+            "shard" => {
+                let index =
+                    v.get("index").and_then(Json::as_u64).ok_or("shard requires 'index'")?;
+                let count =
+                    v.get("count").and_then(Json::as_u64).ok_or("shard requires 'count'")?;
+                if !(1..=64).contains(&count) {
+                    return Err(format!("shard count {count} out of range 1..=64"));
+                }
+                if index >= count {
+                    return Err(format!("shard index {index} out of range for count {count}"));
+                }
+                let base = GraphSource::from_json(v.get("base").ok_or("shard requires 'base'")?)?;
+                match base {
+                    GraphSource::Shard { .. } => {
+                        Err("shard base must not itself be a shard".to_string())
+                    }
+                    GraphSource::IhtlImage { .. } => {
+                        Err("shard base must carry the raw graph (ihtl-image does not)".to_string())
+                    }
+                    base => Ok(GraphSource::Shard {
+                        index: index as usize,
+                        count: count as usize,
+                        base: Box::new(base),
+                    }),
+                }
+            }
             other => Err(format!("unknown source type '{other}'")),
         }
     }
@@ -111,10 +178,27 @@ impl WireJob {
 
     fn from_json(v: &Json) -> Result<WireJob, String> {
         let kind = v.get("kind").and_then(Json::as_str).ok_or("job requires a 'kind' field")?;
-        let u = |field: &str, default: u64| v.get(field).and_then(Json::as_u64).unwrap_or(default);
-        let iters = u("iters", 20).clamp(1, 10_000) as usize;
-        let max_rounds = u("max_rounds", 256).clamp(1, 100_000) as usize;
-        let source = u("source", 0);
+        // Reject out-of-range values instead of silently clamping, matching
+        // the rmat `edges` precedent: the caller asked for work we will not
+        // do, so tell them rather than quietly run something else.
+        let ranged = |field: &str, default: u64, lo: u64, hi: u64| -> Result<u64, String> {
+            match v.get(field) {
+                None => Ok(default),
+                Some(x) => {
+                    let x = x
+                        .as_u64()
+                        .ok_or_else(|| format!("'{field}' must be a non-negative integer"))?;
+                    if (lo..=hi).contains(&x) {
+                        Ok(x)
+                    } else {
+                        Err(format!("{field} {x} out of range {lo}..={hi}"))
+                    }
+                }
+            }
+        };
+        let iters = ranged("iters", 20, 1, 10_000)? as usize;
+        let max_rounds = ranged("max_rounds", 256, 1, 100_000)? as usize;
+        let source = v.get("source").and_then(Json::as_u64).unwrap_or(0);
         if source > u32::MAX as u64 {
             return Err(format!("source vertex {source} exceeds u32"));
         }
@@ -138,7 +222,7 @@ impl WireJob {
             "cc" => Ok(WireJob::Analytic(JobSpec::Components { max_rounds })),
             "bfs" => Ok(WireJob::Analytic(JobSpec::Bfs { source })),
             "compare" => Ok(WireJob::Compare { iters }),
-            "sleep" => Ok(WireJob::Sleep { ms: u("ms", 100).min(60_000) }),
+            "sleep" => Ok(WireJob::Sleep { ms: ranged("ms", 100, 0, 60_000)? }),
             other => Err(format!("unknown job kind '{other}'")),
         }
     }
@@ -240,6 +324,76 @@ pub enum Op {
     },
     /// Fetches the span tree recorded for an earlier traced job.
     Trace { trace_id: u64 },
+    /// One monoid edge sweep `y = A ⊙ x` on a registered dataset, used by
+    /// the placement router to drive a distributed analytic. The vector
+    /// travels as f64 *bit patterns* (`u64`s): JSON has no NaN/∞, and bit
+    /// patterns routinely exceed 2^53, so exact integers are load-bearing.
+    Sweep {
+        dataset: String,
+        engine: EngineChoice,
+        monoid: Monoid,
+        view: GraphView,
+        xbits: Vec<u64>,
+    },
+    /// Fetches the dataset's out-degree vector (a shard reports only the
+    /// degrees of the edges it kept, so summing across shards recovers the
+    /// global vector exactly — integer addition).
+    Degrees { dataset: String, view: GraphView },
+}
+
+/// Which merge monoid an edge sweep folds with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Monoid {
+    /// `y[v] = Σ x[u]` over in-edges — PageRank / SpMV. Identity 0.
+    Add,
+    /// `y[v] = min(x[u] + 1)` over in-edges — SSSP / CC relaxation.
+    /// Identity +∞.
+    Min,
+}
+
+impl Monoid {
+    /// Wire name (`monoid` field of `sweep`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            Monoid::Add => "add",
+            Monoid::Min => "min",
+        }
+    }
+
+    fn from_str(s: &str) -> Result<Monoid, String> {
+        match s {
+            "add" => Ok(Monoid::Add),
+            "min" => Ok(Monoid::Min),
+            other => Err(format!("unknown monoid '{other}' (valid: add, min)")),
+        }
+    }
+}
+
+/// Which graph view a sweep or degree fetch runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GraphView {
+    /// The directed graph as registered.
+    Raw,
+    /// The symmetrized graph (weak connectivity; what `cc` runs on).
+    Sym,
+}
+
+impl GraphView {
+    /// Wire name (`view` field of `sweep` / `degrees`).
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            GraphView::Raw => "raw",
+            GraphView::Sym => "sym",
+        }
+    }
+
+    fn from_json(v: &Json) -> Result<GraphView, String> {
+        match v.get("view").and_then(Json::as_str) {
+            None | Some("raw") => Ok(GraphView::Raw),
+            Some("sym") => Ok(GraphView::Sym),
+            Some(other) => Err(format!("unknown view '{other}' (valid: raw, sym)")),
+        }
+    }
 }
 
 impl Request {
@@ -279,7 +433,12 @@ impl Request {
                 let job = WireJob::from_json(&v)?;
                 let timeout_ms = v.get("timeout_ms").and_then(Json::as_u64);
                 let nocache = v.get("nocache").and_then(Json::as_bool).unwrap_or(false);
-                let top_k = v.get("top_k").and_then(Json::as_u64).unwrap_or(0).min(1024) as usize;
+                // Reject, don't clamp (see WireJob::from_json).
+                let top_k = v.get("top_k").and_then(Json::as_u64).unwrap_or(0);
+                if top_k > 1024 {
+                    return Err(format!("top_k {top_k} out of range 0..=1024"));
+                }
+                let top_k = top_k as usize;
                 let include_values =
                     v.get("include_values").and_then(Json::as_bool).unwrap_or(false);
                 let trace = v.get("trace").and_then(Json::as_bool).unwrap_or(false);
@@ -291,6 +450,37 @@ impl Request {
                     .and_then(Json::as_u64)
                     .ok_or("trace requires a numeric 'trace_id' field")?;
                 Op::Trace { trace_id }
+            }
+            "sweep" => {
+                let dataset = v
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("sweep requires a 'dataset' field")?
+                    .to_string();
+                let engine = match v.get("engine") {
+                    None => EngineChoice::Fixed(EngineKind::Ihtl),
+                    Some(e) => engine_from_str(e.as_str().ok_or("'engine' must be a string")?)?,
+                };
+                let monoid = Monoid::from_str(
+                    v.get("monoid").and_then(Json::as_str).ok_or("sweep requires 'monoid'")?,
+                )?;
+                let view = GraphView::from_json(&v)?;
+                let xbits = v
+                    .get("xbits")
+                    .and_then(Json::as_arr)
+                    .ok_or("sweep requires an 'xbits' array")?
+                    .iter()
+                    .map(|b| b.as_u64().ok_or("xbits entries must be u64 bit patterns"))
+                    .collect::<Result<Vec<u64>, _>>()?;
+                Op::Sweep { dataset, engine, monoid, view, xbits }
+            }
+            "degrees" => {
+                let dataset = v
+                    .get("dataset")
+                    .and_then(Json::as_str)
+                    .ok_or("degrees requires a 'dataset' field")?
+                    .to_string();
+                Op::Degrees { dataset, view: GraphView::from_json(&v)? }
             }
             other => return Err(format!("unknown op '{other}'")),
         };
@@ -306,7 +496,140 @@ mod tests {
     fn parses_ping_with_id() {
         let r = Request::parse("{\"op\":\"ping\",\"id\":7}").unwrap();
         assert_eq!(r.op, Op::Ping);
-        assert_eq!(r.id, Some(Json::Num(7.0)));
+        assert_eq!(r.id, Some(Json::Int(7)));
+    }
+
+    #[test]
+    fn big_u64_fields_survive_parsing_exactly() {
+        // Regression: seed/trace_id used to round through f64 above 2^53.
+        let seed = (1u64 << 60) + 1;
+        let r = Request::parse(&format!(
+            "{{\"op\":\"register\",\"name\":\"g\",\"source\":\
+             {{\"type\":\"rmat\",\"scale\":5,\"edges\":100,\"seed\":{seed}}}}}"
+        ))
+        .unwrap();
+        match r.op {
+            Op::Register { source, .. } => {
+                assert_eq!(source, GraphSource::Rmat { scale: 5, edges: 100, seed });
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse(&format!("{{\"op\":\"trace\",\"trace_id\":{}}}", u64::MAX)).unwrap();
+        assert_eq!(r.op, Op::Trace { trace_id: u64::MAX });
+    }
+
+    #[test]
+    fn rejects_out_of_range_job_params_instead_of_clamping() {
+        for (bad, needle) in [
+            ("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":0}", "iters 0"),
+            (
+                "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":10001}",
+                "iters 10001",
+            ),
+            (
+                "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sssp\",\"max_rounds\":100001}",
+                "max_rounds 100001",
+            ),
+            ("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sleep\",\"ms\":60001}", "ms 60001"),
+            (
+                "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"top_k\":1025}",
+                "top_k 1025",
+            ),
+            ("{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":\"x\"}", "'iters'"),
+        ] {
+            let err = Request::parse(bad).unwrap_err();
+            assert!(err.contains(needle), "{bad} → {err}");
+        }
+        // The boundary values themselves are accepted.
+        for good in [
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"iters\":10000}",
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"pagerank\",\"top_k\":1024}",
+            "{\"op\":\"job\",\"dataset\":\"g\",\"kind\":\"sleep\",\"ms\":60000}",
+        ] {
+            assert!(Request::parse(good).is_ok(), "{good}");
+        }
+    }
+
+    #[test]
+    fn parses_shard_source() {
+        let r = Request::parse(
+            "{\"op\":\"register\",\"name\":\"g0\",\"source\":{\"type\":\"shard\",\"index\":1,\
+             \"count\":3,\"base\":{\"type\":\"rmat\",\"scale\":8,\"edges\":1000,\"seed\":7}}}",
+        )
+        .unwrap();
+        match r.op {
+            Op::Register { source, .. } => {
+                assert_eq!(
+                    source.describe(),
+                    "shard:1/3:rmat:scale=8:edges=1000:seed=7",
+                    "describe must pin index, count and base"
+                );
+            }
+            other => panic!("{other:?}"),
+        }
+        // index out of range, nested shards, and engine-only bases reject.
+        for bad in [
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"shard\",\"index\":3,\
+             \"count\":3,\"base\":{\"type\":\"suite\",\"key\":\"x\"}}}",
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"shard\",\"index\":0,\
+             \"count\":2,\"base\":{\"type\":\"shard\",\"index\":0,\"count\":2,\
+             \"base\":{\"type\":\"suite\",\"key\":\"x\"}}}}",
+            "{\"op\":\"register\",\"name\":\"g\",\"source\":{\"type\":\"shard\",\"index\":0,\
+             \"count\":2,\"base\":{\"type\":\"ihtl-image\",\"path\":\"x.blk\"}}}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn parses_sweep_and_degrees() {
+        let hi = (1u64 << 60) + 1; // bit patterns exceed 2^53 routinely
+        let r = Request::parse(&format!(
+            "{{\"op\":\"sweep\",\"dataset\":\"g\",\"monoid\":\"min\",\"view\":\"sym\",\
+             \"engine\":\"pull_grind\",\"xbits\":[0,{hi}]}}"
+        ))
+        .unwrap();
+        match r.op {
+            Op::Sweep { dataset, engine, monoid, view, xbits } => {
+                assert_eq!(dataset, "g");
+                assert_eq!(engine, EngineChoice::Fixed(EngineKind::PullGraphGrind));
+                assert_eq!(monoid, Monoid::Min);
+                assert_eq!(view, GraphView::Sym);
+                assert_eq!(xbits, vec![0, hi], "bit patterns must be exact");
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse("{\"op\":\"degrees\",\"dataset\":\"g\"}").unwrap();
+        assert_eq!(r.op, Op::Degrees { dataset: "g".into(), view: GraphView::Raw });
+        for bad in [
+            "{\"op\":\"sweep\",\"dataset\":\"g\",\"monoid\":\"max\",\"xbits\":[]}",
+            "{\"op\":\"sweep\",\"dataset\":\"g\",\"monoid\":\"add\",\"view\":\"warp\",\
+             \"xbits\":[]}",
+            "{\"op\":\"sweep\",\"dataset\":\"g\",\"monoid\":\"add\",\"xbits\":[-1]}",
+            "{\"op\":\"sweep\",\"dataset\":\"g\",\"monoid\":\"add\"}",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn source_to_json_roundtrips() {
+        let sources = [
+            GraphSource::Rmat { scale: 9, edges: 4096, seed: (1u64 << 60) + 1 },
+            GraphSource::Suite { key: "web".to_string() },
+            GraphSource::EdgeListFile { path: "/tmp/g.txt".to_string() },
+            GraphSource::GraphImage { path: "/tmp/g.ihtl".to_string() },
+            GraphSource::Shard {
+                index: 2,
+                count: 3,
+                base: Box::new(GraphSource::Rmat { scale: 8, edges: 1000, seed: 7 }),
+            },
+        ];
+        for src in sources {
+            let wire = src.to_json().to_string();
+            let back = GraphSource::from_json(&Json::parse(&wire).unwrap()).unwrap();
+            assert_eq!(back, src, "{wire}");
+        }
     }
 
     #[test]

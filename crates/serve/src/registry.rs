@@ -49,6 +49,7 @@ use ihtl_core::io::load_ihtl;
 use ihtl_core::{IhtlConfig, IhtlGraph};
 use ihtl_gen::rmat::{rmat_edges, RmatParams};
 use ihtl_gen::{suite, suite_small};
+use ihtl_graph::shard::{extract_shard, shard_info, shard_ranges, ShardInfo};
 use ihtl_graph::stats::{engine_features_llc, pick_engine, EnginePick};
 use ihtl_graph::{EdgeList, Graph};
 use ihtl_store::{dataset_content_hash, BlockStore, StoreCounters};
@@ -62,6 +63,20 @@ type EngineKey = (&'static str, bool);
 
 fn engine_key(kind: EngineKind, symmetrized: bool) -> EngineKey {
     (crate::proto::engine_wire_name(kind), symmetrized)
+}
+
+/// Placement metadata of a shard-registered dataset: which slice of the
+/// base graph's destination space this worker owns. Reported in the
+/// `register` reply so the router can build its placement table without a
+/// second round-trip.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardMeta {
+    /// Shard index in `0..count`.
+    pub index: usize,
+    /// Total shard count the base graph was split into.
+    pub count: usize,
+    /// Owned range, edge count, and boundary-source count.
+    pub info: ShardInfo,
 }
 
 /// One registered dataset and its memoised derived structures.
@@ -96,12 +111,20 @@ pub struct Dataset {
     /// is dropped instead of re-pooled, so demoted pools can't resurrect
     /// the big structures they hold through their `Arc`s.
     generation: AtomicU64,
+    /// `Some` when this dataset is one destination-range shard of a larger
+    /// base graph (registered through a `shard` source).
+    shard: Option<ShardMeta>,
 }
 
 impl Dataset {
     /// The raw graph, when this dataset has one.
     pub fn graph(&self) -> Option<Arc<Graph>> {
         self.graph.clone()
+    }
+
+    /// Shard placement metadata, when this dataset is a shard.
+    pub fn shard(&self) -> Option<ShardMeta> {
+        self.shard
     }
 
     /// Whether any demotable artifact is currently warm.
@@ -214,8 +237,12 @@ impl Dataset {
         Ok(pb)
     }
 
-    /// The symmetrized graph (for CC), building it on first use.
-    fn sym_graph(&self) -> Result<Arc<Graph>, String> {
+    /// The symmetrized graph (for CC), building it on first use. Shard
+    /// datasets arrive with this slot pre-filled: their symmetrized view is
+    /// the matching shard of `symmetrize(base)`, which `symmetrize(shard)`
+    /// would get wrong (it would drop reverse edges whose destination falls
+    /// outside the owned range — they belong to *other* shards).
+    pub fn sym_graph(&self) -> Result<Arc<Graph>, String> {
         let g = self.graph.as_ref().ok_or_else(|| {
             format!(
                 "dataset '{}' was registered from an iHTL image; the raw graph is unavailable \
@@ -470,7 +497,13 @@ impl Registry {
         // must not block lookups for running jobs.
         // lint:allow(R4): load_seconds is reported registration metadata
         let t = Instant::now();
-        let loaded = load_source(source)?;
+        let (loaded, shard_parts) = match source {
+            GraphSource::Shard { index, count, base } => {
+                let (raw, sym, meta) = self.load_shard(*index, *count, base)?;
+                (Loaded::Raw(raw), Some((sym, meta)))
+            }
+            _ => (load_source(source)?, None),
+        };
         let load_seconds = t.elapsed().as_secs_f64();
         let (n_vertices, n_edges) = match &loaded {
             Loaded::Raw(g) => (g.n_vertices(), g.n_edges()),
@@ -482,15 +515,23 @@ impl Registry {
         };
         // The content hash addresses this dataset's artifacts in the store
         // and doubles as the "demotable" marker (image-only datasets have
-        // nothing to hash and no rebuild path).
+        // nothing to hash and no rebuild path). A shard hashes its own
+        // (extracted) topology, so per-shard iHTL/PB artifacts never alias
+        // the base graph's or another shard's.
         let dataset_hash = graph.as_deref().map(dataset_content_hash);
+        // Shards pre-fill the sym slot with the shard of symmetrize(base);
+        // see `sym_graph` for why lazily symmetrizing the shard is wrong.
+        let sym = OnceLock::new();
+        if let Some((sym_shard, _)) = &shard_parts {
+            let _ = sym.set(Arc::clone(sym_shard));
+        }
         let ds = Arc::new(Dataset {
             name: name.to_string(),
             source_desc: desc.clone(),
             graph,
             ihtl: Mutex::new(ihtl),
             pb: Mutex::new(None),
-            sym: OnceLock::new(),
+            sym,
             engines: Mutex::new(HashMap::new()),
             auto_choice: [OnceLock::new(), OnceLock::new()],
             n_vertices,
@@ -499,6 +540,7 @@ impl Registry {
             dataset_hash,
             last_used: AtomicU64::new(0),
             generation: AtomicU64::new(0),
+            shard: shard_parts.map(|(_, meta)| meta),
         });
         let mut map = crate::write_ok(&self.map);
         // Two clients may race to register the same name; first wins, and
@@ -515,6 +557,63 @@ impl Registry {
         }
         map.insert(name.to_string(), Arc::clone(&ds));
         Ok(ds)
+    }
+
+    /// Loads the `index`-of-`count` destination-range shard of `base`: the
+    /// raw shard plus the matching shard of the *symmetrized* base. Both
+    /// are content-addressed store artifacts keyed by the base graph's
+    /// hash and `(index, count)`, so a worker restart (or a second worker
+    /// assigned the same shard) skips the extraction and symmetrization.
+    /// The base graph itself is loaded either way — it is the address —
+    /// and dropped once the shards exist.
+    fn load_shard(
+        &self,
+        index: usize,
+        count: usize,
+        base: &GraphSource,
+    ) -> Result<(Arc<Graph>, Arc<Graph>, ShardMeta), String> {
+        if count == 0 || index >= count {
+            return Err(format!("shard index {index} out of range for count {count}"));
+        }
+        let base_g = match load_source(base)? {
+            Loaded::Raw(g) => g,
+            Loaded::Image(_) => {
+                return Err("shard sources need a raw base graph, not an iHTL image".to_string())
+            }
+        };
+        // Ranges are a pure function of the base graph's CSC, so every
+        // worker (and the router) derives the same partition independently.
+        let range = shard_ranges(&base_g, count)[index];
+        let info = shard_info(&base_g, range);
+        let base_hash = dataset_content_hash(&base_g);
+        let raw = self.shard_tier(base_hash, index, count, false, || extract_shard(&base_g, range));
+        let sym = self.shard_tier(base_hash, index, count, true, || {
+            extract_shard(&ihtl_apps::components::symmetrize(&base_g), range)
+        });
+        Ok((raw, sym, ShardMeta { index, count, info }))
+    }
+
+    /// Store-tiered shard materialisation: verified load, else build +
+    /// best-effort write-back (the store is a cache, not the source of
+    /// truth — a full disk must not fail registration).
+    fn shard_tier(
+        &self,
+        base_hash: u64,
+        index: usize,
+        count: usize,
+        sym: bool,
+        build: impl FnOnce() -> Graph,
+    ) -> Arc<Graph> {
+        if let Some(g) = self.store().and_then(|s| s.load_shard_graph(base_hash, index, count, sym))
+        {
+            return Arc::new(g);
+        }
+        let _span = ihtl_trace::span("shard_extract").with_arg(index as u64);
+        let g = Arc::new(build());
+        if let Some(store) = self.store() {
+            let _ = store.save_shard_graph(base_hash, index, count, sym, &g);
+        }
+        g
     }
 }
 
@@ -557,6 +656,12 @@ fn load_source(source: &GraphSource) -> Result<Loaded, String> {
             let ih = load_ihtl(Path::new(path))
                 .map_err(|e| format!("loading iHTL image '{path}': {e}"))?;
             Ok(Loaded::Image(Arc::new(ih)))
+        }
+        // Shard sources are handled by `Registry::load_shard` (they need
+        // store access); the wire grammar rejects nested shard bases, so
+        // reaching this arm means a programmatic caller nested them.
+        GraphSource::Shard { .. } => {
+            Err("shard sources cannot nest (the base must be a plain source)".to_string())
         }
     }
 }
@@ -823,6 +928,64 @@ mod tests {
         // Symmetrized auto needs the raw graph — clean error, no panic.
         assert!(ds.auto_engine(true, r.cfg()).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_datasets_register_with_placement_metadata() {
+        let r = Registry::new(cfg());
+        let full = r.register("full", &rmat_source()).unwrap();
+        let base = Box::new(rmat_source());
+        let mut raw_edges = 0;
+        let mut sym_edges = 0;
+        for i in 0..3 {
+            let src = GraphSource::Shard { index: i, count: 3, base: base.clone() };
+            let ds = r.register(&format!("s{i}"), &src).unwrap();
+            let meta = ds.shard().expect("shard dataset must carry placement metadata");
+            assert_eq!((meta.index, meta.count), (i, 3));
+            assert_eq!(meta.info.n_edges, ds.n_edges);
+            // The vertex space stays global; only the edges are sliced.
+            assert_eq!(ds.n_vertices, full.n_vertices);
+            raw_edges += ds.n_edges;
+            // The sym slot is pre-filled with the shard of symmetrize(base).
+            sym_edges += ds.sym_graph().unwrap().n_edges();
+        }
+        assert_eq!(raw_edges, full.n_edges, "shards must partition the base edges");
+        assert_eq!(
+            sym_edges,
+            full.sym_graph().unwrap().n_edges(),
+            "sym shards must partition the symmetrized base"
+        );
+        assert!(full.shard().is_none(), "plain datasets carry no shard metadata");
+        // Out-of-range coordinates are rejected with a clean error.
+        let bad = GraphSource::Shard { index: 3, count: 3, base };
+        assert!(r.register("bad", &bad).is_err());
+    }
+
+    #[test]
+    fn shard_registration_tiers_through_the_store() {
+        let dir = std::env::temp_dir().join(format!("ihtl_reg_shard_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let store = Arc::new(BlockStore::open(&dir).unwrap());
+        let base = Box::new(rmat_source());
+        let src = GraphSource::Shard { index: 1, count: 2, base };
+
+        // Cold boot: both shard views (raw + sym) miss, extract, write back.
+        let r1 = Registry::with_store(cfg(), Some(Arc::clone(&store)), None);
+        let ds1 = r1.register("s1", &src).unwrap();
+        let c1 = store.counters();
+        assert_eq!(c1.writes, 2, "raw and sym shard artifacts must be written back");
+        assert_eq!(c1.hits, 0);
+
+        // Warm boot: a fresh registry loads both from the store, extracting
+        // nothing, and the shard topology is bitwise identical.
+        let r2 = Registry::with_store(cfg(), Some(Arc::clone(&store)), None);
+        let ds2 = r2.register("s1", &src).unwrap();
+        let c2 = store.counters();
+        assert_eq!(c2.writes, 2, "warm boot must not re-extract");
+        assert_eq!(c2.hits, 2);
+        assert_eq!(ds1.graph().unwrap().csr(), ds2.graph().unwrap().csr());
+        assert_eq!(ds1.sym_graph().unwrap().csr(), ds2.sym_graph().unwrap().csr());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,7 +22,9 @@ use ihtl_core::IhtlConfig;
 use crate::batch::{BatchMember, BatchTicket, BatchedOutput, Coalescer};
 use crate::cache::ResultCache;
 use crate::json::Json;
-use crate::proto::{engine_wire_name, EngineChoice, GraphSource, Op, Request, WireJob};
+use crate::proto::{
+    engine_wire_name, EngineChoice, GraphSource, GraphView, Monoid, Op, Request, WireJob,
+};
 use crate::registry::{Dataset, Registry};
 use crate::sched::{JobError, Scheduler, SubmitError};
 use crate::stats::ServeStats;
@@ -288,15 +290,17 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
                 .list()
                 .iter()
                 .map(|ds| {
-                    Json::obj([
-                        ("name", Json::from(ds.name.clone())),
-                        ("source", Json::from(ds.source_desc.clone())),
-                        ("n_vertices", Json::from(ds.n_vertices)),
-                        ("n_edges", Json::from(ds.n_edges)),
-                        ("load_seconds", Json::Num(ds.load_seconds)),
-                        ("has_graph", Json::Bool(ds.graph().is_some())),
-                        ("warm", Json::Bool(ds.warm())),
-                    ])
+                    let mut pairs = vec![
+                        ("name".to_string(), Json::from(ds.name.clone())),
+                        ("source".to_string(), Json::from(ds.source_desc.clone())),
+                        ("n_vertices".to_string(), Json::from(ds.n_vertices)),
+                        ("n_edges".to_string(), Json::from(ds.n_edges)),
+                        ("load_seconds".to_string(), Json::Num(ds.load_seconds)),
+                        ("has_graph".to_string(), Json::Bool(ds.graph().is_some())),
+                        ("warm".to_string(), Json::Bool(ds.warm())),
+                    ];
+                    push_shard_fields(&mut pairs, ds);
+                    Json::Obj(pairs)
                 })
                 .collect();
             ok_reply(id, Json::obj([("datasets", Json::Arr(items))]))
@@ -378,7 +382,32 @@ fn dispatch(state: &Arc<ServerState>, req: Request) -> Json {
                 ),
             }
         }
+        Op::Sweep { dataset, engine, monoid, view, xbits } => {
+            match handle_sweep(state, &dataset, engine, monoid, view, xbits) {
+                Ok(body) => ok_reply(id, body),
+                Err(msg) => error_reply(id, &msg),
+            }
+        }
+        Op::Degrees { dataset, view } => match handle_degrees(state, &dataset, view) {
+            Ok(body) => ok_reply(id, body),
+            Err(msg) => error_reply(id, &msg),
+        },
     }
+}
+
+/// Appends the shard placement fields to a reply body when the dataset is
+/// a destination-range shard — the router builds its placement table from
+/// the `register` reply, and `list` mirrors the same fields.
+fn push_shard_fields(pairs: &mut Vec<(String, Json)>, ds: &Dataset) {
+    let Some(meta) = ds.shard() else {
+        return;
+    };
+    pairs.push(("shard_index".to_string(), Json::from(meta.index)));
+    pairs.push(("shard_count".to_string(), Json::from(meta.count)));
+    pairs.push(("range_start".to_string(), Json::from(meta.info.range.start)));
+    pairs.push(("range_end".to_string(), Json::from(meta.info.range.end)));
+    pairs.push(("shard_edges".to_string(), Json::from(meta.info.n_edges)));
+    pairs.push(("boundary_sources".to_string(), Json::from(meta.info.boundary_sources)));
 }
 
 /// Locks the trace store, recovering from poisoning (R3: a panicking
@@ -393,11 +422,144 @@ fn handle_register(
     source: &GraphSource,
 ) -> Result<Json, String> {
     let ds = state.registry.register(name, source)?;
+    let mut pairs = vec![
+        ("name".to_string(), Json::from(ds.name.clone())),
+        ("n_vertices".to_string(), Json::from(ds.n_vertices)),
+        ("n_edges".to_string(), Json::from(ds.n_edges)),
+        ("load_seconds".to_string(), Json::Num(ds.load_seconds)),
+    ];
+    push_shard_fields(&mut pairs, &ds);
+    Ok(Json::Obj(pairs))
+}
+
+/// One monoid-typed edge sweep `y = A ⊙ x` — the router's per-round
+/// primitive. Vectors travel as f64 *bit patterns* (u64s): JSON has no
+/// NaN/∞ literals and SSSP/CC sweeps legitimately carry +∞, and bit
+/// patterns exceed 2^53, so the exact-integer `Json` representation is
+/// load-bearing here. The sweep runs through the scheduler like any job,
+/// so the admission queue still bounds total in-flight compute. Engines
+/// run in their internal vertex order; the wire carries original order,
+/// converted on both edges — a shard worker therefore folds exactly its
+/// shard's CSC rows and returns the monoid identity everywhere else.
+fn handle_sweep(
+    state: &Arc<ServerState>,
+    dataset: &str,
+    engine: EngineChoice,
+    monoid: Monoid,
+    view: GraphView,
+    xbits: Vec<u64>,
+) -> Result<Json, String> {
+    let ds = state
+        .registry
+        .get(dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    let symmetrized = view == GraphView::Sym;
+    let engine: EngineKind = match engine {
+        EngineChoice::Fixed(kind) => kind,
+        EngineChoice::Auto => ds.auto_engine(symmetrized, state.registry.cfg())?,
+    };
+    if xbits.len() != ds.n_vertices {
+        return Err(format!(
+            "xbits has {} entries; dataset '{dataset}' has {} vertices",
+            xbits.len(),
+            ds.n_vertices
+        ));
+    }
+    // ORDERING: Relaxed — stats counter only.
+    state.stats.submitted.fetch_add(1, Ordering::Relaxed);
+    let state_for_exec = Arc::clone(state);
+    let ds_for_exec = Arc::clone(&ds);
+    let handle = state
+        .scheduler
+        .submit(
+            None,
+            Box::new(move |_cancel| {
+                let _span = ihtl_trace::span("sweep").with_arg(xbits.len() as u64);
+                let x: Vec<f64> = xbits.iter().map(|&b| f64::from_bits(b)).collect();
+                let y = ds_for_exec
+                    .with_engine(engine, symmetrized, &state_for_exec.registry, |e| {
+                        let xe = e.from_original_order(&x);
+                        let mut ye = vec![monoid_identity(monoid); xe.len()];
+                        match monoid {
+                            Monoid::Add => e.spmv_add(&xe, &mut ye),
+                            Monoid::Min => e.spmv_min(&xe, &mut ye),
+                        }
+                        e.to_original_order(&ye)
+                    })
+                    .map_err(JobError::Failed)?;
+                Ok(Json::obj([(
+                    "ybits",
+                    Json::Arr(y.iter().map(|v| Json::from(v.to_bits())).collect()),
+                )]))
+            }),
+        )
+        .map_err(|e| match e {
+            SubmitError::Overloaded => {
+                // ORDERING: Relaxed — stats counter only.
+                state.stats.rejected_overloaded.fetch_add(1, Ordering::Relaxed);
+                "overloaded".to_string()
+            }
+            SubmitError::ShuttingDown => "server shutting down".to_string(),
+        })?;
+    match handle.wait() {
+        Ok(mut body) => {
+            // ORDERING: Relaxed — stats counter only.
+            state.stats.completed.fetch_add(1, Ordering::Relaxed);
+            if let Json::Obj(pairs) = &mut body {
+                pairs.push(("dataset".to_string(), Json::from(ds.name.clone())));
+                pairs.push(("engine".to_string(), Json::from(engine_wire_name(engine))));
+                pairs.push(("monoid".to_string(), Json::from(monoid.wire_name())));
+                pairs.push(("view".to_string(), Json::from(view.wire_name())));
+                pairs.push(("n_vertices".to_string(), Json::from(ds.n_vertices)));
+            }
+            Ok(body)
+        }
+        Err(err) => {
+            // ORDERING: Relaxed — stats counter only.
+            state.stats.failed.fetch_add(1, Ordering::Relaxed);
+            Err(err.message())
+        }
+    }
+}
+
+/// The monoid's identity element — what a sweep leaves in rows with no
+/// in-edges, and what makes cross-shard merges exact (a non-owner's entry
+/// is *exactly* the identity, so the owner's fold is the full fold).
+fn monoid_identity(monoid: Monoid) -> f64 {
+    match monoid {
+        Monoid::Add => 0.0,
+        Monoid::Min => f64::INFINITY,
+    }
+}
+
+/// The dataset's per-vertex out-degree vector. A shard reports only the
+/// degrees of edges it kept, so a router sums these across shards to
+/// recover the global vector PageRank normalises by — integer addition,
+/// hence exact.
+fn handle_degrees(
+    state: &Arc<ServerState>,
+    dataset: &str,
+    view: GraphView,
+) -> Result<Json, String> {
+    let ds = state
+        .registry
+        .get(dataset)
+        .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    let g = match view {
+        GraphView::Raw => ds.graph().ok_or_else(|| {
+            format!(
+                "dataset '{dataset}' was registered from an iHTL image; degrees need the raw graph"
+            )
+        })?,
+        GraphView::Sym => ds.sym_graph()?,
+    };
+    let degrees: Vec<Json> =
+        (0..g.n_vertices() as u32).map(|v| Json::from(g.out_degree(v) as u64)).collect();
     Ok(Json::obj([
-        ("name", Json::from(ds.name.clone())),
-        ("n_vertices", Json::from(ds.n_vertices)),
-        ("n_edges", Json::from(ds.n_edges)),
-        ("load_seconds", Json::Num(ds.load_seconds)),
+        ("dataset", Json::from(ds.name.clone())),
+        ("view", Json::from(view.wire_name())),
+        ("n_vertices", Json::from(g.n_vertices())),
+        ("degrees", Json::Arr(degrees)),
     ]))
 }
 
@@ -417,6 +579,18 @@ fn handle_job(
         .registry
         .get(dataset)
         .ok_or_else(|| format!("unknown dataset '{dataset}' (register it first)"))?;
+    // Reject bad job parameters (e.g. an sssp/bfs source beyond the vertex
+    // count) at admission — before the submission counter, the latency
+    // timer, and the batching path — so the reply is a clear wire error
+    // with zero reported seconds, not a failure deep in the executor.
+    if let WireJob::Analytic(spec) = job {
+        if let Err(msg) = spec.validate(ds.n_vertices, ds.graph().as_deref()) {
+            // A rejected job still counts as a failed one for fleet health.
+            // ORDERING: Relaxed — stats counter only.
+            state.stats.failed.fetch_add(1, Ordering::Relaxed);
+            return Err(msg);
+        }
+    }
     // Resolve `auto` to a concrete engine *before* cache-keying, so an
     // auto request and an explicit request for the engine it picks share
     // one cache entry (and the memoised decision makes this resolution a

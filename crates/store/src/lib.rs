@@ -67,6 +67,9 @@ pub enum ArtifactKind {
     Ihtl,
     /// A propagation-blocking layout (`IHTLPBG1`).
     Pb,
+    /// A destination-range shard graph (`IHTLGRPH`), extracted for one
+    /// worker of a sharded deployment.
+    Shard,
 }
 
 impl ArtifactKind {
@@ -74,6 +77,7 @@ impl ArtifactKind {
         match self {
             ArtifactKind::Ihtl => "ihtl",
             ArtifactKind::Pb => "pb",
+            ArtifactKind::Shard => "shard",
         }
     }
 
@@ -81,8 +85,9 @@ impl ArtifactKind {
     /// images miss instead of mis-parsing.
     fn version(self) -> u32 {
         match self {
-            ArtifactKind::Ihtl => 2, // IHTLBLK2
-            ArtifactKind::Pb => 1,   // IHTLPBG1
+            ArtifactKind::Ihtl => 2,  // IHTLBLK2
+            ArtifactKind::Pb => 1,    // IHTLPBG1
+            ArtifactKind::Shard => 1, // IHTLGRPH
         }
     }
 }
@@ -253,6 +258,55 @@ impl BlockStore {
         self.writes.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
+
+    /// Loads a destination-range shard graph (`sym` selects the shard of
+    /// the symmetrized base), or `None` (miss or quarantined). Keyed by
+    /// the *base* graph's content hash plus `(index, count, sym)` — the
+    /// shard's own hash isn't known until after extraction, which is
+    /// exactly the work the store amortises.
+    pub fn load_shard_graph(
+        &self,
+        base_hash: u64,
+        index: usize,
+        count: usize,
+        sym: bool,
+    ) -> Option<Graph> {
+        let key = shard_key(base_hash, index, count, sym);
+        let _span = ihtl_trace::span("store_load").with_arg(key.config_key);
+        let data = self.load_bytes(key)?;
+        match ihtl_graph::io::load_graph_bytes(&data) {
+            Ok(g) => {
+                // ORDERING: Relaxed — stats counter; see counters().
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(g)
+            }
+            Err(_) => {
+                self.quarantine(key);
+                None
+            }
+        }
+    }
+
+    /// Write-back of a freshly extracted shard (atomic + trailered).
+    pub fn save_shard_graph(
+        &self,
+        base_hash: u64,
+        index: usize,
+        count: usize,
+        sym: bool,
+        g: &Graph,
+    ) -> io::Result<()> {
+        let key = shard_key(base_hash, index, count, sym);
+        let _span = ihtl_trace::span("store_write").with_arg(key.config_key);
+        let path = self.path_for(key);
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        ihtl_graph::io::save_graph(g, &path)?;
+        // ORDERING: Relaxed — stats counter; see counters().
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
 }
 
 /// FNV-1a-64 over the graph's CSR: vertex count, edge count, offsets,
@@ -309,6 +363,26 @@ pub fn pb_config_key(cfg: &IhtlConfig, parts: usize) -> u64 {
     h.write(&(cfg.vertex_data_bytes as u64).to_le_bytes());
     h.write(&(parts as u64).to_le_bytes());
     h.finish()
+}
+
+/// Config key for shard graphs: the partition coordinates and which view
+/// (raw or symmetrized base) was sharded. The partition itself is a pure
+/// function of the base graph, which the dataset hash already pins.
+pub fn shard_config_key(index: usize, count: usize, sym: bool) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(b"shard-cfg-v1");
+    h.write(&(index as u64).to_le_bytes());
+    h.write(&(count as u64).to_le_bytes());
+    h.write(&[sym as u8]);
+    h.finish()
+}
+
+fn shard_key(base_hash: u64, index: usize, count: usize, sym: bool) -> StoreKey {
+    StoreKey {
+        kind: ArtifactKind::Shard,
+        dataset_hash: base_hash,
+        config_key: shard_config_key(index, count, sym),
+    }
 }
 
 fn ihtl_key(dataset_hash: u64, cfg: &IhtlConfig) -> StoreKey {
@@ -437,6 +511,38 @@ mod tests {
             assert!(store.load_ihtl(h, &cfg).is_none(), "truncation at {cut} loaded");
             store.save_ihtl(h, &cfg, &built).unwrap();
         }
+        std::fs::remove_dir_all(store.root()).ok();
+    }
+
+    #[test]
+    fn shard_roundtrip_is_exact_and_quarantines() {
+        let store = temp_store("shard_rt");
+        let mut rng = Pcg64::seed_from_u64(0x57_05);
+        let g = random_graph(&mut rng, 80, 400);
+        let h = dataset_content_hash(&g);
+        let ranges = ihtl_graph::shard::shard_ranges(&g, 3);
+        for (i, &r) in ranges.iter().enumerate() {
+            let shard = ihtl_graph::shard::extract_shard(&g, r);
+            assert!(store.load_shard_graph(h, i, 3, false).is_none(), "cold load must miss");
+            store.save_shard_graph(h, i, 3, false, &shard).unwrap();
+            let loaded = store.load_shard_graph(h, i, 3, false).expect("warm load must hit");
+            assert_eq!(loaded.csr(), shard.csr());
+            assert_eq!(loaded.csc(), shard.csc());
+            // The raw and sym views of the same coordinates are distinct
+            // artifacts, as are neighbouring shard indices.
+            assert!(store.load_shard_graph(h, i, 3, true).is_none());
+        }
+        assert_ne!(shard_config_key(0, 3, false), shard_config_key(1, 3, false));
+        assert_ne!(shard_config_key(0, 3, false), shard_config_key(0, 4, false));
+        assert_ne!(shard_config_key(0, 3, false), shard_config_key(0, 3, true));
+        // Corruption quarantines instead of loading.
+        let path = store.path_for(shard_key(h, 0, 3, false));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(store.load_shard_graph(h, 0, 3, false).is_none(), "corrupt shard loaded");
+        assert!(!path.exists(), "corrupt shard not quarantined");
         std::fs::remove_dir_all(store.root()).ok();
     }
 

@@ -48,7 +48,10 @@ bash scripts/serve_smoke.sh
 echo "==> scripts/store_smoke.sh (durable-store two-boot amortization smoke test)"
 bash scripts/store_smoke.sh
 
+echo "==> scripts/shard_smoke.sh (sharded router + workers bitwise-merge smoke test)"
+bash scripts/shard_smoke.sh
+
 echo "==> scripts/bench.sh --samples 3 --max-regress 15 (perf + SpMM + engine-selection gates)"
 bash scripts/bench.sh --samples 3 --max-regress 15 --trace-ab --spmm --engines --engines-gate 10
 
-echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint (R1-R7 + baseline), 64-seed shuffle sweep, benches, quickstart, serve smoke, store smoke, perf + engine gates"
+echo "OK: hermetic build, tests (1/default/4 threads), fmt, lint (R1-R7 + baseline), 64-seed shuffle sweep, benches, quickstart, serve smoke, store smoke, shard smoke, perf + engine gates"
